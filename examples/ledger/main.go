@@ -1,0 +1,86 @@
+// Ledger: replay a linked chain of account transactions with the
+// generic monoid scan (ScanValues), computing for every entry both
+// the running balance and the lowest balance ever reached before it —
+// a non-commutative operator, which is exactly the generality the
+// paper's definition of list scan promises ("'sum' is a binary
+// associative operator", §2) and the int64-only entry points cannot
+// express.
+package main
+
+import (
+	"fmt"
+
+	"listrank"
+	"listrank/internal/rng"
+)
+
+// state summarizes a prefix of the ledger: its net sum and the
+// minimum running balance reached anywhere inside it.
+type state struct {
+	Sum int64 // net effect of the prefix
+	Min int64 // lowest intermediate balance, relative to the prefix start
+}
+
+// combine is associative but not commutative: the right block's
+// balances ride on top of the left block's closing balance.
+func combine(a, b state) state {
+	m := a.Min
+	if s := a.Sum + b.Min; s < m {
+		m = s
+	}
+	return state{Sum: a.Sum + b.Sum, Min: m}
+}
+
+func main() {
+	// Transactions arrive as a linked list in arrival-bucket order
+	// (hash-table chaining): pointer order, not memory order.
+	const n = 1 << 20
+	l := listrank.NewRandomList(n, 2026)
+	r := rng.New(7)
+	amounts := make([]state, n)
+	for v := range amounts {
+		amt := int64(r.Intn(2001) - 1000) // deposits and withdrawals
+		amounts[v] = state{Sum: amt, Min: min(amt, 0)}
+	}
+
+	identity := state{Sum: 0, Min: 0}
+	pre := listrank.ScanValues(l, amounts, combine, identity, listrank.Options{})
+
+	// pre[v].Sum is the balance when entry v posts; pre[v].Min is the
+	// account's all-time low before v.
+	overdrawnAt := -1
+	v := l.Head
+	for i := 0; i < n; i++ {
+		if pre[v].Min < -5000 {
+			overdrawnAt = int(v)
+			break
+		}
+		if l.Next[v] == v {
+			break
+		}
+		v = l.Next[v]
+	}
+	tail := l.Head
+	for l.Next[tail] != tail {
+		tail = l.Next[tail]
+	}
+	closing := combine(pre[tail], amounts[tail])
+	fmt.Printf("replayed %d transactions\n", n)
+	fmt.Printf("closing balance: %d, all-time low: %d\n", closing.Sum, closing.Min)
+	if overdrawnAt >= 0 {
+		fmt.Printf("first entry posted after the balance ever dropped below -5000: vertex %d (balance then %d)\n",
+			overdrawnAt, pre[overdrawnAt].Sum)
+	} else {
+		fmt.Println("the balance never dropped below -5000")
+	}
+
+	// Verify against the one-pass serial replay.
+	serial := listrank.ScanValues(l, amounts, combine, identity,
+		listrank.Options{Algorithm: listrank.Serial})
+	for i := range pre {
+		if pre[i] != serial[i] {
+			panic("parallel and serial replays disagree!")
+		}
+	}
+	fmt.Println("parallel and serial replays agree")
+}

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Connected components across algorithms and graph families — the
+// experiment the prior implementation studies the paper cites ran on
+// parallel hardware, here on the goroutine track.
+func BenchmarkComponents(b *testing.B) {
+	families := []struct {
+		name string
+		g    *Graph
+	}{
+		{"grid512", Grid(512, 512)},
+		{"gnm-1M", RandomGNM(1<<19, 1<<20, 42)},
+		{"path-1M", Path(1 << 20)},
+	}
+	algos := []CCAlgorithm{CCSerialDFS, CCUnionFind, CCHookShortcut, CCRandomMate}
+	for _, fam := range families {
+		for _, a := range algos {
+			b.Run(fmt.Sprintf("%s/%s", fam.name, a), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					cc := ConnectedComponents(fam.g, CCOptions{Algorithm: a, Seed: uint64(i)})
+					if cc.Count == 0 && fam.g.Len() > 0 {
+						b.Fatal("no components")
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(fam.g.NumEdges()), "ns/edge")
+			})
+		}
+	}
+}
+
+func BenchmarkSpanningForest(b *testing.B) {
+	g := RandomGNM(1<<18, 1<<19, 7)
+	for _, a := range []CCAlgorithm{CCUnionFind, CCRandomMate} {
+		b.Run(a.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f := SpanningForest(g, CCOptions{Algorithm: a, Seed: uint64(i)})
+				if len(f) == 0 {
+					b.Fatal("empty forest")
+				}
+			}
+		})
+	}
+}
+
+// Biconnectivity: the parallel Euler-tour reduction against the
+// serial lowpoint DFS. The path graph is the depth adversary (a DFS
+// must walk it; the Euler-tour method ranks it in parallel).
+func BenchmarkBiconnectivity(b *testing.B) {
+	families := []struct {
+		name string
+		g    *Graph
+	}{
+		{"gnm-sparse", RandomGNM(1<<17, 1<<18, 3)},
+		{"grid256", Grid(256, 256)},
+		{"path-256k", Path(1 << 18)},
+	}
+	for _, fam := range families {
+		for _, a := range []BiconnAlgorithm{BiconnSerialDFS, BiconnTarjanVishkin} {
+			b.Run(fmt.Sprintf("%s/%s", fam.name, a), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out, err := BiconnectedComponents(fam.g, BiconnOptions{Algorithm: a, Seed: uint64(i)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if out.NumBlocks == 0 {
+						b.Fatal("no blocks")
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(fam.g.NumEdges()), "ns/edge")
+			})
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package graph
+
+// biconnSerial is the Hopcroft-Tarjan lowpoint algorithm: one
+// depth-first search with an explicit edge stack, popped down to the
+// entering tree edge whenever a child's lowpoint cannot climb above
+// its parent. Iterative (an explicit frame stack) so path graphs of
+// millions of vertices do not exhaust goroutine stacks.
+func biconnSerial(g *Graph) *Biconnectivity {
+	n := g.n
+	out := &Biconnectivity{
+		EdgeBlock:    make([]int32, len(g.edges)),
+		Articulation: make([]bool, n),
+		Bridge:       make([]bool, len(g.edges)),
+	}
+	rep := make([]int32, len(g.edges))
+	for i := range rep {
+		rep[i] = -1
+	}
+	if n == 0 {
+		finishBiconnectivity(g, rep, out)
+		return out
+	}
+
+	disc := make([]int32, n)
+	low := make([]int32, n)
+	for v := range disc {
+		disc[v] = -1
+	}
+	type frame struct {
+		v, pv   int32 // vertex and its DFS parent (-1 at a root)
+		pe      int32 // tree edge id into v (-1 at a root)
+		pos     int32 // next adjacency slot to examine
+		skipped bool  // one CSR instance of pe consumed (parallel twins are back edges)
+	}
+	var frames []frame
+	var estack []int32 // open edge ids
+	var timer int32
+	var blockCounter int32
+
+	for s := 0; s < n; s++ {
+		if disc[s] != -1 {
+			continue
+		}
+		disc[s] = timer
+		low[s] = timer
+		timer++
+		frames = append(frames[:0], frame{v: int32(s), pv: -1, pe: -1, pos: g.adjStart[s]})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.pos < g.adjStart[f.v+1] {
+				i := f.pos
+				f.pos++
+				w := g.adjVert[i]
+				e := g.adjEdge[i]
+				if e == f.pe && !f.skipped {
+					f.skipped = true // the tree edge itself, seen from below
+					continue
+				}
+				if disc[w] == -1 { // tree edge
+					disc[w] = timer
+					low[w] = timer
+					timer++
+					estack = append(estack, e)
+					frames = append(frames, frame{v: w, pv: f.v, pe: e, pos: g.adjStart[w]})
+				} else if disc[w] < disc[f.v] { // back edge (each edge opens once)
+					estack = append(estack, e)
+					if disc[w] < low[f.v] {
+						low[f.v] = disc[w]
+					}
+				}
+				continue
+			}
+			// Retreat from f.v.
+			v, pv, pe := f.v, f.pv, f.pe
+			frames = frames[:len(frames)-1]
+			if pv < 0 {
+				continue
+			}
+			if low[v] < low[pv] {
+				low[pv] = low[v]
+			}
+			if low[v] >= disc[pv] {
+				// The open edges down to and including pe form a block.
+				for {
+					e := estack[len(estack)-1]
+					estack = estack[:len(estack)-1]
+					rep[e] = blockCounter
+					if e == pe {
+						break
+					}
+				}
+				blockCounter++
+			}
+		}
+	}
+	finishBiconnectivity(g, rep, out)
+	return out
+}

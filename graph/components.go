@@ -1,0 +1,417 @@
+package graph
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"listrank/internal/par"
+	"listrank/internal/rng"
+)
+
+// Components holds a connected-components labeling: Label[v] is the
+// smallest vertex in v's component (so labels are canonical and two
+// labelings of the same graph are directly comparable), and Count is
+// the number of components.
+type Components struct {
+	Label []int32
+	Count int
+}
+
+// Same reports whether u and v are in the same component.
+func (c *Components) Same(u, v int) bool { return c.Label[u] == c.Label[v] }
+
+// CCAlgorithm selects a connected-components implementation.
+type CCAlgorithm int
+
+const (
+	// CCHookShortcut (default) is the parallel hook-and-shortcut
+	// algorithm: alternate rounds of hooking every vertex to the
+	// minimum label reachable over one edge and Wyllie-style pointer
+	// jumping on the label forest until it is flat.
+	CCHookShortcut CCAlgorithm = iota
+	// CCRandomMate is parallel random-mate edge contraction — the
+	// graph analogue of the Miller-Reif list algorithm (§2.3): coin
+	// flips break symmetry, females hook to adjacent males, contracted
+	// edges are packed out each round.
+	CCRandomMate
+	// CCSerialDFS is an iterative depth-first search, the natural
+	// serial baseline.
+	CCSerialDFS
+	// CCUnionFind is weighted union-find with path halving, the other
+	// serial baseline (near-linear, tiny constants).
+	CCUnionFind
+)
+
+// String returns the algorithm's short name.
+func (a CCAlgorithm) String() string {
+	switch a {
+	case CCHookShortcut:
+		return "hook-shortcut"
+	case CCRandomMate:
+		return "random-mate"
+	case CCSerialDFS:
+		return "serial-dfs"
+	case CCUnionFind:
+		return "union-find"
+	}
+	return "unknown"
+}
+
+// CCOptions tunes ConnectedComponents. The zero value selects the
+// parallel hook-and-shortcut algorithm on all available CPUs.
+type CCOptions struct {
+	Algorithm CCAlgorithm
+	// Procs is the number of worker goroutines for the parallel
+	// algorithms; 0 means GOMAXPROCS. Serial algorithms ignore it.
+	Procs int
+	// Seed drives the random-mate coin flips. Results never depend on
+	// it; only round counts do.
+	Seed uint64
+}
+
+func (o CCOptions) procs() int {
+	if o.Procs > 0 {
+		return o.Procs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ConnectedComponents labels the components of g with the selected
+// algorithm. All algorithms produce the identical canonical labeling.
+func ConnectedComponents(g *Graph, opt CCOptions) *Components {
+	switch opt.Algorithm {
+	case CCSerialDFS:
+		return componentsDFS(g)
+	case CCUnionFind:
+		return componentsUnionFind(g)
+	case CCRandomMate:
+		c, _ := componentsRandomMate(g, opt.procs(), opt.Seed, false)
+		return c
+	default:
+		return componentsHookShortcut(g, opt.procs())
+	}
+}
+
+// --- Serial baselines ------------------------------------------------
+
+func componentsDFS(g *Graph) *Components {
+	label := make([]int32, g.n)
+	for v := range label {
+		label[v] = -1
+	}
+	var stack []int32
+	count := 0
+	for s := 0; s < g.n; s++ {
+		if label[s] != -1 {
+			continue
+		}
+		count++
+		root := int32(s) // smallest vertex: outer loop is ascending
+		label[s] = root
+		stack = append(stack[:0], int32(s))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for i := g.adjStart[v]; i < g.adjStart[v+1]; i++ {
+				w := g.adjVert[i]
+				if label[w] == -1 {
+					label[w] = root
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	return &Components{Label: label, Count: count}
+}
+
+func componentsUnionFind(g *Graph) *Components {
+	parent := make([]int32, g.n)
+	size := make([]int32, g.n)
+	for v := range parent {
+		parent[v] = int32(v)
+		size[v] = 1
+	}
+	find := func(v int32) int32 {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]] // path halving
+			v = parent[v]
+		}
+		return v
+	}
+	count := g.n
+	for _, e := range g.edges {
+		ru, rv := find(e[0]), find(e[1])
+		if ru == rv {
+			continue
+		}
+		if size[ru] < size[rv] {
+			ru, rv = rv, ru
+		}
+		parent[rv] = ru
+		size[ru] += size[rv]
+		count--
+	}
+	// Canonicalize: label every vertex with the minimum vertex of its
+	// root's class.
+	minOf := make([]int32, g.n)
+	for v := range minOf {
+		minOf[v] = int32(g.n)
+	}
+	for v := 0; v < g.n; v++ {
+		r := find(int32(v))
+		if int32(v) < minOf[r] {
+			minOf[r] = int32(v)
+		}
+	}
+	label := make([]int32, g.n)
+	for v := 0; v < g.n; v++ {
+		label[v] = minOf[find(int32(v))]
+	}
+	return &Components{Label: label, Count: count}
+}
+
+// --- Parallel hook-and-shortcut ---------------------------------------
+//
+// Every vertex carries a pointer f[v] into a label forest, initially
+// f[v] = v. Rounds alternate:
+//
+//	hook:     for every edge {u,v}, lower min(f[u],f[v]) into the
+//	          other endpoint's root by an atomic-min write;
+//	shortcut: f[v] = f[f[v]] repeatedly until the forest is flat —
+//	          exactly Wyllie's pointer jumping (§2.2) applied to the
+//	          label forest, with the same doubling behaviour.
+//
+// Pointers only ever decrease toward smaller labels, so the forest
+// converges to the canonical minimum-vertex labeling; on realistic
+// graphs a handful of rounds flatten everything. This is the
+// shared-memory "SV-style" family (Shiloach-Vishkin 1982 and its
+// modern descendants), the algorithm every implementation study the
+// paper cites builds some variant of.
+
+func componentsHookShortcut(g *Graph, p int) *Components {
+	n := g.n
+	f := make([]int32, n)
+	for v := range f {
+		f[v] = int32(v)
+	}
+	if n == 0 {
+		return &Components{Label: f, Count: 0}
+	}
+	p = par.Procs(p, n)
+	m := len(g.edges)
+
+	atomicMin := func(addr *int32, val int32) bool {
+		for {
+			cur := atomic.LoadInt32(addr)
+			if val >= cur {
+				return false
+			}
+			if atomic.CompareAndSwapInt32(addr, cur, val) {
+				return true
+			}
+		}
+	}
+
+	changed := make([]bool, p)
+	for {
+		// Hook: push the smaller endpoint label onto the root of the
+		// larger. Writing at the root (f[fu] rather than fu) is what
+		// lets disjoint trees merge in one round.
+		for w := range changed {
+			changed[w] = false
+		}
+		if m > 0 {
+			par.ForChunks(m, p, func(w, lo, hi int) {
+				hooked := false
+				for i := lo; i < hi; i++ {
+					e := g.edges[i]
+					fu := atomic.LoadInt32(&f[e[0]])
+					fv := atomic.LoadInt32(&f[e[1]])
+					if fu == fv {
+						continue
+					}
+					if fu < fv {
+						hooked = atomicMin(&f[fv], fu) || hooked
+					} else {
+						hooked = atomicMin(&f[fu], fv) || hooked
+					}
+				}
+				changed[w] = hooked
+			})
+		}
+		// Shortcut: pointer jumping until flat.
+		for {
+			flat := true
+			flatW := make([]bool, p)
+			par.ForChunks(n, p, func(w, lo, hi int) {
+				ok := true
+				for v := lo; v < hi; v++ {
+					fv := atomic.LoadInt32(&f[v])
+					ffv := atomic.LoadInt32(&f[fv])
+					if ffv != fv {
+						atomic.StoreInt32(&f[v], ffv)
+						ok = false
+					}
+				}
+				flatW[w] = ok
+			})
+			for _, ok := range flatW {
+				flat = flat && ok
+			}
+			if flat {
+				break
+			}
+		}
+		any := false
+		for _, c := range changed {
+			any = any || c
+		}
+		if !any {
+			break
+		}
+	}
+
+	count := 0
+	for v := 0; v < n; v++ {
+		if f[v] == int32(v) {
+			count++
+		}
+	}
+	return &Components{Label: f, Count: count}
+}
+
+// --- Parallel random-mate contraction ----------------------------------
+//
+// The graph analogue of Miller-Reif random mate (§2.3). Each round:
+// every live vertex flips a coin; for every live edge whose endpoints
+// got opposite coins, the female endpoint hooks to the male (races
+// between a female's several male neighbors are benign — any one
+// wins); then every vertex shortcuts to its (male) root, edges are
+// relabeled by the new parents, and self-loops are packed out —
+// the same pack discipline as the paper's list algorithms. A constant
+// fraction of live edges contracts per round in expectation, giving
+// O(log n) rounds with high probability.
+//
+// The hooks form a spanning forest: a female hooks at most once per
+// round, always across two currently distinct components.
+
+func componentsRandomMate(g *Graph, p int, seed uint64, wantForest bool) (*Components, []int32) {
+	n := g.n
+	parent := make([]int32, n)
+	for v := range parent {
+		parent[v] = int32(v)
+	}
+	var hookEdge []int32
+	if n == 0 {
+		return &Components{Label: parent, Count: 0}, hookEdge
+	}
+	p = par.Procs(p, n)
+
+	// Per-vertex record of which edge hooked a female this round
+	// (written under the winning CAS only), drained serially after
+	// each round.
+	var hookedBy []int32
+	if wantForest {
+		hookEdge = make([]int32, 0, n)
+		hookedBy = make([]int32, n)
+		for i := range hookedBy {
+			hookedBy[i] = -1
+		}
+	}
+
+	// Live edge worklist: (current contracted endpoints, original id).
+	type liveEdge struct {
+		u, v int32
+		id   int32
+	}
+	live := make([]liveEdge, 0, len(g.edges))
+	for i, e := range g.edges {
+		if e[0] != e[1] {
+			live = append(live, liveEdge{e[0], e[1], int32(i)})
+		}
+	}
+	next := make([]liveEdge, 0, len(live))
+	coin := make([]uint64, (n+63)/64) // bit v set: male
+	r := rng.New(seed)
+
+	male := func(v int32) bool { return coin[v>>6]>>(uint(v)&63)&1 == 1 }
+
+	for len(live) > 0 {
+		for i := range coin {
+			coin[i] = r.Uint64()
+		}
+		// Hook females to adjacent males. Several edges may race for
+		// one female; the CAS from the self-loop state picks a single
+		// winner per round.
+		par.ForChunks(len(live), p, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := live[i]
+				var f, m int32 // female, male
+				switch {
+				case male(e.u) && !male(e.v):
+					f, m = e.v, e.u
+				case male(e.v) && !male(e.u):
+					f, m = e.u, e.v
+				default:
+					continue
+				}
+				if atomic.CompareAndSwapInt32(&parent[f], f, m) && wantForest {
+					hookedBy[f] = e.id // winning goroutine only
+				}
+			}
+		})
+		if wantForest {
+			for v := range hookedBy {
+				if hookedBy[v] >= 0 {
+					hookEdge = append(hookEdge, hookedBy[v])
+					hookedBy[v] = -1
+				}
+			}
+		}
+		// Relabel live edges through the new parents and pack out the
+		// self-loops — the same pack discipline as the list algorithms.
+		// Live endpoints were roots at the start of the round, so one
+		// parent lookup re-canonicalizes them.
+		next = next[:0]
+		for _, e := range live {
+			u, v := parent[e.u], parent[e.v]
+			if u != v {
+				next = append(next, liveEdge{u, v, e.id})
+			}
+		}
+		live, next = next, live
+	}
+
+	// Flatten the accumulated hook forest (its depth can reach the
+	// round count) with serial path compression, then canonicalize to
+	// minimum-vertex labels.
+	find := func(v int32) int32 {
+		r := v
+		for parent[r] != r {
+			r = parent[r]
+		}
+		for parent[v] != r {
+			parent[v], v = r, parent[v]
+		}
+		return r
+	}
+	minOf := make([]int32, n)
+	for v := range minOf {
+		minOf[v] = int32(n)
+	}
+	count := 0
+	for v := 0; v < n; v++ {
+		r := find(int32(v))
+		if int32(v) < minOf[r] {
+			minOf[r] = int32(v)
+		}
+		if r == int32(v) {
+			count++
+		}
+	}
+	label := make([]int32, n)
+	for v := 0; v < n; v++ {
+		label[v] = minOf[find(int32(v))]
+	}
+	return &Components{Label: label, Count: count}, hookEdge
+}

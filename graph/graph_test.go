@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, nil); err == nil {
+		t.Error("negative n: want error")
+	}
+	if _, err := New(3, [][2]int{{0, 3}}); err == nil {
+		t.Error("endpoint out of range: want error")
+	}
+	if _, err := New(3, [][2]int{{-1, 0}}); err == nil {
+		t.Error("negative endpoint: want error")
+	}
+	g, err := New(0, nil)
+	if err != nil || g.Len() != 0 || g.NumEdges() != 0 {
+		t.Errorf("empty graph: got (%v, %v)", g, err)
+	}
+}
+
+func TestCSRStructure(t *testing.T) {
+	// 0-1, 1-2, 2-2 (loop), 0-1 again (parallel).
+	g := MustNew(3, [][2]int{{0, 1}, {1, 2}, {2, 2}, {0, 1}})
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	wantDeg := []int{2, 3, 1} // loop contributes nothing
+	for v, want := range wantDeg {
+		if got := g.Degree(v); got != want {
+			t.Errorf("Degree(%d) = %d, want %d", v, got, want)
+		}
+	}
+	// Every adjacency entry must be consistent with its edge record.
+	for v := 0; v < g.Len(); v++ {
+		g.Neighbors(v, func(w, e int) {
+			a, b := g.Edge(e)
+			if !(a == v && b == w || a == w && b == v) {
+				t.Errorf("Neighbors(%d): edge %d is %d-%d, not %d-%d", v, e, a, b, v, w)
+			}
+		})
+	}
+	if u, v := g.Edge(2); u != 2 || v != 2 {
+		t.Errorf("Edge(2) = %d-%d, want the 2-2 self-loop", u, v)
+	}
+}
+
+func TestNeighborsCount(t *testing.T) {
+	g := Complete(5)
+	for v := 0; v < 5; v++ {
+		count := 0
+		g.Neighbors(v, func(w, e int) {
+			count++
+			if w == v {
+				t.Errorf("Neighbors(%d) yielded a self-loop", v)
+			}
+		})
+		if count != 4 {
+			t.Errorf("Neighbors(%d) yielded %d entries, want 4", v, count)
+		}
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	cases := []struct {
+		name  string
+		g     *Graph
+		n, m  int
+		ncomp int
+	}{
+		{"path10", Path(10), 10, 9, 1},
+		{"path1", Path(1), 1, 0, 1},
+		{"path0", Path(0), 0, 0, 0},
+		{"cycle7", Cycle(7), 7, 7, 1},
+		{"cycle2", Cycle(2), 2, 1, 1},
+		{"grid3x4", Grid(3, 4), 12, 17, 1},
+		{"complete6", Complete(6), 6, 15, 1},
+		{"star9", Star(9), 9, 8, 1},
+		{"tree100", RandomTree(100, 1), 100, 99, 1},
+		{"gnm", RandomGNM(50, 10, 2), 50, 10, -1}, // component count not fixed
+	}
+	for _, c := range cases {
+		if c.g.Len() != c.n {
+			t.Errorf("%s: Len = %d, want %d", c.name, c.g.Len(), c.n)
+		}
+		if c.g.NumEdges() != c.m {
+			t.Errorf("%s: NumEdges = %d, want %d", c.name, c.g.NumEdges(), c.m)
+		}
+		if c.ncomp >= 0 {
+			cc := ConnectedComponents(c.g, CCOptions{Algorithm: CCSerialDFS})
+			if cc.Count != c.ncomp {
+				t.Errorf("%s: %d components, want %d", c.name, cc.Count, c.ncomp)
+			}
+		}
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := RandomTree(200, seed)
+		cc := ConnectedComponents(g, CCOptions{Algorithm: CCUnionFind})
+		if cc.Count != 1 {
+			t.Errorf("seed %d: tree is disconnected (%d components)", seed, cc.Count)
+		}
+		if g.NumEdges() != g.Len()-1 {
+			t.Errorf("seed %d: %d edges on %d vertices", seed, g.NumEdges(), g.Len())
+		}
+	}
+}
+
+func TestDisjoint(t *testing.T) {
+	g := Disjoint(Cycle(3), Path(4), Complete(3))
+	if g.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", g.Len())
+	}
+	cc := ConnectedComponents(g, CCOptions{Algorithm: CCSerialDFS})
+	if cc.Count != 3 {
+		t.Errorf("Count = %d, want 3", cc.Count)
+	}
+	// Offsets: the Path(4) block occupies vertices 3..6.
+	if cc.Same(2, 3) || !cc.Same(3, 6) || cc.Same(6, 7) {
+		t.Errorf("offset labeling wrong: %v", cc.Label)
+	}
+}
+
+func TestWithExtraEdges(t *testing.T) {
+	g := Disjoint(Path(2), Path(2)) // 0-1, 2-3
+	g2, err := g.WithExtraEdges([][2]int{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g2.NumEdges())
+	}
+	cc := ConnectedComponents(g2, CCOptions{Algorithm: CCSerialDFS})
+	if cc.Count != 1 {
+		t.Errorf("Count = %d, want 1", cc.Count)
+	}
+	if _, err := g.WithExtraEdges([][2]int{{0, 99}}); err == nil {
+		t.Error("out-of-range extra edge: want error")
+	}
+	// Original unchanged.
+	if g.NumEdges() != 2 {
+		t.Errorf("original mutated: NumEdges = %d", g.NumEdges())
+	}
+}

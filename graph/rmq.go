@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"math/bits"
+
+	"listrank/internal/par"
+)
+
+// sparseTable answers idempotent range queries (min or max) over a
+// fixed int32 array in O(1) after an O(n log n) build. Biconnectivity
+// uses two of them to turn "aggregate over a subtree" into "aggregate
+// over a preorder interval" — the subtree of v is exactly the
+// contiguous interval [pre(v), pre(v)+size(v)) once vertices are
+// ranked by the Euler tour.
+type sparseTable struct {
+	levels [][]int32
+	min    bool
+}
+
+// newSparseTable builds a table over a; each doubling level is built
+// from the previous with an embarrassingly parallel pass.
+func newSparseTable(a []int32, min bool, procs int) *sparseTable {
+	n := len(a)
+	t := &sparseTable{min: min}
+	lv0 := make([]int32, n)
+	copy(lv0, a)
+	t.levels = append(t.levels, lv0)
+	for width := 2; width <= n; width *= 2 {
+		prev := t.levels[len(t.levels)-1]
+		rows := n - width + 1
+		cur := make([]int32, rows)
+		half := width / 2
+		par.ForChunks(rows, par.Procs(procs, rows), func(w, lo, hi int) {
+			if min {
+				for i := lo; i < hi; i++ {
+					x, y := prev[i], prev[i+half]
+					if y < x {
+						x = y
+					}
+					cur[i] = x
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					x, y := prev[i], prev[i+half]
+					if y > x {
+						x = y
+					}
+					cur[i] = x
+				}
+			}
+		})
+		t.levels = append(t.levels, cur)
+	}
+	return t
+}
+
+// query aggregates a[lo:hi] (hi exclusive, lo < hi).
+func (t *sparseTable) query(lo, hi int) int32 {
+	k := bits.Len(uint(hi-lo)) - 1
+	lv := t.levels[k]
+	x, y := lv[lo], lv[hi-(1<<k)]
+	if t.min {
+		if y < x {
+			return y
+		}
+		return x
+	}
+	if y > x {
+		return y
+	}
+	return x
+}

@@ -1,0 +1,54 @@
+package graph
+
+// SpanningForest returns the indices of edges forming a spanning
+// forest of g (one tree per connected component, so exactly
+// n − #components edges, none of them self-loops).
+//
+// The parallel CCRandomMate algorithm produces the forest as a free
+// by-product of contraction — every winning hook crosses two distinct
+// live components, the graph analogue of the paper's splice
+// bookkeeping. CCHookShortcut does not track witness edges, so it and
+// the serial algorithms delegate to union-find.
+func SpanningForest(g *Graph, opt CCOptions) []int {
+	var ids []int32
+	if opt.Algorithm == CCRandomMate {
+		_, ids = componentsRandomMate(g, opt.procs(), opt.Seed, true)
+	} else {
+		ids = spanningUnionFind(g)
+	}
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+func spanningUnionFind(g *Graph) []int32 {
+	parent := make([]int32, g.n)
+	size := make([]int32, g.n)
+	for v := range parent {
+		parent[v] = int32(v)
+		size[v] = 1
+	}
+	find := func(v int32) int32 {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	forest := make([]int32, 0, g.n)
+	for i, e := range g.edges {
+		ru, rv := find(e[0]), find(e[1])
+		if ru == rv {
+			continue
+		}
+		if size[ru] < size[rv] {
+			ru, rv = rv, ru
+		}
+		parent[rv] = ru
+		size[ru] += size[rv]
+		forest = append(forest, int32(i))
+	}
+	return forest
+}

@@ -1,0 +1,68 @@
+package graph
+
+// Subgraph returns the subgraph induced by keeping exactly the listed
+// vertices, along with the mappings between old and new vertex ids
+// and the original index of every kept edge. An edge survives iff
+// both endpoints are kept (self-loops included). Duplicate vertices
+// in the list are rejected by collapsing to one occurrence.
+func (g *Graph) Subgraph(vertices []int) (sub *Graph, oldVertex []int, oldEdge []int) {
+	newID := make([]int32, g.n)
+	for v := range newID {
+		newID[v] = -1
+	}
+	oldVertex = make([]int, 0, len(vertices))
+	for _, v := range vertices {
+		if v < 0 || v >= g.n || newID[v] != -1 {
+			continue
+		}
+		newID[v] = int32(len(oldVertex))
+		oldVertex = append(oldVertex, v)
+	}
+	var edges [][2]int
+	for i, e := range g.edges {
+		nu, nv := newID[e[0]], newID[e[1]]
+		if nu == -1 || nv == -1 {
+			continue
+		}
+		edges = append(edges, [2]int{int(nu), int(nv)})
+		oldEdge = append(oldEdge, i)
+	}
+	return MustNew(len(oldVertex), edges), oldVertex, oldEdge
+}
+
+// SplitComponents partitions g into its connected components,
+// returning one induced subgraph per component (ordered by the
+// component's minimum vertex) together with per-component vertex and
+// edge mappings back into g. It is the standard preprocessing step
+// for per-component algorithms.
+type ComponentGraph struct {
+	// G is the component as a standalone graph.
+	G *Graph
+	// OldVertex[v] is the original id of the component's vertex v.
+	OldVertex []int
+	// OldEdge[i] is the original index of the component's edge i.
+	OldEdge []int
+}
+
+// SplitComponents computes the components with the given options and
+// splits g along them.
+func SplitComponents(g *Graph, opt CCOptions) []ComponentGraph {
+	cc := ConnectedComponents(g, opt)
+	// Group vertices by canonical label; labels are component-minimum
+	// vertices, so ordering groups by label orders by minimum vertex.
+	order := make([]int32, 0, cc.Count)
+	members := make(map[int32][]int, cc.Count)
+	for v := 0; v < g.n; v++ {
+		l := cc.Label[v]
+		if _, ok := members[l]; !ok {
+			order = append(order, l)
+		}
+		members[l] = append(members[l], v)
+	}
+	out := make([]ComponentGraph, 0, cc.Count)
+	for _, l := range order {
+		sub, oldV, oldE := g.Subgraph(members[l])
+		out = append(out, ComponentGraph{G: sub, OldVertex: oldV, OldEdge: oldE})
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+// Package alpha models the DEC 3000/600 Alpha workstation that Table I
+// of the paper compares against: a scalar machine whose serial
+// list-ranking and list-scan times depend entirely on whether the
+// linked-list data fit in the off-chip cache ("Times for the Alpha
+// Depend on Whether the Data Are Already in the Cache or Not").
+//
+// The model is a set-associative LRU cache simulator fed by the exact
+// access stream of the serial traversal, with per-vertex latencies
+// calibrated to Table I's four measured endpoints:
+//
+//	list rank:  98 ns/vertex in cache,  690 ns/vertex from memory
+//	list scan: 200 ns/vertex in cache,  990 ns/vertex from memory
+//
+// A vertex step pays the base (in-cache) cost plus a penalty per
+// missing load: one dependent load for ranking (the successor link),
+// two for scanning (link and value; their penalties overlap in the
+// memory system, so the per-miss penalty is smaller than ranking's
+// fully serialized one). Stores retire through the write buffer and
+// are not charged. The DEC 3000/600's 2 MB direct-mapped board cache
+// with 32-byte lines is the default geometry.
+package alpha
+
+import "listrank/internal/list"
+
+// CacheConfig describes a physical cache.
+type CacheConfig struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+}
+
+// Cache is a set-associative LRU cache simulator over byte addresses.
+type Cache struct {
+	cfg      CacheConfig
+	sets     int
+	tags     [][]uint64 // per set, MRU first
+	accesses int64
+	misses   int64
+}
+
+// NewCache returns an empty cache. It panics on non-positive or
+// non-power-of-two-incompatible geometry (sets must come out ≥ 1).
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.LineBytes <= 0 || cfg.Ways <= 0 {
+		panic("alpha: invalid cache geometry")
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	if sets < 1 {
+		sets = 1
+	}
+	c := &Cache{cfg: cfg, sets: sets}
+	c.tags = make([][]uint64, sets)
+	return c
+}
+
+// Access touches addr and returns whether it hit. The line is brought
+// to MRU position; on a miss the LRU way is evicted.
+func (c *Cache) Access(addr uint64) bool {
+	c.accesses++
+	line := addr / uint64(c.cfg.LineBytes)
+	set := int(line % uint64(c.sets))
+	ways := c.tags[set]
+	for i, tg := range ways {
+		if tg == line {
+			// Move to front (MRU).
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = line
+			return true
+		}
+	}
+	c.misses++
+	if len(ways) < c.cfg.Ways {
+		ways = append(ways, 0)
+	}
+	copy(ways[1:], ways)
+	ways[0] = line
+	c.tags[set] = ways
+	return false
+}
+
+// Stats returns the access and miss counts so far.
+func (c *Cache) Stats() (accesses, misses int64) { return c.accesses, c.misses }
+
+// Reset empties the cache and zeroes counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = nil
+	}
+	c.accesses = 0
+	c.misses = 0
+}
+
+// Latencies are the calibrated per-vertex costs in nanoseconds.
+type Latencies struct {
+	// RankBase is the in-cache cost of one ranking step; RankMiss is
+	// added when the link load misses.
+	RankBase, RankMiss float64
+	// ScanBase is the in-cache cost of one scanning step; ScanMiss is
+	// added per missing load (link and value).
+	ScanBase, ScanMiss float64
+}
+
+// Workstation is the modeled machine.
+type Workstation struct {
+	Name  string
+	Cache CacheConfig
+	Lat   Latencies
+}
+
+// DEC3000600 returns the Table I workstation: 2 MB direct-mapped
+// board cache, 32-byte lines, latencies solving the four endpoints.
+func DEC3000600() Workstation {
+	return Workstation{
+		Name:  "DEC 3000/600 Alpha",
+		Cache: CacheConfig{SizeBytes: 2 << 20, LineBytes: 32, Ways: 1},
+		Lat: Latencies{
+			RankBase: 98, RankMiss: 592, // 98 + 592 = 690
+			ScanBase: 200, ScanMiss: 395, // 200 + 2·395 = 990
+		},
+	}
+}
+
+// wordBytes is the size of one list element in the modeled layout.
+const wordBytes = 8
+
+// arrayPad separates the modeled arrays by a page so that their bases
+// do not alias to the same direct-mapped sets when n is a power of
+// two (real allocators and virtual memory provide the same effect; a
+// pathological alias would make every sequential access thrash).
+const arrayPad = 4096
+
+// Rank serially ranks l, returning the ranks and the modeled time in
+// nanoseconds. The address stream is: for each vertex, a load of
+// next[v] (charged) and a store of out[v] (write-buffered, free but
+// still installed in the cache).
+func (w Workstation) Rank(l *list.List) ([]int64, float64) {
+	n := l.Len()
+	cache := NewCache(w.Cache)
+	// Layout: next at 0, out after it.
+	nextBase := uint64(0)
+	outBase := uint64(n*wordBytes) + arrayPad
+	out := make([]int64, n)
+	ns := 0.0
+	v := l.Head
+	var rank int64
+	for {
+		ns += w.Lat.RankBase
+		if !cache.Access(nextBase + uint64(v)*wordBytes) {
+			ns += w.Lat.RankMiss
+		}
+		cache.Access(outBase + uint64(v)*wordBytes) // store, not charged
+		out[v] = rank
+		rank++
+		nx := l.Next[v]
+		if nx == v {
+			return out, ns
+		}
+		v = nx
+	}
+}
+
+// Scan serially scans l (exclusive, integer addition), returning the
+// scan and the modeled time in nanoseconds. Each step loads next[v]
+// and value[v] (both charged on miss) and stores out[v].
+func (w Workstation) Scan(l *list.List) ([]int64, float64) {
+	n := l.Len()
+	cache := NewCache(w.Cache)
+	nextBase := uint64(0)
+	valueBase := uint64(n*wordBytes) + arrayPad
+	outBase := uint64(2*n*wordBytes) + 2*arrayPad
+	out := make([]int64, n)
+	ns := 0.0
+	v := l.Head
+	var sum int64
+	for {
+		ns += w.Lat.ScanBase
+		if !cache.Access(nextBase + uint64(v)*wordBytes) {
+			ns += w.Lat.ScanMiss
+		}
+		if !cache.Access(valueBase + uint64(v)*wordBytes) {
+			ns += w.Lat.ScanMiss
+		}
+		cache.Access(outBase + uint64(v)*wordBytes)
+		out[v] = sum
+		sum += l.Value[v]
+		nx := l.Next[v]
+		if nx == v {
+			return out, ns
+		}
+		v = nx
+	}
+}
+
+// RankWarm runs Rank twice and reports the second (warm) run's time:
+// the "Cache" column of Table I requires the data already resident.
+func (w Workstation) RankWarm(l *list.List) ([]int64, float64) {
+	// A shared cache across runs: warm it with one pass.
+	out, _ := w.Rank(l)
+	cache := NewCache(w.Cache)
+	n := l.Len()
+	nextBase := uint64(0)
+	outBase := uint64(n*wordBytes) + arrayPad
+	// Warm pass.
+	v := l.Head
+	for {
+		cache.Access(nextBase + uint64(v)*wordBytes)
+		cache.Access(outBase + uint64(v)*wordBytes)
+		if l.Next[v] == v {
+			break
+		}
+		v = l.Next[v]
+	}
+	// Timed pass.
+	ns := 0.0
+	v = l.Head
+	for {
+		ns += w.Lat.RankBase
+		if !cache.Access(nextBase + uint64(v)*wordBytes) {
+			ns += w.Lat.RankMiss
+		}
+		cache.Access(outBase + uint64(v)*wordBytes)
+		if l.Next[v] == v {
+			return out, ns
+		}
+		v = l.Next[v]
+	}
+}
+
+// ScanWarm is RankWarm's list-scan counterpart.
+func (w Workstation) ScanWarm(l *list.List) ([]int64, float64) {
+	out, _ := w.Scan(l)
+	cache := NewCache(w.Cache)
+	n := l.Len()
+	nextBase := uint64(0)
+	valueBase := uint64(n*wordBytes) + arrayPad
+	outBase := uint64(2*n*wordBytes) + 2*arrayPad
+	v := l.Head
+	for {
+		cache.Access(nextBase + uint64(v)*wordBytes)
+		cache.Access(valueBase + uint64(v)*wordBytes)
+		cache.Access(outBase + uint64(v)*wordBytes)
+		if l.Next[v] == v {
+			break
+		}
+		v = l.Next[v]
+	}
+	ns := 0.0
+	v = l.Head
+	for {
+		ns += w.Lat.ScanBase
+		if !cache.Access(nextBase + uint64(v)*wordBytes) {
+			ns += w.Lat.ScanMiss
+		}
+		if !cache.Access(valueBase + uint64(v)*wordBytes) {
+			ns += w.Lat.ScanMiss
+		}
+		cache.Access(outBase + uint64(v)*wordBytes)
+		if l.Next[v] == v {
+			return out, ns
+		}
+		v = l.Next[v]
+	}
+}

@@ -1,0 +1,199 @@
+package alpha
+
+import (
+	"testing"
+
+	"listrank/internal/list"
+	"listrank/internal/rng"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 1024, LineBytes: 32, Ways: 2})
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) || !c.Access(8) || !c.Access(31) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(32) {
+		t.Fatal("next line hit cold")
+	}
+	a, m := c.Stats()
+	if a != 5 || m != 2 {
+		t.Fatalf("stats = %d accesses %d misses", a, m)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2 sets × 2 ways × 32B lines = 128 bytes. Lines 0, 2, 4 map to
+	// set 0; the third installs by evicting the LRU (line 0).
+	c := NewCache(CacheConfig{SizeBytes: 128, LineBytes: 32, Ways: 2})
+	c.Access(0)      // line 0 -> set 0
+	c.Access(64)     // line 2 -> set 0
+	c.Access(128)    // line 4 -> set 0, evicts line 0
+	if c.Access(0) { // must miss now
+		t.Fatal("evicted line still present")
+	}
+	if !c.Access(128) {
+		t.Fatal("MRU line was evicted instead of LRU")
+	}
+}
+
+func TestCacheAssociativityMatters(t *testing.T) {
+	// Two lines conflicting in a direct-mapped cache coexist in a
+	// 2-way one.
+	dm := NewCache(CacheConfig{SizeBytes: 64, LineBytes: 32, Ways: 1})
+	dm.Access(0)
+	dm.Access(64) // conflicts with line 0 in the 2-set direct map? set count = 2; line0->set0, line2->set0
+	if dm.Access(0) {
+		t.Fatal("direct-mapped conflict not evicted")
+	}
+	twoWay := NewCache(CacheConfig{SizeBytes: 64, LineBytes: 32, Ways: 2})
+	twoWay.Access(0)
+	twoWay.Access(64)
+	if !twoWay.Access(0) {
+		t.Fatal("2-way cache evicted despite free way")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 1024, LineBytes: 32, Ways: 1})
+	c.Access(0)
+	c.Reset()
+	if c.Access(0) {
+		t.Fatal("hit after Reset")
+	}
+	if a, m := c.Stats(); a != 1 || m != 1 {
+		t.Fatal("stats not reset")
+	}
+}
+
+func TestRankCorrectness(t *testing.T) {
+	w := DEC3000600()
+	l := list.NewRandom(5000, rng.New(1))
+	got, _ := w.Rank(l)
+	want := l.Ranks()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank[%d] = %d want %d", i, got[i], want[i])
+		}
+	}
+	got, _ = w.RankWarm(l)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("warm rank[%d] = %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanCorrectness(t *testing.T) {
+	w := DEC3000600()
+	r := rng.New(2)
+	l := list.NewRandom(3000, r)
+	l.RandomValues(-50, 50, r)
+	want := l.ExclusiveScan()
+	got, _ := w.Scan(l)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %d want %d", i, got[i], want[i])
+		}
+	}
+	got, _ = w.ScanWarm(l)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("warm scan[%d] = %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTableIEndpoints verifies the calibration: a list that fits in
+// the 2MB cache runs at the "Cache" column rates when warm, and a list
+// far larger than the cache runs at the "Memory" column rates.
+func TestTableIEndpoints(t *testing.T) {
+	w := DEC3000600()
+	small := list.NewRandom(1<<13, rng.New(3)) // 8K vertices: 128KB working set
+	big := list.NewRandom(1<<21, rng.New(4))   // 2M vertices: ≫ 2MB
+
+	_, ns := w.RankWarm(small)
+	per := ns / float64(small.Len())
+	if per < 95 || per > 130 {
+		t.Errorf("warm small rank = %.0f ns/vertex, want ≈ 98", per)
+	}
+	_, ns = w.Rank(big)
+	per = ns / float64(big.Len())
+	if per < 620 || per > 700 {
+		t.Errorf("cold big rank = %.0f ns/vertex, want ≈ 690", per)
+	}
+	_, ns = w.ScanWarm(small)
+	per = ns / float64(small.Len())
+	if per < 195 || per > 260 {
+		t.Errorf("warm small scan = %.0f ns/vertex, want ≈ 200", per)
+	}
+	_, ns = w.Scan(big)
+	per = ns / float64(big.Len())
+	if per < 890 || per > 1000 {
+		t.Errorf("cold big scan = %.0f ns/vertex, want ≈ 990", per)
+	}
+}
+
+func TestOrderedListIsFriendly(t *testing.T) {
+	// Sequential layout amortizes misses across the 4 words of each
+	// line even when the list exceeds the cache: the cost must sit
+	// well below the random-memory endpoint.
+	w := DEC3000600()
+	big := list.NewOrdered(1 << 21)
+	_, ns := w.Rank(big)
+	per := ns / float64(big.Len())
+	if per > 350 {
+		t.Errorf("ordered big rank = %.0f ns/vertex, want well under 690", per)
+	}
+}
+
+func TestInvalidCachePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid geometry did not panic")
+		}
+	}()
+	NewCache(CacheConfig{SizeBytes: 0, LineBytes: 32, Ways: 1})
+}
+
+func TestWorkstationConnectedComponents(t *testing.T) {
+	// Two components plus an isolated vertex and a self-loop.
+	edges := [][2]int32{{0, 1}, {1, 2}, {3, 4}, {2, 2}}
+	w := DEC3000600()
+	labels, count, ns := w.ConnectedComponents(6, edges)
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+	want := []int64{0, 0, 0, 3, 3, 5}
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Errorf("labels[%d] = %d, want %d", v, labels[v], want[v])
+		}
+	}
+	if ns <= 0 {
+		t.Error("no time charged")
+	}
+}
+
+func TestWorkstationCCCacheSensitivity(t *testing.T) {
+	// A graph whose parent array fits in cache must run much faster
+	// per edge than one that does not — the Table I dichotomy carried
+	// over to union-find.
+	w := DEC3000600()
+	mk := func(n int) float64 {
+		edges := make([][2]int32, n)
+		r := rng.New(11)
+		for i := range edges {
+			edges[i] = [2]int32{int32(r.Intn(n)), int32(r.Intn(n))}
+		}
+		_, _, ns := w.ConnectedComponents(n, edges)
+		return ns / float64(n)
+	}
+	small := mk(1 << 12) // 32 KB of parents: cached
+	large := mk(1 << 22) // 32 MB of parents: not a chance
+	if large < 2*small {
+		t.Errorf("per-edge cost should collapse in cache: small %.1f ns, large %.1f ns", small, large)
+	}
+}

@@ -1,0 +1,562 @@
+// Package core implements the paper's list-ranking / list-scan
+// algorithm (§2.5, §3): randomized sublist contraction with small
+// constants.
+//
+// The algorithm breaks symmetry by randomly dividing the linked list of
+// length n into at most m+1 sublists that are processed independently
+// and in parallel:
+//
+//	Phase 1: traverse each sublist, accumulating the "sum" of its
+//	         values, and link the sublist sums into a reduced list of
+//	         at most m+1 nodes in original list order.
+//	Phase 2: list-scan the reduced list (serially when it is short,
+//	         with Wyllie's pointer jumping at moderate sizes, or
+//	         recursively with this same algorithm when it is large).
+//	         The scan values become the scan values of the sublist
+//	         heads.
+//	Phase 3: traverse each sublist again, expanding the head's scan
+//	         value across the sublist.
+//
+// The implementation mirrors the paper's engineering devices:
+//
+//   - Splitters are chosen at random vertices; a chosen vertex becomes
+//     the *tail* of the preceding sublist and its successor becomes the
+//     head of a new sublist (Fig. 4). Duplicate choices are eliminated
+//     by the paper's write/read competition: every virtual processor
+//     writes its index at its chosen position and the ones that read a
+//     different index back drop out.
+//   - Each sublist tail is terminated with a self-loop and its value is
+//     destructively set to the operator identity, so the traversal
+//     loops contain no conditional tests: walking past the end of a
+//     completed sublist just folds in the identity (§3, Phase 1).
+//   - Successor sublists are discovered by writing the virtual
+//     processor index at the chosen position and reading the index
+//     stored at the tail the traversal reached (Fig. 6). The processor
+//     that finds no index owns the tail sublist.
+//   - On multiple processors, the virtual processors (sublists) are
+//     assigned to workers once, each worker completes Phases 1 and 3
+//     on its share independently, and only a constant number of
+//     synchronizations occur (§5).
+//
+// Two Phase 1/3 traversal disciplines are provided. The natural MIMD
+// discipline walks each sublist to completion, which is optimal for
+// coarse goroutine parallelism. The lockstep discipline advances all
+// active sublists one link at a time and periodically load-balances by
+// packing completed sublists out of the working set on the schedule of
+// §4 — the exact structure of the paper's vectorized implementation,
+// kept here both to validate the schedule machinery and as an ablation
+// (see package vecalg for the cycle-accurate vector version).
+package core
+
+import (
+	"math/bits"
+
+	"listrank/internal/list"
+	"listrank/internal/par"
+	"listrank/internal/rng"
+	"listrank/internal/wyllie"
+)
+
+// Phase2Algorithm selects how the reduced list of sublist sums is
+// scanned in Phase 2.
+type Phase2Algorithm int
+
+const (
+	// Phase2Auto picks serial, Wyllie or recursive by reduced-list
+	// length, mirroring the paper's empirically determined switchover.
+	Phase2Auto Phase2Algorithm = iota
+	// Phase2Serial always scans the reduced list serially.
+	Phase2Serial
+	// Phase2Wyllie always uses pointer jumping.
+	Phase2Wyllie
+	// Phase2Recursive always recurses with this algorithm (bottoming
+	// out serially below the small-list threshold).
+	Phase2Recursive
+)
+
+// Stats reports what a run did; pass a pointer in Options to collect.
+type Stats struct {
+	// Sublists is the number of sublists after duplicate elimination
+	// (at most M+1).
+	Sublists int
+	// DuplicatesDropped counts splitter choices lost to the
+	// write/read competition.
+	DuplicatesDropped int
+	// Phase2Len is the reduced-list length handed to Phase 2.
+	Phase2Len int
+	// Phase2Used is the algorithm Phase 2 actually ran.
+	Phase2Used Phase2Algorithm
+	// Depth is the recursion depth (0 when Phase 2 did not recurse).
+	Depth int
+	// PackRounds is the number of load-balancing steps performed by
+	// the lockstep discipline (0 for the natural discipline).
+	PackRounds int
+	// LinksTraversed counts every link-following step of Phases 1 and
+	// 3, including the idle steps lockstep traversal spends on
+	// completed sublists. The natural discipline performs exactly
+	// 2n - (sublist count) ... ≈ 2n of them; the lockstep overshoot
+	// above that is the quantity the §4 schedule minimizes.
+	LinksTraversed int64
+	// Encoded reports whether the run used the rank-specialized
+	// single-gather encoded-word engine (§3).
+	Encoded bool
+	// ReserveDrawn and ReserveActivated count the §7 oversampling
+	// extension's reserve splitters: drawn at setup, and actually
+	// activated to subdivide surviving long sublists.
+	ReserveDrawn     int
+	ReserveActivated int
+}
+
+// Options configures the algorithm. The zero value selects automatic
+// parameters: m ≈ n/log2(n) splitters, one worker, auto Phase 2.
+type Options struct {
+	// Seed seeds splitter selection. Runs with equal seeds and equal
+	// options are deterministic.
+	Seed uint64
+	// M is the number of splitters (the list is cut into at most M+1
+	// sublists). M <= 0 selects DefaultM(n).
+	M int
+	// Procs is the number of worker goroutines for Phases 1 and 3.
+	// Values < 1 mean 1.
+	Procs int
+	// Phase2 selects the reduced-list scan algorithm.
+	Phase2 Phase2Algorithm
+	// SerialCutoff is the list length at or below which the whole
+	// problem is solved serially (the paper's Fig. 1 crossover region:
+	// parallel overhead dominates below about a thousand vertices).
+	// <= 0 selects 1024.
+	SerialCutoff int
+	// Discipline selects the Phase 1/3 traversal discipline.
+	Discipline Discipline
+	// Schedule is the lockstep pack schedule: Schedule[i] is the total
+	// number of links each active sublist has traversed before the
+	// i-th load balance. Empty selects a geometric default derived
+	// from the expected exponential sublist-length distribution (§4).
+	Schedule []int
+	// DisableEncoding turns off the rank-specialized single-gather
+	// encoded-word engine (§3, see rank.go), forcing Ranks through the
+	// generic scan over a ones array. It exists for the
+	// BenchmarkAblation_EncodedRank comparison.
+	DisableEncoding bool
+	// Oversample enables the §7 oversampling extension in the
+	// lockstep discipline: a reserve pool of Oversample·M extra
+	// splitters is drawn, and when the active set first shrinks below
+	// OversampleTrigger of its initial size, the still-relevant
+	// reserves subdivide the surviving long sublists (see
+	// oversample.go). 0 disables. Requires Procs == 1 and lockstep;
+	// otherwise it is silently ignored.
+	Oversample float64
+	// OversampleTrigger is the active-set fraction below which the
+	// reserve pool activates; <= 0 or >= 1 selects 0.25.
+	OversampleTrigger float64
+	// Stats, if non-nil, is filled with run statistics.
+	Stats *Stats
+}
+
+// Discipline selects how Phases 1 and 3 traverse the sublists.
+type Discipline int
+
+const (
+	// DisciplineAuto walks each sublist to completion on small
+	// inputs and switches to lockstep on large ones: interleaving the
+	// sublist walks keeps many independent cache misses in flight,
+	// which is the modern out-of-order-core analogue of the latency
+	// hiding the paper obtains from virtual processing (§1.1) and
+	// roughly halves the large-list wall clock in our measurements.
+	DisciplineAuto Discipline = iota
+	// DisciplineNatural always walks each sublist to completion.
+	DisciplineNatural
+	// DisciplineLockstep always advances all active sublists one link
+	// per step with periodic packing on the §4 schedule — the exact
+	// structure of the paper's vector implementation.
+	DisciplineLockstep
+)
+
+// lockstepAutoThreshold is the list length at which DisciplineAuto
+// switches to lockstep: roughly where the working set leaves the
+// last-level cache and miss overlap starts to matter.
+const lockstepAutoThreshold = 1 << 18
+
+func (o Options) lockstep(n int) bool {
+	switch o.Discipline {
+	case DisciplineNatural:
+		return false
+	case DisciplineLockstep:
+		return true
+	default:
+		return n >= lockstepAutoThreshold
+	}
+}
+
+// DefaultM returns the default splitter count for a list of n
+// vertices: n/⌈log2 n⌉, the paper's m ≈ n/log n guidance, which makes
+// the expected sublist length about log n and keeps the Phase 2
+// problem a log-factor smaller than the input.
+func DefaultM(n int) int {
+	if n < 4 {
+		return 0
+	}
+	return n / bits.Len(uint(n-1))
+}
+
+const defaultSerialCutoff = 1024
+
+func (o Options) withDefaults(n int) Options {
+	if o.SerialCutoff <= 0 {
+		o.SerialCutoff = defaultSerialCutoff
+	}
+	if o.M <= 0 {
+		o.M = DefaultM(n)
+	}
+	if o.M > n/2 {
+		o.M = n / 2
+	}
+	if o.Procs < 1 {
+		o.Procs = 1
+	}
+	return o
+}
+
+// Ranks returns, for each vertex of l, the number of vertices that
+// precede it in the list. Unless disabled (or the list is enormous),
+// it runs the rank-specialized single-gather engine over encoded
+// link+addend words (§3), which reads one memory stream per link and
+// never mutates l.
+func Ranks(l *list.List, opt Options) []int64 {
+	n := l.Len()
+	out := make([]int64, n)
+	o := opt.withDefaults(n)
+	if !o.DisableEncoding && n > o.SerialCutoff && n < encMaxLen && o.M >= 1 {
+		ranksEnc(out, l, o, 0)
+		return out
+	}
+	ones := make([]int64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	scanAdd(out, l, ones, opt, 0)
+	return out
+}
+
+// Scan returns the exclusive list scan of l under integer addition.
+func Scan(l *list.List, opt Options) []int64 {
+	out := make([]int64, l.Len())
+	scanAdd(out, l, l.Value, opt, 0)
+	return out
+}
+
+// ScanInto is Scan into caller-provided storage of length l.Len().
+func ScanInto(dst []int64, l *list.List, opt Options) {
+	scanAdd(dst, l, l.Value, opt, 0)
+}
+
+// ScanOp returns the exclusive list scan of l under an arbitrary
+// associative operator with the given identity, combining strictly
+// preceding values in list order (safe for non-commutative operators).
+func ScanOp(l *list.List, op func(a, b int64) int64, identity int64, opt Options) []int64 {
+	out := make([]int64, l.Len())
+	scanOp(out, l, l.Value, op, identity, opt, 0)
+	return out
+}
+
+// vp holds the per-virtual-processor (per-sublist) state. The paper
+// stores five words per virtual processor (Table II: 5p+c space); we
+// keep the same asymptotics with parallel arrays.
+type vps struct {
+	r     []int64 // splitter vertex: tail of the *previous* sublist (-1 for vp 0)
+	h     []int64 // sublist head
+	saved []int64 // original value at the splitter (identity-overwritten)
+	sum   []int64 // Phase 1 accumulation / Phase 2 reduced value
+	cur   []int64 // traversal cursor / tail reached
+	succ  []int32 // successor sublist index (self for the tail sublist)
+	pfx   []int64 // Phase 2 result: scan value for the sublist head
+}
+
+func newVPs(k int) *vps {
+	return &vps{
+		r:     make([]int64, k),
+		h:     make([]int64, k),
+		saved: make([]int64, k),
+		sum:   make([]int64, k),
+		cur:   make([]int64, k),
+		succ:  make([]int32, k),
+		pfx:   make([]int64, k),
+	}
+}
+
+// setup draws m splitters, runs the duplicate-elimination competition
+// (using out as the scratch cells the paper borrows from list
+// storage), cuts the list, and returns the virtual processor table.
+// On return the list is mutated: every splitter and the global tail
+// are self-looped(*) with identity values; restore() undoes this.
+// (*) splitters are self-looped; the global tail already is.
+func setup(out []int64, l *list.List, values []int64, identity int64, m int, seed uint64, st *Stats) (*vps, int64, int64) {
+	n := l.Len()
+	tail := l.Tail()
+	r := rng.New(seed)
+
+	// Draw splitter positions (any vertex but the global tail; a cut
+	// after the tail would create an empty sublist).
+	pos := make([]int64, 0, m)
+	for len(pos) < m {
+		p := int64(r.Intn(n))
+		if p != tail {
+			pos = append(pos, p)
+		}
+	}
+	// Competition: write our index, read it back; losers drop out.
+	// Markers are offset by 1 so cell content 0 still means "nobody".
+	for j, p := range pos {
+		out[p] = int64(j + 1)
+	}
+	kept := make([]int64, 0, m+1)
+	kept = append(kept, -1) // vp 0: the head sublist, no splitter
+	dropped := 0
+	for j, p := range pos {
+		if out[p] == int64(j+1) {
+			kept = append(kept, p)
+		} else {
+			dropped++
+		}
+	}
+	for _, p := range pos {
+		out[p] = 0 // clean the scratch for the succ competition later
+	}
+	out[tail] = 0 // dst may arrive dirty (ScanInto, recursion); the
+	// succ competition relies on 0 meaning "nobody cut here".
+
+	k := len(kept)
+	v := newVPs(k)
+	v.h[0] = l.Head
+	v.r[0] = -1
+	for j := 1; j < k; j++ {
+		p := kept[j]
+		v.r[j] = p
+		v.h[j] = l.Next[p]
+		v.saved[j] = values[p]
+		l.Next[p] = p // terminate the previous sublist with a self-loop
+	}
+	savedTail := values[tail]
+	// Identity-overwrite the values at every sublist tail so the
+	// branch-free traversal loops can run past the end harmlessly.
+	mutated := make([]int64, 0, k)
+	for j := 1; j < k; j++ {
+		mutated = append(mutated, v.r[j])
+	}
+	for _, p := range mutated {
+		values[p] = identity
+	}
+	values[tail] = identity
+	if st != nil {
+		st.Sublists = k
+		st.DuplicatesDropped = dropped
+	}
+	return v, tail, savedTail
+}
+
+// restore undoes the list mutations performed by setup.
+func restore(l *list.List, values []int64, v *vps, tail, savedTail int64) {
+	for j := 1; j < len(v.r); j++ {
+		p := v.r[j]
+		l.Next[p] = v.h[j]
+		values[p] = v.saved[j]
+	}
+	values[tail] = savedTail
+}
+
+// findSuccessors runs the Fig. 6 write/read competition that links the
+// sublist sums into the reduced list: vp j writes its (1-offset) index
+// at its splitter, then reads the index at the tail its Phase 1
+// traversal reached. Reading 0 means no processor cut there, i.e. the
+// vp owns the tail sublist. It uses out as scratch; Phase 3 overwrites
+// every touched cell with real results afterwards.
+func findSuccessors(out []int64, v *vps, p int) {
+	k := len(v.r)
+	par.ForChunks(k-1, p, func(_, lo, hi int) {
+		for j := lo + 1; j < hi+1; j++ {
+			out[v.r[j]] = int64(j)
+		}
+	})
+	par.ForChunks(k, p, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			s := out[v.cur[j]]
+			if s == 0 {
+				v.succ[j] = int32(j) // tail sublist
+			} else {
+				v.succ[j] = int32(s)
+			}
+		}
+	})
+	// Clean the scratch cells before Phase 3 reuses out for results.
+	// (Phase 3 writes every vertex, including these, so cleaning is
+	// not strictly required; we keep it to preserve the invariant
+	// that out carries no stale markers if Phase 3 is ever skipped.)
+}
+
+// scanAdd runs the full algorithm specialized to integer addition.
+// The identity is 0. It writes the exclusive scan into out.
+func scanAdd(out []int64, l *list.List, values []int64, opt Options, depth int) {
+	n := l.Len()
+	opt = opt.withDefaults(n)
+	if st := opt.Stats; st != nil {
+		st.Depth = depth
+	}
+	if n <= opt.SerialCutoff || opt.M < 1 {
+		serialScanAddInto(out, l, values)
+		return
+	}
+	if opt.oversampleEnabled(n) {
+		scanAddOversampled(out, l, values, opt, depth)
+		return
+	}
+	v, tail, savedTail := setup(out, l, values, 0, opt.M, opt.Seed, opt.Stats)
+	defer restore(l, values, v, tail, savedTail)
+	k := len(v.r)
+	p := par.Procs(opt.Procs, k)
+	lockstep := opt.lockstep(n)
+
+	// Phase 1: sublist sums.
+	if lockstep {
+		lockstepPhase1(l, values, v, p, opt)
+	} else {
+		par.ForChunks(k, p, func(_, lo, hi int) {
+			next := l.Next
+			for j := lo; j < hi; j++ {
+				cur := v.h[j]
+				var sum int64
+				for {
+					sum += values[cur]
+					nx := next[cur]
+					if nx == cur {
+						break
+					}
+					cur = nx
+				}
+				v.sum[j] = sum
+				v.cur[j] = cur
+			}
+		})
+		if opt.Stats != nil {
+			opt.Stats.LinksTraversed += int64(n) // every vertex visited once
+		}
+	}
+
+	findSuccessors(out, v, p)
+
+	// Fold each sublist's tail value (identity-overwritten in list
+	// storage, preserved in saved) into the reduced value.
+	par.ForChunks(k, p, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			s := v.succ[j]
+			if int(s) != j {
+				v.sum[j] += v.saved[s]
+			}
+		}
+	})
+
+	// Phase 2: scan the reduced list of sublist sums.
+	phase2Add(v, k, opt, depth)
+
+	// Phase 3: expand the head scan values across the sublists.
+	if lockstep {
+		lockstepPhase3(out, l, values, v, p, opt)
+	} else {
+		par.ForChunks(k, p, func(_, lo, hi int) {
+			next := l.Next
+			for j := lo; j < hi; j++ {
+				cur := v.h[j]
+				acc := v.pfx[j]
+				for {
+					out[cur] = acc
+					acc += values[cur]
+					nx := next[cur]
+					if nx == cur {
+						break
+					}
+					cur = nx
+				}
+			}
+		})
+	}
+}
+
+// phase2Add scans the reduced list (v.sum linked by v.succ, head vp 0)
+// into v.pfx using the configured Phase 2 algorithm.
+func phase2Add(v *vps, k int, opt Options, depth int) {
+	alg := opt.Phase2
+	if alg == Phase2Auto {
+		switch {
+		case k <= 2048:
+			alg = Phase2Serial
+		case k <= 1<<16:
+			alg = Phase2Wyllie
+		default:
+			alg = Phase2Recursive
+		}
+	}
+	if st := opt.Stats; st != nil {
+		st.Phase2Len = k
+		st.Phase2Used = alg
+	}
+	switch alg {
+	case Phase2Serial:
+		var acc int64
+		j := int32(0)
+		for {
+			v.pfx[j] = acc
+			acc += v.sum[j]
+			s := v.succ[j]
+			if s == j {
+				return
+			}
+			j = s
+		}
+	case Phase2Wyllie:
+		rl := reducedList(v, k)
+		copy(v.pfx, wyllie.ScanParallel(rl, opt.Procs))
+	default: // Phase2Recursive
+		rl := reducedList(v, k)
+		sub := opt
+		sub.M = 0 // re-derive for the reduced length
+		sub.Seed = opt.Seed + 0x9e3779b97f4a7c15
+		sub.Stats = nil
+		if opt.Stats != nil {
+			inner := Stats{}
+			sub.Stats = &inner
+			scanAdd(v.pfx, rl, rl.Value, sub, depth+1)
+			opt.Stats.Depth = inner.Depth
+			return
+		}
+		scanAdd(v.pfx, rl, rl.Value, sub, depth+1)
+	}
+}
+
+// reducedList materializes the reduced list as a list.List so Phase 2
+// can reuse the other algorithms unchanged.
+func reducedList(v *vps, k int) *list.List {
+	rl := &list.List{
+		Next:  make([]int64, k),
+		Value: make([]int64, k),
+		Head:  0,
+	}
+	for j := 0; j < k; j++ {
+		rl.Next[j] = int64(v.succ[j])
+		rl.Value[j] = v.sum[j]
+	}
+	return rl
+}
+
+func serialScanAddInto(out []int64, l *list.List, values []int64) {
+	v := l.Head
+	next := l.Next
+	var sum int64
+	for {
+		out[v] = sum
+		sum += values[v]
+		nx := next[v]
+		if nx == v {
+			return
+		}
+		v = nx
+	}
+}

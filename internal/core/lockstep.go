@@ -1,0 +1,189 @@
+package core
+
+import (
+	"listrank/internal/list"
+	"listrank/internal/par"
+)
+
+// This file implements the vector-faithful lockstep traversal
+// discipline for Phases 1 and 3 (paper §3): all active sublists advance
+// one link per step in unison, and every S_i total links the completed
+// sublists are packed out of the working set (load balancing, §4).
+//
+// On a vector machine lockstep traversal is forced — the inner loop is
+// a vectorized gather over the active sublists, and its efficiency
+// depends on keeping the vector long — and packing is what trades
+// wasted idle steps (chasing completed sublists' self-looped tails)
+// against the cost of compressing the working set. On goroutines the
+// natural discipline in core.go is faster, so lockstep exists here to
+// validate the schedule machinery against the same semantics the
+// simulator uses, and as an ablation target.
+//
+// Workers own disjoint chunks of the virtual processors and pack only
+// locally, never across workers, exactly as §5 prescribes ("we assign
+// virtual processors to physical processors once at the beginning and
+// only load balance locally within each physical processor").
+
+// deltas converts a cumulative schedule S_1 < S_2 < … into per-round
+// step counts, with a final repeating delta for schedule exhaustion.
+func deltas(schedule []int, n, m int) (steps []int, repeat int) {
+	if len(schedule) > 0 {
+		prev := 0
+		for _, s := range schedule {
+			if d := s - prev; d > 0 {
+				steps = append(steps, d)
+				prev = s
+			}
+		}
+		if len(steps) > 0 {
+			return steps, steps[len(steps)-1]
+		}
+	}
+	// Default: pack every time the expected active set halves. The
+	// sublist lengths are approximately exponential with mean n/m
+	// (§4.1), so the active count halves every (n/m)·ln2 links.
+	d := int(float64(n)/float64(m)*0.6931 + 0.5)
+	if d < 1 {
+		d = 1
+	}
+	return nil, d
+}
+
+// lockstepPhase1 computes the sublist sums with lockstep traversal and
+// periodic local packing.
+func lockstepPhase1(l *list.List, values []int64, v *vps, p int, opt Options) {
+	k := len(v.r)
+	steps, repeat := deltas(opt.Schedule, l.Len(), k)
+	linksByWorker := make([]int64, p)
+	roundsByWorker := make([]int, p)
+	next := l.Next
+	par.ForChunks(k, p, func(w, lo, hi int) {
+		active := make([]int32, 0, hi-lo)
+		for j := lo; j < hi; j++ {
+			v.sum[j] = 0
+			v.cur[j] = v.h[j]
+			active = append(active, int32(j))
+		}
+		round := 0
+		var links int64
+		for len(active) > 0 {
+			d := repeat
+			if round < len(steps) {
+				d = steps[round]
+			}
+			// Traverse d links on every active sublist: the paper's
+			// branch-free InitialScan inner loop.
+			for s := 0; s < d; s++ {
+				for _, j := range active {
+					cur := v.cur[j]
+					v.sum[j] += values[cur]
+					v.cur[j] = next[cur]
+				}
+				links += int64(len(active))
+			}
+			// Correction: the loop above folds values[cur] *before*
+			// advancing, so a sublist whose cursor parks on its
+			// self-looped tail keeps folding the tail's
+			// identity-overwritten value — harmless, which is the
+			// whole point of the destructive initialization.
+			// Load balance: pack completed sublists out (InitialPack).
+			live := active[:0]
+			for _, j := range active {
+				if next[v.cur[j]] != v.cur[j] {
+					live = append(live, j)
+				} else if values[v.cur[j]] != 0 {
+					// The cursor can only park on an identity-valued
+					// sublist tail; anything else is a corrupted list.
+					panic("core: lockstep cursor parked on non-tail vertex")
+				}
+			}
+			active = live
+			round++
+		}
+		linksByWorker[w] = links
+		roundsByWorker[w] = round
+	})
+	// One extra fold per finished sublist happened when the final step
+	// landed exactly on the tail; that fold added the identity and
+	// needs no correction. But cursors that parked early must still
+	// fold the tail's value — which is the identity too. Sums are
+	// final as-is.
+	if st := opt.Stats; st != nil {
+		for _, lw := range linksByWorker {
+			st.LinksTraversed += lw
+		}
+		maxRounds := 0
+		for _, rw := range roundsByWorker {
+			if rw > maxRounds {
+				maxRounds = rw
+			}
+		}
+		st.PackRounds += maxRounds
+	}
+}
+
+// lockstepPhase3 expands the head scan values across the sublists with
+// the same discipline (FinalScan / FinalPack).
+func lockstepPhase3(out []int64, l *list.List, values []int64, v *vps, p int, opt Options) {
+	k := len(v.r)
+	steps, repeat := deltas(opt.Schedule, l.Len(), k)
+	linksByWorker := make([]int64, p)
+	roundsByWorker := make([]int, p)
+	next := l.Next
+	par.ForChunks(k, p, func(w, lo, hi int) {
+		active := make([]int32, 0, hi-lo)
+		acc := make([]int64, hi-lo)
+		base := lo
+		for j := lo; j < hi; j++ {
+			v.cur[j] = v.h[j]
+			acc[j-base] = v.pfx[j]
+			active = append(active, int32(j))
+		}
+		round := 0
+		var links int64
+		for len(active) > 0 {
+			d := repeat
+			if round < len(steps) {
+				d = steps[round]
+			}
+			for s := 0; s < d; s++ {
+				for _, j := range active {
+					cur := v.cur[j]
+					a := acc[int(j)-base]
+					out[cur] = a
+					acc[int(j)-base] = a + values[cur]
+					v.cur[j] = next[cur]
+				}
+				links += int64(len(active))
+			}
+			live := active[:0]
+			for _, j := range active {
+				cur := v.cur[j]
+				if next[cur] != cur {
+					live = append(live, j)
+				} else {
+					// Flush the tail's result before retiring: the
+					// cursor may have just arrived and not yet
+					// written out[tail-of-sublist].
+					out[cur] = acc[int(j)-base]
+				}
+			}
+			active = live
+			round++
+		}
+		linksByWorker[w] = links
+		roundsByWorker[w] = round
+	})
+	if st := opt.Stats; st != nil {
+		for _, lw := range linksByWorker {
+			st.LinksTraversed += lw
+		}
+		maxRounds := 0
+		for _, rw := range roundsByWorker {
+			if rw > maxRounds {
+				maxRounds = rw
+			}
+		}
+		st.PackRounds += maxRounds
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"listrank/internal/list"
+	"listrank/internal/par"
+)
+
+// Generic-operator twins of the lockstep traversal in lockstep.go,
+// used by scanOp when the discipline resolves to lockstep: the same
+// interleaved walk (many independent miss streams in flight) with the
+// accumulation parameterized by the operator. The destructive
+// initialization in setup stores the operator's identity at every
+// sublist tail, so the branch-free "keep folding past the end" trick
+// carries over to any monoid.
+
+func lockstepPhase1Op(l *list.List, values []int64, v *vps, p int, op func(a, b int64) int64, identity int64, opt Options) {
+	k := len(v.r)
+	steps, repeat := deltas(opt.Schedule, l.Len(), k)
+	linksByWorker := make([]int64, p)
+	roundsByWorker := make([]int, p)
+	next := l.Next
+	par.ForChunks(k, p, func(w, lo, hi int) {
+		active := make([]int32, 0, hi-lo)
+		for j := lo; j < hi; j++ {
+			v.sum[j] = identity
+			v.cur[j] = v.h[j]
+			active = append(active, int32(j))
+		}
+		round := 0
+		var links int64
+		for len(active) > 0 {
+			d := repeat
+			if round < len(steps) {
+				d = steps[round]
+			}
+			for s := 0; s < d; s++ {
+				for _, j := range active {
+					cur := v.cur[j]
+					v.sum[j] = op(v.sum[j], values[cur])
+					v.cur[j] = next[cur]
+				}
+				links += int64(len(active))
+			}
+			live := active[:0]
+			for _, j := range active {
+				if next[v.cur[j]] != v.cur[j] {
+					live = append(live, j)
+				}
+			}
+			active = live
+			round++
+		}
+		linksByWorker[w] = links
+		roundsByWorker[w] = round
+	})
+	recordLockstepStats(opt.Stats, linksByWorker, roundsByWorker)
+}
+
+func lockstepPhase3Op(out []int64, l *list.List, values []int64, v *vps, p int, op func(a, b int64) int64, opt Options) {
+	k := len(v.r)
+	steps, repeat := deltas(opt.Schedule, l.Len(), k)
+	linksByWorker := make([]int64, p)
+	roundsByWorker := make([]int, p)
+	next := l.Next
+	par.ForChunks(k, p, func(w, lo, hi int) {
+		active := make([]int32, 0, hi-lo)
+		acc := make([]int64, hi-lo)
+		base := lo
+		for j := lo; j < hi; j++ {
+			v.cur[j] = v.h[j]
+			acc[j-base] = v.pfx[j]
+			active = append(active, int32(j))
+		}
+		round := 0
+		var links int64
+		for len(active) > 0 {
+			d := repeat
+			if round < len(steps) {
+				d = steps[round]
+			}
+			for s := 0; s < d; s++ {
+				for _, j := range active {
+					cur := v.cur[j]
+					a := acc[int(j)-base]
+					out[cur] = a
+					acc[int(j)-base] = op(a, values[cur])
+					v.cur[j] = next[cur]
+				}
+				links += int64(len(active))
+			}
+			live := active[:0]
+			for _, j := range active {
+				cur := v.cur[j]
+				if next[cur] != cur {
+					live = append(live, j)
+				} else {
+					out[cur] = acc[int(j)-base] // flush before retiring
+				}
+			}
+			active = live
+			round++
+		}
+		linksByWorker[w] = links
+		roundsByWorker[w] = round
+	})
+	recordLockstepStats(opt.Stats, linksByWorker, roundsByWorker)
+}
+
+// recordLockstepStats folds per-worker counters into Stats.
+func recordLockstepStats(st *Stats, links []int64, rounds []int) {
+	if st == nil {
+		return
+	}
+	for _, lw := range links {
+		st.LinksTraversed += lw
+	}
+	maxRounds := 0
+	for _, rw := range rounds {
+		if rw > maxRounds {
+			maxRounds = rw
+		}
+	}
+	st.PackRounds += maxRounds
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"listrank/internal/list"
+	"listrank/internal/par"
+	"listrank/internal/wyllie"
+)
+
+// This file is the generic-operator twin of the addition-specialized
+// engine in core.go: the same three phases, parameterized by an
+// arbitrary associative operator and its identity. List ranking and
+// integer list scan go through the specialized engine (as the paper
+// specializes its list-rank loop down to a single gather, §3); the
+// generic engine supports any monoid — min/max, modular products,
+// function composition — at the cost of an indirect call per link.
+// Only the natural traversal discipline is provided here; lockstep is
+// a vector-machine concern and its generic form lives in the simulator
+// track (package vecalg).
+
+func scanOp(out []int64, l *list.List, values []int64, op func(a, b int64) int64, identity int64, opt Options, depth int) {
+	n := l.Len()
+	opt = opt.withDefaults(n)
+	if st := opt.Stats; st != nil {
+		st.Depth = depth
+	}
+	if n <= opt.SerialCutoff || opt.M < 1 {
+		serialScanOpInto(out, l, values, op, identity)
+		return
+	}
+	v, tail, savedTail := setup(out, l, values, identity, opt.M, opt.Seed, opt.Stats)
+	defer restore(l, values, v, tail, savedTail)
+	k := len(v.r)
+	p := par.Procs(opt.Procs, k)
+	lockstep := opt.lockstep(n)
+
+	// Phase 1: sublist "sums" under op.
+	if lockstep {
+		lockstepPhase1Op(l, values, v, p, op, identity, opt)
+	} else {
+		par.ForChunks(k, p, func(_, lo, hi int) {
+			next := l.Next
+			for j := lo; j < hi; j++ {
+				cur := v.h[j]
+				sum := identity
+				for {
+					sum = op(sum, values[cur])
+					nx := next[cur]
+					if nx == cur {
+						break
+					}
+					cur = nx
+				}
+				v.sum[j] = sum
+				v.cur[j] = cur
+			}
+		})
+		if opt.Stats != nil {
+			opt.Stats.LinksTraversed += int64(n)
+		}
+	}
+
+	findSuccessors(out, v, p)
+
+	par.ForChunks(k, p, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			s := v.succ[j]
+			if int(s) != j {
+				v.sum[j] = op(v.sum[j], v.saved[s])
+			}
+		}
+	})
+
+	// Phase 2.
+	alg := opt.Phase2
+	if alg == Phase2Auto {
+		switch {
+		case k <= 2048:
+			alg = Phase2Serial
+		case k <= 1<<16:
+			alg = Phase2Wyllie
+		default:
+			alg = Phase2Recursive
+		}
+	}
+	if st := opt.Stats; st != nil {
+		st.Phase2Len = k
+		st.Phase2Used = alg
+	}
+	switch alg {
+	case Phase2Serial:
+		acc := identity
+		j := int32(0)
+		for {
+			v.pfx[j] = acc
+			acc = op(acc, v.sum[j])
+			s := v.succ[j]
+			if s == j {
+				break
+			}
+			j = s
+		}
+	case Phase2Wyllie:
+		rl := reducedList(v, k)
+		copy(v.pfx, wyllie.ScanOpParallel(rl, op, identity, opt.Procs))
+	default:
+		rl := reducedList(v, k)
+		sub := opt
+		sub.M = 0
+		sub.Seed = opt.Seed + 0x9e3779b97f4a7c15
+		sub.Stats = nil
+		if opt.Stats != nil {
+			inner := Stats{}
+			sub.Stats = &inner
+			scanOp(v.pfx, rl, rl.Value, op, identity, sub, depth+1)
+			opt.Stats.Depth = inner.Depth
+			break
+		}
+		scanOp(v.pfx, rl, rl.Value, op, identity, sub, depth+1)
+	}
+
+	// Phase 3.
+	if lockstep {
+		lockstepPhase3Op(out, l, values, v, p, op, opt)
+		return
+	}
+	par.ForChunks(k, p, func(_, lo, hi int) {
+		next := l.Next
+		for j := lo; j < hi; j++ {
+			cur := v.h[j]
+			acc := v.pfx[j]
+			for {
+				out[cur] = acc
+				acc = op(acc, values[cur])
+				nx := next[cur]
+				if nx == cur {
+					break
+				}
+				cur = nx
+			}
+		}
+	})
+	if opt.Stats != nil {
+		opt.Stats.LinksTraversed += int64(n)
+	}
+}
+
+func serialScanOpInto(out []int64, l *list.List, values []int64, op func(a, b int64) int64, identity int64) {
+	v := l.Head
+	next := l.Next
+	acc := identity
+	for {
+		out[v] = acc
+		acc = op(acc, values[v])
+		nx := next[v]
+		if nx == v {
+			return
+		}
+		v = nx
+	}
+}

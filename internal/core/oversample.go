@@ -1,0 +1,170 @@
+package core
+
+import (
+	"listrank/internal/list"
+	"listrank/internal/rng"
+)
+
+// This file implements the oversampling extension the paper's
+// conclusion attributes to John Reif (§7): "use oversampling to
+// further subdivide the remaining long sublists when the vector
+// lengths become short. The cost, however, of maintaining which
+// subdivisions remain relevant would slow down the two major list-scan
+// loops of the algorithm and likely slow down the overall
+// performance." The paper left it unimplemented; we implement it so
+// the prediction is measurable (BenchmarkAblation_Oversampling).
+//
+// Mechanism. Setup draws f·m *reserve* splitters beyond the m primary
+// ones, but does not cut at them. The Phase 1 lockstep loop pays the
+// predicted bookkeeping cost: one extra store per link marks every
+// visited vertex, so that when the active set first shrinks below a
+// trigger fraction of its initial size, the still-unvisited reserve
+// positions are exactly the subdivisions that remain relevant — each
+// lies in the untraversed portion of some long surviving sublist.
+// Activating a reserve position r is the ordinary splitter ritual: a
+// new virtual processor with splitter r and head next(r) joins the
+// active set, values[r] is identity-overwritten (saved first), and
+// next(r) becomes a self-loop. The existing reduced-list competition,
+// tail-value fold, Phase 2, Phase 3 and restoration machinery then
+// handle the grown virtual-processor table without modification.
+//
+// Phase 3 cannot activate further subdivisions (a new sublist's head
+// prefix is unknown until its predecessor reaches it), so it simply
+// inherits Phase 1's cuts — also as the paper sketches: the benefit is
+// vector length, the cost is the marking store in the main loops.
+//
+// The implementation restricts oversampling to single-worker runs.
+// Reserve positions cannot be attributed to the worker whose chunk of
+// sublists contains them (that attribution is a rank query), so
+// cross-worker activation would race with traversal; the paper's
+// setting — one vector processor, or per-processor local activation
+// after its §5 static partition — has the same restriction for the
+// same reason.
+
+// scanAddOversampled is scanAdd's lockstep variant with reserve
+// splitters. Callers guarantee n > SerialCutoff, M >= 1 and Procs == 1
+// (enforced in scanAdd's dispatch).
+func scanAddOversampled(out []int64, l *list.List, values []int64, opt Options, depth int) {
+	n := l.Len()
+	if st := opt.Stats; st != nil {
+		st.Depth = depth
+	}
+	v, tail, savedTail := setup(out, l, values, 0, opt.M, opt.Seed, opt.Stats)
+	defer func() { restore(l, values, v, tail, savedTail) }()
+
+	// Draw the reserve pool. Duplicates with primaries or the tail are
+	// culled lazily at activation time (next(r) == r then).
+	nReserve := int(opt.Oversample * float64(opt.M))
+	r := rng.New(opt.Seed + 0xd1b54a32d192ed03)
+	reserve := make([]int64, 0, nReserve)
+	for len(reserve) < nReserve {
+		p := int64(r.Intn(n))
+		if p != tail {
+			reserve = append(reserve, p)
+		}
+	}
+	if st := opt.Stats; st != nil {
+		st.ReserveDrawn = len(reserve)
+	}
+
+	trigger := opt.OversampleTrigger
+	if trigger <= 0 || trigger >= 1 {
+		trigger = defaultOversampleTrigger
+	}
+
+	oversampledPhase1(l, values, v, reserve, trigger, opt)
+
+	k := len(v.r) // grown by activations
+	findSuccessors(out, v, 1)
+	for j := 0; j < k; j++ {
+		s := v.succ[j]
+		if int(s) != j {
+			v.sum[j] += v.saved[s]
+		}
+	}
+
+	phase2Add(v, k, opt, depth)
+
+	lockstepPhase3(out, l, values, v, 1, opt)
+}
+
+const defaultOversampleTrigger = 0.25
+
+// oversampledPhase1 is lockstepPhase1 plus visited marking and the
+// one-shot activation tranche. Single worker only.
+func oversampledPhase1(l *list.List, values []int64, v *vps, reserve []int64, trigger float64, opt Options) {
+	k0 := len(v.r)
+	steps, repeat := deltas(opt.Schedule, l.Len(), k0)
+	next := l.Next
+	visited := make([]bool, l.Len())
+	threshold := int(trigger * float64(k0))
+
+	active := make([]int32, 0, k0)
+	for j := 0; j < k0; j++ {
+		v.sum[j] = 0
+		v.cur[j] = v.h[j]
+		active = append(active, int32(j))
+	}
+	round := 0
+	var links int64
+	activated := 0
+	for len(active) > 0 {
+		d := repeat
+		if round < len(steps) {
+			d = steps[round]
+		}
+		for s := 0; s < d; s++ {
+			// The paper's InitialScan loop plus the predicted
+			// bookkeeping cost: one store per link.
+			for _, j := range active {
+				cur := v.cur[j]
+				v.sum[j] += values[cur]
+				visited[cur] = true
+				v.cur[j] = next[cur]
+			}
+			links += int64(len(active))
+		}
+		live := active[:0]
+		for _, j := range active {
+			if next[v.cur[j]] != v.cur[j] {
+				live = append(live, j)
+			}
+		}
+		active = live
+		round++
+
+		if len(reserve) > 0 && len(active) < threshold && len(active) > 0 {
+			// Activate every still-relevant reserve subdivision.
+			for _, rp := range reserve {
+				if visited[rp] || next[rp] == rp {
+					continue // already traversed, or already a cut
+				}
+				j := int32(len(v.r))
+				v.r = append(v.r, rp)
+				v.h = append(v.h, next[rp])
+				v.saved = append(v.saved, values[rp])
+				v.sum = append(v.sum, 0)
+				v.cur = append(v.cur, next[rp])
+				v.succ = append(v.succ, 0)
+				v.pfx = append(v.pfx, 0)
+				next[rp] = rp
+				values[rp] = 0
+				active = append(active, j)
+				activated++
+			}
+			reserve = nil
+		}
+	}
+	if st := opt.Stats; st != nil {
+		st.LinksTraversed += links
+		st.PackRounds += round
+		st.ReserveActivated = activated
+		st.Sublists = len(v.r)
+	}
+}
+
+// oversampleEnabled reports whether this run should take the
+// oversampled path.
+func (o Options) oversampleEnabled(n int) bool {
+	return o.Oversample > 0 && o.Procs == 1 && o.lockstep(n)
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"listrank/internal/list"
+	"listrank/internal/rng"
+	"listrank/internal/serial"
+)
+
+func oversampleOpts() Options {
+	return Options{
+		Procs:      1,
+		Discipline: DisciplineLockstep,
+		Oversample: 0.5,
+	}
+}
+
+func TestOversampledScanMatchesSerial(t *testing.T) {
+	shapes := map[string]*list.List{
+		"random-2k":   list.NewRandom(2048, rng.New(1)),
+		"random-10k":  list.NewRandom(10000, rng.New(2)),
+		"ordered-4k":  list.NewOrdered(4096),
+		"reversed-4k": list.NewReversed(4096),
+		"blocked-8k":  list.NewBlocked(8192, 31, rng.New(3)),
+	}
+	for name, l := range shapes {
+		l.RandomValues(-20, 20, rng.New(4))
+		want := serial.Scan(l)
+		var st Stats
+		opt := oversampleOpts()
+		opt.Stats = &st
+		got := Scan(l, opt)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: scan[%d] = %d, want %d", name, v, got[v], want[v])
+			}
+		}
+		if st.ReserveDrawn == 0 {
+			t.Errorf("%s: no reserve splitters drawn", name)
+		}
+	}
+}
+
+func TestOversampledActivationHappens(t *testing.T) {
+	// Large enough that the active set shrinks gradually and crosses
+	// the trigger with reserves still relevant.
+	l := list.NewRandom(1<<16, rng.New(5))
+	var st Stats
+	opt := oversampleOpts()
+	opt.Stats = &st
+	Scan(l, opt)
+	if st.ReserveActivated == 0 {
+		t.Fatalf("no reserves activated (drawn %d, sublists %d)", st.ReserveDrawn, st.Sublists)
+	}
+	if st.ReserveActivated > st.ReserveDrawn {
+		t.Fatalf("activated %d > drawn %d", st.ReserveActivated, st.ReserveDrawn)
+	}
+	// The grown sublist count includes the activations.
+	if st.Sublists <= st.ReserveActivated {
+		t.Fatalf("Sublists = %d not grown beyond activations %d", st.Sublists, st.ReserveActivated)
+	}
+}
+
+func TestOversampledTradeoff(t *testing.T) {
+	// The measured shape of the §7 extension, which matches the
+	// paper's prediction: subdividing the surviving long sublists
+	// collapses the short-vector tail (far fewer lockstep rounds, i.e.
+	// longer vectors for the same work), while the bookkeeping and the
+	// extra cut-and-restart traffic cost a few percent more link
+	// traversals. On a machine whose per-round startup dominates short
+	// vectors the rounds matter; on one that only counts memory
+	// operations the links do — which is why the paper predicted it
+	// "would likely slow down the overall performance" of its
+	// memory-bound loops.
+	l := list.NewRandom(1<<17, rng.New(6))
+	base, over := Stats{}, Stats{}
+
+	opt := Options{Procs: 1, Discipline: DisciplineLockstep, Stats: &base}
+	Scan(l, opt)
+
+	opt = oversampleOpts()
+	opt.Oversample = 1.0
+	opt.Stats = &over
+	Scan(l, opt)
+
+	if over.ReserveActivated == 0 {
+		t.Fatalf("no activation at this size/seed (drawn %d)", over.ReserveDrawn)
+	}
+	if over.PackRounds >= base.PackRounds {
+		t.Errorf("oversampling did not shorten the round tail: %d vs %d rounds",
+			over.PackRounds, base.PackRounds)
+	}
+	if over.LinksTraversed > base.LinksTraversed*11/10 {
+		t.Errorf("oversampling link overhead above 10%%: %d vs %d links",
+			over.LinksTraversed, base.LinksTraversed)
+	}
+}
+
+func TestOversampledRestoresList(t *testing.T) {
+	l := list.NewRandom(1<<14, rng.New(7))
+	l.RandomValues(1, 100, rng.New(8))
+	before := l.Clone()
+	opt := oversampleOpts()
+	opt.Oversample = 2.0
+	Scan(l, opt)
+	for v := range l.Next {
+		if l.Next[v] != before.Next[v] || l.Value[v] != before.Value[v] {
+			t.Fatalf("vertex %d not restored: next %d->%d value %d->%d",
+				v, before.Next[v], l.Next[v], before.Value[v], l.Value[v])
+		}
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOversampleIgnoredOffLockstepOrMultiProc(t *testing.T) {
+	l := list.NewRandom(1<<14, rng.New(9))
+	want := serial.Scan(l)
+
+	// Natural discipline: option silently ignored, result correct.
+	var st Stats
+	got := Scan(l, Options{Procs: 1, Discipline: DisciplineNatural, Oversample: 0.5, Stats: &st})
+	if st.ReserveDrawn != 0 {
+		t.Errorf("reserves drawn under the natural discipline")
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("natural: scan[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+
+	// Multi-worker: ignored too.
+	st = Stats{}
+	got = Scan(l, Options{Procs: 4, Discipline: DisciplineLockstep, Oversample: 0.5, Stats: &st})
+	if st.ReserveDrawn != 0 {
+		t.Errorf("reserves drawn with 4 workers")
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("multiproc: scan[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestOversampledTriggerBounds(t *testing.T) {
+	l := list.NewRandom(1<<14, rng.New(10))
+	want := serial.Scan(l)
+	for _, trig := range []float64{-1, 0, 0.1, 0.9, 1, 7} {
+		opt := oversampleOpts()
+		opt.OversampleTrigger = trig
+		got := Scan(l, opt)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("trigger %v: scan[%d] = %d, want %d", trig, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// Property: oversampled scan equals serial for random sizes, seeds,
+// reserve fractions and values.
+func TestQuickOversampledEqualSerial(t *testing.T) {
+	f := func(seed uint64, sz uint16, frac uint8) bool {
+		n := int(sz)%12000 + defaultSerialCutoff + 1
+		l := list.NewRandom(n, rng.New(seed))
+		l.RandomValues(-100, 100, rng.New(seed+1))
+		want := serial.Scan(l)
+		opt := oversampleOpts()
+		opt.Seed = seed
+		opt.Oversample = float64(frac%40)/10 + 0.1
+		got := Scan(l, opt)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return l.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

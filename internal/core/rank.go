@@ -1,0 +1,296 @@
+package core
+
+import (
+	"listrank/internal/list"
+	"listrank/internal/par"
+	"listrank/internal/rng"
+)
+
+// This file is the rank-specialized engine: the paper's single-gather
+// optimization (§3). "For list ranking, we are able to improve the
+// performance of the loop further by reducing the number of gather
+// operations to one, which is important because the Cray C90 can
+// perform only one gather or scatter operation at a time. One gather
+// is sufficient because we encode the link and value data for a vertex
+// into a w-bit integer value, which we can do as long as the list
+// length (and therefore the maximum rank) is no more than 2^(w/2)."
+//
+// We encode exactly that way: enc[v] = next[v]<<32 | addend, where the
+// addend is 1 everywhere except at sublist tails, whose self-loop +
+// zero addend make the traversal loops branch-free (idle lockstep
+// steps re-add zero, precisely the paper's destructive-initialization
+// device — except that here the destruction happens in the derived
+// encoded array, so the rank engine never mutates the caller's list at
+// all). On the goroutine track the win is one memory stream per link
+// instead of two; BenchmarkAblation_EncodedRank measures it.
+//
+// The encoding requires links to fit in 32 bits; for n >= 2^31 the
+// engine falls back to the generic scan over a ones array (the paper's
+// constraint n <= 2^(w/2) in the same spirit).
+
+// encMaxLen is the largest list the encoded representation supports.
+const encMaxLen = 1 << 31
+
+// ranksEnc runs the full rank algorithm on the encoded representation,
+// writing ranks into out. Callers guarantee n > opt.SerialCutoff and
+// n < encMaxLen.
+func ranksEnc(out []int64, l *list.List, opt Options, depth int) {
+	n := l.Len()
+	if st := opt.Stats; st != nil {
+		st.Depth = depth
+		st.Encoded = true
+	}
+	v, enc := setupRank(out, l, opt.M, opt.Seed, opt.Stats)
+	k := len(v.r)
+	p := par.Procs(opt.Procs, k)
+	lockstep := opt.lockstep(n)
+
+	// Phase 1: sublist lengths via the single-gather loop. The addend
+	// stream is folded from the same word as the link, so each step
+	// touches one cache line of enc and nothing else.
+	if lockstep {
+		lockstepRankPhase1(enc, v, p, opt)
+	} else {
+		par.ForChunks(k, p, func(_, lo, hi int) {
+			for j := lo; j < hi; j++ {
+				cur := v.h[j]
+				var sum int64
+				for {
+					e := enc[cur]
+					sum += int64(e & 0xffffffff)
+					nx := int64(e >> 32)
+					if nx == cur {
+						break
+					}
+					cur = nx
+				}
+				// The tail's addend is zero, so sum is the number of
+				// non-tail vertices; the tail itself completes the
+				// sublist length.
+				v.sum[j] = sum + 1
+				v.cur[j] = cur
+			}
+		})
+		if opt.Stats != nil {
+			opt.Stats.LinksTraversed += int64(n)
+		}
+	}
+
+	findSuccessors(out, v, p)
+
+	// No tail-value fold: unlike the generic engine, the sublist
+	// length already counts its tail vertex.
+
+	// Phase 2: prefix the sublist lengths; reuses the generic solver.
+	phase2Add(v, k, opt, depth)
+
+	// Phase 3: assign consecutive ranks along each sublist.
+	if lockstep {
+		lockstepRankPhase3(out, enc, v, p, opt)
+	} else {
+		par.ForChunks(k, p, func(_, lo, hi int) {
+			for j := lo; j < hi; j++ {
+				cur := v.h[j]
+				acc := v.pfx[j]
+				for {
+					out[cur] = acc
+					e := enc[cur]
+					acc += int64(e & 0xffffffff)
+					nx := int64(e >> 32)
+					if nx == cur {
+						break
+					}
+					cur = nx
+				}
+			}
+		})
+		if opt.Stats != nil {
+			opt.Stats.LinksTraversed += int64(n)
+		}
+	}
+}
+
+// setupRank draws m splitters, runs the duplicate-elimination
+// competition in out, and builds the virtual-processor table and the
+// encoded word array. The input list is read, never written: the cuts
+// exist only in enc (self-loop + zero addend at every sublist tail).
+func setupRank(out []int64, l *list.List, m int, seed uint64, st *Stats) (*vps, []uint64) {
+	n := l.Len()
+	tail := l.Tail()
+	r := rng.New(seed)
+
+	pos := make([]int64, 0, m)
+	for len(pos) < m {
+		p := int64(r.Intn(n))
+		if p != tail {
+			pos = append(pos, p)
+		}
+	}
+	for j, p := range pos {
+		out[p] = int64(j + 1)
+	}
+	kept := make([]int64, 0, m+1)
+	kept = append(kept, -1)
+	dropped := 0
+	for j, p := range pos {
+		if out[p] == int64(j+1) {
+			kept = append(kept, p)
+		} else {
+			dropped++
+		}
+	}
+	for _, p := range pos {
+		out[p] = 0
+	}
+	out[tail] = 0
+
+	k := len(kept)
+	v := newVPs(k)
+	v.h[0] = l.Head
+	v.r[0] = -1
+	for j := 1; j < k; j++ {
+		p := kept[j]
+		v.r[j] = p
+		v.h[j] = l.Next[p]
+	}
+
+	enc := make([]uint64, n)
+	for i, nx := range l.Next {
+		enc[i] = uint64(nx)<<32 | 1
+	}
+	enc[tail] = uint64(tail) << 32
+	for j := 1; j < k; j++ {
+		p := v.r[j]
+		enc[p] = uint64(p) << 32
+	}
+
+	if st != nil {
+		st.Sublists = k
+		st.DuplicatesDropped = dropped
+	}
+	return v, enc
+}
+
+// lockstepRankPhase1 is the lockstep variant of the single-gather
+// length loop: all active sublists advance one encoded word per step,
+// idle cursors parked on a tail re-add the zero addend, and completed
+// sublists are packed out on the schedule.
+func lockstepRankPhase1(enc []uint64, v *vps, p int, opt Options) {
+	k := len(v.r)
+	steps, repeat := deltas(opt.Schedule, len(enc), k)
+	linksByWorker := make([]int64, p)
+	roundsByWorker := make([]int, p)
+	par.ForChunks(k, p, func(w, lo, hi int) {
+		active := make([]int32, 0, hi-lo)
+		for j := lo; j < hi; j++ {
+			v.sum[j] = 0
+			v.cur[j] = v.h[j]
+			active = append(active, int32(j))
+		}
+		round := 0
+		var links int64
+		for len(active) > 0 {
+			d := repeat
+			if round < len(steps) {
+				d = steps[round]
+			}
+			for s := 0; s < d; s++ {
+				for _, j := range active {
+					e := enc[v.cur[j]]
+					v.sum[j] += int64(e & 0xffffffff)
+					v.cur[j] = int64(e >> 32)
+				}
+				links += int64(len(active))
+			}
+			live := active[:0]
+			for _, j := range active {
+				cur := v.cur[j]
+				if int64(enc[cur]>>32) != cur {
+					live = append(live, j)
+				} else {
+					v.sum[j]++ // count the tail vertex on retirement
+				}
+			}
+			active = live
+			round++
+		}
+		linksByWorker[w] = links
+		roundsByWorker[w] = round
+	})
+	if st := opt.Stats; st != nil {
+		for _, lw := range linksByWorker {
+			st.LinksTraversed += lw
+		}
+		maxRounds := 0
+		for _, rw := range roundsByWorker {
+			if rw > maxRounds {
+				maxRounds = rw
+			}
+		}
+		st.PackRounds += maxRounds
+	}
+}
+
+// lockstepRankPhase3 expands ranks in lockstep. The parked-cursor
+// rewrite is idempotent because the tail addend is zero: out[tail]
+// keeps receiving the same final rank.
+func lockstepRankPhase3(out []int64, enc []uint64, v *vps, p int, opt Options) {
+	k := len(v.r)
+	steps, repeat := deltas(opt.Schedule, len(enc), k)
+	linksByWorker := make([]int64, p)
+	roundsByWorker := make([]int, p)
+	par.ForChunks(k, p, func(w, lo, hi int) {
+		active := make([]int32, 0, hi-lo)
+		acc := make([]int64, hi-lo)
+		base := lo
+		for j := lo; j < hi; j++ {
+			v.cur[j] = v.h[j]
+			acc[j-base] = v.pfx[j]
+			active = append(active, int32(j))
+		}
+		round := 0
+		var links int64
+		for len(active) > 0 {
+			d := repeat
+			if round < len(steps) {
+				d = steps[round]
+			}
+			for s := 0; s < d; s++ {
+				for _, j := range active {
+					cur := v.cur[j]
+					a := acc[int(j)-base]
+					out[cur] = a
+					e := enc[cur]
+					acc[int(j)-base] = a + int64(e&0xffffffff)
+					v.cur[j] = int64(e >> 32)
+				}
+				links += int64(len(active))
+			}
+			live := active[:0]
+			for _, j := range active {
+				cur := v.cur[j]
+				if int64(enc[cur]>>32) != cur {
+					live = append(live, j)
+				} else {
+					out[cur] = acc[int(j)-base]
+				}
+			}
+			active = live
+			round++
+		}
+		linksByWorker[w] = links
+		roundsByWorker[w] = round
+	})
+	if st := opt.Stats; st != nil {
+		for _, lw := range linksByWorker {
+			st.LinksTraversed += lw
+		}
+		maxRounds := 0
+		for _, rw := range roundsByWorker {
+			if rw > maxRounds {
+				maxRounds = rw
+			}
+		}
+		st.PackRounds += maxRounds
+	}
+}

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"listrank"
+	"listrank/internal/rng"
+	"listrank/internal/vecalg"
+	"listrank/internal/vm"
+	"listrank/tree"
+)
+
+// Contraction gives parallel expression-tree evaluation the paper's
+// treatment: the vectorized rake-contraction program (internal/vecalg,
+// after refs [1] and [31]) against the serial postorder walk on the
+// simulated C90, plus the goroutine-track contraction for real wall
+// clock. The verdict is the paper's small-constants story with the
+// sign flipped: a rake costs ~15 gather/scatter passes against list
+// ranking's one gather per link, so on one processor the vector
+// program loses to the scalar walk — the primitive (list ranking, for
+// the leaf numbering) is fast enough, but the application's own
+// constants decide, exactly as §6/§7 argue.
+func Contraction(nLeavesList []int, seed uint64) *Table {
+	tb := &Table{
+		Title: "Tree contraction on the CRAY C90: vectorized rake vs serial walk",
+		Columns: []string{"nodes", "serial cyc/node", "vector cyc/node", "tour part",
+			"speedup", "rounds", "goroutine ns/node"},
+		Notes: []string{
+			"vector = rake contraction as a 1-processor vector program (leaf numbering by the tuned sublist scan)",
+			"serial = dependent postorder chase at the calibrated scalar rate",
+			"goroutine = package tree's Eval wall clock on this host",
+		},
+	}
+	r := rng.New(seed)
+	for _, nLeaves := range nLeavesList {
+		left, right, ops, vals := randomExprArrays(nLeaves, r)
+		n := len(left)
+
+		// Reference + goroutine track.
+		li := make([]int, n)
+		ri := make([]int, n)
+		to := make([]tree.Op, n)
+		for i := 0; i < n; i++ {
+			li[i], ri[i] = int(left[i]), int(right[i])
+			to[i] = tree.Op(ops[i])
+		}
+		e, err := tree.NewExpr(li, ri, to, vals, listrank.Options{})
+		if err != nil {
+			panic(err)
+		}
+		want := e.EvalSerial()
+		start := time.Now()
+		goGot := e.Eval(nil)
+		goNS := float64(time.Since(start).Nanoseconds()) / float64(n)
+		if goGot != want {
+			panic(fmt.Sprintf("harness: goroutine contraction %d != %d", goGot, want))
+		}
+
+		// Vector program.
+		mach := vm.New(vm.CrayC90(), 24*n+8192)
+		in := vecalg.LoadExpr(mach, left, right, ops, vals)
+		got, st := vecalg.ContractEval(in, vecalg.FromTuned(2*n, seed))
+		if got != want {
+			panic(fmt.Sprintf("harness: vector contraction %d != %d", got, want))
+		}
+		vec := mach.Makespan() / float64(n)
+
+		// Serial walk.
+		machS := vm.New(vm.CrayC90(), 1024)
+		machS.Proc(0).ScalarChase(n, true)
+		ser := machS.Makespan() / float64(n)
+
+		tb.Rows = append(tb.Rows, []string{
+			fmt.Sprint(n), f1(ser), f1(vec), f1(st.TourCycles / float64(n)),
+			f2(ser / vec), fmt.Sprint(st.Rounds), f1(goNS),
+		})
+	}
+	return tb
+}
+
+// randomExprArrays builds a random full binary expression tree
+// (mostly additions, int64-safe) in the array form both tracks share.
+func randomExprArrays(nLeaves int, r *rng.Rand) ([]int32, []int32, []int8, []int64) {
+	n := 2*nLeaves - 1
+	left := make([]int32, n)
+	right := make([]int32, n)
+	ops := make([]int8, n)
+	vals := make([]int64, n)
+	next := int32(1)
+	type frame struct {
+		v int32
+		k int
+	}
+	stack := []frame{{0, nLeaves}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.k == 1 {
+			left[f.v], right[f.v] = -1, -1
+			vals[f.v] = int64(r.Intn(5)) - 2
+			continue
+		}
+		if r.Intn(8) == 0 {
+			ops[f.v] = 1
+		}
+		kl := 1
+		if r.Float64() < 0.5 {
+			kl = 1 + r.Intn(f.k-1)
+		}
+		l, rr := next, next+1
+		next += 2
+		left[f.v], right[f.v] = l, rr
+		stack = append(stack, frame{l, kl}, frame{rr, f.k - kl})
+	}
+	return left, right, ops, vals
+}

@@ -1,0 +1,431 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation: Table I (asymptotic ns/vertex across machines), Table II
+// (algorithm comparison), Fig. 1 (per-vertex times of all five
+// algorithms on one processor), Fig. 3 (relative speedups), Fig. 9
+// (sublist-length order statistics), Fig. 10 (the optimal pack
+// schedule against g(x)), Fig. 11 (per-vertex times across processor
+// counts), plus the §4.4 model-validation experiment and a
+// goroutine-track wall-clock sweep that has no paper counterpart.
+//
+// Every runner validates each algorithm's output against the serial
+// reference before reporting its time, so a reported number can never
+// come from a wrong answer.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"listrank/internal/alpha"
+	"listrank/internal/core"
+	"listrank/internal/list"
+	"listrank/internal/model"
+	"listrank/internal/randmate"
+	"listrank/internal/rng"
+	"listrank/internal/sched"
+	"listrank/internal/serial"
+	"listrank/internal/stats"
+	"listrank/internal/vecalg"
+	"listrank/internal/vm"
+	"listrank/internal/wyllie"
+)
+
+// Table is a rendered experiment result: a titled grid with notes.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the table as CSV (no quoting needed: cells are
+// numbers and simple identifiers).
+func (t *Table) RenderCSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// checkEqual panics with a diagnostic if two result vectors differ;
+// harness runs must never report timings for wrong answers.
+func checkEqual(got, want []int64, what string) {
+	for i := range want {
+		if got[i] != want[i] {
+			panic(fmt.Sprintf("harness: %s produced a wrong result at vertex %d: %d != %d", what, i, got[i], want[i]))
+		}
+	}
+}
+
+// simC90 builds a machine, loads l, runs f, validates against want,
+// and returns ns/vertex.
+func simC90(l *list.List, procs int, want []int64, what string, f func(in *vecalg.Input)) float64 {
+	cfg := vm.CrayC90()
+	cfg.Procs = procs
+	mach := vm.New(cfg, 16*l.Len()+4096)
+	in := vecalg.Load(mach, l)
+	f(in)
+	checkEqual(in.OutSlice(), want, what)
+	return mach.Nanoseconds() / float64(l.Len())
+}
+
+// TableI reproduces Table I: asymptotic ns/vertex for list rank and
+// list scan on the DEC Alpha (cache and memory), the C90 serial
+// algorithm, and the vectorized sublist algorithm on 1, 2, 4 and 8
+// processors. nBig is the "asymptotic" list length (the paper used
+// multi-million-vertex lists; 2^20 reproduces the same asymptotes).
+func TableI(nBig int, seed uint64) *Table {
+	r := rng.New(seed)
+	big := list.NewRandom(nBig, r)
+	small := list.NewRandom(1<<13, r) // fits the Alpha's 2MB cache
+	ws := alpha.DEC3000600()
+
+	wantRankBig := big.Ranks()
+	wantScanBig := big.ExclusiveScan()
+
+	rank := []string{"List rank"}
+	scan := []string{"List scan"}
+
+	// Alpha cache: warm runs on the small list.
+	_, ns := ws.RankWarm(small)
+	rank = append(rank, f1(ns/float64(small.Len())))
+	_, ns = ws.ScanWarm(small)
+	scan = append(scan, f1(ns/float64(small.Len())))
+	// Alpha memory: cold runs on the big list.
+	outA, nsA := ws.Rank(big)
+	checkEqual(outA, wantRankBig, "alpha rank")
+	rank = append(rank, f1(nsA/float64(nBig)))
+	outA, nsA = ws.Scan(big)
+	checkEqual(outA, wantScanBig, "alpha scan")
+	scan = append(scan, f1(nsA/float64(nBig)))
+
+	// C90 serial.
+	rank = append(rank, f1(simC90(big, 1, wantRankBig, "c90 serial rank", vecalg.SerialRank)))
+	scan = append(scan, f1(simC90(big, 1, wantScanBig, "c90 serial scan", vecalg.SerialScan)))
+
+	// C90 vectorized, 1/2/4/8 processors, per-count tuned parameters.
+	for _, p := range []int{1, 2, 4, 8} {
+		cfg := vm.CrayC90()
+		pr := vecalg.FromTunedP(nBig, p, cfg.ContentionFor(p), seed)
+		rank = append(rank, f1(simC90(big, p, wantRankBig, "c90 sublist rank",
+			func(in *vecalg.Input) { vecalg.SublistRank(in, pr) })))
+		scan = append(scan, f1(simC90(big, p, wantScanBig, "c90 sublist scan",
+			func(in *vecalg.Input) { vecalg.SublistScan(in, pr) })))
+	}
+
+	return &Table{
+		Title:   fmt.Sprintf("Table I: asymptotic ns/vertex (n=%d)", nBig),
+		Columns: []string{"Algorithm", "Alpha cache", "Alpha memory", "C90 serial", "Vectorized", "2 proc", "4 proc", "8 proc"},
+		Rows:    [][]string{rank, scan},
+		Notes: []string{
+			"paper: rank 98 690 177 21.3 10.9 5.8 3.1; scan 200 990 183 30.8 16.1 8.5 4.6",
+		},
+	}
+}
+
+// TableII reproduces Table II: the algorithm comparison. The time,
+// work and space columns are the paper's analytic facts; the constants
+// column is measured on the simulated machine at the given length as
+// cycles/vertex, replacing the paper's qualitative small/medium/large.
+func TableII(n int, seed uint64) *Table {
+	r := rng.New(seed)
+	l := list.NewRandom(n, r)
+	want := l.ExclusiveScan()
+
+	serialPer := simC90(l, 1, want, "serial", vecalg.SerialScan)
+	wylliePer := simC90(l, 1, want, "wyllie", vecalg.WyllieScan)
+	mrPer := simC90(l, 1, want, "miller-reif", func(in *vecalg.Input) { vecalg.MillerReifScan(in, seed) })
+	amPer := simC90(l, 1, want, "anderson-miller", func(in *vecalg.Input) { vecalg.AndersonMillerScan(in, seed, 128) })
+	pr := vecalg.FromTuned(n, seed)
+	ourPer := simC90(l, 1, want, "sublist", func(in *vecalg.Input) { vecalg.SublistScan(in, pr) })
+
+	return &Table{
+		Title:   fmt.Sprintf("Table II: list-ranking algorithms (measured constants at n=%d, 1 C90 proc)", n),
+		Columns: []string{"Algorithm", "Time", "Work", "Measured ns/vertex", "Space beyond list"},
+		Rows: [][]string{
+			{"Serial", "O(n)", "O(n)", f1(serialPer), "c"},
+			{"Wyllie", "O((n log n)/p + log n)", "O(n log n)", f1(wylliePer), "n+c"},
+			{"Miller-Reif", "O(n/p + log n)", "O(n)", f1(mrPer), ">2n"},
+			{"Anderson-Miller", "O(n/p + log n)", "O(n)", f1(amPer), ">2n"},
+			{"Ours", "O(n/p + log^2 n)", "O(n)", f1(ourPer), "5p+c"},
+		},
+		Notes: []string{"paper gives qualitative constants: serial small, Wyllie small, randomized medium, optimal very large, ours small"},
+	}
+}
+
+// Fig1 reproduces Fig. 1: execution time per vertex of the five
+// list-scan algorithms on one simulated C90 processor, across list
+// lengths.
+func Fig1(lengths []int, seed uint64) *Table {
+	tb := &Table{
+		Title:   "Fig. 1: list-scan ns/vertex on one C90 processor",
+		Columns: []string{"n", "serial", "wyllie", "miller-reif", "anderson-miller", "ours"},
+		Notes: []string{
+			"paper shape: Wyllie sawtooth wins below n~1000; ours wins beyond; MR ~20x ours; AM ~3x faster than MR",
+		},
+	}
+	r := rng.New(seed)
+	for _, n := range lengths {
+		l := list.NewRandom(n, r)
+		want := l.ExclusiveScan()
+		pr := vecalg.FromTuned(n, seed)
+		row := []string{fmt.Sprint(n),
+			f1(simC90(l, 1, want, "serial", vecalg.SerialScan)),
+			f1(simC90(l, 1, want, "wyllie", vecalg.WyllieScan)),
+			f1(simC90(l, 1, want, "miller-reif", func(in *vecalg.Input) { vecalg.MillerReifScan(in, seed) })),
+			f1(simC90(l, 1, want, "anderson-miller", func(in *vecalg.Input) { vecalg.AndersonMillerScan(in, seed, 128) })),
+			f1(simC90(l, 1, want, "ours", func(in *vecalg.Input) { vecalg.SublistScan(in, pr) })),
+		}
+		tb.Rows = append(tb.Rows, row)
+	}
+	return tb
+}
+
+// Fig3 reproduces Fig. 3: relative speedup of the sublist list scan
+// over its own one-processor time, for several list lengths.
+func Fig3(lengths []int, procs []int, seed uint64) *Table {
+	cols := []string{"n"}
+	for _, p := range procs {
+		cols = append(cols, fmt.Sprintf("%dp", p))
+	}
+	tb := &Table{
+		Title:   "Fig. 3: relative speedup of our list scan on the C90",
+		Columns: cols,
+		Notes:   []string{"paper shape: near-linear for long lists, degrading with p (shared memory bandwidth); poor for short lists"},
+	}
+	r := rng.New(seed)
+	cfg := vm.CrayC90()
+	for _, n := range lengths {
+		l := list.NewRandom(n, r)
+		want := l.ExclusiveScan()
+		base := 0.0
+		row := []string{fmt.Sprint(n)}
+		for _, p := range procs {
+			pr := vecalg.FromTunedP(n, p, cfg.ContentionFor(p), seed)
+			ns := simC90(l, p, want, "ours", func(in *vecalg.Input) { vecalg.SublistScan(in, pr) })
+			if p == 1 {
+				base = ns
+			}
+			row = append(row, f2(base/ns))
+		}
+		tb.Rows = append(tb.Rows, row)
+	}
+	return tb
+}
+
+// Fig9 reproduces Fig. 9: expected versus observed length of the j-th
+// shortest sublist for n=10000 and several m, with min/avg/max over
+// the given number of samples.
+func Fig9(n int, ms []int, samples int, seed uint64) *Table {
+	tb := &Table{
+		Title:   fmt.Sprintf("Fig. 9: j-th shortest sublist length, n=%d, %d samples", n, samples),
+		Columns: []string{"m", "j", "expected", "min", "avg", "max"},
+		Notes:   []string{"expected from the exponential approximation Exp(L_(j)) = -(n/m) ln((m-j+0.5)/(m+1))"},
+	}
+	r := rng.New(seed)
+	for _, m := range ms {
+		// Sample the order statistics.
+		obs := make([][]float64, m+1)
+		for s := 0; s < samples; s++ {
+			gaps := stats.SampleGaps(n, m, r.Intn)
+			for j, g := range gaps {
+				obs[j] = append(obs[j], float64(g))
+			}
+		}
+		for _, j := range []int{0, m / 4, m / 2, 3 * m / 4, m} {
+			sm := stats.Summarize(obs[j])
+			tb.Rows = append(tb.Rows, []string{
+				fmt.Sprint(m), fmt.Sprint(j),
+				f1(stats.ExpectedOrderedLength(n, m, j)),
+				f1(sm.Min), f1(sm.Mean), f1(sm.Max),
+			})
+		}
+	}
+	return tb
+}
+
+// Fig10 reproduces Fig. 10: the optimal load-balancing schedule for
+// n=10000, m=199 against the expected-active curve g(x).
+func Fig10(n, m int) *Table {
+	c := model.PaperConstants()
+	s1, schedule := sched.OptimizeS1(n, m, sched.Phase1C90(), c.InitialScan.B, c.InitialPack.B)
+	tb := &Table{
+		Title:   fmt.Sprintf("Fig. 10: optimal pack schedule, n=%d, m=%d (S1=%.0f, %d packs)", n, m, s1, len(schedule)),
+		Columns: []string{"i", "S_i", "g(S_i) expected active", "step width"},
+		Notes: []string{
+			"paper setting: 11 load balances minimize expected time; spacing widens with i",
+		},
+	}
+	prev := 0
+	for i, s := range schedule {
+		tb.Rows = append(tb.Rows, []string{
+			fmt.Sprint(i + 1), fmt.Sprint(s),
+			f1(stats.G(float64(s), n, m)),
+			fmt.Sprint(s - prev),
+		})
+		prev = s
+	}
+	return tb
+}
+
+// Fig11 reproduces Fig. 11: ns/vertex of the sublist list scan across
+// list lengths on 1, 2, 4 and 8 simulated processors. The final row's
+// 1-processor value approaches the asymptote (paper: 7.4 cycles =
+// 31 ns/vertex for scan).
+func Fig11(lengths []int, seed uint64) *Table {
+	tb := &Table{
+		Title:   "Fig. 11: our list-scan ns/vertex on 1, 2, 4, 8 C90 processors",
+		Columns: []string{"n", "1p", "2p", "4p", "8p"},
+		Notes:   []string{"paper asymptotes: 31.1, 16.4, 8.4, 4.6 ns/vertex (7.4, 3.9, 2.0, 1.1 cycles)"},
+	}
+	r := rng.New(seed)
+	cfg := vm.CrayC90()
+	for _, n := range lengths {
+		l := list.NewRandom(n, r)
+		want := l.ExclusiveScan()
+		row := []string{fmt.Sprint(n)}
+		for _, p := range []int{1, 2, 4, 8} {
+			pr := vecalg.FromTunedP(n, p, cfg.ContentionFor(p), seed)
+			row = append(row, f1(simC90(l, p, want, "ours", func(in *vecalg.Input) { vecalg.SublistScan(in, pr) })))
+		}
+		tb.Rows = append(tb.Rows, row)
+	}
+	return tb
+}
+
+// ModelValidation reproduces the §4.4 check: the detailed Eq. 3
+// prediction tracks the simulated execution, and the closed-form
+// Eq. 5 overestimates it.
+func ModelValidation(lengths []int, seed uint64) *Table {
+	tb := &Table{
+		Title:   "Model validation (§4.4): predicted vs simulated cycles/vertex, 1 processor",
+		Columns: []string{"n", "tuned m", "tuned S1", "Eq.3 predict", "simulated", "Eq.5 bound"},
+		Notes:   []string{"paper: Eq. 3 accurately predicts, Eq. 5 overestimates"},
+	}
+	c := model.PaperConstants()
+	r := rng.New(seed)
+	for _, n := range lengths {
+		tn := c.Tune(n)
+		l := list.NewRandom(n, r)
+		want := l.ExclusiveScan()
+		pr := vecalg.SublistParams{M: tn.M, Schedule1: tn.Schedule1, Schedule3: tn.Schedule3, Seed: seed}
+		cfg := vm.CrayC90()
+		mach := vm.New(cfg, 16*n+4096)
+		in := vecalg.Load(mach, l)
+		vecalg.SublistScan(in, pr)
+		checkEqual(in.OutSlice(), want, "model validation run")
+		sim := mach.Makespan() / float64(n)
+		eq5 := model.PredictEq5(n, tn.M, tn.S1, len(tn.Schedule1)) / float64(n)
+		tb.Rows = append(tb.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(tn.M), fmt.Sprint(tn.S1),
+			f2(tn.PerVertex), f2(sim), f2(eq5),
+		})
+	}
+	return tb
+}
+
+// GoroutineTrack measures real wall-clock ns/vertex for the goroutine
+// implementations on the host machine — the modern-hardware companion
+// to Table I, with no paper counterpart.
+func GoroutineTrack(lengths []int, procs []int, seed uint64) *Table {
+	cols := []string{"n", "serial", "wyllie-1p", "miller-reif", "anderson-miller"}
+	for _, p := range procs {
+		cols = append(cols, fmt.Sprintf("ours-%dp", p))
+	}
+	tb := &Table{
+		Title:   "Goroutine track: measured wall-clock ns/vertex on this host",
+		Columns: cols,
+	}
+	r := rng.New(seed)
+	timeIt := func(f func()) float64 {
+		start := time.Now()
+		f()
+		return float64(time.Since(start).Nanoseconds())
+	}
+	for _, n := range lengths {
+		l := list.NewRandom(n, r)
+		want := serial.Scan(l)
+		fn := float64(n)
+		row := []string{fmt.Sprint(n)}
+		var out []int64
+		row = append(row, f1(timeIt(func() { out = serial.Scan(l) })/fn))
+		checkEqual(out, want, "serial")
+		row = append(row, f1(timeIt(func() { out = wyllie.Scan(l) })/fn))
+		checkEqual(out, want, "wyllie")
+		row = append(row, f1(timeIt(func() { out = randmate.MillerReifScan(l, randmate.Options{Seed: seed}) })/fn))
+		checkEqual(out, want, "miller-reif")
+		row = append(row, f1(timeIt(func() { out = randmate.AndersonMillerScan(l, randmate.Options{Seed: seed}) })/fn))
+		checkEqual(out, want, "anderson-miller")
+		for _, p := range procs {
+			row = append(row, f1(timeIt(func() { out = core.Scan(l, core.Options{Seed: seed, Procs: p}) })/fn))
+			checkEqual(out, want, fmt.Sprintf("ours-%dp", p))
+		}
+		tb.Rows = append(tb.Rows, row)
+	}
+	return tb
+}
+
+// MachineComparison runs the sublist list scan on the calibrated C90
+// and the estimated Y-MP configuration — a what-if the paper's
+// conclusions invite ("multiprocessor systems are moving to higher
+// bandwidths"; the C90 roughly doubled its predecessor's vector
+// throughput).
+func MachineComparison(n int, seed uint64) *Table {
+	r := rng.New(seed)
+	l := list.NewRandom(n, r)
+	want := l.ExclusiveScan()
+	pr := vecalg.FromTuned(n, seed)
+	tb := &Table{
+		Title:   fmt.Sprintf("Machine comparison: sublist list scan, n=%d, 1 processor", n),
+		Columns: []string{"machine", "cycles/vertex", "ns/vertex"},
+		Notes:   []string{"the Y-MP configuration is an estimate (slower clock, one load port, slower gather), not a calibration"},
+	}
+	for _, cfg := range []vm.Config{vm.CrayC90(), vm.CrayYMP()} {
+		mach := vm.New(cfg, 16*n+4096)
+		in := vecalg.Load(mach, l)
+		vecalg.SublistScan(in, pr)
+		checkEqual(in.OutSlice(), want, cfg.Name)
+		tb.Rows = append(tb.Rows, []string{
+			cfg.Name,
+			f2(mach.Makespan() / float64(n)),
+			f1(mach.Nanoseconds() / float64(n)),
+		})
+	}
+	return tb
+}

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"listrank"
+	"listrank/internal/alpha"
+	"listrank/internal/list"
+	"listrank/internal/rng"
+	"listrank/internal/serial"
+	"listrank/internal/vecalg"
+	"listrank/internal/vm"
+	"listrank/tree"
+)
+
+// TreeDepth answers the paper's closing question ("whether having a
+// fast list-ranking implementation helps in making other
+// pointer-based applications practical", §7) with the same Table I
+// treatment the paper gives list ranking itself: computing the depth
+// of every vertex of a random n-vertex tree — one list scan of the
+// 2n-element Euler tour — on the simulated DEC Alpha, the simulated
+// C90 (serial and vectorized, 1 and 8 processors), and the goroutine
+// track. The application inherits the primitive's speedups almost
+// unchanged, because everything around the scan is pointer
+// assignments and elementwise passes.
+func TreeDepth(n int, seed uint64) *Table {
+	// A random deep-ish tree; depth statistics exercise long chains.
+	r := rng.New(seed)
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		span := v
+		if span > 64 && r.Intn(4) != 0 {
+			span = 64
+		}
+		parent[v] = v - 1 - r.Intn(span)
+	}
+	tr, err := tree.New(parent, listrank.Options{})
+	if err != nil {
+		panic(err)
+	}
+	tour := tr.Tour()
+	m := tour.Len() // 2n tour elements
+	il := &list.List{Next: tour.Next, Value: tour.Value, Head: tour.Head}
+	wantScan := serial.Scan(il)
+	wantDepths := tr.Depths()
+	checkDepths := func(pfx []int64, what string) {
+		for v := 0; v < n; v++ {
+			if pfx[v] != wantDepths[v] {
+				panic(fmt.Sprintf("harness: %s depth[%d] = %d, want %d", what, v, pfx[v], wantDepths[v]))
+			}
+		}
+	}
+
+	tb := &Table{
+		Title:   fmt.Sprintf("§7 answered: tree depths via Euler tour + list scan, n=%d vertices (tour %d)", n, m),
+		Columns: []string{"machine", "ns/vertex", "vs Alpha"},
+		Notes: []string{
+			"one list scan of the 2n-element tour computes every depth; ns/vertex is per tree vertex",
+			"goroutine row is real wall clock on this host; the others are modeled 1994 machines",
+		},
+	}
+	var alphaNS float64
+	addRow := func(name string, ns float64) {
+		ratio := "1.00"
+		if alphaNS == 0 {
+			alphaNS = ns
+		} else {
+			ratio = f2(alphaNS / ns)
+		}
+		tb.Rows = append(tb.Rows, []string{name, f1(ns / float64(n)), ratio})
+	}
+
+	// DEC Alpha, cold cache (the tour never fits for interesting n).
+	w := alpha.DEC3000600()
+	out, ns := w.Scan(il)
+	checkEqual(out, wantScan, "alpha tree scan")
+	checkDepths(out, "alpha")
+	addRow("DEC 3000/600 (memory)", ns)
+
+	// C90 serial.
+	{
+		mach := vm.New(vm.CrayC90(), 16*m+4096)
+		in := vecalg.Load(mach, il)
+		vecalg.SerialScan(in)
+		got := in.OutSlice()
+		checkEqual(got, wantScan, "c90 serial tree scan")
+		checkDepths(got, "c90 serial")
+		addRow("CRAY C90 serial", mach.Nanoseconds())
+	}
+
+	// C90 sublist, 1 and 8 processors.
+	for _, procs := range []int{1, 8} {
+		cfg := vm.CrayC90()
+		cfg.Procs = procs
+		mach := vm.New(cfg, 16*m+4096)
+		in := vecalg.Load(mach, il)
+		vecalg.SublistScan(in, vecalg.FromTunedP(m, procs, cfg.ContentionFor(procs), seed))
+		got := in.OutSlice()
+		checkEqual(got, wantScan, "c90 sublist tree scan")
+		checkDepths(got, "c90 sublist")
+		addRow(fmt.Sprintf("CRAY C90 sublist, %d proc", procs), mach.Nanoseconds())
+	}
+
+	// Goroutine track (real wall clock): the full tree.Depths call,
+	// including the elementwise extraction.
+	start := time.Now()
+	depths := tr.Depths()
+	wallNS := float64(time.Since(start).Nanoseconds())
+	checkDepths(depths, "goroutine")
+	addRow("goroutine track (this host)", wallNS)
+
+	return tb
+}

@@ -1,0 +1,263 @@
+package list
+
+import (
+	"testing"
+	"testing/quick"
+
+	"listrank/internal/rng"
+)
+
+func TestNewOrdered(t *testing.T) {
+	l := NewOrdered(5)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Head != 0 {
+		t.Fatalf("head = %d, want 0", l.Head)
+	}
+	if tail := l.Tail(); tail != 4 {
+		t.Fatalf("tail = %d, want 4", tail)
+	}
+	want := []int64{0, 1, 2, 3, 4}
+	for i, r := range l.Ranks() {
+		if r != want[i] {
+			t.Fatalf("rank[%d] = %d, want %d", i, r, want[i])
+		}
+	}
+}
+
+func TestNewReversed(t *testing.T) {
+	l := NewReversed(5)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Head != 4 {
+		t.Fatalf("head = %d, want 4", l.Head)
+	}
+	if tail := l.Tail(); tail != 0 {
+		t.Fatalf("tail = %d, want 0", tail)
+	}
+	// vertex 4 is first (rank 0) … vertex 0 is last (rank 4).
+	ranks := l.Ranks()
+	for i := 0; i < 5; i++ {
+		if ranks[i] != int64(4-i) {
+			t.Fatalf("rank[%d] = %d, want %d", i, ranks[i], 4-i)
+		}
+	}
+}
+
+func TestSingleton(t *testing.T) {
+	for _, mk := range []func() *List{
+		func() *List { return NewOrdered(1) },
+		func() *List { return NewReversed(1) },
+		func() *List { return NewRandom(1, rng.New(1)) },
+	} {
+		l := mk()
+		if err := l.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if l.Head != 0 || l.Next[0] != 0 {
+			t.Fatalf("singleton list malformed: %+v", l)
+		}
+		if r := l.Ranks(); r[0] != 0 {
+			t.Fatalf("singleton rank = %d", r[0])
+		}
+	}
+}
+
+func TestNewRandomIsValid(t *testing.T) {
+	r := rng.New(42)
+	for _, n := range []int{1, 2, 3, 10, 1000, 4096} {
+		l := NewRandom(n, r)
+		if err := l.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestNewRandomRanksArePermutation(t *testing.T) {
+	r := rng.New(7)
+	l := NewRandom(257, r)
+	seen := make([]bool, 257)
+	for _, rank := range l.Ranks() {
+		if rank < 0 || rank >= 257 || seen[rank] {
+			t.Fatalf("invalid rank %d", rank)
+		}
+		seen[rank] = true
+	}
+}
+
+func TestNewBlocked(t *testing.T) {
+	r := rng.New(3)
+	for _, tc := range []struct{ n, b int }{{10, 3}, {100, 10}, {17, 17}, {5, 100}} {
+		l := NewBlocked(tc.n, tc.b, r)
+		if err := l.Validate(); err != nil {
+			t.Fatalf("n=%d b=%d: %v", tc.n, tc.b, err)
+		}
+	}
+}
+
+func TestFromOrder(t *testing.T) {
+	l := FromOrder([]int{2, 0, 1})
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ranks := l.Ranks()
+	want := []int64{1, 2, 0}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("rank[%d] = %d, want %d", i, ranks[i], want[i])
+		}
+	}
+	order := l.Order()
+	for i, v := range []int64{2, 0, 1} {
+		if order[i] != v {
+			t.Fatalf("order[%d] = %d, want %d", i, order[i], v)
+		}
+	}
+}
+
+func TestValidateRejectsCycle(t *testing.T) {
+	l := NewOrdered(4)
+	l.Next[3] = 0 // proper cycle, no tail
+	if err := l.Validate(); err == nil {
+		t.Fatal("Validate accepted a cyclic structure")
+	}
+}
+
+func TestValidateRejectsUnreachable(t *testing.T) {
+	l := NewOrdered(4)
+	l.Next[1] = 1 // early tail strands vertices 2,3
+	if err := l.Validate(); err == nil {
+		t.Fatal("Validate accepted a list with unreachable vertices")
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	l := NewOrdered(4)
+	l.Next[2] = 99
+	if err := l.Validate(); err == nil {
+		t.Fatal("Validate accepted an out-of-range link")
+	}
+	l = NewOrdered(4)
+	l.Head = -1
+	if err := l.Validate(); err == nil {
+		t.Fatal("Validate accepted an out-of-range head")
+	}
+}
+
+func TestValidateRejectsRho(t *testing.T) {
+	// rho shape: 0 -> 1 -> 2 -> 1 revisits vertex 1.
+	l := &List{Next: []int64{1, 2, 1}, Value: []int64{1, 1, 1}, Head: 0}
+	if err := l.Validate(); err == nil {
+		t.Fatal("Validate accepted a rho-shaped structure")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	l := NewRandom(64, rng.New(5))
+	c := l.Clone()
+	c.Next[0] = 0
+	c.Value[0] = 99
+	c.Head = 1
+	if l.Value[0] == 99 || l.Head == 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("original damaged by mutating clone: %v", err)
+	}
+}
+
+func TestExclusiveScanOnes(t *testing.T) {
+	l := NewRandom(500, rng.New(9))
+	ranks := l.Ranks()
+	scan := l.ExclusiveScan()
+	for i := range ranks {
+		if ranks[i] != scan[i] {
+			t.Fatalf("scan of ones != rank at %d: %d vs %d", i, scan[i], ranks[i])
+		}
+	}
+}
+
+func TestExclusiveScanValues(t *testing.T) {
+	l := FromOrder([]int{3, 1, 0, 2})
+	l.Value[3] = 5
+	l.Value[1] = -2
+	l.Value[0] = 7
+	l.Value[2] = 100
+	scan := l.ExclusiveScan()
+	// order: 3 (0), 1 (5), 0 (3), 2 (10)
+	want := map[int]int64{3: 0, 1: 5, 0: 3, 2: 10}
+	for v, w := range want {
+		if scan[v] != w {
+			t.Fatalf("scan[%d] = %d, want %d", v, scan[v], w)
+		}
+	}
+}
+
+func TestRandomValues(t *testing.T) {
+	l := NewOrdered(1000)
+	l.RandomValues(-5, 5, rng.New(21))
+	for i, v := range l.Value {
+		if v < -5 || v >= 5 {
+			t.Fatalf("value[%d] = %d outside [-5,5)", i, v)
+		}
+	}
+}
+
+func TestOrderRoundTrip(t *testing.T) {
+	f := func(seed uint64, nn uint16) bool {
+		n := int(nn%2000) + 1
+		l := NewRandom(n, rng.New(seed))
+		order := l.Order()
+		if len(order) != n {
+			return false
+		}
+		intOrder := make([]int, n)
+		for i, v := range order {
+			intOrder[i] = int(v)
+		}
+		l2 := FromOrder(intOrder)
+		for i := range l.Next {
+			if l.Next[i] != l2.Next[i] {
+				return false
+			}
+		}
+		return l.Head == l2.Head
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRanksMatchOrderIndex(t *testing.T) {
+	f := func(seed uint64, nn uint16) bool {
+		n := int(nn%3000) + 1
+		l := NewRandom(n, rng.New(seed))
+		ranks := l.Ranks()
+		for i, v := range l.Order() {
+			if ranks[v] != int64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkNewRandom1M(b *testing.B) {
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		_ = NewRandom(1<<20, r)
+	}
+}
+
+func BenchmarkSerialWalk1M(b *testing.B) {
+	l := NewRandom(1<<20, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Ranks()
+	}
+}

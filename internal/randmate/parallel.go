@@ -1,0 +1,190 @@
+package randmate
+
+import (
+	"listrank/internal/list"
+	"listrank/internal/par"
+	"listrank/internal/rng"
+)
+
+// AndersonMillerScanParallel is the multiprocessor Anderson–Miller
+// list scan: the paper notes the algorithm "scales almost linearly"
+// and is faster than serial on multiple physical processors for long
+// lists (§2.4). The virtual-processor queues are dealt to workers
+// once; each round proceeds in three barrier-separated steps so that
+// every decision reads round-start state:
+//
+//  1. every worker surfaces its queue tops and publishes their coin
+//     flips (writes go only to the worker's own tops);
+//  2. every worker decides which of its tops splice (reads only);
+//  3. every worker applies its splices. Spliced vertices are never
+//     adjacent within a round, so all the cells written — the
+//     predecessor's value and link, the successor's back-pointer, the
+//     spliced flag — are distinct across all workers.
+//
+// Reconstruction replays the rounds newest-first; within one round the
+// records are independent (a splice's survivor is never the same
+// round's victim), so each round is expanded with a parallel pass.
+func AndersonMillerScanParallel(l *list.List, opt Options, procs int) []int64 {
+	return andersonMillerParallel(l, l.Value, opt, procs)
+}
+
+// AndersonMillerRanksParallel is the ranking counterpart.
+func AndersonMillerRanksParallel(l *list.List, opt Options, procs int) []int64 {
+	ones := make([]int64, l.Len())
+	for i := range ones {
+		ones[i] = 1
+	}
+	return andersonMillerParallel(l, ones, opt, procs)
+}
+
+func andersonMillerParallel(l *list.List, values []int64, opt Options, procs int) []int64 {
+	opt = opt.withDefaults()
+	n := l.Len()
+	out := make([]int64, n)
+	if n == 1 {
+		return out
+	}
+	procs = par.Procs(procs, n)
+	if procs == 1 {
+		return andersonMiller(l, values, opt)
+	}
+
+	nxt := make([]int64, n)
+	copy(nxt, l.Next)
+	val := make([]int64, n)
+	copy(val, values)
+	head, tail := l.Head, l.Tail()
+
+	pred := make([]int64, n)
+	pred[head] = head
+	par.ForChunks(n, procs, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if s := nxt[i]; s != int64(i) {
+				pred[s] = int64(i)
+			}
+		}
+	})
+
+	q := opt.Queues
+	if q > n {
+		q = n
+	}
+	if q < procs {
+		q = procs
+	}
+	// Queue j owns block [j*n/q, (j+1)*n/q); worker w owns queues
+	// [w*q/procs, (w+1)*q/procs).
+	qLo := make([]int, q)
+	qHi := make([]int, q)
+	for j := 0; j < q; j++ {
+		qLo[j] = j * n / q
+		qHi[j] = (j + 1) * n / q
+	}
+
+	spliced := make([]bool, n)
+	maleTop := make([]bool, n)
+	// Per-worker round state.
+	type workerRound struct {
+		tops      []int64
+		decisions []splice
+		remaining int64      // vertices this worker can still splice
+		rounds    [][]splice // per-round records for reconstruction
+	}
+	workers := make([]workerRound, procs)
+	par.ForChunks(q, procs, func(w, loQ, hiQ int) {
+		count := int64(0)
+		for j := loQ; j < hiQ; j++ {
+			for i := qLo[j]; i < qHi[j]; i++ {
+				if int64(i) != head && int64(i) != tail {
+					count++
+				}
+			}
+		}
+		workers[w].remaining = count
+	})
+
+	const maxRounds = 1 << 20 // safety net; expected rounds ≈ n/(0.8q)
+	par.RunWorkers(procs, func(w int, b *par.Barrier) {
+		wr := &workers[w]
+		r := rng.New(opt.Seed + uint64(w)*0x9e3779b97f4a7c15)
+		loQ, hiQ := par.Chunk(q, procs, w)
+		for round := 0; round < maxRounds; round++ {
+			// Global termination check on round-start state.
+			total := int64(0)
+			for i := range workers {
+				total += workers[i].remaining
+			}
+			if total <= int64(opt.SerialCutoff) {
+				break
+			}
+			// Step 1: surface tops, toss coins, publish.
+			wr.tops = wr.tops[:0]
+			for j := loQ; j < hiQ; j++ {
+				for qLo[j] < qHi[j] {
+					u := int64(qLo[j])
+					if spliced[u] || u == head || u == tail {
+						qLo[j]++
+						continue
+					}
+					wr.tops = append(wr.tops, u)
+					break
+				}
+			}
+			for _, u := range wr.tops {
+				maleTop[u] = r.Bool(opt.MaleBias)
+			}
+			b.Wait()
+			// Step 2: decide from frozen round state.
+			wr.decisions = wr.decisions[:0]
+			for _, u := range wr.tops {
+				if maleTop[u] && !maleTop[pred[u]] {
+					wr.decisions = append(wr.decisions, splice{u: u, f: pred[u], fSum: val[pred[u]]})
+				}
+			}
+			b.Wait()
+			// Step 3: apply (all touched cells distinct across workers).
+			for _, d := range wr.decisions {
+				u, p := d.u, d.f
+				val[p] += val[u]
+				s := nxt[u]
+				nxt[p] = s
+				if s != u {
+					pred[s] = p
+				}
+				spliced[u] = true
+			}
+			wr.remaining -= int64(len(wr.decisions))
+			wr.rounds = append(wr.rounds, append([]splice(nil), wr.decisions...))
+			// Clear our published coins for the next round.
+			for _, u := range wr.tops {
+				maleTop[u] = false
+			}
+			b.Wait()
+		}
+	})
+
+	finishSerial(out, head, nxt, val)
+
+	// Parallel reconstruction, newest round first. Workers advanced at
+	// the same round cadence (shared barrier), so round r of every
+	// worker belongs to the same global round.
+	maxR := 0
+	for i := range workers {
+		if len(workers[i].rounds) > maxR {
+			maxR = len(workers[i].rounds)
+		}
+	}
+	for ri := maxR - 1; ri >= 0; ri-- {
+		par.ForChunks(procs, procs, func(_, lo, hi int) {
+			for w := lo; w < hi; w++ {
+				if ri >= len(workers[w].rounds) {
+					continue
+				}
+				for _, sp := range workers[w].rounds[ri] {
+					out[sp.u] = out[sp.f] + sp.fSum
+				}
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+// Package randmate implements the two randomized "random mate"
+// list-ranking baselines the paper measures against (§2.3, §2.4):
+//
+//   - Miller–Reif [25, 31]: every active vertex flips an unbiased
+//     male/female coin each round; a female whose successor is male
+//     splices that successor out of the list. Idle (spliced) vertices
+//     are removed from the working set every round by packing. On
+//     average only 1/4 of the remaining vertices are spliced per round.
+//
+//   - Anderson–Miller [3, 31]: the vertices are dealt into fixed
+//     per-processor queues and only the vertex at the top of each queue
+//     tosses a coin, so processors stay busy without packing. Following
+//     the paper's most important optimization, the coin is biased
+//     (P[male] = 0.9 by default), which keeps nearly 90% of the active
+//     processors splicing on every round; and like the paper we switch
+//     to the serial algorithm when only a few queues remain, rather
+//     than to Wyllie's algorithm.
+//
+// Both algorithms contract the list by splicing vertices out while
+// folding the removed vertex's partial sum into its predecessor, finish
+// the small contracted list serially, and then reconstruct: spliced
+// vertices are reintroduced in reverse order of removal, each computing
+// its scan value from its predecessor's scan value at splice time.
+// All results are exclusive scans, matching package serial.
+package randmate
+
+import (
+	"listrank/internal/list"
+	"listrank/internal/rng"
+)
+
+// splice records one contraction step: vertex u was spliced out, its
+// predecessor was f, and f's accumulated segment sum immediately before
+// absorbing u was fSum. On reconstruction, out[u] = op(out[f], fSum).
+type splice struct {
+	u, f int64
+	fSum int64
+}
+
+// Options configures the random-mate algorithms. The zero value
+// selects the defaults described on each field.
+type Options struct {
+	// Seed seeds the coin-flip generator. Seed 0 is a valid seed.
+	Seed uint64
+	// SerialCutoff is the active-vertex count below which contraction
+	// stops and the remaining list is scanned serially (the paper's
+	// "switch to the serial algorithm when only a few queues
+	// remained"). Default 64.
+	SerialCutoff int
+	// Queues is the number of virtual processor queues for
+	// Anderson–Miller. Default 128, the number of element processors
+	// the paper's C90 implementation had.
+	Queues int
+	// MaleBias is Anderson–Miller's P[male] for queue tops. The paper
+	// found 0.9 reduced the run time by about 40% over an unbiased
+	// coin. Default 0.9.
+	MaleBias float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SerialCutoff <= 0 {
+		o.SerialCutoff = 64
+	}
+	if o.Queues <= 0 {
+		o.Queues = 128
+	}
+	if o.MaleBias <= 0 || o.MaleBias >= 1 {
+		o.MaleBias = 0.9
+	}
+	return o
+}
+
+// MillerReifScan returns the exclusive scan of l under integer
+// addition using the Miller–Reif random-mate algorithm.
+func MillerReifScan(l *list.List, opt Options) []int64 {
+	return millerReif(l, l.Value, opt)
+}
+
+// MillerReifRanks returns the ranks of l using Miller–Reif.
+func MillerReifRanks(l *list.List, opt Options) []int64 {
+	ones := make([]int64, l.Len())
+	for i := range ones {
+		ones[i] = 1
+	}
+	return millerReif(l, ones, opt)
+}
+
+// RoundsStats reports the work profile of a contraction run: how many
+// rounds were executed and how many splice attempts versus successful
+// splices occurred. The paper's analysis of Miller–Reif (4 attempts
+// per splice on average) and Anderson–Miller (≈90% success with the
+// biased coin) is validated against these counters in tests and
+// reported by the experiment harness.
+type RoundsStats struct {
+	Rounds   int
+	Attempts int64
+	Splices  int64
+}
+
+var lastStats RoundsStats
+
+// LastStats returns the statistics of the most recent contraction run
+// in this goroutine-free package. It exists for the harness and tests;
+// it is not synchronized and must not be read concurrently with a run.
+func LastStats() RoundsStats { return lastStats }
+
+func millerReif(l *list.List, values []int64, opt Options) []int64 {
+	opt = opt.withDefaults()
+	n := l.Len()
+	out := make([]int64, n)
+	if n == 1 {
+		return out
+	}
+	r := rng.New(opt.Seed)
+	nxt := make([]int64, n)
+	copy(nxt, l.Next)
+	val := make([]int64, n)
+	copy(val, values)
+	tail := l.Tail()
+
+	// Active set: every vertex except the tail can potentially splice
+	// or be spliced. coin[v] is male (true) or female (false); the
+	// tail's entry is forced female and spliced vertices are never
+	// looked at again because no live link reaches them.
+	active := make([]int64, 0, n)
+	for i := int64(0); i < int64(n); i++ {
+		if i != tail {
+			active = append(active, i)
+		}
+	}
+	coin := make([]bool, n)
+	spliced := make([]bool, n)
+	stack := make([]splice, 0, n)
+	stats := RoundsStats{}
+
+	for len(active) > opt.SerialCutoff {
+		stats.Rounds++
+		// Round part 1: every active vertex tosses an unbiased coin.
+		for _, v := range active {
+			coin[v] = r.Bool(0.5)
+		}
+		coin[tail] = false
+		// Round part 2: every active female with a male successor
+		// splices the successor out. The pairs (female, male) are
+		// vertex-disjoint, so in-order application matches the
+		// synchronous PRAM round exactly.
+		for _, v := range active {
+			if coin[v] {
+				continue // male: passive this round
+			}
+			stats.Attempts++
+			s := nxt[v]
+			if s == v || !coin[s] {
+				continue // at tail, or successor female
+			}
+			stack = append(stack, splice{u: s, f: v, fSum: val[v]})
+			val[v] += val[s]
+			nxt[v] = nxt[s]
+			spliced[s] = true
+			stats.Splices++
+		}
+		// Round part 3: pack — compress the survivors into contiguous
+		// positions so later rounds do no needless work. This is the
+		// operation the paper's vector implementation performs with a
+		// vector compress; here it is a stable in-place filter.
+		live := active[:0]
+		for _, v := range active {
+			if !spliced[v] {
+				live = append(live, v)
+			}
+		}
+		active = live
+	}
+
+	finishSerial(out, l.Head, nxt, val)
+	reconstruct(out, stack)
+	lastStats = stats
+	return out
+}
+
+// AndersonMillerScan returns the exclusive scan of l under integer
+// addition using the Anderson–Miller random-mate algorithm.
+func AndersonMillerScan(l *list.List, opt Options) []int64 {
+	return andersonMiller(l, l.Value, opt)
+}
+
+// AndersonMillerRanks returns the ranks of l using Anderson–Miller.
+func AndersonMillerRanks(l *list.List, opt Options) []int64 {
+	ones := make([]int64, l.Len())
+	for i := range ones {
+		ones[i] = 1
+	}
+	return andersonMiller(l, ones, opt)
+}
+
+func andersonMiller(l *list.List, values []int64, opt Options) []int64 {
+	opt = opt.withDefaults()
+	n := l.Len()
+	out := make([]int64, n)
+	if n == 1 {
+		return out
+	}
+	r := rng.New(opt.Seed)
+	nxt := make([]int64, n)
+	copy(nxt, l.Next)
+	val := make([]int64, n)
+	copy(val, values)
+	head, tail := l.Head, l.Tail()
+
+	// Doubly link the list: splicing the top of a queue requires its
+	// predecessor (the paper's algorithms of this family need >2n
+	// extra space, Table II; the pred array is where it goes).
+	pred := make([]int64, n)
+	pred[head] = head
+	for i := int64(0); i < int64(n); i++ {
+		if s := nxt[i]; s != i {
+			pred[s] = i
+		}
+	}
+
+	// Deal the vertices into q queues in index order; queue j owns the
+	// contiguous block [j*n/q, (j+1)*n/q). The head and tail can never
+	// be spliced, so they are skipped when they surface.
+	q := opt.Queues
+	if q > n {
+		q = n
+	}
+	qLo := make([]int, q)
+	qHi := make([]int, q)
+	for j := 0; j < q; j++ {
+		qLo[j] = j * n / q
+		qHi[j] = (j + 1) * n / q
+	}
+
+	spliced := make([]bool, n)
+	maleTop := make([]bool, n)
+	stack := make([]splice, 0, n)
+	stats := RoundsStats{}
+	remaining := n - 2 // vertices that can still be spliced
+	if remaining < 0 {
+		remaining = 0
+	}
+
+	type decision struct{ u, p int64 }
+	decisions := make([]decision, 0, q)
+	tops := make([]int64, 0, q)
+
+	for remaining > opt.SerialCutoff {
+		stats.Rounds++
+		// Surface each queue's current top, discarding already-spliced
+		// vertices and the unspliceable head/tail.
+		tops = tops[:0]
+		for j := 0; j < q; j++ {
+			for qLo[j] < qHi[j] {
+				u := int64(qLo[j])
+				if spliced[u] || u == head || u == tail {
+					qLo[j]++
+					continue
+				}
+				tops = append(tops, u)
+				break
+			}
+		}
+		if len(tops) == 0 {
+			break
+		}
+		// Toss the biased coin for every top (everyone else is female).
+		for _, u := range tops {
+			maleTop[u] = r.Bool(opt.MaleBias)
+		}
+		// Decide synchronously: a male top pointed to by a female can
+		// be spliced. (Adjacent male tops block each other, which is
+		// why splices in one round are never adjacent and can be
+		// applied in any order.)
+		decisions = decisions[:0]
+		for _, u := range tops {
+			stats.Attempts++
+			if maleTop[u] && !maleTop[pred[u]] {
+				decisions = append(decisions, decision{u: u, p: pred[u]})
+			}
+		}
+		// Apply.
+		for _, d := range decisions {
+			u, p := d.u, d.p
+			stack = append(stack, splice{u: u, f: p, fSum: val[p]})
+			val[p] += val[u]
+			s := nxt[u]
+			nxt[p] = s
+			if s != u {
+				pred[s] = p
+			}
+			spliced[u] = true
+			stats.Splices++
+			remaining--
+		}
+		// Clear the coin marks we set (cheap: only the tops).
+		for _, u := range tops {
+			maleTop[u] = false
+		}
+	}
+
+	finishSerial(out, head, nxt, val)
+	reconstruct(out, stack)
+	lastStats = stats
+	return out
+}
+
+// finishSerial computes the exclusive scan of the contracted list
+// reachable from head, writing results for the surviving vertices.
+func finishSerial(out []int64, head int64, nxt, val []int64) {
+	v := head
+	var acc int64
+	for {
+		out[v] = acc
+		acc += val[v]
+		s := nxt[v]
+		if s == v {
+			return
+		}
+		v = s
+	}
+}
+
+// reconstruct reintroduces spliced vertices in reverse order of
+// removal: when u was spliced its predecessor f carried the scan
+// prefix out[f] and segment sum fSum covering exactly the vertices
+// between f and u, so u's exclusive prefix is out[f] + fSum.
+func reconstruct(out []int64, stack []splice) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		sp := stack[i]
+		out[sp.u] = out[sp.f] + sp.fSum
+	}
+}

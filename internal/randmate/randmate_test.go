@@ -1,0 +1,232 @@
+package randmate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"listrank/internal/list"
+	"listrank/internal/rng"
+	"listrank/internal/serial"
+)
+
+func equal(t *testing.T, got, want []int64, what string) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: [%d] = %d want %d", what, i, got[i], want[i])
+		}
+	}
+}
+
+func TestMillerReifRanksSizes(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{1, 2, 3, 4, 10, 63, 64, 65, 100, 1000, 5000} {
+		l := list.NewRandom(n, r)
+		equal(t, MillerReifRanks(l, Options{Seed: uint64(n)}), l.Ranks(), "MR ranks")
+	}
+}
+
+func TestMillerReifScanValues(t *testing.T) {
+	r := rng.New(2)
+	l := list.NewRandom(2047, r)
+	l.RandomValues(-100, 100, r)
+	equal(t, MillerReifScan(l, Options{Seed: 9}), serial.Scan(l), "MR scan")
+}
+
+func TestAndersonMillerRanksSizes(t *testing.T) {
+	r := rng.New(3)
+	for _, n := range []int{1, 2, 3, 4, 10, 100, 129, 1000, 5000} {
+		l := list.NewRandom(n, r)
+		equal(t, AndersonMillerRanks(l, Options{Seed: uint64(n)}), l.Ranks(), "AM ranks")
+	}
+}
+
+func TestAndersonMillerScanValues(t *testing.T) {
+	r := rng.New(4)
+	l := list.NewRandom(3001, r)
+	l.RandomValues(-100, 100, r)
+	equal(t, AndersonMillerScan(l, Options{Seed: 10}), serial.Scan(l), "AM scan")
+}
+
+func TestShapes(t *testing.T) {
+	for name, l := range map[string]*list.List{
+		"ordered":  list.NewOrdered(777),
+		"reversed": list.NewReversed(777),
+		"blocked":  list.NewBlocked(777, 19, rng.New(5)),
+	} {
+		want := l.Ranks()
+		equal(t, MillerReifRanks(l, Options{Seed: 1}), want, "MR "+name)
+		equal(t, AndersonMillerRanks(l, Options{Seed: 1}), want, "AM "+name)
+	}
+}
+
+func TestSeedIndependence(t *testing.T) {
+	// The result must not depend on the coin-flip seed.
+	l := list.NewRandom(1500, rng.New(6))
+	want := serial.Scan(l)
+	for seed := uint64(0); seed < 8; seed++ {
+		equal(t, MillerReifScan(l, Options{Seed: seed}), want, "MR seed")
+		equal(t, AndersonMillerScan(l, Options{Seed: seed}), want, "AM seed")
+	}
+}
+
+func TestQueueCountVariants(t *testing.T) {
+	l := list.NewRandom(2000, rng.New(7))
+	want := l.Ranks()
+	for _, q := range []int{1, 2, 16, 128, 1024, 4000} {
+		got := AndersonMillerRanks(l, Options{Seed: 8, Queues: q})
+		equal(t, got, want, "AM queues")
+	}
+}
+
+func TestBiasVariants(t *testing.T) {
+	l := list.NewRandom(2000, rng.New(8))
+	want := l.Ranks()
+	for _, bias := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := AndersonMillerRanks(l, Options{Seed: 8, MaleBias: bias})
+		equal(t, got, want, "AM bias")
+	}
+}
+
+func TestSerialCutoffVariants(t *testing.T) {
+	l := list.NewRandom(500, rng.New(9))
+	want := l.Ranks()
+	for _, cut := range []int{1, 2, 8, 499, 1000} {
+		equal(t, MillerReifRanks(l, Options{Seed: 1, SerialCutoff: cut}), want, "MR cutoff")
+		equal(t, AndersonMillerRanks(l, Options{Seed: 1, SerialCutoff: cut}), want, "AM cutoff")
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	l := list.NewRandom(800, rng.New(10))
+	l.RandomValues(-5, 5, rng.New(11))
+	before := l.Clone()
+	_ = MillerReifScan(l, Options{Seed: 1})
+	_ = AndersonMillerScan(l, Options{Seed: 1})
+	for i := range before.Next {
+		if l.Next[i] != before.Next[i] || l.Value[i] != before.Value[i] {
+			t.Fatalf("input mutated at vertex %d", i)
+		}
+	}
+	if l.Head != before.Head {
+		t.Fatal("head mutated")
+	}
+}
+
+func TestMillerReifSpliceFraction(t *testing.T) {
+	// Paper §2.3: on each round only about 1/4 of the remaining
+	// vertices are spliced out (female with male successor = 1/2 * 1/2).
+	l := list.NewRandom(1<<16, rng.New(12))
+	_ = MillerReifRanks(l, Options{Seed: 13, SerialCutoff: 1 << 12})
+	st := LastStats()
+	if st.Rounds == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	// Attempts counts the females that tried (≈ half of the active
+	// vertices each round); about half of those succeed, so the
+	// success ratio should be near 1/2 of attempts, i.e. splices ≈
+	// attempts/2, and overall splices per round per active ≈ 1/4.
+	ratio := float64(st.Splices) / float64(st.Attempts)
+	if ratio < 0.40 || ratio > 0.60 {
+		t.Errorf("MR splice/attempt ratio = %.3f, want ≈ 0.5", ratio)
+	}
+}
+
+func TestAndersonMillerBiasedCoinRate(t *testing.T) {
+	// Paper §2.4: with P[male] = 0.9 almost 90% of the active
+	// processors splice out a vertex on every round.
+	l := list.NewRandom(1<<16, rng.New(14))
+	_ = AndersonMillerRanks(l, Options{Seed: 15, MaleBias: 0.9})
+	st := LastStats()
+	ratio := float64(st.Splices) / float64(st.Attempts)
+	if ratio < 0.75 || ratio > 0.95 {
+		t.Errorf("AM splice/attempt ratio = %.3f, want ≈ 0.9*(1-0.09)", ratio)
+	}
+	// And the biased coin should need fewer rounds than unbiased.
+	_ = AndersonMillerRanks(l, Options{Seed: 15, MaleBias: 0.5})
+	unbiased := LastStats()
+	if st.Rounds >= unbiased.Rounds {
+		t.Errorf("biased coin used %d rounds, unbiased %d; expected fewer",
+			st.Rounds, unbiased.Rounds)
+	}
+}
+
+func TestQuickAgainstSerial(t *testing.T) {
+	f := func(seed uint64, nn uint16, am bool) bool {
+		n := int(nn%3000) + 1
+		r := rng.New(seed)
+		l := list.NewRandom(n, r)
+		l.RandomValues(-20, 20, r)
+		want := serial.Scan(l)
+		var got []int64
+		if am {
+			got = AndersonMillerScan(l, Options{Seed: seed ^ 0xff})
+		} else {
+			got = MillerReifScan(l, Options{Seed: seed ^ 0xff})
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMillerReif64K(b *testing.B) {
+	l := list.NewRandom(1<<16, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MillerReifRanks(l, Options{Seed: uint64(i)})
+	}
+}
+
+func BenchmarkAndersonMiller64K(b *testing.B) {
+	l := list.NewRandom(1<<16, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = AndersonMillerRanks(l, Options{Seed: uint64(i)})
+	}
+}
+
+func TestAndersonMillerParallel(t *testing.T) {
+	r := rng.New(40)
+	for _, n := range []int{1, 2, 100, 5000, 60000} {
+		l := list.NewRandom(n, r)
+		l.RandomValues(-50, 50, r)
+		want := serial.Scan(l)
+		for _, p := range []int{1, 2, 3, 4, 8} {
+			got := AndersonMillerScanParallel(l, Options{Seed: uint64(n + p)}, p)
+			equal(t, got, want, "AM parallel scan")
+		}
+	}
+}
+
+func TestAndersonMillerParallelRanks(t *testing.T) {
+	l := list.NewRandom(30000, rng.New(41))
+	want := l.Ranks()
+	for _, p := range []int{2, 4} {
+		got := AndersonMillerRanksParallel(l, Options{Seed: 42}, p)
+		equal(t, got, want, "AM parallel ranks")
+	}
+}
+
+func TestAndersonMillerParallelShapes(t *testing.T) {
+	for name, l := range map[string]*list.List{
+		"ordered":  list.NewOrdered(10000),
+		"reversed": list.NewReversed(10000),
+	} {
+		got := AndersonMillerRanksParallel(l, Options{Seed: 43}, 4)
+		equal(t, got, l.Ranks(), "AM parallel "+name)
+	}
+}
+
+func TestAndersonMillerParallelFewQueues(t *testing.T) {
+	// Queue count below the worker count must be raised, not deadlock.
+	l := list.NewRandom(5000, rng.New(44))
+	got := AndersonMillerScanParallel(l, Options{Seed: 45, Queues: 2}, 8)
+	equal(t, got, serial.Scan(l), "AM parallel few queues")
+}

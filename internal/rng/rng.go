@@ -1,0 +1,178 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators for the list-ranking experiments.
+//
+// The paper's algorithm uses randomization in two places: choosing the
+// m splitter positions that divide the list into sublists, and the
+// male/female coin flips of the random-mate baselines. All experiments
+// must be reproducible from a seed, and several generators must be able
+// to run concurrently without sharing state, so we avoid the global
+// math/rand source and implement two tiny generators from the
+// literature:
+//
+//   - splitmix64, used to seed and to derive independent streams, and
+//   - xoshiro256**, the workhorse generator.
+//
+// Both are implemented from their public-domain reference algorithms.
+package rng
+
+// SplitMix64 is a 64-bit generator with a single word of state. It is
+// primarily used to expand one seed word into the larger state of
+// Xoshiro256, and to derive independent per-worker streams.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next pseudo-random 64-bit value.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** generator. The zero value is invalid; use New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via splitmix64, as the
+// xoshiro authors recommend. Any seed, including zero, is valid.
+func New(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	r := &Rand{}
+	for i := range r.s {
+		r.s[i] = sm.Next()
+	}
+	return r
+}
+
+// Split derives a new, statistically independent generator from r.
+// It is used to hand each parallel worker its own stream.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64() ^ 0xa5a5a5a5a5a5a5a5)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Intn returns a uniform pseudo-random integer in [0, n).
+// It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform pseudo-random integer in [0, n) using
+// Lemire's multiply-shift rejection method, which avoids modulo bias
+// without a division in the common case. It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// 128-bit multiply via two 64x64->64 halves.
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= n {
+			return hi
+		}
+		// lo < n: possible bias region; accept unless lo < threshold.
+		threshold := (-n) % n
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	x0, x1 := x&mask, x>>32
+	y0, y1 := y&mask, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t&mask + x0*y1
+	hi = x1*y1 + t>>32 + w1>>32
+	lo = x * y
+	return hi, lo
+}
+
+// Float64 returns a uniform pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a pseudo-random boolean with P[true] = p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice of
+// ints, using the Fisher-Yates shuffle.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using the
+// provided swap function.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Sample fills dst with distinct pseudo-random integers drawn uniformly
+// from [lo, hi) using Floyd's algorithm. It panics if the range cannot
+// supply len(dst) distinct values.
+func (r *Rand) Sample(dst []int, lo, hi int) {
+	k := len(dst)
+	if hi-lo < k {
+		panic("rng: Sample range smaller than sample size")
+	}
+	seen := make(map[int]struct{}, k)
+	idx := 0
+	for j := hi - k; j < hi; j++ {
+		t := lo + r.Intn(j-lo+1)
+		if _, dup := seen[t]; dup {
+			t = j
+		}
+		seen[t] = struct{}{}
+		dst[idx] = t
+		idx++
+	}
+}

@@ -1,0 +1,404 @@
+// Package ruling implements deterministic symmetry breaking on linked
+// lists — Cole-Vishkin deterministic coin tossing, 3-colorings, and
+// 2-ruling sets — and a deterministic list-scan algorithm built on
+// them.
+//
+// Section 6 of Reid-Miller's paper surveys the deterministic
+// list-ranking algorithms of Cole and Vishkin [6, 7, 8, 9] and of
+// Anderson and Miller [2], all of which break symmetry with ruling
+// sets instead of coin flips, and concludes that their constants make
+// them uncompetitive: "Except for Wyllie's pointer jumping algorithm
+// on short linked lists we conclude that other algorithms are unlikely
+// to be competitive." The paper chose not to implement them. This
+// package implements the simplest member of that family — the
+// non-work-efficient 2-ruling-set contraction the paper attributes to
+// [4] ("a much simpler 2-ruling set algorithm that is not work
+// efficient but has smaller constants") — precisely so the claim can
+// be measured rather than asserted: BenchmarkAblation_Deterministic
+// compares it against the paper's randomized algorithm.
+//
+// # Deterministic coin tossing
+//
+// Every vertex starts with a distinct color (its index, at most
+// ⌈log₂ n⌉ bits). In one round each vertex v with successor s replaces
+// its color c(v) by 2k + bit_k(c(v)), where k is the lowest bit
+// position at which c(v) and c(s) differ. Adjacent vertices keep
+// distinct colors (if both chose the same k their chosen bits differ),
+// and b-bit colors shrink to (log₂ b + 1)-bit colors, so O(log* n)
+// rounds reach colors in {0,…,5}. Three final rounds of "recolor each
+// class with the smallest color unused by its neighbors" reduce six
+// colors to three.
+//
+// # Ruling sets by maximal independent set
+//
+// From a 3-coloring, a maximal independent set is built in three
+// parallel steps: take every color-0 vertex, then every color-1 vertex
+// with no selected neighbor, then likewise color-2. On a list an MIS
+// is a 2-ruling set: no two rulers are adjacent and every vertex is
+// within 2 links of a ruler, so the segment owned by each ruler has at
+// most 3 vertices.
+//
+// # Deterministic list scan
+//
+// Scan contracts the list level by level: compute a 2-ruling set, have
+// every ruler fold up its ≤3-vertex segment, link the rulers into a
+// reduced list (at most ⌈n/2⌉+1 vertices, at least n/3 — the MIS is
+// large, which is exactly why this variant is not work efficient),
+// recurse, and expand prefixes back across the segments. Every level
+// pays Θ(levels · log* n) passes over its vertices, against the single
+// gather-per-link passes of the paper's algorithm — the measured
+// constant-factor gap is the point of the exercise.
+package ruling
+
+import (
+	"math/bits"
+
+	"listrank/internal/list"
+	"listrank/internal/par"
+	"listrank/internal/serial"
+)
+
+// Stats reports what a deterministic scan did; pass a pointer in
+// Options to collect.
+type Stats struct {
+	// Levels is the number of contraction levels before the serial
+	// cutoff was reached.
+	Levels int
+	// ColorRounds is the total number of deterministic-coin-tossing
+	// rounds across all levels.
+	ColorRounds int
+	// Rulers is the ruling-set size at the outermost level.
+	Rulers int
+	// MaxGap is the longest ruler segment observed at the outermost
+	// level; a 2-ruling set bounds it by 3 (the ruler plus at most two
+	// following non-rulers).
+	MaxGap int
+}
+
+// Options configures the deterministic scan. The zero value runs
+// single-threaded with the default serial cutoff.
+type Options struct {
+	// Procs is the number of worker goroutines; values < 1 mean 1.
+	Procs int
+	// SerialCutoff is the list length at or below which the recursion
+	// bottoms out in the serial walk; <= 0 selects 64.
+	SerialCutoff int
+	// Stats, if non-nil, is filled with run statistics.
+	Stats *Stats
+}
+
+const defaultSerialCutoff = 64
+
+func (o Options) withDefaults() Options {
+	if o.Procs < 1 {
+		o.Procs = 1
+	}
+	if o.SerialCutoff <= 0 {
+		o.SerialCutoff = defaultSerialCutoff
+	}
+	return o
+}
+
+// SixColor colors the vertices of l with colors in {0,…,5} such that
+// every vertex's color differs from its successor's, by repeated
+// deterministic coin tossing from the initial coloring c(v) = v. It
+// returns the colors and the number of rounds performed. The list is
+// not modified.
+func SixColor(l *list.List, procs int) ([]int64, int) {
+	n := l.Len()
+	next := l.Next
+	cur := make([]int64, n)
+	nxt := make([]int64, n)
+	for i := range cur {
+		cur[i] = int64(i)
+	}
+	p := par.Procs(procs, n)
+	rounds := 0
+	for maxColor(cur, p) >= 6 {
+		par.ForChunks(n, p, func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				c := cur[v]
+				s := next[v]
+				var cs int64
+				if s == int64(v) {
+					// The tail has no successor; compare against a
+					// virtual color differing in bit 0 so it still
+					// shrinks, and the adjacent-differ invariant with
+					// its predecessor is preserved (see package doc).
+					cs = c ^ 1
+				} else {
+					cs = cur[s]
+				}
+				k := bits.TrailingZeros64(uint64(c ^ cs))
+				nxt[v] = int64(2*k) + (c>>k)&1
+			}
+		})
+		cur, nxt = nxt, cur
+		rounds++
+	}
+	return cur, rounds
+}
+
+// maxColor returns the maximum color, scanning in parallel chunks.
+func maxColor(colors []int64, p int) int64 {
+	n := len(colors)
+	maxes := make([]int64, p)
+	par.ForChunks(n, p, func(w, lo, hi int) {
+		m := int64(-1)
+		for _, c := range colors[lo:hi] {
+			if c > m {
+				m = c
+			}
+		}
+		maxes[w] = m
+	})
+	m := int64(-1)
+	for _, v := range maxes {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Pred returns the predecessor array of l: pred[v] is the vertex whose
+// link points to v, or -1 for the head. It is one parallel scatter
+// (every vertex has in-degree at most one, so the writes are disjoint).
+func Pred(l *list.List, procs int) []int64 {
+	n := l.Len()
+	pred := make([]int64, n)
+	p := par.Procs(procs, n)
+	par.ForChunks(n, p, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			pred[v] = -1
+		}
+	})
+	par.ForChunks(n, p, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			s := l.Next[v]
+			if s != int64(v) {
+				pred[s] = int64(v)
+			}
+		}
+	})
+	return pred
+}
+
+// ThreeColor reduces a valid 6-coloring of l to a 3-coloring in three
+// parallel recoloring passes: each color class c ∈ {3, 4, 5} (an
+// independent set, since adjacent vertices have distinct colors)
+// recolors itself with the smallest color in {0, 1, 2} unused by its
+// neighbors. colors is modified in place.
+func ThreeColor(l *list.List, colors []int64, pred []int64, procs int) {
+	n := l.Len()
+	p := par.Procs(procs, n)
+	for c := int64(5); c >= 3; c-- {
+		par.ForChunks(n, p, func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if colors[v] != c {
+					continue
+				}
+				var used [3]bool
+				if pv := pred[v]; pv >= 0 && colors[pv] < 3 {
+					used[colors[pv]] = true
+				}
+				if s := l.Next[v]; s != int64(v) && colors[s] < 3 {
+					used[colors[s]] = true
+				}
+				for nc := int64(0); nc < 3; nc++ {
+					if !used[nc] {
+						colors[v] = nc
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// MaxIndependentSet returns a maximal independent set of the list's
+// path graph as a membership mask, built from a 3-coloring in three
+// parallel passes. On a path an MIS is a 2-ruling set: every vertex is
+// within two links of a member.
+func MaxIndependentSet(l *list.List, colors []int64, pred []int64, procs int) []bool {
+	n := l.Len()
+	in := make([]bool, n)
+	p := par.Procs(procs, n)
+	for c := int64(0); c < 3; c++ {
+		par.ForChunks(n, p, func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if colors[v] != c {
+					continue
+				}
+				if pv := pred[v]; pv >= 0 && in[pv] {
+					continue
+				}
+				if s := l.Next[v]; s != int64(v) && in[s] {
+					continue
+				}
+				in[v] = true
+			}
+		})
+	}
+	return in
+}
+
+// TwoRuling computes a 2-ruling set of l (deterministically, via
+// SixColor → ThreeColor → MaxIndependentSet) and returns its
+// membership mask and the number of coin-tossing rounds used.
+func TwoRuling(l *list.List, procs int) ([]bool, int) {
+	colors, rounds := SixColor(l, procs)
+	pred := Pred(l, procs)
+	ThreeColor(l, colors, pred, procs)
+	return MaxIndependentSet(l, colors, pred, procs), rounds
+}
+
+// Ranks returns, for each vertex of l, the number of vertices that
+// precede it, computed by the deterministic ruling-set algorithm.
+func Ranks(l *list.List, opt Options) []int64 {
+	ones := make([]int64, l.Len())
+	for i := range ones {
+		ones[i] = 1
+	}
+	out := make([]int64, l.Len())
+	scan(out, l.Next, l.Head, ones, opt.withDefaults(), 0)
+	return out
+}
+
+// Scan returns the exclusive list scan of l under integer addition,
+// computed by the deterministic ruling-set algorithm.
+func Scan(l *list.List, opt Options) []int64 {
+	out := make([]int64, l.Len())
+	scan(out, l.Next, l.Head, l.Value, opt.withDefaults(), 0)
+	return out
+}
+
+// scan is one contraction level: ruling set, segment fold, recursion
+// on the ruler list, segment expansion. next/values are never
+// modified, so no restoration phase is needed (one of the few respects
+// in which this algorithm is *simpler* than the paper's).
+func scan(out []int64, next []int64, head int64, values []int64, opt Options, depth int) {
+	n := len(next)
+	if st := opt.Stats; st != nil && depth == 0 {
+		*st = Stats{}
+	}
+	if n <= opt.SerialCutoff {
+		serialScanInto(out, next, head, values)
+		return
+	}
+	lv := &list.List{Next: next, Value: values, Head: head}
+	colors, rounds := SixColor(lv, opt.Procs)
+	pred := Pred(lv, opt.Procs)
+	ThreeColor(lv, colors, pred, opt.Procs)
+	in := MaxIndependentSet(lv, colors, pred, opt.Procs)
+	in[head] = true // the head must start a segment
+
+	// Enumerate rulers and index them. The enumeration order is
+	// irrelevant (links carry the list order); a chunked count +
+	// prefix + fill keeps it parallel.
+	p := par.Procs(opt.Procs, n)
+	counts := make([]int, p+1)
+	par.ForChunks(n, p, func(w, lo, hi int) {
+		c := 0
+		for _, b := range in[lo:hi] {
+			if b {
+				c++
+			}
+		}
+		counts[w+1] = c
+	})
+	for w := 0; w < p; w++ {
+		counts[w+1] += counts[w]
+	}
+	k := counts[p]
+	rulers := make([]int64, k)
+	rulerIdx := make([]int32, n)
+	par.ForChunks(n, p, func(w, lo, hi int) {
+		idx := counts[w]
+		for v := lo; v < hi; v++ {
+			if in[v] {
+				rulers[idx] = int64(v)
+				rulerIdx[v] = int32(idx)
+				idx++
+			} else {
+				rulerIdx[v] = -1
+			}
+		}
+	})
+
+	// Fold each ruler's segment: sum the ruler and the non-rulers that
+	// follow it, stopping at the next ruler (its successor in the
+	// reduced list) or at the global tail (making it the reduced tail).
+	rNext := make([]int64, k)
+	rVal := make([]int64, k)
+	gaps := make([]int, p)
+	par.ForChunks(k, p, func(w, lo, hi int) {
+		maxGap := 0
+		for j := lo; j < hi; j++ {
+			v := rulers[j]
+			sum := values[v]
+			gap := 1
+			cur := v
+			succ := int64(j) // self-loop unless a next ruler is found
+			for {
+				nx := next[cur]
+				if nx == cur {
+					break // global tail inside this segment
+				}
+				if rulerIdx[nx] >= 0 {
+					succ = int64(rulerIdx[nx])
+					break
+				}
+				sum += values[nx]
+				cur = nx
+				gap++
+			}
+			rNext[j] = succ
+			rVal[j] = sum
+			if gap > maxGap {
+				maxGap = gap
+			}
+		}
+		gaps[w] = maxGap
+	})
+
+	if st := opt.Stats; st != nil {
+		st.Levels++
+		st.ColorRounds += rounds
+		if depth == 0 {
+			st.Rulers = k
+			for _, g := range gaps {
+				if g > st.MaxGap {
+					st.MaxGap = g
+				}
+			}
+		}
+	}
+
+	// Recurse on the ruler list; prefixes land in rPfx. Stats
+	// accumulate through the shared pointer in opt.
+	rPfx := make([]int64, k)
+	scan(rPfx, rNext, int64(rulerIdx[head]), rVal, opt, depth+1)
+
+	// Expand: every vertex is in exactly one segment.
+	par.ForChunks(k, p, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			v := rulers[j]
+			acc := rPfx[j]
+			cur := v
+			for {
+				out[cur] = acc
+				acc += values[cur]
+				nx := next[cur]
+				if nx == cur || rulerIdx[nx] >= 0 {
+					break
+				}
+				cur = nx
+			}
+		}
+	})
+}
+
+func serialScanInto(out []int64, next []int64, head int64, values []int64) {
+	serial.ScanInto(out, &list.List{Next: next, Value: values, Head: head})
+}

@@ -1,0 +1,273 @@
+package ruling
+
+import (
+	"testing"
+	"testing/quick"
+
+	"listrank/internal/list"
+	"listrank/internal/rng"
+	"listrank/internal/serial"
+)
+
+// lists under test: a mix of shapes, sizes around power-of-two and
+// cutoff boundaries, and seeds.
+func testLists(t *testing.T) map[string]*list.List {
+	t.Helper()
+	r := rng.New(7)
+	return map[string]*list.List{
+		"n1":          list.NewOrdered(1),
+		"n2":          list.NewOrdered(2),
+		"n3-random":   list.NewRandom(3, rng.New(1)),
+		"cutoff":      list.NewRandom(defaultSerialCutoff, rng.New(2)),
+		"cutoff+1":    list.NewRandom(defaultSerialCutoff+1, rng.New(3)),
+		"ordered-1k":  list.NewOrdered(1000),
+		"reversed-1k": list.NewReversed(1000),
+		"random-1k":   list.NewRandom(1000, rng.New(4)),
+		"random-4k":   list.NewRandom(4096, rng.New(5)),
+		"blocked-2k":  list.NewBlocked(2048, 17, r),
+		"random-65k":  list.NewRandom(1<<16, rng.New(6)),
+	}
+}
+
+func TestSixColorInvariants(t *testing.T) {
+	for name, l := range testLists(t) {
+		colors, rounds := SixColor(l, 4)
+		for v := 0; v < l.Len(); v++ {
+			if colors[v] < 0 || colors[v] >= 6 {
+				t.Fatalf("%s: color[%d] = %d outside {0..5}", name, v, colors[v])
+			}
+			if s := l.Next[v]; s != int64(v) && colors[s] == colors[v] {
+				t.Fatalf("%s: adjacent vertices %d -> %d share color %d", name, v, s, colors[v])
+			}
+		}
+		// log*(2^64) style bound: the coloring must settle fast.
+		if rounds > 6 {
+			t.Errorf("%s: %d coin-tossing rounds, want <= 6", name, rounds)
+		}
+	}
+}
+
+func TestThreeColorInvariants(t *testing.T) {
+	for name, l := range testLists(t) {
+		colors, _ := SixColor(l, 2)
+		pred := Pred(l, 2)
+		ThreeColor(l, colors, pred, 2)
+		for v := 0; v < l.Len(); v++ {
+			if colors[v] < 0 || colors[v] >= 3 {
+				t.Fatalf("%s: color[%d] = %d outside {0..2}", name, v, colors[v])
+			}
+			if s := l.Next[v]; s != int64(v) && colors[s] == colors[v] {
+				t.Fatalf("%s: adjacent vertices %d -> %d share color %d", name, v, s, colors[v])
+			}
+		}
+	}
+}
+
+func TestPred(t *testing.T) {
+	for name, l := range testLists(t) {
+		pred := Pred(l, 3)
+		if pred[l.Head] != -1 {
+			t.Fatalf("%s: pred[head] = %d, want -1", name, pred[l.Head])
+		}
+		for v := 0; v < l.Len(); v++ {
+			if s := l.Next[v]; s != int64(v) {
+				if pred[s] != int64(v) {
+					t.Fatalf("%s: pred[%d] = %d, want %d", name, s, pred[s], v)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxIndependentSetIsTwoRuling(t *testing.T) {
+	for name, l := range testLists(t) {
+		in, _ := TwoRuling(l, 4)
+		n := l.Len()
+		// Independence: no two adjacent members.
+		for v := 0; v < n; v++ {
+			if s := l.Next[v]; s != int64(v) && in[v] && in[s] {
+				t.Fatalf("%s: adjacent rulers %d -> %d", name, v, s)
+			}
+		}
+		// Maximality / 2-ruling: walking the list, gaps between
+		// members are at most 2 non-members.
+		gap := 0
+		order := l.Order()
+		for i, v := range order {
+			if in[v] {
+				gap = 0
+				continue
+			}
+			gap++
+			if gap > 2 {
+				t.Fatalf("%s: 3 consecutive non-rulers ending at position %d", name, i)
+			}
+		}
+		// An MIS on a path of n vertices has at least n/3 members.
+		count := 0
+		for _, b := range in {
+			if b {
+				count++
+			}
+		}
+		if n >= 3 && count < n/3 {
+			t.Fatalf("%s: MIS size %d < n/3 = %d", name, count, n/3)
+		}
+	}
+}
+
+func TestRanksMatchSerial(t *testing.T) {
+	for name, l := range testLists(t) {
+		want := serial.Ranks(l)
+		for _, procs := range []int{1, 3, 8} {
+			got := Ranks(l, Options{Procs: procs})
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("%s procs=%d: rank[%d] = %d, want %d", name, procs, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestScanMatchesSerial(t *testing.T) {
+	for name, l := range testLists(t) {
+		l.RandomValues(-50, 50, rng.New(99))
+		want := serial.Scan(l)
+		got := Scan(l, Options{Procs: 4})
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: scan[%d] = %d, want %d", name, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestScanDoesNotMutateList(t *testing.T) {
+	l := list.NewRandom(5000, rng.New(11))
+	l.RandomValues(0, 100, rng.New(12))
+	before := l.Clone()
+	Scan(l, Options{Procs: 4})
+	for v := range l.Next {
+		if l.Next[v] != before.Next[v] || l.Value[v] != before.Value[v] {
+			t.Fatalf("vertex %d mutated: next %d->%d value %d->%d",
+				v, before.Next[v], l.Next[v], before.Value[v], l.Value[v])
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	l := list.NewRandom(1<<15, rng.New(21))
+	var st Stats
+	Ranks(l, Options{Procs: 2, Stats: &st})
+	if st.Levels < 5 {
+		t.Errorf("Levels = %d, want >= 5 (each level shrinks by at most 3x from %d to %d)",
+			st.Levels, 1<<15, defaultSerialCutoff)
+	}
+	if st.MaxGap > 3 {
+		t.Errorf("MaxGap = %d, want <= 3 for a 2-ruling set", st.MaxGap)
+	}
+	if st.Rulers < (1<<15)/3 || st.Rulers > (1<<15)/2+1 {
+		t.Errorf("Rulers = %d, want in [n/3, n/2+1]", st.Rulers)
+	}
+	if st.ColorRounds < st.Levels {
+		t.Errorf("ColorRounds = %d < Levels = %d: every level must color at least once",
+			st.ColorRounds, st.Levels)
+	}
+}
+
+func TestStatsResetAcrossRuns(t *testing.T) {
+	l := list.NewRandom(4096, rng.New(31))
+	var st Stats
+	Ranks(l, Options{Stats: &st})
+	first := st
+	Ranks(l, Options{Stats: &st})
+	if st.Levels != first.Levels || st.ColorRounds != first.ColorRounds {
+		t.Errorf("stats accumulated across runs: first %+v, second %+v", first, st)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	l := list.NewRandom(10000, rng.New(44))
+	a := Ranks(l, Options{Procs: 1})
+	b := Ranks(l, Options{Procs: 7})
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("rank[%d] differs across processor counts: %d vs %d", v, a[v], b[v])
+		}
+	}
+}
+
+// Property: for random permutation lists of arbitrary size, the
+// deterministic algorithm agrees with the serial walk.
+func TestQuickRanksEqualSerial(t *testing.T) {
+	f := func(seed uint64, sz uint16) bool {
+		n := int(sz)%5000 + 1
+		l := list.NewRandom(n, rng.New(seed))
+		want := serial.Ranks(l)
+		got := Ranks(l, Options{Procs: 4})
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scan of arbitrary values equals the serial fold, including
+// negative values.
+func TestQuickScanEqualSerial(t *testing.T) {
+	f := func(seed uint64, sz uint16) bool {
+		n := int(sz)%3000 + 1
+		l := list.NewRandom(n, rng.New(seed))
+		l.RandomValues(-1000, 1000, rng.New(seed+1))
+		want := serial.Scan(l)
+		got := Scan(l, Options{Procs: 3})
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerialCutoffRespected(t *testing.T) {
+	l := list.NewRandom(500, rng.New(3))
+	var st Stats
+	// Cutoff above n: the whole problem goes serial, zero levels.
+	Ranks(l, Options{SerialCutoff: 1000, Stats: &st})
+	if st.Levels != 0 {
+		t.Errorf("Levels = %d with cutoff > n, want 0", st.Levels)
+	}
+	// Tiny cutoff: many levels.
+	Ranks(l, Options{SerialCutoff: 4, Stats: &st})
+	if st.Levels < 4 {
+		t.Errorf("Levels = %d with cutoff 4, want >= 4", st.Levels)
+	}
+}
+
+func BenchmarkTwoRuling(b *testing.B) {
+	l := list.NewRandom(1<<18, rng.New(1))
+	b.SetBytes(int64(l.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TwoRuling(l, 4)
+	}
+}
+
+func BenchmarkRanks(b *testing.B) {
+	l := list.NewRandom(1<<18, rng.New(1))
+	b.SetBytes(int64(l.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Ranks(l, Options{Procs: 4})
+	}
+}

@@ -1,0 +1,136 @@
+// Package sched computes the optimal load-balancing schedule of §4 of
+// the paper: given that sublist lengths are approximately exponential,
+// when should the lockstep traversal of Phases 1 and 3 stop to pack
+// completed sublists out of the working set?
+//
+// Let S_i be the total number of links each active sublist has
+// traversed before the i-th load balance and g(x) the expected number
+// of sublists longer than x (stats.G). Minimizing the expected phase
+// time (Eq. 3) by setting ∂T/∂S_i = 0 yields the recurrence (Eq. 4):
+//
+//	S_{i+1} = S_i + (g(S_{i-1}) − g(S_i)) / ((m/n)·g(S_i)) − c/a
+//
+// where a is the per-element traversal cost and c the per-element pack
+// cost. Given S_0 = 0 and a choice of S_1 the whole schedule follows;
+// the packs spread out as i grows because completions slow down, and a
+// larger c/a pushes packing later and reduces how often it pays off.
+package sched
+
+import (
+	"math"
+
+	"listrank/internal/stats"
+)
+
+// Params are the cost ratios the schedule depends on: A is the
+// per-element cycles of the traversal loop (3.4 for Phase 1 on the
+// C90), C the per-element cycles of a pack (8.2).
+type Params struct {
+	A float64
+	C float64
+}
+
+// Phase1C90 and Phase3C90 are the paper's measured cost pairs.
+func Phase1C90() Params { return Params{A: 3.4, C: 8.2} }
+func Phase3C90() Params { return Params{A: 4.6, C: 7.2} }
+
+// FromRecurrence iterates Eq. 4 from S_1 = s1 until the schedule
+// covers maxLen links (every sublist has completed in expectation),
+// returning the strictly increasing integer schedule S_1 < S_2 < …
+// Limit caps the schedule length as a safety net.
+func FromRecurrence(n, m int, s1 float64, pr Params, maxLen float64, limit int) []int {
+	if s1 < 1 {
+		s1 = 1
+	}
+	if limit <= 0 {
+		limit = 64
+	}
+	cOverA := pr.C / pr.A
+	mn := float64(m) / float64(n)
+	var out []int
+	sPrev := 0.0 // S_{i-1}
+	sCur := s1   // S_i
+	push := func(s float64) {
+		v := int(math.Ceil(s))
+		if len(out) > 0 && v <= out[len(out)-1] {
+			v = out[len(out)-1] + 1
+		}
+		out = append(out, v)
+	}
+	push(sCur)
+	for sCur < maxLen && len(out) < limit {
+		gPrev := stats.G(sPrev, n, m)
+		gCur := stats.G(sCur, n, m)
+		if gCur <= 0 {
+			break
+		}
+		sNext := sCur + (gPrev-gCur)/(mn*gCur) - cOverA
+		if sNext <= sCur+1 {
+			sNext = sCur + 1 // enforce progress when the optimum stalls
+		}
+		sPrev, sCur = sCur, sNext
+		push(sCur)
+	}
+	return out
+}
+
+// ExpectedPhaseCost evaluates Eq. 3's phase portion for one traversal
+// phase: the expected cycles to traverse and pack with schedule s,
+// where the loop models are T_scan(x) = a·x + b per link and
+// T_pack(x) = c·x + d per pack over x active sublists. It integrates
+// the step function of Fig. 10: between S_i and S_{i+1} the vector
+// length is g(S_i).
+//
+// The schedule is extended with its own recurrence implicitly: the
+// cost after the last S covers the remaining expected work at the last
+// vector length ≥ 1 (all sublists completed by maxLen).
+func ExpectedPhaseCost(n, m int, s []int, a, b, c, d float64) float64 {
+	maxLen := stats.ExpectedLongest(n, m)
+	cost := 0.0
+	prev := 0.0
+	for _, si := range s {
+		x := float64(si)
+		width := x - prev
+		if width <= 0 {
+			continue
+		}
+		active := stats.G(prev, n, m) // vector length through this span
+		cost += width * (a*active + b)
+		cost += c*stats.G(x, n, m) + d // the pack at S_i
+		prev = x
+	}
+	if prev < maxLen {
+		// Tail: no more packs; chase the longest sublists to the end.
+		active := stats.G(prev, n, m)
+		if active < 1 {
+			active = 1
+		}
+		cost += (maxLen - prev) * (a*active + b)
+	}
+	return cost
+}
+
+// OptimizeS1 searches for the S_1 whose recurrence-generated schedule
+// minimizes ExpectedPhaseCost, scanning a geometric grid of
+// candidates. It returns the best S_1 and its schedule.
+func OptimizeS1(n, m int, pr Params, b, d float64) (float64, []int) {
+	maxLen := stats.ExpectedLongest(n, m)
+	bestS1 := 1.0
+	bestCost := math.Inf(1)
+	var bestSched []int
+	mean := float64(n) / float64(m)
+	for f := 0.05; f <= 3.0; f *= 1.15 {
+		s1 := f * mean
+		if s1 < 1 {
+			continue
+		}
+		sched := FromRecurrence(n, m, s1, pr, maxLen, 64)
+		cost := ExpectedPhaseCost(n, m, sched, pr.A, b, pr.C, d)
+		if cost < bestCost {
+			bestCost = cost
+			bestS1 = s1
+			bestSched = sched
+		}
+	}
+	return bestS1, bestSched
+}

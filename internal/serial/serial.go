@@ -1,0 +1,87 @@
+// Package serial implements the sequential list-ranking and list-scan
+// algorithms (paper §2.1). The serial algorithm simply walks down the
+// list accumulating values; it is the work baseline every parallel
+// algorithm is compared against (Table II: O(n) time, O(n) work, small
+// constants, constant extra space) and it is also used as the Phase 2
+// solver of the sublist algorithm when the reduced list is short.
+package serial
+
+import "listrank/internal/list"
+
+// Ranks returns, for each vertex of l, the number of vertices that
+// precede it in the list.
+func Ranks(l *list.List) []int64 {
+	out := make([]int64, l.Len())
+	RanksInto(out, l)
+	return out
+}
+
+// RanksInto writes the ranks of l into dst, which must have length
+// l.Len(). It allows callers to reuse result storage across runs.
+func RanksInto(dst []int64, l *list.List) {
+	v := l.Head
+	next := l.Next
+	var rank int64
+	for {
+		dst[v] = rank
+		rank++
+		n := next[v]
+		if n == v {
+			return
+		}
+		v = n
+	}
+}
+
+// Scan returns the exclusive list scan of l under integer addition:
+// out[v] is the sum of the values of all vertices strictly preceding v.
+func Scan(l *list.List) []int64 {
+	out := make([]int64, l.Len())
+	ScanInto(out, l)
+	return out
+}
+
+// ScanInto writes the exclusive scan of l into dst, which must have
+// length l.Len().
+func ScanInto(dst []int64, l *list.List) {
+	v := l.Head
+	next, value := l.Next, l.Value
+	var sum int64
+	for {
+		dst[v] = sum
+		sum += value[v]
+		n := next[v]
+		if n == v {
+			return
+		}
+		v = n
+	}
+}
+
+// ScanOp returns the exclusive list scan of l under an arbitrary
+// associative operator op with the given identity. The head receives
+// identity, and every other vertex receives
+// op(value[v1], op(value[v2], …)) over the strictly preceding vertices
+// v1, v2, … in list order (combined left to right, so op need not be
+// commutative).
+func ScanOp(l *list.List, op func(a, b int64) int64, identity int64) []int64 {
+	out := make([]int64, l.Len())
+	ScanOpInto(out, l, op, identity)
+	return out
+}
+
+// ScanOpInto is ScanOp writing into caller-provided storage.
+func ScanOpInto(dst []int64, l *list.List, op func(a, b int64) int64, identity int64) {
+	v := l.Head
+	next, value := l.Next, l.Value
+	acc := identity
+	for {
+		dst[v] = acc
+		acc = op(acc, value[v])
+		n := next[v]
+		if n == v {
+			return
+		}
+		v = n
+	}
+}

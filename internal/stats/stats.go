@@ -1,0 +1,208 @@
+// Package stats implements the probabilistic analysis of §4.1 of the
+// paper — the distribution of sublist lengths when a list of length n
+// is cut at m random positions — together with the least-squares
+// machinery §4.4 uses to fit the tuned parameters m(n) and S1(n) as
+// cubic polynomials of log n.
+//
+// The key fact (Proposition 2, from Feller): as m → ∞ the gaps between
+// m uniform points behave like independent exponential variables with
+// mean 1/m, so sublist lengths are approximately exponential with mean
+// n/m, and the expected number of sublists longer than x is
+//
+//	g(x) = (m+1)·e^(−m·x/n)            (Eq. 2)
+//
+// which is the curve the load-balancing schedule of §4 is built on.
+package stats
+
+import "math"
+
+// G returns g(x) = (m+1)·e^(−m·x/n), the expected number of sublists
+// of length greater than x when a list of n vertices is divided into
+// m+1 sublists at random positions (Eq. 2).
+func G(x float64, n, m int) float64 {
+	return float64(m+1) * math.Exp(-float64(m)*x/float64(n))
+}
+
+// GDeriv returns g'(x) = −(m/n)·g(x), used by the schedule recurrence.
+func GDeriv(x float64, n, m int) float64 {
+	return -float64(m) / float64(n) * G(x, n, m)
+}
+
+// ExpectedOrderedLength returns the expected length of the j-th
+// shortest of the m+1 sublists (j in [0, m]), from inverting the
+// survival function: solve e^(−m·x/n) = (m−j+0.5)/(m+1) for x.
+// For j = 0 this is (n/m)·ln((m+1)/(m+0.5)) and for j = m it is
+// (n/m)·ln(2m+2), the paper's extremes (§4.1). The estimate is
+// reasonable for n > 1000 and m > 100, as the paper notes.
+func ExpectedOrderedLength(n, m, j int) float64 {
+	num := float64(m) - float64(j) + 0.5
+	den := float64(m + 1)
+	return -float64(n) / float64(m) * math.Log(num/den)
+}
+
+// ExpectedShortest and ExpectedLongest are the j = 0 and j = m special
+// cases in the paper's closed forms.
+func ExpectedShortest(n, m int) float64 {
+	return float64(n) / float64(m) * math.Log(float64(m+1)/(float64(m)+0.5))
+}
+
+// ExpectedLongest returns (n/m)·ln(2m+2), the expected length of the
+// longest sublist — the quantity that bounds the parallel running time
+// of the algorithm (§2.5) and sets where the pack schedule must end.
+func ExpectedLongest(n, m int) float64 {
+	return float64(n) / float64(m) * math.Log(2*float64(m)+2)
+}
+
+// SampleGaps cuts [0, n) at m distinct uniformly random positions
+// drawn with the provided next function (which must return a uniform
+// integer in [0, bound)), and returns the m+1 gap lengths sorted
+// ascending. It is the sampling experiment behind Fig. 9.
+func SampleGaps(n, m int, intn func(int) int) []int {
+	if m >= n {
+		panic("stats: need m < n")
+	}
+	// Draw distinct positions in (0, n): position p means a cut
+	// between vertex p−1 and p.
+	seen := make(map[int]bool, m)
+	cuts := make([]int, 0, m)
+	for len(cuts) < m {
+		p := 1 + intn(n-1)
+		if !seen[p] {
+			seen[p] = true
+			cuts = append(cuts, p)
+		}
+	}
+	insertionSort(cuts)
+	gaps := make([]int, 0, m+1)
+	prev := 0
+	for _, c := range cuts {
+		gaps = append(gaps, c-prev)
+		prev = c
+	}
+	gaps = append(gaps, n-prev)
+	insertionSort(gaps)
+	return gaps
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// Summary holds min/mean/max over a set of samples, the error-bar
+// format of Fig. 9.
+type Summary struct {
+	Min, Mean, Max float64
+}
+
+// Summarize reduces per-sample values to a Summary.
+func Summarize(vals []float64) Summary {
+	if len(vals) == 0 {
+		return Summary{}
+	}
+	s := Summary{Min: vals[0], Max: vals[0]}
+	sum := 0.0
+	for _, v := range vals {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		sum += v
+	}
+	s.Mean = sum / float64(len(vals))
+	return s
+}
+
+// Poly is a polynomial c[0] + c[1]·x + c[2]·x² + …
+type Poly []float64
+
+// Eval evaluates the polynomial at x by Horner's rule.
+func (p Poly) Eval(x float64) float64 {
+	v := 0.0
+	for i := len(p) - 1; i >= 0; i-- {
+		v = v*x + p[i]
+	}
+	return v
+}
+
+// FitPoly least-squares fits a polynomial of the given degree to the
+// points (xs[i], ys[i]) by solving the normal equations with Gaussian
+// elimination (partial pivoting). §4.4 uses degree-3 fits in log n for
+// the tuned m and S1. It panics if the system is degenerate or the
+// inputs mismatched.
+func FitPoly(xs, ys []float64, degree int) Poly {
+	if len(xs) != len(ys) {
+		panic("stats: FitPoly input length mismatch")
+	}
+	if len(xs) < degree+1 {
+		panic("stats: FitPoly needs at least degree+1 points")
+	}
+	k := degree + 1
+	// Normal equations: A·c = b with A[r][c] = Σ x^(r+c), b[r] = Σ y·x^r.
+	a := make([][]float64, k)
+	b := make([]float64, k)
+	for r := 0; r < k; r++ {
+		a[r] = make([]float64, k)
+	}
+	pow := make([]float64, 2*k-1)
+	for i := range xs {
+		x := xs[i]
+		pow[0] = 1
+		for d := 1; d < len(pow); d++ {
+			pow[d] = pow[d-1] * x
+		}
+		for r := 0; r < k; r++ {
+			for c := 0; c < k; c++ {
+				a[r][c] += pow[r+c]
+			}
+			b[r] += ys[i] * pow[r]
+		}
+	}
+	return Poly(solve(a, b))
+}
+
+// solve performs Gaussian elimination with partial pivoting on the
+// k×k system a·x = b, destroying its inputs.
+func solve(a [][]float64, b []float64) []float64 {
+	k := len(b)
+	for col := 0; col < k; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			panic("stats: singular system in FitPoly")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		// Eliminate below.
+		for r := col + 1; r < k; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < k; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, k)
+	for r := k - 1; r >= 0; r-- {
+		v := b[r]
+		for c := r + 1; c < k; c++ {
+			v -= a[r][c] * x[c]
+		}
+		x[r] = v / a[r][r]
+	}
+	return x
+}

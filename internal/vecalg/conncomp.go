@@ -1,0 +1,379 @@
+package vecalg
+
+import (
+	"listrank/internal/vm"
+)
+
+// This file takes the paper's closing question one level further up
+// the stack than tree contraction: graph connected components — the
+// application every implementation study cited in §1 built — written
+// as a vector program on the simulated C90. The algorithm is
+// random-mate edge contraction (the §2.3 discipline on graphs): coin
+// flips break symmetry, females hook to adjacent males through a
+// masked scatter, contracted edges are packed out each round exactly
+// like completed sublists in §3, and a final burst of pointer-jumping
+// passes flattens the hook forest.
+
+// GraphInput is an edge list resident in simulated machine memory.
+type GraphInput struct {
+	M      *vm.Machine
+	N      int   // vertices
+	NE     int   // edges
+	EU, EV int64 // base addresses of the endpoint arrays
+	Parent int64 // base address of the parent array (n + strip scratch)
+	Out    int64 // base address of the label array
+}
+
+// LoadGraph places the edge list into mach's memory. Self-loops are
+// dropped during load (input preparation, untimed).
+func LoadGraph(mach *vm.Machine, n int, edges [][2]int32) *GraphInput {
+	ne := 0
+	for _, e := range edges {
+		if e[0] != e[1] {
+			ne++
+		}
+	}
+	in := &GraphInput{
+		M: mach, N: n, NE: ne,
+		EU: mach.Alloc(ne), EV: mach.Alloc(ne),
+		// The parent array carries one extra strip of scratch words so
+		// masked scatters can dump their inactive lanes harmlessly.
+		Parent: mach.Alloc(n + ccStrip),
+		Out:    mach.Alloc(n),
+	}
+	mem := mach.Mem
+	k := int64(0)
+	for _, e := range edges {
+		if e[0] != e[1] {
+			mem[in.EU+k] = int64(e[0])
+			mem[in.EV+k] = int64(e[1])
+			k++
+		}
+	}
+	return in
+}
+
+// Labels copies the component labels out of machine memory.
+func (in *GraphInput) Labels() []int64 {
+	out := make([]int64, in.N)
+	copy(out, in.M.Mem[in.Out:in.Out+int64(in.N)])
+	return out
+}
+
+const ccStrip = 1 << 16
+
+// hashCoin is the in-register coin: a cheap integer hash of
+// (vertex, round), so no per-round coin array pass over all n
+// vertices is needed — the coins for an edge's endpoints are computed
+// in the vector ALU from data already in registers.
+func hashCoin(v int64, round uint64) int64 {
+	x := uint64(v)*0x9e3779b97f4a7c15 + round*0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	x *= 0x94d049bb133111eb
+	x ^= x >> 29
+	return int64(x & 1)
+}
+
+// RandomMateCC labels the connected components of the graph on
+// processor 0 of the simulated machine and writes canonical
+// (minimum-vertex) labels to in.Out. It returns the number of
+// components and the number of contraction rounds.
+func RandomMateCC(in *GraphInput, seed uint64) (count, rounds int) {
+	return RandomMateCCP(in, 1, seed)
+}
+
+// RandomMateCCP is RandomMateCC on procs processors of the simulated
+// machine. Edges are dealt to the processors once and each packs only
+// its own segment — the §5 local-load-balance discipline, so the only
+// synchronization is the barrier between the hook and relabel passes
+// of each round (hooks must land before parents are gathered). The
+// machine's contention model scales the memory rates for procs > 1 as
+// in Figs. 3/11.
+func RandomMateCCP(in *GraphInput, procs int, seed uint64) (count, rounds int) {
+	mach := in.M
+	mem := mach.Mem
+	n := int64(in.N)
+	if procs < 1 {
+		procs = 1
+	}
+	if procs > mach.NumProcs() {
+		procs = mach.NumProcs()
+	}
+
+	// parent[v] = v, strided passes chunked across processors.
+	for pc := 0; pc < procs; pc++ {
+		clo, chi := chunk(in.N, procs, pc)
+		p := mach.Proc(pc)
+		for lo := clo; lo < chi; lo += ccStrip {
+			hi := min(lo+ccStrip, chi)
+			w := hi - lo
+			reg := make([]int64, w)
+			lp := p.Loop(w)
+			lp.Iota(reg, int64(lo))
+			lp.StoreStride(in.Parent+int64(lo), reg)
+			lp.End()
+		}
+	}
+	mach.SyncProcs()
+
+	// Each processor owns a fixed region of the edge arrays and packs
+	// within it; live counts are tracked per processor.
+	base := make([]int, procs+1)
+	x := make([]int, procs)
+	for pc := 0; pc < procs; pc++ {
+		lo, hi := chunk(in.NE, procs, pc)
+		base[pc] = lo
+		x[pc] = hi - lo
+	}
+	base[procs] = in.NE
+
+	eu := make([]int64, ccStrip)
+	ev := make([]int64, ccStrip)
+	fsel := make([]int64, ccStrip)
+	msel := make([]int64, ccStrip)
+	keep := make([]bool, ccStrip)
+	round := uint64(seed)
+
+	total := in.NE
+	for total > 0 {
+		rounds++
+		round++
+		// Hook pass on every processor's live segment: load
+		// endpoints, hash coins in the ALU, one masked scatter
+		// parent[female] = male (inactive lanes dump into the scratch
+		// strip — masked Cray vector ops run at full length anyway).
+		for pc := 0; pc < procs; pc++ {
+			p := mach.Proc(pc)
+			off := int64(base[pc])
+			for lo := 0; lo < x[pc]; lo += ccStrip {
+				hi := min(lo+ccStrip, x[pc])
+				w := hi - lo
+				lp := p.Loop(w)
+				lp.LoadStride(eu[:w], in.EU+off+int64(lo))
+				lp.LoadStride(ev[:w], in.EV+off+int64(lo))
+				lp.ALU(6) // two hash coins + mask formation
+				for i := 0; i < w; i++ {
+					u := mem[in.EU+off+int64(lo+i)]
+					v := mem[in.EV+off+int64(lo+i)]
+					cu := hashCoin(u, round)
+					cv := hashCoin(v, round)
+					switch {
+					case cu == 1 && cv == 0: // u male, v female
+						fsel[i], msel[i] = v, u
+					case cv == 1 && cu == 0:
+						fsel[i], msel[i] = u, v
+					default:
+						fsel[i], msel[i] = n+int64(i), 0 // dump lane
+					}
+				}
+				lp.Scatter(in.Parent, fsel[:w], msel[:w])
+				lp.End()
+				for i := 0; i < w; i++ {
+					if fsel[i] < n {
+						mem[in.Parent+fsel[i]] = msel[i]
+					}
+				}
+			}
+		}
+		mach.SyncProcs() // hooks must land before relabel gathers
+
+		// Relabel-and-pack pass, local to each processor's segment:
+		// gather both endpoints' parents (live endpoints were roots at
+		// round start, so one gather re-canonicalizes), drop the
+		// self-loops, store survivors compacted — the §3 pack
+		// discipline on edges, §5-style local-only.
+		total = 0
+		for pc := 0; pc < procs; pc++ {
+			p := mach.Proc(pc)
+			off := int64(base[pc])
+			write := 0
+			for lo := 0; lo < x[pc]; lo += ccStrip {
+				hi := min(lo+ccStrip, x[pc])
+				w := hi - lo
+				lp := p.Loop(w)
+				lp.LoadStride(eu[:w], in.EU+off+int64(lo))
+				lp.LoadStride(ev[:w], in.EV+off+int64(lo))
+				copy(eu[:w], mem[in.EU+off+int64(lo):in.EU+off+int64(hi)])
+				copy(ev[:w], mem[in.EV+off+int64(lo):in.EV+off+int64(hi)])
+				lp.Gather(fsel[:w], in.Parent, eu[:w])
+				lp.Gather(msel[:w], in.Parent, ev[:w])
+				lp.ALU(1) // keep mask
+				for i := 0; i < w; i++ {
+					eu[i], ev[i] = mem[in.Parent+eu[i]], mem[in.Parent+ev[i]]
+					keep[i] = eu[i] != ev[i]
+				}
+				lp.End()
+				k := p.Pack(w, keep[:w], eu[:w], ev[:w])
+				if k > 0 {
+					sp := p.Loop(k)
+					sp.StoreStride(in.EU+off+int64(write), eu[:k])
+					sp.StoreStride(in.EV+off+int64(write), ev[:k])
+					sp.End()
+					copy(mem[in.EU+off+int64(write):in.EU+off+int64(write+k)], eu[:k])
+					copy(mem[in.EV+off+int64(write):in.EV+off+int64(write+k)], ev[:k])
+					write += k
+				}
+			}
+			x[pc] = write
+			total += write
+		}
+		mach.SyncProcs()
+	}
+
+	// Flatten the hook forest: repeated jump passes
+	// parent[v] = parent[parent[v]] until no change — Wyllie on the
+	// label forest, depth bounded by the round count; vertex ranges
+	// chunked across processors.
+	pv := make([]int64, ccStrip)
+	ppv := make([]int64, ccStrip)
+	for {
+		changed := false
+		for pc := 0; pc < procs; pc++ {
+			clo, chi := chunk(in.N, procs, pc)
+			p := mach.Proc(pc)
+			for lo := clo; lo < chi; lo += ccStrip {
+				hi := min(lo+ccStrip, chi)
+				w := hi - lo
+				lp := p.Loop(w)
+				lp.LoadStride(pv[:w], in.Parent+int64(lo))
+				copy(pv[:w], mem[in.Parent+int64(lo):in.Parent+int64(hi)])
+				lp.Gather(ppv[:w], in.Parent, pv[:w])
+				lp.ALU(1)
+				for i := 0; i < w; i++ {
+					ppv[i] = mem[in.Parent+pv[i]]
+					if ppv[i] != pv[i] {
+						changed = true
+					}
+				}
+				lp.StoreStride(in.Parent+int64(lo), ppv[:w])
+				lp.End()
+				copy(mem[in.Parent+int64(lo):in.Parent+int64(hi)], ppv[:w])
+			}
+		}
+		mach.SyncProcs()
+		if !changed {
+			break
+		}
+	}
+
+	// Canonicalize to minimum-vertex labels: a gather + masked min
+	// scatter pass, then a gather + store pass, chunked.
+	minOf := make([]int64, in.N)
+	for v := range minOf {
+		minOf[v] = int64(in.N)
+	}
+	for pc := 0; pc < procs; pc++ {
+		clo, chi := chunk(in.N, procs, pc)
+		p := mach.Proc(pc)
+		for lo := clo; lo < chi; lo += ccStrip {
+			hi := min(lo+ccStrip, chi)
+			w := hi - lo
+			lp := p.Loop(w)
+			lp.LoadStride(pv[:w], in.Parent+int64(lo))
+			lp.ALU(1)
+			lp.ChargeScatters(1)
+			for i := 0; i < w; i++ {
+				v := int64(lo + i)
+				r := mem[in.Parent+v]
+				if v < minOf[r] {
+					minOf[r] = v
+				}
+			}
+			lp.End()
+		}
+	}
+	mach.SyncProcs()
+	for pc := 0; pc < procs; pc++ {
+		clo, chi := chunk(in.N, procs, pc)
+		p := mach.Proc(pc)
+		for lo := clo; lo < chi; lo += ccStrip {
+			hi := min(lo+ccStrip, chi)
+			w := hi - lo
+			lp := p.Loop(w)
+			lp.LoadStride(pv[:w], in.Parent+int64(lo))
+			lp.ChargeGathers(1)
+			for i := 0; i < w; i++ {
+				ppv[i] = minOf[mem[in.Parent+int64(lo+i)]]
+			}
+			lp.StoreStride(in.Out+int64(lo), ppv[:w])
+			lp.End()
+			copy(mem[in.Out+int64(lo):in.Out+int64(hi)], ppv[:w])
+		}
+	}
+	mach.SyncProcs()
+	for v := int64(0); v < n; v++ {
+		if mem[in.Parent+v] == v {
+			count++
+		}
+	}
+	return count, rounds
+}
+
+// SerialCC runs weighted union-find with path halving at the
+// machine's calibrated scalar rates — the C90 serial baseline the
+// vector program has to beat. Every find step is a dependent load
+// (the same memory-latency-bound chase as serial list ranking), so it
+// is charged at the scalar pointer-chase rate; unions add a couple of
+// scalar cycles of arithmetic.
+func SerialCC(in *GraphInput) (count int) {
+	mach := in.M
+	mem := mach.Mem
+	p := mach.Proc(0)
+	n := int64(in.N)
+
+	for v := int64(0); v < n; v++ {
+		mem[in.Parent+v] = v
+	}
+	p.ScalarCycles(float64(n)) // striding init at ~1 cycle/word
+
+	size := make([]int64, in.N)
+	for i := range size {
+		size[i] = 1
+	}
+	chases := 0
+	find := func(v int64) int64 {
+		for mem[in.Parent+v] != v {
+			mem[in.Parent+v] = mem[in.Parent+mem[in.Parent+v]]
+			v = mem[in.Parent+v]
+			chases++
+		}
+		chases++ // the terminating comparison load
+		return v
+	}
+	count = in.N
+	for i := int64(0); i < int64(in.NE); i++ {
+		ru := find(mem[in.EU+i])
+		rv := find(mem[in.EV+i])
+		if ru == rv {
+			continue
+		}
+		if size[ru] < size[rv] {
+			ru, rv = rv, ru
+		}
+		mem[in.Parent+rv] = ru
+		size[ru] += size[rv]
+		count--
+	}
+	p.ScalarChase(chases, false)
+	p.ScalarCycles(4 * float64(in.NE)) // edge loads + union arithmetic
+
+	// Canonical labels, scalar.
+	minOf := make([]int64, in.N)
+	for v := range minOf {
+		minOf[v] = int64(in.N)
+	}
+	extra := 0
+	for v := int64(0); v < n; v++ {
+		r := find(v)
+		if v < minOf[r] {
+			minOf[r] = v
+		}
+		extra++
+	}
+	for v := int64(0); v < n; v++ {
+		mem[in.Out+v] = minOf[find(v)]
+		extra++
+	}
+	p.ScalarCycles(3 * float64(extra))
+	return count
+}

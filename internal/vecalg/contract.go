@@ -1,0 +1,388 @@
+package vecalg
+
+import (
+	"fmt"
+
+	"listrank/internal/vm"
+)
+
+// This file implements parallel expression-tree evaluation by rake
+// contraction as a vector program on the simulated C90 — the paper's
+// companion application (Reid-Miller, Miller and Modugno, "List
+// ranking and parallel tree contraction", ref [31]; the rake-only
+// algorithm is Abrahamson et al., ref [1]) and the sharpest version of
+// §7's closing question: does the fast list-ranking primitive make
+// tree algorithms practical *on the machine the paper used*?
+//
+// The program has two parts, both running under the machine's cycle
+// accounting:
+//
+//  1. Leaf numbering. The expression's Euler tour is assembled in
+//     machine memory with elementwise vector passes and scanned with
+//     the paper's own tuned sublist algorithm; the prefix at a leaf's
+//     entering element is its left-to-right index.
+//
+//  2. Rake rounds. Each round rakes the odd-numbered left-child
+//     leaves, then the odd-numbered right-child leaves (the same
+//     independence discipline as the goroutine-track implementation in
+//     package tree). A rake is ~11 gather and 4 scatter passes over
+//     the raked subset — pending-function composition is pure vector
+//     arithmetic — and the live leaf set is packed like the list
+//     algorithm's virtual processors. Leaves halve each round, so the
+//     gather/scatter unit sees a geometric series totalling O(n)
+//     elements.
+//
+// The interesting output is cycles per node against the serial
+// postorder walk (a dependent scalar chase, like serial list
+// ranking): vectorized contraction pays ≈ 24 cycles of gather/scatter
+// time per raked leaf plus the tour scan, against ≈ 44 scalar cycles
+// per node — close enough that the verdict (experiment `contraction`)
+// is exactly the paper's small-constants story again.
+
+// ExprInput is an expression tree resident in simulated machine
+// memory. Node arrays are indexed by vertex; Child is a 2n-word array
+// with left children at [0, n) and right children at [n, 2n), so a
+// child slot address is side·n + parent — one vector index
+// computation.
+type ExprInput struct {
+	M    *vm.Machine
+	N    int
+	Root int64
+	// Memory bases.
+	Child   int64 // 2n words: [left | right], -1 for leaves
+	Parent  int64 // n words, -1 at the root
+	Side    int64 // n words: slot in parent (0 left, 1 right)
+	Ops     int64 // n words: 0 add, 1 mul
+	LeafVal int64 // n words
+	Fa, Fb  int64 // n words each: pending linear function
+}
+
+// LoadExpr places an expression tree (arrays as in tree.NewExpr:
+// left/right = -1 for leaves) into machine memory. Input validation
+// is the caller's business (package tree's constructor does it); this
+// loader only derives the parent/side tables and finds the root.
+func LoadExpr(mach *vm.Machine, left, right []int32, ops []int8, leafVal []int64) *ExprInput {
+	n := len(left)
+	in := &ExprInput{
+		M: mach, N: n,
+		Child: mach.Alloc(2 * n), Parent: mach.Alloc(n), Side: mach.Alloc(n),
+		Ops: mach.Alloc(n), LeafVal: mach.Alloc(n),
+		Fa: mach.Alloc(n), Fb: mach.Alloc(n),
+	}
+	mem := mach.Mem
+	in.Root = -1
+	for v := 0; v < n; v++ {
+		mem[in.Parent+int64(v)] = -1
+	}
+	for v := 0; v < n; v++ {
+		mem[in.Child+int64(v)] = int64(left[v])
+		mem[in.Child+int64(n)+int64(v)] = int64(right[v])
+		mem[in.Ops+int64(v)] = int64(ops[v])
+		mem[in.LeafVal+int64(v)] = leafVal[v]
+		if left[v] >= 0 {
+			mem[in.Parent+int64(left[v])] = int64(v)
+			mem[in.Side+int64(left[v])] = 0
+			mem[in.Parent+int64(right[v])] = int64(v)
+			mem[in.Side+int64(right[v])] = 1
+		}
+	}
+	for v := 0; v < n; v++ {
+		if mem[in.Parent+int64(v)] == -1 {
+			in.Root = int64(v)
+		}
+	}
+	return in
+}
+
+// ContractStats reports what a ContractEval run did.
+type ContractStats struct {
+	// Leaves is the leaf count.
+	Leaves int
+	// Rounds is the number of rake rounds.
+	Rounds int
+	// TourCycles is the makespan after leaf numbering (part 1).
+	TourCycles float64
+}
+
+// ContractEval evaluates the expression by vectorized rake
+// contraction on processor 0, charging cycles for every pass, and
+// returns the root value. pr parameterizes the tour scan (use
+// FromTuned(2n, seed)).
+func ContractEval(in *ExprInput, pr SublistParams) (int64, ContractStats) {
+	mach := in.M
+	mem := mach.Mem
+	n := in.N
+	p := mach.Proc(0)
+	var st ContractStats
+	if n == 1 {
+		p.ScalarChase(1, true)
+		return mem[in.LeafVal+in.Root], st
+	}
+
+	// ----- Part 1: leaf numbering by tour scan -----
+	// Tour arrays: element v = down(v), n+v = up(v).
+	tourNext := mach.Alloc(2 * n)
+	tourVal := mach.Alloc(2 * n)
+	tourOut := mach.Alloc(2 * n)
+	// Assemble with elementwise passes: for internal v,
+	//   next[down v] = down(left v);  next[up(left v)] = down(right v);
+	//   next[up(right v)] = up(v)
+	// and for leaves next[down v] = up(v), value 1. Four scatter
+	// passes driven by gathered child vectors.
+	{
+		idx := make([]int64, n)
+		l := make([]int64, n)
+		r := make([]int64, n)
+		a := make([]int64, n)
+		b := make([]int64, n)
+		lp := p.Loop(n)
+		lp.Iota(idx, 0)
+		lp.Gather(l, in.Child, idx)          // left child or -1
+		lp.Gather(r, in.Child+int64(n), idx) // right child or -1
+		lp.ALU(4)                            // leaf masks, address arithmetic
+		for v := 0; v < n; v++ {
+			if l[v] < 0 {
+				a[v] = int64(v)            // down(leaf)
+				b[v] = int64(n) + int64(v) // -> up(leaf)
+			} else {
+				a[v] = int64(v) // down(v) -> down(left)
+				b[v] = l[v]
+			}
+		}
+		lp.Scatter(tourNext, a, b)
+		for v := 0; v < n; v++ {
+			if l[v] < 0 {
+				a[v] = int64(v) // idempotent rewrite of the leaf's own down
+				b[v] = int64(n) + int64(v)
+			} else {
+				a[v] = int64(n) + l[v] // up(left) -> down(right)
+				b[v] = r[v]
+			}
+		}
+		lp.Scatter(tourNext, a, b)
+		for v := 0; v < n; v++ {
+			if l[v] < 0 {
+				a[v] = int64(v) // idempotent again (a masked lane on the C90)
+				b[v] = int64(n) + int64(v)
+			} else {
+				a[v] = int64(n) + r[v] // up(right) -> up(v)
+				b[v] = int64(n) + int64(v)
+			}
+		}
+		lp.Scatter(tourNext, a, b)
+		for v := 0; v < n; v++ {
+			if l[v] < 0 {
+				a[v] = int64(v)
+				b[v] = 1
+			} else {
+				a[v] = int64(v) // value 0 at internal downs
+				b[v] = 0
+			}
+		}
+		lp.Scatter(tourVal, a, b)
+		lp.End()
+		// Up-element values are all zero (fresh memory is zero on a
+		// new machine; on a reused one a Const/Scatter pass would be
+		// charged — we charge it unconditionally for honesty).
+		lp = p.Loop(n)
+		lp.Iota(a, int64(n))
+		lp.Const(b, 0)
+		lp.Scatter(tourVal, a, b)
+		lp.End()
+	}
+	mem[tourNext+int64(n)+in.Root] = int64(n) + in.Root // tour tail self-loop
+	p.ScalarCycles(2)
+
+	tour := &Input{
+		M: mach, N: 2 * n,
+		Head: in.Root, Tail: int64(n) + in.Root,
+		// The scan never reads Enc (the encoded array is a ranking
+		// concern) but saves/restores one word at the tail; give it
+		// its own region rather than aliasing the value array.
+		Next: tourNext, Value: tourVal, Enc: mach.Alloc(2 * n), Out: tourOut,
+	}
+	SublistScan(tour, pr)
+	st.TourCycles = mach.Makespan()
+
+	// Extract the ordered live leaf set: gather the prefix at every
+	// leaf's down element and scatter the leaf id to that index.
+	nLeaves := (n + 1) / 2
+	live := make([]int64, nLeaves)
+	{
+		idx := make([]int64, n)
+		l := make([]int64, n)
+		pos := make([]int64, n)
+		lp := p.Loop(n)
+		lp.Iota(idx, 0)
+		lp.Gather(l, in.Child, idx)
+		lp.Gather(pos, tourOut, idx) // prefix at down(v)
+		lp.ALU(1)
+		keep := make([]bool, n)
+		for v := 0; v < n; v++ {
+			keep[v] = l[v] < 0
+		}
+		lp.End()
+		w := p.Pack(n, keep, idx, pos)
+		if w != nLeaves {
+			panic(fmt.Sprintf("vecalg: %d leaves packed, want %d (not a full binary tree?)", w, nLeaves))
+		}
+		lp = p.Loop(w)
+		lp.ScatterReg(live, pos[:w], idx[:w])
+		lp.End()
+	}
+	st.Leaves = nLeaves
+
+	// Pending functions start as the identity.
+	{
+		idx := make([]int64, n)
+		one := make([]int64, n)
+		lp := p.Loop(n)
+		lp.Iota(idx, 0)
+		lp.Const(one, 1)
+		lp.Scatter(in.Fa, idx, one)
+		lp.End()
+		// Fb starts zero (fresh memory); charge the clearing pass.
+		lp = p.Loop(n)
+		lp.Const(one, 0)
+		lp.Scatter(in.Fb, idx, one)
+		lp.End()
+	}
+
+	// ----- Part 2: rake rounds -----
+	x := nLeaves
+	par := make([]int64, nLeaves)
+	sd := make([]int64, nLeaves)
+	cand := make([]int64, nLeaves)
+	scratch := make([][]int64, 10)
+	for i := range scratch {
+		scratch[i] = make([]int64, nLeaves)
+	}
+	for x > 2 {
+		rakedThisRound := make([]bool, x)
+		for phase := int64(0); phase < 2; phase++ {
+			// Candidate mask over the odd positions.
+			half := x / 2
+			if half == 0 {
+				continue
+			}
+			for i := 0; i < half; i++ {
+				cand[i] = live[2*i+1]
+			}
+			lp := p.Loop(half)
+			lp.Load(cand[:half], cand[:half])
+			lp.Gather(par[:half], in.Parent, cand[:half])
+			lp.Gather(sd[:half], in.Side, cand[:half])
+			lp.ALU(3) // side == phase, parent != root, combine
+			keep := make([]bool, half)
+			for i := 0; i < half; i++ {
+				keep[i] = sd[i] == phase && par[i] != in.Root
+			}
+			lp.End()
+			w := p.Pack(half, keep, cand)
+			if w == 0 {
+				continue
+			}
+			// Mark the rake set in the round mask (positions 2i+1).
+			for i := 0; i < half; i++ {
+				if keep[i] {
+					rakedThisRound[2*i+1] = true
+				}
+			}
+			rakeVector(in, p, cand[:w], phase, scratch)
+		}
+		// Compact the live set, preserving order.
+		keep := make([]bool, x)
+		for i := 0; i < x; i++ {
+			keep[i] = !rakedThisRound[i]
+		}
+		x = p.Pack(x, keep, live)
+		st.Rounds++
+	}
+
+	// Solve the remainder (root with one or two leaf children) with
+	// the scalar unit.
+	l := mem[in.Child+in.Root]
+	r := mem[in.Child+int64(n)+in.Root]
+	va := mem[in.Fa+l]*mem[in.LeafVal+l] + mem[in.Fb+l]
+	vb := mem[in.Fa+r]*mem[in.LeafVal+r] + mem[in.Fb+r]
+	p.ScalarChase(2, true)
+	if mem[in.Ops+in.Root] == 0 {
+		return va + vb, st
+	}
+	return va * vb, st
+}
+
+// rakeVector performs one phase's rakes over the packed leaf vector v:
+// the full gather/compose/scatter pipeline, every pass charged.
+func rakeVector(in *ExprInput, p *vm.Proc, v []int64, phase int64, scratch [][]int64) {
+	mem := in.M.Mem
+	w := len(v)
+	n := int64(in.N)
+	pa := scratch[0][:w]  // parent
+	sb := scratch[1][:w]  // sibling
+	gp := scratch[2][:w]  // grandparent
+	sdp := scratch[3][:w] // parent's side
+	fav := scratch[4][:w]
+	fbv := scratch[5][:w]
+	cv := scratch[6][:w]
+	op := scratch[7][:w]
+	t0 := scratch[8][:w]
+	t1 := scratch[9][:w]
+
+	lp := p.Loop(w)
+	lp.Gather(pa, in.Parent, v)
+	// Sibling slot = (1-phase)·n + parent.
+	lp.ALU(1)
+	for i := 0; i < w; i++ {
+		t0[i] = (1-phase)*n + pa[i]
+	}
+	lp.Gather(sb, in.Child, t0)
+	lp.Gather(gp, in.Parent, pa)
+	lp.Gather(sdp, in.Side, pa)
+	lp.Gather(fav, in.Fa, v)
+	lp.Gather(fbv, in.Fb, v)
+	lp.Gather(cv, in.LeafVal, v)
+	lp.Gather(op, in.Ops, pa)
+	lp.End()
+
+	lp = p.Loop(w)
+	lp.Gather(t0, in.Fa, sb) // fas
+	lp.Gather(t1, in.Fb, sb) // fbs
+	fap := fav               // reuse registers for parent's function
+	fbp := fbv
+	a := cv
+	// A = fav·cv + fbv (2 ALU ops), then gather the parent function.
+	for i := 0; i < w; i++ {
+		a[i] = fav[i]*cv[i] + fbv[i]
+	}
+	lp.ALU(2)
+	lp.Gather(fap, in.Fa, pa)
+	lp.Gather(fbp, in.Fb, pa)
+	// Compose by operator: ≈6 ALU ops of multiply/add/select.
+	for i := 0; i < w; i++ {
+		if op[i] == 0 { // add: f_p(A + f_s(x))
+			t1[i] = fap[i]*(a[i]+t1[i]) + fbp[i]
+			t0[i] = fap[i] * t0[i]
+		} else { // mul: f_p(A · f_s(x))
+			t1[i] = fap[i]*a[i]*t1[i] + fbp[i]
+			t0[i] = fap[i] * a[i] * t0[i]
+		}
+	}
+	lp.ALU(6)
+	lp.Scatter(in.Fa, sb, t0)
+	lp.Scatter(in.Fb, sb, t1)
+	lp.End()
+
+	// Splice s into p's place: parent, side, and the grandparent's
+	// child slot (address side(p)·n + gp — one scatter).
+	lp = p.Loop(w)
+	lp.Scatter(in.Parent, sb, gp)
+	lp.Scatter(in.Side, sb, sdp)
+	lp.ALU(1)
+	for i := 0; i < w; i++ {
+		t0[i] = sdp[i]*n + gp[i]
+	}
+	lp.Scatter(in.Child, t0, sb)
+	lp.End()
+	_ = mem
+}

@@ -1,0 +1,392 @@
+package vecalg
+
+import (
+	"fmt"
+
+	"listrank/internal/model"
+	"listrank/internal/rng"
+)
+
+// This file implements the §7 oversampling extension on the simulated
+// machine, where its economics can actually be priced: John Reif's
+// suggestion to "use oversampling to further subdivide the remaining
+// long sublists when the vector lengths become short", against the
+// paper's prediction that "the cost … of maintaining which
+// subdivisions remain relevant would slow down the two major list-scan
+// loops of the algorithm and likely slow down the overall
+// performance".
+//
+// The cost is concrete on this machine: knowing which subdivisions
+// remain relevant requires marking every consumed vertex, and the mark
+// is a scatter — which serializes with the traversal's gathers on the
+// C90's single gather/scatter unit, inflating the Phase 1 loop from
+// 2×1.7 = 3.4 to 3.4 + 1.2 = 4.6 cycles per element. The benefit is
+// vector length: when the active set first drops below a trigger
+// fraction, the reserve splitters that are still unconsumed subdivide
+// exactly the surviving long sublists, collapsing the short-vector
+// tail of the phase. BenchmarkAblation_Oversampling and the
+// `oversample` experiment report which side wins at each list length
+// (the paper guessed right: the per-element tax on the whole loop buys
+// back too little tail).
+//
+// Single-processor only, like the concern it addresses (§7 discusses
+// the vector length of one processor's loops; a multiprocessor run
+// would apply it independently within each processor's §5 static
+// share, but cross-processor attribution of a reserve position is a
+// rank query — unknowable mid-run).
+
+// OversampleStats reports what an oversampled run did.
+type OversampleStats struct {
+	// Drawn is the reserve-pool size (frac · M).
+	Drawn int
+	// Activated is how many reserves were still relevant at trigger
+	// time and subdivided a surviving sublist.
+	Activated int
+	// K0 and K are the sublist counts before and after activation.
+	K0, K int
+	// Rounds1 counts Phase 1 traversal/pack rounds (the quantity
+	// oversampling shrinks).
+	Rounds1 int
+}
+
+// epoch distinguishes one run's visited marks from every other run's
+// without re-zeroing the marking array (the standard epoch trick; the
+// real implementation would do the same, so no zeroing pass is
+// charged).
+var epoch int64
+
+// SublistScanOversampled runs the paper's list-scan algorithm on one
+// simulated processor with the §7 oversampling extension: frac·M
+// reserve splitters are drawn at initialization, Phase 1 marks every
+// consumed vertex (the priced bookkeeping), and when the active set
+// first shrinks below trigger·(m+1) the still-relevant reserves join
+// the computation as ordinary splitters.
+func SublistScanOversampled(in *Input, pr SublistParams, frac, trigger float64) OversampleStats {
+	mach := in.M
+	n := in.N
+	mem := mach.Mem
+	var st OversampleStats
+	if pr.M < 1 || n < 64 {
+		SerialScan(in)
+		return st
+	}
+	if pr.M > n/2 {
+		pr.M = n / 2
+	}
+	if trigger <= 0 || trigger >= 1 {
+		trigger = 0.25
+	}
+	p := mach.Proc(0)
+	epoch++
+	mark := epoch
+
+	// ----- Initialization: primary splitters (as in sublistRun) -----
+	r := rng.New(pr.Seed)
+	m := pr.M
+	cands := make([]int64, m)
+	ids := make([]int64, m)
+	{
+		lp := p.Loop(m)
+		lp.Random(cands, r, int64(n))
+		lp.Iota(ids, 1)
+		lp.Scatter(in.Out, cands, ids)
+		lp.End()
+	}
+	var rpos, h, saved []int64
+	rpos = append(rpos, -1)
+	h = append(h, in.Head)
+	saved = append(saved, 0)
+	{
+		got := make([]int64, m)
+		lp := p.Loop(m)
+		lp.Gather(got, in.Out, cands)
+		lp.ALU(2)
+		lp.End()
+		keep := make([]bool, m)
+		for i := 0; i < m; i++ {
+			keep[i] = got[i] == int64(i+1) && cands[i] != in.Tail
+		}
+		kept := p.Pack(m, keep, cands)
+		for i := 0; i < kept; i++ {
+			pos := cands[i]
+			rpos = append(rpos, pos)
+			h = append(h, mem[in.Next+pos])
+			saved = append(saved, mem[in.Value+pos])
+		}
+	}
+	k0 := len(rpos)
+	st.K0 = k0
+
+	// Cut the primary splitters.
+	if k0 > 1 {
+		w := k0 - 1
+		zero := make([]int64, w)
+		lp := p.Loop(w)
+		lp.Scatter(in.Next, rpos[1:], rpos[1:])
+		lp.Scatter(in.Value, rpos[1:], zero)
+		lp.End()
+	}
+	savedTail := mem[in.Value+in.Tail]
+	mem[in.Value+in.Tail] = 0
+	mem[in.Out+in.Tail] = 0
+	p.ScalarCycles(fixInitialize)
+
+	// Draw the reserve pool (also charged to initialization: one more
+	// vector RNG pass).
+	nRes := int(frac * float64(m))
+	reserve := make([]int64, nRes)
+	if nRes > 0 {
+		lp := p.Loop(nRes)
+		lp.Random(reserve, r, int64(n))
+		lp.End()
+	}
+	st.Drawn = nRes
+
+	// The marking array: one word per vertex, epoch-stamped.
+	vis := in.visited()
+
+	// ----- Phase 1 with marking and one-shot activation -----
+	cap0 := k0 + nRes
+	sumF := make([]int64, cap0)
+	tailF := make([]int64, cap0)
+	wid := make([]int64, cap0)
+	wsum := make([]int64, cap0)
+	wcur := make([]int64, cap0)
+	wprev := make([]int64, cap0)
+	tmp := make([]int64, cap0)
+	marks := make([]int64, cap0)
+	for i := range marks {
+		marks[i] = mark
+	}
+	steps1, repeat1 := deltasOf(pr.Schedule1, n, pr.M)
+	x := k0
+	{
+		lp := p.Loop(x)
+		lp.Iota(wid, 0)
+		lp.Const(wsum, 0)
+		lp.ALU(1) // broadcast the epoch mark
+		lp.Load(wcur, h[:x])
+		lp.End()
+	}
+	threshold := int(trigger * float64(k0))
+	activated := false
+	round := 0
+	for x > 0 {
+		d := repeat1
+		if round < len(steps1) {
+			d = steps1[round]
+		}
+		for s := 0; s < d; s++ {
+			lp := p.Loop(x).Overhead(ohInitialScan)
+			lp.Gather(tmp[:x], in.Value, wcur[:x]) // gather value
+			lp.Add(wsum[:x], wsum[:x], tmp[:x])
+			lp.Load(wprev[:x], wcur[:x])
+			lp.Scatter(vis, wcur[:x], marks[:x]) // the bookkeeping tax
+			lp.Gather(wcur[:x], in.Next, wcur[:x])
+			lp.End()
+		}
+		{
+			lp := p.Loop(x)
+			lp.ScatterReg(sumF, wid[:x], wsum[:x])
+			lp.ScatterReg(tailF, wid[:x], wcur[:x])
+			lp.End()
+		}
+		keep := make([]bool, x)
+		for i := 0; i < x; i++ {
+			keep[i] = wcur[i] != wprev[i]
+		}
+		x = p.Pack(x, keep, wid, wsum, wcur)
+		p.ScalarCycles(fixInitialPack)
+		round++
+
+		if !activated && nRes > 0 && x > 0 && x < threshold {
+			activated = true
+			// Which reserves are still relevant? Unconsumed (no epoch
+			// mark) and not already a cut. Then a marker competition
+			// dedupes the survivors, exactly like the primary draw.
+			gotVis := make([]int64, nRes)
+			gotNext := make([]int64, nRes)
+			resIDs := make([]int64, nRes)
+			lp := p.Loop(nRes)
+			lp.Gather(gotVis, vis, reserve)
+			lp.Gather(gotNext, in.Next, reserve)
+			lp.Iota(resIDs, 1)
+			lp.ALU(2)
+			lp.End()
+			cand := make([]bool, nRes)
+			anyCand := false
+			for i := 0; i < nRes; i++ {
+				cand[i] = gotVis[i] != mark && gotNext[i] != reserve[i]
+				anyCand = anyCand || cand[i]
+			}
+			if anyCand {
+				w := p.Pack(nRes, cand, reserve, resIDs)
+				lp := p.Loop(w)
+				lp.Scatter(in.Out, reserve[:w], resIDs[:w])
+				lp.End()
+				got := make([]int64, w)
+				heads := make([]int64, w)
+				vals := make([]int64, w)
+				lp = p.Loop(w)
+				lp.Gather(got, in.Out, reserve[:w])
+				lp.Gather(heads, in.Next, reserve[:w])
+				lp.Gather(vals, in.Value, reserve[:w])
+				lp.ALU(1)
+				lp.End()
+				keep := make([]bool, w)
+				for i := 0; i < w; i++ {
+					keep[i] = got[i] == resIDs[i]
+				}
+				w = p.Pack(w, keep, reserve, heads, vals)
+				if w > 0 {
+					// Cut and enroll the activated reserves.
+					zero := make([]int64, w)
+					lp := p.Loop(w)
+					lp.Scatter(in.Next, reserve[:w], reserve[:w])
+					lp.Scatter(in.Value, reserve[:w], zero)
+					lp.End()
+					// New virtual-processor state: id (iota), zero sum,
+					// loaded cursor — the same register initialization
+					// the primary setup performed.
+					lp = p.Loop(w)
+					lp.Iota(tmp[:w], int64(len(rpos)))
+					lp.Const(wsum[x:x+w], 0)
+					lp.Load(wcur[x:x+w], heads[:w])
+					lp.End()
+					for i := 0; i < w; i++ {
+						wid[x+i] = int64(len(rpos))
+						rpos = append(rpos, reserve[i])
+						h = append(h, heads[i])
+						saved = append(saved, vals[i])
+					}
+					x += w
+					st.Activated = w
+				}
+			}
+			reserve = nil
+			nRes = 0
+		}
+	}
+	st.Rounds1 = round
+	k := len(rpos)
+	st.K = k
+
+	// ----- Reduced list formation (unchanged from sublistRun) -----
+	succ := make([]int64, k)
+	rsum := make([]int64, k)
+	if k > 1 {
+		vids := make([]int64, k-1)
+		lp := p.Loop(k - 1)
+		lp.Iota(vids, 2) // marker = vp id + 1 for vps 1..k-1
+		lp.Scatter(in.Out, rpos[1:], vids)
+		lp.End()
+	}
+	{
+		got := make([]int64, k)
+		sv := make([]int64, k)
+		lp := p.Loop(k)
+		lp.Gather(got, in.Out, tailF[:k])
+		lp.ALU(2)
+		for j := 0; j < k; j++ {
+			if got[j] == 0 {
+				succ[j] = int64(j)
+			} else {
+				succ[j] = got[j] - 1
+			}
+		}
+		lp.GatherReg(sv, saved, succ[:k])
+		lp.ALU(1)
+		for j := 0; j < k; j++ {
+			contrib := savedTail
+			if succ[j] != int64(j) {
+				contrib = sv[j]
+			}
+			rsum[j] = sumF[j] + contrib
+		}
+		lp.End()
+		p.ScalarCycles(fixFindSublist)
+	}
+
+	// ----- Phase 2 -----
+	pfx := make([]int64, k)
+	if _, useWyllie := model.PaperConstants().Phase2Cycles(k, 1, mach.Cfg.ContentionFor(1)); useWyllie {
+		wyllieReduced(mach, k, succ, rsum, pfx)
+	} else {
+		var acc int64
+		j := int64(0)
+		for count := 0; ; count++ {
+			if count > k {
+				panic(fmt.Sprintf("vecalg: oversampled reduced list is not a list (k=%d)", k))
+			}
+			pfx[j] = acc
+			acc += rsum[j]
+			s := succ[j]
+			if s == j {
+				break
+			}
+			j = s
+		}
+		p.ScalarChase(k, true)
+	}
+
+	// ----- Phase 3 (no further activation; inherits Phase 1's cuts) --
+	steps3, repeat3 := deltasOf(pr.Schedule3, n, pr.M)
+	x = k
+	wacc := make([]int64, k)
+	{
+		lp := p.Loop(x)
+		lp.Load(wacc, pfx)
+		lp.Load(wcur[:x], h[:x])
+		lp.End()
+	}
+	round = 0
+	for x > 0 {
+		d := repeat3
+		if round < len(steps3) {
+			d = steps3[round]
+		}
+		for s := 0; s < d; s++ {
+			lp := p.Loop(x).Overhead(ohFinalScan)
+			lp.Scatter(in.Out, wcur[:x], wacc[:x])
+			lp.Gather(tmp[:x], in.Value, wcur[:x])
+			lp.Add(wacc[:x], wacc[:x], tmp[:x])
+			lp.Load(wprev[:x], wcur[:x])
+			lp.Gather(wcur[:x], in.Next, wcur[:x])
+			lp.End()
+		}
+		{
+			lp := p.Loop(x)
+			lp.Scatter(in.Out, wcur[:x], wacc[:x])
+			lp.End()
+		}
+		keep := make([]bool, x)
+		for i := 0; i < x; i++ {
+			keep[i] = wcur[i] != wprev[i]
+		}
+		x = p.Pack(x, keep, wacc, wcur)
+		p.ScalarCycles(fixFinalPack)
+		round++
+	}
+
+	// ----- Restoration -----
+	if k > 1 {
+		w := k - 1
+		lp := p.Loop(w)
+		lp.Scatter(in.Next, rpos[1:], h[1:])
+		lp.Scatter(in.Value, rpos[1:], saved[1:])
+		lp.End()
+	}
+	mem[in.Value+in.Tail] = savedTail
+	p.ScalarCycles(fixRestore)
+	return st
+}
+
+// visited lazily allocates the marking array used by the oversampled
+// runs (one word per vertex, epoch-stamped so it never needs zeroing).
+func (in *Input) visited() int64 {
+	if !in.visOK {
+		in.vis = in.M.Alloc(in.N)
+		in.visOK = true
+	}
+	return in.vis
+}

@@ -1,0 +1,344 @@
+package vecalg
+
+import (
+	"listrank/internal/rng"
+)
+
+// This file implements the two random-mate baselines as vector
+// programs on the simulated C90, matching the paper's single-processor
+// vectorized implementations (§2.3, §2.4). Both contract the list by
+// splicing vertices out with masked vector operations (masked Cray
+// vector ops run at full vector length, so masked passes are charged
+// over every active element), finish the small contracted remainder
+// serially, and reconstruct spliced vertices in reverse round order
+// with vectorized gather-add-scatter passes.
+
+// splice records for reconstruction, grouped by round.
+type spliceRec struct {
+	u, f, fSum int64
+}
+
+// MillerReifScan runs the Miller–Reif random-mate list scan on
+// processor 0 of the simulated machine. Every active vertex flips an
+// unbiased coin each round; females splice out male successors; the
+// active set is packed every round (§2.3). The paper measured it 20×
+// slower than the sublist algorithm and ≈3.5× slower than serial for
+// long lists — the expensive parts are the per-round random numbers,
+// the extra communication to fetch mate coins, the ≈4 rounds each
+// vertex stays active, and the reconstruction phase.
+func MillerReifScan(in *Input, seed uint64) {
+	mach := in.M
+	n := in.N
+	mem := mach.Mem
+	p := mach.Proc(0)
+	r := rng.New(seed)
+
+	valB := mach.Alloc(n)
+	nxtB := mach.Alloc(n)
+	coinB := mach.Alloc(n)
+	splB := mach.Alloc(n) // spliced flags
+
+	// Working copies.
+	const strip = 1 << 16
+	for lo := 0; lo < n; lo += strip {
+		hi := lo + strip
+		if hi > n {
+			hi = n
+		}
+		w := hi - lo
+		reg := make([]int64, w)
+		lp := p.Loop(w)
+		lp.LoadStride(reg, in.Value+int64(lo))
+		lp.StoreStride(valB+int64(lo), reg)
+		lp.LoadStride(reg, in.Next+int64(lo))
+		lp.StoreStride(nxtB+int64(lo), reg)
+		lp.End()
+	}
+
+	// Active set: everything but the tail.
+	active := make([]int64, 0, n)
+	for i := int64(0); i < int64(n); i++ {
+		if i != in.Tail {
+			active = append(active, i)
+		}
+	}
+	x := len(active)
+	coins := make([]int64, n)
+	nxtA := make([]int64, n)
+	sCoin := make([]int64, n)
+	sVal := make([]int64, n)
+	sNxt := make([]int64, n)
+	valA := make([]int64, n)
+	ones := make([]int64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	var rounds [][]spliceRec
+	const cutoff = 64
+
+	for x > cutoff {
+		a := active[:x]
+		// Coin flips, published so mates can read them.
+		lp := p.Loop(x)
+		lp.Random(coins, r, 2)
+		lp.Scatter(coinB, a, coins)
+		lp.End()
+		// Mate discovery: my successor, its coin, value, and link.
+		lp = p.Loop(x)
+		lp.Gather(nxtA, nxtB, a)
+		lp.Gather(sCoin, coinB, nxtA)
+		lp.Gather(valA, valB, a)
+		lp.ALU(3) // female test, self-loop test, male-mate test
+		lp.End()
+		// Masked splice: females with male successors absorb them.
+		recs := make([]spliceRec, 0, x/4)
+		lp = p.Loop(x)
+		lp.Gather(sVal, valB, nxtA)
+		lp.Gather(sNxt, nxtB, nxtA)
+		lp.ALU(2) // masked add, mask formation
+		for i := 0; i < x; i++ {
+			u := nxtA[i]
+			if coins[i] == 0 && u != a[i] && sCoin[i] == 1 {
+				recs = append(recs, spliceRec{u: u, f: a[i], fSum: valA[i]})
+				mem[valB+a[i]] = valA[i] + sVal[i]
+				mem[nxtB+a[i]] = sNxt[i]
+				mem[splB+u] = 1
+			}
+		}
+		// The masked scatters of the new value, new link, and spliced
+		// flag run at full vector length.
+		lp.ChargeScatters(3)
+		lp.End()
+		rounds = append(rounds, recs)
+		// Pack: drop the spliced vertices from the active set.
+		lp = p.Loop(x)
+		lp.Gather(sCoin, splB, a) // reuse as spliced flags
+		lp.ALU(1)
+		lp.End()
+		keep := make([]bool, x)
+		for i := 0; i < x; i++ {
+			keep[i] = mem[splB+a[i]] == 0
+		}
+		x = p.Pack(x, keep, active)
+	}
+
+	// Serial finish on the contracted list.
+	v := in.Head
+	var acc int64
+	left := 0
+	for {
+		mem[in.Out+v] = acc
+		acc += mem[valB+v]
+		left++
+		nx := mem[nxtB+v]
+		if nx == v {
+			break
+		}
+		v = nx
+	}
+	p.ScalarChase(left, true)
+
+	// Reconstruction, newest round first: out[u] = out[f] + fSum.
+	for ri := len(rounds) - 1; ri >= 0; ri-- {
+		recs := rounds[ri]
+		w := len(recs)
+		if w == 0 {
+			continue
+		}
+		fIdx := make([]int64, w)
+		uIdx := make([]int64, w)
+		sums := make([]int64, w)
+		for i, rec := range recs {
+			fIdx[i] = rec.f
+			uIdx[i] = rec.u
+			sums[i] = rec.fSum
+		}
+		got := make([]int64, w)
+		lp := p.Loop(w)
+		lp.Gather(got, in.Out, fIdx)
+		lp.Add(got, got, sums)
+		lp.Scatter(in.Out, uIdx, got)
+		lp.End()
+	}
+}
+
+// AndersonMillerScan runs the Anderson–Miller random-mate list scan on
+// processor 0 with q virtual-processor queues (the paper's C90 run
+// used 128, one vector's worth), the paper's 0.9-biased coin, and the
+// switch to the serial algorithm when few vertices remain (§2.4).
+func AndersonMillerScan(in *Input, seed uint64, q int) {
+	mach := in.M
+	n := in.N
+	mem := mach.Mem
+	p := mach.Proc(0)
+	r := rng.New(seed)
+	if q <= 0 {
+		q = 128
+	}
+	if q > n {
+		q = n
+	}
+
+	valB := mach.Alloc(n)
+	nxtB := mach.Alloc(n)
+	predB := mach.Alloc(n)
+	flagB := mach.Alloc(n)
+
+	const strip = 1 << 16
+	for lo := 0; lo < n; lo += strip {
+		hi := lo + strip
+		if hi > n {
+			hi = n
+		}
+		w := hi - lo
+		reg := make([]int64, w)
+		idx := make([]int64, w)
+		nx := make([]int64, w)
+		lp := p.Loop(w)
+		lp.LoadStride(reg, in.Value+int64(lo))
+		lp.StoreStride(valB+int64(lo), reg)
+		lp.LoadStride(nx, in.Next+int64(lo))
+		lp.StoreStride(nxtB+int64(lo), nx)
+		// Build predecessor links: pred[next[i]] = i where next[i]≠i.
+		lp.Iota(idx, int64(lo))
+		lp.ALU(1) // self-loop mask
+		for i := 0; i < w; i++ {
+			if nx[i] != idx[i] {
+				mem[predB+nx[i]] = idx[i]
+			}
+		}
+		lp.ChargeScatters(1) // masked scatter
+		lp.End()
+	}
+	mem[predB+in.Head] = in.Head
+
+	// Queues: contiguous index blocks, one per virtual processor.
+	qLo := make([]int, q)
+	qHi := make([]int, q)
+	for j := 0; j < q; j++ {
+		qLo[j] = j * n / q
+		qHi[j] = (j + 1) * n / q
+	}
+	spliced := make([]bool, n)
+	remaining := n - 2
+	if remaining < 0 {
+		remaining = 0
+	}
+	var rounds [][]spliceRec
+	const cutoff = 64
+
+	tops := make([]int64, 0, q)
+	coins := make([]int64, q)
+	prs := make([]int64, q)
+	fpr := make([]int64, q)
+	valP := make([]int64, q)
+	valU := make([]int64, q)
+	nxtU := make([]int64, q)
+
+	for remaining > cutoff {
+		// Surface each queue's top (scalar queue management).
+		tops = tops[:0]
+		for j := 0; j < q; j++ {
+			for qLo[j] < qHi[j] {
+				u := int64(qLo[j])
+				if spliced[u] || u == in.Head || u == in.Tail {
+					qLo[j]++
+					continue
+				}
+				tops = append(tops, u)
+				break
+			}
+		}
+		p.ScalarCycles(float64(2 * q))
+		if len(tops) == 0 {
+			break
+		}
+		x := len(tops)
+		// Biased coins, published.
+		lp := p.Loop(x)
+		lp.Random(coins, r, 10)
+		lp.ALU(1) // threshold at 9 → P[male]=0.9
+		for i := 0; i < x; i++ {
+			if coins[i] < 9 {
+				coins[i] = 1
+			} else {
+				coins[i] = 0
+			}
+		}
+		lp.Scatter(flagB, tops[:x], coins[:x])
+		lp.End()
+		// Decide: male tops pointed to by females.
+		lp = p.Loop(x)
+		lp.Gather(prs, predB, tops[:x])
+		lp.Gather(fpr, flagB, prs[:x])
+		lp.ALU(2)
+		lp.End()
+		// Apply the disjoint splices (masked vector pass).
+		recs := make([]spliceRec, 0, x)
+		lp = p.Loop(x)
+		lp.Gather(valP, valB, prs[:x])
+		lp.Gather(valU, valB, tops[:x])
+		lp.Gather(nxtU, nxtB, tops[:x])
+		lp.ALU(2)
+		for i := 0; i < x; i++ {
+			u, pr := tops[i], prs[i]
+			if coins[i] == 1 && fpr[i] == 0 {
+				recs = append(recs, spliceRec{u: u, f: pr, fSum: valP[i]})
+				mem[valB+pr] = valP[i] + valU[i]
+				mem[nxtB+pr] = nxtU[i]
+				if nxtU[i] != u {
+					mem[predB+nxtU[i]] = pr
+				}
+				spliced[u] = true
+				remaining--
+				// Pop the queue that owned u.
+			}
+		}
+		lp.ChargeScatters(3)
+		lp.End()
+		rounds = append(rounds, recs)
+		// Clear the published flags for the next round.
+		lp = p.Loop(x)
+		lp.Scatter(flagB, tops[:x], make([]int64, x))
+		lp.End()
+	}
+
+	// Serial finish.
+	v := in.Head
+	var acc int64
+	left := 0
+	for {
+		mem[in.Out+v] = acc
+		acc += mem[valB+v]
+		left++
+		nx := mem[nxtB+v]
+		if nx == v {
+			break
+		}
+		v = nx
+	}
+	p.ScalarChase(left, true)
+
+	// Reconstruction.
+	for ri := len(rounds) - 1; ri >= 0; ri-- {
+		recs := rounds[ri]
+		w := len(recs)
+		if w == 0 {
+			continue
+		}
+		fIdx := make([]int64, w)
+		uIdx := make([]int64, w)
+		sums := make([]int64, w)
+		for i, rec := range recs {
+			fIdx[i] = rec.f
+			uIdx[i] = rec.u
+			sums[i] = rec.fSum
+		}
+		got := make([]int64, w)
+		lp := p.Loop(w)
+		lp.Gather(got, in.Out, fIdx)
+		lp.Add(got, got, sums)
+		lp.Scatter(in.Out, uIdx, got)
+		lp.End()
+	}
+}

@@ -1,0 +1,126 @@
+package vecalg
+
+import (
+	"testing"
+
+	"listrank/internal/list"
+	"listrank/internal/rng"
+	"listrank/internal/serial"
+	"listrank/internal/vm"
+)
+
+func TestMillerReifOnVMCorrectness(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{10, 100, 1000, 20000} {
+		l := list.NewRandom(n, r)
+		l.RandomValues(0, 50, r)
+		mach := newMachine(1, n)
+		in := Load(mach, l)
+		MillerReifScan(in, uint64(n))
+		equal(t, in.OutSlice(), serial.Scan(l), "MR vm scan")
+	}
+}
+
+func TestAndersonMillerOnVMCorrectness(t *testing.T) {
+	r := rng.New(2)
+	for _, n := range []int{10, 100, 1000, 20000} {
+		for _, q := range []int{16, 128} {
+			l := list.NewRandom(n, r)
+			l.RandomValues(0, 50, r)
+			mach := newMachine(1, n)
+			in := Load(mach, l)
+			AndersonMillerScan(in, uint64(n), q)
+			equal(t, in.OutSlice(), serial.Scan(l), "AM vm scan")
+		}
+	}
+}
+
+func TestRandmateSeedSweepOnVM(t *testing.T) {
+	l := list.NewRandom(5000, rng.New(3))
+	want := serial.Scan(l)
+	for seed := uint64(0); seed < 4; seed++ {
+		mach := newMachine(1, l.Len())
+		in := Load(mach, l)
+		MillerReifScan(in, seed)
+		equal(t, in.OutSlice(), want, "MR seeds")
+		mach2 := newMachine(1, l.Len())
+		in2 := Load(mach2, l)
+		AndersonMillerScan(in2, seed, 128)
+		equal(t, in2.OutSlice(), want, "AM seeds")
+	}
+}
+
+// TestFig1Ordering verifies the headline comparison of Fig. 1 at a
+// long list length on one simulated processor: ours < serial <
+// Anderson–Miller < Miller–Reif, with Wyllie far above all of them.
+func TestFig1Ordering(t *testing.T) {
+	n := 1 << 17
+	l := list.NewRandom(n, rng.New(4))
+	per := map[string]float64{}
+	run := func(name string, f func(in *Input)) {
+		mach := newMachine(1, n)
+		in := Load(mach, l)
+		f(in)
+		equal(t, in.OutSlice(), serial.Scan(l), name)
+		per[name] = mach.Makespan() / float64(n)
+	}
+	run("ours", func(in *Input) { SublistScan(in, FromTuned(n, 5)) })
+	run("serial", SerialScan)
+	run("am", func(in *Input) { AndersonMillerScan(in, 6, 128) })
+	run("mr", func(in *Input) { MillerReifScan(in, 7) })
+	run("wyllie", WyllieScan)
+
+	t.Logf("cycles/vertex at n=2^17: ours=%.1f serial=%.1f am=%.1f mr=%.1f wyllie=%.1f",
+		per["ours"], per["serial"], per["am"], per["mr"], per["wyllie"])
+	if !(per["ours"] < per["serial"]) {
+		t.Errorf("ours (%.1f) not faster than serial (%.1f)", per["ours"], per["serial"])
+	}
+	if !(per["ours"] < per["am"] && per["am"] < per["mr"]) {
+		t.Errorf("ordering ours < AM < MR violated: %.1f, %.1f, %.1f",
+			per["ours"], per["am"], per["mr"])
+	}
+	if !(per["wyllie"] > per["serial"]) {
+		t.Errorf("Wyllie (%.1f) should be slowest at long lengths (serial %.1f)",
+			per["wyllie"], per["serial"])
+	}
+	// Rough paper ratios: MR ≈ 20× ours, AM ≈ 7× ours. Accept half to
+	// double those factors (the fixed constants of the baselines were
+	// not all published).
+	if ratio := per["mr"] / per["ours"]; ratio < 6 || ratio > 45 {
+		t.Errorf("MR/ours ratio %.1f, paper ≈ 20", ratio)
+	}
+	if ratio := per["am"] / per["ours"]; ratio < 2.5 || ratio > 16 {
+		t.Errorf("AM/ours ratio %.1f, paper ≈ 7", ratio)
+	}
+}
+
+// TestFig1WyllieCrossover: Wyllie beats the sublist algorithm below
+// about a thousand vertices and loses above it (Fig. 1).
+func TestFig1WyllieCrossover(t *testing.T) {
+	timeOf := func(n int, f func(in *Input)) float64 {
+		l := list.NewRandom(n, rng.New(8))
+		mach := newMachine(1, n)
+		in := Load(mach, l)
+		f(in)
+		return mach.Makespan()
+	}
+	small := 256
+	if w, s := timeOf(small, WyllieScan), timeOf(small, func(in *Input) { SublistScan(in, FromTuned(small, 9)) }); w >= s {
+		t.Errorf("at n=%d Wyllie (%.0f) should beat sublist (%.0f)", small, w, s)
+	}
+	big := 1 << 15
+	if w, s := timeOf(big, WyllieScan), timeOf(big, func(in *Input) { SublistScan(in, FromTuned(big, 9)) }); w <= s {
+		t.Errorf("at n=%d sublist (%.0f) should beat Wyllie (%.0f)", big, s, w)
+	}
+}
+
+func TestMachineMemoryExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected Alloc panic")
+		}
+	}()
+	mach := vm.New(vm.CrayC90(), 100)
+	l := list.NewRandom(1000, rng.New(10))
+	Load(mach, l)
+}

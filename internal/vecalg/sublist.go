@@ -1,0 +1,527 @@
+package vecalg
+
+import (
+	"fmt"
+
+	"listrank/internal/model"
+	"listrank/internal/rng"
+	"listrank/internal/vm"
+)
+
+// SublistParams configures the paper's algorithm on the simulated
+// machine: the splitter count m and the Phase 1/3 pack schedules
+// (cumulative link counts, §4). Use TunedParams / FromTuned for the
+// paper's §4.4 tuned values.
+type SublistParams struct {
+	M         int
+	Schedule1 []int
+	Schedule3 []int
+	Seed      uint64
+}
+
+// FromTuned converts a model.Tuned into run parameters.
+func FromTuned(n int, seed uint64) SublistParams {
+	tn := TunedParams(n)
+	return SublistParams{M: tn.M, Schedule1: tn.Schedule1, Schedule3: tn.Schedule3, Seed: seed}
+}
+
+// SublistScan runs the paper's list-scan algorithm (§2.5, §3) on the
+// simulated machine using all of its processors.
+func SublistScan(in *Input, pr SublistParams) {
+	sublistRun(in, pr, false)
+}
+
+// SublistRank is the list-ranking specialization: the traversal loops
+// use the encoded (value<<32 | link) representation so that a single
+// gather per link step retrieves both fields — the optimization that
+// makes ranking 5.1 rather than 7.4 cycles per vertex (§3, §5).
+func SublistRank(in *Input, pr SublistParams) {
+	sublistRun(in, pr, true)
+}
+
+// DebugPhases, when non-nil, receives the machine makespan after each
+// phase of sublistRun — used by calibration tests and the experiment
+// harness to attribute cycles to phases.
+var DebugPhases func(name string, makespan float64)
+
+// DebugCounters, when non-nil, accumulates raw work counts from
+// sublistRun for calibration analysis.
+var DebugCounters *struct {
+	Steps1, ElemSteps1, Packs1, PackElems1 int64
+	Steps3, ElemSteps3, Packs3, PackElems3 int64
+}
+
+func debugPhase(in *Input, name string) {
+	if DebugPhases != nil {
+		DebugPhases(name, in.M.Makespan())
+	}
+}
+
+// fixed per-phase overheads from the measured loop models of §3
+// (the b constants the functional-unit model cannot derive: scalar
+// bookkeeping, short-vector setup inside each composite phase).
+const (
+	fixInitialize  = 1800
+	fixInitialPack = 1200
+	fixFindSublist = 650
+	fixFinalPack   = 950
+	fixRestore     = 300
+	ohInitialScan  = 35
+	ohFinalScan    = 28
+)
+
+// deltasOf converts a cumulative schedule into per-round step counts
+// with a repeating final delta.
+func deltasOf(schedule []int, n, m int) ([]int, int) {
+	var steps []int
+	prev := 0
+	for _, s := range schedule {
+		if d := s - prev; d > 0 {
+			steps = append(steps, d)
+			prev = s
+		}
+	}
+	if len(steps) > 0 {
+		return steps, steps[len(steps)-1]
+	}
+	d := int(float64(n)/float64(m)*0.6931 + 0.5)
+	if d < 1 {
+		d = 1
+	}
+	return nil, d
+}
+
+// wyllieReduced pointer-jumps the reduced list (register-resident
+// succ/rsum tables of length k) into exclusive prefixes, across all
+// processors with a barrier per round. The head is vp 0; the tail vp
+// self-loops and its value is forced to the identity so the jump loop
+// is branch-free.
+func wyllieReduced(mach *vm.Machine, k int, succ, rsum, pfx []int64) {
+	procs := mach.NumProcs()
+	val := make([]int64, k)
+	nxt := make([]int64, k)
+	val2 := make([]int64, k)
+	nxt2 := make([]int64, k)
+	tailIdx := 0
+	for j := 0; j < k; j++ {
+		val[j] = rsum[j]
+		nxt[j] = succ[j]
+		if succ[j] == int64(j) {
+			tailIdx = j
+		}
+	}
+	val[tailIdx] = 0 // identity at the tail: val[j] sums [j, next[j])
+	rounds := 0
+	for span := 1; span < k-1; span <<= 1 {
+		rounds++
+	}
+	for r := 0; r < rounds; r++ {
+		for pc := 0; pc < procs; pc++ {
+			lo, hi := chunk(k, procs, pc)
+			if hi <= lo {
+				continue
+			}
+			p := mach.Proc(pc)
+			lp := p.Loop(hi - lo)
+			lp.GatherReg(val2[lo:hi], val, nxt[lo:hi])
+			lp.Add(val2[lo:hi], val2[lo:hi], val[lo:hi])
+			lp.GatherReg(nxt2[lo:hi], nxt, nxt[lo:hi])
+			lp.End()
+		}
+		mach.SyncProcs()
+		val, val2 = val2, val
+		nxt, nxt2 = nxt2, nxt
+	}
+	// val[j] = suffix sum over [j, tail); exclusive prefix is
+	// val[head] − val[j], head = vp 0.
+	total := val[0]
+	for pc := 0; pc < procs; pc++ {
+		lo, hi := chunk(k, procs, pc)
+		if hi <= lo {
+			continue
+		}
+		p := mach.Proc(pc)
+		lp := p.Loop(hi - lo)
+		for j := lo; j < hi; j++ {
+			pfx[j] = total - val[j]
+		}
+		lp.ALU(1)
+		lp.Store(pfx[lo:hi], pfx[lo:hi])
+		lp.End()
+	}
+	mach.SyncProcs()
+}
+
+func sublistRun(in *Input, pr SublistParams, rank bool) {
+	mach := in.M
+	n := in.N
+	mem := mach.Mem
+	procs := mach.NumProcs()
+	if pr.M < 1 || n < 64 {
+		if rank {
+			SerialRank(in)
+		} else {
+			SerialScan(in)
+		}
+		return
+	}
+	if pr.M > n/2 {
+		pr.M = n / 2
+	}
+
+	// ----- Initialization (T_Initialize = 22x + 1800) -----
+	r := rng.New(pr.Seed)
+	// Draw candidate splitter positions, one share per processor, and
+	// run the duplicate-elimination competition through the out array.
+	candLo := make([]int, procs+1)
+	cands := make([]int64, 0, pr.M)
+	for pc := 0; pc < procs; pc++ {
+		lo, hi := chunk(pr.M, procs, pc)
+		candLo[pc] = lo
+		candLo[pc+1] = hi
+		w := hi - lo
+		if w == 0 {
+			continue
+		}
+		p := mach.Proc(pc)
+		buf := make([]int64, w)
+		ids := make([]int64, w)
+		lp := p.Loop(w)
+		lp.Random(buf, r, int64(n))
+		lp.Iota(ids, int64(lo)+1) // markers are candidate index + 1
+		lp.Scatter(in.Out, buf, ids)
+		lp.End()
+		cands = append(cands, buf...)
+	}
+	mach.SyncProcs()
+
+	// Read back: a candidate survives if its marker is still there and
+	// it did not land on the global tail.
+	type vpRange struct{ lo, hi int }
+	ranges := make([]vpRange, procs)
+	var rpos, h, saved []int64
+	rpos = append(rpos, -1) // vp 0: the head sublist
+	h = append(h, in.Head)
+	saved = append(saved, 0)
+	for pc := 0; pc < procs; pc++ {
+		lo, hi := candLo[pc], candLo[pc+1]
+		w := hi - lo
+		first := len(rpos)
+		if pc == 0 {
+			first = 0 // vp 0 lives on processor 0
+		}
+		if w > 0 {
+			p := mach.Proc(pc)
+			got := make([]int64, w)
+			lp := p.Loop(w)
+			lp.Gather(got, in.Out, cands[lo:hi])
+			lp.ALU(2) // compare marker, compare tail
+			lp.End()
+			keep := make([]bool, w)
+			for i := 0; i < w; i++ {
+				keep[i] = got[i] == int64(lo+i+1) && cands[lo+i] != in.Tail
+			}
+			kept := p.Pack(w, keep, cands[lo:hi])
+			for i := 0; i < kept; i++ {
+				pos := cands[lo+i]
+				rpos = append(rpos, pos)
+				h = append(h, mem[in.Next+pos])
+				saved = append(saved, mem[in.Value+pos])
+			}
+		}
+		ranges[pc] = vpRange{lo: first, hi: len(rpos)}
+	}
+	k := len(rpos)
+
+	// Cut the list: self-loop every splitter and identity its value
+	// (and its encoded word, for the ranking representation). Each
+	// processor cuts its own splitters.
+	for pc := 0; pc < procs; pc++ {
+		rg := ranges[pc]
+		lo, hi := rg.lo, rg.hi
+		if pc == 0 {
+			lo = 1 // vp 0 has no splitter
+		}
+		w := hi - lo
+		p := mach.Proc(pc)
+		if w > 0 {
+			zero := make([]int64, w)
+			enc := make([]int64, w)
+			lp := p.Loop(w)
+			lp.Scatter(in.Next, rpos[lo:hi], rpos[lo:hi]) // self-loops
+			lp.Scatter(in.Value, rpos[lo:hi], zero)       // identity values
+			if rank {
+				lp.Add(enc, zero, rpos[lo:hi]) // enc = 0<<32 | self
+				lp.Scatter(in.Enc, rpos[lo:hi], enc)
+			}
+			lp.End()
+		}
+		p.ScalarCycles(fixInitialize)
+	}
+	// The global tail is every run's final sublist tail: identity its
+	// value too, and clear any stale marker at its out cell.
+	savedTail := mem[in.Value+in.Tail]
+	savedTailEnc := mem[in.Enc+in.Tail]
+	mem[in.Value+in.Tail] = 0
+	mem[in.Enc+in.Tail] = in.Tail // 0<<32 | tail
+	mem[in.Out+in.Tail] = 0
+	mach.SyncProcs()
+	debugPhase(in, "init")
+
+	// ----- Phase 1: sublist sums with periodic packing -----
+	sumF := make([]int64, k)
+	tailF := make([]int64, k)
+	steps1, repeat1 := deltasOf(pr.Schedule1, n, pr.M)
+	for pc := 0; pc < procs; pc++ {
+		rg := ranges[pc]
+		x := rg.hi - rg.lo
+		if x == 0 {
+			continue
+		}
+		p := mach.Proc(pc)
+		wid := make([]int64, x)
+		wsum := make([]int64, x)
+		wcur := make([]int64, x)
+		wprev := make([]int64, x)
+		tmp := make([]int64, x)
+		lp := p.Loop(x)
+		lp.Iota(wid, int64(rg.lo))
+		lp.Const(wsum, 0)
+		lp.Load(wcur, h[rg.lo:rg.hi])
+		lp.End()
+		round := 0
+		for x > 0 {
+			d := repeat1
+			if round < len(steps1) {
+				d = steps1[round]
+			}
+			for s := 0; s < d; s++ {
+				if DebugCounters != nil {
+					DebugCounters.Steps1++
+					DebugCounters.ElemSteps1 += int64(x)
+				}
+				lp := p.Loop(x).Overhead(ohInitialScan)
+				if rank {
+					lp.Load(wprev, wcur)
+					lp.Gather(tmp, in.Enc, wcur) // ONE gather: value and link
+					lp.ALU(2)                    // shift/mask split
+					for i := 0; i < x; i++ {
+						wsum[i] += tmp[i] >> encShift
+						wcur[i] = tmp[i] & encMask
+					}
+				} else {
+					lp.Gather(tmp, in.Value, wcur) // gather value
+					lp.Add(wsum, wsum, tmp)        // accumulate
+					lp.Load(wprev, wcur)
+					lp.Gather(wcur, in.Next, wcur) // gather successor link
+				}
+				lp.End()
+			}
+			// Load balance: save results of all working sublists (the
+			// completed ones keep these as final), then pack.
+			lp := p.Loop(x)
+			lp.ScatterReg(sumF, wid, wsum)
+			lp.ScatterReg(tailF, wid, wcur)
+			lp.End()
+			keep := make([]bool, x)
+			for i := 0; i < x; i++ {
+				keep[i] = wcur[i] != wprev[i]
+			}
+			if DebugCounters != nil {
+				DebugCounters.Packs1++
+				DebugCounters.PackElems1 += int64(x)
+			}
+			x = p.Pack(x, keep, wid, wsum, wcur)
+			p.ScalarCycles(fixInitialPack)
+			round++
+		}
+	}
+	mach.SyncProcs()
+	debugPhase(in, "phase1")
+
+	// ----- Reduced list formation (T_FindSublistList = 11x + 650) -----
+	succ := make([]int64, k)
+	rsum := make([]int64, k)
+	for pc := 0; pc < procs; pc++ {
+		rg := ranges[pc]
+		lo, hi := rg.lo, rg.hi
+		if pc == 0 {
+			lo = 1
+		}
+		if hi > lo {
+			p := mach.Proc(pc)
+			ids := make([]int64, hi-lo)
+			lp := p.Loop(hi - lo)
+			lp.Iota(ids, int64(lo)+1) // marker = vp id + 1
+			lp.Scatter(in.Out, rpos[lo:hi], ids)
+			lp.End()
+		}
+	}
+	mach.SyncProcs()
+	for pc := 0; pc < procs; pc++ {
+		rg := ranges[pc]
+		w := rg.hi - rg.lo
+		if w == 0 {
+			continue
+		}
+		p := mach.Proc(pc)
+		got := make([]int64, w)
+		sv := make([]int64, w)
+		lp := p.Loop(w)
+		lp.Gather(got, in.Out, tailF[rg.lo:rg.hi])
+		lp.ALU(2) // select: tail sublist vs successor id
+		for i := 0; i < w; i++ {
+			j := rg.lo + i
+			if got[i] == 0 {
+				succ[j] = int64(j) // tail sublist: self-loop
+			} else {
+				succ[j] = got[i] - 1
+			}
+		}
+		lp.GatherReg(sv, saved, succ[rg.lo:rg.hi])
+		lp.ALU(1)
+		for i := 0; i < w; i++ {
+			j := rg.lo + i
+			// Fold in the value of the sublist's own tail splitter,
+			// whose in-memory copy was identity-overwritten. For
+			// ranking every vertex contributes 1.
+			contrib := savedTail
+			if succ[j] != int64(j) {
+				contrib = sv[i]
+			}
+			if rank {
+				contrib = 1
+			}
+			rsum[j] = sumF[j] + contrib
+		}
+		lp.End()
+		p.ScalarCycles(fixFindSublist)
+	}
+	mach.SyncProcs()
+	debugPhase(in, "findsublist")
+
+	// ----- Phase 2: scan the reduced list of sublist sums. The paper
+	// uses the serial algorithm when the reduced list is short and
+	// Wyllie's pointer jumping when it is moderate (§2.5); the model's
+	// crossover decides.
+	pfx := make([]int64, k)
+	if _, useWyllie := model.PaperConstants().Phase2Cycles(k, procs, mach.Cfg.ContentionFor(procs)); useWyllie {
+		wyllieReduced(mach, k, succ, rsum, pfx)
+	} else {
+		p := mach.Proc(0)
+		var acc int64
+		j := int64(0)
+		for count := 0; ; count++ {
+			if count > k {
+				panic(fmt.Sprintf("vecalg: reduced list is not a list (k=%d)", k))
+			}
+			pfx[j] = acc
+			acc += rsum[j]
+			s := succ[j]
+			if s == j {
+				break
+			}
+			j = s
+		}
+		p.ScalarChase(k, true)
+	}
+	mach.SyncProcs()
+	debugPhase(in, "phase2")
+
+	// ----- Phase 3: expand head prefixes (T_FinalScan = 4.6x + 28) -----
+	steps3, repeat3 := deltasOf(pr.Schedule3, n, pr.M)
+	for pc := 0; pc < procs; pc++ {
+		rg := ranges[pc]
+		x := rg.hi - rg.lo
+		if x == 0 {
+			continue
+		}
+		p := mach.Proc(pc)
+		wacc := make([]int64, x)
+		wcur := make([]int64, x)
+		wprev := make([]int64, x)
+		tmp := make([]int64, x)
+		lp := p.Loop(x)
+		lp.Load(wacc, pfx[rg.lo:rg.hi])
+		lp.Load(wcur, h[rg.lo:rg.hi])
+		lp.End()
+		round := 0
+		for x > 0 {
+			d := repeat3
+			if round < len(steps3) {
+				d = steps3[round]
+			}
+			for s := 0; s < d; s++ {
+				if DebugCounters != nil {
+					DebugCounters.Steps3++
+					DebugCounters.ElemSteps3 += int64(x)
+				}
+				lp := p.Loop(x).Overhead(ohFinalScan)
+				lp.Scatter(in.Out, wcur, wacc) // store the scan value
+				if rank {
+					lp.Load(wprev, wcur)
+					lp.Gather(tmp, in.Enc, wcur)
+					lp.ALU(2)
+					for i := 0; i < x; i++ {
+						wacc[i] += tmp[i] >> encShift
+						wcur[i] = tmp[i] & encMask
+					}
+				} else {
+					lp.Gather(tmp, in.Value, wcur)
+					lp.Add(wacc, wacc, tmp)
+					lp.Load(wprev, wcur)
+					lp.Gather(wcur, in.Next, wcur)
+				}
+				lp.End()
+			}
+			// Flush results (covers sublists that completed on the
+			// round's final step), then pack.
+			lp := p.Loop(x)
+			lp.Scatter(in.Out, wcur, wacc)
+			lp.End()
+			keep := make([]bool, x)
+			for i := 0; i < x; i++ {
+				keep[i] = wcur[i] != wprev[i]
+			}
+			if DebugCounters != nil {
+				DebugCounters.Packs3++
+				DebugCounters.PackElems3 += int64(x)
+			}
+			x = p.Pack(x, keep, wacc, wcur)
+			p.ScalarCycles(fixFinalPack)
+			round++
+		}
+	}
+	mach.SyncProcs()
+	debugPhase(in, "phase3")
+
+	// ----- Restoration (T_RestoreList = 4.2x + 300) -----
+	for pc := 0; pc < procs; pc++ {
+		rg := ranges[pc]
+		lo, hi := rg.lo, rg.hi
+		if pc == 0 {
+			lo = 1
+		}
+		p := mach.Proc(pc)
+		if hi > lo {
+			w := hi - lo
+			enc := make([]int64, w)
+			lp := p.Loop(w)
+			lp.Scatter(in.Next, rpos[lo:hi], h[lo:hi])
+			lp.Scatter(in.Value, rpos[lo:hi], saved[lo:hi])
+			if rank {
+				for i := 0; i < w; i++ {
+					enc[i] = 1<<encShift | h[lo+i] // unit value, restored link
+				}
+				lp.ALU(2)
+				lp.Scatter(in.Enc, rpos[lo:hi], enc)
+			}
+			lp.End()
+		}
+		p.ScalarCycles(fixRestore)
+	}
+	mem[in.Value+in.Tail] = savedTail
+	mem[in.Enc+in.Tail] = savedTailEnc
+	mach.SyncProcs()
+	debugPhase(in, "restore")
+}

@@ -1,0 +1,145 @@
+// Package vecalg implements the paper's five list-scan / list-ranking
+// algorithms as vector programs on the simulated Cray C90 (package
+// vm): serial, Wyllie's pointer jumping, Miller–Reif random mate,
+// Anderson–Miller random mate, and the paper's sublist algorithm.
+//
+// These are the implementations behind the cycle-level reproductions:
+// Table I's C90 columns, Fig. 1's algorithm comparison, Fig. 3's
+// speedups and Fig. 11's per-vertex times all come from running this
+// package on vm.CrayC90 configurations. Every run computes real
+// results (validated against package serial in tests) while the
+// machine charges cycles; the paper's per-loop measured constants are
+// reproduced by construction of the machine model for the per-element
+// rates, and charged explicitly for the fixed per-phase overheads the
+// unit model cannot see (scalar bookkeeping inside the Cray runtime).
+package vecalg
+
+import (
+	"listrank/internal/list"
+	"listrank/internal/model"
+	"listrank/internal/vm"
+)
+
+// Input is a linked list resident in simulated machine memory.
+type Input struct {
+	M     *vm.Machine
+	N     int
+	Head  int64
+	Tail  int64
+	Next  int64 // base address of the link array
+	Value int64 // base address of the value array
+	Enc   int64 // base address of the encoded (value<<32 | link) array
+	Out   int64 // base address of the result array
+
+	// vis is the lazily allocated visited-marking array used by the §7
+	// oversampling extension (see oversample.go).
+	vis   int64
+	visOK bool
+}
+
+// encShift packs a value into the high half of an encoded word; the
+// paper's single-gather ranking loop depends on list length (and thus
+// the maximum rank) fitting in half a word (§3).
+const encShift = 32
+const encMask = (int64(1) << encShift) - 1
+
+// Load places l into mach's memory and returns the Input. Building
+// the encoded array is part of input preparation (the representation
+// the ranking loop runs on), not of the timed algorithms.
+func Load(mach *vm.Machine, l *list.List) *Input {
+	n := l.Len()
+	in := &Input{
+		M: mach, N: n,
+		Head: l.Head,
+		Next: mach.Alloc(n), Value: mach.Alloc(n),
+		Enc: mach.Alloc(n), Out: mach.Alloc(n),
+	}
+	mem := mach.Mem
+	copy(mem[in.Next:in.Next+int64(n)], l.Next)
+	copy(mem[in.Value:in.Value+int64(n)], l.Value)
+	// The encoded array is the list-RANKING representation: ranking is
+	// the scan of unit values, so the packed value field is 1 (§2).
+	for i := 0; i < n; i++ {
+		mem[in.Enc+int64(i)] = 1<<encShift | l.Next[i]
+	}
+	in.Tail = l.Tail()
+	return in
+}
+
+// OutSlice returns the result array contents (copied out of machine
+// memory).
+func (in *Input) OutSlice() []int64 {
+	out := make([]int64, in.N)
+	copy(out, in.M.Mem[in.Out:in.Out+int64(in.N)])
+	return out
+}
+
+// chunk splits n items across the machine's processors as evenly as
+// possible, returning proc pc's [lo, hi).
+func chunk(n, procs, pc int) (int, int) {
+	base := n / procs
+	rem := n % procs
+	if pc < rem {
+		lo := pc * (base + 1)
+		return lo, lo + base + 1
+	}
+	lo := rem*(base+1) + (pc-rem)*base
+	return lo, lo + base
+}
+
+// SerialRank runs the serial list-ranking algorithm on processor 0:
+// a dependent pointer chase at the machine's calibrated scalar rate
+// (Table I: 177 ns/vertex on the C90).
+func SerialRank(in *Input) {
+	p := in.M.Proc(0)
+	mem := in.M.Mem
+	v := in.Head
+	var rank int64
+	for {
+		mem[in.Out+v] = rank
+		rank++
+		nx := mem[in.Next+v]
+		if nx == v {
+			break
+		}
+		v = nx
+	}
+	p.ScalarChase(in.N, false)
+}
+
+// SerialScan runs the serial list scan on processor 0 (183 ns/vertex).
+func SerialScan(in *Input) {
+	p := in.M.Proc(0)
+	mem := in.M.Mem
+	v := in.Head
+	var sum int64
+	for {
+		mem[in.Out+v] = sum
+		sum += mem[in.Value+v]
+		nx := mem[in.Next+v]
+		if nx == v {
+			break
+		}
+		v = nx
+	}
+	p.ScalarChase(in.N, true)
+}
+
+// TunedParams returns the paper-§4.4 tuned parameters (splitter count
+// and pack schedules) for list length n, from the cost-model tuner.
+func TunedParams(n int) model.Tuned {
+	return model.PaperConstants().Tune(n)
+}
+
+// TunedParamsP tunes for a p-processor run (§5: the paper tuned m and
+// S1 separately for each processor count).
+func TunedParamsP(n, p int, contention float64) model.Tuned {
+	return model.PaperConstants().TuneP(n, p, contention)
+}
+
+// FromTunedP converts per-processor-count tuned parameters into run
+// parameters for a machine with the given processor count.
+func FromTunedP(n, procs int, contention float64, seed uint64) SublistParams {
+	tn := TunedParamsP(n, procs, contention)
+	return SublistParams{M: tn.M, Schedule1: tn.Schedule1, Schedule3: tn.Schedule3, Seed: seed}
+}

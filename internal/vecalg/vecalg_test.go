@@ -1,0 +1,249 @@
+package vecalg
+
+import (
+	"testing"
+
+	"listrank/internal/list"
+	"listrank/internal/rng"
+	"listrank/internal/serial"
+	"listrank/internal/vm"
+)
+
+func newMachine(procs, n int) *vm.Machine {
+	cfg := vm.CrayC90()
+	cfg.Procs = procs
+	return vm.New(cfg, 16*n+4096)
+}
+
+func equal(t *testing.T, got, want []int64, what string) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: [%d] = %d want %d", what, i, got[i], want[i])
+		}
+	}
+}
+
+func TestSerialOnVM(t *testing.T) {
+	r := rng.New(1)
+	l := list.NewRandom(3000, r)
+	l.RandomValues(0, 100, r)
+	mach := newMachine(1, l.Len())
+	in := Load(mach, l)
+	SerialRank(in)
+	equal(t, in.OutSlice(), l.Ranks(), "serial rank")
+	perVertex := mach.Nanoseconds() / float64(l.Len())
+	if perVertex < 175 || perVertex > 180 {
+		t.Errorf("serial rank = %.1f ns/vertex, want ≈ 177", perVertex)
+	}
+	mach.ResetClocks()
+	SerialScan(in)
+	equal(t, in.OutSlice(), serial.Scan(l), "serial scan")
+	perVertex = mach.Nanoseconds() / float64(l.Len())
+	if perVertex < 180 || perVertex > 186 {
+		t.Errorf("serial scan = %.1f ns/vertex, want ≈ 183", perVertex)
+	}
+}
+
+func TestWyllieOnVMCorrectness(t *testing.T) {
+	r := rng.New(2)
+	for _, n := range []int{1, 2, 3, 100, 1000, 4097} {
+		for _, procs := range []int{1, 2, 4} {
+			l := list.NewRandom(n, r)
+			l.RandomValues(0, 50, r)
+			mach := newMachine(procs, n)
+			in := Load(mach, l)
+			WyllieScan(in)
+			equal(t, in.OutSlice(), serial.Scan(l), "wyllie scan")
+			mach2 := newMachine(procs, n)
+			in2 := Load(mach2, l)
+			WyllieRank(in2)
+			equal(t, in2.OutSlice(), l.Ranks(), "wyllie rank")
+		}
+	}
+}
+
+func TestWyllieCyclesGrowSuperlinearly(t *testing.T) {
+	// O(n log n) work: cycles per vertex must grow with n — the rising
+	// side of Fig. 1's Wyllie curve.
+	per := func(n int) float64 {
+		l := list.NewRandom(n, rng.New(3))
+		mach := newMachine(1, n)
+		in := Load(mach, l)
+		WyllieScan(in)
+		return mach.Makespan() / float64(n)
+	}
+	small, big := per(1<<10), per(1<<16)
+	if big <= small {
+		t.Errorf("Wyllie cycles/vertex did not grow: %.1f at 2^10 vs %.1f at 2^16", small, big)
+	}
+	// Slope ≈ 3.4 per round: 16 rounds ≈ 55, plus conversion.
+	if big < 40 || big > 90 {
+		t.Errorf("Wyllie at 2^16 = %.1f cycles/vertex, want ≈ 3.4·16 + ε", big)
+	}
+}
+
+func TestSublistOnVMCorrectness(t *testing.T) {
+	r := rng.New(4)
+	for _, n := range []int{100, 1000, 10000, 65536} {
+		for _, procs := range []int{1, 2, 4, 8} {
+			l := list.NewRandom(n, r)
+			l.RandomValues(0, 50, r)
+			mach := newMachine(procs, n)
+			in := Load(mach, l)
+			pr := SublistParams{M: n / 20, Seed: uint64(n + procs)}
+			SublistScan(in, pr)
+			equal(t, in.OutSlice(), serial.Scan(l), "sublist scan")
+
+			mach2 := newMachine(procs, n)
+			in2 := Load(mach2, l)
+			SublistRank(in2, pr)
+			equal(t, in2.OutSlice(), l.Ranks(), "sublist rank")
+		}
+	}
+}
+
+func TestSublistRestoresInput(t *testing.T) {
+	r := rng.New(5)
+	l := list.NewRandom(5000, r)
+	l.RandomValues(0, 50, r)
+	mach := newMachine(2, l.Len())
+	in := Load(mach, l)
+	n := int64(l.Len())
+	before := make([]int64, 3*n)
+	copy(before[:n], mach.Mem[in.Next:in.Next+n])
+	copy(before[n:2*n], mach.Mem[in.Value:in.Value+n])
+	copy(before[2*n:], mach.Mem[in.Enc:in.Enc+n])
+	SublistRank(in, SublistParams{M: 200, Seed: 6})
+	for i := int64(0); i < n; i++ {
+		if mach.Mem[in.Next+i] != before[i] {
+			t.Fatalf("next[%d] not restored", i)
+		}
+		if mach.Mem[in.Value+i] != before[n+i] {
+			t.Fatalf("value[%d] not restored", i)
+		}
+		if mach.Mem[in.Enc+i] != before[2*n+i] {
+			t.Fatalf("enc[%d] not restored", i)
+		}
+	}
+}
+
+func TestSublistTunedAsymptote(t *testing.T) {
+	// Fig. 11 / §5: the tuned one-processor asymptotes are 7.4
+	// cycles/vertex for list scan and 5.1 for list ranking. The
+	// simulated machine should land near them (the paper's own model
+	// predicts ≈ 8.0 for scan; we accept 6.5–9.5 and 4.2–6.5).
+	n := 1 << 20
+	l := list.NewRandom(n, rng.New(7))
+	pr := FromTuned(n, 8)
+
+	mach := newMachine(1, n)
+	in := Load(mach, l)
+	SublistScan(in, pr)
+	scanPer := mach.Makespan() / float64(n)
+	if scanPer < 6.5 || scanPer > 9.5 {
+		t.Errorf("tuned scan = %.2f cycles/vertex, paper 7.4", scanPer)
+	}
+
+	mach2 := newMachine(1, n)
+	in2 := Load(mach2, l)
+	SublistRank(in2, pr)
+	rankPer := mach2.Makespan() / float64(n)
+	if rankPer < 4.2 || rankPer > 6.5 {
+		t.Errorf("tuned rank = %.2f cycles/vertex, paper 5.1", rankPer)
+	}
+	if rankPer >= scanPer {
+		t.Errorf("rank (%.2f) not faster than scan (%.2f)", rankPer, scanPer)
+	}
+	t.Logf("tuned 1-proc: scan %.2f cycles/vertex (paper 7.4), rank %.2f (paper 5.1)", scanPer, rankPer)
+}
+
+func TestSublistMultiprocSpeedup(t *testing.T) {
+	// Fig. 3 shape: near-linear speedup degrading with p.
+	n := 1 << 19
+	l := list.NewRandom(n, rng.New(9))
+	times := map[int]float64{}
+	for _, procs := range []int{1, 2, 4, 8} {
+		cfg := vm.CrayC90()
+		pr := FromTunedP(n, procs, cfg.ContentionFor(procs), 10)
+		mach := newMachine(procs, n)
+		in := Load(mach, l)
+		SublistScan(in, pr)
+		equal(t, in.OutSlice(), serial.Scan(l), "mp scan")
+		times[procs] = mach.Makespan()
+	}
+	s2 := times[1] / times[2]
+	s8 := times[1] / times[8]
+	if s2 < 1.5 || s2 > 2.01 {
+		t.Errorf("2-proc speedup %.2f, want ≈ 1.9", s2)
+	}
+	if s8 < 3.5 || s8 > 8.01 {
+		t.Errorf("8-proc speedup %.2f, want ≈ 6.7 (paper's 7.4/1.1)", s8)
+	}
+	if s8 <= s2 {
+		t.Errorf("speedup not growing: %v vs %v", s8, s2)
+	}
+	t.Logf("speedups: 2p %.2f, 8p %.2f (paper: 1.90, 6.73)", s2, s8)
+}
+
+func TestSublistBeatsSerialOnVM(t *testing.T) {
+	// Table I: one-processor vectorized ≈ 8× faster than C90 serial.
+	n := 1 << 18
+	l := list.NewRandom(n, rng.New(11))
+	pr := FromTuned(n, 12)
+	mach := newMachine(1, n)
+	in := Load(mach, l)
+	SublistRank(in, pr)
+	vec := mach.Makespan()
+	mach2 := newMachine(1, n)
+	in2 := Load(mach2, l)
+	SerialRank(in2)
+	ser := mach2.Makespan()
+	ratio := ser / vec
+	if ratio < 5 || ratio > 12 {
+		t.Errorf("vectorized/serial speedup %.1f, paper ≈ 8.3 (42.1/5.1)", ratio)
+	}
+}
+
+func TestSublistSmallFallsBackToSerial(t *testing.T) {
+	l := list.NewRandom(32, rng.New(13))
+	mach := newMachine(1, 64)
+	in := Load(mach, l)
+	SublistRank(in, SublistParams{M: 4, Seed: 1})
+	equal(t, in.OutSlice(), l.Ranks(), "tiny list")
+}
+
+func TestSublistSeedSweep(t *testing.T) {
+	l := list.NewRandom(20000, rng.New(14))
+	want := l.Ranks()
+	for seed := uint64(0); seed < 6; seed++ {
+		mach := newMachine(3, l.Len())
+		in := Load(mach, l)
+		SublistRank(in, SublistParams{M: 999, Seed: seed})
+		equal(t, in.OutSlice(), want, "seed sweep")
+	}
+}
+
+func TestSublistAdversarialShapes(t *testing.T) {
+	for name, l := range map[string]*list.List{
+		"ordered":  list.NewOrdered(8192),
+		"reversed": list.NewReversed(8192),
+		"blocked":  list.NewBlocked(8192, 64, rng.New(15)),
+	} {
+		mach := newMachine(2, l.Len())
+		in := Load(mach, l)
+		SublistScan(in, SublistParams{M: 400, Seed: 16})
+		equal(t, in.OutSlice(), serial.Scan(l), name)
+	}
+}
+
+func TestSublistCustomSchedules(t *testing.T) {
+	l := list.NewRandom(10000, rng.New(17))
+	want := l.Ranks()
+	for _, sch := range [][]int{nil, {1}, {10, 20, 40}, {1000}} {
+		mach := newMachine(1, l.Len())
+		in := Load(mach, l)
+		SublistRank(in, SublistParams{M: 500, Seed: 18, Schedule1: sch, Schedule3: sch})
+		equal(t, in.OutSlice(), want, "custom schedule")
+	}
+}

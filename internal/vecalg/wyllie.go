@@ -1,0 +1,114 @@
+package vecalg
+
+import "listrank/internal/wyllie"
+
+// WyllieScan runs the vectorized pointer-jumping list scan on the
+// simulated machine, using all of its processors: the n virtual
+// processors are divided into one contiguous chunk per physical
+// processor, and the processors synchronize after every jumping round
+// (pointer jumping genuinely needs the barrier: round r+1 reads what
+// other processors wrote in round r).
+//
+// Each round's inner loop per element is two gathers (value and link
+// of the successor) chained with stride loads, an add, and stores into
+// the double buffers — 3.4 cycles/element on the C90 configuration.
+// After ⌈log2(n−1)⌉ rounds, val[v] holds the sum over [v, tail); a
+// final vector pass converts suffix sums to the exclusive prefix scan,
+// out[v] = val[head] − val[v]. The sawtooth of Fig. 1 is the round
+// count ⌈log2(n−1)⌉ stepping up.
+func WyllieScan(in *Input) {
+	wyllieRun(in, false)
+}
+
+// WyllieRank is WyllieScan on unit values: the same round structure
+// with the value initialization replaced by a vector constant.
+func WyllieRank(in *Input) {
+	wyllieRun(in, true)
+}
+
+func wyllieRun(in *Input, unitValues bool) {
+	mach := in.M
+	n := in.N
+	mem := mach.Mem
+	procs := mach.NumProcs()
+
+	valA := mach.Alloc(n)
+	nxtA := mach.Alloc(n)
+	valB := mach.Alloc(n)
+	nxtB := mach.Alloc(n)
+
+	// Initialization: working copies of values and links, with the
+	// tail value zeroed (identity trick: val[v] sums [v, next[v])).
+	for pc := 0; pc < procs; pc++ {
+		lo, hi := chunk(n, procs, pc)
+		if hi <= lo {
+			continue
+		}
+		p := mach.Proc(pc)
+		w := hi - lo
+		reg := make([]int64, w)
+		lp := p.Loop(w)
+		if unitValues {
+			lp.Const(reg, 1)
+		} else {
+			lp.LoadStride(reg, in.Value+int64(lo))
+		}
+		lp.StoreStride(valA+int64(lo), reg)
+		lp.LoadStride(reg, in.Next+int64(lo))
+		lp.StoreStride(nxtA+int64(lo), reg)
+		lp.End()
+	}
+	mem[valA+in.Tail] = 0
+	mach.SyncProcs()
+
+	rounds := wyllie.Rounds(n)
+	src, dst := valA, valB
+	srcN, dstN := nxtA, nxtB
+	for r := 0; r < rounds; r++ {
+		for pc := 0; pc < procs; pc++ {
+			lo, hi := chunk(n, procs, pc)
+			if hi <= lo {
+				continue
+			}
+			p := mach.Proc(pc)
+			w := hi - lo
+			nx := make([]int64, w)
+			myVal := make([]int64, w)
+			sVal := make([]int64, w)
+			sNxt := make([]int64, w)
+			lp := p.Loop(w)
+			lp.LoadStride(nx, srcN+int64(lo)) // my successor
+			lp.LoadStride(myVal, src+int64(lo))
+			lp.Gather(sVal, src, nx) // successor's value
+			lp.Add(myVal, myVal, sVal)
+			lp.Gather(sNxt, srcN, nx) // successor's successor
+			lp.StoreStride(dst+int64(lo), myVal)
+			lp.StoreStride(dstN+int64(lo), sNxt)
+			lp.End()
+		}
+		mach.SyncProcs()
+		src, dst = dst, src
+		srcN, dstN = dstN, srcN
+	}
+
+	// Conversion pass: out[v] = val[head] − val[v].
+	total := mem[src+in.Head]
+	for pc := 0; pc < procs; pc++ {
+		lo, hi := chunk(n, procs, pc)
+		if hi <= lo {
+			continue
+		}
+		p := mach.Proc(pc)
+		w := hi - lo
+		reg := make([]int64, w)
+		lp := p.Loop(w)
+		lp.LoadStride(reg, src+int64(lo))
+		for i := 0; i < w; i++ {
+			reg[i] = total - reg[i]
+		}
+		lp.ALU(1) // the reverse-subtract
+		lp.StoreStride(in.Out+int64(lo), reg)
+		lp.End()
+	}
+	mach.SyncProcs()
+}

@@ -1,0 +1,324 @@
+package vm
+
+import "listrank/internal/rng"
+
+// Loop is one chained vector loop over n active elements on a
+// processor. Operations execute immediately on real data (Go slices
+// act as vector register sets spanning ⌈n/128⌉ strips); End charges
+// the loop's cycle cost: per-element cost is the maximum over
+// functional units (chaining), plus bank stalls from indirect
+// accesses, the fixed loop overhead, and any per-strip overhead.
+//
+// Within one loop, operations on the same unit serialize (two gathers
+// cost twice the gather rate), which is exactly how the paper's
+// traversal loops come out to 3.4 (two gathers) and 4.6 (two gathers
+// plus a scatter) cycles per element.
+//
+// The data semantics assume EREW access within a loop, as PRAM
+// algorithms guarantee ("processors in data parallel algorithms do
+// not use the results of another processor in the same time step",
+// §1.1). Read-after-write of the same *register* slice inside one
+// loop is chaining and is fine.
+type Loop struct {
+	p *Proc
+	n int
+	// per-unit element counts
+	gsTime        float64 // gather/scatter unit, cycles per element
+	gatherPasses  int
+	scatterPasses int
+	loads         int
+	stores        int
+	alu           int
+	rngOps        int
+	stalls        float64 // bank stall cycles accumulated
+	overhead      float64 // per-loop startup override; <0 means config default
+	finished      bool
+}
+
+// Overhead overrides the configured LoopOverhead for this loop. The
+// paper's loops have individually measured startup constants (35 for
+// the Phase 1 traversal, 28 for Phase 3, …); this is how callers model
+// them.
+func (lp *Loop) Overhead(cycles float64) *Loop {
+	lp.overhead = cycles
+	return lp
+}
+
+// Loop begins a vector loop over n elements. n may be 0 (the loop
+// still pays its startup overhead, as a real loop would at least pay
+// its scalar test).
+func (p *Proc) Loop(n int) *Loop {
+	return &Loop{p: p, n: n, overhead: -1}
+}
+
+// DebugStall, when non-nil, receives every bank-stall event (debug).
+var DebugStall func(addr int64, bank int, stall float64)
+
+func (lp *Loop) bank(addr int64) {
+	cfg := &lp.p.m.Cfg
+	if cfg.NumBanks == 0 || cfg.BankBusy == 0 {
+		return
+	}
+	b := int(addr) % cfg.NumBanks
+	if b < 0 {
+		b += cfg.NumBanks
+	}
+	// Repeated access to the address a bank served last is satisfied
+	// from the bank buffer without a recovery stall (this is what keeps
+	// converged pointer-jumping, where every element gathers the tail
+	// word, from serializing on one bank).
+	if lp.p.bankLast[b] == addr {
+		lp.p.issued += cfg.GatherPerElem
+		return
+	}
+	// Element issue time: one per gather-unit slot since processor
+	// start; stall until the bank recovers. A stall really does hold
+	// the issue pipeline, so the issue clock advances past it —
+	// otherwise demand on a hot bank could outrun the clock without
+	// bound, which no real memory system allows.
+	t := lp.p.issued
+	if free := lp.p.bankFree[b]; free > t {
+		lp.stalls += free - t
+		if DebugStall != nil {
+			DebugStall(addr, b, free-t)
+		}
+		t = free
+	}
+	lp.p.bankFree[b] = t + cfg.BankBusy
+	lp.p.bankLast[b] = addr
+	lp.p.issued = t + cfg.GatherPerElem
+}
+
+// Gather reads dst[i] = Mem[base+idx[i]] for i < n.
+func (lp *Loop) Gather(dst []int64, base int64, idx []int64) {
+	mem := lp.p.m.Mem
+	for i := 0; i < lp.n; i++ {
+		a := base + idx[i]
+		dst[i] = mem[a]
+		lp.bank(a)
+	}
+	lp.gsTime += lp.p.m.Cfg.GatherPerElem
+	lp.gatherPasses++
+}
+
+// Scatter writes Mem[base+idx[i]] = src[i] for i < n.
+func (lp *Loop) Scatter(base int64, idx []int64, src []int64) {
+	mem := lp.p.m.Mem
+	for i := 0; i < lp.n; i++ {
+		a := base + idx[i]
+		mem[a] = src[i]
+		lp.bank(a)
+	}
+	lp.gsTime += lp.p.m.Cfg.ScatterPerElem
+	lp.scatterPasses++
+}
+
+// GatherReg reads dst[i] = table[idx[i]] where table is a small
+// register-resident (virtual-processor state) array rather than main
+// list storage. It costs a gather-unit pass but skips the bank model:
+// these tables are tiny and cache in the paper's formulation as packed
+// contiguous state, where systematic conflicts cannot persist.
+func (lp *Loop) GatherReg(dst, table, idx []int64) {
+	for i := 0; i < lp.n; i++ {
+		dst[i] = table[idx[i]]
+	}
+	lp.gsTime += lp.p.m.Cfg.GatherPerElem
+	lp.gatherPasses++
+}
+
+// ScatterReg writes table[idx[i]] = src[i] for a register-resident
+// state table (see GatherReg).
+func (lp *Loop) ScatterReg(table, idx, src []int64) {
+	for i := 0; i < lp.n; i++ {
+		table[idx[i]] = src[i]
+	}
+	lp.gsTime += lp.p.m.Cfg.ScatterPerElem
+	lp.scatterPasses++
+}
+
+// LoadStride reads dst[i] = Mem[base+i] (unit-stride load port).
+func (lp *Loop) LoadStride(dst []int64, base int64) {
+	mem := lp.p.m.Mem
+	copy(dst[:lp.n], mem[base:base+int64(lp.n)])
+	lp.loads++
+}
+
+// StoreStride writes Mem[base+i] = src[i] (store port).
+func (lp *Loop) StoreStride(base int64, src []int64) {
+	mem := lp.p.m.Mem
+	copy(mem[base:base+int64(lp.n)], src[:lp.n])
+	lp.stores++
+}
+
+// Load models moving a vector-register set from one register slice to
+// another through the load ports (e.g. reloading strip-mined virtual
+// processor state). Data-wise it is a copy.
+func (lp *Loop) Load(dst, src []int64) {
+	copy(dst[:lp.n], src[:lp.n])
+	lp.loads++
+}
+
+// Store is the store-port counterpart of Load.
+func (lp *Loop) Store(dst, src []int64) {
+	copy(dst[:lp.n], src[:lp.n])
+	lp.stores++
+}
+
+// Add computes dst[i] = a[i] + b[i] on an arithmetic pipe.
+func (lp *Loop) Add(dst, a, b []int64) {
+	for i := 0; i < lp.n; i++ {
+		dst[i] = a[i] + b[i]
+	}
+	lp.alu++
+}
+
+// AddConst computes dst[i] = a[i] + c.
+func (lp *Loop) AddConst(dst, a []int64, c int64) {
+	for i := 0; i < lp.n; i++ {
+		dst[i] = a[i] + c
+	}
+	lp.alu++
+}
+
+// Iota fills dst[i] = start + i (address computation pipe).
+func (lp *Loop) Iota(dst []int64, start int64) {
+	for i := 0; i < lp.n; i++ {
+		dst[i] = start + int64(i)
+	}
+	lp.alu++
+}
+
+// Const fills dst[i] = c.
+func (lp *Loop) Const(dst []int64, c int64) {
+	for i := 0; i < lp.n; i++ {
+		dst[i] = c
+	}
+	lp.alu++
+}
+
+// Random fills dst with uniform values in [0, bound) from the vector
+// RNG pipe.
+func (lp *Loop) Random(dst []int64, r *rng.Rand, bound int64) {
+	for i := 0; i < lp.n; i++ {
+		dst[i] = int64(r.Uint64n(uint64(bound)))
+	}
+	lp.rngOps++
+}
+
+// Op applies an arbitrary elementwise binary operator on an arithmetic
+// pipe: dst[i] = op(a[i], b[i]). List scan with a general associative
+// operator runs through this; the C90 would implement the operator as
+// a short chained sequence, so callers may charge extra ALU ops with
+// ALU() to model expensive operators ("the scan operator can be more
+// costly to compute than the increment operator", §2).
+func (lp *Loop) Op(dst, a, b []int64, op func(x, y int64) int64) {
+	for i := 0; i < lp.n; i++ {
+		dst[i] = op(a[i], b[i])
+	}
+	lp.alu++
+}
+
+// ALU charges k additional arithmetic operations without moving data
+// (comparisons, masks, selects that the modeled algorithm performs).
+func (lp *Loop) ALU(k int) { lp.alu += k }
+
+// ChargeGathers charges k gather passes on the gather/scatter unit
+// without moving data — for masked indirect reads whose data movement
+// the caller performs itself (masked Cray vector ops run at full
+// vector length regardless of the mask).
+func (lp *Loop) ChargeGathers(k int) {
+	lp.gsTime += float64(k) * lp.p.m.Cfg.GatherPerElem
+	lp.gatherPasses += k
+}
+
+// ChargeScatters is ChargeGathers for masked indirect writes.
+func (lp *Loop) ChargeScatters(k int) {
+	lp.gsTime += float64(k) * lp.p.m.Cfg.ScatterPerElem
+	lp.scatterPasses += k
+}
+
+// End charges the loop's cycles to the processor and invalidates the
+// loop. The per-element rate is the chained maximum over units; the
+// memory units (gather/scatter, loads, stores) are additionally
+// scaled by the multiprocessor contention factor.
+func (lp *Loop) End() {
+	if lp.finished {
+		panic("vm: Loop.End called twice")
+	}
+	lp.finished = true
+	cfg := &lp.p.m.Cfg
+	cont := cfg.ContentionFor(cfg.Procs)
+
+	mem := lp.gsTime
+	if lt := float64(lp.loads) * cfg.LoadPerElem / float64(cfg.LoadPorts); lt > mem {
+		mem = lt
+	}
+	if st := float64(lp.stores) * cfg.StorePerElem; st > mem {
+		mem = st
+	}
+	mem *= cont
+
+	per := mem
+	if at := float64(lp.alu) * cfg.ALUPerElem / float64(cfg.ALUPipes); at > per {
+		per = at
+	}
+	if rt := float64(lp.rngOps) * cfg.RNGPerElem; rt > per {
+		per = rt
+	}
+	if per < 1 && (lp.gsTime > 0 || lp.loads+lp.stores+lp.alu+lp.rngOps > 0) {
+		per = 1 // nothing issues faster than one element per cycle
+	}
+
+	oh := cfg.LoopOverhead
+	if lp.overhead >= 0 {
+		oh = lp.overhead
+	}
+	lp.p.StallCycles += lp.stalls * cont
+	lp.record()
+	cycles := oh + per*float64(lp.n) + lp.stalls*cont
+	if cfg.StripOverhead > 0 {
+		strips := (lp.n + cfg.VectorLength - 1) / cfg.VectorLength
+		cycles += cfg.StripOverhead * float64(strips)
+	}
+	lp.p.Cycles += cycles
+}
+
+// Pack compresses the elements of several parallel register sets,
+// keeping element i iff keep[i], writing survivors contiguously to the
+// front of each slice, and returns the survivor count. This is the
+// load-balancing primitive of §3 (T_InitialPack, T_FinalPack): on the
+// C90 it is a compress-index computation followed by one
+// gather/scatter pass per state array, so its cost is dominated by
+// len(arrays) gather-unit passes over n elements plus flag arithmetic.
+func (p *Proc) Pack(n int, keep []bool, arrays ...[]int64) int {
+	lp := p.Loop(n)
+	// Flag evaluation and compress-index formation: compare + scan.
+	lp.ALU(2)
+	// One gather-unit pass per compressed state array.
+	k := 0
+	for i := 0; i < n; i++ {
+		if keep[i] {
+			for _, a := range arrays {
+				a[k] = a[i]
+			}
+			k++
+		}
+	}
+	lp.gsTime += float64(len(arrays)) * p.m.Cfg.GatherPerElem
+	lp.gatherPasses += len(arrays)
+	lp.End()
+	return k
+}
+
+// PackInt32 is Pack for an int32 register set, compressed alongside by
+// callers that mix widths.
+func PackInt32(n int, keep []bool, arr []int32) int {
+	k := 0
+	for i := 0; i < n; i++ {
+		if keep[i] {
+			arr[k] = arr[i]
+			k++
+		}
+	}
+	return k
+}

@@ -1,0 +1,92 @@
+package vm
+
+import "fmt"
+
+// OpStats counts the operations a processor (or machine) has issued,
+// for calibration analysis: it lets tests and the experiment harness
+// decompose a run's cycles into the unit demands behind them (how
+// many gather passes, how many loop startups, how many strips) and
+// check them against the paper's per-loop models, instead of only
+// comparing end-to-end cycle totals.
+type OpStats struct {
+	// Loops is the number of vector loops executed (each paying its
+	// startup overhead).
+	Loops int64
+	// Elems is the total number of loop elements across all loops
+	// (the Σx of the paper's T(x) = a·x + b models).
+	Elems int64
+	// Strips is the number of 128-element strips processed.
+	Strips int64
+	// GatherElems and ScatterElems count elements moved through the
+	// gather/scatter unit by indirect reads and writes (register-table
+	// accesses included).
+	GatherElems  int64
+	ScatterElems int64
+	// LoadElems and StoreElems count elements through the load and
+	// store ports.
+	LoadElems  int64
+	StoreElems int64
+	// ALUElems counts elements through the arithmetic pipes.
+	ALUElems int64
+	// RNGElems counts elements drawn from the vector RNG pipe.
+	RNGElems int64
+	// StallCycles is the bank-conflict stall total (also available as
+	// Proc.StallCycles).
+	StallCycles float64
+}
+
+// Add accumulates other into s.
+func (s *OpStats) Add(other OpStats) {
+	s.Loops += other.Loops
+	s.Elems += other.Elems
+	s.Strips += other.Strips
+	s.GatherElems += other.GatherElems
+	s.ScatterElems += other.ScatterElems
+	s.LoadElems += other.LoadElems
+	s.StoreElems += other.StoreElems
+	s.ALUElems += other.ALUElems
+	s.RNGElems += other.RNGElems
+	s.StallCycles += other.StallCycles
+}
+
+// String renders the counts compactly.
+func (s OpStats) String() string {
+	return fmt.Sprintf("loops=%d elems=%d strips=%d gather=%d scatter=%d load=%d store=%d alu=%d rng=%d stalls=%.0f",
+		s.Loops, s.Elems, s.Strips, s.GatherElems, s.ScatterElems,
+		s.LoadElems, s.StoreElems, s.ALUElems, s.RNGElems, s.StallCycles)
+}
+
+// OpStats returns the operations this processor has issued since
+// construction or the last ResetStats.
+func (p *Proc) OpStats() OpStats { return p.ops }
+
+// ResetStats zeroes the processor's operation counters (the cycle
+// counters are separate; see Machine.ResetClocks).
+func (p *Proc) ResetStats() { p.ops = OpStats{} }
+
+// OpStats returns the sum of all processors' operation counters.
+func (m *Machine) OpStats() OpStats {
+	var s OpStats
+	for _, p := range m.procs {
+		s.Add(p.ops)
+	}
+	return s
+}
+
+// record accumulates a finished loop's operation counts into its
+// processor. Called from Loop.End.
+func (lp *Loop) record() {
+	cfg := &lp.p.m.Cfg
+	ops := &lp.p.ops
+	ops.Loops++
+	ops.Elems += int64(lp.n)
+	ops.Strips += int64((lp.n + cfg.VectorLength - 1) / cfg.VectorLength)
+	n := int64(lp.n)
+	ops.GatherElems += int64(lp.gatherPasses) * n
+	ops.ScatterElems += int64(lp.scatterPasses) * n
+	ops.LoadElems += int64(lp.loads) * n
+	ops.StoreElems += int64(lp.stores) * n
+	ops.ALUElems += int64(lp.alu) * n
+	ops.RNGElems += int64(lp.rngOps) * n
+	ops.StallCycles += lp.stalls
+}

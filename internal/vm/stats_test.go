@@ -1,0 +1,149 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"listrank/internal/rng"
+)
+
+func statsMachine() *Machine {
+	cfg := CrayC90()
+	return New(cfg, 1<<16)
+}
+
+func TestOpStatsCountsPasses(t *testing.T) {
+	m := statsMachine()
+	p := m.Proc(0)
+	n := 300
+	base := m.Alloc(n)
+	idx := make([]int64, n)
+	buf := make([]int64, n)
+	for i := range idx {
+		idx[i] = int64(i)
+	}
+	lp := p.Loop(n)
+	lp.Gather(buf, base, idx)
+	lp.Gather(buf, base, idx)
+	lp.Scatter(base, idx, buf)
+	lp.Add(buf, buf, buf)
+	lp.Load(buf, idx)
+	lp.Store(buf, idx)
+	lp.End()
+
+	st := p.OpStats()
+	if st.Loops != 1 {
+		t.Errorf("Loops = %d, want 1", st.Loops)
+	}
+	if st.Elems != int64(n) {
+		t.Errorf("Elems = %d, want %d", st.Elems, n)
+	}
+	wantStrips := int64((n + 127) / 128)
+	if st.Strips != wantStrips {
+		t.Errorf("Strips = %d, want %d", st.Strips, wantStrips)
+	}
+	if st.GatherElems != int64(2*n) {
+		t.Errorf("GatherElems = %d, want %d", st.GatherElems, 2*n)
+	}
+	if st.ScatterElems != int64(n) {
+		t.Errorf("ScatterElems = %d, want %d", st.ScatterElems, n)
+	}
+	if st.LoadElems != int64(n) || st.StoreElems != int64(n) {
+		t.Errorf("Load/Store = %d/%d, want %d/%d", st.LoadElems, st.StoreElems, n, n)
+	}
+	if st.ALUElems != int64(n) {
+		t.Errorf("ALUElems = %d, want %d", st.ALUElems, n)
+	}
+}
+
+func TestOpStatsPackAndCharges(t *testing.T) {
+	m := statsMachine()
+	p := m.Proc(0)
+	n := 64
+	a := make([]int64, n)
+	b := make([]int64, n)
+	keep := make([]bool, n)
+	for i := range keep {
+		keep[i] = i%2 == 0
+	}
+	p.Pack(n, keep, a, b)
+	st := p.OpStats()
+	if st.GatherElems != int64(2*n) {
+		t.Errorf("Pack GatherElems = %d, want %d (one pass per array)", st.GatherElems, 2*n)
+	}
+
+	p.ResetStats()
+	lp := p.Loop(n)
+	lp.ChargeGathers(3)
+	lp.ChargeScatters(2)
+	lp.End()
+	st = p.OpStats()
+	if st.GatherElems != int64(3*n) || st.ScatterElems != int64(2*n) {
+		t.Errorf("charged passes = %d/%d, want %d/%d", st.GatherElems, st.ScatterElems, 3*n, 2*n)
+	}
+}
+
+func TestOpStatsRNGAndReset(t *testing.T) {
+	m := statsMachine()
+	p := m.Proc(0)
+	buf := make([]int64, 100)
+	lp := p.Loop(100)
+	lp.Random(buf, rng.New(1), 1000)
+	lp.End()
+	if st := p.OpStats(); st.RNGElems != 100 {
+		t.Errorf("RNGElems = %d, want 100", st.RNGElems)
+	}
+	p.ResetStats()
+	if st := p.OpStats(); st != (OpStats{}) {
+		t.Errorf("after reset: %+v", st)
+	}
+}
+
+func TestOpStatsMachineAggregation(t *testing.T) {
+	cfg := CrayC90()
+	cfg.Procs = 4
+	m := New(cfg, 1<<14)
+	for pc := 0; pc < 4; pc++ {
+		buf := make([]int64, 10)
+		lp := m.Proc(pc).Loop(10)
+		lp.Add(buf, buf, buf)
+		lp.End()
+	}
+	st := m.OpStats()
+	if st.Loops != 4 || st.ALUElems != 40 {
+		t.Errorf("aggregate = %+v, want 4 loops / 40 alu elems", st)
+	}
+}
+
+func TestOpStatsStallsMatchProc(t *testing.T) {
+	cfg := CrayC90()
+	cfg.NumBanks = 4 // force conflicts
+	m := New(cfg, 1<<14)
+	p := m.Proc(0)
+	n := 256
+	base := m.Alloc(n * 4)
+	idx := make([]int64, n)
+	for i := range idx {
+		idx[i] = int64(i * 4) // same-bank stride
+	}
+	buf := make([]int64, n)
+	lp := p.Loop(n)
+	lp.Gather(buf, base, idx)
+	lp.End()
+	st := p.OpStats()
+	if st.StallCycles <= 0 {
+		t.Fatal("no stalls recorded on an adversarial stride")
+	}
+	// OpStats stalls are pre-contention; with 1 processor the factor
+	// is 1 and they must equal the processor's charged stalls.
+	if st.StallCycles != p.StallCycles {
+		t.Errorf("OpStats stalls %.1f != proc stalls %.1f", st.StallCycles, p.StallCycles)
+	}
+}
+
+func TestOpStatsString(t *testing.T) {
+	s := OpStats{Loops: 2, Elems: 10}.String()
+	if !strings.Contains(s, "loops=2") || !strings.Contains(s, "elems=10") {
+		t.Errorf("String() = %q", s)
+	}
+}

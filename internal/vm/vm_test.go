@@ -1,0 +1,531 @@
+package vm
+
+import (
+	"math"
+	"testing"
+
+	"listrank/internal/rng"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol*want {
+		t.Errorf("%s = %.3f, want %.3f (±%.0f%%)", what, got, want, tol*100)
+	}
+}
+
+func TestAllocAndMemory(t *testing.T) {
+	m := New(CrayC90(), 1000)
+	a := m.Alloc(100)
+	b := m.Alloc(200)
+	if a != 0 || b != 100 {
+		t.Fatalf("Alloc returned %d, %d", a, b)
+	}
+	m.Mem[a] = 7
+	m.Mem[b+199] = 9
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-allocation did not panic")
+		}
+	}()
+	m.Alloc(701)
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	m := New(CrayC90(), 4096)
+	base := m.Alloc(1024)
+	p := m.Proc(0)
+	n := 300
+	idx := make([]int64, n)
+	src := make([]int64, n)
+	dst := make([]int64, n)
+	r := rng.New(1)
+	perm := r.Perm(1024)
+	for i := 0; i < n; i++ {
+		idx[i] = int64(perm[i])
+		src[i] = int64(i * 31)
+	}
+	lp := p.Loop(n)
+	lp.Scatter(base, idx, src)
+	lp.Gather(dst, base, idx)
+	lp.End()
+	for i := 0; i < n; i++ {
+		if dst[i] != src[i] {
+			t.Fatalf("round trip failed at %d: %d != %d", i, dst[i], src[i])
+		}
+	}
+	if p.Cycles <= 0 {
+		t.Fatal("no cycles charged")
+	}
+}
+
+// TestInitialScanLoopModel verifies the paper's dominant Phase 1 loop
+// equation: T_InitialScan(x) = 3.4x + 35 cycles for a loop with two
+// gathers over x active sublists (§3).
+func TestInitialScanLoopModel(t *testing.T) {
+	cfg := CrayC90()
+	cfg.BankBusy = 0 // pure issue-rate model for the equation check
+	for _, x := range []int{10, 100, 1000, 10000} {
+		m := New(cfg, 4*x+64)
+		base := m.Alloc(2 * x)
+		p := m.Proc(0)
+		idx := make([]int64, x)
+		sum := make([]int64, x)
+		tmp := make([]int64, x)
+		for i := range idx {
+			idx[i] = int64(i)
+		}
+		lp := p.Loop(x)
+		lp.Gather(tmp, base, idx) // gather value
+		lp.Add(sum, sum, tmp)     // accumulate (chained)
+		lp.Gather(idx, base, idx) // gather successor link
+		lp.End()
+		want := 3.4*float64(x) + 35
+		approx(t, p.Cycles, want, 0.01, "T_InitialScan")
+	}
+}
+
+// TestFinalScanLoopModel verifies T_FinalScan(x) = 4.6x + 28: two
+// gathers plus a scatter (§3).
+func TestFinalScanLoopModel(t *testing.T) {
+	cfg := CrayC90()
+	cfg.BankBusy = 0
+	cfg.LoopOverhead = 28
+	x := 5000
+	m := New(cfg, 4*x)
+	base := m.Alloc(2 * x)
+	p := m.Proc(0)
+	idx := make([]int64, x)
+	acc := make([]int64, x)
+	tmp := make([]int64, x)
+	for i := range idx {
+		idx[i] = int64(i)
+	}
+	lp := p.Loop(x)
+	lp.Scatter(base, idx, acc)
+	lp.Gather(tmp, base, idx)
+	lp.Add(acc, acc, tmp)
+	lp.Gather(idx, base, idx)
+	lp.End()
+	approx(t, p.Cycles, 4.6*float64(x)+28, 0.01, "T_FinalScan")
+}
+
+// TestPackModel verifies the pack primitive's per-element cost is near
+// the paper's T_InitialPack slope of 8.2 cycles/element when packing
+// the five Phase 1 state arrays (we get 5×1.7 = 8.5, within 5%).
+func TestPackModel(t *testing.T) {
+	cfg := CrayC90()
+	cfg.BankBusy = 0
+	cfg.LoopOverhead = 0
+	x := 10000
+	m := New(cfg, 16)
+	p := m.Proc(0)
+	keep := make([]bool, x)
+	arrays := make([][]int64, 5)
+	for i := range arrays {
+		arrays[i] = make([]int64, x)
+		for j := range arrays[i] {
+			arrays[i][j] = int64(j*10 + i)
+		}
+	}
+	for i := range keep {
+		keep[i] = i%3 != 0
+	}
+	k := p.Pack(x, keep, arrays...)
+	wantK := 0
+	for _, b := range keep {
+		if b {
+			wantK++
+		}
+	}
+	if k != wantK {
+		t.Fatalf("Pack kept %d, want %d", k, wantK)
+	}
+	// Survivors must be the kept elements in order, consistently
+	// across all arrays.
+	j := 0
+	for i := 0; i < x; i++ {
+		if keep[i] {
+			for ai, a := range arrays {
+				if a[j] != int64(i*10+ai) {
+					t.Fatalf("array %d slot %d = %d, want %d", ai, j, a[j], i*10+ai)
+				}
+			}
+			j++
+		}
+	}
+	approx(t, p.Cycles/float64(x), 8.5, 0.02, "pack cycles/elem")
+}
+
+func TestChainingTakesMax(t *testing.T) {
+	// A loop with one gather and ten ALU ops: ALU (10 × 1.0/2 = 5.0)
+	// must dominate the gather (1.7).
+	cfg := CrayC90()
+	cfg.BankBusy = 0
+	cfg.LoopOverhead = 0
+	m := New(cfg, 2048)
+	base := m.Alloc(1024)
+	p := m.Proc(0)
+	n := 1000
+	idx := make([]int64, n)
+	dst := make([]int64, n)
+	lp := p.Loop(n)
+	lp.Gather(dst, base, idx)
+	lp.ALU(10)
+	lp.End()
+	approx(t, p.Cycles, 5.0*float64(n), 0.01, "chained max")
+}
+
+func TestShortVectorOverheadDominates(t *testing.T) {
+	// The Hockney constant must dominate for tiny vectors: a loop of 4
+	// elements costs nearly the full LoopOverhead.
+	m := New(CrayC90(), 64)
+	p := m.Proc(0)
+	lp := p.Loop(4)
+	lp.ALU(1)
+	lp.End()
+	if p.Cycles < 35 || p.Cycles > 45 {
+		t.Errorf("4-element loop cost %.1f, want ≈ 35–45", p.Cycles)
+	}
+}
+
+func TestBankConflictsAdversarial(t *testing.T) {
+	// All gathers hitting one bank must stall massively compared to a
+	// conflict-free stride.
+	cfg := CrayC90()
+	n := 2000
+	mSame := New(cfg, cfg.NumBanks*8)
+	pSame := mSame.Proc(0)
+	idxSame := make([]int64, n)
+	for i := range idxSame {
+		idxSame[i] = int64(i) * int64(cfg.NumBanks) % int64(len(mSame.Mem))
+	}
+	dst := make([]int64, n)
+	lp := pSame.Loop(n)
+	lp.Gather(dst, 0, idxSame)
+	lp.End()
+
+	mSeq := New(cfg, cfg.NumBanks*8)
+	pSeq := mSeq.Proc(0)
+	idxSeq := make([]int64, n)
+	for i := range idxSeq {
+		idxSeq[i] = int64(i)
+	}
+	lp = pSeq.Loop(n)
+	lp.Gather(dst, 0, idxSeq)
+	lp.End()
+
+	if pSame.Cycles < 2*pSeq.Cycles {
+		t.Errorf("same-bank gather %.0f not ≫ sequential %.0f", pSame.Cycles, pSeq.Cycles)
+	}
+}
+
+func TestBankConflictsRandomAreRare(t *testing.T) {
+	// Random addresses over 1024 banks: stalls should inflate the
+	// gather by only a few percent (§3's justification for not
+	// managing banks explicitly).
+	cfg := CrayC90()
+	n := 100000
+	m := New(cfg, n)
+	p := m.Proc(0)
+	r := rng.New(7)
+	idx := make([]int64, n)
+	perm := r.Perm(n)
+	for i := range idx {
+		idx[i] = int64(perm[i])
+	}
+	dst := make([]int64, n)
+	lp := p.Loop(n)
+	lp.Gather(dst, 0, idx)
+	lp.End()
+	pure := cfg.GatherPerElem*float64(n) + cfg.LoopOverhead
+	if p.Cycles > pure*1.15 {
+		t.Errorf("random gather cost %.0f vs conflict-free %.0f: stalls too large", p.Cycles, pure)
+	}
+}
+
+func TestContentionInterpolation(t *testing.T) {
+	cfg := CrayC90()
+	if f := cfg.ContentionFor(1); f != 1.0 {
+		t.Errorf("ContentionFor(1) = %v", f)
+	}
+	f3 := cfg.ContentionFor(3)
+	if f3 <= cfg.ContentionFor(2) || f3 >= cfg.ContentionFor(4) {
+		t.Errorf("ContentionFor(3) = %v not between 2 and 4 values", f3)
+	}
+	f32 := cfg.ContentionFor(32)
+	if f32 <= cfg.ContentionFor(16) {
+		t.Errorf("extrapolated ContentionFor(32) = %v not above 16's", f32)
+	}
+}
+
+func TestMultiprocMakespanAndSync(t *testing.T) {
+	cfg := CrayC90()
+	cfg.Procs = 4
+	m := New(cfg, 1024)
+	for i := 0; i < 4; i++ {
+		m.Proc(i).ScalarCycles(float64(100 * (i + 1)))
+	}
+	if got := m.Makespan(); got != 400 {
+		t.Errorf("Makespan = %v, want 400", got)
+	}
+	if got := m.TotalCycles(); got != 1000 {
+		t.Errorf("TotalCycles = %v, want 1000", got)
+	}
+	m.SyncProcs()
+	for i := 0; i < 4; i++ {
+		if m.Proc(i).Cycles != 400 {
+			t.Errorf("proc %d not synced: %v", i, m.Proc(i).Cycles)
+		}
+	}
+}
+
+func TestContentionScalesMemoryNotALU(t *testing.T) {
+	cfg := CrayC90()
+	cfg.BankBusy = 0
+	cfg.LoopOverhead = 0
+	n := 10000
+
+	run := func(procs int, aluOnly bool) float64 {
+		c := cfg
+		c.Procs = procs
+		m := New(c, n+64)
+		base := m.Alloc(n)
+		p := m.Proc(0)
+		idx := make([]int64, n)
+		dst := make([]int64, n)
+		lp := p.Loop(n)
+		if aluOnly {
+			lp.ALU(4)
+		} else {
+			lp.Gather(dst, base, idx)
+		}
+		lp.End()
+		return p.Cycles
+	}
+	if g1, g8 := run(1, false), run(8, false); g8 <= g1 {
+		t.Errorf("gather under contention %v not above solo %v", g8, g1)
+	}
+	if a1, a8 := run(1, true), run(8, true); a8 != a1 {
+		t.Errorf("ALU-only loop affected by contention: %v vs %v", a8, a1)
+	}
+}
+
+func TestScalarChaseCalibration(t *testing.T) {
+	// Table I: C90 serial list rank = 177 ns/vertex, scan = 183.
+	cfg := CrayC90()
+	m := New(cfg, 16)
+	p := m.Proc(0)
+	p.ScalarChase(1000, false)
+	approx(t, p.Cycles*cfg.ClockNS/1000, 177, 0.01, "serial rank ns/vertex")
+	m.ResetClocks()
+	p.ScalarChase(1000, true)
+	approx(t, p.Cycles*cfg.ClockNS/1000, 183, 0.01, "serial scan ns/vertex")
+}
+
+func TestResetClocks(t *testing.T) {
+	m := New(CrayC90(), 1024)
+	p := m.Proc(0)
+	idx := make([]int64, 10)
+	dst := make([]int64, 10)
+	lp := p.Loop(10)
+	lp.Gather(dst, 0, idx)
+	lp.End()
+	if p.Cycles == 0 {
+		t.Fatal("no cycles before reset")
+	}
+	m.ResetClocks()
+	if p.Cycles != 0 || p.issued != 0 {
+		t.Fatal("ResetClocks did not zero state")
+	}
+}
+
+func TestLoopEndTwicePanics(t *testing.T) {
+	m := New(CrayC90(), 64)
+	lp := m.Proc(0).Loop(1)
+	lp.ALU(1)
+	lp.End()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second End did not panic")
+		}
+	}()
+	lp.End()
+}
+
+func TestStrideLoadStoreRoundTrip(t *testing.T) {
+	m := New(CrayC90(), 1024)
+	base := m.Alloc(512)
+	p := m.Proc(0)
+	n := 100
+	src := make([]int64, n)
+	dst := make([]int64, n)
+	for i := range src {
+		src[i] = int64(i) * 3
+	}
+	lp := p.Loop(n)
+	lp.StoreStride(base, src)
+	lp.LoadStride(dst, base)
+	lp.End()
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("stride round trip failed at %d", i)
+		}
+	}
+}
+
+func TestIotaConstAddRandom(t *testing.T) {
+	m := New(CrayC90(), 64)
+	p := m.Proc(0)
+	n := 50
+	a := make([]int64, n)
+	b := make([]int64, n)
+	c := make([]int64, n)
+	lp := p.Loop(n)
+	lp.Iota(a, 5)
+	lp.Const(b, 3)
+	lp.Add(c, a, b)
+	lp.AddConst(c, c, -3)
+	lp.End()
+	for i := 0; i < n; i++ {
+		if c[i] != int64(5+i) {
+			t.Fatalf("alu chain wrong at %d: %d", i, c[i])
+		}
+	}
+	r := rng.New(2)
+	lp = p.Loop(n)
+	lp.Random(a, r, 10)
+	lp.End()
+	for i := 0; i < n; i++ {
+		if a[i] < 0 || a[i] >= 10 {
+			t.Fatalf("Random out of range: %d", a[i])
+		}
+	}
+}
+
+func TestCrayYMPSlower(t *testing.T) {
+	// The Y-MP estimate must be strictly slower than the C90 for the
+	// same gather-bound loop, in both cycles and (with its slower
+	// clock) nanoseconds.
+	n := 10000
+	run := func(cfg Config) (float64, float64) {
+		m := New(cfg, n+64)
+		base := m.Alloc(n)
+		p := m.Proc(0)
+		idx := make([]int64, n)
+		dst := make([]int64, n)
+		for i := range idx {
+			idx[i] = int64((i * 37) % n)
+		}
+		lp := p.Loop(n)
+		lp.Gather(dst, base, idx)
+		lp.Gather(idx, base, idx)
+		lp.End()
+		return m.Makespan(), m.Nanoseconds()
+	}
+	c90cy, c90ns := run(CrayC90())
+	ympcy, ympns := run(CrayYMP())
+	if ympcy <= c90cy || ympns <= c90ns {
+		t.Errorf("Y-MP (%f cy, %f ns) not slower than C90 (%f cy, %f ns)",
+			ympcy, ympns, c90cy, c90ns)
+	}
+}
+
+func TestStripOverheadAblation(t *testing.T) {
+	cfg := CrayC90()
+	cfg.BankBusy = 0
+	cfg.StripOverhead = 10
+	cfg.LoopOverhead = 0
+	n := 1000 // 8 strips of 128
+	m := New(cfg, 16)
+	p := m.Proc(0)
+	lp := p.Loop(n)
+	lp.ALU(1)
+	lp.End()
+	// cost = per-elem (0.5 clamped to the 1-per-cycle issue floor) *
+	// 1000 + ceil(1000/128)=8 strips * 10.
+	want := 1.0*1000 + 8*10
+	approx(t, p.Cycles, want, 0.01, "strip overhead")
+}
+
+func TestLoopOpAndChargePrimitives(t *testing.T) {
+	cfg := CrayC90()
+	cfg.BankBusy = 0
+	cfg.LoopOverhead = 0
+	m := New(cfg, 64)
+	p := m.Proc(0)
+	n := 100
+	a := make([]int64, n)
+	bv := make([]int64, n)
+	dst := make([]int64, n)
+	for i := range a {
+		a[i] = int64(i)
+		bv[i] = int64(2 * i)
+	}
+	lp := p.Loop(n)
+	lp.Op(dst, a, bv, func(x, y int64) int64 { return y - x })
+	lp.End()
+	for i := range dst {
+		if dst[i] != int64(i) {
+			t.Fatalf("Op result wrong at %d", i)
+		}
+	}
+	// One ALU op on 2 pipes = 0.5/elem but clamped to >= 1.
+	approx(t, p.Cycles, 100, 0.01, "Op cost")
+
+	m.ResetClocks()
+	lp = p.Loop(n)
+	lp.ChargeGathers(2)
+	lp.ChargeScatters(1)
+	lp.End()
+	approx(t, p.Cycles, (2*1.7+1.2)*100, 0.01, "masked charges")
+}
+
+func TestGatherRegScatterRegRoundTrip(t *testing.T) {
+	m := New(CrayC90(), 64)
+	p := m.Proc(0)
+	n := 50
+	table := make([]int64, 100)
+	idx := make([]int64, n)
+	src := make([]int64, n)
+	dst := make([]int64, n)
+	for i := 0; i < n; i++ {
+		idx[i] = int64((i * 7) % 100)
+		src[i] = int64(i + 1000)
+	}
+	// Ensure idx distinct for round-trip (7 coprime to 100).
+	lp := p.Loop(n)
+	lp.ScatterReg(table, idx, src)
+	lp.GatherReg(dst, table, idx)
+	lp.End()
+	for i := 0; i < n; i++ {
+		if dst[i] != src[i] {
+			t.Fatalf("reg round trip failed at %d", i)
+		}
+	}
+	if p.Cycles < (1.7+1.2)*float64(n) {
+		t.Error("reg ops undercharged")
+	}
+}
+
+func TestStallCyclesAccumulate(t *testing.T) {
+	cfg := CrayC90()
+	n := 500
+	m := New(cfg, cfg.NumBanks*4)
+	p := m.Proc(0)
+	idx := make([]int64, n)
+	for i := range idx {
+		idx[i] = int64(i*cfg.NumBanks) % int64(len(m.Mem))
+	}
+	dst := make([]int64, n)
+	lp := p.Loop(n)
+	lp.Gather(dst, 0, idx)
+	lp.End()
+	if p.StallCycles <= 0 {
+		t.Error("same-bank stride produced no recorded stalls")
+	}
+	m.ResetClocks()
+	if p.StallCycles != 0 {
+		t.Error("ResetClocks did not clear StallCycles")
+	}
+}

@@ -1,0 +1,240 @@
+// Package wyllie implements Wyllie's pointer-jumping list-ranking and
+// list-scan algorithm (paper §2.2, [Wyllie 1979]).
+//
+// Every vertex carries a pointer and a partial sum; on each of
+// ⌈log2(n-1)⌉ synchronous rounds every vertex replaces its pointer with
+// its pointer's pointer and folds in the partial sum it skipped over.
+// The algorithm is simple and fast for short lists but does
+// O(n log n) work, so it loses to work-efficient algorithms as n grows
+// — this is the sawtooth curve of the paper's Fig. 1, where each new
+// round of jumping (each increment of ⌈log2(n-1)⌉) adds a full pass
+// over the data.
+//
+// Two orientations are provided:
+//
+//   - the successor orientation (Ranks, Scan), which pointer-jumps the
+//     Next links to compute suffix sums to the tail and then converts
+//     them to exclusive prefix results by subtraction — valid for
+//     integer addition (a group operation), and the cheapest form; and
+//   - the predecessor orientation (ScanOp), which pointer-jumps
+//     reversed links and combines in list order, computing exclusive
+//     prefix scans for any associative operator with an identity,
+//     commutative or not.
+//
+// All variants are EREW-correct: each round reads the previous round's
+// arrays and writes fresh ones (double buffering), exactly as a PRAM or
+// a vector register machine would.
+package wyllie
+
+import (
+	"listrank/internal/list"
+	"listrank/internal/par"
+)
+
+// Rounds returns the number of pointer-jumping rounds Wyllie's
+// algorithm performs on a list of n vertices: ⌈log2(n-1)⌉ for n ≥ 2
+// (0 for shorter lists). This is the quantity whose discontinuity
+// produces the sawtooth in the paper's Fig. 1.
+func Rounds(n int) int {
+	if n < 2 {
+		return 0
+	}
+	r := 0
+	for span := 1; span < n-1; span <<= 1 {
+		r++
+	}
+	return r
+}
+
+// Ranks returns the rank (number of preceding vertices) of every
+// vertex of l, computed by pointer jumping on a single goroutine.
+func Ranks(l *list.List) []int64 {
+	return ranksP(l, 1)
+}
+
+// RanksParallel is Ranks with the n virtual processors divided among
+// p goroutines, synchronized by a barrier each round.
+func RanksParallel(l *list.List, p int) []int64 {
+	return ranksP(l, p)
+}
+
+func ranksP(l *list.List, p int) []int64 {
+	n := l.Len()
+	out := make([]int64, n)
+	if n == 1 {
+		return out
+	}
+	// val[v] counts the vertices in [v, next[v]) — 1 initially, except
+	// 0 at the tail (the paper's destructive-identity trick, which
+	// removes every conditional from the jump loop).
+	val := make([]int64, n)
+	nxt := make([]int64, n)
+	val2 := make([]int64, n)
+	nxt2 := make([]int64, n)
+	par.ForChunks(n, p, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			val[i] = 1
+			nxt[i] = l.Next[i]
+		}
+	})
+	val[l.Tail()] = 0 // identity at the tail: val[v] counts [v, next[v]).
+	val, _ = jump(val, nxt, val2, nxt2, n, p)
+	// val[v] now counts [v, tail): head has n-1, tail has 0.
+	head := l.Head
+	total := val[head]
+	par.ForChunks(n, p, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = total - val[i]
+		}
+	})
+	return out
+}
+
+// Scan returns the exclusive list scan of l under integer addition,
+// computed by pointer jumping on a single goroutine.
+func Scan(l *list.List) []int64 {
+	return scanP(l, 1)
+}
+
+// ScanParallel is Scan on p goroutines.
+func ScanParallel(l *list.List, p int) []int64 {
+	return scanP(l, p)
+}
+
+func scanP(l *list.List, p int) []int64 {
+	n := l.Len()
+	out := make([]int64, n)
+	if n == 1 {
+		return out
+	}
+	val := make([]int64, n)
+	nxt := make([]int64, n)
+	val2 := make([]int64, n)
+	nxt2 := make([]int64, n)
+	tail := l.Tail()
+	par.ForChunks(n, p, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			val[i] = l.Value[i]
+			nxt[i] = l.Next[i]
+		}
+	})
+	val[tail] = 0 // identity at the tail: val[v] sums [v, next[v]).
+	val, _ = jump(val, nxt, val2, nxt2, n, p)
+	// val[v] = sum over [v, tail); exclusive prefix = val[head]-val[v].
+	head := l.Head
+	total := val[head]
+	par.ForChunks(n, p, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = total - val[i]
+		}
+	})
+	return out
+}
+
+// jump runs ⌈log2(n-1)⌉ rounds of val[i] += val[nxt[i]];
+// nxt[i] = nxt[nxt[i]] with double buffering, on p goroutines, and
+// returns the buffers holding the final values and links.
+func jump(val, nxt, val2, nxt2 []int64, n, p int) (fv, fn []int64) {
+	rounds := Rounds(n)
+	if p == 1 {
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < n; i++ {
+				s := nxt[i]
+				val2[i] = val[i] + val[s]
+				nxt2[i] = nxt[s]
+			}
+			val, val2 = val2, val
+			nxt, nxt2 = nxt2, nxt
+		}
+		return val, nxt
+	}
+	p = par.Procs(p, n)
+	par.RunWorkers(p, func(w int, b *par.Barrier) {
+		lv, lv2, ln, ln2 := val, val2, nxt, nxt2
+		lo, hi := par.Chunk(n, p, w)
+		for r := 0; r < rounds; r++ {
+			for i := lo; i < hi; i++ {
+				s := ln[i]
+				lv2[i] = lv[i] + lv[s]
+				ln2[i] = ln[s]
+			}
+			b.Wait()
+			lv, lv2 = lv2, lv
+			ln, ln2 = ln2, ln
+			// All workers must finish reading the old buffers before
+			// anyone writes the next round into them.
+			b.Wait()
+		}
+	})
+	if rounds%2 == 1 {
+		return val2, nxt2
+	}
+	return val, nxt
+}
+
+// ScanOp returns the exclusive list scan of l under an arbitrary
+// associative operator with the given identity, combining values in
+// list order (safe for non-commutative operators). It pointer-jumps
+// predecessor links, so it does one extra O(n) pass to reverse the
+// list.
+func ScanOp(l *list.List, op func(a, b int64) int64, identity int64) []int64 {
+	return ScanOpParallel(l, op, identity, 1)
+}
+
+// ScanOpParallel is ScanOp on p goroutines.
+func ScanOpParallel(l *list.List, op func(a, b int64) int64, identity int64, p int) []int64 {
+	n := l.Len()
+	out := make([]int64, n)
+	if n == 1 {
+		out[l.Head] = identity
+		return out
+	}
+	// Build predecessor links: pred[next[v]] = v; pred[head] = head.
+	pred := make([]int64, n)
+	pred[l.Head] = l.Head
+	par.ForChunks(n, p, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := l.Next[i]
+			if s != int64(i) {
+				pred[s] = int64(i)
+			}
+		}
+	})
+	// val[v] = op-sum over segment [P[v], v) in list order.
+	val := make([]int64, n)
+	prd2 := make([]int64, n)
+	val2 := make([]int64, n)
+	par.ForChunks(n, p, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pv := pred[i]
+			if pv == int64(i) {
+				val[i] = identity // head: empty segment
+			} else {
+				val[i] = l.Value[pv]
+			}
+		}
+	})
+	rounds := Rounds(n)
+	prd := pred
+	for r := 0; r < rounds; r++ {
+		if p == 1 {
+			for i := 0; i < n; i++ {
+				pv := prd[i]
+				val2[i] = op(val[pv], val[i]) // earlier segment first
+				prd2[i] = prd[pv]
+			}
+		} else {
+			par.ForChunks(n, p, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					pv := prd[i]
+					val2[i] = op(val[pv], val[i])
+					prd2[i] = prd[pv]
+				}
+			})
+		}
+		val, val2 = val2, val
+		prd, prd2 = prd2, prd
+	}
+	copy(out, val)
+	return out
+}

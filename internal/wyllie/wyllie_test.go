@@ -1,0 +1,187 @@
+package wyllie
+
+import (
+	"testing"
+	"testing/quick"
+
+	"listrank/internal/list"
+	"listrank/internal/rng"
+	"listrank/internal/serial"
+)
+
+func TestRounds(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 0}, {3, 1}, {4, 2}, {5, 2}, {9, 3},
+		{1025, 10}, {1026, 11}, {1 << 20, 20},
+	}
+	for _, c := range cases {
+		if got := Rounds(c.n); got != c.want {
+			t.Errorf("Rounds(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestRoundsMonotone(t *testing.T) {
+	prev := 0
+	for n := 1; n < 5000; n++ {
+		r := Rounds(n)
+		if r < prev {
+			t.Fatalf("Rounds(%d)=%d < Rounds(%d)=%d", n, r, n-1, prev)
+		}
+		prev = r
+	}
+}
+
+func equal(t *testing.T, got, want []int64, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: [%d] = %d want %d", what, i, got[i], want[i])
+		}
+	}
+}
+
+func TestRanksSmall(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 9, 100} {
+		l := list.NewRandom(n, rng.New(uint64(n)))
+		equal(t, Ranks(l), l.Ranks(), "Ranks")
+	}
+}
+
+func TestRanksShapes(t *testing.T) {
+	for name, l := range map[string]*list.List{
+		"ordered":  list.NewOrdered(513),
+		"reversed": list.NewReversed(513),
+		"blocked":  list.NewBlocked(513, 32, rng.New(1)),
+		"random":   list.NewRandom(513, rng.New(2)),
+	} {
+		equal(t, Ranks(l), l.Ranks(), name)
+	}
+}
+
+func TestScanMatchesSerial(t *testing.T) {
+	r := rng.New(3)
+	for _, n := range []int{1, 2, 7, 63, 64, 65, 1000} {
+		l := list.NewRandom(n, r)
+		l.RandomValues(-50, 50, r)
+		equal(t, Scan(l), serial.Scan(l), "Scan")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	r := rng.New(4)
+	l := list.NewRandom(4097, r)
+	l.RandomValues(-50, 50, r)
+	wantR := l.Ranks()
+	wantS := serial.Scan(l)
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		equal(t, RanksParallel(l, p), wantR, "RanksParallel")
+		equal(t, ScanParallel(l, p), wantS, "ScanParallel")
+	}
+}
+
+func TestAlgorithmDoesNotMutateInput(t *testing.T) {
+	l := list.NewRandom(500, rng.New(5))
+	before := l.Clone()
+	_ = Ranks(l)
+	_ = Scan(l)
+	_ = ScanOp(l, func(a, b int64) int64 { return a + b }, 0)
+	for i := range before.Next {
+		if l.Next[i] != before.Next[i] || l.Value[i] != before.Value[i] {
+			t.Fatalf("input mutated at vertex %d", i)
+		}
+	}
+}
+
+func TestScanOpAdditionMatches(t *testing.T) {
+	r := rng.New(6)
+	l := list.NewRandom(1023, r)
+	l.RandomValues(-5, 5, r)
+	got := ScanOp(l, func(a, b int64) int64 { return a + b }, 0)
+	equal(t, got, serial.Scan(l), "ScanOp(+)")
+}
+
+func packAffine(a, b int64) int64 { return a<<32 | (b & 0xffffffff) }
+
+func affineCompose(f, g int64) int64 {
+	fa, fb := f>>32, int64(int32(f))
+	ga, gb := g>>32, int64(int32(g))
+	a := (ga * fa) % 9973
+	b := (ga*fb + gb) % 9973
+	return a<<32 | (b & 0xffffffff)
+}
+
+func TestScanOpNonCommutative(t *testing.T) {
+	r := rng.New(7)
+	for _, n := range []int{1, 2, 3, 50, 257, 1024} {
+		l := list.NewRandom(n, r)
+		for i := range l.Value {
+			l.Value[i] = packAffine(int64(r.Intn(7)+1), int64(r.Intn(50)))
+		}
+		id := packAffine(1, 0)
+		got := ScanOp(l, affineCompose, id)
+		want := serial.ScanOp(l, affineCompose, id)
+		equal(t, got, want, "ScanOp(affine)")
+	}
+}
+
+func TestScanOpParallelNonCommutative(t *testing.T) {
+	r := rng.New(8)
+	l := list.NewRandom(2049, r)
+	for i := range l.Value {
+		l.Value[i] = packAffine(int64(r.Intn(7)+1), int64(r.Intn(50)))
+	}
+	id := packAffine(1, 0)
+	want := serial.ScanOp(l, affineCompose, id)
+	for _, p := range []int{2, 4, 7} {
+		equal(t, ScanOpParallel(l, affineCompose, id, p), want, "ScanOpParallel")
+	}
+}
+
+func TestQuickAgainstSerial(t *testing.T) {
+	f := func(seed uint64, nn uint16, pp uint8) bool {
+		n := int(nn%2000) + 1
+		p := int(pp%8) + 1
+		r := rng.New(seed)
+		l := list.NewRandom(n, r)
+		l.RandomValues(-100, 100, r)
+		want := serial.Scan(l)
+		got := ScanParallel(l, p)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScan64K(b *testing.B) {
+	l := list.NewRandom(1<<16, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Scan(l)
+	}
+}
+
+func BenchmarkScan1M(b *testing.B) {
+	l := list.NewRandom(1<<20, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Scan(l)
+	}
+}
+
+func BenchmarkScanParallel1M(b *testing.B) {
+	l := list.NewRandom(1<<20, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ScanParallel(l, 8)
+	}
+}

@@ -1,0 +1,103 @@
+package tree
+
+import (
+	"fmt"
+	"testing"
+
+	"listrank"
+	"listrank/internal/rng"
+)
+
+// BenchmarkTree exercises the downstream applications: the Euler-tour
+// statistics, constant-time LCA construction, rooting from an edge
+// list, and expression evaluation by rake contraction.
+func BenchmarkTree(b *testing.B) {
+	n := 1 << 18
+	parent := make([]int, n)
+	r := rng.New(15)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		span := v
+		if span > 32 && r.Intn(4) != 0 {
+			span = 32 // bias deep
+		}
+		parent[v] = v - 1 - r.Intn(span)
+	}
+	b.Run("depths", func(b *testing.B) {
+		b.SetBytes(int64(8 * n))
+		for i := 0; i < b.N; i++ {
+			t, err := New(parent, listrank.Options{Procs: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = t.Depths()
+		}
+	})
+	b.Run("lca-build", func(b *testing.B) {
+		b.SetBytes(int64(8 * n))
+		for i := 0; i < b.N; i++ {
+			t, err := New(parent, listrank.Options{Procs: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = t.LCA()
+		}
+	})
+	edges := make([][2]int, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int{parent[v], v})
+	}
+	b.Run("root-from-edges", func(b *testing.B) {
+		b.SetBytes(int64(8 * n))
+		for i := 0; i < b.N; i++ {
+			if _, err := RootAt(n, edges, 0, listrank.Options{Procs: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Rake+compress contraction across the shapes that stress each half:
+// balanced trees are pure rake, chains are pure compress, random
+// general trees mix both. The serial postorder walk is the baseline.
+func BenchmarkGeneralExpr(b *testing.B) {
+	shapes := []struct {
+		name string
+		mk   func(testing.TB) *GeneralExpr
+	}{
+		{"random-256k", func(t testing.TB) *GeneralExpr {
+			return randomGeneralExpr(t, 1<<18, 3, listrank.Options{})
+		}},
+		{"chain-256k", func(t testing.TB) *GeneralExpr {
+			return chainExpr(t, 1<<18, listrank.Options{})
+		}},
+		{"caterpillar-256k", func(t testing.TB) *GeneralExpr {
+			return caterpillarExpr(t, 1<<17, listrank.Options{})
+		}},
+	}
+	for _, s := range shapes {
+		e := s.mk(b)
+		want := e.EvalSerial()
+		b.Run(s.name+"/serial", func(b *testing.B) {
+			b.SetBytes(int64(8 * e.Len()))
+			for i := 0; i < b.N; i++ {
+				if e.EvalSerial() != want {
+					b.Fatal("wrong answer")
+				}
+			}
+		})
+		for _, p := range []int{1, 4} {
+			e.opt.Procs = p
+			for _, m := range []CompressMethod{CompressJump, CompressFold} {
+				b.Run(fmt.Sprintf("%s/contract-p%d-%s", s.name, p, m), func(b *testing.B) {
+					b.SetBytes(int64(8 * e.Len()))
+					for i := 0; i < b.N; i++ {
+						if e.EvalWith(m, nil) != want {
+							b.Fatal("wrong answer")
+						}
+					}
+				})
+			}
+		}
+	}
+}

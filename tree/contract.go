@@ -1,0 +1,490 @@
+package tree
+
+import (
+	"fmt"
+
+	"listrank"
+	"listrank/internal/par"
+)
+
+// Op is an expression-tree operator.
+type Op int8
+
+// Operators supported by Expr. Both are associative and commutative
+// and both compose with linear functions, which is what rake
+// contraction needs.
+const (
+	OpAdd Op = iota
+	OpMul
+)
+
+// Expr is a full binary expression tree — every internal node has
+// exactly two children and an operator, every leaf a constant —
+// prepared for parallel evaluation by rake contraction.
+//
+// Tree contraction is the application the paper's reference list
+// orbits around (Miller-Reif [25, 26], Abrahamson et al. [1],
+// Reid-Miller, Miller and Modugno [31]), and the simplest contraction
+// algorithm — Abrahamson et al.'s rake-only method — leans directly
+// on list ranking: number the leaves left to right (here: one list
+// scan of the Euler tour), then alternately rake the odd-numbered
+// left-child and odd-numbered right-child leaves. No two raked leaves
+// interfere (adjacent leaves are never both odd, and the left/right
+// phases separate the remaining conflicts), and at least half the
+// leaves — minus the at most one odd leaf hanging directly off the
+// root — retire each round, so O(log n) rounds and O(n) total work
+// evaluate the tree.
+//
+// Each live node carries a pending linear function f(x) = a·x + b;
+// raking leaf v with parent p and sibling s folds v's constant and
+// p's operator into s's function:
+//
+//	op = +:  f_s'(x) = f_p(A + f_s(x))
+//	op = ×:  f_s'(x) = f_p(A · f_s(x))
+//
+// where A = f_v(value of v). Linear functions are closed under both
+// compositions, which is the algebraic heart of tree contraction.
+// Arithmetic is int64 with ordinary wraparound on overflow.
+type Expr struct {
+	n           int
+	root        int32
+	left, right []int32 // -1 for leaves
+	ops         []Op
+	leafVal     []int64
+	opt         listrank.Options
+	leaves      []int32 // leaf vertices in left-to-right tree order
+}
+
+// NewExpr builds an expression tree over n = len(left) nodes. Node i
+// is a leaf with value leafVal[i] when left[i] == right[i] == -1, and
+// an internal node computing ops[i] over its children otherwise. The
+// root is discovered (the one node that is no node's child). The
+// options select the list-ranking configuration used for leaf
+// numbering. NewExpr returns an error unless the arrays describe a
+// single full binary tree.
+func NewExpr(left, right []int, ops []Op, leafVal []int64, opt listrank.Options) (*Expr, error) {
+	n := len(left)
+	if n == 0 {
+		return nil, fmt.Errorf("tree: empty expression")
+	}
+	if len(right) != n || len(ops) != n || len(leafVal) != n {
+		return nil, fmt.Errorf("tree: array lengths disagree: left %d right %d ops %d leafVal %d",
+			n, len(right), len(ops), len(leafVal))
+	}
+	e := &Expr{
+		n:       n,
+		left:    make([]int32, n),
+		right:   make([]int32, n),
+		ops:     make([]Op, n),
+		leafVal: make([]int64, n),
+		opt:     opt,
+	}
+	copy(e.ops, ops)
+	copy(e.leafVal, leafVal)
+	childOf := make([]int32, n)
+	for i := range childOf {
+		childOf[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		l, r := left[i], right[i]
+		switch {
+		case l == -1 && r == -1:
+			e.left[i], e.right[i] = -1, -1
+		case l == -1 || r == -1:
+			return nil, fmt.Errorf("tree: node %d has one child; expression trees must be full", i)
+		default:
+			for _, c := range [2]int{l, r} {
+				if c < 0 || c >= n {
+					return nil, fmt.Errorf("tree: node %d child %d out of range", i, c)
+				}
+				if c == i {
+					return nil, fmt.Errorf("tree: node %d is its own child", i)
+				}
+				if childOf[c] != -1 {
+					return nil, fmt.Errorf("tree: node %d is a child of both %d and %d", c, childOf[c], i)
+				}
+				childOf[c] = int32(i)
+			}
+			if l == r {
+				return nil, fmt.Errorf("tree: node %d has the same child twice", i)
+			}
+			e.left[i], e.right[i] = int32(l), int32(r)
+		}
+	}
+	root := int32(-1)
+	for i, p := range childOf {
+		if p == -1 {
+			if root != -1 {
+				return nil, fmt.Errorf("tree: two roots, %d and %d", root, i)
+			}
+			root = int32(i)
+		}
+	}
+	if root == -1 {
+		return nil, fmt.Errorf("tree: no root (every node is somebody's child)")
+	}
+	e.root = root
+
+	if err := e.numberLeaves(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// numberLeaves ranks the left-right-ordered Euler tour once to number
+// the leaves, validating acyclicity as a side effect.
+func (e *Expr) numberLeaves() error {
+	n := e.n
+	next := make([]int64, 2*n)
+	value := make([]int64, 2*n)
+	down := func(v int32) int64 { return int64(v) }
+	up := func(v int32) int64 { return int64(n) + int64(v) }
+	nLeaves := 0
+	for v := int32(0); v < int32(n); v++ {
+		if e.left[v] == -1 {
+			next[down(v)] = up(v)
+			value[down(v)] = 1
+			nLeaves++
+		} else {
+			next[down(v)] = down(e.left[v])
+			next[up(e.left[v])] = down(e.right[v])
+			next[up(e.right[v])] = up(v)
+		}
+	}
+	next[up(e.root)] = up(e.root)
+	tour := &listrank.List{Next: next, Value: value, Head: down(e.root)}
+	if err := tour.Validate(); err != nil {
+		return fmt.Errorf("tree: expression structure is cyclic: %w", err)
+	}
+	idx := listrank.ScanWith(tour, e.opt)
+	e.leaves = make([]int32, nLeaves)
+	for v := int32(0); v < int32(n); v++ {
+		if e.left[v] == -1 {
+			e.leaves[idx[down(v)]] = v
+		}
+	}
+	return nil
+}
+
+// Len returns the number of nodes.
+func (e *Expr) Len() int { return e.n }
+
+// Root returns the root node.
+func (e *Expr) Root() int { return int(e.root) }
+
+// Leaves returns the leaf nodes in left-to-right tree order.
+func (e *Expr) Leaves() []int32 { return e.leaves }
+
+// EvalSerial evaluates the expression by an iterative postorder walk,
+// the reference answer for Eval.
+func (e *Expr) EvalSerial() int64 {
+	val := make([]int64, e.n)
+	type frame struct {
+		v       int32
+		visited bool
+	}
+	stack := []frame{{e.root, false}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if e.left[f.v] == -1 {
+			val[f.v] = e.leafVal[f.v]
+			continue
+		}
+		if !f.visited {
+			stack = append(stack, frame{f.v, true}, frame{e.left[f.v], false}, frame{e.right[f.v], false})
+			continue
+		}
+		a, b := val[e.left[f.v]], val[e.right[f.v]]
+		if e.ops[f.v] == OpAdd {
+			val[f.v] = a + b
+		} else {
+			val[f.v] = a * b
+		}
+	}
+	return val[e.root]
+}
+
+// ContractStats reports what an Eval run did.
+type ContractStats struct {
+	// Rounds is the number of rake rounds.
+	Rounds int
+	// Rakes is the total number of leaves raked.
+	Rakes int
+}
+
+// Eval evaluates the expression by parallel rake contraction. The
+// tree itself is not modified (contraction state lives in per-call
+// copies), so Eval is repeatable. stats may be nil.
+func (e *Expr) Eval(stats *ContractStats) int64 {
+	if e.n == 1 {
+		return e.leafVal[e.root]
+	}
+	procs := e.opt.Procs
+	if procs < 1 {
+		procs = 1
+	}
+	n := e.n
+	left := make([]int32, n)
+	right := make([]int32, n)
+	parent := make([]int32, n)
+	fa := make([]int64, n) // pending function f(x) = fa·x + fb
+	fb := make([]int64, n)
+	side := make([]int8, n) // which slot of its parent a node occupies
+	copy(left, e.left)
+	copy(right, e.right)
+	parent[e.root] = -1
+	for v := 0; v < n; v++ {
+		fa[v] = 1
+		if left[v] != -1 {
+			parent[left[v]] = int32(v)
+			parent[right[v]] = int32(v)
+			side[right[v]] = 1
+		}
+	}
+
+	live := make([]int32, len(e.leaves))
+	copy(live, e.leaves)
+	raked := make([]bool, n)
+	rounds, rakes := 0, 0
+
+	for len(live) > 2 {
+		for phase := 0; phase < 2; phase++ {
+			// Odd positions only: adjacent leaves are never both
+			// raked, which (with the left/right phase split) makes
+			// every write single-writer — see the type comment.
+			half := len(live) / 2
+			par.ForChunks(half, procs, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v := live[2*i+1]
+					p := parent[v]
+					if p == e.root || raked[v] {
+						continue
+					}
+					isLeft := side[v] == 0
+					if (phase == 0) != isLeft {
+						continue
+					}
+					var s int32
+					if isLeft {
+						s = right[p]
+					} else {
+						s = left[p]
+					}
+					// A = f_v(leaf constant); fold through p's op and
+					// p's pending function into s.
+					a := fa[v]*e.leafVal[v] + fb[v]
+					if e.ops[p] == OpAdd {
+						// f_p(A + f_s(x))
+						fb[s] = fa[p]*(a+fb[s]) + fb[p]
+						fa[s] = fa[p] * fa[s]
+					} else {
+						// f_p(A · f_s(x))
+						fb[s] = fa[p]*a*fb[s] + fb[p]
+						fa[s] = fa[p] * a * fa[s]
+					}
+					// s replaces p under p's parent. The slot is
+					// written by side[p], never read-then-written: two
+					// same-phase rakes may share a grandparent, and a
+					// compare-against-p probe of the other slot would
+					// race with its owner's store.
+					gp := parent[p]
+					parent[s] = gp
+					if side[p] == 0 {
+						left[gp] = s
+					} else {
+						right[gp] = s
+					}
+					side[s] = side[p]
+					raked[v] = true
+				}
+			})
+		}
+		// Compress the leaf order, keeping survivors in place.
+		kept := 0
+		for _, v := range live {
+			if !raked[v] {
+				live[kept] = v
+				kept++
+			}
+		}
+		rakes += len(live) - kept
+		live = live[:kept]
+		rounds++
+	}
+	if stats != nil {
+		stats.Rounds = rounds
+		stats.Rakes = rakes
+	}
+
+	// Two leaves remain, so exactly one internal node — the root —
+	// remains above them.
+	l, r := left[e.root], right[e.root]
+	va := fa[l]*e.leafVal[l] + fb[l]
+	vb := fa[r]*e.leafVal[r] + fb[r]
+	if e.ops[e.root] == OpAdd {
+		return va + vb
+	}
+	return va * vb
+}
+
+// rakeRec records one rake for the EvalAll expansion: leaf v with
+// pending function (va, vb) was raked into parent p, whose other
+// child s had pending function (sa, sb) at that moment.
+type rakeRec struct {
+	v, p, s        int32
+	va, vb, sa, sb int64
+}
+
+// EvalAll returns the value of every node's subtree — the full
+// Miller-Reif tree evaluation [25, 26], with the expansion phase the
+// contraction algorithms pair with their reduction (the same
+// contract / solve-small / expand shape as the paper's three phases).
+//
+// Contraction logs every rake. A rake of leaf v into parent p with
+// sibling s fixes val(p) = f_v(c_v) op f_s(val(s)); the subtree value
+// of a survivor is invariant under later rakes strictly inside it, so
+// replaying the log in reverse — each round's rakes in parallel,
+// rounds in reverse order — meets every entry with val(s) already
+// known: s either survived to the end, was itself a leaf, or was the
+// parent of a later (= already replayed) rake.
+func (e *Expr) EvalAll(stats *ContractStats) []int64 {
+	out := make([]int64, e.n)
+	if e.n == 1 {
+		out[e.root] = e.leafVal[e.root]
+		return out
+	}
+	procs := e.opt.Procs
+	if procs < 1 {
+		procs = 1
+	}
+	n := e.n
+	left := make([]int32, n)
+	right := make([]int32, n)
+	parent := make([]int32, n)
+	fa := make([]int64, n)
+	fb := make([]int64, n)
+	side := make([]int8, n)
+	copy(left, e.left)
+	copy(right, e.right)
+	parent[e.root] = -1
+	for v := 0; v < n; v++ {
+		fa[v] = 1
+		if left[v] != -1 {
+			parent[left[v]] = int32(v)
+			parent[right[v]] = int32(v)
+			side[right[v]] = 1
+		} else {
+			out[v] = e.leafVal[v]
+		}
+	}
+
+	live := make([]int32, len(e.leaves))
+	copy(live, e.leaves)
+	raked := make([]bool, n)
+	// The rake log, grouped by *phase*: a phase's rakes are mutually
+	// independent (the odd/left-right discipline), so each group can
+	// replay in parallel; groups replay in reverse order. Grouping by
+	// whole rounds would be wrong — a phase-1 rake's parent can be a
+	// phase-0 rake's recorded sibling in the same round, and the
+	// reverse replay must fill the parent in first.
+	var log []rakeRec
+	var groupStarts []int
+	rounds, rakes := 0, 0
+
+	for len(live) > 2 {
+		for phase := 0; phase < 2; phase++ {
+			groupStarts = append(groupStarts, len(log))
+			half := len(live) / 2
+			recs := make([][]rakeRec, procs)
+			par.ForChunks(half, procs, func(w, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v := live[2*i+1]
+					p := parent[v]
+					if p == e.root || raked[v] {
+						continue
+					}
+					isLeft := side[v] == 0
+					if (phase == 0) != isLeft {
+						continue
+					}
+					var s int32
+					if isLeft {
+						s = right[p]
+					} else {
+						s = left[p]
+					}
+					recs[w] = append(recs[w], rakeRec{v: v, p: p, s: s,
+						va: fa[v], vb: fb[v], sa: fa[s], sb: fb[s]})
+					a := fa[v]*e.leafVal[v] + fb[v]
+					if e.ops[p] == OpAdd {
+						fb[s] = fa[p]*(a+fb[s]) + fb[p]
+						fa[s] = fa[p] * fa[s]
+					} else {
+						fb[s] = fa[p]*a*fb[s] + fb[p]
+						fa[s] = fa[p] * a * fa[s]
+					}
+					gp := parent[p]
+					parent[s] = gp
+					if side[p] == 0 {
+						left[gp] = s
+					} else {
+						right[gp] = s
+					}
+					side[s] = side[p]
+					raked[v] = true
+				}
+			})
+			for _, rs := range recs {
+				log = append(log, rs...)
+			}
+		}
+		kept := 0
+		for _, v := range live {
+			if !raked[v] {
+				live[kept] = v
+				kept++
+			}
+		}
+		rakes += len(live) - kept
+		live = live[:kept]
+		rounds++
+	}
+	if stats != nil {
+		stats.Rounds = rounds
+		stats.Rakes = rakes
+	}
+
+	// Solve the 3-node remainder.
+	l, r := left[e.root], right[e.root]
+	va := fa[l]*e.leafVal[l] + fb[l]
+	vb := fa[r]*e.leafVal[r] + fb[r]
+	if e.ops[e.root] == OpAdd {
+		out[e.root] = va + vb
+	} else {
+		out[e.root] = va * vb
+	}
+
+	// Expansion: replay the phase groups in reverse; entries within a
+	// group touch distinct parents and every sibling value they read
+	// is already final (the sibling either survived to the end, is a
+	// leaf, or was the parent of a strictly later — already replayed —
+	// rake).
+	groupStarts = append(groupStarts, len(log))
+	for i := len(groupStarts) - 2; i >= 0; i-- {
+		lo, hi := groupStarts[i], groupStarts[i+1]
+		par.ForChunks(hi-lo, procs, func(_, a, b int) {
+			for j := lo + a; j < lo+b; j++ {
+				rec := log[j]
+				av := rec.va*e.leafVal[rec.v] + rec.vb
+				bv := rec.sa*out[rec.s] + rec.sb
+				if e.ops[rec.p] == OpAdd {
+					out[rec.p] = av + bv
+				} else {
+					out[rec.p] = av * bv
+				}
+			}
+		})
+	}
+	return out
+}

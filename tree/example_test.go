@@ -1,0 +1,66 @@
+package tree_test
+
+import (
+	"fmt"
+
+	"listrank"
+	"listrank/tree"
+)
+
+// The tree:
+//
+//	    0
+//	   / \
+//	  1   2
+//	 / \
+//	3   4
+func exampleParent() []int { return []int{-1, 0, 0, 1, 1} }
+
+func ExampleTree_Depths() {
+	tr, _ := tree.New(exampleParent(), listrank.Options{})
+	fmt.Println(tr.Depths())
+	// Output: [0 1 1 2 2]
+}
+
+func ExampleTree_SubtreeSizes() {
+	tr, _ := tree.New(exampleParent(), listrank.Options{})
+	fmt.Println(tr.SubtreeSizes())
+	// Output: [5 3 1 1 1]
+}
+
+func ExampleLCAIndex_Query() {
+	tr, _ := tree.New(exampleParent(), listrank.Options{})
+	lca := tr.LCA()
+	fmt.Println(lca.Query(3, 4), lca.Query(3, 2), lca.Dist(3, 2))
+	// Output: 1 0 3
+}
+
+func ExampleRootAt() {
+	// The same tree as an unrooted edge list, re-rooted at vertex 3.
+	edges := [][2]int{{0, 1}, {2, 0}, {1, 3}, {4, 1}}
+	parent, _ := tree.RootAt(5, edges, 3, listrank.Options{})
+	fmt.Println(parent)
+	// Output: [1 3 0 -1 1]
+}
+
+func ExampleExpr_Eval() {
+	// (2 + 3) * 4: node 0 = ×, node 1 = +, leaves 2, 3, 4.
+	left := []int{1, 2, -1, -1, -1}
+	right := []int{4, 3, -1, -1, -1}
+	ops := []tree.Op{tree.OpMul, tree.OpAdd, 0, 0, 0}
+	vals := []int64{0, 0, 2, 3, 4}
+	e, _ := tree.NewExpr(left, right, ops, vals, listrank.Options{})
+	fmt.Println(e.Eval(nil))
+	// Output: 20
+}
+
+func ExampleExpr_EvalAll() {
+	// (2 + 3) * 4 again; every node's subtree value at once.
+	left := []int{1, 2, -1, -1, -1}
+	right := []int{4, 3, -1, -1, -1}
+	ops := []tree.Op{tree.OpMul, tree.OpAdd, 0, 0, 0}
+	vals := []int64{0, 0, 2, 3, 4}
+	e, _ := tree.NewExpr(left, right, ops, vals, listrank.Options{})
+	fmt.Println(e.EvalAll(nil))
+	// Output: [20 5 2 3 4]
+}

@@ -1,0 +1,439 @@
+package tree
+
+import (
+	"fmt"
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"listrank"
+	"listrank/internal/rng"
+)
+
+// randomGeneralExpr builds a random tree where every node has 0, 1 or
+// 2 children (attachment to a random non-full earlier node), with
+// random operators, affine coefficients and leaf values.
+func randomGeneralExpr(t testing.TB, n int, seed uint64, opt listrank.Options) *GeneralExpr {
+	t.Helper()
+	r := rng.New(seed)
+	left := make([]int, n)
+	right := make([]int, n)
+	ops := make([]Op, n)
+	ua := make([]int64, n)
+	ub := make([]int64, n)
+	leafVal := make([]int64, n)
+	for i := range left {
+		left[i], right[i] = -1, -1
+		ops[i] = Op(r.Intn(2))
+		ua[i] = int64(r.Intn(7)) - 3
+		ub[i] = int64(r.Intn(9)) - 4
+		leafVal[i] = int64(r.Intn(21)) - 10
+	}
+	// open lists nodes that can still take a child.
+	open := []int{0}
+	for v := 1; v < n; v++ {
+		k := r.Intn(len(open))
+		p := open[k]
+		if left[p] == -1 {
+			left[p] = v
+		} else {
+			right[p] = v
+			open[k] = open[len(open)-1]
+			open = open[:len(open)-1]
+		}
+		open = append(open, v)
+	}
+	e, err := NewGeneralExpr(left, right, ops, ua, ub, leafVal, opt)
+	if err != nil {
+		t.Fatalf("randomGeneralExpr(n=%d, seed=%d): %v", n, seed, err)
+	}
+	return e
+}
+
+// chainExpr builds a pure unary chain of length n over one leaf —
+// the shape rake alone cannot contract.
+func chainExpr(t testing.TB, n int, opt listrank.Options) *GeneralExpr {
+	t.Helper()
+	left := make([]int, n)
+	right := make([]int, n)
+	ops := make([]Op, n)
+	ua := make([]int64, n)
+	ub := make([]int64, n)
+	leafVal := make([]int64, n)
+	for i := 0; i < n-1; i++ {
+		left[i], right[i] = i+1, -1
+		ua[i] = int64(i%3) - 1
+		ub[i] = int64(i % 5)
+	}
+	left[n-1], right[n-1] = -1, -1
+	leafVal[n-1] = 7
+	e, err := NewGeneralExpr(left, right, ops, ua, ub, leafVal, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// caterpillarExpr builds a binary spine where every spine node hangs
+// one leaf — one rake turns the whole spine into a single chain.
+func caterpillarExpr(t testing.TB, spine int, opt listrank.Options) *GeneralExpr {
+	t.Helper()
+	n := 2*spine + 1 // spine nodes + their leaves + terminal leaf
+	left := make([]int, n)
+	right := make([]int, n)
+	ops := make([]Op, n)
+	ua := make([]int64, n)
+	ub := make([]int64, n)
+	leafVal := make([]int64, n)
+	for i := range left {
+		left[i], right[i] = -1, -1
+		leafVal[i] = int64(i%7) - 3
+	}
+	for s := 0; s < spine; s++ {
+		node := 2 * s
+		leaf := 2*s + 1
+		next := 2 * (s + 1)
+		if s == spine-1 {
+			next = n - 1
+		}
+		left[node], right[node] = leaf, next
+		ops[node] = Op(s % 2)
+	}
+	e, err := NewGeneralExpr(left, right, ops, ua, ub, leafVal, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestGeneralExprValidation(t *testing.T) {
+	bad := []struct {
+		name        string
+		left, right []int
+	}{
+		{"right-only", []int{-1, -1}, []int{1, -1}},
+		{"two-parents", []int{1, -1, 1}, []int{-1, -1, -1}}, // node 1 under both 0 and 2
+		{"self-child", []int{0}, []int{-1}},
+		{"out-of-range", []int{5, -1}, []int{-1, -1}},
+	}
+	mk := func(l, r []int) error {
+		n := len(l)
+		_, err := NewGeneralExpr(l, r, make([]Op, n), make([]int64, n), make([]int64, n), make([]int64, n), listrank.Options{})
+		return err
+	}
+	for _, c := range bad {
+		if err := mk(c.left, c.right); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+	// Two components (node 1 unreachable, cycle-free): 0 is leaf root,
+	// 1 and 2 form their own chain → two roots.
+	if err := mk([]int{-1, 2, -1}, []int{-1, -1, -1}); err == nil {
+		t.Error("two-roots: want error")
+	}
+	if _, err := NewGeneralExpr(nil, nil, nil, nil, nil, nil, listrank.Options{}); err == nil {
+		t.Error("empty: want error")
+	}
+	// A genuine cycle among non-roots: 1→2→1 with 0 a lone leaf root.
+	if err := mk([]int{-1, 2, 1}, []int{-1, -1, -1}); err == nil {
+		t.Error("cycle: want error")
+	}
+}
+
+func TestGeneralExprSingleLeaf(t *testing.T) {
+	e, err := NewGeneralExpr([]int{-1}, []int{-1}, []Op{OpAdd}, []int64{0}, []int64{0}, []int64{42}, listrank.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st RakeCompressStats
+	if got := e.Eval(&st); got != 42 {
+		t.Errorf("Eval = %d, want 42", got)
+	}
+	if st.Rounds != 0 {
+		t.Errorf("Rounds = %d, want 0", st.Rounds)
+	}
+	if e.EvalSerial() != 42 {
+		t.Error("EvalSerial disagrees")
+	}
+}
+
+func TestGeneralExprChain(t *testing.T) {
+	for _, n := range []int{2, 3, 17, 1000, 65536} {
+		e := chainExpr(t, n, listrank.Options{Procs: 4})
+		var st RakeCompressStats
+		want := e.EvalSerial()
+		got := e.Eval(&st)
+		if got != want {
+			t.Fatalf("n=%d: Eval = %d, want %d", n, got, want)
+		}
+		// One compress collapses the whole chain: two rounds at most
+		// (collapse + absorb the leaf), with log-bounded jump passes.
+		if st.Rounds > 2 {
+			t.Errorf("n=%d: Rounds = %d, want ≤ 2 on a pure chain", n, st.Rounds)
+		}
+		if maxJumps := bits.Len(uint(n)) + 2; st.JumpRounds > 2*maxJumps {
+			t.Errorf("n=%d: JumpRounds = %d, want O(log n) ≈ %d", n, st.JumpRounds, maxJumps)
+		}
+	}
+}
+
+func TestGeneralExprCaterpillar(t *testing.T) {
+	for _, spine := range []int{1, 2, 50, 4000} {
+		e := caterpillarExpr(t, spine, listrank.Options{Procs: 4})
+		var st RakeCompressStats
+		want := e.EvalSerial()
+		got := e.Eval(&st)
+		if got != want {
+			t.Fatalf("spine=%d: Eval = %d, want %d", spine, got, want)
+		}
+		if st.Rounds > 4 {
+			t.Errorf("spine=%d: Rounds = %d, want ≤ 4 (rake makes one chain, compress kills it)", spine, st.Rounds)
+		}
+	}
+}
+
+func TestGeneralExprRandomShapes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 100, 1000, 50000} {
+		for seed := uint64(0); seed < 4; seed++ {
+			e := randomGeneralExpr(t, n, seed, listrank.Options{Procs: 4})
+			var st RakeCompressStats
+			want := e.EvalSerial()
+			got := e.Eval(&st)
+			if got != want {
+				t.Fatalf("n=%d seed=%d: Eval = %d, want %d", n, seed, got, want)
+			}
+			if n > 2 && st.Rounds > 4*bits.Len(uint(n)) {
+				t.Errorf("n=%d seed=%d: Rounds = %d, want O(log n)", n, seed, st.Rounds)
+			}
+		}
+	}
+}
+
+func TestGeneralExprMatchesBinaryExpr(t *testing.T) {
+	// On a full binary tree (no unary nodes) GeneralExpr and the
+	// rake-only Expr must agree.
+	r := rng.New(77)
+	nLeaves := 512
+	n := 2*nLeaves - 1
+	left := make([]int, n)
+	right := make([]int, n)
+	ops := make([]Op, n)
+	leafVal := make([]int64, n)
+	// Internal nodes 0..nLeaves-2 in heap order, leaves after.
+	for i := 0; i < nLeaves-1; i++ {
+		left[i] = 2*i + 1
+		right[i] = 2*i + 2
+		ops[i] = Op(r.Intn(2))
+	}
+	for i := nLeaves - 1; i < n; i++ {
+		left[i], right[i] = -1, -1
+		leafVal[i] = int64(r.Intn(11)) - 5
+	}
+	ge, err := NewGeneralExpr(left, right, ops, make([]int64, n), make([]int64, n), leafVal, listrank.Options{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := NewExpr(left, right, ops, leafVal, listrank.Options{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, b := ge.Eval(nil), be.Eval(nil); g != b {
+		t.Errorf("GeneralExpr = %d, Expr = %d", g, b)
+	}
+	if g, s := ge.Eval(nil), ge.EvalSerial(); g != s {
+		t.Errorf("Eval = %d, EvalSerial = %d", g, s)
+	}
+}
+
+func TestGeneralExprProcSweep(t *testing.T) {
+	e := randomGeneralExpr(t, 20000, 5, listrank.Options{})
+	want := e.EvalSerial()
+	for _, p := range []int{1, 2, 3, 8, 32} {
+		e.opt.Procs = p
+		if got := e.Eval(nil); got != want {
+			t.Errorf("p=%d: Eval = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestGeneralExprRepeatable(t *testing.T) {
+	e := randomGeneralExpr(t, 5000, 9, listrank.Options{Procs: 4})
+	first := e.Eval(nil)
+	for i := 0; i < 3; i++ {
+		if got := e.Eval(nil); got != first {
+			t.Fatalf("call %d: Eval = %d, want %d (receiver mutated?)", i, got, first)
+		}
+	}
+	if e.EvalSerial() != first {
+		t.Error("EvalSerial after Eval disagrees")
+	}
+}
+
+func TestGeneralExprQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 1 + int(seed%800)
+		e := randomGeneralExpr(t, n, seed, listrank.Options{Procs: 1 + int(seed%5)})
+		return e.Eval(nil) == e.EvalSerial()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneralExprStatsAccounting(t *testing.T) {
+	// Every non-root node retires exactly once, by rake or compress.
+	e := randomGeneralExpr(t, 3000, 13, listrank.Options{Procs: 4})
+	var st RakeCompressStats
+	e.Eval(&st)
+	if got := st.Rakes + st.Compressed; got != e.Len()-1 && got != e.Len() {
+		// The root itself is never raked; it may or may not appear in
+		// the compressed count depending on whether it headed a chain.
+		t.Errorf(fmt.Sprintf("Rakes+Compressed = %d, want ≈ n-1 = %d", got, e.Len()-1))
+	}
+}
+
+func TestGeneralExprCompressMethods(t *testing.T) {
+	shapes := map[string]*GeneralExpr{
+		"random": randomGeneralExpr(t, 30000, 21, listrank.Options{Procs: 4}),
+		"chain":  chainExpr(t, 30000, listrank.Options{Procs: 4}),
+		"cater":  caterpillarExpr(t, 10000, listrank.Options{Procs: 4}),
+	}
+	for name, e := range shapes {
+		want := e.EvalSerial()
+		for _, m := range []CompressMethod{CompressAuto, CompressJump, CompressFold} {
+			var st RakeCompressStats
+			if got := e.EvalWith(m, &st); got != want {
+				t.Errorf("%s/%s: EvalWith = %d, want %d", name, m, got, want)
+			}
+			if m == CompressFold && name == "chain" && st.FoldedChains == 0 {
+				t.Errorf("%s/%s: FoldedChains = 0, want > 0", name, m)
+			}
+			if m == CompressJump && st.FoldedChains != 0 {
+				t.Errorf("%s/%s: FoldedChains = %d, want 0", name, m, st.FoldedChains)
+			}
+		}
+	}
+}
+
+func TestGeneralExprCompressMethodsQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 1 + int(seed%600)
+		e := randomGeneralExpr(t, n, seed, listrank.Options{Procs: 1 + int(seed%4)})
+		want := e.EvalSerial()
+		return e.EvalWith(CompressJump, nil) == want && e.EvalWith(CompressFold, nil) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressMethodString(t *testing.T) {
+	for m, want := range map[CompressMethod]string{
+		CompressAuto: "auto", CompressJump: "jump", CompressFold: "fold", CompressMethod(9): "auto",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+// refEvalAll computes every node's subtree value by explicit
+// postorder — the ground truth for EvalAll.
+func refEvalAll(e *GeneralExpr) []int64 {
+	n := e.Len()
+	val := make([]int64, n)
+	type frame struct {
+		v       int32
+		visited bool
+	}
+	stack := []frame{{int32(e.Root()), false}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v := f.v
+		switch {
+		case e.left[v] == -1:
+			val[v] = e.leafVal[v]
+		case !f.visited:
+			stack = append(stack, frame{v, true}, frame{e.left[v], false})
+			if e.right[v] != -1 {
+				stack = append(stack, frame{e.right[v], false})
+			}
+		case e.right[v] == -1:
+			val[v] = e.ua[v]*val[e.left[v]] + e.ub[v]
+		case e.ops[v] == OpAdd:
+			val[v] = val[e.left[v]] + val[e.right[v]]
+		default:
+			val[v] = val[e.left[v]] * val[e.right[v]]
+		}
+	}
+	return val
+}
+
+func TestGeneralExprEvalAll(t *testing.T) {
+	shapes := map[string]*GeneralExpr{
+		"single":  mustExpr(t, []int{-1}, []int{-1}),
+		"chain":   chainExpr(t, 5000, listrank.Options{Procs: 4}),
+		"cater":   caterpillarExpr(t, 2000, listrank.Options{Procs: 4}),
+		"random":  randomGeneralExpr(t, 20000, 31, listrank.Options{Procs: 4}),
+		"random2": randomGeneralExpr(t, 777, 32, listrank.Options{Procs: 2}),
+	}
+	for name, e := range shapes {
+		want := refEvalAll(e)
+		for _, m := range []CompressMethod{CompressJump, CompressFold, CompressAuto} {
+			got := e.EvalAllWith(m, nil)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("%s/%s: out[%d] = %d, want %d", name, m, v, got[v], want[v])
+				}
+			}
+			if got[e.Root()] != e.EvalSerial() {
+				t.Errorf("%s/%s: root value disagrees with EvalSerial", name, m)
+			}
+		}
+	}
+}
+
+func mustExpr(t *testing.T, left, right []int) *GeneralExpr {
+	t.Helper()
+	n := len(left)
+	leafVal := make([]int64, n)
+	for i := range leafVal {
+		leafVal[i] = int64(i + 3)
+	}
+	e, err := NewGeneralExpr(left, right, make([]Op, n), make([]int64, n), make([]int64, n), leafVal, listrank.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestGeneralExprEvalAllQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 1 + int(seed%500)
+		e := randomGeneralExpr(t, n, seed^0x5555, listrank.Options{Procs: 1 + int(seed%4)})
+		want := refEvalAll(e)
+		m := []CompressMethod{CompressJump, CompressFold}[seed%2]
+		got := e.EvalAllWith(m, nil)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneralExprEvalAllRepeatable(t *testing.T) {
+	e := randomGeneralExpr(t, 3000, 77, listrank.Options{Procs: 4})
+	first := e.EvalAll(nil)
+	second := e.EvalAll(nil)
+	for v := range first {
+		if first[v] != second[v] {
+			t.Fatalf("out[%d] changed between calls: %d vs %d", v, first[v], second[v])
+		}
+	}
+}
