@@ -15,6 +15,11 @@ import (
 // across-list parallelism has no contraction overhead at all. The
 // batch functions pick between the two regimes by comparing the pool
 // width to the worker count.
+//
+// Each worker checks out one Engine for its entire share of the pool,
+// so the working space for the whole batch is p arenas reused across
+// len(pool) problems — the steady-state regime the engine layer is
+// built for — rather than one set of allocations per list.
 
 // RankAll ranks every list in the pool and returns one result slice
 // per list. When the pool is at least as wide as the worker count,
@@ -23,15 +28,15 @@ import (
 // the lists one after another with the full configuration, preserving
 // within-list parallelism for the few big lists that need it.
 func RankAll(pool []*List, opt Options) [][]int64 {
-	return batch(pool, opt, RankWith)
+	return batch(pool, opt, (*Engine).RankInto, RankWith)
 }
 
 // ScanAll is RankAll for the exclusive integer-addition scan.
 func ScanAll(pool []*List, opt Options) [][]int64 {
-	return batch(pool, opt, ScanWith)
+	return batch(pool, opt, (*Engine).ScanInto, ScanWith)
 }
 
-func batch(pool []*List, opt Options, one func(*List, Options) []int64) [][]int64 {
+func batch(pool []*List, opt Options, into func(*Engine, []int64, *List, Options), one func(*List, Options) []int64) [][]int64 {
 	out := make([][]int64, len(pool))
 	if len(pool) == 0 {
 		return out
@@ -41,13 +46,27 @@ func batch(pool []*List, opt Options, one func(*List, Options) []int64) [][]int6
 		// Wide pool: across-list parallelism only. Each worker runs
 		// its lists to completion independently — the same
 		// constant-synchronization argument as the paper's §5
-		// multiprocessor schedule, lifted one level up.
+		// multiprocessor schedule, lifted one level up — reusing one
+		// warm engine for its whole share. The reference algorithms
+		// allocate their own result per call, so routing them through
+		// an engine would only add a copy; they keep the direct path.
 		inner := opt
 		inner.Procs = 1
+		engined := opt.Algorithm == Sublist || opt.Algorithm == Serial
 		par.ForChunks(len(pool), p, func(_, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				out[i] = one(pool[i], inner)
+			if !engined {
+				for i := lo; i < hi; i++ {
+					out[i] = one(pool[i], inner)
+				}
+				return
 			}
+			e := getEngine()
+			for i := lo; i < hi; i++ {
+				dst := make([]int64, pool[i].Len())
+				into(e, dst, pool[i], inner)
+				out[i] = dst
+			}
+			putEngine(e)
 		})
 		return out
 	}

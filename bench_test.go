@@ -170,6 +170,7 @@ func BenchmarkGoroutine_Serial(b *testing.B) {
 	l := list.NewRandom(1<<20, rng.New(6))
 	dst := make([]int64, l.Len())
 	b.SetBytes(8 << 20)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		serial.ScanInto(dst, l)
@@ -179,6 +180,7 @@ func BenchmarkGoroutine_Serial(b *testing.B) {
 func BenchmarkGoroutine_Wyllie(b *testing.B) {
 	l := list.NewRandom(1<<20, rng.New(6))
 	b.SetBytes(8 << 20)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = wyllie.Scan(l)
@@ -188,6 +190,7 @@ func BenchmarkGoroutine_Wyllie(b *testing.B) {
 func BenchmarkGoroutine_MillerReif(b *testing.B) {
 	l := list.NewRandom(1<<20, rng.New(6))
 	b.SetBytes(8 << 20)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = randmate.MillerReifScan(l, randmate.Options{Seed: uint64(i)})
@@ -197,6 +200,7 @@ func BenchmarkGoroutine_MillerReif(b *testing.B) {
 func BenchmarkGoroutine_AndersonMiller(b *testing.B) {
 	l := list.NewRandom(1<<20, rng.New(6))
 	b.SetBytes(8 << 20)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = randmate.AndersonMillerScan(l, randmate.Options{Seed: uint64(i)})
@@ -208,6 +212,7 @@ func BenchmarkGoroutine_Sublist(b *testing.B) {
 		b.Run(fmt.Sprintf("procs=%d", p), func(b *testing.B) {
 			l := list.NewRandom(1<<20, rng.New(6))
 			b.SetBytes(8 << 20)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_ = core.Scan(l, core.Options{Seed: uint64(i), Procs: p})
@@ -229,6 +234,7 @@ func BenchmarkAblation_TraversalDiscipline(b *testing.B) {
 	}{{"natural", core.DisciplineNatural}, {"lockstep", core.DisciplineLockstep}} {
 		b.Run(tc.name, func(b *testing.B) {
 			b.SetBytes(8 << 20)
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_ = core.Scan(l, core.Options{Seed: uint64(i), Procs: 4, Discipline: tc.d})
 			}
@@ -245,6 +251,7 @@ func BenchmarkAblation_Phase2(b *testing.B) {
 	}{{"serial", core.Phase2Serial}, {"wyllie", core.Phase2Wyllie}, {"recursive", core.Phase2Recursive}} {
 		b.Run(alg.name, func(b *testing.B) {
 			b.SetBytes(8 << 20)
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_ = core.Scan(l, core.Options{Seed: uint64(i), Procs: 4, Phase2: alg.p2})
 			}
@@ -262,6 +269,7 @@ func BenchmarkAblation_M(b *testing.B) {
 	for _, m := range []int{auto / 8, auto / 2, auto, auto * 2, auto * 8} {
 		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
 			b.SetBytes(8 << 20)
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_ = core.Scan(l, core.Options{Seed: uint64(i), Procs: 4, M: m})
 			}
@@ -340,6 +348,7 @@ func BenchmarkAblation_EncodedRank(b *testing.B) {
 	}{{"encoded", false}, {"two-gathers", true}} {
 		b.Run(tc.name, func(b *testing.B) {
 			b.SetBytes(8 << 20)
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_ = core.Ranks(l, core.Options{Seed: uint64(i), Procs: 4, DisableEncoding: tc.disable})
 			}
@@ -382,6 +391,7 @@ func BenchmarkAblation_OversamplingGoroutine(b *testing.B) {
 	for _, frac := range []float64{0, 1.0} {
 		b.Run(fmt.Sprintf("frac=%.1f", frac), func(b *testing.B) {
 			b.SetBytes(8 << 20)
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_ = core.Scan(l, core.Options{
 					Seed: uint64(i), Procs: 1,
@@ -399,12 +409,14 @@ func BenchmarkAblation_Deterministic(b *testing.B) {
 	l := list.NewRandom(1<<20, rng.New(14))
 	b.Run("ours", func(b *testing.B) {
 		b.SetBytes(8 << 20)
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = core.Scan(l, core.Options{Seed: uint64(i), Procs: 4})
 		}
 	})
 	b.Run("ruling-set", func(b *testing.B) {
 		b.SetBytes(8 << 20)
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = ruling.Scan(l, ruling.Options{Procs: 4})
 		}
@@ -525,4 +537,58 @@ func BenchmarkScanValues(b *testing.B) {
 			_ = ScanWith(l, Options{Seed: uint64(i)})
 		}
 	})
+}
+
+// ----- Engine reuse: the zero-steady-state-allocation contract -----
+
+// BenchmarkEngineReuse measures the sublist algorithm on a warm Engine
+// with caller-provided result storage: the steady-state regime of a
+// server ranking a stream of lists. With procs=1 the contract is
+// 0 allocs/op — every buffer (vp table, splitter draw, encoded words,
+// lockstep working sets, Phase 2 storage) comes from the engine's
+// arena; procs>1 pays only the per-call goroutine spawns. Compare
+// BenchmarkGoroutine_Sublist, which allocates its result and borrows a
+// pooled engine per call.
+func BenchmarkEngineReuse(b *testing.B) {
+	l := NewRandomList(1<<20, 6)
+	dst := make([]int64, l.Len())
+	for _, p := range []int{1, 4} {
+		opt := Options{Seed: 6, Procs: p}
+		b.Run(fmt.Sprintf("scan/procs=%d", p), func(b *testing.B) {
+			e := NewEngine()
+			e.ScanInto(dst, l, opt) // warm the arena
+			b.SetBytes(8 << 20)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.ScanInto(dst, l, opt)
+			}
+		})
+		b.Run(fmt.Sprintf("rank/procs=%d", p), func(b *testing.B) {
+			e := NewEngine()
+			e.RankInto(dst, l, opt) // warm the arena
+			b.SetBytes(8 << 20)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.RankInto(dst, l, opt)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineReuseBatch is the RankAll regime: a wide pool of
+// medium lists, one engine per worker reused across its whole share.
+func BenchmarkEngineReuseBatch(b *testing.B) {
+	const nLists, each = 64, 1 << 14
+	pool := make([]*List, nLists)
+	for i := range pool {
+		pool[i] = NewRandomList(each, uint64(i))
+	}
+	b.SetBytes(8 * nLists * each)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RankAll(pool, Options{Seed: uint64(i), Procs: 4})
+	}
 }

@@ -1,0 +1,163 @@
+package listrank
+
+import (
+	"fmt"
+	"sync"
+
+	"listrank/internal/core"
+	"listrank/internal/list"
+	"listrank/internal/randmate"
+	"listrank/internal/ruling"
+	"listrank/internal/serial"
+	"listrank/internal/wyllie"
+)
+
+// Engine is a reusable rank/scan engine: it owns the scratch arena —
+// the virtual-processor table, splitter buffers, encoded words,
+// lockstep working sets and Phase 2 storage — that a run of the
+// sublist algorithm needs, so that a stream of problems can be
+// serviced with zero steady-state heap allocations. The paper's
+// accounting (Table II) counts the 5p+c words of working space but
+// never the cost of re-acquiring them per problem, because a vector
+// machine allocates its working vectors once; Engine restores that
+// discipline on the goroutine track.
+//
+// An Engine may be reused across lists of any size and any Options,
+// growing its buffers geometrically to the largest problem seen. It
+// must not be used concurrently; for concurrent callers either hold
+// one Engine per goroutine or use the package-level RankInto /
+// ScanInto / ScanOpInto functions, which draw engines from an internal
+// pool.
+//
+// Zero-allocation steady state holds for the Sublist (default) and
+// Serial algorithms with Procs == 1 once the arena is warm; Procs > 1
+// additionally pays only the per-call goroutine spawns, and the
+// reference algorithms (Wyllie, MillerReif, AndersonMiller, RulingSet)
+// keep their own allocation behavior and are supported for parity.
+type Engine struct {
+	sc *core.Scratch
+	// il is the reused internal list header: building it in place
+	// keeps the view conversion off the heap.
+	il list.List
+}
+
+// NewEngine returns an empty engine; buffers are allocated lazily and
+// amortized across calls.
+func NewEngine() *Engine { return &Engine{sc: core.NewScratch()} }
+
+func (e *Engine) view(l *List) *list.List {
+	e.il = list.List{Next: l.Next, Value: l.Value, Head: l.Head}
+	return &e.il
+}
+
+// release drops the view's references to the caller's arrays so a
+// held or pooled engine never keeps a finished problem's list alive.
+func (e *Engine) release() {
+	e.il = list.List{}
+}
+
+func checkDst(dst []int64, l *List, what string) {
+	if len(dst) != l.Len() {
+		panic(fmt.Sprintf("listrank: %s: len(dst) = %d, want list length %d", what, len(dst), l.Len()))
+	}
+}
+
+// RankInto writes the rank of every vertex of l into dst, which must
+// have length l.Len(). It is the allocation-free counterpart of
+// RankWith: result storage is the caller's and working space is the
+// engine's.
+func (e *Engine) RankInto(dst []int64, l *List, opt Options) {
+	checkDst(dst, l, "RankInto")
+	il := e.view(l)
+	switch opt.Algorithm {
+	case Serial:
+		serial.RanksInto(dst, il)
+	case Wyllie:
+		copy(dst, wyllie.RanksParallel(il, opt.procs()))
+	case MillerReif:
+		copy(dst, randmate.MillerReifRanks(il, randmate.Options{Seed: opt.Seed}))
+	case AndersonMiller:
+		copy(dst, randmate.AndersonMillerRanksParallel(il, randmate.Options{Seed: opt.Seed}, opt.procs()))
+	case RulingSet:
+		copy(dst, ruling.Ranks(il, ruling.Options{Procs: opt.procs()}))
+	default:
+		core.RanksInto(dst, il, coreOptions(opt), e.sc)
+	}
+	e.release()
+}
+
+// ScanInto writes the exclusive integer-addition scan of l into dst,
+// which must have length l.Len(): dst[v] is the sum of the values of
+// all vertices strictly preceding v, 0 at the head.
+func (e *Engine) ScanInto(dst []int64, l *List, opt Options) {
+	checkDst(dst, l, "ScanInto")
+	il := e.view(l)
+	switch opt.Algorithm {
+	case Serial:
+		serial.ScanInto(dst, il)
+	case Wyllie:
+		copy(dst, wyllie.ScanParallel(il, opt.procs()))
+	case MillerReif:
+		copy(dst, randmate.MillerReifScan(il, randmate.Options{Seed: opt.Seed}))
+	case AndersonMiller:
+		copy(dst, randmate.AndersonMillerScanParallel(il, randmate.Options{Seed: opt.Seed}, opt.procs()))
+	case RulingSet:
+		copy(dst, ruling.Scan(il, ruling.Options{Procs: opt.procs()}))
+	default:
+		core.ScanInto(dst, il, coreOptions(opt), e.sc)
+	}
+	e.release()
+}
+
+// ScanOpInto writes the exclusive scan of l under an arbitrary
+// associative operator into dst, which must have length l.Len(),
+// combining strictly preceding values in list order (safe for
+// non-commutative operators). Only the Sublist, Serial and Wyllie
+// algorithms support general operators; others fall back to Sublist.
+func (e *Engine) ScanOpInto(dst []int64, l *List, op func(a, b int64) int64, identity int64, opt Options) {
+	checkDst(dst, l, "ScanOpInto")
+	il := e.view(l)
+	switch opt.Algorithm {
+	case Serial:
+		serial.ScanOpInto(dst, il, op, identity)
+	case Wyllie:
+		copy(dst, wyllie.ScanOpParallel(il, op, identity, opt.procs()))
+	default:
+		core.ScanOpInto(dst, il, op, identity, coreOptions(opt), e.sc)
+	}
+	e.release()
+}
+
+// enginePool backs the package-level entry points: Rank, Scan,
+// RankWith, ScanWith, ScanOpWith and the *Into functions below all
+// borrow a warm engine per call, so even callers that never construct
+// an Engine amortize working-space allocation across calls.
+var enginePool = sync.Pool{New: func() any { return NewEngine() }}
+
+func getEngine() *Engine  { return enginePool.Get().(*Engine) }
+func putEngine(e *Engine) { enginePool.Put(e) }
+
+// RankInto is the allocation-free top-level entry point for ranking:
+// it writes into caller-provided storage using a pooled engine's
+// working space. dst must have length l.Len().
+func RankInto(dst []int64, l *List, opt Options) {
+	e := getEngine()
+	e.RankInto(dst, l, opt)
+	putEngine(e)
+}
+
+// ScanInto is the allocation-free top-level entry point for the
+// integer-addition scan; see Engine.ScanInto.
+func ScanInto(dst []int64, l *List, opt Options) {
+	e := getEngine()
+	e.ScanInto(dst, l, opt)
+	putEngine(e)
+}
+
+// ScanOpInto is the allocation-free top-level entry point for the
+// generic-operator scan; see Engine.ScanOpInto.
+func ScanOpInto(dst []int64, l *List, op func(a, b int64) int64, identity int64, opt Options) {
+	e := getEngine()
+	e.ScanOpInto(dst, l, op, identity, opt)
+	putEngine(e)
+}

@@ -1,0 +1,167 @@
+package listrank
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEngineReuseAcrossSizesAndAlgorithms drives one engine through
+// varying list sizes, every algorithm, and both disciplines; each
+// result must be byte-identical to the fresh-allocation API.
+func TestEngineReuseAcrossSizesAndAlgorithms(t *testing.T) {
+	e := NewEngine()
+	sizes := []int{2000, 100, 30000, 5000, 1 << 16, 999}
+	algs := []Algorithm{Sublist, Serial, Wyllie, MillerReif, AndersonMiller, RulingSet}
+	for _, n := range sizes {
+		l := NewRandomList(n, uint64(n))
+		for _, a := range algs {
+			for _, d := range []Discipline{DisciplineAuto, DisciplineNatural, DisciplineLockstep} {
+				opt := Options{Algorithm: a, Seed: uint64(n) * 3, Discipline: d, Procs: 2}
+				wantRank := RankWith(l, opt)
+				wantScan := ScanWith(l, opt)
+				dst := make([]int64, n)
+				e.RankInto(dst, l, opt)
+				for i := range dst {
+					if dst[i] != wantRank[i] {
+						t.Fatalf("n=%d alg=%v d=%v: RankInto[%d] = %d, want %d", n, a, d, i, dst[i], wantRank[i])
+					}
+				}
+				e.ScanInto(dst, l, opt)
+				for i := range dst {
+					if dst[i] != wantScan[i] {
+						t.Fatalf("n=%d alg=%v d=%v: ScanInto[%d] = %d, want %d", n, a, d, i, dst[i], wantScan[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEngineScanOpIntoNonCommutative reuses one engine for a
+// non-commutative operator (modular affine-map composition) across
+// sizes, against both ScanOpWith and the serial algorithm.
+func TestEngineScanOpIntoNonCommutative(t *testing.T) {
+	packAffine := func(a, b int64) int64 { return a<<32 | (b & 0xffffffff) }
+	affine := func(f, g int64) int64 {
+		fa, fb := f>>32, int64(int32(f))
+		ga, gb := g>>32, int64(int32(g))
+		return ((ga * fa) % 9973 << 32) | (((ga*fb + gb) % 9973) & 0xffffffff)
+	}
+	id := packAffine(1, 0)
+	e := NewEngine()
+	for _, n := range []int{500, 20000, 3000} {
+		l := NewRandomList(n, uint64(n)+7)
+		for i := range l.Value {
+			l.Value[i] = packAffine(int64(i%5)+1, int64(i%37))
+		}
+		want := ScanOpWith(l, affine, id, Options{Algorithm: Serial})
+		for _, a := range []Algorithm{Sublist, Serial, Wyllie} {
+			dst := make([]int64, n)
+			e.ScanOpInto(dst, l, affine, id, Options{Algorithm: a, Seed: 5, Procs: 3})
+			for i := range dst {
+				if dst[i] != want[i] {
+					t.Fatalf("n=%d alg=%v: ScanOpInto[%d] = %d, want %d", n, a, i, dst[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPooledIntoFunctionsConcurrent hammers the package-level *Into
+// entry points from many goroutines: the engine pool must hand each
+// call an exclusive arena and every result must stay correct.
+func TestPooledIntoFunctionsConcurrent(t *testing.T) {
+	const workers = 16
+	const rounds = 8
+	lists := make([]*List, workers)
+	wantR := make([][]int64, workers)
+	wantS := make([][]int64, workers)
+	for i := range lists {
+		lists[i] = NewRandomList(4000+257*i, uint64(i)+100)
+		wantR[i] = RankWith(lists[i], Options{Algorithm: Serial})
+		wantS[i] = ScanWith(lists[i], Options{Algorithm: Serial})
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			l := lists[w]
+			dst := make([]int64, l.Len())
+			for r := 0; r < rounds; r++ {
+				RankInto(dst, l, Options{Seed: uint64(r)})
+				for i := range dst {
+					if dst[i] != wantR[w][i] {
+						errs <- "concurrent RankInto mismatch"
+						return
+					}
+				}
+				ScanInto(dst, l, Options{Seed: uint64(r), Discipline: DisciplineLockstep})
+				for i := range dst {
+					if dst[i] != wantS[w][i] {
+						errs <- "concurrent ScanInto mismatch"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestEngineMatchesFreshEngine: a heavily reused engine and a brand
+// new one must agree bit for bit for identical options (the arena must
+// be invisible to results).
+func TestEngineMatchesFreshEngine(t *testing.T) {
+	warm := NewEngine()
+	// Dirty the warm engine with a spread of unrelated workloads.
+	for _, n := range []int{1 << 15, 300, 70000} {
+		l := NewRandomList(n, uint64(n))
+		dst := make([]int64, n)
+		warm.RankInto(dst, l, Options{Seed: 1})
+		warm.ScanInto(dst, l, Options{Seed: 2, Discipline: DisciplineLockstep})
+	}
+	l := NewRandomList(50000, 77)
+	for _, opt := range []Options{
+		{Seed: 9},
+		{Seed: 9, Procs: 4},
+		{Seed: 9, Discipline: DisciplineLockstep},
+		{Seed: 9, M: 9000},
+	} {
+		a := make([]int64, l.Len())
+		b := make([]int64, l.Len())
+		warm.RankInto(a, l, opt)
+		NewEngine().RankInto(b, l, opt)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("opt %+v: warm[%d] = %d, fresh = %d", opt, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestIntoLengthMismatchPanics: the *Into entry points must reject
+// wrongly sized destination buffers loudly.
+func TestIntoLengthMismatchPanics(t *testing.T) {
+	l := NewRandomList(100, 1)
+	short := make([]int64, 99)
+	for name, f := range map[string]func(){
+		"RankInto":   func() { RankInto(short, l, Options{}) },
+		"ScanInto":   func() { ScanInto(short, l, Options{}) },
+		"ScanOpInto": func() { ScanOpInto(short, l, func(a, b int64) int64 { return a + b }, 0, Options{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on short dst", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

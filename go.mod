@@ -1,0 +1,3 @@
+module listrank
+
+go 1.21

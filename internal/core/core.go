@@ -46,15 +46,22 @@
 // §4 — the exact structure of the paper's vectorized implementation,
 // kept here both to validate the schedule machinery and as an ablation
 // (see package vecalg for the cycle-accurate vector version).
+//
+// All working space — the virtual-processor table, splitter buffers,
+// encoded words, lockstep active sets and Phase 2 storage — lives in a
+// reusable Scratch arena (scratch.go). The package-level entry points
+// draw arenas from a pool; callers with a steady stream of problems
+// hold one Scratch (via listrank.Engine) and perform zero heap
+// allocations per call once the arena is warm.
 package core
 
 import (
 	"math/bits"
+	"sync/atomic"
 
 	"listrank/internal/list"
 	"listrank/internal/par"
 	"listrank/internal/rng"
-	"listrank/internal/wyllie"
 )
 
 // Phase2Algorithm selects how the reduced list of sublist sums is
@@ -111,13 +118,14 @@ type Stats struct {
 // parameters: m ≈ n/log2(n) splitters, one worker, auto Phase 2.
 type Options struct {
 	// Seed seeds splitter selection. Runs with equal seeds and equal
-	// options are deterministic.
+	// options are deterministic, and the splitter draw itself depends
+	// only on Seed and M — never on Procs.
 	Seed uint64
 	// M is the number of splitters (the list is cut into at most M+1
 	// sublists). M <= 0 selects DefaultM(n).
 	M int
-	// Procs is the number of worker goroutines for Phases 1 and 3.
-	// Values < 1 mean 1.
+	// Procs is the number of worker goroutines for setup and Phases 1
+	// and 3. Values < 1 mean 1.
 	Procs int
 	// Phase2 selects the reduced-list scan algorithm.
 	Phase2 Phase2Algorithm
@@ -221,33 +229,51 @@ func (o Options) withDefaults(n int) Options {
 // precede it in the list. Unless disabled (or the list is enormous),
 // it runs the rank-specialized single-gather engine over encoded
 // link+addend words (§3), which reads one memory stream per link and
-// never mutates l.
+// never mutates l. Working space comes from a pooled Scratch.
 func Ranks(l *list.List, opt Options) []int64 {
+	out := make([]int64, l.Len())
+	sc := getScratch()
+	RanksInto(out, l, opt, sc)
+	putScratch(sc)
+	return out
+}
+
+// RanksInto is Ranks into caller-provided storage of length l.Len(),
+// drawing all working space from sc (nil borrows a pooled arena). With
+// a warm sc, steady-state calls perform zero heap allocations when
+// Procs == 1 (Procs > 1 pays only the goroutine spawns).
+func RanksInto(dst []int64, l *list.List, opt Options, sc *Scratch) {
+	if sc == nil {
+		sc = getScratch()
+		defer putScratch(sc)
+	}
 	n := l.Len()
-	out := make([]int64, n)
 	o := opt.withDefaults(n)
 	if !o.DisableEncoding && n > o.SerialCutoff && n < encMaxLen && o.M >= 1 {
-		ranksEnc(out, l, o, 0)
-		return out
+		ranksEnc(dst, l, o, 0, sc)
+		return
 	}
-	ones := make([]int64, n)
-	for i := range ones {
-		ones[i] = 1
-	}
-	scanAdd(out, l, ones, opt, 0)
-	return out
+	ones := sc.onesFor(n)
+	scanAdd(dst, l, ones, opt, 0, sc)
 }
 
 // Scan returns the exclusive list scan of l under integer addition.
 func Scan(l *list.List, opt Options) []int64 {
 	out := make([]int64, l.Len())
-	scanAdd(out, l, l.Value, opt, 0)
+	sc := getScratch()
+	ScanInto(out, l, opt, sc)
+	putScratch(sc)
 	return out
 }
 
-// ScanInto is Scan into caller-provided storage of length l.Len().
-func ScanInto(dst []int64, l *list.List, opt Options) {
-	scanAdd(dst, l, l.Value, opt, 0)
+// ScanInto is Scan into caller-provided storage of length l.Len(),
+// drawing all working space from sc (nil borrows a pooled arena).
+func ScanInto(dst []int64, l *list.List, opt Options, sc *Scratch) {
+	if sc == nil {
+		sc = getScratch()
+		defer putScratch(sc)
+	}
+	scanAdd(dst, l, l.Value, opt, 0, sc)
 }
 
 // ScanOp returns the exclusive list scan of l under an arbitrary
@@ -255,13 +281,26 @@ func ScanInto(dst []int64, l *list.List, opt Options) {
 // preceding values in list order (safe for non-commutative operators).
 func ScanOp(l *list.List, op func(a, b int64) int64, identity int64, opt Options) []int64 {
 	out := make([]int64, l.Len())
-	scanOp(out, l, l.Value, op, identity, opt, 0)
+	sc := getScratch()
+	ScanOpInto(out, l, op, identity, opt, sc)
+	putScratch(sc)
 	return out
+}
+
+// ScanOpInto is ScanOp into caller-provided storage of length l.Len(),
+// drawing all working space from sc (nil borrows a pooled arena).
+func ScanOpInto(dst []int64, l *list.List, op func(a, b int64) int64, identity int64, opt Options, sc *Scratch) {
+	if sc == nil {
+		sc = getScratch()
+		defer putScratch(sc)
+	}
+	scanOp(dst, l, l.Value, op, identity, opt, 0, sc)
 }
 
 // vp holds the per-virtual-processor (per-sublist) state. The paper
 // stores five words per virtual processor (Table II: 5p+c space); we
-// keep the same asymptotics with parallel arrays.
+// keep the same asymptotics with parallel arrays, backed by the
+// Scratch arena so they are allocated once and reused.
 type vps struct {
 	r     []int64 // splitter vertex: tail of the *previous* sublist (-1 for vp 0)
 	h     []int64 // sublist head
@@ -272,86 +311,229 @@ type vps struct {
 	pfx   []int64 // Phase 2 result: scan value for the sublist head
 }
 
-func newVPs(k int) *vps {
-	return &vps{
-		r:     make([]int64, k),
-		h:     make([]int64, k),
-		saved: make([]int64, k),
-		sum:   make([]int64, k),
-		cur:   make([]int64, k),
-		succ:  make([]int32, k),
-		pfx:   make([]int64, k),
+// findTail locates the list's tail (the unique self-loop) by scanning
+// the Next array in parallel chunks. This replaces the O(n) serial
+// pointer chase of list.Tail with a memory-sequential search that both
+// vectorizes and parallelizes — part of removing the serial prologue
+// from the otherwise-parallel algorithm.
+func findTail(l *list.List, p int, sc *Scratch) int64 {
+	next := l.Next
+	n := len(next)
+	p = par.Procs(p, n)
+	if p == 1 {
+		for i, nx := range next {
+			if nx == int64(i) {
+				return int64(i)
+			}
+		}
+		panic("core: list has no tail self-loop")
+	}
+	sc.tails = grow(sc.tails, p)
+	found := sc.tails
+	par.ForChunks(n, p, func(w, lo, hi int) {
+		found[w] = -1
+		for i := lo; i < hi; i++ {
+			if next[i] == int64(i) {
+				found[w] = int64(i)
+				return
+			}
+		}
+	})
+	for _, t := range found {
+		if t >= 0 {
+			return t
+		}
+	}
+	panic("core: list has no tail self-loop")
+}
+
+// splitterChunk is the fixed granule of the parallel splitter draw:
+// chunk c owns draw positions [c·splitterChunk, (c+1)·splitterChunk)
+// and fills them from its own seed-derived stream. Because the grid is
+// fixed, the drawn sequence depends only on the seed and M — never on
+// the worker count — so runs are reproducible across Procs settings.
+const splitterChunk = 4096
+
+// drawSplitters draws m splitter positions (avoiding the tail), runs
+// the paper's write/read duplicate-elimination competition in out, and
+// returns the kept table (kept[0] is the -1 sentinel for the head
+// sublist; kept[j] for j >= 1 is the j-th surviving splitter, in draw
+// order) plus the number of duplicates dropped. On return every
+// competition cell of out is zeroed again, including out[tail], which
+// the later successor competition relies on.
+// drawPosChunks fills draw-grid chunks [clo, chi) of pos from their
+// seed-derived streams. It is a named function (not a closure) so the
+// single-worker path calls it with no per-call allocation; closure
+// literals are only evaluated on the multi-worker branch.
+func drawPosChunks(pos []int64, n int, tail int64, seed uint64, clo, chi, m int) {
+	for c := clo; c < chi; c++ {
+		// Independent per-chunk streams: golden-ratio-spaced splitmix
+		// states, the construction splitmix64 is designed for.
+		var r rng.Rand
+		r.Seed(seed + uint64(c)*0x9e3779b97f4a7c15)
+		lo := c * splitterChunk
+		hi := min(lo+splitterChunk, m)
+		for i := lo; i < hi; i++ {
+			for {
+				q := int64(r.Intn(n))
+				if q != tail {
+					pos[i] = q
+					break
+				}
+			}
+		}
 	}
 }
 
-// setup draws m splitters, runs the duplicate-elimination competition
-// (using out as the scratch cells the paper borrows from list
-// storage), cuts the list, and returns the virtual processor table.
-// On return the list is mutated: every splitter and the global tail
-// are self-looped(*) with identity values; restore() undoes this.
-// (*) splitters are self-looped; the global tail already is.
-func setup(out []int64, l *list.List, values []int64, identity int64, m int, seed uint64, st *Stats) (*vps, int64, int64) {
-	n := l.Len()
-	tail := l.Tail()
-	r := rng.New(seed)
+// compactWinners appends the surviving splitters of draw range
+// [lo, hi) to winners[lo:], in draw order, and returns their count.
+func compactWinners(out, pos, winners []int64, lo, hi int) int {
+	cnt := 0
+	for j := lo; j < hi; j++ {
+		if out[pos[j]] == int64(j+1) {
+			winners[lo+cnt] = pos[j]
+			cnt++
+		}
+	}
+	return cnt
+}
 
-	// Draw splitter positions (any vertex but the global tail; a cut
-	// after the tail would create an empty sublist).
-	pos := make([]int64, 0, m)
-	for len(pos) < m {
-		p := int64(r.Intn(n))
-		if p != tail {
-			pos = append(pos, p)
+func drawSplitters(out []int64, n int, tail int64, m int, seed uint64, p int, sc *Scratch) ([]int64, int) {
+	sc.pos = grow(sc.pos, m)
+	pos := sc.pos
+	chunks := (m + splitterChunk - 1) / splitterChunk
+	if p == 1 {
+		drawPosChunks(pos, n, tail, seed, 0, chunks, m)
+	} else {
+		par.ForChunks(chunks, p, func(_, clo, chi int) {
+			drawPosChunks(pos, n, tail, seed, clo, chi, m)
+		})
+	}
+
+	// Competition: write our (1-offset) index, read it back; losers
+	// drop out. The serial path overwrites cells in ascending j order
+	// so the largest j at a position wins; the parallel path
+	// reproduces exactly that with a monotone CAS-max after clearing
+	// the contested cells (out may arrive dirty from the caller).
+	pm := par.Procs(p, m)
+	if pm == 1 {
+		for j, q := range pos {
+			out[q] = int64(j + 1)
 		}
+	} else {
+		par.ForChunks(m, pm, func(_, lo, hi int) {
+			for j := lo; j < hi; j++ {
+				atomic.StoreInt64(&out[pos[j]], 0)
+			}
+		})
+		par.ForChunks(m, pm, func(_, lo, hi int) {
+			for j := lo; j < hi; j++ {
+				a := &out[pos[j]]
+				marker := int64(j + 1)
+				for {
+					cur := atomic.LoadInt64(a)
+					if cur >= marker {
+						break
+					}
+					if atomic.CompareAndSwapInt64(a, cur, marker) {
+						break
+					}
+				}
+			}
+		})
 	}
-	// Competition: write our index, read it back; losers drop out.
-	// Markers are offset by 1 so cell content 0 still means "nobody".
-	for j, p := range pos {
-		out[p] = int64(j + 1)
+
+	// Read phase: each worker compacts its chunk's winners in draw
+	// order into its own region of the staging buffer; the chunks are
+	// then stitched serially, preserving global draw order.
+	sc.winners = grow(sc.winners, m)
+	sc.counts = grow(sc.counts, pm)
+	winners, counts := sc.winners, sc.counts
+	if pm == 1 {
+		counts[0] = compactWinners(out, pos, winners, 0, m)
+	} else {
+		par.ForChunks(m, pm, func(w, lo, hi int) {
+			counts[w] = compactWinners(out, pos, winners, lo, hi)
+		})
 	}
-	kept := make([]int64, 0, m+1)
-	kept = append(kept, -1) // vp 0: the head sublist, no splitter
-	dropped := 0
-	for j, p := range pos {
-		if out[p] == int64(j+1) {
-			kept = append(kept, p)
-		} else {
-			dropped++
+	sc.kept = grow(sc.kept, m+1)[:0]
+	kept := append(sc.kept, -1) // vp 0: the head sublist, no splitter
+	for w := 0; w < pm; w++ {
+		lo, _ := par.Chunk(m, pm, w)
+		kept = append(kept, winners[lo:lo+counts[w]]...)
+	}
+	sc.kept = kept
+	dropped := m - (len(kept) - 1)
+
+	// Clean the competition cells for the successor competition, which
+	// relies on 0 meaning "nobody cut here" — including at the tail,
+	// since out (the caller's dst) may have arrived dirty.
+	if pm == 1 {
+		for _, q := range pos {
+			out[q] = 0
 		}
+	} else {
+		par.ForChunks(m, pm, func(_, lo, hi int) {
+			for j := lo; j < hi; j++ {
+				atomic.StoreInt64(&out[pos[j]], 0)
+			}
+		})
 	}
-	for _, p := range pos {
-		out[p] = 0 // clean the scratch for the succ competition later
-	}
-	out[tail] = 0 // dst may arrive dirty (ScanInto, recursion); the
-	// succ competition relies on 0 meaning "nobody cut here".
+	out[tail] = 0
+	return kept, dropped
+}
+
+// setup draws opt.M splitters, runs the duplicate-elimination
+// competition (using out as the scratch cells the paper borrows from
+// list storage), cuts the list, and returns the virtual processor
+// table. Every stage — tail search, splitter draw, competition, cut
+// and identity overwrite — runs in parallel chunks under opt.Procs,
+// with results identical to the single-worker run. On return the list
+// is mutated: every splitter and the global tail are self-looped(*)
+// with identity values; restore() undoes this.
+// (*) splitters are self-looped; the global tail already is.
+func setup(out []int64, l *list.List, values []int64, identity int64, opt Options, sc *Scratch) (*vps, int64, int64) {
+	n := l.Len()
+	p := par.Procs(opt.Procs, n)
+	tail := findTail(l, p, sc)
+	kept, dropped := drawSplitters(out, n, tail, opt.M, opt.Seed, p, sc)
 
 	k := len(kept)
-	v := newVPs(k)
+	v := sc.vps(k)
 	v.h[0] = l.Head
 	v.r[0] = -1
-	for j := 1; j < k; j++ {
-		p := kept[j]
-		v.r[j] = p
-		v.h[j] = l.Next[p]
-		v.saved[j] = values[p]
-		l.Next[p] = p // terminate the previous sublist with a self-loop
-	}
+	v.saved[0] = identity // never a real splitter; defensive
 	savedTail := values[tail]
-	// Identity-overwrite the values at every sublist tail so the
-	// branch-free traversal loops can run past the end harmlessly.
-	mutated := make([]int64, 0, k)
-	for j := 1; j < k; j++ {
-		mutated = append(mutated, v.r[j])
-	}
-	for _, p := range mutated {
-		values[p] = identity
+	// Cut the list and identity-overwrite the values at every sublist
+	// tail so the branch-free traversal loops can run past the end
+	// harmlessly. Splitter positions are distinct, so the per-j writes
+	// touch disjoint cells and parallelize freely.
+	if p == 1 {
+		cutChunk(l.Next, values, v, kept, identity, 0, k-1)
+	} else {
+		par.ForChunks(k-1, p, func(_, lo, hi int) {
+			cutChunk(l.Next, values, v, kept, identity, lo, hi)
+		})
 	}
 	values[tail] = identity
-	if st != nil {
+	if st := opt.Stats; st != nil {
 		st.Sublists = k
 		st.DuplicatesDropped = dropped
 	}
 	return v, tail, savedTail
+}
+
+// cutChunk self-loops splitters kept[lo+1 .. hi] and records them in
+// the vp table; index translation matches par.ForChunks over k-1.
+func cutChunk(next, values []int64, v *vps, kept []int64, identity int64, lo, hi int) {
+	for j := lo + 1; j < hi+1; j++ {
+		q := kept[j]
+		v.r[j] = q
+		v.h[j] = next[q]
+		v.saved[j] = values[q]
+		next[q] = q // terminate the previous sublist with a self-loop
+		values[q] = identity
+	}
 }
 
 // restore undoes the list mutations performed by setup.
@@ -368,34 +550,47 @@ func restore(l *list.List, values []int64, v *vps, tail, savedTail int64) {
 // sublist sums into the reduced list: vp j writes its (1-offset) index
 // at its splitter, then reads the index at the tail its Phase 1
 // traversal reached. Reading 0 means no processor cut there, i.e. the
-// vp owns the tail sublist. It uses out as scratch; Phase 3 overwrites
-// every touched cell with real results afterwards.
+// vp owns the tail sublist. It uses out as scratch; the marker cells
+// are deliberately not cleaned here, because Phase 3 unconditionally
+// writes every vertex of every sublist — splitter vertices included —
+// so no marker can survive into the results. Every engine path runs
+// Phase 3 after this; TestPhase3OverwritesSuccessorMarkers asserts the
+// invariant.
 func findSuccessors(out []int64, v *vps, p int) {
 	k := len(v.r)
+	if p == 1 {
+		writeSuccMarkers(out, v, 0, k-1)
+		readSuccessors(out, v, 0, k)
+		return
+	}
 	par.ForChunks(k-1, p, func(_, lo, hi int) {
-		for j := lo + 1; j < hi+1; j++ {
-			out[v.r[j]] = int64(j)
-		}
+		writeSuccMarkers(out, v, lo, hi)
 	})
 	par.ForChunks(k, p, func(_, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			s := out[v.cur[j]]
-			if s == 0 {
-				v.succ[j] = int32(j) // tail sublist
-			} else {
-				v.succ[j] = int32(s)
-			}
-		}
+		readSuccessors(out, v, lo, hi)
 	})
-	// Clean the scratch cells before Phase 3 reuses out for results.
-	// (Phase 3 writes every vertex, including these, so cleaning is
-	// not strictly required; we keep it to preserve the invariant
-	// that out carries no stale markers if Phase 3 is ever skipped.)
+}
+
+func writeSuccMarkers(out []int64, v *vps, lo, hi int) {
+	for j := lo + 1; j < hi+1; j++ {
+		out[v.r[j]] = int64(j)
+	}
+}
+
+func readSuccessors(out []int64, v *vps, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		s := out[v.cur[j]]
+		if s == 0 {
+			v.succ[j] = int32(j) // tail sublist
+		} else {
+			v.succ[j] = int32(s)
+		}
+	}
 }
 
 // scanAdd runs the full algorithm specialized to integer addition.
 // The identity is 0. It writes the exclusive scan into out.
-func scanAdd(out []int64, l *list.List, values []int64, opt Options, depth int) {
+func scanAdd(out []int64, l *list.List, values []int64, opt Options, depth int, sc *Scratch) {
 	n := l.Len()
 	opt = opt.withDefaults(n)
 	if st := opt.Stats; st != nil {
@@ -406,10 +601,10 @@ func scanAdd(out []int64, l *list.List, values []int64, opt Options, depth int) 
 		return
 	}
 	if opt.oversampleEnabled(n) {
-		scanAddOversampled(out, l, values, opt, depth)
+		scanAddOversampled(out, l, values, opt, depth, sc)
 		return
 	}
-	v, tail, savedTail := setup(out, l, values, 0, opt.M, opt.Seed, opt.Stats)
+	v, tail, savedTail := setup(out, l, values, 0, opt, sc)
 	defer restore(l, values, v, tail, savedTail)
 	k := len(v.r)
 	p := par.Procs(opt.Procs, k)
@@ -417,25 +612,15 @@ func scanAdd(out []int64, l *list.List, values []int64, opt Options, depth int) 
 
 	// Phase 1: sublist sums.
 	if lockstep {
-		lockstepPhase1(l, values, v, p, opt)
+		lockstepPhase1(l, values, v, p, opt, sc)
 	} else {
-		par.ForChunks(k, p, func(_, lo, hi int) {
-			next := l.Next
-			for j := lo; j < hi; j++ {
-				cur := v.h[j]
-				var sum int64
-				for {
-					sum += values[cur]
-					nx := next[cur]
-					if nx == cur {
-						break
-					}
-					cur = nx
-				}
-				v.sum[j] = sum
-				v.cur[j] = cur
-			}
-		})
+		if p == 1 {
+			sumChunkAdd(l.Next, values, v, 0, k)
+		} else {
+			par.ForChunks(k, p, func(_, lo, hi int) {
+				sumChunkAdd(l.Next, values, v, lo, hi)
+			})
+		}
 		if opt.Stats != nil {
 			opt.Stats.LinksTraversed += int64(n) // every vertex visited once
 		}
@@ -445,44 +630,82 @@ func scanAdd(out []int64, l *list.List, values []int64, opt Options, depth int) 
 
 	// Fold each sublist's tail value (identity-overwritten in list
 	// storage, preserved in saved) into the reduced value.
-	par.ForChunks(k, p, func(_, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			s := v.succ[j]
-			if int(s) != j {
-				v.sum[j] += v.saved[s]
-			}
-		}
-	})
+	if p == 1 {
+		foldTailsAdd(v, 0, k)
+	} else {
+		par.ForChunks(k, p, func(_, lo, hi int) {
+			foldTailsAdd(v, lo, hi)
+		})
+	}
 
 	// Phase 2: scan the reduced list of sublist sums.
-	phase2Add(v, k, opt, depth)
+	phase2Add(v, k, opt, depth, sc)
 
 	// Phase 3: expand the head scan values across the sublists.
 	if lockstep {
-		lockstepPhase3(out, l, values, v, p, opt)
+		lockstepPhase3(out, l, values, v, p, opt, sc)
+	} else if p == 1 {
+		expandChunkAdd(out, l.Next, values, v, 0, k)
 	} else {
 		par.ForChunks(k, p, func(_, lo, hi int) {
-			next := l.Next
-			for j := lo; j < hi; j++ {
-				cur := v.h[j]
-				acc := v.pfx[j]
-				for {
-					out[cur] = acc
-					acc += values[cur]
-					nx := next[cur]
-					if nx == cur {
-						break
-					}
-					cur = nx
-				}
-			}
+			expandChunkAdd(out, l.Next, values, v, lo, hi)
 		})
 	}
 }
 
+// sumChunkAdd is the natural-discipline Phase 1 walk over sublists
+// [lo, hi): each is traversed to completion, accumulating its sum.
+func sumChunkAdd(next, values []int64, v *vps, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		cur := v.h[j]
+		var sum int64
+		for {
+			sum += values[cur]
+			nx := next[cur]
+			if nx == cur {
+				break
+			}
+			cur = nx
+		}
+		v.sum[j] = sum
+		v.cur[j] = cur
+	}
+}
+
+func foldTailsAdd(v *vps, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		s := v.succ[j]
+		if int(s) != j {
+			v.sum[j] += v.saved[s]
+		}
+	}
+}
+
+// expandChunkAdd is the natural-discipline Phase 3 walk: each sublist
+// head's prefix is expanded across its vertices.
+func expandChunkAdd(out, next, values []int64, v *vps, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		cur := v.h[j]
+		acc := v.pfx[j]
+		for {
+			out[cur] = acc
+			acc += values[cur]
+			nx := next[cur]
+			if nx == cur {
+				break
+			}
+			cur = nx
+		}
+	}
+}
+
 // phase2Add scans the reduced list (v.sum linked by v.succ, head vp 0)
-// into v.pfx using the configured Phase 2 algorithm.
-func phase2Add(v *vps, k int, opt Options, depth int) {
+// into v.pfx using the configured Phase 2 algorithm. The reduced list
+// is never materialized: the serial and Wyllie solvers operate
+// directly on v.sum/v.succ, and the recursive solver reuses v.sum as
+// its value array with only the int32 links widened into arena
+// storage (see Scratch.reducedView).
+func phase2Add(v *vps, k int, opt Options, depth int, sc *Scratch) {
 	alg := opt.Phase2
 	if alg == Phase2Auto {
 		switch {
@@ -512,38 +735,23 @@ func phase2Add(v *vps, k int, opt Options, depth int) {
 			j = s
 		}
 	case Phase2Wyllie:
-		rl := reducedList(v, k)
-		copy(v.pfx, wyllie.ScanParallel(rl, opt.Procs))
+		phase2WyllieAdd(v, k, par.Procs(opt.Procs, k), sc)
 	default: // Phase2Recursive
-		rl := reducedList(v, k)
+		rl := sc.reducedView(v, k, par.Procs(opt.Procs, k))
 		sub := opt
 		sub.M = 0 // re-derive for the reduced length
 		sub.Seed = opt.Seed + 0x9e3779b97f4a7c15
 		sub.Stats = nil
+		child := sc.childScratch()
 		if opt.Stats != nil {
 			inner := Stats{}
 			sub.Stats = &inner
-			scanAdd(v.pfx, rl, rl.Value, sub, depth+1)
+			scanAdd(v.pfx, rl, rl.Value, sub, depth+1, child)
 			opt.Stats.Depth = inner.Depth
 			return
 		}
-		scanAdd(v.pfx, rl, rl.Value, sub, depth+1)
+		scanAdd(v.pfx, rl, rl.Value, sub, depth+1, child)
 	}
-}
-
-// reducedList materializes the reduced list as a list.List so Phase 2
-// can reuse the other algorithms unchanged.
-func reducedList(v *vps, k int) *list.List {
-	rl := &list.List{
-		Next:  make([]int64, k),
-		Value: make([]int64, k),
-		Head:  0,
-	}
-	for j := 0; j < k; j++ {
-		rl.Next[j] = int64(v.succ[j])
-		rl.Value[j] = v.sum[j]
-	}
-	return rl
 }
 
 func serialScanAddInto(out []int64, l *list.List, values []int64) {

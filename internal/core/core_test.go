@@ -132,7 +132,7 @@ func TestScanIntoDirtyBuffer(t *testing.T) {
 	for i := range dst {
 		dst[i] = int64(i)*7 + 3 // garbage, including at the tail
 	}
-	ScanInto(dst, l, Options{Seed: 20})
+	ScanInto(dst, l, Options{Seed: 20}, nil)
 	equal(t, dst, want, "dirty dst")
 }
 

@@ -23,6 +23,11 @@ import (
 // locally, never across workers, exactly as §5 prescribes ("we assign
 // virtual processors to physical processors once at the beginning and
 // only load balance locally within each physical processor").
+//
+// The active sets and Phase 3 accumulators live in the Scratch arena,
+// chunk-partitioned by worker inside one k-sized buffer each: worker
+// w's slice activeAll[lo:lo:hi] can never grow past its own chunk, so
+// disjointness is structural and no per-worker allocation occurs.
 
 // deltas converts a cumulative schedule S_1 < S_2 < … into per-round
 // step counts, with a final repeating delta for schedule exhaustion.
@@ -51,139 +56,141 @@ func deltas(schedule []int, n, m int) (steps []int, repeat int) {
 
 // lockstepPhase1 computes the sublist sums with lockstep traversal and
 // periodic local packing.
-func lockstepPhase1(l *list.List, values []int64, v *vps, p int, opt Options) {
+func lockstepPhase1(l *list.List, values []int64, v *vps, p int, opt Options, sc *Scratch) {
 	k := len(v.r)
 	steps, repeat := deltas(opt.Schedule, l.Len(), k)
-	linksByWorker := make([]int64, p)
-	roundsByWorker := make([]int, p)
+	linksByWorker := sc.linksBuf(p)
+	roundsByWorker := sc.roundsBuf(p)
+	sc.active = grow(sc.active, k)
+	activeAll := sc.active
 	next := l.Next
-	par.ForChunks(k, p, func(w, lo, hi int) {
-		active := make([]int32, 0, hi-lo)
-		for j := lo; j < hi; j++ {
-			v.sum[j] = 0
-			v.cur[j] = v.h[j]
-			active = append(active, int32(j))
-		}
-		round := 0
-		var links int64
-		for len(active) > 0 {
-			d := repeat
-			if round < len(steps) {
-				d = steps[round]
-			}
-			// Traverse d links on every active sublist: the paper's
-			// branch-free InitialScan inner loop.
-			for s := 0; s < d; s++ {
-				for _, j := range active {
-					cur := v.cur[j]
-					v.sum[j] += values[cur]
-					v.cur[j] = next[cur]
-				}
-				links += int64(len(active))
-			}
-			// Correction: the loop above folds values[cur] *before*
-			// advancing, so a sublist whose cursor parks on its
-			// self-looped tail keeps folding the tail's
-			// identity-overwritten value — harmless, which is the
-			// whole point of the destructive initialization.
-			// Load balance: pack completed sublists out (InitialPack).
-			live := active[:0]
-			for _, j := range active {
-				if next[v.cur[j]] != v.cur[j] {
-					live = append(live, j)
-				} else if values[v.cur[j]] != 0 {
-					// The cursor can only park on an identity-valued
-					// sublist tail; anything else is a corrupted list.
-					panic("core: lockstep cursor parked on non-tail vertex")
-				}
-			}
-			active = live
-			round++
-		}
-		linksByWorker[w] = links
-		roundsByWorker[w] = round
-	})
+	if p == 1 {
+		linksByWorker[0], roundsByWorker[0] = lockstepP1Worker(next, values, v, activeAll, steps, repeat, 0, k)
+	} else {
+		par.ForChunks(k, p, func(w, lo, hi int) {
+			linksByWorker[w], roundsByWorker[w] = lockstepP1Worker(next, values, v, activeAll, steps, repeat, lo, hi)
+		})
+	}
 	// One extra fold per finished sublist happened when the final step
 	// landed exactly on the tail; that fold added the identity and
 	// needs no correction. But cursors that parked early must still
 	// fold the tail's value — which is the identity too. Sums are
 	// final as-is.
-	if st := opt.Stats; st != nil {
-		for _, lw := range linksByWorker {
-			st.LinksTraversed += lw
+	recordLockstepStats(opt.Stats, linksByWorker, roundsByWorker)
+}
+
+// lockstepP1Worker runs one worker's share [lo, hi) of the Phase 1
+// lockstep traversal, using its own region of the arena's active
+// buffer, and returns its link and pack-round counts.
+func lockstepP1Worker(next, values []int64, v *vps, activeAll []int32, steps []int, repeat, lo, hi int) (int64, int) {
+	active := activeAll[lo:lo:hi]
+	for j := lo; j < hi; j++ {
+		v.sum[j] = 0
+		v.cur[j] = v.h[j]
+		active = append(active, int32(j))
+	}
+	round := 0
+	var links int64
+	for len(active) > 0 {
+		d := repeat
+		if round < len(steps) {
+			d = steps[round]
 		}
-		maxRounds := 0
-		for _, rw := range roundsByWorker {
-			if rw > maxRounds {
-				maxRounds = rw
+		// Traverse d links on every active sublist: the paper's
+		// branch-free InitialScan inner loop.
+		for s := 0; s < d; s++ {
+			for _, j := range active {
+				cur := v.cur[j]
+				v.sum[j] += values[cur]
+				v.cur[j] = next[cur]
+			}
+			links += int64(len(active))
+		}
+		// Correction: the loop above folds values[cur] *before*
+		// advancing, so a sublist whose cursor parks on its
+		// self-looped tail keeps folding the tail's
+		// identity-overwritten value — harmless, which is the
+		// whole point of the destructive initialization.
+		// Load balance: pack completed sublists out (InitialPack).
+		live := active[:0]
+		for _, j := range active {
+			if next[v.cur[j]] != v.cur[j] {
+				live = append(live, j)
+			} else if values[v.cur[j]] != 0 {
+				// The cursor can only park on an identity-valued
+				// sublist tail; anything else is a corrupted list.
+				panic("core: lockstep cursor parked on non-tail vertex")
 			}
 		}
-		st.PackRounds += maxRounds
+		active = live
+		round++
 	}
+	return links, round
 }
 
 // lockstepPhase3 expands the head scan values across the sublists with
 // the same discipline (FinalScan / FinalPack).
-func lockstepPhase3(out []int64, l *list.List, values []int64, v *vps, p int, opt Options) {
+func lockstepPhase3(out []int64, l *list.List, values []int64, v *vps, p int, opt Options, sc *Scratch) {
 	k := len(v.r)
 	steps, repeat := deltas(opt.Schedule, l.Len(), k)
-	linksByWorker := make([]int64, p)
-	roundsByWorker := make([]int, p)
+	linksByWorker := sc.linksBuf(p)
+	roundsByWorker := sc.roundsBuf(p)
+	sc.active = grow(sc.active, k)
+	sc.acc = grow(sc.acc, k)
+	activeAll, accAll := sc.active, sc.acc
 	next := l.Next
-	par.ForChunks(k, p, func(w, lo, hi int) {
-		active := make([]int32, 0, hi-lo)
-		acc := make([]int64, hi-lo)
-		base := lo
-		for j := lo; j < hi; j++ {
-			v.cur[j] = v.h[j]
-			acc[j-base] = v.pfx[j]
-			active = append(active, int32(j))
+	if p == 1 {
+		linksByWorker[0], roundsByWorker[0] = lockstepP3Worker(out, next, values, v, activeAll, accAll, steps, repeat, 0, k)
+	} else {
+		par.ForChunks(k, p, func(w, lo, hi int) {
+			linksByWorker[w], roundsByWorker[w] = lockstepP3Worker(out, next, values, v, activeAll, accAll, steps, repeat, lo, hi)
+		})
+	}
+	recordLockstepStats(opt.Stats, linksByWorker, roundsByWorker)
+}
+
+// lockstepP3Worker runs one worker's share [lo, hi) of the Phase 3
+// lockstep expansion.
+func lockstepP3Worker(out, next, values []int64, v *vps, activeAll []int32, accAll []int64, steps []int, repeat, lo, hi int) (int64, int) {
+	active := activeAll[lo:lo:hi]
+	acc := accAll[lo:hi]
+	base := lo
+	for j := lo; j < hi; j++ {
+		v.cur[j] = v.h[j]
+		acc[j-base] = v.pfx[j]
+		active = append(active, int32(j))
+	}
+	round := 0
+	var links int64
+	for len(active) > 0 {
+		d := repeat
+		if round < len(steps) {
+			d = steps[round]
 		}
-		round := 0
-		var links int64
-		for len(active) > 0 {
-			d := repeat
-			if round < len(steps) {
-				d = steps[round]
-			}
-			for s := 0; s < d; s++ {
-				for _, j := range active {
-					cur := v.cur[j]
-					a := acc[int(j)-base]
-					out[cur] = a
-					acc[int(j)-base] = a + values[cur]
-					v.cur[j] = next[cur]
-				}
-				links += int64(len(active))
-			}
-			live := active[:0]
+		for s := 0; s < d; s++ {
 			for _, j := range active {
 				cur := v.cur[j]
-				if next[cur] != cur {
-					live = append(live, j)
-				} else {
-					// Flush the tail's result before retiring: the
-					// cursor may have just arrived and not yet
-					// written out[tail-of-sublist].
-					out[cur] = acc[int(j)-base]
-				}
+				a := acc[int(j)-base]
+				out[cur] = a
+				acc[int(j)-base] = a + values[cur]
+				v.cur[j] = next[cur]
 			}
-			active = live
-			round++
+			links += int64(len(active))
 		}
-		linksByWorker[w] = links
-		roundsByWorker[w] = round
-	})
-	if st := opt.Stats; st != nil {
-		for _, lw := range linksByWorker {
-			st.LinksTraversed += lw
-		}
-		maxRounds := 0
-		for _, rw := range roundsByWorker {
-			if rw > maxRounds {
-				maxRounds = rw
+		live := active[:0]
+		for _, j := range active {
+			cur := v.cur[j]
+			if next[cur] != cur {
+				live = append(live, j)
+			} else {
+				// Flush the tail's result before retiring: the
+				// cursor may have just arrived and not yet
+				// written out[tail-of-sublist].
+				out[cur] = acc[int(j)-base]
 			}
 		}
-		st.PackRounds += maxRounds
+		active = live
+		round++
 	}
+	return links, round
 }

@@ -11,99 +11,119 @@ import (
 // accumulation parameterized by the operator. The destructive
 // initialization in setup stores the operator's identity at every
 // sublist tail, so the branch-free "keep folding past the end" trick
-// carries over to any monoid.
+// carries over to any monoid. Working sets come from the Scratch
+// arena exactly as in lockstep.go.
 
-func lockstepPhase1Op(l *list.List, values []int64, v *vps, p int, op func(a, b int64) int64, identity int64, opt Options) {
+func lockstepPhase1Op(l *list.List, values []int64, v *vps, p int, op func(a, b int64) int64, identity int64, opt Options, sc *Scratch) {
 	k := len(v.r)
 	steps, repeat := deltas(opt.Schedule, l.Len(), k)
-	linksByWorker := make([]int64, p)
-	roundsByWorker := make([]int, p)
+	linksByWorker := sc.linksBuf(p)
+	roundsByWorker := sc.roundsBuf(p)
+	sc.active = grow(sc.active, k)
+	activeAll := sc.active
 	next := l.Next
-	par.ForChunks(k, p, func(w, lo, hi int) {
-		active := make([]int32, 0, hi-lo)
-		for j := lo; j < hi; j++ {
-			v.sum[j] = identity
-			v.cur[j] = v.h[j]
-			active = append(active, int32(j))
-		}
-		round := 0
-		var links int64
-		for len(active) > 0 {
-			d := repeat
-			if round < len(steps) {
-				d = steps[round]
-			}
-			for s := 0; s < d; s++ {
-				for _, j := range active {
-					cur := v.cur[j]
-					v.sum[j] = op(v.sum[j], values[cur])
-					v.cur[j] = next[cur]
-				}
-				links += int64(len(active))
-			}
-			live := active[:0]
-			for _, j := range active {
-				if next[v.cur[j]] != v.cur[j] {
-					live = append(live, j)
-				}
-			}
-			active = live
-			round++
-		}
-		linksByWorker[w] = links
-		roundsByWorker[w] = round
-	})
+	if p == 1 {
+		linksByWorker[0], roundsByWorker[0] = lockstepP1OpWorker(next, values, v, activeAll, op, identity, steps, repeat, 0, k)
+	} else {
+		par.ForChunks(k, p, func(w, lo, hi int) {
+			linksByWorker[w], roundsByWorker[w] = lockstepP1OpWorker(next, values, v, activeAll, op, identity, steps, repeat, lo, hi)
+		})
+	}
 	recordLockstepStats(opt.Stats, linksByWorker, roundsByWorker)
 }
 
-func lockstepPhase3Op(out []int64, l *list.List, values []int64, v *vps, p int, op func(a, b int64) int64, opt Options) {
-	k := len(v.r)
-	steps, repeat := deltas(opt.Schedule, l.Len(), k)
-	linksByWorker := make([]int64, p)
-	roundsByWorker := make([]int, p)
-	next := l.Next
-	par.ForChunks(k, p, func(w, lo, hi int) {
-		active := make([]int32, 0, hi-lo)
-		acc := make([]int64, hi-lo)
-		base := lo
-		for j := lo; j < hi; j++ {
-			v.cur[j] = v.h[j]
-			acc[j-base] = v.pfx[j]
-			active = append(active, int32(j))
+func lockstepP1OpWorker(next, values []int64, v *vps, activeAll []int32, op func(a, b int64) int64, identity int64, steps []int, repeat, lo, hi int) (int64, int) {
+	active := activeAll[lo:lo:hi]
+	for j := lo; j < hi; j++ {
+		v.sum[j] = identity
+		v.cur[j] = v.h[j]
+		active = append(active, int32(j))
+	}
+	round := 0
+	var links int64
+	for len(active) > 0 {
+		d := repeat
+		if round < len(steps) {
+			d = steps[round]
 		}
-		round := 0
-		var links int64
-		for len(active) > 0 {
-			d := repeat
-			if round < len(steps) {
-				d = steps[round]
-			}
-			for s := 0; s < d; s++ {
-				for _, j := range active {
-					cur := v.cur[j]
-					a := acc[int(j)-base]
-					out[cur] = a
-					acc[int(j)-base] = op(a, values[cur])
-					v.cur[j] = next[cur]
-				}
-				links += int64(len(active))
-			}
-			live := active[:0]
+		for s := 0; s < d; s++ {
 			for _, j := range active {
 				cur := v.cur[j]
-				if next[cur] != cur {
-					live = append(live, j)
-				} else {
-					out[cur] = acc[int(j)-base] // flush before retiring
-				}
+				v.sum[j] = op(v.sum[j], values[cur])
+				v.cur[j] = next[cur]
 			}
-			active = live
-			round++
+			links += int64(len(active))
 		}
-		linksByWorker[w] = links
-		roundsByWorker[w] = round
-	})
+		live := active[:0]
+		for _, j := range active {
+			if next[v.cur[j]] != v.cur[j] {
+				live = append(live, j)
+			}
+		}
+		active = live
+		round++
+	}
+	return links, round
+}
+
+func lockstepPhase3Op(out []int64, l *list.List, values []int64, v *vps, p int, op func(a, b int64) int64, opt Options, sc *Scratch) {
+	k := len(v.r)
+	steps, repeat := deltas(opt.Schedule, l.Len(), k)
+	linksByWorker := sc.linksBuf(p)
+	roundsByWorker := sc.roundsBuf(p)
+	sc.active = grow(sc.active, k)
+	sc.acc = grow(sc.acc, k)
+	activeAll, accAll := sc.active, sc.acc
+	next := l.Next
+	if p == 1 {
+		linksByWorker[0], roundsByWorker[0] = lockstepP3OpWorker(out, next, values, v, activeAll, accAll, op, steps, repeat, 0, k)
+	} else {
+		par.ForChunks(k, p, func(w, lo, hi int) {
+			linksByWorker[w], roundsByWorker[w] = lockstepP3OpWorker(out, next, values, v, activeAll, accAll, op, steps, repeat, lo, hi)
+		})
+	}
 	recordLockstepStats(opt.Stats, linksByWorker, roundsByWorker)
+}
+
+func lockstepP3OpWorker(out, next, values []int64, v *vps, activeAll []int32, accAll []int64, op func(a, b int64) int64, steps []int, repeat, lo, hi int) (int64, int) {
+	active := activeAll[lo:lo:hi]
+	acc := accAll[lo:hi]
+	base := lo
+	for j := lo; j < hi; j++ {
+		v.cur[j] = v.h[j]
+		acc[j-base] = v.pfx[j]
+		active = append(active, int32(j))
+	}
+	round := 0
+	var links int64
+	for len(active) > 0 {
+		d := repeat
+		if round < len(steps) {
+			d = steps[round]
+		}
+		for s := 0; s < d; s++ {
+			for _, j := range active {
+				cur := v.cur[j]
+				a := acc[int(j)-base]
+				out[cur] = a
+				acc[int(j)-base] = op(a, values[cur])
+				v.cur[j] = next[cur]
+			}
+			links += int64(len(active))
+		}
+		live := active[:0]
+		for _, j := range active {
+			cur := v.cur[j]
+			if next[cur] != cur {
+				live = append(live, j)
+			} else {
+				out[cur] = acc[int(j)-base] // flush before retiring
+			}
+		}
+		active = live
+		round++
+	}
+	return links, round
 }
 
 // recordLockstepStats folds per-worker counters into Stats.

@@ -3,7 +3,6 @@ package core
 import (
 	"listrank/internal/list"
 	"listrank/internal/par"
-	"listrank/internal/wyllie"
 )
 
 // This file is the generic-operator twin of the addition-specialized
@@ -13,11 +12,8 @@ import (
 // specializes its list-rank loop down to a single gather, §3); the
 // generic engine supports any monoid — min/max, modular products,
 // function composition — at the cost of an indirect call per link.
-// Only the natural traversal discipline is provided here; lockstep is
-// a vector-machine concern and its generic form lives in the simulator
-// track (package vecalg).
 
-func scanOp(out []int64, l *list.List, values []int64, op func(a, b int64) int64, identity int64, opt Options, depth int) {
+func scanOp(out []int64, l *list.List, values []int64, op func(a, b int64) int64, identity int64, opt Options, depth int, sc *Scratch) {
 	n := l.Len()
 	opt = opt.withDefaults(n)
 	if st := opt.Stats; st != nil {
@@ -27,7 +23,7 @@ func scanOp(out []int64, l *list.List, values []int64, op func(a, b int64) int64
 		serialScanOpInto(out, l, values, op, identity)
 		return
 	}
-	v, tail, savedTail := setup(out, l, values, identity, opt.M, opt.Seed, opt.Stats)
+	v, tail, savedTail := setup(out, l, values, identity, opt, sc)
 	defer restore(l, values, v, tail, savedTail)
 	k := len(v.r)
 	p := par.Procs(opt.Procs, k)
@@ -35,25 +31,15 @@ func scanOp(out []int64, l *list.List, values []int64, op func(a, b int64) int64
 
 	// Phase 1: sublist "sums" under op.
 	if lockstep {
-		lockstepPhase1Op(l, values, v, p, op, identity, opt)
+		lockstepPhase1Op(l, values, v, p, op, identity, opt, sc)
 	} else {
-		par.ForChunks(k, p, func(_, lo, hi int) {
-			next := l.Next
-			for j := lo; j < hi; j++ {
-				cur := v.h[j]
-				sum := identity
-				for {
-					sum = op(sum, values[cur])
-					nx := next[cur]
-					if nx == cur {
-						break
-					}
-					cur = nx
-				}
-				v.sum[j] = sum
-				v.cur[j] = cur
-			}
-		})
+		if p == 1 {
+			sumChunkOp(l.Next, values, v, op, identity, 0, k)
+		} else {
+			par.ForChunks(k, p, func(_, lo, hi int) {
+				sumChunkOp(l.Next, values, v, op, identity, lo, hi)
+			})
+		}
 		if opt.Stats != nil {
 			opt.Stats.LinksTraversed += int64(n)
 		}
@@ -61,16 +47,17 @@ func scanOp(out []int64, l *list.List, values []int64, op func(a, b int64) int64
 
 	findSuccessors(out, v, p)
 
-	par.ForChunks(k, p, func(_, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			s := v.succ[j]
-			if int(s) != j {
-				v.sum[j] = op(v.sum[j], v.saved[s])
-			}
-		}
-	})
+	if p == 1 {
+		foldTailsOp(v, op, 0, k)
+	} else {
+		par.ForChunks(k, p, func(_, lo, hi int) {
+			foldTailsOp(v, op, lo, hi)
+		})
+	}
 
-	// Phase 2.
+	// Phase 2: like phase2Add, directly on v.sum/v.succ — serial walk,
+	// predecessor-oriented pointer jumping, or recursion over an arena
+	// view; the reduced list is never materialized fresh.
 	alg := opt.Phase2
 	if alg == Phase2Auto {
 		switch {
@@ -100,47 +87,80 @@ func scanOp(out []int64, l *list.List, values []int64, op func(a, b int64) int64
 			j = s
 		}
 	case Phase2Wyllie:
-		rl := reducedList(v, k)
-		copy(v.pfx, wyllie.ScanOpParallel(rl, op, identity, opt.Procs))
+		phase2WyllieOp(v, k, p, op, identity, sc)
 	default:
-		rl := reducedList(v, k)
+		rl := sc.reducedView(v, k, p)
 		sub := opt
 		sub.M = 0
 		sub.Seed = opt.Seed + 0x9e3779b97f4a7c15
 		sub.Stats = nil
+		child := sc.childScratch()
 		if opt.Stats != nil {
 			inner := Stats{}
 			sub.Stats = &inner
-			scanOp(v.pfx, rl, rl.Value, op, identity, sub, depth+1)
+			scanOp(v.pfx, rl, rl.Value, op, identity, sub, depth+1, child)
 			opt.Stats.Depth = inner.Depth
-			break
+		} else {
+			scanOp(v.pfx, rl, rl.Value, op, identity, sub, depth+1, child)
 		}
-		scanOp(v.pfx, rl, rl.Value, op, identity, sub, depth+1)
 	}
 
 	// Phase 3.
 	if lockstep {
-		lockstepPhase3Op(out, l, values, v, p, op, opt)
+		lockstepPhase3Op(out, l, values, v, p, op, opt, sc)
 		return
 	}
-	par.ForChunks(k, p, func(_, lo, hi int) {
-		next := l.Next
-		for j := lo; j < hi; j++ {
-			cur := v.h[j]
-			acc := v.pfx[j]
-			for {
-				out[cur] = acc
-				acc = op(acc, values[cur])
-				nx := next[cur]
-				if nx == cur {
-					break
-				}
-				cur = nx
-			}
-		}
-	})
+	if p == 1 {
+		expandChunkOp(out, l.Next, values, v, op, 0, k)
+	} else {
+		par.ForChunks(k, p, func(_, lo, hi int) {
+			expandChunkOp(out, l.Next, values, v, op, lo, hi)
+		})
+	}
 	if opt.Stats != nil {
 		opt.Stats.LinksTraversed += int64(n)
+	}
+}
+
+func sumChunkOp(next, values []int64, v *vps, op func(a, b int64) int64, identity int64, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		cur := v.h[j]
+		sum := identity
+		for {
+			sum = op(sum, values[cur])
+			nx := next[cur]
+			if nx == cur {
+				break
+			}
+			cur = nx
+		}
+		v.sum[j] = sum
+		v.cur[j] = cur
+	}
+}
+
+func foldTailsOp(v *vps, op func(a, b int64) int64, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		s := v.succ[j]
+		if int(s) != j {
+			v.sum[j] = op(v.sum[j], v.saved[s])
+		}
+	}
+}
+
+func expandChunkOp(out, next, values []int64, v *vps, op func(a, b int64) int64, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		cur := v.h[j]
+		acc := v.pfx[j]
+		for {
+			out[cur] = acc
+			acc = op(acc, values[cur])
+			nx := next[cur]
+			if nx == cur {
+				break
+			}
+			cur = nx
+		}
 	}
 }
 

@@ -44,12 +44,12 @@ import (
 // scanAddOversampled is scanAdd's lockstep variant with reserve
 // splitters. Callers guarantee n > SerialCutoff, M >= 1 and Procs == 1
 // (enforced in scanAdd's dispatch).
-func scanAddOversampled(out []int64, l *list.List, values []int64, opt Options, depth int) {
+func scanAddOversampled(out []int64, l *list.List, values []int64, opt Options, depth int, sc *Scratch) {
 	n := l.Len()
 	if st := opt.Stats; st != nil {
 		st.Depth = depth
 	}
-	v, tail, savedTail := setup(out, l, values, 0, opt.M, opt.Seed, opt.Stats)
+	v, tail, savedTail := setup(out, l, values, 0, opt, sc)
 	defer func() { restore(l, values, v, tail, savedTail) }()
 
 	// Draw the reserve pool. Duplicates with primaries or the tail are
@@ -83,9 +83,9 @@ func scanAddOversampled(out []int64, l *list.List, values []int64, opt Options, 
 		}
 	}
 
-	phase2Add(v, k, opt, depth)
+	phase2Add(v, k, opt, depth, sc)
 
-	lockstepPhase3(out, l, values, v, 1, opt)
+	lockstepPhase3(out, l, values, v, 1, opt, sc)
 }
 
 const defaultOversampleTrigger = 0.25

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"listrank/internal/par"
+	"listrank/internal/wyllie"
+)
+
+// Phase 2 pointer-jumping solvers that work directly on the reduced
+// list as it already exists in the virtual-processor table — v.sum
+// linked by v.succ with head vp 0 — instead of materializing a
+// list.List copy and then copying the scan back into v.pfx, as the
+// engine used to. The double-buffered value/link arrays come from the
+// Scratch arena, the links stay int32 (half the memory traffic of the
+// generic wyllie package), and the results land in v.pfx with no
+// intermediate allocation or copy.
+
+// phase2WyllieAdd scans the reduced list under integer addition with
+// Wyllie's pointer jumping, successor orientation: after jumping,
+// val[j] is the sum over [j, tail), so the exclusive prefix of vp j is
+// val[head] - val[j]. p must already be clamped to k.
+func phase2WyllieAdd(v *vps, k, p int, sc *Scratch) {
+	if k == 1 {
+		v.pfx[0] = 0
+		return
+	}
+	sc.jval = grow(sc.jval, k)
+	sc.jval2 = grow(sc.jval2, k)
+	sc.jlnk = grow(sc.jlnk, k)
+	sc.jlnk2 = grow(sc.jlnk2, k)
+	val, val2, lnk, lnk2 := sc.jval, sc.jval2, sc.jlnk, sc.jlnk2
+	if p == 1 {
+		initJumpAdd(val, lnk, v, 0, k)
+	} else {
+		// Capture copies: val/lnk are reassigned by the buffer swaps
+		// below, and a reassigned capture would force them into heap
+		// cells on every call, even single-worker ones.
+		iv, il := val, lnk
+		par.ForChunks(k, p, func(_, lo, hi int) {
+			initJumpAdd(iv, il, v, lo, hi)
+		})
+	}
+	rounds := wyllie.Rounds(k)
+	if p == 1 {
+		for r := 0; r < rounds; r++ {
+			for j := 0; j < k; j++ {
+				s := lnk[j]
+				val2[j] = val[j] + val[s]
+				lnk2[j] = lnk[s]
+			}
+			val, val2 = val2, val
+			lnk, lnk2 = lnk2, lnk
+		}
+	} else {
+		jumpAddParallel(val, val2, lnk, lnk2, k, p, rounds)
+		if rounds%2 == 1 {
+			val = val2
+		}
+	}
+	total := val[0] // head vp
+	if p == 1 {
+		for j := 0; j < k; j++ {
+			v.pfx[j] = total - val[j]
+		}
+	} else {
+		fv := val
+		par.ForChunks(k, p, func(_, lo, hi int) {
+			for j := lo; j < hi; j++ {
+				v.pfx[j] = total - fv[j]
+			}
+		})
+	}
+}
+
+// jumpAddParallel runs the double-buffered jump rounds on p workers,
+// barrier-synchronized like wyllie.jump. It is a named function so the
+// worker closure (and its captures) is only allocated on the p > 1
+// path, keeping single-worker calls allocation-free.
+func jumpAddParallel(val, val2 []int64, lnk, lnk2 []int32, k, p, rounds int) {
+	par.RunWorkers(p, func(w int, b *par.Barrier) {
+		lv, lv2, ln, ln2 := val, val2, lnk, lnk2
+		lo, hi := par.Chunk(k, p, w)
+		for r := 0; r < rounds; r++ {
+			for j := lo; j < hi; j++ {
+				s := ln[j]
+				lv2[j] = lv[j] + lv[s]
+				ln2[j] = ln[s]
+			}
+			b.Wait()
+			lv, lv2 = lv2, lv
+			ln, ln2 = ln2, ln
+			// All workers must finish reading the old buffers before
+			// anyone writes the next round into them.
+			b.Wait()
+		}
+	})
+}
+
+// initJumpAdd seeds the successor-oriented jump buffers: sublist sums
+// everywhere, the addition identity at the tail vp.
+func initJumpAdd(val []int64, lnk []int32, v *vps, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		lnk[j] = v.succ[j]
+		if int(v.succ[j]) == j {
+			val[j] = 0 // identity at the tail: val[j] sums [j, succ[j])
+		} else {
+			val[j] = v.sum[j]
+		}
+	}
+}
+
+// phase2WyllieOp is the generic-operator twin, predecessor
+// orientation (subtraction is unavailable for an arbitrary monoid):
+// links are reversed so each vp folds the values of strictly earlier
+// sublists in list order, which keeps non-commutative operators
+// correct. After jumping, val[j] is exactly the exclusive prefix.
+func phase2WyllieOp(v *vps, k, p int, op func(a, b int64) int64, identity int64, sc *Scratch) {
+	if k == 1 {
+		v.pfx[0] = identity
+		return
+	}
+	sc.jval = grow(sc.jval, k)
+	sc.jval2 = grow(sc.jval2, k)
+	sc.jlnk = grow(sc.jlnk, k)
+	sc.jlnk2 = grow(sc.jlnk2, k)
+	val, val2, prd, prd2 := sc.jval, sc.jval2, sc.jlnk, sc.jlnk2
+	// Build predecessor links by scatter: each vp has exactly one
+	// predecessor writing it, so the stores are disjoint. The head
+	// (vp 0) is its own predecessor.
+	prd[0] = 0
+	if p == 1 {
+		scatterPreds(prd, v, 0, k)
+		initJumpOp(val, prd, v, identity, 0, k)
+	} else {
+		// Capture copies, as in phase2WyllieAdd: val/prd are
+		// reassigned by the buffer swaps below.
+		iv, ip := val, prd
+		par.ForChunks(k, p, func(_, lo, hi int) {
+			scatterPreds(ip, v, lo, hi)
+		})
+		par.ForChunks(k, p, func(_, lo, hi int) {
+			initJumpOp(iv, ip, v, identity, lo, hi)
+		})
+	}
+	rounds := wyllie.Rounds(k)
+	if p == 1 {
+		for r := 0; r < rounds; r++ {
+			for j := 0; j < k; j++ {
+				pv := prd[j]
+				val2[j] = op(val[pv], val[j]) // earlier segment first
+				prd2[j] = prd[pv]
+			}
+			val, val2 = val2, val
+			prd, prd2 = prd2, prd
+		}
+	} else {
+		jumpOpParallel(val, val2, prd, prd2, op, k, p, rounds)
+		if rounds%2 == 1 {
+			val = val2
+		}
+	}
+	if p == 1 {
+		copy(v.pfx[:k], val[:k])
+	} else {
+		fv := val
+		par.ForChunks(k, p, func(_, lo, hi int) {
+			copy(v.pfx[lo:hi], fv[lo:hi])
+		})
+	}
+}
+
+// jumpOpParallel is jumpAddParallel parameterized by the operator,
+// predecessor orientation.
+func jumpOpParallel(val, val2 []int64, prd, prd2 []int32, op func(a, b int64) int64, k, p, rounds int) {
+	par.RunWorkers(p, func(w int, b *par.Barrier) {
+		lv, lv2, lp, lp2 := val, val2, prd, prd2
+		lo, hi := par.Chunk(k, p, w)
+		for r := 0; r < rounds; r++ {
+			for j := lo; j < hi; j++ {
+				pv := lp[j]
+				lv2[j] = op(lv[pv], lv[j])
+				lp2[j] = lp[pv]
+			}
+			b.Wait()
+			lv, lv2 = lv2, lv
+			lp, lp2 = lp2, lp
+			b.Wait()
+		}
+	})
+}
+
+func scatterPreds(prd []int32, v *vps, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		s := v.succ[j]
+		if int(s) != j {
+			prd[s] = int32(j)
+		}
+	}
+}
+
+// initJumpOp seeds the predecessor-oriented jump buffers: each vp
+// starts with its predecessor's sublist sum (the segment immediately
+// before it), the identity at the head.
+func initJumpOp(val []int64, prd []int32, v *vps, identity int64, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		if j == 0 {
+			val[j] = identity // head: empty preceding segment
+		} else {
+			val[j] = v.sum[prd[j]]
+		}
+	}
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"listrank/internal/list"
 	"listrank/internal/par"
-	"listrank/internal/rng"
 )
 
 // This file is the rank-specialized engine: the paper's single-gather
@@ -34,13 +33,13 @@ const encMaxLen = 1 << 31
 // ranksEnc runs the full rank algorithm on the encoded representation,
 // writing ranks into out. Callers guarantee n > opt.SerialCutoff and
 // n < encMaxLen.
-func ranksEnc(out []int64, l *list.List, opt Options, depth int) {
+func ranksEnc(out []int64, l *list.List, opt Options, depth int, sc *Scratch) {
 	n := l.Len()
 	if st := opt.Stats; st != nil {
 		st.Depth = depth
 		st.Encoded = true
 	}
-	v, enc := setupRank(out, l, opt.M, opt.Seed, opt.Stats)
+	v, enc := setupRank(out, l, opt, sc)
 	k := len(v.r)
 	p := par.Procs(opt.Procs, k)
 	lockstep := opt.lockstep(n)
@@ -49,28 +48,15 @@ func ranksEnc(out []int64, l *list.List, opt Options, depth int) {
 	// stream is folded from the same word as the link, so each step
 	// touches one cache line of enc and nothing else.
 	if lockstep {
-		lockstepRankPhase1(enc, v, p, opt)
+		lockstepRankPhase1(enc, v, p, opt, sc)
 	} else {
-		par.ForChunks(k, p, func(_, lo, hi int) {
-			for j := lo; j < hi; j++ {
-				cur := v.h[j]
-				var sum int64
-				for {
-					e := enc[cur]
-					sum += int64(e & 0xffffffff)
-					nx := int64(e >> 32)
-					if nx == cur {
-						break
-					}
-					cur = nx
-				}
-				// The tail's addend is zero, so sum is the number of
-				// non-tail vertices; the tail itself completes the
-				// sublist length.
-				v.sum[j] = sum + 1
-				v.cur[j] = cur
-			}
-		})
+		if p == 1 {
+			rankSumChunk(enc, v, 0, k)
+		} else {
+			par.ForChunks(k, p, func(_, lo, hi int) {
+				rankSumChunk(enc, v, lo, hi)
+			})
+		}
 		if opt.Stats != nil {
 			opt.Stats.LinksTraversed += int64(n)
 		}
@@ -82,215 +68,242 @@ func ranksEnc(out []int64, l *list.List, opt Options, depth int) {
 	// length already counts its tail vertex.
 
 	// Phase 2: prefix the sublist lengths; reuses the generic solver.
-	phase2Add(v, k, opt, depth)
+	phase2Add(v, k, opt, depth, sc)
 
 	// Phase 3: assign consecutive ranks along each sublist.
 	if lockstep {
-		lockstepRankPhase3(out, enc, v, p, opt)
+		lockstepRankPhase3(out, enc, v, p, opt, sc)
 	} else {
-		par.ForChunks(k, p, func(_, lo, hi int) {
-			for j := lo; j < hi; j++ {
-				cur := v.h[j]
-				acc := v.pfx[j]
-				for {
-					out[cur] = acc
-					e := enc[cur]
-					acc += int64(e & 0xffffffff)
-					nx := int64(e >> 32)
-					if nx == cur {
-						break
-					}
-					cur = nx
-				}
-			}
-		})
+		if p == 1 {
+			rankExpandChunk(out, enc, v, 0, k)
+		} else {
+			par.ForChunks(k, p, func(_, lo, hi int) {
+				rankExpandChunk(out, enc, v, lo, hi)
+			})
+		}
 		if opt.Stats != nil {
 			opt.Stats.LinksTraversed += int64(n)
 		}
 	}
 }
 
-// setupRank draws m splitters, runs the duplicate-elimination
-// competition in out, and builds the virtual-processor table and the
-// encoded word array. The input list is read, never written: the cuts
-// exist only in enc (self-loop + zero addend at every sublist tail).
-func setupRank(out []int64, l *list.List, m int, seed uint64, st *Stats) (*vps, []uint64) {
-	n := l.Len()
-	tail := l.Tail()
-	r := rng.New(seed)
+// rankSumChunk is the natural-discipline single-gather length loop
+// over sublists [lo, hi).
+func rankSumChunk(enc []uint64, v *vps, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		cur := v.h[j]
+		var sum int64
+		for {
+			e := enc[cur]
+			sum += int64(e & 0xffffffff)
+			nx := int64(e >> 32)
+			if nx == cur {
+				break
+			}
+			cur = nx
+		}
+		// The tail's addend is zero, so sum is the number of non-tail
+		// vertices; the tail itself completes the sublist length.
+		v.sum[j] = sum + 1
+		v.cur[j] = cur
+	}
+}
 
-	pos := make([]int64, 0, m)
-	for len(pos) < m {
-		p := int64(r.Intn(n))
-		if p != tail {
-			pos = append(pos, p)
+// rankExpandChunk assigns consecutive ranks along sublists [lo, hi).
+func rankExpandChunk(out []int64, enc []uint64, v *vps, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		cur := v.h[j]
+		acc := v.pfx[j]
+		for {
+			out[cur] = acc
+			e := enc[cur]
+			acc += int64(e & 0xffffffff)
+			nx := int64(e >> 32)
+			if nx == cur {
+				break
+			}
+			cur = nx
 		}
 	}
-	for j, p := range pos {
-		out[p] = int64(j + 1)
-	}
-	kept := make([]int64, 0, m+1)
-	kept = append(kept, -1)
-	dropped := 0
-	for j, p := range pos {
-		if out[p] == int64(j+1) {
-			kept = append(kept, p)
-		} else {
-			dropped++
-		}
-	}
-	for _, p := range pos {
-		out[p] = 0
-	}
-	out[tail] = 0
+}
+
+// setupRank draws the splitters with the same parallel machinery as
+// the generic setup (shared via drawSplitters) and builds the
+// virtual-processor table and the encoded word array, all from the
+// Scratch arena. The input list is read, never written: the cuts exist
+// only in enc (self-loop + zero addend at every sublist tail).
+func setupRank(out []int64, l *list.List, opt Options, sc *Scratch) (*vps, []uint64) {
+	n := l.Len()
+	p := par.Procs(opt.Procs, n)
+	tail := findTail(l, p, sc)
+	kept, dropped := drawSplitters(out, n, tail, opt.M, opt.Seed, p, sc)
 
 	k := len(kept)
-	v := newVPs(k)
+	v := sc.vps(k)
 	v.h[0] = l.Head
 	v.r[0] = -1
-	for j := 1; j < k; j++ {
-		p := kept[j]
-		v.r[j] = p
-		v.h[j] = l.Next[p]
-	}
+	v.saved[0] = 0
 
-	enc := make([]uint64, n)
-	for i, nx := range l.Next {
-		enc[i] = uint64(nx)<<32 | 1
+	sc.enc = grow(sc.enc, n)
+	enc := sc.enc
+	next := l.Next
+	if p == 1 {
+		encFill(enc, next, 0, n)
+	} else {
+		par.ForChunks(n, p, func(_, lo, hi int) {
+			encFill(enc, next, lo, hi)
+		})
 	}
 	enc[tail] = uint64(tail) << 32
-	for j := 1; j < k; j++ {
-		p := v.r[j]
-		enc[p] = uint64(p) << 32
+	if p == 1 {
+		rankCutChunk(enc, next, v, kept, 0, k-1)
+	} else {
+		par.ForChunks(k-1, p, func(_, lo, hi int) {
+			rankCutChunk(enc, next, v, kept, lo, hi)
+		})
 	}
 
-	if st != nil {
+	if st := opt.Stats; st != nil {
 		st.Sublists = k
 		st.DuplicatesDropped = dropped
 	}
 	return v, enc
 }
 
+func encFill(enc []uint64, next []int64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		enc[i] = uint64(next[i])<<32 | 1
+	}
+}
+
+// rankCutChunk records splitters kept[lo+1 .. hi] in the vp table and
+// cuts the encoded array only (the list itself is never written).
+func rankCutChunk(enc []uint64, next []int64, v *vps, kept []int64, lo, hi int) {
+	for j := lo + 1; j < hi+1; j++ {
+		q := kept[j]
+		v.r[j] = q
+		v.h[j] = next[q]
+		enc[q] = uint64(q) << 32
+	}
+}
+
 // lockstepRankPhase1 is the lockstep variant of the single-gather
 // length loop: all active sublists advance one encoded word per step,
 // idle cursors parked on a tail re-add the zero addend, and completed
 // sublists are packed out on the schedule.
-func lockstepRankPhase1(enc []uint64, v *vps, p int, opt Options) {
+func lockstepRankPhase1(enc []uint64, v *vps, p int, opt Options, sc *Scratch) {
 	k := len(v.r)
 	steps, repeat := deltas(opt.Schedule, len(enc), k)
-	linksByWorker := make([]int64, p)
-	roundsByWorker := make([]int, p)
-	par.ForChunks(k, p, func(w, lo, hi int) {
-		active := make([]int32, 0, hi-lo)
-		for j := lo; j < hi; j++ {
-			v.sum[j] = 0
-			v.cur[j] = v.h[j]
-			active = append(active, int32(j))
-		}
-		round := 0
-		var links int64
-		for len(active) > 0 {
-			d := repeat
-			if round < len(steps) {
-				d = steps[round]
-			}
-			for s := 0; s < d; s++ {
-				for _, j := range active {
-					e := enc[v.cur[j]]
-					v.sum[j] += int64(e & 0xffffffff)
-					v.cur[j] = int64(e >> 32)
-				}
-				links += int64(len(active))
-			}
-			live := active[:0]
-			for _, j := range active {
-				cur := v.cur[j]
-				if int64(enc[cur]>>32) != cur {
-					live = append(live, j)
-				} else {
-					v.sum[j]++ // count the tail vertex on retirement
-				}
-			}
-			active = live
-			round++
-		}
-		linksByWorker[w] = links
-		roundsByWorker[w] = round
-	})
-	if st := opt.Stats; st != nil {
-		for _, lw := range linksByWorker {
-			st.LinksTraversed += lw
-		}
-		maxRounds := 0
-		for _, rw := range roundsByWorker {
-			if rw > maxRounds {
-				maxRounds = rw
-			}
-		}
-		st.PackRounds += maxRounds
+	linksByWorker := sc.linksBuf(p)
+	roundsByWorker := sc.roundsBuf(p)
+	sc.active = grow(sc.active, k)
+	activeAll := sc.active
+	if p == 1 {
+		linksByWorker[0], roundsByWorker[0] = lockstepRankP1Worker(enc, v, activeAll, steps, repeat, 0, k)
+	} else {
+		par.ForChunks(k, p, func(w, lo, hi int) {
+			linksByWorker[w], roundsByWorker[w] = lockstepRankP1Worker(enc, v, activeAll, steps, repeat, lo, hi)
+		})
 	}
+	recordLockstepStats(opt.Stats, linksByWorker, roundsByWorker)
+}
+
+func lockstepRankP1Worker(enc []uint64, v *vps, activeAll []int32, steps []int, repeat, lo, hi int) (int64, int) {
+	active := activeAll[lo:lo:hi]
+	for j := lo; j < hi; j++ {
+		v.sum[j] = 0
+		v.cur[j] = v.h[j]
+		active = append(active, int32(j))
+	}
+	round := 0
+	var links int64
+	for len(active) > 0 {
+		d := repeat
+		if round < len(steps) {
+			d = steps[round]
+		}
+		for s := 0; s < d; s++ {
+			for _, j := range active {
+				e := enc[v.cur[j]]
+				v.sum[j] += int64(e & 0xffffffff)
+				v.cur[j] = int64(e >> 32)
+			}
+			links += int64(len(active))
+		}
+		live := active[:0]
+		for _, j := range active {
+			cur := v.cur[j]
+			if int64(enc[cur]>>32) != cur {
+				live = append(live, j)
+			} else {
+				v.sum[j]++ // count the tail vertex on retirement
+			}
+		}
+		active = live
+		round++
+	}
+	return links, round
 }
 
 // lockstepRankPhase3 expands ranks in lockstep. The parked-cursor
 // rewrite is idempotent because the tail addend is zero: out[tail]
 // keeps receiving the same final rank.
-func lockstepRankPhase3(out []int64, enc []uint64, v *vps, p int, opt Options) {
+func lockstepRankPhase3(out []int64, enc []uint64, v *vps, p int, opt Options, sc *Scratch) {
 	k := len(v.r)
 	steps, repeat := deltas(opt.Schedule, len(enc), k)
-	linksByWorker := make([]int64, p)
-	roundsByWorker := make([]int, p)
-	par.ForChunks(k, p, func(w, lo, hi int) {
-		active := make([]int32, 0, hi-lo)
-		acc := make([]int64, hi-lo)
-		base := lo
-		for j := lo; j < hi; j++ {
-			v.cur[j] = v.h[j]
-			acc[j-base] = v.pfx[j]
-			active = append(active, int32(j))
+	linksByWorker := sc.linksBuf(p)
+	roundsByWorker := sc.roundsBuf(p)
+	sc.active = grow(sc.active, k)
+	sc.acc = grow(sc.acc, k)
+	activeAll, accAll := sc.active, sc.acc
+	if p == 1 {
+		linksByWorker[0], roundsByWorker[0] = lockstepRankP3Worker(out, enc, v, activeAll, accAll, steps, repeat, 0, k)
+	} else {
+		par.ForChunks(k, p, func(w, lo, hi int) {
+			linksByWorker[w], roundsByWorker[w] = lockstepRankP3Worker(out, enc, v, activeAll, accAll, steps, repeat, lo, hi)
+		})
+	}
+	recordLockstepStats(opt.Stats, linksByWorker, roundsByWorker)
+}
+
+func lockstepRankP3Worker(out []int64, enc []uint64, v *vps, activeAll []int32, accAll []int64, steps []int, repeat, lo, hi int) (int64, int) {
+	active := activeAll[lo:lo:hi]
+	acc := accAll[lo:hi]
+	base := lo
+	for j := lo; j < hi; j++ {
+		v.cur[j] = v.h[j]
+		acc[j-base] = v.pfx[j]
+		active = append(active, int32(j))
+	}
+	round := 0
+	var links int64
+	for len(active) > 0 {
+		d := repeat
+		if round < len(steps) {
+			d = steps[round]
 		}
-		round := 0
-		var links int64
-		for len(active) > 0 {
-			d := repeat
-			if round < len(steps) {
-				d = steps[round]
-			}
-			for s := 0; s < d; s++ {
-				for _, j := range active {
-					cur := v.cur[j]
-					a := acc[int(j)-base]
-					out[cur] = a
-					e := enc[cur]
-					acc[int(j)-base] = a + int64(e&0xffffffff)
-					v.cur[j] = int64(e >> 32)
-				}
-				links += int64(len(active))
-			}
-			live := active[:0]
+		for s := 0; s < d; s++ {
 			for _, j := range active {
 				cur := v.cur[j]
-				if int64(enc[cur]>>32) != cur {
-					live = append(live, j)
-				} else {
-					out[cur] = acc[int(j)-base]
-				}
+				a := acc[int(j)-base]
+				out[cur] = a
+				e := enc[cur]
+				acc[int(j)-base] = a + int64(e&0xffffffff)
+				v.cur[j] = int64(e >> 32)
 			}
-			active = live
-			round++
+			links += int64(len(active))
 		}
-		linksByWorker[w] = links
-		roundsByWorker[w] = round
-	})
-	if st := opt.Stats; st != nil {
-		for _, lw := range linksByWorker {
-			st.LinksTraversed += lw
-		}
-		maxRounds := 0
-		for _, rw := range roundsByWorker {
-			if rw > maxRounds {
-				maxRounds = rw
+		live := active[:0]
+		for _, j := range active {
+			cur := v.cur[j]
+			if int64(enc[cur]>>32) != cur {
+				live = append(live, j)
+			} else {
+				out[cur] = acc[int(j)-base]
 			}
 		}
-		st.PackRounds += maxRounds
+		active = live
+		round++
 	}
+	return links, round
 }

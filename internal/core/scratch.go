@@ -1,0 +1,180 @@
+package core
+
+import (
+	"sync"
+
+	"listrank/internal/list"
+	"listrank/internal/par"
+)
+
+// This file implements the reusable scratch arena behind the
+// zero-steady-state-allocation engine. The paper's whole argument (§1,
+// §3) is that constants, not asymptotics, decide whether parallel list
+// ranking beats the serial walk, and Table II counts every word of the
+// 5p+c working space. Allocating (and zeroing) that working space on
+// every call is a constant-factor tax the paper's accounting never
+// pays: a Cray program allocates its vectors once and streams problems
+// through them. Scratch restores that discipline on the goroutine
+// track: one arena owns every per-call buffer the algorithm needs, each
+// buffer grows geometrically and is reused verbatim, so a warm arena
+// services any number of calls — across varying list lengths,
+// algorithms and disciplines — without touching the heap.
+
+// Scratch is the reusable working-space arena for the sublist engine.
+// A Scratch may be reused across calls of any size and algorithm but
+// must not be used by two calls concurrently; use one per goroutine
+// (the package-level entry points keep a sync.Pool of them).
+type Scratch struct {
+	// v backs the virtual-processor table (the paper's 5p words,
+	// Table II). Slices are resized views of the same backing arrays.
+	v vps
+
+	// Splitter-selection buffers: drawn positions, per-worker winner
+	// staging and counts, and the kept table (vp index -> splitter).
+	pos     []int64
+	winners []int64
+	counts  []int
+	kept    []int64
+
+	// tails holds per-worker results of the parallel tail search.
+	tails []int64
+
+	// enc is the rank engine's encoded link+addend word array (§3).
+	enc []uint64
+
+	// ones is the generic rank fallback's all-ones value array. Its
+	// entire capacity is kept filled with 1: the engine only ever
+	// mutates it through setup, whose restore puts the 1s back.
+	ones []int64
+
+	// Lockstep traversal state: the active sublist sets and Phase 3
+	// accumulators are chunk-partitioned by worker inside one k-sized
+	// buffer each; links/rounds are per-worker stat counters.
+	active []int32
+	acc    []int64
+	links  []int64
+	rounds []int
+
+	// Phase 2 pointer-jumping buffers (values and links, double
+	// buffered), shared by the add and generic-operator solvers.
+	jval, jval2 []int64
+	jlnk, jlnk2 []int32
+
+	// Phase 2 recursion storage: succ widened to int64 links, plus a
+	// reusable list header so no list.List is allocated per call.
+	rlNext []int64
+	rl     list.List
+
+	// child is the arena for Phase 2 recursion, created on first use
+	// and reused for every later recursive call.
+	child *Scratch
+}
+
+// NewScratch returns an empty arena. Buffers are allocated lazily on
+// first use and grow geometrically, so the first call at a given size
+// pays the allocations and subsequent calls pay none.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// scratchPool backs the package-level entry points (Ranks, Scan,
+// ScanOp, …): callers that do not hold a Scratch of their own still
+// amortize working-space allocation across calls.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+func getScratch() *Scratch  { return scratchPool.Get().(*Scratch) }
+func putScratch(s *Scratch) { scratchPool.Put(s) }
+
+// grow returns b resized to n, reallocating with at least doubled
+// capacity when it does not fit. Contents are unspecified.
+func grow[T any](b []T, n int) []T {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	c := 2 * cap(b)
+	if c < n {
+		c = n
+	}
+	return make([]T, n, c)
+}
+
+// vps returns the virtual-processor table resized to k entries.
+// Contents are unspecified; setup fills every field it reads.
+func (sc *Scratch) vps(k int) *vps {
+	sc.v.r = grow(sc.v.r, k)
+	sc.v.h = grow(sc.v.h, k)
+	sc.v.saved = grow(sc.v.saved, k)
+	sc.v.sum = grow(sc.v.sum, k)
+	sc.v.cur = grow(sc.v.cur, k)
+	sc.v.succ = grow(sc.v.succ, k)
+	sc.v.pfx = grow(sc.v.pfx, k)
+	return &sc.v
+}
+
+// onesFor returns an all-ones value array of length n. The invariant
+// that the whole backing array holds 1s is maintained jointly with
+// setup/restore: the engine overwrites entries only through setup,
+// which restores them before returning (even on panic, via defer).
+func (sc *Scratch) onesFor(n int) []int64 {
+	if cap(sc.ones) < n {
+		c := 2 * cap(sc.ones)
+		if c < n {
+			c = n
+		}
+		b := make([]int64, c)
+		for i := range b {
+			b[i] = 1
+		}
+		sc.ones = b
+	}
+	return sc.ones[:n]
+}
+
+// linksBuf and roundsBuf return zeroed per-worker stat counters.
+func (sc *Scratch) linksBuf(p int) []int64 {
+	sc.links = grow(sc.links, p)
+	for i := range sc.links {
+		sc.links[i] = 0
+	}
+	return sc.links
+}
+
+func (sc *Scratch) roundsBuf(p int) []int {
+	sc.rounds = grow(sc.rounds, p)
+	for i := range sc.rounds {
+		sc.rounds[i] = 0
+	}
+	return sc.rounds
+}
+
+// reducedView materializes a list.List view of the reduced list for
+// Phase 2 recursion without per-call allocation: the int32 succ links
+// are widened into a reused buffer and v.sum is shared as the value
+// array (it is dead after Phase 2 and the recursive call's own
+// setup/restore pair leaves it unchanged).
+func (sc *Scratch) reducedView(v *vps, k, p int) *list.List {
+	sc.rlNext = grow(sc.rlNext, k)
+	rn := sc.rlNext
+	if p == 1 {
+		widenSucc(rn, v.succ, 0, k)
+	} else {
+		par.ForChunks(k, p, func(_, lo, hi int) {
+			widenSucc(rn, v.succ, lo, hi)
+		})
+	}
+	sc.rl = list.List{Next: rn, Value: v.sum[:k], Head: 0}
+	return &sc.rl
+}
+
+func widenSucc(dst []int64, succ []int32, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		dst[j] = int64(succ[j])
+	}
+}
+
+// childScratch returns the arena for one level of Phase 2 recursion,
+// creating it on first use.
+func (sc *Scratch) childScratch() *Scratch {
+	if sc.child == nil {
+		sc.child = NewScratch()
+	}
+	return sc.child
+}

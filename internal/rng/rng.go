@@ -44,12 +44,20 @@ type Rand struct {
 // New returns a generator seeded from seed via splitmix64, as the
 // xoshiro authors recommend. Any seed, including zero, is valid.
 func New(seed uint64) *Rand {
-	sm := NewSplitMix64(seed)
 	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed reinitializes r in place from seed, exactly as New does. It lets
+// callers reuse a generator — or keep one on the stack — without the
+// heap allocation New implies, which matters on allocation-free hot
+// paths that need a fresh deterministic stream per call.
+func (r *Rand) Seed(seed uint64) {
+	sm := SplitMix64{state: seed}
 	for i := range r.s {
 		r.s[i] = sm.Next()
 	}
-	return r
 }
 
 // Split derives a new, statistically independent generator from r.

@@ -29,6 +29,15 @@
 // ScanValues generalizes the scan to arbitrary associative operators
 // over any element type, as the paper's own definition allows.
 //
+// # The engine layer
+//
+// Rank and Scan allocate a result slice per call but draw all working
+// space from a pool of reusable engines. Callers with a steady stream
+// of problems should hold an Engine and use RankInto / ScanInto /
+// ScanOpInto (also available as package-level functions backed by the
+// pool): with caller-provided result storage and a warm engine, calls
+// are allocation-free. See DESIGN.md for the arena layout.
+//
 // # Downstream applications
 //
 // The tree package builds Euler-tour statistics, constant-time LCA,
@@ -53,7 +62,6 @@ import (
 	"listrank/internal/list"
 	"listrank/internal/randmate"
 	"listrank/internal/ruling"
-	"listrank/internal/serial"
 	"listrank/internal/wyllie"
 )
 
@@ -195,41 +203,43 @@ func Rank(l *List) []int64 { return RankWith(l, Options{}) }
 // values of all vertices strictly preceding v, 0 at the head.
 func Scan(l *List) []int64 { return ScanWith(l, Options{}) }
 
-// RankWith is Rank with explicit options.
+// RankWith is Rank with explicit options. The sublist and serial
+// algorithms run through a pooled Engine, so repeated calls reuse
+// working space and only the result slice is allocated; the reference
+// algorithms keep their own storage behavior.
 func RankWith(l *List, opt Options) []int64 {
-	il := l.view()
 	switch opt.Algorithm {
-	case Serial:
-		return serial.Ranks(il)
 	case Wyllie:
-		return wyllie.RanksParallel(il, opt.procs())
+		return wyllie.RanksParallel(l.view(), opt.procs())
 	case MillerReif:
-		return randmate.MillerReifRanks(il, randmate.Options{Seed: opt.Seed})
+		return randmate.MillerReifRanks(l.view(), randmate.Options{Seed: opt.Seed})
 	case AndersonMiller:
-		return randmate.AndersonMillerRanksParallel(il, randmate.Options{Seed: opt.Seed}, opt.procs())
+		return randmate.AndersonMillerRanksParallel(l.view(), randmate.Options{Seed: opt.Seed}, opt.procs())
 	case RulingSet:
-		return ruling.Ranks(il, ruling.Options{Procs: opt.procs()})
-	default:
-		return core.Ranks(il, coreOptions(opt))
+		return ruling.Ranks(l.view(), ruling.Options{Procs: opt.procs()})
+	default: // Sublist, Serial
+		out := make([]int64, l.Len())
+		RankInto(out, l, opt)
+		return out
 	}
 }
 
-// ScanWith is Scan with explicit options.
+// ScanWith is Scan with explicit options; storage behavior as in
+// RankWith.
 func ScanWith(l *List, opt Options) []int64 {
-	il := l.view()
 	switch opt.Algorithm {
-	case Serial:
-		return serial.Scan(il)
 	case Wyllie:
-		return wyllie.ScanParallel(il, opt.procs())
+		return wyllie.ScanParallel(l.view(), opt.procs())
 	case MillerReif:
-		return randmate.MillerReifScan(il, randmate.Options{Seed: opt.Seed})
+		return randmate.MillerReifScan(l.view(), randmate.Options{Seed: opt.Seed})
 	case AndersonMiller:
-		return randmate.AndersonMillerScanParallel(il, randmate.Options{Seed: opt.Seed}, opt.procs())
+		return randmate.AndersonMillerScanParallel(l.view(), randmate.Options{Seed: opt.Seed}, opt.procs())
 	case RulingSet:
-		return ruling.Scan(il, ruling.Options{Procs: opt.procs()})
-	default:
-		return core.Scan(il, coreOptions(opt))
+		return ruling.Scan(l.view(), ruling.Options{Procs: opt.procs()})
+	default: // Sublist, Serial
+		out := make([]int64, l.Len())
+		ScanInto(out, l, opt)
+		return out
 	}
 }
 
@@ -237,16 +247,16 @@ func ScanWith(l *List, opt Options) []int64 {
 // associative operator with the given identity, combining strictly
 // preceding values in list order (safe for non-commutative
 // operators). Only the Sublist, Serial and Wyllie algorithms support
-// general operators; others fall back to Sublist.
+// general operators; others fall back to Sublist. The sublist and
+// serial paths run through a pooled Engine like RankWith.
 func ScanOpWith(l *List, op func(a, b int64) int64, identity int64, opt Options) []int64 {
-	il := l.view()
 	switch opt.Algorithm {
-	case Serial:
-		return serial.ScanOp(il, op, identity)
 	case Wyllie:
-		return wyllie.ScanOpParallel(il, op, identity, opt.procs())
+		return wyllie.ScanOpParallel(l.view(), op, identity, opt.procs())
 	default:
-		return core.ScanOp(il, op, identity, coreOptions(opt))
+		out := make([]int64, l.Len())
+		ScanOpInto(out, l, op, identity, opt)
+		return out
 	}
 }
 
