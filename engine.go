@@ -34,6 +34,13 @@ import (
 // additionally pays only the per-call goroutine spawns, and the
 // reference algorithms (Wyllie, MillerReif, AndersonMiller, RulingSet)
 // keep their own allocation behavior and are supported for parity.
+//
+// Engine is the middle layer of the three-layer arena architecture
+// (internal/arena → core.Scratch wrapped by this type → the
+// application engines): tree.Engine and graph.Engine each embed one of
+// these instead of drawing from the global pool, so the Euler-tour and
+// connectivity pipelines reuse a single arena stack end to end. See
+// DESIGN.md, "The three-layer arena architecture".
 type Engine struct {
 	sc *core.Scratch
 	// il is the reused internal list header: building it in place

@@ -78,3 +78,34 @@ func BenchmarkBiconnectivity(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkGraphEngineReuse is the arena architecture's benchmark
+// contract at the graph layer: a warm Engine must label a stream of
+// graphs with zero steady-state allocations at procs=1 (CI's
+// bench-smoke leg runs this; the allocs/op column is the point).
+func BenchmarkGraphEngineReuse(b *testing.B) {
+	g := RandomGNM(1<<17, 1<<18, 21)
+	want := componentsDFS(g)
+	en := NewEngine()
+	var c Components
+	for _, a := range []CCAlgorithm{CCHookShortcut, CCRandomMate, CCUnionFind} {
+		for _, procs := range []int{1, 4} {
+			if (a == CCUnionFind) && procs > 1 {
+				continue // serial algorithm; one leg is enough
+			}
+			b.Run(fmt.Sprintf("%s-p%d", a, procs), func(b *testing.B) {
+				opt := CCOptions{Algorithm: a, Procs: procs, Seed: 5}
+				en.ComponentsInto(&c, g, opt) // warm the arena
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					en.ComponentsInto(&c, g, opt)
+					if c.Count != want.Count {
+						b.Fatal("wrong count")
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(g.NumEdges()), "ns/edge")
+			})
+		}
+	}
+}

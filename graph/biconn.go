@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"listrank"
+	"listrank/internal/arena"
 	"listrank/internal/par"
 	"listrank/tree"
 )
@@ -79,46 +80,51 @@ func (o BiconnOptions) procs() int {
 
 // BiconnectedComponents computes the blocks, articulation points and
 // bridges of g (which may be disconnected; components are independent).
+// Working space comes from a pooled Engine; hold an explicit Engine
+// and call BiconnectedComponentsInto to control reuse directly.
 func BiconnectedComponents(g *Graph, opt BiconnOptions) (*Biconnectivity, error) {
-	if opt.Algorithm == BiconnSerialDFS {
-		return biconnSerial(g), nil
+	en := getEngine()
+	out := &Biconnectivity{}
+	err := en.BiconnectedComponentsInto(out, g, opt)
+	putEngine(en)
+	if err != nil {
+		return nil, err
 	}
-	return biconnTarjanVishkin(g, opt)
+	return out, nil
 }
 
-func biconnTarjanVishkin(g *Graph, opt BiconnOptions) (*Biconnectivity, error) {
+func (en *Engine) biconnTarjanVishkin(out *Biconnectivity, g *Graph, opt BiconnOptions) error {
 	n := g.n
 	p := opt.procs()
-	out := &Biconnectivity{
-		EdgeBlock:    make([]int32, len(g.edges)),
-		Articulation: make([]bool, n),
-		Bridge:       make([]bool, len(g.edges)),
-	}
+	out.EdgeBlock = arena.Grow(out.EdgeBlock, len(g.edges))
+	out.Articulation = arena.Zeroed(out.Articulation, n)
+	out.Bridge = arena.Zeroed(out.Bridge, len(g.edges))
+	out.NumBlocks = 0
 	if n == 0 {
-		return out, nil
+		return nil
 	}
 
 	// 1. Spanning forest by parallel random-mate contraction.
-	forest := SpanningForest(g, CCOptions{Algorithm: CCRandomMate, Procs: opt.Procs, Seed: opt.Seed})
-	isTree := make([]bool, len(g.edges))
+	en.forestIDs = en.SpanningForestInto(en.forestIDs, g, CCOptions{Algorithm: CCRandomMate, Procs: opt.Procs, Seed: opt.Seed})
+	forest := en.forestIDs
+	en.isTree = arena.Zeroed(en.isTree, len(g.edges))
+	isTree := en.isTree
 	for _, id := range forest {
 		isTree[id] = true
 	}
 
 	// 2. Root every component. A connected graph is rooted by ranking
-	// its Euler circuit (tree.RootAt — the paper's primitive at work);
-	// a forest falls back to breadth-first search per component, which
-	// also pins down each component's root.
-	parent, err := rootForest(g, forest, n, p)
+	// its Euler circuit (the embedded tree.Engine at work); a forest
+	// falls back to breadth-first search per component, which also
+	// pins down each component's root.
+	parent, err := en.rootForest(g, forest, n, p)
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	// treeEdgeID[v] = index of the tree edge (parent[v], v).
-	treeEdgeID := make([]int32, n)
-	for v := range treeEdgeID {
-		treeEdgeID[v] = -1
-	}
+	en.treeEdgeID = arena.Filled(en.treeEdgeID, n, -1)
+	treeEdgeID := en.treeEdgeID
 	for _, id := range forest {
 		u, w := g.edges[id][0], g.edges[id][1]
 		switch {
@@ -127,7 +133,7 @@ func biconnTarjanVishkin(g *Graph, opt BiconnOptions) (*Biconnectivity, error) {
 		case parent[u] == int(w):
 			treeEdgeID[u] = int32(id)
 		default:
-			return nil, fmt.Errorf("graph: internal: forest edge %d (%d-%d) matches no parent link", id, u, w)
+			return fmt.Errorf("graph: internal: forest edge %d (%d-%d) matches no parent link", id, u, w)
 		}
 	}
 
@@ -137,7 +143,8 @@ func biconnTarjanVishkin(g *Graph, opt BiconnOptions) (*Biconnectivity, error) {
 	// keep contiguous preorder intervals; the virtual vertex and its
 	// virtual edges never enter the auxiliary graph.
 	sr := n
-	parentFull := make([]int, n+1)
+	en.parentFull = arena.Grow(en.parentFull, n+1)
+	parentFull := en.parentFull
 	copy(parentFull, parent)
 	for v := 0; v < n; v++ {
 		if parent[v] == -1 {
@@ -148,12 +155,13 @@ func biconnTarjanVishkin(g *Graph, opt BiconnOptions) (*Biconnectivity, error) {
 	rankOpt := listrank.Options{Procs: opt.Procs, Seed: opt.Seed}
 	t, err := tree.New(parentFull, rankOpt)
 	if err != nil {
-		return nil, fmt.Errorf("graph: internal: %w", err)
+		return fmt.Errorf("graph: internal: %w", err)
 	}
 	pre64 := t.Preorder()
 	size64 := t.SubtreeSizes()
-	pre := make([]int32, n+1)
-	size := make([]int32, n+1)
+	en.pre = arena.Grow(en.pre, n+1)
+	en.sz = arena.Grow(en.sz, n+1)
+	pre, size := en.pre, en.sz
 	par.ForChunks(n+1, par.Procs(p, n+1), func(w, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			pre[v] = int32(pre64[v])
@@ -164,8 +172,9 @@ func biconnTarjanVishkin(g *Graph, opt BiconnOptions) (*Biconnectivity, error) {
 	// 4. Per-vertex local extremes over incident nontree edges, laid
 	// out in preorder so a subtree becomes the interval
 	// [pre(v), pre(v)+size(v)).
-	loA := make([]int32, n+1)
-	hiA := make([]int32, n+1)
+	en.loA = arena.Grow(en.loA, n+1)
+	en.hiA = arena.Grow(en.hiA, n+1)
+	loA, hiA := en.loA, en.hiA
 	loA[pre[sr]] = pre[sr]
 	hiA[pre[sr]] = pre[sr]
 	par.ForChunks(n, par.Procs(p, n), func(w, lo, hi int) {
@@ -243,18 +252,21 @@ func biconnTarjanVishkin(g *Graph, opt BiconnOptions) (*Biconnectivity, error) {
 	}
 	aux, err := New(n, auxEdges)
 	if err != nil {
-		return nil, fmt.Errorf("graph: internal: %w", err)
+		return fmt.Errorf("graph: internal: %w", err)
 	}
 
 	// 6. Blocks = connected components of the auxiliary graph, found
-	// by hook-and-shortcut (pointer jumping again).
-	cc := ConnectedComponents(aux, CCOptions{Algorithm: CCHookShortcut, Procs: opt.Procs})
+	// by hook-and-shortcut (pointer jumping again), into the engine's
+	// reused labeling.
+	en.ComponentsInto(&en.auxCC, aux, CCOptions{Algorithm: CCHookShortcut, Procs: opt.Procs})
+	cc := &en.auxCC
 
 	// 7. Per-edge block representative: a tree edge uses its child's
 	// label; a nontree edge uses its deeper endpoint's (which is never
 	// a component root, and rule (i) guarantees both endpoints agree
 	// when they are unrelated).
-	rep := make([]int32, len(g.edges))
+	en.rep = arena.Grow(en.rep, len(g.edges))
+	rep := en.rep
 	par.ForChunks(len(g.edges), par.Procs(p, len(g.edges)), func(wk, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := g.edges[i]
@@ -284,34 +296,45 @@ func biconnTarjanVishkin(g *Graph, opt BiconnOptions) (*Biconnectivity, error) {
 		}
 	})
 
-	finishBiconnectivity(g, rep, out)
-	return out, nil
+	en.finishBiconnectivity(g, rep, out)
+	return nil
 }
 
 // rootForest orients the spanning forest: parent[v] = v's parent, -1
 // at each component root. Connected graphs go through the
-// Euler-circuit list ranking of tree.RootAt; true forests use
-// breadth-first search per component.
-func rootForest(g *Graph, forest []int, n, p int) ([]int, error) {
+// Euler-circuit list ranking of the embedded tree.Engine; true forests
+// use breadth-first search per component. The returned slice is
+// engine-owned.
+func (en *Engine) rootForest(g *Graph, forest []int, n, p int) ([]int, error) {
+	en.parentV = arena.Grow(en.parentV, n)
+	parent := en.parentV
 	if len(forest) == n-1 && n > 0 {
-		pairs := make([][2]int, len(forest))
+		en.pairs = arena.Grow(en.pairs, len(forest))
 		for i, id := range forest {
-			pairs[i] = [2]int{int(g.edges[id][0]), int(g.edges[id][1])}
+			en.pairs[i] = [2]int{int(g.edges[id][0]), int(g.edges[id][1])}
 		}
-		return tree.RootAt(n, pairs, 0, listrank.Options{Procs: p})
+		if err := en.treeEngine().RootAtInto(parent, n, en.pairs, 0, listrank.Options{Procs: p}); err != nil {
+			return nil, err
+		}
+		return parent, nil
 	}
 	// CSR over forest edges.
-	deg := make([]int32, n+1)
+	en.deg = arena.Zeroed(en.deg, n+1)
+	deg := en.deg
 	for _, id := range forest {
 		deg[g.edges[id][0]]++
 		deg[g.edges[id][1]]++
 	}
-	start := make([]int32, n+1)
+	en.bstart = arena.Grow(en.bstart, n+1)
+	start := en.bstart
+	start[0] = 0
 	for v := 0; v < n; v++ {
 		start[v+1] = start[v] + deg[v]
 	}
-	adj := make([]int32, start[n])
-	fill := make([]int32, n)
+	en.badj = arena.Grow(en.badj, int(start[n]))
+	adj := en.badj
+	en.bfill = arena.Grow(en.bfill, n)
+	fill := en.bfill
 	copy(fill, start[:n])
 	for _, id := range forest {
 		u, w := g.edges[id][0], g.edges[id][1]
@@ -320,20 +343,18 @@ func rootForest(g *Graph, forest []int, n, p int) ([]int, error) {
 		adj[fill[w]] = u
 		fill[w]++
 	}
-	parent := make([]int, n)
 	for v := range parent {
 		parent[v] = -2 // unvisited
 	}
-	var queue []int32
+	queue := en.stack[:0]
 	for s := 0; s < n; s++ {
 		if parent[s] != -2 {
 			continue
 		}
 		parent[s] = -1
 		queue = append(queue[:0], int32(s))
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
 			for i := start[v]; i < start[v+1]; i++ {
 				w := adj[i]
 				if parent[w] == -2 {
@@ -343,19 +364,19 @@ func rootForest(g *Graph, forest []int, n, p int) ([]int, error) {
 			}
 		}
 	}
+	en.stack = queue[:0]
 	return parent, nil
 }
 
 // finishBiconnectivity canonicalizes per-edge block representatives
 // (rep[i] in [0,n) or -1) into minimum-edge-index labels and derives
-// block count, articulation points and bridges.
-func finishBiconnectivity(g *Graph, rep []int32, out *Biconnectivity) {
+// block count, articulation points and bridges. out's arrays must
+// already be sized (Articulation and Bridge zeroed).
+func (en *Engine) finishBiconnectivity(g *Graph, rep []int32, out *Biconnectivity) {
 	n := g.n
-	minEdge := make([]int32, n)
-	blockSize := make([]int32, n)
-	for v := range minEdge {
-		minEdge[v] = -1
-	}
+	en.minEdge = arena.Filled(en.minEdge, n, -1)
+	en.blockSize = arena.Zeroed(en.blockSize, n)
+	minEdge, blockSize := en.minEdge, en.blockSize
 	numBlocks := 0
 	for i, r := range rep {
 		if r < 0 {

@@ -1,39 +1,48 @@
 package graph
 
+import "listrank/internal/arena"
+
+// biFrame is one DFS stack frame of the serial biconnectivity walk.
+type biFrame struct {
+	v, pv   int32 // vertex and its DFS parent (-1 at a root)
+	pe      int32 // tree edge id into v (-1 at a root)
+	pos     int32 // next adjacency slot to examine
+	skipped bool  // one CSR instance of pe consumed (parallel twins are back edges)
+}
+
+// biconnSerial is the test-baseline entry point; it borrows a pooled
+// engine for the working set.
+func biconnSerial(g *Graph) *Biconnectivity {
+	en := getEngine()
+	out := &Biconnectivity{}
+	en.biconnSerial(out, g)
+	putEngine(en)
+	return out
+}
+
 // biconnSerial is the Hopcroft-Tarjan lowpoint algorithm: one
 // depth-first search with an explicit edge stack, popped down to the
 // entering tree edge whenever a child's lowpoint cannot climb above
 // its parent. Iterative (an explicit frame stack) so path graphs of
-// millions of vertices do not exhaust goroutine stacks.
-func biconnSerial(g *Graph) *Biconnectivity {
+// millions of vertices do not exhaust goroutine stacks. The discovery,
+// lowpoint, frame and edge stacks all live in the engine.
+func (en *Engine) biconnSerial(out *Biconnectivity, g *Graph) {
 	n := g.n
-	out := &Biconnectivity{
-		EdgeBlock:    make([]int32, len(g.edges)),
-		Articulation: make([]bool, n),
-		Bridge:       make([]bool, len(g.edges)),
-	}
-	rep := make([]int32, len(g.edges))
-	for i := range rep {
-		rep[i] = -1
-	}
+	out.EdgeBlock = arena.Grow(out.EdgeBlock, len(g.edges))
+	out.Articulation = arena.Zeroed(out.Articulation, n)
+	out.Bridge = arena.Zeroed(out.Bridge, len(g.edges))
+	en.rep = arena.Filled(en.rep, len(g.edges), -1)
+	rep := en.rep
 	if n == 0 {
-		finishBiconnectivity(g, rep, out)
-		return out
+		en.finishBiconnectivity(g, rep, out)
+		return
 	}
 
-	disc := make([]int32, n)
-	low := make([]int32, n)
-	for v := range disc {
-		disc[v] = -1
-	}
-	type frame struct {
-		v, pv   int32 // vertex and its DFS parent (-1 at a root)
-		pe      int32 // tree edge id into v (-1 at a root)
-		pos     int32 // next adjacency slot to examine
-		skipped bool  // one CSR instance of pe consumed (parallel twins are back edges)
-	}
-	var frames []frame
-	var estack []int32 // open edge ids
+	en.disc = arena.Filled(en.disc, n, -1)
+	en.low = arena.Grow(en.low, n)
+	disc, low := en.disc, en.low
+	frames := en.frames[:0]
+	estack := en.stack[:0] // open edge ids
 	var timer int32
 	var blockCounter int32
 
@@ -44,7 +53,7 @@ func biconnSerial(g *Graph) *Biconnectivity {
 		disc[s] = timer
 		low[s] = timer
 		timer++
-		frames = append(frames[:0], frame{v: int32(s), pv: -1, pe: -1, pos: g.adjStart[s]})
+		frames = append(frames[:0], biFrame{v: int32(s), pv: -1, pe: -1, pos: g.adjStart[s]})
 		for len(frames) > 0 {
 			f := &frames[len(frames)-1]
 			if f.pos < g.adjStart[f.v+1] {
@@ -61,7 +70,7 @@ func biconnSerial(g *Graph) *Biconnectivity {
 					low[w] = timer
 					timer++
 					estack = append(estack, e)
-					frames = append(frames, frame{v: w, pv: f.v, pe: e, pos: g.adjStart[w]})
+					frames = append(frames, biFrame{v: w, pv: f.v, pe: e, pos: g.adjStart[w]})
 				} else if disc[w] < disc[f.v] { // back edge (each edge opens once)
 					estack = append(estack, e)
 					if disc[w] < low[f.v] {
@@ -93,6 +102,7 @@ func biconnSerial(g *Graph) *Biconnectivity {
 			}
 		}
 	}
-	finishBiconnectivity(g, rep, out)
-	return out
+	en.frames = frames[:0]
+	en.stack = estack[:0]
+	en.finishBiconnectivity(g, rep, out)
 }

@@ -4,8 +4,8 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"listrank/internal/arena"
 	"listrank/internal/par"
-	"listrank/internal/rng"
 )
 
 // Components holds a connected-components labeling: Label[v] is the
@@ -77,29 +77,33 @@ func (o CCOptions) procs() int {
 }
 
 // ConnectedComponents labels the components of g with the selected
-// algorithm. All algorithms produce the identical canonical labeling.
+// algorithm, borrowing a pooled Engine for the working space; hold an
+// explicit Engine and call ComponentsInto to control reuse directly.
+// All algorithms produce the identical canonical labeling.
 func ConnectedComponents(g *Graph, opt CCOptions) *Components {
-	switch opt.Algorithm {
-	case CCSerialDFS:
-		return componentsDFS(g)
-	case CCUnionFind:
-		return componentsUnionFind(g)
-	case CCRandomMate:
-		c, _ := componentsRandomMate(g, opt.procs(), opt.Seed, false)
-		return c
-	default:
-		return componentsHookShortcut(g, opt.procs())
-	}
+	en := getEngine()
+	c := &Components{}
+	en.ComponentsInto(c, g, opt)
+	putEngine(en)
+	return c
 }
 
 // --- Serial baselines ------------------------------------------------
 
+// componentsDFS is the test baseline entry point; it borrows a pooled
+// engine for the stack.
 func componentsDFS(g *Graph) *Components {
-	label := make([]int32, g.n)
-	for v := range label {
-		label[v] = -1
-	}
-	var stack []int32
+	en := getEngine()
+	c := &Components{}
+	en.componentsDFS(c, g)
+	putEngine(en)
+	return c
+}
+
+func (en *Engine) componentsDFS(c *Components, g *Graph) {
+	c.Label = arena.Filled(c.Label, g.n, -1)
+	label := c.Label
+	stack := en.stack[:0]
 	count := 0
 	for s := 0; s < g.n; s++ {
 		if label[s] != -1 {
@@ -121,26 +125,27 @@ func componentsDFS(g *Graph) *Components {
 			}
 		}
 	}
-	return &Components{Label: label, Count: count}
+	en.stack = stack[:0]
+	c.Count = count
 }
 
-func componentsUnionFind(g *Graph) *Components {
-	parent := make([]int32, g.n)
-	size := make([]int32, g.n)
-	for v := range parent {
-		parent[v] = int32(v)
-		size[v] = 1
+// ufFind is union-find lookup with path halving.
+func ufFind(parent []int32, v int32) int32 {
+	for parent[v] != v {
+		parent[v] = parent[parent[v]] // path halving
+		v = parent[v]
 	}
-	find := func(v int32) int32 {
-		for parent[v] != v {
-			parent[v] = parent[parent[v]] // path halving
-			v = parent[v]
-		}
-		return v
-	}
-	count := g.n
+	return v
+}
+
+func (en *Engine) componentsUnionFind(c *Components, g *Graph) {
+	n := g.n
+	en.parent = arena.Iota32(en.parent, n)
+	en.size = arena.Filled(en.size, n, 1)
+	parent, size := en.parent, en.size
+	count := n
 	for _, e := range g.edges {
-		ru, rv := find(e[0]), find(e[1])
+		ru, rv := ufFind(parent, e[0]), ufFind(parent, e[1])
 		if ru == rv {
 			continue
 		}
@@ -153,21 +158,20 @@ func componentsUnionFind(g *Graph) *Components {
 	}
 	// Canonicalize: label every vertex with the minimum vertex of its
 	// root's class.
-	minOf := make([]int32, g.n)
-	for v := range minOf {
-		minOf[v] = int32(g.n)
-	}
-	for v := 0; v < g.n; v++ {
-		r := find(int32(v))
+	en.minOf = arena.Filled(en.minOf, n, int32(n))
+	minOf := en.minOf
+	for v := 0; v < n; v++ {
+		r := ufFind(parent, int32(v))
 		if int32(v) < minOf[r] {
 			minOf[r] = int32(v)
 		}
 	}
-	label := make([]int32, g.n)
-	for v := 0; v < g.n; v++ {
-		label[v] = minOf[find(int32(v))]
+	c.Label = arena.Grow(c.Label, n)
+	label := c.Label
+	for v := 0; v < n; v++ {
+		label[v] = minOf[ufFind(parent, int32(v))]
 	}
-	return &Components{Label: label, Count: count}
+	c.Count = count
 }
 
 // --- Parallel hook-and-shortcut ---------------------------------------
@@ -187,32 +191,27 @@ func componentsUnionFind(g *Graph) *Components {
 // shared-memory "SV-style" family (Shiloach-Vishkin 1982 and its
 // modern descendants), the algorithm every implementation study the
 // paper cites builds some variant of.
+//
+// The label forest is computed directly in c.Label; the only other
+// working state is the two p-sized per-worker flag arrays. The chunk
+// bodies are named functions and the closures live in the *Parallel
+// helpers, so the p == 1 path stays off the heap (closure literals
+// whose captures escape heap-allocate even on untaken branches).
 
-func componentsHookShortcut(g *Graph, p int) *Components {
+func (en *Engine) componentsHookShortcut(c *Components, g *Graph, p int) {
 	n := g.n
-	f := make([]int32, n)
-	for v := range f {
-		f[v] = int32(v)
-	}
+	c.Label = arena.Iota32(c.Label, n)
+	f := c.Label
 	if n == 0 {
-		return &Components{Label: f, Count: 0}
+		c.Count = 0
+		return
 	}
 	p = par.Procs(p, n)
 	m := len(g.edges)
+	en.changed = arena.Grow(en.changed, p)
+	en.flatW = arena.Grow(en.flatW, p)
+	changed, flatW := en.changed, en.flatW
 
-	atomicMin := func(addr *int32, val int32) bool {
-		for {
-			cur := atomic.LoadInt32(addr)
-			if val >= cur {
-				return false
-			}
-			if atomic.CompareAndSwapInt32(addr, cur, val) {
-				return true
-			}
-		}
-	}
-
-	changed := make([]bool, p)
 	for {
 		// Hook: push the smaller endpoint label onto the root of the
 		// larger. Writing at the root (f[fu] rather than fu) is what
@@ -221,40 +220,20 @@ func componentsHookShortcut(g *Graph, p int) *Components {
 			changed[w] = false
 		}
 		if m > 0 {
-			par.ForChunks(m, p, func(w, lo, hi int) {
-				hooked := false
-				for i := lo; i < hi; i++ {
-					e := g.edges[i]
-					fu := atomic.LoadInt32(&f[e[0]])
-					fv := atomic.LoadInt32(&f[e[1]])
-					if fu == fv {
-						continue
-					}
-					if fu < fv {
-						hooked = atomicMin(&f[fv], fu) || hooked
-					} else {
-						hooked = atomicMin(&f[fu], fv) || hooked
-					}
-				}
-				changed[w] = hooked
-			})
+			if p == 1 {
+				changed[0] = hookChunk(g, f, 0, m)
+			} else {
+				en.hookParallel(g, f, m, p)
+			}
 		}
 		// Shortcut: pointer jumping until flat.
 		for {
+			if p == 1 {
+				flatW[0] = shortcutChunk(f, 0, n)
+			} else {
+				en.shortcutParallel(f, n, p)
+			}
 			flat := true
-			flatW := make([]bool, p)
-			par.ForChunks(n, p, func(w, lo, hi int) {
-				ok := true
-				for v := lo; v < hi; v++ {
-					fv := atomic.LoadInt32(&f[v])
-					ffv := atomic.LoadInt32(&f[fv])
-					if ffv != fv {
-						atomic.StoreInt32(&f[v], ffv)
-						ok = false
-					}
-				}
-				flatW[w] = ok
-			})
 			for _, ok := range flatW {
 				flat = flat && ok
 			}
@@ -263,8 +242,8 @@ func componentsHookShortcut(g *Graph, p int) *Components {
 			}
 		}
 		any := false
-		for _, c := range changed {
-			any = any || c
+		for _, ch := range changed {
+			any = any || ch
 		}
 		if !any {
 			break
@@ -277,7 +256,67 @@ func componentsHookShortcut(g *Graph, p int) *Components {
 			count++
 		}
 	}
-	return &Components{Label: f, Count: count}
+	c.Count = count
+}
+
+func atomicMin(addr *int32, val int32) bool {
+	for {
+		cur := atomic.LoadInt32(addr)
+		if val >= cur {
+			return false
+		}
+		if atomic.CompareAndSwapInt32(addr, cur, val) {
+			return true
+		}
+	}
+}
+
+// hookChunk hooks edges [lo, hi) and reports whether any label moved.
+func hookChunk(g *Graph, f []int32, lo, hi int) bool {
+	hooked := false
+	for i := lo; i < hi; i++ {
+		e := g.edges[i]
+		fu := atomic.LoadInt32(&f[e[0]])
+		fv := atomic.LoadInt32(&f[e[1]])
+		if fu == fv {
+			continue
+		}
+		if fu < fv {
+			hooked = atomicMin(&f[fv], fu) || hooked
+		} else {
+			hooked = atomicMin(&f[fu], fv) || hooked
+		}
+	}
+	return hooked
+}
+
+// shortcutChunk jumps pointers for vertices [lo, hi) and reports
+// whether its slice of the forest was already flat.
+func shortcutChunk(f []int32, lo, hi int) bool {
+	ok := true
+	for v := lo; v < hi; v++ {
+		fv := atomic.LoadInt32(&f[v])
+		ffv := atomic.LoadInt32(&f[fv])
+		if ffv != fv {
+			atomic.StoreInt32(&f[v], ffv)
+			ok = false
+		}
+	}
+	return ok
+}
+
+func (en *Engine) hookParallel(g *Graph, f []int32, m, p int) {
+	changed := en.changed
+	par.ForChunks(m, p, func(w, lo, hi int) {
+		changed[w] = hookChunk(g, f, lo, hi)
+	})
+}
+
+func (en *Engine) shortcutParallel(f []int32, n, p int) {
+	flatW := en.flatW
+	par.ForChunks(n, p, func(w, lo, hi int) {
+		flatW[w] = shortcutChunk(f, lo, hi)
+	})
 }
 
 // --- Parallel random-mate contraction ----------------------------------
@@ -295,15 +334,24 @@ func componentsHookShortcut(g *Graph, p int) *Components {
 // The hooks form a spanning forest: a female hooks at most once per
 // round, always across two currently distinct components.
 
-func componentsRandomMate(g *Graph, p int, seed uint64, wantForest bool) (*Components, []int32) {
+// liveEdge is a random-mate worklist entry: the current contracted
+// endpoints and the original edge id.
+type liveEdge struct {
+	u, v int32
+	id   int32
+}
+
+// componentsRandomMate labels g into c. When wantForest is set it also
+// returns the hook-edge ids (engine-owned storage, valid until the
+// next random-mate call).
+func (en *Engine) componentsRandomMate(c *Components, g *Graph, p int, seed uint64, wantForest bool) []int32 {
 	n := g.n
-	parent := make([]int32, n)
-	for v := range parent {
-		parent[v] = int32(v)
-	}
-	var hookEdge []int32
+	en.parent = arena.Iota32(en.parent, n)
+	parent := en.parent
+	c.Label = arena.Grow(c.Label, n)
 	if n == 0 {
-		return &Components{Label: parent, Count: 0}, hookEdge
+		c.Count = 0
+		return nil
 	}
 	p = par.Procs(p, n)
 
@@ -311,59 +359,40 @@ func componentsRandomMate(g *Graph, p int, seed uint64, wantForest bool) (*Compo
 	// (written under the winning CAS only), drained serially after
 	// each round.
 	var hookedBy []int32
+	en.forest = en.forest[:0]
 	if wantForest {
-		hookEdge = make([]int32, 0, n)
-		hookedBy = make([]int32, n)
-		for i := range hookedBy {
-			hookedBy[i] = -1
-		}
+		en.hookedBy = arena.Filled(en.hookedBy, n, -1)
+		hookedBy = en.hookedBy
 	}
 
-	// Live edge worklist: (current contracted endpoints, original id).
-	type liveEdge struct {
-		u, v int32
-		id   int32
-	}
-	live := make([]liveEdge, 0, len(g.edges))
+	// Live edge worklist, double-buffered across rounds.
+	live := en.liveA[:0]
 	for i, e := range g.edges {
 		if e[0] != e[1] {
 			live = append(live, liveEdge{e[0], e[1], int32(i)})
 		}
 	}
-	next := make([]liveEdge, 0, len(live))
-	coin := make([]uint64, (n+63)/64) // bit v set: male
-	r := rng.New(seed)
-
-	male := func(v int32) bool { return coin[v>>6]>>(uint(v)&63)&1 == 1 }
+	next := en.liveB[:0]
+	en.coin = arena.Grow(en.coin, (n+63)/64) // bit v set: male
+	coin := en.coin
+	en.rnd.Seed(seed)
 
 	for len(live) > 0 {
 		for i := range coin {
-			coin[i] = r.Uint64()
+			coin[i] = en.rnd.Uint64()
 		}
 		// Hook females to adjacent males. Several edges may race for
 		// one female; the CAS from the self-loop state picks a single
 		// winner per round.
-		par.ForChunks(len(live), p, func(w, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				e := live[i]
-				var f, m int32 // female, male
-				switch {
-				case male(e.u) && !male(e.v):
-					f, m = e.v, e.u
-				case male(e.v) && !male(e.u):
-					f, m = e.u, e.v
-				default:
-					continue
-				}
-				if atomic.CompareAndSwapInt32(&parent[f], f, m) && wantForest {
-					hookedBy[f] = e.id // winning goroutine only
-				}
-			}
-		})
+		if p == 1 {
+			rmHookChunk(live, coin, parent, hookedBy, 0, len(live))
+		} else {
+			rmHookParallel(live, coin, parent, hookedBy, p)
+		}
 		if wantForest {
 			for v := range hookedBy {
 				if hookedBy[v] >= 0 {
-					hookEdge = append(hookEdge, hookedBy[v])
+					en.forest = append(en.forest, hookedBy[v])
 					hookedBy[v] = -1
 				}
 			}
@@ -381,27 +410,16 @@ func componentsRandomMate(g *Graph, p int, seed uint64, wantForest bool) (*Compo
 		}
 		live, next = next, live
 	}
+	en.liveA, en.liveB = live[:0], next[:0] // keep the grown capacity
 
 	// Flatten the accumulated hook forest (its depth can reach the
 	// round count) with serial path compression, then canonicalize to
 	// minimum-vertex labels.
-	find := func(v int32) int32 {
-		r := v
-		for parent[r] != r {
-			r = parent[r]
-		}
-		for parent[v] != r {
-			parent[v], v = r, parent[v]
-		}
-		return r
-	}
-	minOf := make([]int32, n)
-	for v := range minOf {
-		minOf[v] = int32(n)
-	}
+	en.minOf = arena.Filled(en.minOf, n, int32(n))
+	minOf := en.minOf
 	count := 0
 	for v := 0; v < n; v++ {
-		r := find(int32(v))
+		r := rmFind(parent, int32(v))
 		if int32(v) < minOf[r] {
 			minOf[r] = int32(v)
 		}
@@ -409,9 +427,52 @@ func componentsRandomMate(g *Graph, p int, seed uint64, wantForest bool) (*Compo
 			count++
 		}
 	}
-	label := make([]int32, n)
+	label := c.Label
 	for v := 0; v < n; v++ {
-		label[v] = minOf[find(int32(v))]
+		label[v] = minOf[rmFind(parent, int32(v))]
 	}
-	return &Components{Label: label, Count: count}, hookEdge
+	c.Count = count
+	return en.forest
+}
+
+// rmFind is union-find lookup with full path compression (the hook
+// forest's depth can reach the round count).
+func rmFind(parent []int32, v int32) int32 {
+	r := v
+	for parent[r] != r {
+		r = parent[r]
+	}
+	for parent[v] != r {
+		parent[v], v = r, parent[v]
+	}
+	return r
+}
+
+// rmHookChunk hooks the female endpoint of every opposite-coin live
+// edge in [lo, hi) to its male endpoint; hookedBy (nil unless the
+// forest is wanted) records the winning edge per female.
+func rmHookChunk(live []liveEdge, coin []uint64, parent, hookedBy []int32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e := live[i]
+		um := coin[e.u>>6]>>(uint(e.u)&63)&1 == 1
+		vm := coin[e.v>>6]>>(uint(e.v)&63)&1 == 1
+		var f, m int32 // female, male
+		switch {
+		case um && !vm:
+			f, m = e.v, e.u
+		case vm && !um:
+			f, m = e.u, e.v
+		default:
+			continue
+		}
+		if atomic.CompareAndSwapInt32(&parent[f], f, m) && hookedBy != nil {
+			hookedBy[f] = e.id // winning goroutine only
+		}
+	}
+}
+
+func rmHookParallel(live []liveEdge, coin []uint64, parent, hookedBy []int32, p int) {
+	par.ForChunks(len(live), p, func(_, lo, hi int) {
+		rmHookChunk(live, coin, parent, hookedBy, lo, hi)
+	})
 }

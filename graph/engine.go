@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"sync"
+
+	"listrank/internal/rng"
+	"listrank/tree"
+)
+
+// Engine is the reusable working-space arena for the graph algorithms,
+// completing the three-layer arena architecture (internal/arena →
+// core.Scratch → package engines): it owns the label forests,
+// worklists, coin arrays and union-find tables behind connected
+// components, the hook bookkeeping behind spanning forests, and the
+// whole Tarjan-Vishkin working set behind biconnectivity — and it
+// embeds a tree.Engine (which embeds a listrank.Engine) for the
+// Euler-circuit rooting stage, so the full pipeline reuses one arena
+// stack instead of hitting the global pools.
+//
+// An Engine may be reused across graphs of any size and any options,
+// growing its buffers geometrically to the largest problem seen. It
+// must not be used concurrently; for concurrent callers either hold
+// one Engine per goroutine or use the package-level functions
+// (ConnectedComponents, SpanningForest, BiconnectedComponents), which
+// draw engines from an internal pool.
+//
+// Zero-allocation steady state holds for ComponentsInto — all four
+// algorithms — with Procs <= 1 once the arena and the destination are
+// warm; Procs > 1 additionally pays only the per-call goroutine
+// spawns. Biconnectivity reuses the flat working set but still
+// allocates its structural intermediates (the Euler-tour tree, sparse
+// tables and auxiliary graph).
+type Engine struct {
+	// Hook-and-shortcut per-worker flags.
+	changed, flatW []bool
+
+	// Random-mate contraction state: the hook forest, the per-round
+	// winning-edge record, the double-buffered live-edge worklist,
+	// coin words and an in-place reseedable generator.
+	parent   []int32
+	hookedBy []int32
+	liveA    []liveEdge
+	liveB    []liveEdge
+	coin     []uint64
+	rnd      rng.Rand
+	forest   []int32
+
+	// Serial working set: DFS/BFS stack (doubling as the biconnectivity
+	// edge stack), union-find size table and canonical-label staging.
+	stack []int32
+	size  []int32
+	minOf []int32
+
+	// ccTmp receives labelings computed only for their by-products
+	// (the spanning forest of a random-mate run).
+	ccTmp Components
+
+	// Biconnectivity working set.
+	forestIDs  []int
+	isTree     []bool
+	treeEdgeID []int32
+	parentV    []int // rooted forest parent array
+	parentFull []int // with the virtual super-root appended
+	pairs      [][2]int
+	deg        []int32
+	bstart     []int32
+	badj       []int32
+	bfill      []int32
+	pre        []int32
+	sz         []int32
+	loA, hiA   []int32
+	rep        []int32
+	minEdge    []int32
+	blockSize  []int32
+	disc, low  []int32
+	frames     []biFrame
+	auxCC      Components
+
+	// te provides the Euler-circuit rooting (and, inside it, the
+	// list-ranking arena) for the biconnectivity pipeline.
+	te *tree.Engine
+}
+
+// NewEngine returns an empty engine; buffers are allocated lazily and
+// amortized across calls.
+func NewEngine() *Engine { return &Engine{} }
+
+// treeEngine returns the embedded tree engine, creating it on first
+// use so the zero value of Engine is fully usable.
+func (en *Engine) treeEngine() *tree.Engine {
+	if en.te == nil {
+		en.te = tree.NewEngine()
+	}
+	return en.te
+}
+
+// enginePool backs the package-level entry points, so callers that
+// never construct an Engine still amortize working-space allocation
+// across calls.
+var enginePool = sync.Pool{New: func() any { return NewEngine() }}
+
+func getEngine() *Engine  { return enginePool.Get().(*Engine) }
+func putEngine(e *Engine) { enginePool.Put(e) }
+
+// ComponentsInto labels the components of g into c with the selected
+// algorithm, resizing c's storage through the arena helpers: a caller
+// that reuses one Components across calls pays no allocation once it
+// is warm. All algorithms produce the identical canonical labeling.
+func (en *Engine) ComponentsInto(c *Components, g *Graph, opt CCOptions) {
+	switch opt.Algorithm {
+	case CCSerialDFS:
+		en.componentsDFS(c, g)
+	case CCUnionFind:
+		en.componentsUnionFind(c, g)
+	case CCRandomMate:
+		en.componentsRandomMate(c, g, opt.procs(), opt.Seed, false)
+	default:
+		en.componentsHookShortcut(c, g, opt.procs())
+	}
+}
+
+// SpanningForestInto appends the indices of edges forming a spanning
+// forest of g to dst[:0] and returns the extended slice (append
+// semantics: the result reuses dst's backing array when it fits). See
+// SpanningForest for the algorithm selection.
+func (en *Engine) SpanningForestInto(dst []int, g *Graph, opt CCOptions) []int {
+	dst = dst[:0]
+	if opt.Algorithm == CCRandomMate {
+		ids := en.componentsRandomMate(&en.ccTmp, g, opt.procs(), opt.Seed, true)
+		for _, id := range ids {
+			dst = append(dst, int(id))
+		}
+		return dst
+	}
+	return en.spanningUnionFind(dst, g)
+}
+
+// BiconnectedComponentsInto computes the blocks, articulation points
+// and bridges of g into out, resizing out's storage through the arena
+// helpers; see the package-level BiconnectedComponents.
+func (en *Engine) BiconnectedComponentsInto(out *Biconnectivity, g *Graph, opt BiconnOptions) error {
+	if opt.Algorithm == BiconnSerialDFS {
+		en.biconnSerial(out, g)
+		return nil
+	}
+	return en.biconnTarjanVishkin(out, g, opt)
+}

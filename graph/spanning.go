@@ -1,5 +1,7 @@
 package graph
 
+import "listrank/internal/arena"
+
 // SpanningForest returns the indices of edges forming a spanning
 // forest of g (one tree per connected component, so exactly
 // n − #components edges, none of them self-loops).
@@ -9,37 +11,27 @@ package graph
 // live components, the graph analogue of the paper's splice
 // bookkeeping. CCHookShortcut does not track witness edges, so it and
 // the serial algorithms delegate to union-find.
+//
+// Working space comes from a pooled Engine; hold an explicit Engine
+// and call SpanningForestInto to control reuse directly.
 func SpanningForest(g *Graph, opt CCOptions) []int {
-	var ids []int32
-	if opt.Algorithm == CCRandomMate {
-		_, ids = componentsRandomMate(g, opt.procs(), opt.Seed, true)
-	} else {
-		ids = spanningUnionFind(g)
-	}
-	out := make([]int, len(ids))
-	for i, id := range ids {
-		out[i] = int(id)
+	en := getEngine()
+	out := en.SpanningForestInto(nil, g, opt)
+	putEngine(en)
+	if out == nil {
+		out = []int{} // empty forest: non-nil, as the pre-engine API returned
 	}
 	return out
 }
 
-func spanningUnionFind(g *Graph) []int32 {
-	parent := make([]int32, g.n)
-	size := make([]int32, g.n)
-	for v := range parent {
-		parent[v] = int32(v)
-		size[v] = 1
-	}
-	find := func(v int32) int32 {
-		for parent[v] != v {
-			parent[v] = parent[parent[v]]
-			v = parent[v]
-		}
-		return v
-	}
-	forest := make([]int32, 0, g.n)
+// spanningUnionFind appends the forest edge indices to dst.
+func (en *Engine) spanningUnionFind(dst []int, g *Graph) []int {
+	n := g.n
+	en.parent = arena.Iota32(en.parent, n)
+	en.size = arena.Filled(en.size, n, 1)
+	parent, size := en.parent, en.size
 	for i, e := range g.edges {
-		ru, rv := find(e[0]), find(e[1])
+		ru, rv := ufFind(parent, e[0]), ufFind(parent, e[1])
 		if ru == rv {
 			continue
 		}
@@ -48,7 +40,7 @@ func spanningUnionFind(g *Graph) []int32 {
 		}
 		parent[rv] = ru
 		size[ru] += size[rv]
-		forest = append(forest, int32(i))
+		dst = append(dst, i)
 	}
-	return forest
+	return dst
 }

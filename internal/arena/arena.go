@@ -1,0 +1,62 @@
+// Package arena provides the typed slice-reuse primitives shared by
+// every scratch arena in the library: the listrank core's Scratch, the
+// tree package's contraction/rooting Engine, and the graph package's
+// connectivity Engine all resize their working arrays through these
+// helpers instead of calling make per problem.
+//
+// The discipline is the one the paper's working-space accounting
+// (Table II) takes for granted: a vector machine allocates its working
+// vectors once and streams problems through them. Each helper returns
+// its buffer resized to the requested length, reallocating with at
+// least doubled capacity only when the buffer has never been that
+// large, so a warm arena services any stream of problems — growing and
+// shrinking — without touching the heap.
+package arena
+
+// Grow returns b resized to length n, reallocating with at least
+// doubled capacity when it does not fit. Contents are unspecified:
+// callers must write every element they read, which is the cheapest
+// contract and the right one for buffers a setup pass fully populates.
+func Grow[T any](b []T, n int) []T {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	c := 2 * cap(b)
+	if c < n {
+		c = n
+	}
+	return make([]T, n, c)
+}
+
+// Zeroed returns b resized to length n with every element set to the
+// zero value of T — the reuse-safe analogue of make, for buffers whose
+// algorithms rely on a cleared starting state. The clear compiles to a
+// memclr for element types without pointers.
+func Zeroed[T any](b []T, n int) []T {
+	b = Grow(b, n)
+	var zero T
+	for i := range b {
+		b[i] = zero
+	}
+	return b
+}
+
+// Filled returns b resized to length n with every element set to v —
+// for the "-1 means empty" sentinel tables the pointer algorithms use.
+func Filled[T any](b []T, n int, v T) []T {
+	b = Grow(b, n)
+	for i := range b {
+		b[i] = v
+	}
+	return b
+}
+
+// Iota32 returns b resized to length n with b[i] = i — the identity
+// labeling every union-find/hook-shortcut style forest starts from.
+func Iota32(b []int32, n int) []int32 {
+	b = Grow(b, n)
+	for i := range b {
+		b[i] = int32(i)
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package arena
+
+import "testing"
+
+func TestGrowReusesCapacity(t *testing.T) {
+	b := Grow[int64](nil, 100)
+	if len(b) != 100 {
+		t.Fatalf("len = %d, want 100", len(b))
+	}
+	p := &b[0]
+	b = Grow(b, 40)
+	if len(b) != 40 || &b[0] != p {
+		t.Fatalf("shrink reallocated (len %d)", len(b))
+	}
+	b = Grow(b, 100)
+	if len(b) != 100 || &b[0] != p {
+		t.Fatalf("regrow within capacity reallocated (len %d)", len(b))
+	}
+}
+
+func TestGrowDoublesCapacity(t *testing.T) {
+	b := Grow[int32](nil, 64)
+	b = Grow(b, 65)
+	if cap(b) < 128 {
+		t.Fatalf("cap = %d, want >= 128 (doubling)", cap(b))
+	}
+	b = Grow(b, 1000)
+	if cap(b) < 1000 {
+		t.Fatalf("cap = %d, want >= 1000", cap(b))
+	}
+}
+
+func TestZeroedClearsStaleContents(t *testing.T) {
+	b := Grow[int64](nil, 50)
+	for i := range b {
+		b[i] = 7
+	}
+	b = Zeroed(b, 30)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("b[%d] = %d after Zeroed", i, v)
+		}
+	}
+	// Growing back within capacity must not resurrect the stale 7s
+	// through Zeroed.
+	b = Zeroed(b, 50)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("b[%d] = %d after regrow Zeroed", i, v)
+		}
+	}
+}
+
+func TestFilledAndIota(t *testing.T) {
+	f := Filled[int32](nil, 10, -1)
+	for i, v := range f {
+		if v != -1 {
+			t.Fatalf("Filled[%d] = %d", i, v)
+		}
+	}
+	id := Iota32(f, 10)
+	for i, v := range id {
+		if v != int32(i) {
+			t.Fatalf("Iota32[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestWarmBuffersAllocationFree(t *testing.T) {
+	b64 := Grow[int64](nil, 1<<12)
+	b32 := Iota32(nil, 1<<12)
+	bb := Zeroed[bool](nil, 1<<12)
+	if allocs := testing.AllocsPerRun(10, func() {
+		b64 = Zeroed(b64, 1<<12)
+		b32 = Iota32(b32, 1<<11)
+		b32 = Filled(b32, 1<<12, -1)
+		bb = Zeroed(bb, 1000)
+	}); allocs != 0 {
+		t.Fatalf("warm arena helpers allocated %v/op, want 0", allocs)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"listrank/internal/arena"
 	"listrank/internal/list"
 	"listrank/internal/par"
 )
@@ -83,18 +84,11 @@ var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
 func getScratch() *Scratch  { return scratchPool.Get().(*Scratch) }
 func putScratch(s *Scratch) { scratchPool.Put(s) }
 
-// grow returns b resized to n, reallocating with at least doubled
-// capacity when it does not fit. Contents are unspecified.
-func grow[T any](b []T, n int) []T {
-	if cap(b) >= n {
-		return b[:n]
-	}
-	c := 2 * cap(b)
-	if c < n {
-		c = n
-	}
-	return make([]T, n, c)
-}
+// grow resizes a buffer through the shared arena helper (contents
+// unspecified; see internal/arena). The primitive started life here
+// and was extracted so the tree and graph engines share one
+// definition; the local name keeps the many core call sites short.
+func grow[T any](b []T, n int) []T { return arena.Grow(b, n) }
 
 // vps returns the virtual-processor table resized to k entries.
 // Contents are unspecified; setup fills every field it reads.
@@ -130,18 +124,12 @@ func (sc *Scratch) onesFor(n int) []int64 {
 
 // linksBuf and roundsBuf return zeroed per-worker stat counters.
 func (sc *Scratch) linksBuf(p int) []int64 {
-	sc.links = grow(sc.links, p)
-	for i := range sc.links {
-		sc.links[i] = 0
-	}
+	sc.links = arena.Zeroed(sc.links, p)
 	return sc.links
 }
 
 func (sc *Scratch) roundsBuf(p int) []int {
-	sc.rounds = grow(sc.rounds, p)
-	for i := range sc.rounds {
-		sc.rounds[i] = 0
-	}
+	sc.rounds = arena.Zeroed(sc.rounds, p)
 	return sc.rounds
 }
 

@@ -101,3 +101,44 @@ func BenchmarkGeneralExpr(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTreeEngineReuse is the arena architecture's benchmark
+// contract at the tree layer: a warm Engine must evaluate a stream of
+// expression trees with zero steady-state allocations at procs=1 (CI's
+// bench-smoke leg runs this; the allocs/op column is the point).
+func BenchmarkTreeEngineReuse(b *testing.B) {
+	nLeaves := 1 << 16
+	left, right, ops, vals := randomExpr(nLeaves, 9, 0.5)
+	for _, procs := range []int{1, 4} {
+		e, err := NewExpr(left, right, ops, vals, listrank.Options{Procs: procs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		want := e.EvalSerial()
+		en := NewEngine()
+		dst := make([]int64, e.Len())
+		b.Run(fmt.Sprintf("eval-p%d", procs), func(b *testing.B) {
+			en.Eval(e, nil) // warm the arena
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.SetBytes(int64(8 * e.Len()))
+			for i := 0; i < b.N; i++ {
+				if en.Eval(e, nil) != want {
+					b.Fatal("wrong answer")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("eval-all-into-p%d", procs), func(b *testing.B) {
+			en.EvalAllInto(dst, e, nil) // warm the arena
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.SetBytes(int64(8 * e.Len()))
+			for i := 0; i < b.N; i++ {
+				en.EvalAllInto(dst, e, nil)
+				if dst[e.Root()] != want {
+					b.Fatal("wrong answer")
+				}
+			}
+		})
+	}
+}

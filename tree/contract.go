@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"listrank"
-	"listrank/internal/par"
+	"listrank/internal/arena"
 )
 
 // Op is an expression-tree operator.
@@ -132,11 +132,16 @@ func NewExpr(left, right []int, ops []Op, leafVal []int64, opt listrank.Options)
 }
 
 // numberLeaves ranks the left-right-ordered Euler tour once to number
-// the leaves, validating acyclicity as a side effect.
+// the leaves, validating acyclicity as a side effect. The tour list
+// and its scan live in a pooled engine's arena; only the retained
+// leaves array is allocated.
 func (e *Expr) numberLeaves() error {
 	n := e.n
-	next := make([]int64, 2*n)
-	value := make([]int64, 2*n)
+	en := getEngine()
+	defer putEngine(en)
+	en.next = arena.Grow(en.next, 2*n)
+	en.value = arena.Zeroed(en.value, 2*n)
+	next, value := en.next, en.value
 	down := func(v int32) int64 { return int64(v) }
 	up := func(v int32) int64 { return int64(n) + int64(v) }
 	nLeaves := 0
@@ -152,11 +157,16 @@ func (e *Expr) numberLeaves() error {
 		}
 	}
 	next[up(e.root)] = up(e.root)
-	tour := &listrank.List{Next: next, Value: value, Head: down(e.root)}
+	en.il = listrank.List{Next: next, Value: value, Head: down(e.root)}
+	tour := &en.il
 	if err := tour.Validate(); err != nil {
+		en.il = listrank.List{}
 		return fmt.Errorf("tree: expression structure is cyclic: %w", err)
 	}
-	idx := listrank.ScanWith(tour, e.opt)
+	en.pfx = arena.Grow(en.pfx, 2*n)
+	en.lrEngine().ScanInto(en.pfx, tour, e.opt)
+	en.il = listrank.List{}
+	idx := en.pfx
 	e.leaves = make([]int32, nLeaves)
 	for v := int32(0); v < int32(n); v++ {
 		if e.left[v] == -1 {
@@ -214,118 +224,16 @@ type ContractStats struct {
 }
 
 // Eval evaluates the expression by parallel rake contraction. The
-// tree itself is not modified (contraction state lives in per-call
-// copies), so Eval is repeatable. stats may be nil.
+// tree itself is not modified (contraction state lives in a pooled
+// engine's arena), so Eval is repeatable. stats may be nil. Hold an
+// explicit Engine and call its Eval method to control working-space
+// reuse directly; with a warm engine the evaluation is allocation-free
+// at Procs <= 1.
 func (e *Expr) Eval(stats *ContractStats) int64 {
-	if e.n == 1 {
-		return e.leafVal[e.root]
-	}
-	procs := e.opt.Procs
-	if procs < 1 {
-		procs = 1
-	}
-	n := e.n
-	left := make([]int32, n)
-	right := make([]int32, n)
-	parent := make([]int32, n)
-	fa := make([]int64, n) // pending function f(x) = fa·x + fb
-	fb := make([]int64, n)
-	side := make([]int8, n) // which slot of its parent a node occupies
-	copy(left, e.left)
-	copy(right, e.right)
-	parent[e.root] = -1
-	for v := 0; v < n; v++ {
-		fa[v] = 1
-		if left[v] != -1 {
-			parent[left[v]] = int32(v)
-			parent[right[v]] = int32(v)
-			side[right[v]] = 1
-		}
-	}
-
-	live := make([]int32, len(e.leaves))
-	copy(live, e.leaves)
-	raked := make([]bool, n)
-	rounds, rakes := 0, 0
-
-	for len(live) > 2 {
-		for phase := 0; phase < 2; phase++ {
-			// Odd positions only: adjacent leaves are never both
-			// raked, which (with the left/right phase split) makes
-			// every write single-writer — see the type comment.
-			half := len(live) / 2
-			par.ForChunks(half, procs, func(_, lo, hi int) {
-				for i := lo; i < hi; i++ {
-					v := live[2*i+1]
-					p := parent[v]
-					if p == e.root || raked[v] {
-						continue
-					}
-					isLeft := side[v] == 0
-					if (phase == 0) != isLeft {
-						continue
-					}
-					var s int32
-					if isLeft {
-						s = right[p]
-					} else {
-						s = left[p]
-					}
-					// A = f_v(leaf constant); fold through p's op and
-					// p's pending function into s.
-					a := fa[v]*e.leafVal[v] + fb[v]
-					if e.ops[p] == OpAdd {
-						// f_p(A + f_s(x))
-						fb[s] = fa[p]*(a+fb[s]) + fb[p]
-						fa[s] = fa[p] * fa[s]
-					} else {
-						// f_p(A · f_s(x))
-						fb[s] = fa[p]*a*fb[s] + fb[p]
-						fa[s] = fa[p] * a * fa[s]
-					}
-					// s replaces p under p's parent. The slot is
-					// written by side[p], never read-then-written: two
-					// same-phase rakes may share a grandparent, and a
-					// compare-against-p probe of the other slot would
-					// race with its owner's store.
-					gp := parent[p]
-					parent[s] = gp
-					if side[p] == 0 {
-						left[gp] = s
-					} else {
-						right[gp] = s
-					}
-					side[s] = side[p]
-					raked[v] = true
-				}
-			})
-		}
-		// Compress the leaf order, keeping survivors in place.
-		kept := 0
-		for _, v := range live {
-			if !raked[v] {
-				live[kept] = v
-				kept++
-			}
-		}
-		rakes += len(live) - kept
-		live = live[:kept]
-		rounds++
-	}
-	if stats != nil {
-		stats.Rounds = rounds
-		stats.Rakes = rakes
-	}
-
-	// Two leaves remain, so exactly one internal node — the root —
-	// remains above them.
-	l, r := left[e.root], right[e.root]
-	va := fa[l]*e.leafVal[l] + fb[l]
-	vb := fa[r]*e.leafVal[r] + fb[r]
-	if e.ops[e.root] == OpAdd {
-		return va + vb
-	}
-	return va * vb
+	en := getEngine()
+	v := en.Eval(e, stats)
+	putEngine(en)
+	return v
 }
 
 // rakeRec records one rake for the EvalAll expansion: leaf v with
@@ -350,141 +258,8 @@ type rakeRec struct {
 // parent of a later (= already replayed) rake.
 func (e *Expr) EvalAll(stats *ContractStats) []int64 {
 	out := make([]int64, e.n)
-	if e.n == 1 {
-		out[e.root] = e.leafVal[e.root]
-		return out
-	}
-	procs := e.opt.Procs
-	if procs < 1 {
-		procs = 1
-	}
-	n := e.n
-	left := make([]int32, n)
-	right := make([]int32, n)
-	parent := make([]int32, n)
-	fa := make([]int64, n)
-	fb := make([]int64, n)
-	side := make([]int8, n)
-	copy(left, e.left)
-	copy(right, e.right)
-	parent[e.root] = -1
-	for v := 0; v < n; v++ {
-		fa[v] = 1
-		if left[v] != -1 {
-			parent[left[v]] = int32(v)
-			parent[right[v]] = int32(v)
-			side[right[v]] = 1
-		} else {
-			out[v] = e.leafVal[v]
-		}
-	}
-
-	live := make([]int32, len(e.leaves))
-	copy(live, e.leaves)
-	raked := make([]bool, n)
-	// The rake log, grouped by *phase*: a phase's rakes are mutually
-	// independent (the odd/left-right discipline), so each group can
-	// replay in parallel; groups replay in reverse order. Grouping by
-	// whole rounds would be wrong — a phase-1 rake's parent can be a
-	// phase-0 rake's recorded sibling in the same round, and the
-	// reverse replay must fill the parent in first.
-	var log []rakeRec
-	var groupStarts []int
-	rounds, rakes := 0, 0
-
-	for len(live) > 2 {
-		for phase := 0; phase < 2; phase++ {
-			groupStarts = append(groupStarts, len(log))
-			half := len(live) / 2
-			recs := make([][]rakeRec, procs)
-			par.ForChunks(half, procs, func(w, lo, hi int) {
-				for i := lo; i < hi; i++ {
-					v := live[2*i+1]
-					p := parent[v]
-					if p == e.root || raked[v] {
-						continue
-					}
-					isLeft := side[v] == 0
-					if (phase == 0) != isLeft {
-						continue
-					}
-					var s int32
-					if isLeft {
-						s = right[p]
-					} else {
-						s = left[p]
-					}
-					recs[w] = append(recs[w], rakeRec{v: v, p: p, s: s,
-						va: fa[v], vb: fb[v], sa: fa[s], sb: fb[s]})
-					a := fa[v]*e.leafVal[v] + fb[v]
-					if e.ops[p] == OpAdd {
-						fb[s] = fa[p]*(a+fb[s]) + fb[p]
-						fa[s] = fa[p] * fa[s]
-					} else {
-						fb[s] = fa[p]*a*fb[s] + fb[p]
-						fa[s] = fa[p] * a * fa[s]
-					}
-					gp := parent[p]
-					parent[s] = gp
-					if side[p] == 0 {
-						left[gp] = s
-					} else {
-						right[gp] = s
-					}
-					side[s] = side[p]
-					raked[v] = true
-				}
-			})
-			for _, rs := range recs {
-				log = append(log, rs...)
-			}
-		}
-		kept := 0
-		for _, v := range live {
-			if !raked[v] {
-				live[kept] = v
-				kept++
-			}
-		}
-		rakes += len(live) - kept
-		live = live[:kept]
-		rounds++
-	}
-	if stats != nil {
-		stats.Rounds = rounds
-		stats.Rakes = rakes
-	}
-
-	// Solve the 3-node remainder.
-	l, r := left[e.root], right[e.root]
-	va := fa[l]*e.leafVal[l] + fb[l]
-	vb := fa[r]*e.leafVal[r] + fb[r]
-	if e.ops[e.root] == OpAdd {
-		out[e.root] = va + vb
-	} else {
-		out[e.root] = va * vb
-	}
-
-	// Expansion: replay the phase groups in reverse; entries within a
-	// group touch distinct parents and every sibling value they read
-	// is already final (the sibling either survived to the end, is a
-	// leaf, or was the parent of a strictly later — already replayed —
-	// rake).
-	groupStarts = append(groupStarts, len(log))
-	for i := len(groupStarts) - 2; i >= 0; i-- {
-		lo, hi := groupStarts[i], groupStarts[i+1]
-		par.ForChunks(hi-lo, procs, func(_, a, b int) {
-			for j := lo + a; j < lo+b; j++ {
-				rec := log[j]
-				av := rec.va*e.leafVal[rec.v] + rec.vb
-				bv := rec.sa*out[rec.s] + rec.sb
-				if e.ops[rec.p] == OpAdd {
-					out[rec.p] = av + bv
-				} else {
-					out[rec.p] = av * bv
-				}
-			}
-		})
-	}
+	en := getEngine()
+	en.EvalAllInto(out, e, stats)
+	putEngine(en)
 	return out
 }

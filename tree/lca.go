@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/bits"
 
-	"listrank"
 	"listrank/internal/par"
 )
 
@@ -31,45 +30,19 @@ type LCAIndex struct {
 
 // LCA builds the constant-time query index. The construction ranks
 // the tour (cached on the tree) and scans it once; the sparse-table
-// levels are built with the tree's configured parallelism.
+// levels are built with the tree's configured parallelism. It borrows
+// a pooled Engine for the scan's working space; hold an explicit
+// Engine and call its LCA method to control reuse directly.
 func (t *Tree) LCA() *LCAIndex {
-	n := t.n
-	ranks := t.tourRanks()
-	pfx := listrank.ScanWith(t.tour, t.opt)
-	m := 2 * n
+	en := getEngine()
+	x := en.LCA(t)
+	putEngine(en)
+	return x
+}
 
-	x := &LCAIndex{
-		t:     t,
-		first: make([]int32, n),
-		depth: make([]int64, m),
-		at:    make([]int32, m),
-	}
-	procs := t.opt.Procs
-	if procs < 1 {
-		procs = 1
-	}
-	// Invert the ranks: position rank(e) holds element e. down(v)
-	// puts the walk at v (depth pfx), up(v) returns it to v's parent
-	// (depth pfx[up(v)] - 2 = depth(v) - 1; for the root's up element
-	// the walk ends where it started).
-	par.ForChunks(n, procs, func(_, lo, hi int) {
-		for v := lo; v < hi; v++ {
-			pd := ranks[v]
-			x.first[v] = int32(pd)
-			x.at[pd] = int32(v)
-			x.depth[pd] = pfx[v]
-			pu := ranks[n+v]
-			p := t.parent[v]
-			if p < 0 {
-				p = int32(v) // root's up: walk stays at the root
-			}
-			x.at[pu] = p
-			x.depth[pu] = pfx[n+v] - 2
-		}
-	})
-	x.depth[ranks[n+t.root]] = 0 // root's up position: depth 0, not -1
-
-	// Sparse table over positions, one doubling level at a time.
+// buildSparse fills in the sparse table over tour positions, one
+// doubling level at a time, from the already-populated depth array.
+func (x *LCAIndex) buildSparse(m, procs int) {
 	levels := bits.Len(uint(m))
 	x.sparse = make([][]int32, levels)
 	base := make([]int32, m)
@@ -97,7 +70,6 @@ func (t *Tree) LCA() *LCAIndex {
 		})
 		x.sparse[k] = cur
 	}
-	return x
 }
 
 // Query returns the lowest common ancestor of u and v. It panics if

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"listrank"
-	"listrank/internal/par"
 )
 
 // RootAt orients an unrooted tree, given as an undirected edge list,
@@ -24,107 +23,20 @@ import (
 // RootAt returns an error if the edges do not form a single tree over
 // the n vertices (wrong edge count, self-loops, duplicate edges,
 // disconnected or cyclic input).
+//
+// The arc arrays, adjacency rings and Euler circuit live in a pooled
+// Engine's arena; only the returned parent array is allocated. Hold an
+// explicit Engine and call RootAtInto to control reuse directly.
 func RootAt(n int, edges [][2]int, root int, opt listrank.Options) ([]int, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("tree: RootAt requires n > 0")
 	}
-	if root < 0 || root >= n {
-		return nil, fmt.Errorf("tree: root %d out of range [0,%d)", root, n)
-	}
-	if len(edges) != n-1 {
-		return nil, fmt.Errorf("tree: %d edges for %d vertices, want %d", len(edges), n, n-1)
-	}
-	if n == 1 {
-		return []int{-1}, nil
-	}
-
-	// Arc 2i is edges[i] tail→head, arc 2i+1 its twin; twin(a) = a^1.
-	m := 2 * (n - 1)
-	tail := make([]int32, m)
-	head := make([]int32, m)
-	for i, e := range edges {
-		u, v := e[0], e[1]
-		if u < 0 || u >= n || v < 0 || v >= n {
-			return nil, fmt.Errorf("tree: edge %d = {%d, %d} out of range", i, u, v)
-		}
-		if u == v {
-			return nil, fmt.Errorf("tree: edge %d is a self-loop at %d", i, u)
-		}
-		tail[2*i], head[2*i] = int32(u), int32(v)
-		tail[2*i+1], head[2*i+1] = int32(v), int32(u)
-	}
-
-	// Adjacency rings by counting sort on arc tails: incident[start[v]:
-	// start[v+1]] lists the arcs leaving v.
-	start := make([]int32, n+1)
-	for _, t := range tail {
-		start[t+1]++
-	}
-	for v := 0; v < n; v++ {
-		start[v+1] += start[v]
-	}
-	incident := make([]int32, m)
-	fill := make([]int32, n)
-	copy(fill, start[:n])
-	ringPos := make([]int32, m) // arc's index within its tail's ring
-	for a := 0; a < m; a++ {
-		v := tail[a]
-		incident[fill[v]] = int32(a)
-		ringPos[a] = fill[v] - start[v]
-		fill[v]++
-	}
-
-	// Euler circuit: succ(a) = the arc after twin(a) in head(a)'s ring.
-	procs := opt.Procs
-	if procs < 1 {
-		procs = 1
-	}
-	next := make([]int64, m)
-	par.ForChunks(m, procs, func(_, lo, hi int) {
-		for a := lo; a < hi; a++ {
-			tw := a ^ 1
-			v := head[a] // == tail[tw]
-			deg := start[v+1] - start[v]
-			i := ringPos[tw] + 1
-			if i == deg {
-				i = 0
-			}
-			next[a] = int64(incident[start[v]+i])
-		}
-	})
-
-	// Cut the circuit at the root: the tour starts with the root's
-	// first outgoing arc, and the arc whose successor ring-wraps back
-	// to it — the twin of the root's last outgoing arc — becomes the
-	// list tail.
-	if start[root+1] == start[root] {
-		return nil, fmt.Errorf("tree: root %d has no incident edges", root)
-	}
-	first := int64(incident[start[root]])
-	last := int64(incident[start[root+1]-1] ^ 1)
-	next[last] = last
-
-	tour := &listrank.List{Next: next, Value: make([]int64, m), Head: first}
-	// A malformed input (disconnected, duplicate edges) leaves arcs off
-	// the circuit; validate before handing it to the ranking engines.
-	if err := tour.Validate(); err != nil {
-		return nil, fmt.Errorf("tree: edges do not form a single tree: %w", err)
-	}
-	ranks := listrank.RankWith(tour, opt)
-
-	// Orientation: the earlier-ranked arc of each twin pair points
-	// away from the root.
 	parent := make([]int, n)
-	parent[root] = -1
-	par.ForChunks(n-1, procs, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			a, b := 2*i, 2*i+1
-			if ranks[a] < ranks[b] {
-				parent[head[a]] = int(tail[a])
-			} else {
-				parent[head[b]] = int(tail[b])
-			}
-		}
-	})
+	en := getEngine()
+	err := en.RootAtInto(parent, n, edges, root, opt)
+	putEngine(en)
+	if err != nil {
+		return nil, err
+	}
 	return parent, nil
 }

@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"listrank"
+	"listrank/internal/arena"
 )
 
 // Tree is a rooted tree prepared for Euler-tour computations.
@@ -151,21 +152,32 @@ func (t *Tree) Tour() *listrank.List { return t.tour }
 func (t *Tree) Root() int { return t.root }
 
 // tourRanks ranks the 2n-element tour once and caches the result; all
-// statistics derive from it.
+// statistics derive from it. The ranking borrows working space from
+// the pooled listrank engines, so only the cached result allocates.
 func (t *Tree) tourRanks() []int64 {
 	if t.ranks == nil {
-		t.ranks = listrank.RankWith(t.tour, t.opt)
+		// Fill a local slice and publish it last, so a racy concurrent
+		// lazy init at worst duplicates work but never observes a
+		// half-filled cache.
+		ranks := make([]int64, 2*t.n)
+		listrank.RankInto(ranks, t.tour, t.opt)
+		t.ranks = ranks
 	}
 	return t.ranks
 }
 
 // Depths returns the depth of every vertex (root = 0), via the
 // exclusive prefix sums of the ±1 tour values: the sum before down(v)
-// counts one +1 for each ancestor entered and not yet left.
+// counts one +1 for each ancestor entered and not yet left. The
+// 2n-element scan runs in a pooled engine's arena; only the returned
+// n-element result is allocated.
 func (t *Tree) Depths() []int64 {
-	pfx := listrank.ScanWith(t.tour, t.opt)
 	out := make([]int64, t.n)
-	copy(out, pfx[:t.n]) // prefix at down(v)
+	en := getEngine()
+	en.pfx = arena.Grow(en.pfx, 2*t.n)
+	en.lrEngine().ScanInto(en.pfx, t.tour, t.opt)
+	copy(out, en.pfx[:t.n]) // prefix at down(v)
+	putEngine(en)
 	return out
 }
 
