@@ -43,17 +43,22 @@ func batch(pool []*List, opt Options, into func(*Engine, []int64, *List, Options
 	}
 	p := opt.procs()
 	if len(pool) >= p {
-		// Wide pool: across-list parallelism only. Each worker runs
-		// its lists to completion independently — the same
-		// constant-synchronization argument as the paper's §5
-		// multiprocessor schedule, lifted one level up — reusing one
-		// warm engine for its whole share. The reference algorithms
-		// allocate their own result per call, so routing them through
-		// an engine would only add a copy; they keep the direct path.
+		// Wide pool: across-list parallelism only. Each worker is
+		// dealt its engine-and-pool pair — a warm engine reused for
+		// its whole share, with inner Procs forced to 1 so every
+		// per-list call runs inline and performs *zero fan-outs*; the
+		// single fan-out of the whole batch is this one dispatch of
+		// the shared worker pool's resident workers. That is the
+		// paper's §5 constant-synchronization multiprocessor schedule
+		// lifted one level up: processors are acquired once per batch,
+		// not once per list (and certainly not once per phase). The
+		// reference algorithms allocate their own result per call, so
+		// routing them through an engine would only add a copy; they
+		// keep the direct path.
 		inner := opt
 		inner.Procs = 1
 		engined := opt.Algorithm == Sublist || opt.Algorithm == Serial
-		par.ForChunks(len(pool), p, func(_, lo, hi int) {
+		par.Shared().ForChunks(len(pool), p, func(_, lo, hi int) {
 			if !engined {
 				for i := lo; i < hi; i++ {
 					out[i] = one(pool[i], inner)
@@ -70,7 +75,11 @@ func batch(pool []*List, opt Options, into func(*Engine, []int64, *List, Options
 		})
 		return out
 	}
-	// Narrow pool of (presumably) big lists: within-list parallelism.
+	// Narrow pool of (presumably) big lists: within-list parallelism,
+	// one after another. Each call borrows a pooled engine, and every
+	// parallel phase inside it dispatches onto the same shared worker
+	// pool the wide path uses — the resident workers are reused across
+	// the lists and across their phases, never re-spawned.
 	for i, l := range pool {
 		out[i] = one(l, opt)
 	}

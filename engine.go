@@ -6,11 +6,38 @@ import (
 
 	"listrank/internal/core"
 	"listrank/internal/list"
+	"listrank/internal/par"
 	"listrank/internal/randmate"
 	"listrank/internal/ruling"
 	"listrank/internal/serial"
 	"listrank/internal/wyllie"
 )
+
+// WorkerPool is the persistent worker-pool runtime — layer 0 of the
+// arena architecture. A pool owns a fixed set of resident worker
+// goroutines that park between fan-outs, so an engine dispatching its
+// parallel phases onto one pays an unpark plus a rendezvous per phase
+// instead of spawning (and garbage-collecting) goroutines per call.
+// Engines that are not given a pool share the process-wide one, sized
+// to the hardware; give an engine its own pool (sized to its Procs)
+// when a goroutine streams problems at a fixed parallelism and wants
+// the zero-allocation steady state independent of what the rest of
+// the process is doing. Close shuts a pool down deterministically;
+// the reference algorithms (Wyllie, MillerReif, AndersonMiller,
+// RulingSet) intentionally stay on spawn-per-call so their measured
+// costs are the paper baselines'.
+type WorkerPool = par.Pool
+
+// NewWorkerPool returns a pool of procs resident workers (the
+// dispatching caller counts as one of them, so procs-1 goroutines are
+// created). Close it when done; a closed or contended pool degrades
+// to spawn-per-call, never deadlocks.
+func NewWorkerPool(procs int) *WorkerPool { return par.NewPool(procs) }
+
+// SharedWorkerPool returns the process-wide pool every engine uses by
+// default. It is created on first use, sized to the hardware, and
+// never closed.
+func SharedWorkerPool() *WorkerPool { return par.Shared() }
 
 // Engine is a reusable rank/scan engine: it owns the scratch arena —
 // the virtual-processor table, splitter buffers, encoded words,
@@ -30,17 +57,25 @@ import (
 // pool.
 //
 // Zero-allocation steady state holds for the Sublist (default) and
-// Serial algorithms with Procs == 1 once the arena is warm; Procs > 1
-// additionally pays only the per-call goroutine spawns, and the
-// reference algorithms (Wyllie, MillerReif, AndersonMiller, RulingSet)
-// keep their own allocation behavior and are supported for parity.
+// Serial algorithms once the arena is warm: parallel phases dispatch
+// closure-free onto resident pool workers instead of spawning
+// goroutines per call. At Procs > 1 the guarantee requires a pool at
+// least Procs wide with no competing dispatcher — an engine-owned
+// pool via SetPool always qualifies; the default process-wide shared
+// pool is hardware-sized and qualifies while this engine is the only
+// one fanning out. An undersized or contended pool degrades fan-outs
+// to spawn-per-call (costing the per-call allocations, never
+// correctness). The reference algorithms (Wyllie, MillerReif,
+// AndersonMiller, RulingSet) keep their own allocation and
+// spawn-per-call behavior and are supported for parity.
 //
 // Engine is the middle layer of the three-layer arena architecture
 // (internal/arena → core.Scratch wrapped by this type → the
 // application engines): tree.Engine and graph.Engine each embed one of
 // these instead of drawing from the global pool, so the Euler-tour and
 // connectivity pipelines reuse a single arena stack end to end. See
-// DESIGN.md, "The three-layer arena architecture".
+// DESIGN.md, "The three-layer arena architecture" and "Layer 0: the
+// worker-pool runtime".
 type Engine struct {
 	sc *core.Scratch
 	// il is the reused internal list header: building it in place
@@ -49,8 +84,15 @@ type Engine struct {
 }
 
 // NewEngine returns an empty engine; buffers are allocated lazily and
-// amortized across calls.
+// amortized across calls. It dispatches parallel phases on the shared
+// worker pool until SetPool gives it one of its own.
 func NewEngine() *Engine { return &Engine{sc: core.NewScratch()} }
+
+// SetPool selects the worker pool this engine's parallel phases
+// dispatch on — the engine owns a pool the same way it owns its
+// arena. nil (the default) selects the process-wide shared pool. The
+// engine never closes the pool; the caller that created it does.
+func (e *Engine) SetPool(pl *WorkerPool) { e.sc.SetPool(pl) }
 
 func (e *Engine) view(l *List) *list.List {
 	e.il = list.List{Next: l.Next, Value: l.Value, Head: l.Head}

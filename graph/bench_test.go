@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"testing"
+
+	"listrank"
 )
 
 // Connected components across algorithms and graph families — the
@@ -87,6 +89,11 @@ func BenchmarkGraphEngineReuse(b *testing.B) {
 	g := RandomGNM(1<<17, 1<<18, 21)
 	want := componentsDFS(g)
 	en := NewEngine()
+	// Engine-owned pool for the procs > 1 legs: 0 allocs/op independent
+	// of the host's core count.
+	pool := listrank.NewWorkerPool(4)
+	b.Cleanup(pool.Close)
+	en.SetPool(pool)
 	var c Components
 	for _, a := range []CCAlgorithm{CCHookShortcut, CCRandomMate, CCUnionFind} {
 		for _, procs := range []int{1, 4} {

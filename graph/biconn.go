@@ -162,7 +162,7 @@ func (en *Engine) biconnTarjanVishkin(out *Biconnectivity, g *Graph, opt BiconnO
 	en.pre = arena.Grow(en.pre, n+1)
 	en.sz = arena.Grow(en.sz, n+1)
 	pre, size := en.pre, en.sz
-	par.ForChunks(n+1, par.Procs(p, n+1), func(w, lo, hi int) {
+	en.fanout().ForChunks(n+1, par.Procs(p, n+1), func(w, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			pre[v] = int32(pre64[v])
 			size[v] = int32(size64[v])
@@ -177,7 +177,7 @@ func (en *Engine) biconnTarjanVishkin(out *Biconnectivity, g *Graph, opt BiconnO
 	loA, hiA := en.loA, en.hiA
 	loA[pre[sr]] = pre[sr]
 	hiA[pre[sr]] = pre[sr]
-	par.ForChunks(n, par.Procs(p, n), func(w, lo, hi int) {
+	en.fanout().ForChunks(n, par.Procs(p, n), func(w, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			lv, hv := pre[v], pre[v]
 			for i := g.adjStart[v]; i < g.adjStart[v+1]; i++ {
@@ -216,7 +216,7 @@ func (en *Engine) biconnTarjanVishkin(out *Biconnectivity, g *Graph, opt BiconnO
 	// (v,w) glues to (p(v),v) when some edge escapes from w's subtree
 	// above v or past v's subtree.
 	auxBufs := make([][][2]int, par.Procs(p, len(g.edges)+n))
-	par.ForChunks(len(g.edges), par.Procs(p, len(g.edges)), func(wk, lo, hi int) {
+	en.fanout().ForChunks(len(g.edges), par.Procs(p, len(g.edges)), func(wk, lo, hi int) {
 		var buf [][2]int
 		for i := lo; i < hi; i++ {
 			e := g.edges[i]
@@ -230,7 +230,7 @@ func (en *Engine) biconnTarjanVishkin(out *Biconnectivity, g *Graph, opt BiconnO
 		auxBufs[wk] = buf
 	})
 	ruleII := make([][][2]int, par.Procs(p, n))
-	par.ForChunks(n, par.Procs(p, n), func(wk, lo, hi int) {
+	en.fanout().ForChunks(n, par.Procs(p, n), func(wk, lo, hi int) {
 		var buf [][2]int
 		for w := lo; w < hi; w++ {
 			v := parentFull[w]
@@ -267,7 +267,7 @@ func (en *Engine) biconnTarjanVishkin(out *Biconnectivity, g *Graph, opt BiconnO
 	// when they are unrelated).
 	en.rep = arena.Grow(en.rep, len(g.edges))
 	rep := en.rep
-	par.ForChunks(len(g.edges), par.Procs(p, len(g.edges)), func(wk, lo, hi int) {
+	en.fanout().ForChunks(len(g.edges), par.Procs(p, len(g.edges)), func(wk, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := g.edges[i]
 			if e[0] == e[1] {

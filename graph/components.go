@@ -194,11 +194,13 @@ func (en *Engine) componentsUnionFind(c *Components, g *Graph) {
 //
 // The label forest is computed directly in c.Label; the only other
 // working state is the two p-sized per-worker flag arrays. The chunk
-// bodies are named functions and the closures live in the *Parallel
-// helpers, so the p == 1 path stays off the heap (closure literals
-// whose captures escape heap-allocate even on untaken branches).
+// bodies are named functions: the p == 1 path calls them inline, and
+// the *Parallel helpers dispatch them closure-free onto the engine's
+// resident worker pool (arguments travel through the call stash), so
+// both paths stay off the heap.
 
 func (en *Engine) componentsHookShortcut(c *Components, g *Graph, p int) {
+	defer en.releaseCall()
 	n := g.n
 	c.Label = arena.Iota32(c.Label, n)
 	f := c.Label
@@ -306,17 +308,23 @@ func shortcutChunk(f []int32, lo, hi int) bool {
 }
 
 func (en *Engine) hookParallel(g *Graph, f []int32, m, p int) {
-	changed := en.changed
-	par.ForChunks(m, p, func(w, lo, hi int) {
-		changed[w] = hookChunk(g, f, lo, hi)
-	})
+	en.call.g, en.call.f = g, f
+	en.fanout().ForChunksCtx(m, p, en, taskHook)
+}
+
+func taskHook(c any, w, lo, hi int) {
+	en := c.(*Engine)
+	en.changed[w] = hookChunk(en.call.g, en.call.f, lo, hi)
 }
 
 func (en *Engine) shortcutParallel(f []int32, n, p int) {
-	flatW := en.flatW
-	par.ForChunks(n, p, func(w, lo, hi int) {
-		flatW[w] = shortcutChunk(f, lo, hi)
-	})
+	en.call.f = f
+	en.fanout().ForChunksCtx(n, p, en, taskShortcut)
+}
+
+func taskShortcut(c any, w, lo, hi int) {
+	en := c.(*Engine)
+	en.flatW[w] = shortcutChunk(en.call.f, lo, hi)
 }
 
 // --- Parallel random-mate contraction ----------------------------------
@@ -345,6 +353,7 @@ type liveEdge struct {
 // returns the hook-edge ids (engine-owned storage, valid until the
 // next random-mate call).
 func (en *Engine) componentsRandomMate(c *Components, g *Graph, p int, seed uint64, wantForest bool) []int32 {
+	defer en.releaseCall()
 	n := g.n
 	en.parent = arena.Iota32(en.parent, n)
 	parent := en.parent
@@ -387,7 +396,7 @@ func (en *Engine) componentsRandomMate(c *Components, g *Graph, p int, seed uint
 		if p == 1 {
 			rmHookChunk(live, coin, parent, hookedBy, 0, len(live))
 		} else {
-			rmHookParallel(live, coin, parent, hookedBy, p)
+			en.rmHookParallel(live, hookedBy, p)
 		}
 		if wantForest {
 			for v := range hookedBy {
@@ -471,8 +480,12 @@ func rmHookChunk(live []liveEdge, coin []uint64, parent, hookedBy []int32, lo, h
 	}
 }
 
-func rmHookParallel(live []liveEdge, coin []uint64, parent, hookedBy []int32, p int) {
-	par.ForChunks(len(live), p, func(_, lo, hi int) {
-		rmHookChunk(live, coin, parent, hookedBy, lo, hi)
-	})
+func (en *Engine) rmHookParallel(live []liveEdge, hookedBy []int32, p int) {
+	en.call.live, en.call.hookedBy = live, hookedBy
+	en.fanout().ForChunksCtx(len(live), p, en, taskRMHook)
+}
+
+func taskRMHook(c any, _, lo, hi int) {
+	en := c.(*Engine)
+	rmHookChunk(en.call.live, en.coin, en.parent, en.call.hookedBy, lo, hi)
 }

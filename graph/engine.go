@@ -3,6 +3,7 @@ package graph
 import (
 	"sync"
 
+	"listrank"
 	"listrank/internal/rng"
 	"listrank/tree"
 )
@@ -25,12 +26,33 @@ import (
 // draw engines from an internal pool.
 //
 // Zero-allocation steady state holds for ComponentsInto — all four
-// algorithms — with Procs <= 1 once the arena and the destination are
-// warm; Procs > 1 additionally pays only the per-call goroutine
-// spawns. Biconnectivity reuses the flat working set but still
-// allocates its structural intermediates (the Euler-tour tree, sparse
-// tables and auxiliary graph).
+// algorithms — once the arena and the destination are warm: the
+// parallel algorithms dispatch their fan-outs closure-free onto
+// resident worker-pool workers instead of spawning goroutines per
+// round. At Procs > 1 this requires a pool at least Procs wide with
+// no competing dispatcher (an engine-owned pool via SetPool always
+// qualifies; an undersized or contended pool degrades fan-outs to
+// spawn-per-call — allocations, not errors). Biconnectivity reuses
+// the flat working set but still allocates its structural
+// intermediates (the Euler-tour tree, sparse tables and auxiliary
+// graph).
 type Engine struct {
+	// pool is the resident worker pool every fan-out dispatches on;
+	// nil selects the process-wide shared pool. The embedded tree
+	// engine (and through it the ranking arena) dispatches on the
+	// same pool.
+	pool *listrank.WorkerPool
+
+	// call stashes the per-dispatch arguments read by the named pool
+	// task functions (task* in components.go); caller-owned references
+	// are dropped when the algorithms return.
+	call struct {
+		g        *Graph
+		f        []int32
+		hookedBy []int32
+		live     []liveEdge
+	}
+
 	// Hook-and-shortcut per-worker flags.
 	changed, flatW []bool
 
@@ -86,12 +108,41 @@ type Engine struct {
 func NewEngine() *Engine { return &Engine{} }
 
 // treeEngine returns the embedded tree engine, creating it on first
-// use so the zero value of Engine is fully usable.
+// use so the zero value of Engine is fully usable. It dispatches on
+// the same worker pool as this engine.
 func (en *Engine) treeEngine() *tree.Engine {
 	if en.te == nil {
 		en.te = tree.NewEngine()
+		en.te.SetPool(en.pool)
 	}
 	return en.te
+}
+
+// SetPool selects the worker pool this engine (and its embedded tree
+// and ranking engines) dispatches parallel phases on; nil (the
+// default) selects the process-wide shared pool. The engine never
+// closes the pool.
+func (en *Engine) SetPool(pl *listrank.WorkerPool) {
+	en.pool = pl
+	if en.te != nil {
+		en.te.SetPool(pl)
+	}
+}
+
+// fanout returns the pool every parallel phase dispatches on.
+func (en *Engine) fanout() *listrank.WorkerPool {
+	if en.pool != nil {
+		return en.pool
+	}
+	return listrank.SharedWorkerPool()
+}
+
+// releaseCall drops the fan-out stash's references to caller-owned
+// storage (the graph, the destination labeling) so a held or pooled
+// engine never keeps a finished problem alive.
+func (en *Engine) releaseCall() {
+	en.call.g, en.call.f = nil, nil
+	en.call.hookedBy, en.call.live = nil, nil
 }
 
 // enginePool backs the package-level entry points, so callers that

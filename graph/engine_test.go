@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"listrank"
 )
 
 var ccAllAlgorithms = []CCAlgorithm{CCHookShortcut, CCRandomMate, CCSerialDFS, CCUnionFind}
@@ -147,40 +149,52 @@ func TestGraphEngineConcurrent(t *testing.T) {
 // union-find spanning forest.
 func TestGraphZeroAllocSteadyState(t *testing.T) {
 	g := RandomGNM(1<<15, 1<<16, 77)
-	en := NewEngine()
-	var c Components
-	var bi Biconnectivity
-	forest := make([]int, 0, g.Len())
-	cases := []struct {
-		name string
-		run  func()
-	}{
-		{"components-hook-shortcut", func() {
-			en.ComponentsInto(&c, g, CCOptions{Algorithm: CCHookShortcut, Procs: 1})
-		}},
-		{"components-random-mate", func() {
-			en.ComponentsInto(&c, g, CCOptions{Algorithm: CCRandomMate, Procs: 1, Seed: 42})
-		}},
-		{"components-serial-dfs", func() {
-			en.ComponentsInto(&c, g, CCOptions{Algorithm: CCSerialDFS})
-		}},
-		{"components-union-find", func() {
-			en.ComponentsInto(&c, g, CCOptions{Algorithm: CCUnionFind})
-		}},
-		{"spanning-union-find", func() {
-			forest = en.SpanningForestInto(forest, g, CCOptions{Algorithm: CCUnionFind})
-		}},
-		{"biconn-serial", func() {
-			en.biconnSerial(&bi, g)
-		}},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			tc.run() // warm the arena for this configuration
-			if allocs := testing.AllocsPerRun(3, tc.run); allocs != 0 {
-				t.Errorf("%s: %v allocs/op with a warm engine, want 0", tc.name, allocs)
-			}
-		})
+	for _, procs := range []int{1, 4} {
+		en := NewEngine()
+		if procs > 1 {
+			// An engine-owned pool sized to the job keeps the Procs > 1
+			// guarantee independent of the host machine's core count.
+			pool := listrank.NewWorkerPool(procs)
+			defer pool.Close()
+			en.SetPool(pool)
+		}
+		var c Components
+		var bi Biconnectivity
+		forest := make([]int, 0, g.Len())
+		cases := []struct {
+			name string
+			run  func()
+		}{
+			{"components-hook-shortcut", func() {
+				en.ComponentsInto(&c, g, CCOptions{Algorithm: CCHookShortcut, Procs: procs})
+			}},
+			{"components-random-mate", func() {
+				en.ComponentsInto(&c, g, CCOptions{Algorithm: CCRandomMate, Procs: procs, Seed: 42})
+			}},
+			{"components-serial-dfs", func() {
+				en.ComponentsInto(&c, g, CCOptions{Algorithm: CCSerialDFS})
+			}},
+			{"components-union-find", func() {
+				en.ComponentsInto(&c, g, CCOptions{Algorithm: CCUnionFind})
+			}},
+			{"spanning-union-find", func() {
+				forest = en.SpanningForestInto(forest, g, CCOptions{Algorithm: CCUnionFind})
+			}},
+			{"spanning-random-mate", func() {
+				forest = en.SpanningForestInto(forest, g, CCOptions{Algorithm: CCRandomMate, Procs: procs, Seed: 43})
+			}},
+			{"biconn-serial", func() {
+				en.biconnSerial(&bi, g)
+			}},
+		}
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("%s-p%d", tc.name, procs), func(t *testing.T) {
+				tc.run() // warm the arena for this configuration
+				if allocs := testing.AllocsPerRun(3, tc.run); allocs != 0 {
+					t.Errorf("%s: %v allocs/op with a warm engine, want 0", tc.name, allocs)
+				}
+			})
+		}
 	}
 }
 

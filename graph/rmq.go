@@ -30,7 +30,7 @@ func newSparseTable(a []int32, min bool, procs int) *sparseTable {
 		rows := n - width + 1
 		cur := make([]int32, rows)
 		half := width / 2
-		par.ForChunks(rows, par.Procs(procs, rows), func(w, lo, hi int) {
+		par.Shared().ForChunks(rows, par.Procs(procs, rows), func(w, lo, hi int) {
 			if min {
 				for i := lo; i < hi; i++ {
 					x, y := prev[i], prev[i+half]

@@ -124,8 +124,10 @@ type Options struct {
 	// M is the number of splitters (the list is cut into at most M+1
 	// sublists). M <= 0 selects DefaultM(n).
 	M int
-	// Procs is the number of worker goroutines for setup and Phases 1
-	// and 3. Values < 1 mean 1.
+	// Procs is the number of workers for setup and Phases 1 and 3.
+	// Values < 1 mean 1. Multi-worker phases dispatch onto the arena's
+	// resident worker pool (par.Pool, layer 0 of the arena
+	// architecture) rather than spawning goroutines per call.
 	Procs int
 	// Phase2 selects the reduced-list scan algorithm.
 	Phase2 Phase2Algorithm
@@ -240,13 +242,16 @@ func Ranks(l *list.List, opt Options) []int64 {
 
 // RanksInto is Ranks into caller-provided storage of length l.Len(),
 // drawing all working space from sc (nil borrows a pooled arena). With
-// a warm sc, steady-state calls perform zero heap allocations when
-// Procs == 1 (Procs > 1 pays only the goroutine spawns).
+// a warm sc, steady-state calls perform zero heap allocations at any
+// Procs: single-worker phases run inline, and multi-worker phases
+// dispatch onto resident pool workers (sc's own pool, or the
+// process-wide par.Shared() pool) through closure-free task bodies.
 func RanksInto(dst []int64, l *list.List, opt Options, sc *Scratch) {
 	if sc == nil {
 		sc = getScratch()
 		defer putScratch(sc)
 	}
+	defer sc.releaseCall()
 	n := l.Len()
 	o := opt.withDefaults(n)
 	if !o.DisableEncoding && n > o.SerialCutoff && n < encMaxLen && o.M >= 1 {
@@ -273,6 +278,7 @@ func ScanInto(dst []int64, l *list.List, opt Options, sc *Scratch) {
 		sc = getScratch()
 		defer putScratch(sc)
 	}
+	defer sc.releaseCall()
 	scanAdd(dst, l, l.Value, opt, 0, sc)
 }
 
@@ -294,6 +300,7 @@ func ScanOpInto(dst []int64, l *list.List, op func(a, b int64) int64, identity i
 		sc = getScratch()
 		defer putScratch(sc)
 	}
+	defer sc.releaseCall()
 	scanOp(dst, l, l.Value, op, identity, opt, 0, sc)
 }
 
@@ -330,21 +337,28 @@ func findTail(l *list.List, p int, sc *Scratch) int64 {
 	}
 	sc.tails = grow(sc.tails, p)
 	found := sc.tails
-	par.ForChunks(n, p, func(w, lo, hi int) {
-		found[w] = -1
-		for i := lo; i < hi; i++ {
-			if next[i] == int64(i) {
-				found[w] = int64(i)
-				return
-			}
-		}
-	})
+	sc.fc.next = next
+	sc.fanout().ForChunksCtx(n, p, sc, taskFindTail)
 	for _, t := range found {
 		if t >= 0 {
 			return t
 		}
 	}
 	panic("core: list has no tail self-loop")
+}
+
+// taskFindTail scans chunk [lo, hi) of the Next array for the
+// self-loop, parking the find (or -1) in the worker's tails slot.
+func taskFindTail(c any, w, lo, hi int) {
+	sc := c.(*Scratch)
+	next := sc.fc.next
+	sc.tails[w] = -1
+	for i := lo; i < hi; i++ {
+		if next[i] == int64(i) {
+			sc.tails[w] = int64(i)
+			return
+		}
+	}
 }
 
 // splitterChunk is the fixed granule of the parallel splitter draw:
@@ -405,9 +419,8 @@ func drawSplitters(out []int64, n int, tail int64, m int, seed uint64, p int, sc
 	if p == 1 {
 		drawPosChunks(pos, n, tail, seed, 0, chunks, m)
 	} else {
-		par.ForChunks(chunks, p, func(_, clo, chi int) {
-			drawPosChunks(pos, n, tail, seed, clo, chi, m)
-		})
+		sc.fc.n, sc.fc.tail, sc.fc.seed, sc.fc.m = n, tail, seed, m
+		sc.fanout().ForChunksCtx(chunks, p, sc, taskDrawPos)
 	}
 
 	// Competition: write our (1-offset) index, read it back; losers
@@ -421,26 +434,9 @@ func drawSplitters(out []int64, n int, tail int64, m int, seed uint64, p int, sc
 			out[q] = int64(j + 1)
 		}
 	} else {
-		par.ForChunks(m, pm, func(_, lo, hi int) {
-			for j := lo; j < hi; j++ {
-				atomic.StoreInt64(&out[pos[j]], 0)
-			}
-		})
-		par.ForChunks(m, pm, func(_, lo, hi int) {
-			for j := lo; j < hi; j++ {
-				a := &out[pos[j]]
-				marker := int64(j + 1)
-				for {
-					cur := atomic.LoadInt64(a)
-					if cur >= marker {
-						break
-					}
-					if atomic.CompareAndSwapInt64(a, cur, marker) {
-						break
-					}
-				}
-			}
-		})
+		sc.fc.out = out
+		sc.fanout().ForChunksCtx(m, pm, sc, taskClearCells)
+		sc.fanout().ForChunksCtx(m, pm, sc, taskCASMax)
 	}
 
 	// Read phase: each worker compacts its chunk's winners in draw
@@ -452,9 +448,8 @@ func drawSplitters(out []int64, n int, tail int64, m int, seed uint64, p int, sc
 	if pm == 1 {
 		counts[0] = compactWinners(out, pos, winners, 0, m)
 	} else {
-		par.ForChunks(m, pm, func(w, lo, hi int) {
-			counts[w] = compactWinners(out, pos, winners, lo, hi)
-		})
+		sc.fc.out = out
+		sc.fanout().ForChunksCtx(m, pm, sc, taskCompactWinners)
 	}
 	sc.kept = grow(sc.kept, m+1)[:0]
 	kept := append(sc.kept, -1) // vp 0: the head sublist, no splitter
@@ -473,14 +468,48 @@ func drawSplitters(out []int64, n int, tail int64, m int, seed uint64, p int, sc
 			out[q] = 0
 		}
 	} else {
-		par.ForChunks(m, pm, func(_, lo, hi int) {
-			for j := lo; j < hi; j++ {
-				atomic.StoreInt64(&out[pos[j]], 0)
-			}
-		})
+		sc.fanout().ForChunksCtx(m, pm, sc, taskClearCells)
 	}
 	out[tail] = 0
 	return kept, dropped
+}
+
+// taskDrawPos, taskClearCells, taskCASMax and taskCompactWinners are
+// the splitter draw's pool bodies; see drawSplitters for the phases.
+func taskDrawPos(c any, _, clo, chi int) {
+	sc := c.(*Scratch)
+	drawPosChunks(sc.pos, sc.fc.n, sc.fc.tail, sc.fc.seed, clo, chi, sc.fc.m)
+}
+
+func taskClearCells(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	out, pos := sc.fc.out, sc.pos
+	for j := lo; j < hi; j++ {
+		atomic.StoreInt64(&out[pos[j]], 0)
+	}
+}
+
+func taskCASMax(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	out, pos := sc.fc.out, sc.pos
+	for j := lo; j < hi; j++ {
+		a := &out[pos[j]]
+		marker := int64(j + 1)
+		for {
+			cur := atomic.LoadInt64(a)
+			if cur >= marker {
+				break
+			}
+			if atomic.CompareAndSwapInt64(a, cur, marker) {
+				break
+			}
+		}
+	}
+}
+
+func taskCompactWinners(c any, w, lo, hi int) {
+	sc := c.(*Scratch)
+	sc.counts[w] = compactWinners(sc.fc.out, sc.pos, sc.winners, lo, hi)
 }
 
 // setup draws opt.M splitters, runs the duplicate-elimination
@@ -511,9 +540,8 @@ func setup(out []int64, l *list.List, values []int64, identity int64, opt Option
 	if p == 1 {
 		cutChunk(l.Next, values, v, kept, identity, 0, k-1)
 	} else {
-		par.ForChunks(k-1, p, func(_, lo, hi int) {
-			cutChunk(l.Next, values, v, kept, identity, lo, hi)
-		})
+		sc.fc.next, sc.fc.values, sc.fc.identity = l.Next, values, identity
+		sc.fanout().ForChunksCtx(k-1, p, sc, taskCut)
 	}
 	values[tail] = identity
 	if st := opt.Stats; st != nil {
@@ -523,8 +551,13 @@ func setup(out []int64, l *list.List, values []int64, identity int64, opt Option
 	return v, tail, savedTail
 }
 
+func taskCut(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	cutChunk(sc.fc.next, sc.fc.values, &sc.v, sc.kept, sc.fc.identity, lo, hi)
+}
+
 // cutChunk self-loops splitters kept[lo+1 .. hi] and records them in
-// the vp table; index translation matches par.ForChunks over k-1.
+// the vp table; index translation matches the chunked fan-out over k-1.
 func cutChunk(next, values []int64, v *vps, kept []int64, identity int64, lo, hi int) {
 	for j := lo + 1; j < hi+1; j++ {
 		q := kept[j]
@@ -556,19 +589,26 @@ func restore(l *list.List, values []int64, v *vps, tail, savedTail int64) {
 // so no marker can survive into the results. Every engine path runs
 // Phase 3 after this; TestPhase3OverwritesSuccessorMarkers asserts the
 // invariant.
-func findSuccessors(out []int64, v *vps, p int) {
+func findSuccessors(out []int64, v *vps, p int, sc *Scratch) {
 	k := len(v.r)
 	if p == 1 {
 		writeSuccMarkers(out, v, 0, k-1)
 		readSuccessors(out, v, 0, k)
 		return
 	}
-	par.ForChunks(k-1, p, func(_, lo, hi int) {
-		writeSuccMarkers(out, v, lo, hi)
-	})
-	par.ForChunks(k, p, func(_, lo, hi int) {
-		readSuccessors(out, v, lo, hi)
-	})
+	sc.fc.out = out
+	sc.fanout().ForChunksCtx(k-1, p, sc, taskWriteSuccMarkers)
+	sc.fanout().ForChunksCtx(k, p, sc, taskReadSuccessors)
+}
+
+func taskWriteSuccMarkers(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	writeSuccMarkers(sc.fc.out, &sc.v, lo, hi)
+}
+
+func taskReadSuccessors(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	readSuccessors(sc.fc.out, &sc.v, lo, hi)
 }
 
 func writeSuccMarkers(out []int64, v *vps, lo, hi int) {
@@ -617,25 +657,22 @@ func scanAdd(out []int64, l *list.List, values []int64, opt Options, depth int, 
 		if p == 1 {
 			sumChunkAdd(l.Next, values, v, 0, k)
 		} else {
-			par.ForChunks(k, p, func(_, lo, hi int) {
-				sumChunkAdd(l.Next, values, v, lo, hi)
-			})
+			sc.fc.next, sc.fc.values = l.Next, values
+			sc.fanout().ForChunksCtx(k, p, sc, taskSumAdd)
 		}
 		if opt.Stats != nil {
 			opt.Stats.LinksTraversed += int64(n) // every vertex visited once
 		}
 	}
 
-	findSuccessors(out, v, p)
+	findSuccessors(out, v, p, sc)
 
 	// Fold each sublist's tail value (identity-overwritten in list
 	// storage, preserved in saved) into the reduced value.
 	if p == 1 {
 		foldTailsAdd(v, 0, k)
 	} else {
-		par.ForChunks(k, p, func(_, lo, hi int) {
-			foldTailsAdd(v, lo, hi)
-		})
+		sc.fanout().ForChunksCtx(k, p, sc, taskFoldTailsAdd)
 	}
 
 	// Phase 2: scan the reduced list of sublist sums.
@@ -647,10 +684,24 @@ func scanAdd(out []int64, l *list.List, values []int64, opt Options, depth int, 
 	} else if p == 1 {
 		expandChunkAdd(out, l.Next, values, v, 0, k)
 	} else {
-		par.ForChunks(k, p, func(_, lo, hi int) {
-			expandChunkAdd(out, l.Next, values, v, lo, hi)
-		})
+		sc.fc.out, sc.fc.next, sc.fc.values = out, l.Next, values
+		sc.fanout().ForChunksCtx(k, p, sc, taskExpandAdd)
 	}
+}
+
+func taskSumAdd(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	sumChunkAdd(sc.fc.next, sc.fc.values, &sc.v, lo, hi)
+}
+
+func taskFoldTailsAdd(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	foldTailsAdd(&sc.v, lo, hi)
+}
+
+func taskExpandAdd(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	expandChunkAdd(sc.fc.out, sc.fc.next, sc.fc.values, &sc.v, lo, hi)
 }
 
 // sumChunkAdd is the natural-discipline Phase 1 walk over sublists

@@ -2,7 +2,6 @@ package core
 
 import (
 	"listrank/internal/list"
-	"listrank/internal/par"
 )
 
 // This file implements the vector-faithful lockstep traversal
@@ -67,9 +66,9 @@ func lockstepPhase1(l *list.List, values []int64, v *vps, p int, opt Options, sc
 	if p == 1 {
 		linksByWorker[0], roundsByWorker[0] = lockstepP1Worker(next, values, v, activeAll, steps, repeat, 0, k)
 	} else {
-		par.ForChunks(k, p, func(w, lo, hi int) {
-			linksByWorker[w], roundsByWorker[w] = lockstepP1Worker(next, values, v, activeAll, steps, repeat, lo, hi)
-		})
+		sc.fc.next, sc.fc.values = next, values
+		sc.fc.steps, sc.fc.repeat = steps, repeat
+		sc.fanout().ForChunksCtx(k, p, sc, taskLockstepP1)
 	}
 	// One extra fold per finished sublist happened when the final step
 	// landed exactly on the tail; that fold added the identity and
@@ -142,11 +141,21 @@ func lockstepPhase3(out []int64, l *list.List, values []int64, v *vps, p int, op
 	if p == 1 {
 		linksByWorker[0], roundsByWorker[0] = lockstepP3Worker(out, next, values, v, activeAll, accAll, steps, repeat, 0, k)
 	} else {
-		par.ForChunks(k, p, func(w, lo, hi int) {
-			linksByWorker[w], roundsByWorker[w] = lockstepP3Worker(out, next, values, v, activeAll, accAll, steps, repeat, lo, hi)
-		})
+		sc.fc.out, sc.fc.next, sc.fc.values = out, next, values
+		sc.fc.steps, sc.fc.repeat = steps, repeat
+		sc.fanout().ForChunksCtx(k, p, sc, taskLockstepP3)
 	}
 	recordLockstepStats(opt.Stats, linksByWorker, roundsByWorker)
+}
+
+func taskLockstepP1(c any, w, lo, hi int) {
+	sc := c.(*Scratch)
+	sc.links[w], sc.rounds[w] = lockstepP1Worker(sc.fc.next, sc.fc.values, &sc.v, sc.active, sc.fc.steps, sc.fc.repeat, lo, hi)
+}
+
+func taskLockstepP3(c any, w, lo, hi int) {
+	sc := c.(*Scratch)
+	sc.links[w], sc.rounds[w] = lockstepP3Worker(sc.fc.out, sc.fc.next, sc.fc.values, &sc.v, sc.active, sc.acc, sc.fc.steps, sc.fc.repeat, lo, hi)
 }
 
 // lockstepP3Worker runs one worker's share [lo, hi) of the Phase 3

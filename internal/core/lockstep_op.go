@@ -2,7 +2,6 @@ package core
 
 import (
 	"listrank/internal/list"
-	"listrank/internal/par"
 )
 
 // Generic-operator twins of the lockstep traversal in lockstep.go,
@@ -25,11 +24,17 @@ func lockstepPhase1Op(l *list.List, values []int64, v *vps, p int, op func(a, b 
 	if p == 1 {
 		linksByWorker[0], roundsByWorker[0] = lockstepP1OpWorker(next, values, v, activeAll, op, identity, steps, repeat, 0, k)
 	} else {
-		par.ForChunks(k, p, func(w, lo, hi int) {
-			linksByWorker[w], roundsByWorker[w] = lockstepP1OpWorker(next, values, v, activeAll, op, identity, steps, repeat, lo, hi)
-		})
+		sc.fc.next, sc.fc.values = next, values
+		sc.fc.op, sc.fc.identity = op, identity
+		sc.fc.steps, sc.fc.repeat = steps, repeat
+		sc.fanout().ForChunksCtx(k, p, sc, taskLockstepP1Op)
 	}
 	recordLockstepStats(opt.Stats, linksByWorker, roundsByWorker)
+}
+
+func taskLockstepP1Op(c any, w, lo, hi int) {
+	sc := c.(*Scratch)
+	sc.links[w], sc.rounds[w] = lockstepP1OpWorker(sc.fc.next, sc.fc.values, &sc.v, sc.active, sc.fc.op, sc.fc.identity, sc.fc.steps, sc.fc.repeat, lo, hi)
 }
 
 func lockstepP1OpWorker(next, values []int64, v *vps, activeAll []int32, op func(a, b int64) int64, identity int64, steps []int, repeat, lo, hi int) (int64, int) {
@@ -78,11 +83,17 @@ func lockstepPhase3Op(out []int64, l *list.List, values []int64, v *vps, p int, 
 	if p == 1 {
 		linksByWorker[0], roundsByWorker[0] = lockstepP3OpWorker(out, next, values, v, activeAll, accAll, op, steps, repeat, 0, k)
 	} else {
-		par.ForChunks(k, p, func(w, lo, hi int) {
-			linksByWorker[w], roundsByWorker[w] = lockstepP3OpWorker(out, next, values, v, activeAll, accAll, op, steps, repeat, lo, hi)
-		})
+		sc.fc.out, sc.fc.next, sc.fc.values = out, next, values
+		sc.fc.op = op
+		sc.fc.steps, sc.fc.repeat = steps, repeat
+		sc.fanout().ForChunksCtx(k, p, sc, taskLockstepP3Op)
 	}
 	recordLockstepStats(opt.Stats, linksByWorker, roundsByWorker)
+}
+
+func taskLockstepP3Op(c any, w, lo, hi int) {
+	sc := c.(*Scratch)
+	sc.links[w], sc.rounds[w] = lockstepP3OpWorker(sc.fc.out, sc.fc.next, sc.fc.values, &sc.v, sc.active, sc.acc, sc.fc.op, sc.fc.steps, sc.fc.repeat, lo, hi)
 }
 
 func lockstepP3OpWorker(out, next, values []int64, v *vps, activeAll []int32, accAll []int64, op func(a, b int64) int64, steps []int, repeat, lo, hi int) (int64, int) {

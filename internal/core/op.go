@@ -36,23 +36,22 @@ func scanOp(out []int64, l *list.List, values []int64, op func(a, b int64) int64
 		if p == 1 {
 			sumChunkOp(l.Next, values, v, op, identity, 0, k)
 		} else {
-			par.ForChunks(k, p, func(_, lo, hi int) {
-				sumChunkOp(l.Next, values, v, op, identity, lo, hi)
-			})
+			sc.fc.next, sc.fc.values = l.Next, values
+			sc.fc.op, sc.fc.identity = op, identity
+			sc.fanout().ForChunksCtx(k, p, sc, taskSumOp)
 		}
 		if opt.Stats != nil {
 			opt.Stats.LinksTraversed += int64(n)
 		}
 	}
 
-	findSuccessors(out, v, p)
+	findSuccessors(out, v, p, sc)
 
 	if p == 1 {
 		foldTailsOp(v, op, 0, k)
 	} else {
-		par.ForChunks(k, p, func(_, lo, hi int) {
-			foldTailsOp(v, op, lo, hi)
-		})
+		sc.fc.op = op
+		sc.fanout().ForChunksCtx(k, p, sc, taskFoldTailsOp)
 	}
 
 	// Phase 2: like phase2Add, directly on v.sum/v.succ — serial walk,
@@ -113,13 +112,28 @@ func scanOp(out []int64, l *list.List, values []int64, op func(a, b int64) int64
 	if p == 1 {
 		expandChunkOp(out, l.Next, values, v, op, 0, k)
 	} else {
-		par.ForChunks(k, p, func(_, lo, hi int) {
-			expandChunkOp(out, l.Next, values, v, op, lo, hi)
-		})
+		sc.fc.out, sc.fc.next, sc.fc.values = out, l.Next, values
+		sc.fc.op = op
+		sc.fanout().ForChunksCtx(k, p, sc, taskExpandOp)
 	}
 	if opt.Stats != nil {
 		opt.Stats.LinksTraversed += int64(n)
 	}
+}
+
+func taskSumOp(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	sumChunkOp(sc.fc.next, sc.fc.values, &sc.v, sc.fc.op, sc.fc.identity, lo, hi)
+}
+
+func taskFoldTailsOp(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	foldTailsOp(&sc.v, sc.fc.op, lo, hi)
+}
+
+func taskExpandOp(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	expandChunkOp(sc.fc.out, sc.fc.next, sc.fc.values, &sc.v, sc.fc.op, lo, hi)
 }
 
 func sumChunkOp(next, values []int64, v *vps, op func(a, b int64) int64, identity int64, lo, hi int) {

@@ -75,7 +75,7 @@ func scanAddOversampled(out []int64, l *list.List, values []int64, opt Options, 
 	oversampledPhase1(l, values, v, reserve, trigger, opt)
 
 	k := len(v.r) // grown by activations
-	findSuccessors(out, v, 1)
+	findSuccessors(out, v, 1, sc)
 	for j := 0; j < k; j++ {
 		s := v.succ[j]
 		if int(s) != j {

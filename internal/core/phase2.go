@@ -31,13 +31,10 @@ func phase2WyllieAdd(v *vps, k, p int, sc *Scratch) {
 	if p == 1 {
 		initJumpAdd(val, lnk, v, 0, k)
 	} else {
-		// Capture copies: val/lnk are reassigned by the buffer swaps
-		// below, and a reassigned capture would force them into heap
-		// cells on every call, even single-worker ones.
-		iv, il := val, lnk
-		par.ForChunks(k, p, func(_, lo, hi int) {
-			initJumpAdd(iv, il, v, lo, hi)
-		})
+		// Stash copies: val/lnk are reassigned by the buffer swaps
+		// below, and the task bodies must read the pre-swap views.
+		sc.fc.val, sc.fc.lnk = val, lnk
+		sc.fanout().ForChunksCtx(k, p, sc, taskInitJumpAdd)
 	}
 	rounds := wyllie.Rounds(k)
 	if p == 1 {
@@ -51,7 +48,9 @@ func phase2WyllieAdd(v *vps, k, p int, sc *Scratch) {
 			lnk, lnk2 = lnk2, lnk
 		}
 	} else {
-		jumpAddParallel(val, val2, lnk, lnk2, k, p, rounds)
+		sc.fc.val, sc.fc.val2, sc.fc.lnk, sc.fc.lnk2 = val, val2, lnk, lnk2
+		sc.fc.k, sc.fc.p, sc.fc.rounds = k, p, rounds
+		sc.fanout().RunWorkersCtx(p, sc, taskJumpAdd)
 		if rounds%2 == 1 {
 			val = val2
 		}
@@ -62,37 +61,46 @@ func phase2WyllieAdd(v *vps, k, p int, sc *Scratch) {
 			v.pfx[j] = total - val[j]
 		}
 	} else {
-		fv := val
-		par.ForChunks(k, p, func(_, lo, hi int) {
-			for j := lo; j < hi; j++ {
-				v.pfx[j] = total - fv[j]
-			}
-		})
+		sc.fc.val, sc.fc.total = val, total
+		sc.fanout().ForChunksCtx(k, p, sc, taskPfxSub)
 	}
 }
 
-// jumpAddParallel runs the double-buffered jump rounds on p workers,
-// barrier-synchronized like wyllie.jump. It is a named function so the
-// worker closure (and its captures) is only allocated on the p > 1
-// path, keeping single-worker calls allocation-free.
-func jumpAddParallel(val, val2 []int64, lnk, lnk2 []int32, k, p, rounds int) {
-	par.RunWorkers(p, func(w int, b *par.Barrier) {
-		lv, lv2, ln, ln2 := val, val2, lnk, lnk2
-		lo, hi := par.Chunk(k, p, w)
-		for r := 0; r < rounds; r++ {
-			for j := lo; j < hi; j++ {
-				s := ln[j]
-				lv2[j] = lv[j] + lv[s]
-				ln2[j] = ln[s]
-			}
-			b.Wait()
-			lv, lv2 = lv2, lv
-			ln, ln2 = ln2, ln
-			// All workers must finish reading the old buffers before
-			// anyone writes the next round into them.
-			b.Wait()
+func taskInitJumpAdd(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	initJumpAdd(sc.fc.val, sc.fc.lnk, &sc.v, lo, hi)
+}
+
+// taskJumpAdd runs one worker's double-buffered jump rounds,
+// barrier-synchronized like wyllie.jump; the round-synchronous workers
+// stay parked on the pool's reusable barrier between rounds instead of
+// being respawned per phase.
+func taskJumpAdd(c any, w int, b *par.Barrier) {
+	sc := c.(*Scratch)
+	lv, lv2, ln, ln2 := sc.fc.val, sc.fc.val2, sc.fc.lnk, sc.fc.lnk2
+	k, p, rounds := sc.fc.k, sc.fc.p, sc.fc.rounds
+	lo, hi := par.Chunk(k, p, w)
+	for r := 0; r < rounds; r++ {
+		for j := lo; j < hi; j++ {
+			s := ln[j]
+			lv2[j] = lv[j] + lv[s]
+			ln2[j] = ln[s]
 		}
-	})
+		b.Wait()
+		lv, lv2 = lv2, lv
+		ln, ln2 = ln2, ln
+		// All workers must finish reading the old buffers before
+		// anyone writes the next round into them.
+		b.Wait()
+	}
+}
+
+func taskPfxSub(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	val, total := sc.fc.val, sc.fc.total
+	for j := lo; j < hi; j++ {
+		sc.v.pfx[j] = total - val[j]
+	}
 }
 
 // initJumpAdd seeds the successor-oriented jump buffers: sublist sums
@@ -131,15 +139,11 @@ func phase2WyllieOp(v *vps, k, p int, op func(a, b int64) int64, identity int64,
 		scatterPreds(prd, v, 0, k)
 		initJumpOp(val, prd, v, identity, 0, k)
 	} else {
-		// Capture copies, as in phase2WyllieAdd: val/prd are
-		// reassigned by the buffer swaps below.
-		iv, ip := val, prd
-		par.ForChunks(k, p, func(_, lo, hi int) {
-			scatterPreds(ip, v, lo, hi)
-		})
-		par.ForChunks(k, p, func(_, lo, hi int) {
-			initJumpOp(iv, ip, v, identity, lo, hi)
-		})
+		// Stash copies, as in phase2WyllieAdd: val/prd are reassigned
+		// by the buffer swaps below.
+		sc.fc.val, sc.fc.lnk, sc.fc.identity = val, prd, identity
+		sc.fanout().ForChunksCtx(k, p, sc, taskScatterPreds)
+		sc.fanout().ForChunksCtx(k, p, sc, taskInitJumpOp)
 	}
 	rounds := wyllie.Rounds(k)
 	if p == 1 {
@@ -153,7 +157,9 @@ func phase2WyllieOp(v *vps, k, p int, op func(a, b int64) int64, identity int64,
 			prd, prd2 = prd2, prd
 		}
 	} else {
-		jumpOpParallel(val, val2, prd, prd2, op, k, p, rounds)
+		sc.fc.val, sc.fc.val2, sc.fc.lnk, sc.fc.lnk2 = val, val2, prd, prd2
+		sc.fc.op, sc.fc.k, sc.fc.p, sc.fc.rounds = op, k, p, rounds
+		sc.fanout().RunWorkersCtx(p, sc, taskJumpOp)
 		if rounds%2 == 1 {
 			val = val2
 		}
@@ -161,31 +167,44 @@ func phase2WyllieOp(v *vps, k, p int, op func(a, b int64) int64, identity int64,
 	if p == 1 {
 		copy(v.pfx[:k], val[:k])
 	} else {
-		fv := val
-		par.ForChunks(k, p, func(_, lo, hi int) {
-			copy(v.pfx[lo:hi], fv[lo:hi])
-		})
+		sc.fc.val = val
+		sc.fanout().ForChunksCtx(k, p, sc, taskPfxCopy)
 	}
 }
 
-// jumpOpParallel is jumpAddParallel parameterized by the operator,
+func taskScatterPreds(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	scatterPreds(sc.fc.lnk, &sc.v, lo, hi)
+}
+
+func taskInitJumpOp(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	initJumpOp(sc.fc.val, sc.fc.lnk, &sc.v, sc.fc.identity, lo, hi)
+}
+
+// taskJumpOp is taskJumpAdd parameterized by the operator,
 // predecessor orientation.
-func jumpOpParallel(val, val2 []int64, prd, prd2 []int32, op func(a, b int64) int64, k, p, rounds int) {
-	par.RunWorkers(p, func(w int, b *par.Barrier) {
-		lv, lv2, lp, lp2 := val, val2, prd, prd2
-		lo, hi := par.Chunk(k, p, w)
-		for r := 0; r < rounds; r++ {
-			for j := lo; j < hi; j++ {
-				pv := lp[j]
-				lv2[j] = op(lv[pv], lv[j])
-				lp2[j] = lp[pv]
-			}
-			b.Wait()
-			lv, lv2 = lv2, lv
-			lp, lp2 = lp2, lp
-			b.Wait()
+func taskJumpOp(c any, w int, b *par.Barrier) {
+	sc := c.(*Scratch)
+	lv, lv2, lp, lp2 := sc.fc.val, sc.fc.val2, sc.fc.lnk, sc.fc.lnk2
+	op, k, p, rounds := sc.fc.op, sc.fc.k, sc.fc.p, sc.fc.rounds
+	lo, hi := par.Chunk(k, p, w)
+	for r := 0; r < rounds; r++ {
+		for j := lo; j < hi; j++ {
+			pv := lp[j]
+			lv2[j] = op(lv[pv], lv[j])
+			lp2[j] = lp[pv]
 		}
-	})
+		b.Wait()
+		lv, lv2 = lv2, lv
+		lp, lp2 = lp2, lp
+		b.Wait()
+	}
+}
+
+func taskPfxCopy(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	copy(sc.v.pfx[lo:hi], sc.fc.val[lo:hi])
 }
 
 func scatterPreds(prd []int32, v *vps, lo, hi int) {

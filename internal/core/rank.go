@@ -53,16 +53,14 @@ func ranksEnc(out []int64, l *list.List, opt Options, depth int, sc *Scratch) {
 		if p == 1 {
 			rankSumChunk(enc, v, 0, k)
 		} else {
-			par.ForChunks(k, p, func(_, lo, hi int) {
-				rankSumChunk(enc, v, lo, hi)
-			})
+			sc.fanout().ForChunksCtx(k, p, sc, taskRankSum)
 		}
 		if opt.Stats != nil {
 			opt.Stats.LinksTraversed += int64(n)
 		}
 	}
 
-	findSuccessors(out, v, p)
+	findSuccessors(out, v, p, sc)
 
 	// No tail-value fold: unlike the generic engine, the sublist
 	// length already counts its tail vertex.
@@ -77,14 +75,23 @@ func ranksEnc(out []int64, l *list.List, opt Options, depth int, sc *Scratch) {
 		if p == 1 {
 			rankExpandChunk(out, enc, v, 0, k)
 		} else {
-			par.ForChunks(k, p, func(_, lo, hi int) {
-				rankExpandChunk(out, enc, v, lo, hi)
-			})
+			sc.fc.out = out
+			sc.fanout().ForChunksCtx(k, p, sc, taskRankExpand)
 		}
 		if opt.Stats != nil {
 			opt.Stats.LinksTraversed += int64(n)
 		}
 	}
+}
+
+func taskRankSum(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	rankSumChunk(sc.enc, &sc.v, lo, hi)
+}
+
+func taskRankExpand(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	rankExpandChunk(sc.fc.out, sc.enc, &sc.v, lo, hi)
 }
 
 // rankSumChunk is the natural-discipline single-gather length loop
@@ -150,17 +157,15 @@ func setupRank(out []int64, l *list.List, opt Options, sc *Scratch) (*vps, []uin
 	if p == 1 {
 		encFill(enc, next, 0, n)
 	} else {
-		par.ForChunks(n, p, func(_, lo, hi int) {
-			encFill(enc, next, lo, hi)
-		})
+		sc.fc.next = next
+		sc.fanout().ForChunksCtx(n, p, sc, taskEncFill)
 	}
 	enc[tail] = uint64(tail) << 32
 	if p == 1 {
 		rankCutChunk(enc, next, v, kept, 0, k-1)
 	} else {
-		par.ForChunks(k-1, p, func(_, lo, hi int) {
-			rankCutChunk(enc, next, v, kept, lo, hi)
-		})
+		sc.fc.next = next
+		sc.fanout().ForChunksCtx(k-1, p, sc, taskRankCut)
 	}
 
 	if st := opt.Stats; st != nil {
@@ -168,6 +173,16 @@ func setupRank(out []int64, l *list.List, opt Options, sc *Scratch) (*vps, []uin
 		st.DuplicatesDropped = dropped
 	}
 	return v, enc
+}
+
+func taskEncFill(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	encFill(sc.enc, sc.fc.next, lo, hi)
+}
+
+func taskRankCut(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	rankCutChunk(sc.enc, sc.fc.next, &sc.v, sc.kept, lo, hi)
 }
 
 func encFill(enc []uint64, next []int64, lo, hi int) {
@@ -201,11 +216,15 @@ func lockstepRankPhase1(enc []uint64, v *vps, p int, opt Options, sc *Scratch) {
 	if p == 1 {
 		linksByWorker[0], roundsByWorker[0] = lockstepRankP1Worker(enc, v, activeAll, steps, repeat, 0, k)
 	} else {
-		par.ForChunks(k, p, func(w, lo, hi int) {
-			linksByWorker[w], roundsByWorker[w] = lockstepRankP1Worker(enc, v, activeAll, steps, repeat, lo, hi)
-		})
+		sc.fc.steps, sc.fc.repeat = steps, repeat
+		sc.fanout().ForChunksCtx(k, p, sc, taskLockstepRankP1)
 	}
 	recordLockstepStats(opt.Stats, linksByWorker, roundsByWorker)
+}
+
+func taskLockstepRankP1(c any, w, lo, hi int) {
+	sc := c.(*Scratch)
+	sc.links[w], sc.rounds[w] = lockstepRankP1Worker(sc.enc, &sc.v, sc.active, sc.fc.steps, sc.fc.repeat, lo, hi)
 }
 
 func lockstepRankP1Worker(enc []uint64, v *vps, activeAll []int32, steps []int, repeat, lo, hi int) (int64, int) {
@@ -259,11 +278,15 @@ func lockstepRankPhase3(out []int64, enc []uint64, v *vps, p int, opt Options, s
 	if p == 1 {
 		linksByWorker[0], roundsByWorker[0] = lockstepRankP3Worker(out, enc, v, activeAll, accAll, steps, repeat, 0, k)
 	} else {
-		par.ForChunks(k, p, func(w, lo, hi int) {
-			linksByWorker[w], roundsByWorker[w] = lockstepRankP3Worker(out, enc, v, activeAll, accAll, steps, repeat, lo, hi)
-		})
+		sc.fc.out, sc.fc.steps, sc.fc.repeat = out, steps, repeat
+		sc.fanout().ForChunksCtx(k, p, sc, taskLockstepRankP3)
 	}
 	recordLockstepStats(opt.Stats, linksByWorker, roundsByWorker)
+}
+
+func taskLockstepRankP3(c any, w, lo, hi int) {
+	sc := c.(*Scratch)
+	sc.links[w], sc.rounds[w] = lockstepRankP3Worker(sc.fc.out, sc.enc, &sc.v, sc.active, sc.acc, sc.fc.steps, sc.fc.repeat, lo, hi)
 }
 
 func lockstepRankP3Worker(out []int64, enc []uint64, v *vps, activeAll []int32, accAll []int64, steps []int, repeat, lo, hi int) (int64, int) {

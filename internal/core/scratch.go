@@ -69,6 +69,65 @@ type Scratch struct {
 	// child is the arena for Phase 2 recursion, created on first use
 	// and reused for every later recursive call.
 	child *Scratch
+
+	// pool is the resident worker pool used for every fan-out (layer 0
+	// of the arena architecture); nil selects the process-wide shared
+	// pool. Recursion hands the same pool to the child arena.
+	pool *par.Pool
+
+	// fc stashes the per-dispatch arguments read by the named pool
+	// task functions (task* in this package). Pool bodies must be
+	// closure-free to keep steady-state calls allocation-free — a
+	// closure literal escaping into the pool's job slot heap-allocates
+	// on every call — so each fan-out site writes its varying
+	// arguments here and passes the Scratch itself as the dispatch
+	// context. Caller-owned references are dropped by releaseCall at
+	// the end of every exported entry point.
+	fc struct {
+		out, next, values []int64
+		op                func(a, b int64) int64
+		identity          int64
+		n, m              int
+		tail              int64
+		seed              uint64
+		steps             []int
+		repeat            int
+		k, p, rounds      int
+		val, val2         []int64
+		lnk, lnk2         []int32
+		total             int64
+	}
+}
+
+// SetPool selects the resident worker pool this arena dispatches its
+// fan-outs on; nil (the default) selects the process-wide par.Shared()
+// pool. An engine that owns a pool the way it owns its arena passes it
+// here once; the pool is not closed by the arena.
+func (sc *Scratch) SetPool(pl *par.Pool) {
+	sc.pool = pl
+	if sc.child != nil {
+		sc.child.SetPool(pl)
+	}
+}
+
+// fanout returns the pool every parallel phase dispatches on.
+func (sc *Scratch) fanout() *par.Pool {
+	if sc.pool != nil {
+		return sc.pool
+	}
+	return par.Shared()
+}
+
+// releaseCall drops the fan-out stash's references to caller-owned
+// storage (dst, the list's Next/Value arrays, the operator) so a held
+// or pooled arena never keeps a finished problem alive. The child
+// arena's stash only ever references this arena's own buffers, so it
+// needs no recursive release.
+func (sc *Scratch) releaseCall() {
+	sc.fc.out, sc.fc.next, sc.fc.values = nil, nil, nil
+	sc.fc.op = nil
+	sc.fc.steps = nil
+	sc.fc.val, sc.fc.val2, sc.fc.lnk, sc.fc.lnk2 = nil, nil, nil, nil
 }
 
 // NewScratch returns an empty arena. Buffers are allocated lazily on
@@ -144,12 +203,15 @@ func (sc *Scratch) reducedView(v *vps, k, p int) *list.List {
 	if p == 1 {
 		widenSucc(rn, v.succ, 0, k)
 	} else {
-		par.ForChunks(k, p, func(_, lo, hi int) {
-			widenSucc(rn, v.succ, lo, hi)
-		})
+		sc.fanout().ForChunksCtx(k, p, sc, taskWidenSucc)
 	}
 	sc.rl = list.List{Next: rn, Value: v.sum[:k], Head: 0}
 	return &sc.rl
+}
+
+func taskWidenSucc(c any, _, lo, hi int) {
+	sc := c.(*Scratch)
+	widenSucc(sc.rlNext, sc.v.succ, lo, hi)
 }
 
 func widenSucc(dst []int64, succ []int32, lo, hi int) {
@@ -159,10 +221,11 @@ func widenSucc(dst []int64, succ []int32, lo, hi int) {
 }
 
 // childScratch returns the arena for one level of Phase 2 recursion,
-// creating it on first use.
+// creating it on first use. It dispatches on the same pool.
 func (sc *Scratch) childScratch() *Scratch {
 	if sc.child == nil {
 		sc.child = NewScratch()
+		sc.child.pool = sc.pool
 	}
 	return sc.child
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"listrank/internal/list"
+	"listrank/internal/par"
 	"listrank/internal/rng"
 	"listrank/internal/serial"
 )
@@ -58,41 +60,53 @@ func TestScratchReuseMatchesFresh(t *testing.T) {
 }
 
 // TestZeroAllocSteadyState is the tentpole's contract: with a warm
-// arena and one worker, rank and scan calls perform zero heap
-// allocations — across the natural and lockstep disciplines, the
-// encoded rank engine, and all three Phase 2 solvers.
+// arena, rank and scan calls perform zero heap allocations — across
+// the natural and lockstep disciplines, the encoded rank engine, and
+// all three Phase 2 solvers — at Procs == 1 (everything inline) *and*
+// at Procs == 4, where every fan-out dispatches closure-free onto the
+// arena's resident worker pool. The Procs > 1 leg uses an arena-owned
+// pool sized to the job so the guarantee holds regardless of the host
+// machine's core count.
 func TestZeroAllocSteadyState(t *testing.T) {
 	n := 1 << 18 // >= lockstepAutoThreshold so auto resolves to lockstep
 	l := list.NewRandom(n, rng.New(44))
 	dst := make([]int64, n)
-	sc := NewScratch()
-	cases := []struct {
-		name string
-		run  func()
-	}{
-		{"scan-auto", func() { ScanInto(dst, l, Options{Seed: 7}, sc) }},
-		{"scan-natural", func() { ScanInto(dst, l, Options{Seed: 7, Discipline: DisciplineNatural}, sc) }},
-		{"scan-wyllie-p2", func() { ScanInto(dst, l, Options{Seed: 7, Phase2: Phase2Wyllie}, sc) }},
-		{"scan-recursive-p2", func() { ScanInto(dst, l, Options{Seed: 7, Phase2: Phase2Recursive}, sc) }},
-		{"rank-encoded", func() { RanksInto(dst, l, Options{Seed: 7}, sc) }},
-		{"rank-generic", func() { RanksInto(dst, l, Options{Seed: 7, DisableEncoding: true}, sc) }},
-		{"scanop-min", func() {
-			minOp := func(a, b int64) int64 {
-				if a < b {
-					return a
+	for _, procs := range []int{1, 4} {
+		sc := NewScratch()
+		if procs > 1 {
+			pool := par.NewPool(procs)
+			defer pool.Close()
+			sc.SetPool(pool)
+		}
+		opt := func(o Options) Options { o.Procs = procs; return o }
+		cases := []struct {
+			name string
+			run  func()
+		}{
+			{"scan-auto", func() { ScanInto(dst, l, opt(Options{Seed: 7}), sc) }},
+			{"scan-natural", func() { ScanInto(dst, l, opt(Options{Seed: 7, Discipline: DisciplineNatural}), sc) }},
+			{"scan-wyllie-p2", func() { ScanInto(dst, l, opt(Options{Seed: 7, Phase2: Phase2Wyllie}), sc) }},
+			{"scan-recursive-p2", func() { ScanInto(dst, l, opt(Options{Seed: 7, Phase2: Phase2Recursive}), sc) }},
+			{"rank-encoded", func() { RanksInto(dst, l, opt(Options{Seed: 7}), sc) }},
+			{"rank-generic", func() { RanksInto(dst, l, opt(Options{Seed: 7, DisableEncoding: true}), sc) }},
+			{"scanop-min", func() {
+				minOp := func(a, b int64) int64 {
+					if a < b {
+						return a
+					}
+					return b
 				}
-				return b
-			}
-			ScanOpInto(dst, l, minOp, 1<<62, Options{Seed: 7}, sc)
-		}},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			tc.run() // warm the arena for this configuration
-			if allocs := testing.AllocsPerRun(3, tc.run); allocs != 0 {
-				t.Errorf("%s: %v allocs/op with a warm arena, want 0", tc.name, allocs)
-			}
-		})
+				ScanOpInto(dst, l, minOp, 1<<62, opt(Options{Seed: 7}), sc)
+			}},
+		}
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("%s-p%d", tc.name, procs), func(t *testing.T) {
+				tc.run() // warm the arena for this configuration
+				if allocs := testing.AllocsPerRun(3, tc.run); allocs != 0 {
+					t.Errorf("%s: %v allocs/op with a warm arena, want 0", tc.name, allocs)
+				}
+			})
+		}
 	}
 }
 

@@ -1,8 +1,13 @@
-// Package par provides the small shared-memory parallelism utilities
-// used by the goroutine track of the algorithms: chunked parallel-for
-// over index ranges (the MIMD analogue of strip-mining virtual
-// processors onto element processors, paper §1.1) and a reusable
-// barrier for the synchronous rounds of pointer-jumping algorithms.
+// Package par provides the shared-memory parallelism runtime used by
+// the goroutine track of the algorithms: chunked and strided
+// parallel-for over index ranges (the MIMD analogue of strip-mining
+// virtual processors onto element processors, paper §1.1), a reusable
+// barrier for the synchronous rounds of pointer-jumping algorithms,
+// and the persistent worker Pool (pool.go) that keeps a fixed set of
+// resident workers parked between fan-outs — the paper's §5 resident
+// processors. The free functions below spawn goroutines per call; the
+// engine layers dispatch on a Pool and fall back to these under
+// contention, while the reference algorithms use them directly.
 package par
 
 import "sync"

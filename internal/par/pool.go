@@ -1,0 +1,396 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is layer 0 of the arena architecture: the persistent
+// worker-pool runtime. The paper's multiprocessor accounting (§5,
+// Table II) assumes processors are *resident* — a schedule pays for
+// synchronization between rounds, never for re-acquiring its
+// processors per problem. The free functions in this package violate
+// that on the goroutine track: every ForChunks/RunWorkers call spawns
+// p fresh goroutines and allocates a WaitGroup (and usually a closure),
+// so the engine layer's zero-steady-state-allocation guarantee used to
+// collapse to Procs == 1. A Pool restores the paper's discipline: a
+// fixed set of worker goroutines is created once, parks on a reusable
+// barrier between fan-outs, and services any number of dispatches with
+// zero heap allocations — per-phase fan-out cost drops from
+// spawn+schedule+free to an unpark and two barrier crossings
+// (BenchmarkFanout measures both).
+//
+// Two API surfaces share one dispatch path:
+//
+//   - ForChunks / ForStrided / RunWorkers mirror the free functions.
+//     The pool side allocates nothing, but a closure literal passed to
+//     them still heap-allocates at the call site (it escapes into the
+//     pool's job slot), so these are for call sites that are off the
+//     steady-state contract.
+//   - ForChunksCtx / ForStridedCtx / RunWorkersCtx take a context
+//     pointer plus a *named* function. A top-level func value is a
+//     static pointer and a pointer-shaped ctx converts to any without
+//     allocating, so a dispatch through the Ctx forms performs zero
+//     heap allocations. The engine hot paths stash per-call arguments
+//     in their arena and pass the arena as ctx (see core.Scratch.fc).
+//
+// Concurrency: a Pool serves one dispatch at a time. Dispatch entry is
+// a busy-CAS; a pool that is already occupied (a concurrent engine, or
+// a nested fan-out from inside a worker body) degrades that call to
+// the spawn-per-call free functions, which are always correct. This is
+// what lets every engine share the process-wide Shared() pool: the
+// common case (one engine streaming problems) is resident-worker fast,
+// and contention costs only a goroutine spawn, never a deadlock.
+//
+// The free functions remain as-is — they are the spawn-per-call
+// fallback, and the reference algorithms (wyllie, ruling, randmate)
+// deliberately stay on them so their measured costs keep including the
+// per-call fan-out the paper's baselines would pay.
+
+const (
+	kindNone = iota
+	kindChunks
+	kindStrided
+	kindWorkers
+	kindShutdown
+)
+
+// Pool is a persistent set of worker goroutines servicing chunked,
+// strided and round-synchronous fan-outs. The caller participates as
+// worker 0, so a Pool of procs p keeps p-1 goroutines parked between
+// dispatches. A Pool serves one dispatch at a time; concurrent or
+// nested dispatch attempts fall back to spawn-per-call transparently.
+// Use NewPool; a Pool must not be copied after first use.
+//
+// Parking protocol: workers sleep on an epoch condvar. A dispatch
+// publishes the job, advances the epoch and broadcasts; each worker
+// wakes exactly once, runs its share, decrements the outstanding
+// count, and goes straight back to waiting for the next epoch — only
+// the last finisher wakes the dispatcher. One scheduling event per
+// worker per fan-out is the whole point: a two-barrier rendezvous
+// would schedule every worker a second time just to re-park it.
+type Pool struct {
+	procs int
+	wg    sync.WaitGroup
+
+	// busy serializes dispatches; closed marks shutdown intent. After
+	// Close, busy is held forever so every later dispatch attempt
+	// falls back to spawning.
+	busy   atomic.Bool
+	closed atomic.Bool
+
+	// Worker parking: epoch advances once per dispatch under mu.
+	mu    sync.Mutex
+	cond  *sync.Cond
+	epoch uint64
+
+	// Completion: outstanding counts workers still running the current
+	// job; the last one signals doneCond.
+	outstanding atomic.Int64
+	doneMu      sync.Mutex
+	doneCond    *sync.Cond
+
+	// round is handed to RunWorkers bodies and resized per dispatch
+	// (it is quiescent between dispatches).
+	round Barrier
+
+	// The current job, published before the epoch advance; references
+	// are cleared after every dispatch so a parked pool never keeps a
+	// finished problem alive.
+	kind int
+	n, p int
+	ctx  any
+	fc   func(ctx any, w, lo, hi int)
+	fs   func(ctx any, w, i int)
+	fw   func(ctx any, w int, b *Barrier)
+}
+
+// NewPool returns a pool of procs resident workers (clamped to at
+// least 1). procs-1 goroutines are spawned immediately and park until
+// work arrives or Close is called; the dispatching caller always
+// serves as worker 0. A pool with procs == 1 runs everything inline
+// and spawns nothing.
+func NewPool(procs int) *Pool {
+	if procs < 1 {
+		procs = 1
+	}
+	pl := &Pool{procs: procs}
+	pl.cond = sync.NewCond(&pl.mu)
+	pl.doneCond = sync.NewCond(&pl.doneMu)
+	pl.round.n = procs
+	pl.round.cond = sync.NewCond(&pl.round.mu)
+	pl.wg.Add(procs - 1)
+	for w := 1; w < procs; w++ {
+		go pl.workerLoop(w)
+	}
+	return pl
+}
+
+// Procs returns the pool's resident worker count (including the
+// caller's worker-0 slot).
+func (pl *Pool) Procs() int {
+	if pl == nil {
+		return 0
+	}
+	return pl.procs
+}
+
+// Close shuts the pool down deterministically: it waits for any
+// in-flight dispatch to finish, releases the parked workers into an
+// exit job, and returns only after every worker goroutine has
+// terminated. A closed pool remains safe to use — dispatches fall
+// back to spawn-per-call — and Close is idempotent. Close must not be
+// called from inside a body the pool is running (it would wait on
+// itself).
+func (pl *Pool) Close() {
+	if pl == nil || pl.closed.Swap(true) {
+		return
+	}
+	// An in-flight dispatch usually finishes within a phase, but it can
+	// legitimately run for a long time (a large rank on the pool), so
+	// yield briefly and then park between retries instead of burning a
+	// core until the dispatcher releases the pool.
+	for spins := 0; !pl.busy.CompareAndSwap(false, true); spins++ {
+		if spins < 128 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	if pl.procs > 1 {
+		pl.kind = kindShutdown
+		pl.mu.Lock()
+		pl.epoch++
+		pl.mu.Unlock()
+		pl.cond.Broadcast()
+		pl.wg.Wait()
+	}
+	// busy stays held: the pool is dead, and every later tryAcquire
+	// fails over to the spawn path.
+}
+
+func (pl *Pool) workerLoop(w int) {
+	defer pl.wg.Done()
+	seen := uint64(0)
+	for {
+		pl.mu.Lock()
+		for pl.epoch == seen {
+			pl.cond.Wait()
+		}
+		seen = pl.epoch
+		pl.mu.Unlock()
+		if pl.kind == kindShutdown {
+			return
+		}
+		pl.run(w)
+		if pl.outstanding.Add(-1) == 0 {
+			pl.doneMu.Lock()
+			pl.doneCond.Signal()
+			pl.doneMu.Unlock()
+		}
+	}
+}
+
+// run executes worker w's share of the current job. When the job asks
+// for more workers than the pool holds (q > procs), chunked and
+// strided jobs are multiplexed: resident worker w plays job-worker
+// roles w, w+procs, w+2·procs, … so per-worker buffer indexing and the
+// chunk grid stay exactly as the caller sized them.
+func (pl *Pool) run(w int) {
+	switch pl.kind {
+	case kindChunks:
+		for jw := w; jw < pl.p; jw += pl.procs {
+			lo, hi := Chunk(pl.n, pl.p, jw)
+			pl.fc(pl.ctx, jw, lo, hi)
+		}
+	case kindStrided:
+		for jw := w; jw < pl.p; jw += pl.procs {
+			for i := jw; i < pl.n; i += pl.p {
+				pl.fs(pl.ctx, jw, i)
+			}
+		}
+	case kindWorkers:
+		if w < pl.p {
+			pl.fw(pl.ctx, w, &pl.round)
+		}
+	}
+}
+
+// tryAcquire claims the pool for one dispatch.
+func (pl *Pool) tryAcquire() bool {
+	return !pl.closed.Load() && pl.busy.CompareAndSwap(false, true)
+}
+
+// release clears the job references and frees the pool. Deferred from
+// dispatch so a panicking worker-0 body cannot wedge the pool.
+func (pl *Pool) release() {
+	pl.kind = kindNone
+	pl.ctx, pl.fc, pl.fs, pl.fw = nil, nil, nil, nil
+	pl.busy.Store(false)
+}
+
+// dispatch releases the workers into the job fields (already set by
+// the caller), runs worker 0's share inline, and waits for everyone.
+// Job-field writes happen-before the workers' reads via mu (written
+// before the epoch advance, read after observing it); the outstanding
+// count plus doneMu order the workers' writes before the caller
+// continues.
+func (pl *Pool) dispatch() {
+	defer pl.release()
+	pl.outstanding.Store(int64(pl.procs - 1))
+	pl.mu.Lock()
+	pl.epoch++
+	pl.mu.Unlock()
+	pl.cond.Broadcast()
+	defer pl.await()
+	pl.run(0)
+}
+
+// await blocks until every worker has finished the current job.
+func (pl *Pool) await() {
+	pl.doneMu.Lock()
+	for pl.outstanding.Load() != 0 {
+		pl.doneCond.Wait()
+	}
+	pl.doneMu.Unlock()
+}
+
+// ForChunksCtx is the zero-allocation form of ForChunks: body must be
+// a named (non-closure) function and reads its per-call state from
+// ctx. Semantics match ForChunks(n, p, …) exactly, including the
+// clamped worker count and the inline p == 1 path.
+func (pl *Pool) ForChunksCtx(n, p int, ctx any, body func(ctx any, w, lo, hi int)) {
+	p = Procs(p, n)
+	if p <= 0 {
+		return
+	}
+	if p == 1 {
+		body(ctx, 0, 0, n)
+		return
+	}
+	if pl == nil || !pl.tryAcquire() {
+		forChunksCtxSpawn(n, p, ctx, body)
+		return
+	}
+	pl.kind, pl.n, pl.p = kindChunks, n, p
+	pl.ctx, pl.fc = ctx, body
+	pl.dispatch()
+}
+
+// ForStridedCtx is the zero-allocation form of ForStrided.
+func (pl *Pool) ForStridedCtx(n, p int, ctx any, body func(ctx any, w, i int)) {
+	p = Procs(p, n)
+	if p <= 0 {
+		return
+	}
+	if p == 1 {
+		for i := 0; i < n; i++ {
+			body(ctx, 0, i)
+		}
+		return
+	}
+	if pl == nil || !pl.tryAcquire() {
+		forStridedCtxSpawn(n, p, ctx, body)
+		return
+	}
+	pl.kind, pl.n, pl.p = kindStrided, n, p
+	pl.ctx, pl.fs = ctx, body
+	pl.dispatch()
+}
+
+// barrier1 is the shared single-participant barrier handed to inline
+// RunWorkersCtx bodies; Wait on it never blocks, and concurrent use is
+// safe because every Wait completes a phase by itself.
+var barrier1 = NewBarrier(1)
+
+// RunWorkersCtx is the zero-allocation form of RunWorkers. Bodies are
+// round-synchronous: all p participants call b.Wait between rounds, so
+// the job cannot be multiplexed onto fewer workers — a request for
+// more workers than the pool holds falls back to spawning.
+func (pl *Pool) RunWorkersCtx(p int, ctx any, body func(ctx any, w int, b *Barrier)) {
+	if p < 1 {
+		p = 1
+	}
+	if p == 1 {
+		body(ctx, 0, barrier1)
+		return
+	}
+	if pl == nil || p > pl.procs || !pl.tryAcquire() {
+		runWorkersCtxSpawn(p, ctx, body)
+		return
+	}
+	pl.round.n = p // quiescent between dispatches; resize is safe
+	pl.kind, pl.p = kindWorkers, p
+	pl.ctx, pl.fw = ctx, body
+	pl.dispatch()
+}
+
+// ForChunks mirrors the free ForChunks on the pool's resident workers.
+// The pool side allocates nothing, but passing a closure literal still
+// allocates it at the call site; steady-state paths use ForChunksCtx.
+func (pl *Pool) ForChunks(n, p int, body func(w, lo, hi int)) {
+	pl.ForChunksCtx(n, p, body, chunkAdapter)
+}
+
+func chunkAdapter(ctx any, w, lo, hi int) { ctx.(func(w, lo, hi int))(w, lo, hi) }
+
+// ForStrided mirrors the free ForStrided on the pool's resident
+// workers; see ForChunks for the closure caveat.
+func (pl *Pool) ForStrided(n, p int, body func(w, i int)) {
+	pl.ForStridedCtx(n, p, body, strideAdapter)
+}
+
+func strideAdapter(ctx any, w, i int) { ctx.(func(w, i int))(w, i) }
+
+// RunWorkers mirrors the free RunWorkers on the pool's resident
+// workers; see ForChunks for the closure caveat and RunWorkersCtx for
+// the oversubscription fallback.
+func (pl *Pool) RunWorkers(p int, body func(w int, b *Barrier)) {
+	pl.RunWorkersCtx(p, body, workerAdapter)
+}
+
+func workerAdapter(ctx any, w int, b *Barrier) { ctx.(func(w int, b *Barrier))(w, b) }
+
+// Spawn-per-call fallbacks, used when the pool is nil, closed, busy
+// with another dispatch, or (for RunWorkers) too small for the job.
+// They wrap the free functions — the closure this allocates is
+// immaterial next to the per-call goroutines the spawn path pays
+// anyway.
+
+func forChunksCtxSpawn(n, p int, ctx any, body func(ctx any, w, lo, hi int)) {
+	ForChunks(n, p, func(w, lo, hi int) { body(ctx, w, lo, hi) })
+}
+
+func forStridedCtxSpawn(n, p int, ctx any, body func(ctx any, w, i int)) {
+	ForStrided(n, p, func(w, i int) { body(ctx, w, i) })
+}
+
+func runWorkersCtxSpawn(p int, ctx any, body func(ctx any, w int, b *Barrier)) {
+	RunWorkers(p, func(w int, b *Barrier) { body(ctx, w, b) })
+}
+
+// Shared returns the process-wide pool, created on first use and sized
+// to the hardware (max of GOMAXPROCS and NumCPU at creation). Every
+// engine that is not given a pool of its own draws from it, so the
+// per-package sync.Pool-backed top-level entry points all reuse one
+// resident worker set. It is never closed; its parked workers are the
+// process's resident processors in the paper's sense. Concurrent
+// engines contend on it benignly — whoever arrives second spawns for
+// that one fan-out.
+func Shared() *Pool {
+	sharedOnce.Do(func() {
+		p := runtime.GOMAXPROCS(0)
+		if c := runtime.NumCPU(); c > p {
+			p = c
+		}
+		sharedPool = NewPool(p)
+	})
+	return sharedPool
+}
+
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)

@@ -105,10 +105,13 @@ func ScanValues[T any](l *List, vals []T, op func(T, T) T, identity T, opt Optio
 		sublistOfHead[h] = int32(id)
 	}
 
-	// Phase 1: fold every sublist; record where it ended.
+	// Phase 1: fold every sublist; record where it ended. Fan-outs
+	// dispatch on the shared resident worker pool; ScanValues allocates
+	// its result and working set per call anyway, so the closure cost
+	// is immaterial, but the workers are not re-spawned.
 	sums := make([]T, nsub)
 	endAt := make([]int64, nsub)
-	par.ForChunks(nsub, par.Procs(p, nsub), func(_, lo, hi int) {
+	par.Shared().ForChunks(nsub, par.Procs(p, nsub), func(_, lo, hi int) {
 		for id := lo; id < hi; id++ {
 			v := headVert[id]
 			acc := identity
@@ -139,7 +142,7 @@ func ScanValues[T any](l *List, vals []T, op func(T, T) T, identity T, opt Optio
 	}
 
 	// Phase 3: expand each sublist's prefix across its vertices.
-	par.ForChunks(nsub, par.Procs(p, nsub), func(_, lo, hi int) {
+	par.Shared().ForChunks(nsub, par.Procs(p, nsub), func(_, lo, hi int) {
 		for id := lo; id < hi; id++ {
 			v := headVert[id]
 			acc := prefix[id]

@@ -116,6 +116,12 @@ func BenchmarkTreeEngineReuse(b *testing.B) {
 		}
 		want := e.EvalSerial()
 		en := NewEngine()
+		if procs > 1 {
+			// Engine-owned pool: 0 allocs/op independent of host cores.
+			pool := listrank.NewWorkerPool(procs)
+			b.Cleanup(pool.Close)
+			en.SetPool(pool)
+		}
 		dst := make([]int64, e.Len())
 		b.Run(fmt.Sprintf("eval-p%d", procs), func(b *testing.B) {
 			en.Eval(e, nil) // warm the arena

@@ -228,7 +228,8 @@ type ContractStats struct {
 // engine's arena), so Eval is repeatable. stats may be nil. Hold an
 // explicit Engine and call its Eval method to control working-space
 // reuse directly; with a warm engine the evaluation is allocation-free
-// at Procs <= 1.
+// at any Procs (parallel rounds dispatch onto resident worker-pool
+// workers).
 func (e *Expr) Eval(stats *ContractStats) int64 {
 	en := getEngine()
 	v := en.Eval(e, stats)

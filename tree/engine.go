@@ -6,7 +6,6 @@ import (
 
 	"listrank"
 	"listrank/internal/arena"
-	"listrank/internal/par"
 )
 
 // Engine is a reusable working-space arena for the tree algorithms,
@@ -30,11 +29,35 @@ import (
 // (Expr.Eval, Expr.EvalAll, RootAt, Tree.LCA, ...), which draw engines
 // from an internal pool.
 //
-// Zero-allocation steady state holds for Eval and EvalAllInto with
-// Procs <= 1 once the arena is warm; Procs > 1 additionally pays only
-// the per-call goroutine spawns and per-phase log merges.
+// Zero-allocation steady state holds for Eval, EvalAllInto and
+// RootAtInto once the arena is warm: multi-worker phases dispatch
+// closure-free onto resident worker-pool workers instead of spawning
+// goroutines per rake round. At Procs > 1 this requires a pool at
+// least Procs wide with no competing dispatcher (an engine-owned pool
+// via SetPool always qualifies; an undersized or contended pool
+// degrades fan-outs to spawn-per-call — allocations, not errors).
 type Engine struct {
 	lr *listrank.Engine
+
+	// pool is the resident worker pool every fan-out dispatches on;
+	// nil selects the process-wide shared pool. The embedded listrank
+	// engine dispatches on the same pool.
+	pool *listrank.WorkerPool
+
+	// call stashes the per-dispatch arguments read by the named pool
+	// task functions (task* below): pool bodies must be closure-free
+	// to keep the steady state allocation-free, so each fan-out site
+	// writes its varying arguments here and passes the Engine itself
+	// as the dispatch context. Caller-owned references are dropped on
+	// return from the exported entry points.
+	call struct {
+		e      *Expr
+		phase  int
+		live   []int32
+		dst    []int64
+		base   int
+		parent []int
+	}
 
 	// Rake-contraction working set (Eval / EvalAllInto): mutable
 	// topology, pending linear functions f(x) = fa·x + fb, parent
@@ -70,12 +93,41 @@ type Engine struct {
 func NewEngine() *Engine { return &Engine{} }
 
 // lrEngine returns the embedded listrank engine, creating it on first
-// use so the zero value of Engine is fully usable.
+// use so the zero value of Engine is fully usable. It dispatches on
+// the same worker pool as this engine.
 func (en *Engine) lrEngine() *listrank.Engine {
 	if en.lr == nil {
 		en.lr = listrank.NewEngine()
+		en.lr.SetPool(en.pool)
 	}
 	return en.lr
+}
+
+// SetPool selects the worker pool this engine (and its embedded
+// listrank engine) dispatches parallel phases on; nil (the default)
+// selects the process-wide shared pool. The engine never closes the
+// pool.
+func (en *Engine) SetPool(pl *listrank.WorkerPool) {
+	en.pool = pl
+	if en.lr != nil {
+		en.lr.SetPool(pl)
+	}
+}
+
+// fanout returns the pool every parallel phase dispatches on.
+func (en *Engine) fanout() *listrank.WorkerPool {
+	if en.pool != nil {
+		return en.pool
+	}
+	return listrank.SharedWorkerPool()
+}
+
+// releaseCall drops the fan-out stash's references to caller-owned
+// storage so a held or pooled engine never keeps a finished problem
+// alive.
+func (en *Engine) releaseCall() {
+	en.call.e, en.call.live = nil, nil
+	en.call.dst, en.call.parent = nil, nil
 }
 
 // enginePool backs the package-level entry points: Expr.Eval,
@@ -126,6 +178,7 @@ func (en *Engine) Eval(e *Expr, stats *ContractStats) int64 {
 	if e.n == 1 {
 		return e.leafVal[e.root]
 	}
+	defer en.releaseCall()
 	procs := e.opt.Procs
 	if procs < 1 {
 		procs = 1
@@ -219,14 +272,17 @@ func (en *Engine) rakeChunk(e *Expr, phase int, live []int32, lo, hi int) {
 	}
 }
 
-// rakeParallel fans rakeChunk out over workers. It lives in its own
-// function so the procs == 1 path never materializes the closure
-// (closure literals whose captures escape heap-allocate even on
-// untaken branches).
+// rakeParallel fans rakeChunk out onto the resident pool workers
+// through a closure-free task body, so the procs > 1 rounds allocate
+// nothing: the varying arguments travel through the call stash.
 func (en *Engine) rakeParallel(e *Expr, phase int, live []int32, half, procs int) {
-	par.ForChunks(half, procs, func(_, lo, hi int) {
-		en.rakeChunk(e, phase, live, lo, hi)
-	})
+	en.call.e, en.call.phase, en.call.live = e, phase, live
+	en.fanout().ForChunksCtx(half, procs, en, taskRake)
+}
+
+func taskRake(c any, _, lo, hi int) {
+	en := c.(*Engine)
+	en.rakeChunk(en.call.e, en.call.phase, en.call.live, lo, hi)
 }
 
 // EvalAllInto writes the value of every node's subtree into dst, which
@@ -242,6 +298,7 @@ func (en *Engine) EvalAllInto(dst []int64, e *Expr, stats *ContractStats) {
 		dst[e.root] = e.leafVal[e.root]
 		return
 	}
+	defer en.releaseCall()
 	procs := e.opt.Procs
 	if procs < 1 {
 		procs = 1
@@ -370,12 +427,16 @@ func (en *Engine) rakeLogParallel(e *Expr, phase int, live []int32, half, procs 
 	for w := range recs {
 		recs[w] = recs[w][:0]
 	}
-	par.ForChunks(half, procs, func(w, lo, hi int) {
-		recs[w] = en.rakeLogChunk(e, phase, live, recs[w], lo, hi)
-	})
+	en.call.e, en.call.phase, en.call.live = e, phase, live
+	en.fanout().ForChunksCtx(half, procs, en, taskRakeLog)
 	for _, rs := range recs {
 		en.log = append(en.log, rs...)
 	}
+}
+
+func taskRakeLog(c any, w, lo, hi int) {
+	en := c.(*Engine)
+	en.recs[w] = en.rakeLogChunk(en.call.e, en.call.phase, en.call.live, en.recs[w], lo, hi)
 }
 
 // expandChunk replays log entries [base+lo, base+hi) of one phase
@@ -396,9 +457,13 @@ func (en *Engine) expandChunk(dst []int64, e *Expr, base, lo, hi int) {
 }
 
 func (en *Engine) expandParallel(dst []int64, e *Expr, base, cnt, procs int) {
-	par.ForChunks(cnt, procs, func(_, lo, hi int) {
-		en.expandChunk(dst, e, base, lo, hi)
-	})
+	en.call.dst, en.call.e, en.call.base = dst, e, base
+	en.fanout().ForChunksCtx(cnt, procs, en, taskExpand)
+}
+
+func taskExpand(c any, _, lo, hi int) {
+	en := c.(*Engine)
+	en.expandChunk(en.call.dst, en.call.e, en.call.base, lo, hi)
 }
 
 // --- Rooting ----------------------------------------------------------
@@ -424,6 +489,7 @@ func (en *Engine) RootAtInto(parent []int, n int, edges [][2]int, root int, opt 
 		parent[0] = -1
 		return nil
 	}
+	defer en.releaseCall()
 
 	// Arc 2i is edges[i] tail→head, arc 2i+1 its twin; twin(a) = a^1.
 	m := 2 * (n - 1)
@@ -560,10 +626,10 @@ func (en *Engine) circuitChunk(lo, hi int) {
 }
 
 func (en *Engine) circuitParallel(m, procs int) {
-	par.ForChunks(m, procs, func(_, lo, hi int) {
-		en.circuitChunk(lo, hi)
-	})
+	en.fanout().ForChunksCtx(m, procs, en, taskCircuit)
 }
+
+func taskCircuit(c any, _, lo, hi int) { c.(*Engine).circuitChunk(lo, hi) }
 
 // orientChunk orients edges [lo, hi) by comparing twin-arc ranks.
 func (en *Engine) orientChunk(parent []int, lo, hi int) {
@@ -579,9 +645,13 @@ func (en *Engine) orientChunk(parent []int, lo, hi int) {
 }
 
 func (en *Engine) orientParallel(parent []int, cnt, procs int) {
-	par.ForChunks(cnt, procs, func(_, lo, hi int) {
-		en.orientChunk(parent, lo, hi)
-	})
+	en.call.parent = parent
+	en.fanout().ForChunksCtx(cnt, procs, en, taskOrient)
+}
+
+func taskOrient(c any, _, lo, hi int) {
+	en := c.(*Engine)
+	en.orientChunk(en.call.parent, lo, hi)
 }
 
 // --- LCA --------------------------------------------------------------
@@ -611,8 +681,10 @@ func (en *Engine) LCA(t *Tree) *LCAIndex {
 	// Invert the ranks: position rank(e) holds element e. down(v)
 	// puts the walk at v (depth pfx), up(v) returns it to v's parent
 	// (depth pfx[up(v)] - 2 = depth(v) - 1; for the root's up element
-	// the walk ends where it started).
-	par.ForChunks(n, procs, func(_, lo, hi int) {
+	// the walk ends where it started). The LCA build allocates its
+	// retained index anyway, so the fan-out uses the pool's mirror
+	// form (resident workers, closure at the call site).
+	en.fanout().ForChunks(n, procs, func(_, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			pd := ranks[v]
 			x.first[v] = int32(pd)

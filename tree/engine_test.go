@@ -1,6 +1,7 @@
 package tree
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -129,38 +130,47 @@ func TestTreeEngineConcurrent(t *testing.T) {
 func TestTreeZeroAllocSteadyState(t *testing.T) {
 	nLeaves := 1 << 13
 	left, right, ops, vals := randomExpr(nLeaves, 29, 0.5)
-	e, err := NewExpr(left, right, ops, vals, listrank.Options{Procs: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	n := e.Len()
-	edges := make([][2]int, 0, n-1)
-	for v := 1; v < n; v++ {
-		edges = append(edges, [2]int{(v - 1) / 2, v})
-	}
-	parent := make([]int, n)
-	dst := make([]int64, n)
-	en := NewEngine()
-	var st ContractStats
-	cases := []struct {
-		name string
-		run  func()
-	}{
-		{"eval", func() { en.Eval(e, &st) }},
-		{"eval-all-into", func() { en.EvalAllInto(dst, e, &st) }},
-		{"root-at-into", func() {
-			if err := en.RootAtInto(parent, n, edges, 0, listrank.Options{Procs: 1}); err != nil {
-				t.Fatal(err)
-			}
-		}},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			tc.run() // warm the arena for this configuration
-			if allocs := testing.AllocsPerRun(3, tc.run); allocs != 0 {
-				t.Errorf("%s: %v allocs/op with a warm engine, want 0", tc.name, allocs)
-			}
-		})
+	for _, procs := range []int{1, 4} {
+		e, err := NewExpr(left, right, ops, vals, listrank.Options{Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := e.Len()
+		edges := make([][2]int, 0, n-1)
+		for v := 1; v < n; v++ {
+			edges = append(edges, [2]int{(v - 1) / 2, v})
+		}
+		parent := make([]int, n)
+		dst := make([]int64, n)
+		en := NewEngine()
+		if procs > 1 {
+			// An engine-owned pool sized to the job keeps the Procs > 1
+			// guarantee independent of the host machine's core count.
+			pool := listrank.NewWorkerPool(procs)
+			defer pool.Close()
+			en.SetPool(pool)
+		}
+		var st ContractStats
+		cases := []struct {
+			name string
+			run  func()
+		}{
+			{"eval", func() { en.Eval(e, &st) }},
+			{"eval-all-into", func() { en.EvalAllInto(dst, e, &st) }},
+			{"root-at-into", func() {
+				if err := en.RootAtInto(parent, n, edges, 0, listrank.Options{Procs: procs}); err != nil {
+					t.Fatal(err)
+				}
+			}},
+		}
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("%s-p%d", tc.name, procs), func(t *testing.T) {
+				tc.run() // warm the arena for this configuration
+				if allocs := testing.AllocsPerRun(3, tc.run); allocs != 0 {
+					t.Errorf("%s: %v allocs/op with a warm engine, want 0", tc.name, allocs)
+				}
+			})
+		}
 	}
 }
 

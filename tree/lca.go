@@ -59,7 +59,7 @@ func (x *LCAIndex) buildSparse(m, procs int) {
 		}
 		prev := x.sparse[k-1]
 		cur := make([]int32, width)
-		par.ForChunks(width, procs, func(_, lo, hi int) {
+		par.Shared().ForChunks(width, procs, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				a, b := prev[i], prev[i+half]
 				if x.depth[b] < x.depth[a] {

@@ -323,7 +323,7 @@ func (e *GeneralExpr) contract(method CompressMethod, stats *RakeCompressStats, 
 		// Snapshot leaf-ness so every rake decision this round reads
 		// round-start state (a node becoming a leaf mid-round must
 		// wait for the next round).
-		par.ForChunks(m, chunks, func(_, lo, hi int) {
+		par.Shared().ForChunks(m, chunks, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				v := active[i]
 				isLeafNow[v] = lc[v] == -1
@@ -335,7 +335,7 @@ func (e *GeneralExpr) contract(method CompressMethod, stats *RakeCompressStats, 
 		// children's death marks (each leaf has one parent), so the
 		// pass is race-free.
 		rakes := make([]int, chunks)
-		par.ForChunks(m, chunks, func(w, lo, hi int) {
+		par.Shared().ForChunks(m, chunks, func(w, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				v := active[i]
 				if lc[v] == -1 {
@@ -428,7 +428,7 @@ func (e *GeneralExpr) contract(method CompressMethod, stats *RakeCompressStats, 
 				hchunks := par.Procs(p, len(heads))
 				comp := make([]int, hchunks)
 				chainBufs := make([][]int32, hchunks)
-				par.ForChunks(len(heads), hchunks, func(w, lo, hi int) {
+				par.Shared().ForChunks(len(heads), hchunks, func(w, lo, hi int) {
 					for i := lo; i < hi; i++ {
 						h := heads[i]
 						a, b := pa[h], pb[h]
@@ -472,7 +472,7 @@ func (e *GeneralExpr) contract(method CompressMethod, stats *RakeCompressStats, 
 			for {
 				uchunks := par.Procs(p, len(unaries))
 				more := make([]bool, uchunks)
-				par.ForChunks(len(unaries), uchunks, func(w, lo, hi int) {
+				par.Shared().ForChunks(len(unaries), uchunks, func(w, lo, hi int) {
 					for i := lo; i < hi; i++ {
 						v := unaries[i]
 						c := lc[v]
@@ -497,7 +497,7 @@ func (e *GeneralExpr) contract(method CompressMethod, stats *RakeCompressStats, 
 						}
 					}
 				}
-				par.ForChunks(len(unaries), uchunks, func(_, lo, hi int) {
+				par.Shared().ForChunks(len(unaries), uchunks, func(_, lo, hi int) {
 					for i := lo; i < hi; i++ {
 						v := unaries[i]
 						lc[v], pa[v], pb[v] = newLc[i], newPa[i], newPb[i]
