@@ -1,9 +1,5 @@
 package listrank
 
-import (
-	"listrank/internal/par"
-)
-
 // This file provides the batch entry points for pools of independent
 // lists. The paper's central premise — machines run problems much
 // larger than their processor counts, so work and constants dominate
@@ -12,76 +8,66 @@ import (
 // chains, per-shard free lists). For that regime the right schedule
 // is the trivial one: parallelize *across* lists with the cheapest
 // per-list algorithm, not within each list with the cleverest, because
-// across-list parallelism has no contraction overhead at all. The
-// batch functions pick between the two regimes by comparing the pool
-// width to the worker count.
+// across-list parallelism has no contraction overhead at all.
 //
-// Each worker checks out one Engine for its entire share of the pool,
-// so the working space for the whole batch is p arenas reused across
-// len(pool) problems — the steady-state regime the engine layer is
-// built for — rather than one set of allocations per list.
+// The batch functions ride the serving layer: every list is submitted
+// to the process-wide SharedServer, whose size-binned shards make the
+// regime choice per list rather than per batch — small lists coalesce
+// into across-list dispatches on warm engines (each shard worker
+// serves its share of the batch inline on its own engine), while
+// lists in the unbounded top bin are served one at a time with
+// within-list parallelism. A mixed batch therefore gets both
+// schedules at once, which the old all-or-nothing width check
+// (across-list iff len(pool) ≥ procs) could not express, and the
+// working space is the fleet's warm arenas rather than per-call
+// engine checkout.
 
 // RankAll ranks every list in the pool and returns one result slice
-// per list. When the pool is at least as wide as the worker count,
-// whole lists are dealt to workers and each is ranked with the
-// single-worker configuration; narrower pools fall back to ranking
-// the lists one after another with the full configuration, preserving
-// within-list parallelism for the few big lists that need it.
+// per list. The lists are served concurrently by the shared server's
+// size-binned fleet: small lists are coalesced into batch dispatches
+// with across-list parallelism, large lists run with within-list
+// parallelism on their shard's worker pool. Results are identical to
+// per-list RankWith calls. Opt's Algorithm, Seed, M and Discipline
+// apply to every list; Procs is owned by the fleet (see Request.Opt).
+// The pool's entries must be distinct lists: the whole batch is in
+// flight at once, and an in-flight list must not be shared (see
+// Request.List).
 func RankAll(pool []*List, opt Options) [][]int64 {
-	return batch(pool, opt, (*Engine).RankInto, RankWith)
+	return batchAll(pool, opt, OpRank)
 }
 
 // ScanAll is RankAll for the exclusive integer-addition scan.
 func ScanAll(pool []*List, opt Options) [][]int64 {
-	return batch(pool, opt, (*Engine).ScanInto, ScanWith)
+	return batchAll(pool, opt, OpScan)
 }
 
-func batch(pool []*List, opt Options, into func(*Engine, []int64, *List, Options), one func(*List, Options) []int64) [][]int64 {
+func batchAll(pool []*List, opt Options, op Op) [][]int64 {
 	out := make([][]int64, len(pool))
 	if len(pool) == 0 {
 		return out
 	}
-	p := opt.procs()
-	if len(pool) >= p {
-		// Wide pool: across-list parallelism only. Each worker is
-		// dealt its engine-and-pool pair — a warm engine reused for
-		// its whole share, with inner Procs forced to 1 so every
-		// per-list call runs inline and performs *zero fan-outs*; the
-		// single fan-out of the whole batch is this one dispatch of
-		// the shared worker pool's resident workers. That is the
-		// paper's §5 constant-synchronization multiprocessor schedule
-		// lifted one level up: processors are acquired once per batch,
-		// not once per list (and certainly not once per phase). The
-		// reference algorithms allocate their own result per call, so
-		// routing them through an engine would only add a copy; they
-		// keep the direct path.
-		inner := opt
-		inner.Procs = 1
-		engined := opt.Algorithm == Sublist || opt.Algorithm == Serial
-		par.Shared().ForChunks(len(pool), p, func(_, lo, hi int) {
-			if !engined {
-				for i := lo; i < hi; i++ {
-					out[i] = one(pool[i], inner)
-				}
-				return
-			}
-			e := getEngine()
-			for i := lo; i < hi; i++ {
-				dst := make([]int64, pool[i].Len())
-				into(e, dst, pool[i], inner)
-				out[i] = dst
-			}
-			putEngine(e)
-		})
-		return out
-	}
-	// Narrow pool of (presumably) big lists: within-list parallelism,
-	// one after another. Each call borrows a pooled engine, and every
-	// parallel phase inside it dispatches onto the same shared worker
-	// pool the wide path uses — the resident workers are reused across
-	// the lists and across their phases, never re-spawned.
+	s := SharedServer()
+	tickets := make([]*Ticket, len(pool))
 	for i, l := range pool {
-		out[i] = one(l, opt)
+		out[i] = make([]int64, l.Len())
+		tickets[i] = s.Submit(Request{Op: op, List: l, Dst: out[i], Opt: opt})
+	}
+	// Wait every ticket before reporting a failure: panicking with
+	// requests still in flight would leave the fleet mutating the
+	// caller's lists and result slices during the unwind.
+	var firstErr error
+	for _, t := range tickets {
+		if _, err := t.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		// The shared server blocks rather than rejects and is never
+		// closed, so the only error that can surface here is a
+		// serve-time panic captured into the ticket — e.g. a list
+		// violating List's invariants. Re-panic with the underlying
+		// message, as the pre-serving-layer batch path would have.
+		panic(firstErr.Error())
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package listrank
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -102,6 +103,83 @@ func TestQuickBatch(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestBatchEdgeCases covers the degenerate inputs the dispatcher must
+// route correctly: an empty pool, pools of single-element lists (the
+// smallest bin's smallest problems), and the zero Options value.
+func TestBatchEdgeCases(t *testing.T) {
+	if out := RankAll(nil, Options{}); len(out) != 0 {
+		t.Fatalf("nil pool: %d results", len(out))
+	}
+	if out := ScanAll([]*List{}, Options{}); len(out) != 0 {
+		t.Fatalf("empty pool: %d results", len(out))
+	}
+	// Single-element lists: rank 0, scan 0, regardless of count.
+	ones := poolOf([]int{1, 1, 1, 1, 1}, 13)
+	for i, l := range ones {
+		l.Value[0] = int64(i) + 5
+	}
+	for name, out := range map[string][][]int64{
+		"rank": RankAll(ones, Options{}),
+		"scan": ScanAll(ones, Options{}),
+	} {
+		if len(out) != len(ones) {
+			t.Fatalf("%s: %d results, want %d", name, len(out), len(ones))
+		}
+		for i, r := range out {
+			if len(r) != 1 || r[0] != 0 {
+				t.Fatalf("%s list %d: %v, want [0]", name, i, r)
+			}
+		}
+	}
+	// The zero Options value (nil-equivalent: default algorithm, auto
+	// everything) on a mixed pool.
+	mixed := poolOf([]int{1, 2, 3000, 80000}, 29)
+	var zero Options
+	got := RankAll(mixed, zero)
+	for i, l := range mixed {
+		want := RankWith(l, Options{Algorithm: Serial})
+		for v := range want {
+			if got[i][v] != want[v] {
+				t.Fatalf("zero Options list %d: rank[%d] = %d, want %d", i, v, got[i][v], want[v])
+			}
+		}
+	}
+}
+
+// TestBatchConcurrentRankAll runs concurrent RankAll calls that all
+// share the process-wide server: every batch must come back complete
+// and correct even while the shards interleave requests from
+// different batches into the same coalesced dispatches.
+func TestBatchConcurrentRankAll(t *testing.T) {
+	const callers = 6
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sizes := []int{100 + g, 2500, 1, 40000 + 1000*g, 700}
+			pool := poolOf(sizes, uint64(g)*17)
+			want := make([][]int64, len(pool))
+			for i, l := range pool {
+				want[i] = RankWith(l, Options{Algorithm: Serial})
+			}
+			for r := 0; r < 6; r++ {
+				got := RankAll(pool, Options{Seed: uint64(r)})
+				for i := range pool {
+					for v := range want[i] {
+						if got[i][v] != want[i][v] {
+							t.Errorf("caller %d round %d list %d: rank[%d] = %d, want %d",
+								g, r, i, v, got[i][v], want[i][v])
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 // BenchmarkBatch compares across-list and within-list scheduling on a

@@ -542,13 +542,18 @@ func BenchmarkScanValues(b *testing.B) {
 // ----- Engine reuse: the zero-steady-state-allocation contract -----
 
 // BenchmarkEngineReuse measures the sublist algorithm on a warm Engine
-// with caller-provided result storage: the steady-state regime of a
-// server ranking a stream of lists. The contract is 0 allocs/op at
-// both procs legs: every buffer (vp table, splitter draw, encoded
-// words, lockstep working sets, Phase 2 storage) comes from the
-// engine's arena, and the procs=4 fan-outs dispatch closure-free onto
-// an engine-owned worker pool. Compare BenchmarkGoroutine_Sublist,
-// which allocates its result and borrows a pooled engine per call.
+// with caller-provided result storage: one goroutine streaming
+// problems through one engine — the single-stream steady state the
+// real serving layer (listrank.Server) runs per fleet worker, measured
+// here in isolation. The contract is 0 allocs/op at both procs legs:
+// every buffer (vp table, splitter draw, encoded words, lockstep
+// working sets, Phase 2 storage) comes from the engine's arena, and
+// the procs=4 fan-outs dispatch closure-free onto an engine-owned
+// worker pool. BenchmarkServerThroughput (server_test.go) measures the
+// full serving scenario — admission, coalescing and completion on a
+// warm fleet — and keeps the same 0 allocs/op; compare
+// BenchmarkGoroutine_Sublist, which allocates its result and borrows a
+// pooled engine per call.
 func BenchmarkEngineReuse(b *testing.B) {
 	l := NewRandomList(1<<20, 6)
 	dst := make([]int64, l.Len())

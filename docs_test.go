@@ -1,0 +1,55 @@
+package listrank
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryPackageHasDoc walks the module and requires a package
+// comment on every package, including the commands and examples — the
+// quickstart promises "every package carries a package comment", and
+// this is what keeps that promise (and the docs CI leg) truthful.
+func TestEveryPackageHasDoc(t *testing.T) {
+	pkgs := map[string]bool{} // dir -> has a package comment
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if _, seen := pkgs[dir]; !seen {
+			pkgs[dir] = false
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+			pkgs[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 30 {
+		t.Fatalf("walked only %d packages; the walk is broken", len(pkgs))
+	}
+	for dir, ok := range pkgs {
+		if !ok {
+			t.Errorf("package in %s has no package comment", dir)
+		}
+	}
+}

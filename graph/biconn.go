@@ -61,6 +61,7 @@ func (a BiconnAlgorithm) String() string {
 // BiconnOptions tunes BiconnectedComponents. The zero value selects
 // the parallel Tarjan-Vishkin algorithm on all available CPUs.
 type BiconnOptions struct {
+	// Algorithm selects the implementation (default BiconnTarjanVishkin).
 	Algorithm BiconnAlgorithm
 	// Procs is the number of worker goroutines for every parallel
 	// stage; 0 means GOMAXPROCS.
@@ -83,10 +84,10 @@ func (o BiconnOptions) procs() int {
 // Working space comes from a pooled Engine; hold an explicit Engine
 // and call BiconnectedComponentsInto to control reuse directly.
 func BiconnectedComponents(g *Graph, opt BiconnOptions) (*Biconnectivity, error) {
-	en := getEngine()
+	en := getEngine(g.n)
 	out := &Biconnectivity{}
 	err := en.BiconnectedComponentsInto(out, g, opt)
-	putEngine(en)
+	putEngine(g.n, en)
 	if err != nil {
 		return nil, err
 	}

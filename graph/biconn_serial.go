@@ -13,10 +13,10 @@ type biFrame struct {
 // biconnSerial is the test-baseline entry point; it borrows a pooled
 // engine for the working set.
 func biconnSerial(g *Graph) *Biconnectivity {
-	en := getEngine()
+	en := getEngine(g.n)
 	out := &Biconnectivity{}
 	en.biconnSerial(out, g)
-	putEngine(en)
+	putEngine(g.n, en)
 	return out
 }
 

@@ -13,7 +13,10 @@ import (
 // labelings of the same graph are directly comparable), and Count is
 // the number of components.
 type Components struct {
+	// Label[v] is the canonical (smallest-member) label of v's
+	// component.
 	Label []int32
+	// Count is the number of components.
 	Count int
 }
 
@@ -60,6 +63,7 @@ func (a CCAlgorithm) String() string {
 // CCOptions tunes ConnectedComponents. The zero value selects the
 // parallel hook-and-shortcut algorithm on all available CPUs.
 type CCOptions struct {
+	// Algorithm selects the implementation (default CCHookShortcut).
 	Algorithm CCAlgorithm
 	// Procs is the number of worker goroutines for the parallel
 	// algorithms; 0 means GOMAXPROCS. Serial algorithms ignore it.
@@ -81,10 +85,10 @@ func (o CCOptions) procs() int {
 // explicit Engine and call ComponentsInto to control reuse directly.
 // All algorithms produce the identical canonical labeling.
 func ConnectedComponents(g *Graph, opt CCOptions) *Components {
-	en := getEngine()
+	en := getEngine(g.n)
 	c := &Components{}
 	en.ComponentsInto(c, g, opt)
-	putEngine(en)
+	putEngine(g.n, en)
 	return c
 }
 
@@ -93,10 +97,10 @@ func ConnectedComponents(g *Graph, opt CCOptions) *Components {
 // componentsDFS is the test baseline entry point; it borrows a pooled
 // engine for the stack.
 func componentsDFS(g *Graph) *Components {
-	en := getEngine()
+	en := getEngine(g.n)
 	c := &Components{}
 	en.componentsDFS(c, g)
-	putEngine(en)
+	putEngine(g.n, en)
 	return c
 }
 

@@ -1,9 +1,8 @@
 package graph
 
 import (
-	"sync"
-
 	"listrank"
+	"listrank/internal/fleet"
 	"listrank/internal/rng"
 	"listrank/tree"
 )
@@ -145,13 +144,17 @@ func (en *Engine) releaseCall() {
 	en.call.hookedBy, en.call.live = nil, nil
 }
 
-// enginePool backs the package-level entry points, so callers that
+// engineFleet backs the package-level entry points, so callers that
 // never construct an Engine still amortize working-space allocation
-// across calls.
-var enginePool = sync.Pool{New: func() any { return NewEngine() }}
+// across calls. Engines are checked out by vertex count from a
+// size-binned fleet pool — the same discipline as the listrank
+// serving layer — so a small graph never borrows (and pins) an arena
+// warmed on a huge one, and unlike a sync.Pool the fleet retains its
+// warm engines across GCs.
+var engineFleet = fleet.NewPool(nil, NewEngine)
 
-func getEngine() *Engine  { return enginePool.Get().(*Engine) }
-func putEngine(e *Engine) { enginePool.Put(e) }
+func getEngine(n int) *Engine    { return engineFleet.Checkout(n) }
+func putEngine(n int, e *Engine) { engineFleet.Checkin(n, e) }
 
 // ComponentsInto labels the components of g into c with the selected
 // algorithm, resizing c's storage through the arena helpers: a caller

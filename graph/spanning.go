@@ -15,9 +15,9 @@ import "listrank/internal/arena"
 // Working space comes from a pooled Engine; hold an explicit Engine
 // and call SpanningForestInto to control reuse directly.
 func SpanningForest(g *Graph, opt CCOptions) []int {
-	en := getEngine()
+	en := getEngine(g.n)
 	out := en.SpanningForestInto(nil, g, opt)
-	putEngine(en)
+	putEngine(g.n, en)
 	if out == nil {
 		out = []int{} // empty forest: non-nil, as the pre-engine API returned
 	}

@@ -1,0 +1,101 @@
+// Package fleet provides the generic building blocks of the serving
+// layer: size-bin routing, bounded admission queues with backpressure,
+// free lists for recyclable per-request state, and size-binned pools
+// of warm, checkout-able resources.
+//
+// The paper's serving-shaped premise (§5, Table II) is that a machine
+// owns a fixed set of vector resources and keeps them saturated across
+// a stream of problems of wildly varying size; the working space is
+// acquired once and reused, never re-acquired per problem. This
+// package lifts that premise one level up, from a single engine to a
+// fleet of them: listrank.Server shards a stream of rank/scan requests
+// across size-binned warm engines, and the tree and graph packages
+// check their engines out of size-binned pools, so a 1k-element
+// request never borrows (or grow-thrashes) an arena warmed on a
+// 10M-element problem.
+//
+// Everything here is allocation-free in the steady state: the queue is
+// a fixed ring, admission and hand-off synchronize on condition
+// variables, and free lists reuse their backing array once it has
+// grown to the high-water mark of in-flight items. The only
+// allocations are the ones the caller asks for (a FreeList or Pool
+// constructing a new item when it is empty).
+package fleet
+
+import "errors"
+
+// Policy selects what a full admission queue does with a new request.
+type Policy int
+
+const (
+	// Block parks the submitter until the queue has space (or the
+	// queue closes). This is the default: backpressure propagates to
+	// the producer, and nothing is lost.
+	Block Policy = iota
+	// Reject fails the submission immediately with ErrRejected,
+	// leaving the caller to shed or retry. This is the policy for
+	// latency-sensitive fronts that would rather drop than queue.
+	Reject
+)
+
+// Errors reported by Queue.
+var (
+	// ErrRejected is returned by Put on a full queue under the Reject
+	// policy.
+	ErrRejected = errors.New("fleet: admission queue full")
+	// ErrClosed is returned by Put after Close. Items admitted before
+	// Close are still drained and served.
+	ErrClosed = errors.New("fleet: queue closed")
+)
+
+// DefaultBinBounds are the size-bin upper bounds the serving layer
+// uses when the caller does not choose its own: three bins splitting
+// "small" (coalescing wins), "medium" and "large" (within-problem
+// parallelism wins) at 4k and 256k elements. The bounds track the
+// regime boundary the batch scheduler measures: below a few thousand
+// elements, contraction overhead dominates and across-problem
+// parallelism is the right schedule.
+var DefaultBinBounds = []int{4096, 262144}
+
+// Bins routes problem sizes to size bins. A Bins over bounds
+// b0 < b1 < … < bk-1 has k+1 bins: bin i holds sizes n ≤ bi, and the
+// final bin is unbounded. The zero value has a single unbounded bin.
+type Bins struct {
+	bounds []int
+}
+
+// NewBins returns a Bins over the given ascending positive upper
+// bounds (plus the implicit final unbounded bin). It panics if the
+// bounds are not strictly ascending and positive.
+func NewBins(bounds []int) Bins {
+	for i, b := range bounds {
+		if b <= 0 || (i > 0 && b <= bounds[i-1]) {
+			panic("fleet: bin bounds must be strictly ascending and positive")
+		}
+	}
+	return Bins{bounds: append([]int(nil), bounds...)}
+}
+
+// Count returns the number of bins (len(bounds) + 1 for the unbounded
+// final bin).
+func (b Bins) Count() int { return len(b.bounds) + 1 }
+
+// Index returns the bin for a problem of size n: the first bin whose
+// upper bound is ≥ n, or the final unbounded bin.
+func (b Bins) Index(n int) int {
+	for i, ub := range b.bounds {
+		if n <= ub {
+			return i
+		}
+	}
+	return len(b.bounds)
+}
+
+// Bound returns bin i's upper bound, or -1 for the final unbounded
+// bin.
+func (b Bins) Bound(i int) int {
+	if i >= len(b.bounds) {
+		return -1
+	}
+	return b.bounds[i]
+}

@@ -1,0 +1,300 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBinsRouting(t *testing.T) {
+	b := NewBins([]int{10, 100})
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", b.Count())
+	}
+	cases := []struct{ n, bin int }{
+		{0, 0}, {1, 0}, {10, 0}, {11, 1}, {100, 1}, {101, 2}, {1 << 30, 2},
+	}
+	for _, c := range cases {
+		if got := b.Index(c.n); got != c.bin {
+			t.Errorf("Index(%d) = %d, want %d", c.n, got, c.bin)
+		}
+	}
+	if b.Bound(0) != 10 || b.Bound(1) != 100 || b.Bound(2) != -1 {
+		t.Errorf("Bound = %d,%d,%d, want 10,100,-1", b.Bound(0), b.Bound(1), b.Bound(2))
+	}
+	// Zero value: one unbounded bin.
+	var z Bins
+	if z.Count() != 1 || z.Index(12345) != 0 {
+		t.Errorf("zero Bins: Count=%d Index=%d", z.Count(), z.Index(12345))
+	}
+}
+
+func TestBinsValidation(t *testing.T) {
+	for _, bad := range [][]int{{0}, {-1}, {5, 5}, {10, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBins(%v) did not panic", bad)
+				}
+			}()
+			NewBins(bad)
+		}()
+	}
+}
+
+func TestQueueFIFOAndBatch(t *testing.T) {
+	q := NewQueue[int](8, Block)
+	for i := 0; i < 5; i++ {
+		if err := q.Put(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := make([]int, 3)
+	n, ok := q.TakeBatch(dst)
+	if !ok || n != 3 || dst[0] != 0 || dst[1] != 1 || dst[2] != 2 {
+		t.Fatalf("TakeBatch = %v %v %v", n, ok, dst)
+	}
+	n, ok = q.TakeBatch(dst)
+	if !ok || n != 2 || dst[0] != 3 || dst[1] != 4 {
+		t.Fatalf("second TakeBatch = %v %v %v", n, ok, dst[:n])
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+}
+
+func TestQueueRejectPolicy(t *testing.T) {
+	q := NewQueue[int](2, Reject)
+	if err := q.Put(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Put(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Put(3); !errors.Is(err, ErrRejected) {
+		t.Fatalf("Put on full queue: %v, want ErrRejected", err)
+	}
+	dst := make([]int, 4)
+	if n, ok := q.TakeBatch(dst); !ok || n != 2 {
+		t.Fatalf("TakeBatch = %d %v", n, ok)
+	}
+	if err := q.Put(4); err != nil {
+		t.Fatalf("Put after drain: %v", err)
+	}
+}
+
+// TestQueueBlockPolicy: a Put on a full Block queue parks until the
+// consumer frees a slot; the admitted order is preserved.
+func TestQueueBlockPolicy(t *testing.T) {
+	q := NewQueue[int](1, Block)
+	if err := q.Put(1); err != nil {
+		t.Fatal(err)
+	}
+	var unblocked atomic.Bool
+	done := make(chan error)
+	go func() {
+		err := q.Put(2) // must block: capacity 1, occupied
+		unblocked.Store(true)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if unblocked.Load() {
+		t.Fatal("Put returned before the consumer made space")
+	}
+	dst := make([]int, 1)
+	if n, ok := q.TakeBatch(dst); !ok || n != 1 || dst[0] != 1 {
+		t.Fatalf("TakeBatch = %d %v %v", n, ok, dst)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("blocked Put: %v", err)
+	}
+	if n, ok := q.TakeBatch(dst); !ok || n != 1 || dst[0] != 2 {
+		t.Fatalf("TakeBatch = %d %v %v", n, ok, dst)
+	}
+}
+
+// TestQueueCloseDrains: Close fails later and blocked Puts, but
+// everything admitted first is still drained, and only then does
+// TakeBatch report exhaustion.
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueue[int](4, Block)
+	for i := 0; i < 3; i++ {
+		if err := q.Put(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	q.Close() // idempotent
+	if err := q.Put(99); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close: %v, want ErrClosed", err)
+	}
+	dst := make([]int, 2)
+	n, ok := q.TakeBatch(dst)
+	if !ok || n != 2 || dst[0] != 0 || dst[1] != 1 {
+		t.Fatalf("drain 1: %d %v %v", n, ok, dst)
+	}
+	n, ok = q.TakeBatch(dst)
+	if !ok || n != 1 || dst[0] != 2 {
+		t.Fatalf("drain 2: %d %v %v", n, ok, dst[:n])
+	}
+	if n, ok = q.TakeBatch(dst); ok || n != 0 {
+		t.Fatalf("exhausted queue: %d %v, want 0 false", n, ok)
+	}
+}
+
+// TestQueueCloseWakesBlockedPut: a producer parked on a full Block
+// queue must wake and fail when the queue closes underneath it.
+func TestQueueCloseWakesBlockedPut(t *testing.T) {
+	q := NewQueue[int](1, Block)
+	if err := q.Put(1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error)
+	go func() { done <- q.Put(2) }()
+	time.Sleep(5 * time.Millisecond)
+	q.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked Put after Close: %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Put did not wake on Close")
+	}
+}
+
+// TestQueueConcurrentProducers hammers one consumer with many
+// producers; every item must arrive exactly once.
+func TestQueueConcurrentProducers(t *testing.T) {
+	const producers, perProducer = 8, 500
+	q := NewQueue[int](16, Block)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Put(p*perProducer + i); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	go func() { wg.Wait(); q.Close() }()
+	seen := make([]bool, producers*perProducer)
+	dst := make([]int, 32)
+	total := 0
+	for {
+		n, ok := q.TakeBatch(dst)
+		if !ok {
+			break
+		}
+		for _, x := range dst[:n] {
+			if seen[x] {
+				t.Fatalf("item %d delivered twice", x)
+			}
+			seen[x] = true
+		}
+		total += n
+	}
+	if total != producers*perProducer {
+		t.Fatalf("delivered %d items, want %d", total, producers*perProducer)
+	}
+}
+
+// TestQueueSteadyStateZeroAlloc: a warm Put/TakeBatch cycle allocates
+// nothing — the admission half of the serving layer's contract.
+func TestQueueSteadyStateZeroAlloc(t *testing.T) {
+	q := NewQueue[*int](8, Block)
+	x := new(int)
+	dst := make([]*int, 8)
+	cycle := func() {
+		for i := 0; i < 4; i++ {
+			if err := q.Put(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if n, ok := q.TakeBatch(dst); !ok || n != 4 {
+			t.Fatalf("TakeBatch = %d %v", n, ok)
+		}
+	}
+	cycle()
+	if allocs := testing.AllocsPerRun(10, cycle); allocs != 0 {
+		t.Errorf("queue cycle: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestFreeListRecycles(t *testing.T) {
+	made := 0
+	f := FreeList[*int]{New: func() *int { made++; return new(int) }}
+	a := f.Get()
+	f.Put(a)
+	b := f.Get()
+	if a != b {
+		t.Error("FreeList did not recycle the returned item")
+	}
+	if made != 1 {
+		t.Errorf("constructed %d items, want 1", made)
+	}
+	// Warm Put/Get cycles allocate nothing.
+	f.Put(b)
+	cycle := func() { f.Put(f.Get()) }
+	if allocs := testing.AllocsPerRun(10, cycle); allocs != 0 {
+		t.Errorf("freelist cycle: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestPoolBinsSeparate: checkouts at different sizes draw from
+// different bins, so a small problem never sees an arena warmed on a
+// big one.
+func TestPoolBinsSeparate(t *testing.T) {
+	type engine struct{ warmedFor int }
+	p := NewPool([]int{100}, func() *engine { return &engine{} })
+	big := p.Checkout(1000)
+	big.warmedFor = 1000
+	p.Checkin(1000, big)
+	small := p.Checkout(10)
+	if small.warmedFor != 0 {
+		t.Error("small checkout returned the big-bin engine")
+	}
+	p.Checkin(10, small)
+	if again := p.Checkout(500); again != big {
+		t.Error("big checkout did not recycle the big-bin engine")
+	}
+}
+
+func TestPoolDefaultBounds(t *testing.T) {
+	p := NewPool(nil, func() *int { return new(int) })
+	if got, want := p.Bins().Count(), len(DefaultBinBounds)+1; got != want {
+		t.Fatalf("default bins: %d, want %d", got, want)
+	}
+}
+
+// TestPoolConcurrentCheckout: concurrent checkout/checkin from many
+// goroutines must never hand the same resource to two holders at
+// once.
+func TestPoolConcurrentCheckout(t *testing.T) {
+	type engine struct{ inUse atomic.Bool }
+	p := NewPool([]int{64}, func() *engine { return &engine{} })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := 10 + (g+i)%100
+				e := p.Checkout(n)
+				if e.inUse.Swap(true) {
+					t.Errorf("engine handed out twice concurrently")
+					return
+				}
+				e.inUse.Store(false)
+				p.Checkin(n, e)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

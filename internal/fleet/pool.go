@@ -1,0 +1,80 @@
+package fleet
+
+import "sync"
+
+// FreeList is a mutex-protected stack of recyclable items. Unlike
+// sync.Pool it never discards items under GC pressure and never
+// allocates per Put/Get once its backing array has grown to the
+// high-water mark of outstanding items — the properties the serving
+// layer's ticket recycling needs for its zero-allocation steady
+// state. New constructs an item when the list is empty.
+type FreeList[T any] struct {
+	// New constructs an item on Get from an empty list. It must be
+	// set before first use.
+	New func() T
+
+	mu    sync.Mutex
+	items []T
+}
+
+// Get pops an item, constructing one with New if the list is empty.
+func (f *FreeList[T]) Get() T {
+	f.mu.Lock()
+	if n := len(f.items); n > 0 {
+		x := f.items[n-1]
+		var zero T
+		f.items[n-1] = zero // don't pin recycled items' references
+		f.items = f.items[:n-1]
+		f.mu.Unlock()
+		return x
+	}
+	f.mu.Unlock()
+	return f.New()
+}
+
+// Put returns an item to the list for reuse.
+func (f *FreeList[T]) Put(x T) {
+	f.mu.Lock()
+	f.items = append(f.items, x)
+	f.mu.Unlock()
+}
+
+// Pool is a size-binned pool of warm, checkout-able resources —
+// engines, in this repository's use. Checking out by problem size
+// keeps warm arenas matched to the problems they serve: a small
+// problem draws from the small bin instead of borrowing (and pinning)
+// an arena grown on a huge one, and a large problem never
+// grow-thrashes an arena that has only ever seen small inputs.
+// Resources are retained across checkouts (a FreeList per bin), which
+// is the point: the fleet stays warm.
+//
+// Checkout and Checkin are safe for concurrent use. The caller must
+// pass the same size to Checkin that it passed to Checkout, so the
+// resource returns to the bin it was warmed for.
+type Pool[E any] struct {
+	bins  Bins
+	lists []FreeList[E]
+}
+
+// NewPool returns a pool binned at the given bounds (nil selects
+// DefaultBinBounds), constructing resources with newE on demand.
+func NewPool[E any](bounds []int, newE func() E) *Pool[E] {
+	if bounds == nil {
+		bounds = DefaultBinBounds
+	}
+	p := &Pool[E]{bins: NewBins(bounds)}
+	p.lists = make([]FreeList[E], p.bins.Count())
+	for i := range p.lists {
+		p.lists[i].New = newE
+	}
+	return p
+}
+
+// Bins returns the pool's size-bin routing.
+func (p *Pool[E]) Bins() Bins { return p.bins }
+
+// Checkout borrows a resource warmed for problems of size n.
+func (p *Pool[E]) Checkout(n int) E { return p.lists[p.bins.Index(n)].Get() }
+
+// Checkin returns a resource borrowed with Checkout(n).
+func (p *Pool[E]) Checkin(n int, e E) { p.lists[p.bins.Index(n)].Put(e) }

@@ -1,0 +1,119 @@
+package fleet
+
+import "sync"
+
+// Queue is a bounded multi-producer single-consumer admission queue:
+// the hand-off point between request submitters and a shard's
+// dispatcher. Capacity is fixed at construction (the ring never
+// grows — a full queue is what backpressure is *for*), Put applies
+// the queue's Policy when the ring is full, and Close is
+// deterministic: items admitted before Close are still drained by
+// TakeBatch, and only then does TakeBatch report the queue exhausted.
+//
+// The steady state allocates nothing: Put writes a ring slot and
+// signals a condvar; TakeBatch copies slots out and signals back.
+// Multiple consumers are safe too (the consumer side is also
+// mutex-serialized); "single-consumer" describes the intended
+// dispatcher-per-shard shape, not a requirement.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	buf      []T
+	head     int // index of the oldest item
+	n        int // items currently queued
+	policy   Policy
+	closed   bool
+}
+
+// NewQueue returns a queue holding at most capacity items (clamped to
+// at least 1) under the given backpressure policy.
+func NewQueue[T any](capacity int, policy Policy) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue[T]{buf: make([]T, capacity), policy: policy}
+	q.notEmpty.L = &q.mu
+	q.notFull.L = &q.mu
+	return q
+}
+
+// Cap returns the queue's fixed capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Len returns the number of items currently queued.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	n := q.n
+	q.mu.Unlock()
+	return n
+}
+
+// Put admits x. On a full queue it blocks until space frees up (Block
+// policy) or returns ErrRejected immediately (Reject policy); after
+// Close it returns ErrClosed. A nil error means the consumer will see
+// x.
+func (q *Queue[T]) Put(x T) error {
+	q.mu.Lock()
+	for q.n == len(q.buf) && !q.closed {
+		if q.policy == Reject {
+			q.mu.Unlock()
+			return ErrRejected
+		}
+		q.notFull.Wait()
+	}
+	if q.closed {
+		q.mu.Unlock()
+		return ErrClosed
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = x
+	q.n++
+	q.mu.Unlock()
+	q.notEmpty.Signal()
+	return nil
+}
+
+// TakeBatch blocks until at least one item is queued (or the queue is
+// closed and drained), then moves up to len(dst) items into dst in
+// admission order and returns how many. ok is false only when the
+// queue is closed and every admitted item has been taken — the
+// consumer's signal to exit. Taking a batch rather than one item is
+// what enables coalescing: everything that queued up while the
+// consumer was busy arrives in one hand-off.
+func (q *Queue[T]) TakeBatch(dst []T) (taken int, ok bool) {
+	q.mu.Lock()
+	for q.n == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.n == 0 {
+		q.mu.Unlock()
+		return 0, false
+	}
+	taken = q.n
+	if taken > len(dst) {
+		taken = len(dst)
+	}
+	var zero T
+	for i := 0; i < taken; i++ {
+		dst[i] = q.buf[q.head]
+		q.buf[q.head] = zero // don't pin served items
+		q.head = (q.head + 1) % len(q.buf)
+	}
+	q.n -= taken
+	q.mu.Unlock()
+	// Every blocked producer may now have space (we freed `taken`
+	// slots), and blocked producers only exist under the Block policy.
+	q.notFull.Broadcast()
+	return taken, true
+}
+
+// Close marks the queue closed: later Puts fail with ErrClosed,
+// blocked Puts wake and fail, and TakeBatch keeps draining what was
+// admitted before reporting exhaustion. Close is idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}

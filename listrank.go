@@ -38,6 +38,16 @@
 // pool): with caller-provided result storage and a warm engine, calls
 // are allocation-free. See DESIGN.md for the arena layout.
 //
+// # The serving layer
+//
+// Server is the traffic-facing front: a long-lived fleet of warm
+// engines, sharded by problem-size bin, behind an asynchronous
+// Submit/Wait future API with request coalescing, bounded admission
+// queues with backpressure, and deterministic draining Close. RankAll
+// and ScanAll batch over the process-wide SharedServer. cmd/listrankd
+// replays synthetic traffic traces against a server and reports
+// throughput, latency and coalescing statistics.
+//
 // # Downstream applications
 //
 // The tree package builds Euler-tour statistics, constant-time LCA,
@@ -70,9 +80,13 @@ import (
 // links to itself), Value[v] is the vertex's value for list scan, and
 // Head is the first vertex. Ranking ignores Value.
 type List struct {
-	Next  []int64
+	// Next[v] is the successor of vertex v; the tail links to itself.
+	Next []int64
+	// Value[v] is the vertex's value for list scan (ignored by
+	// ranking).
 	Value []int64
-	Head  int64
+	// Head is the first vertex of the list.
+	Head int64
 }
 
 // view returns the internal representation sharing this list's

@@ -1,0 +1,482 @@
+package listrank
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"listrank/internal/fleet"
+)
+
+// This file is the serving layer: a long-lived, sharded fleet of warm
+// engines behind an asynchronous Submit/Wait front. The paper's
+// premise is serving-shaped — a machine owns a fixed set of vector
+// resources and keeps them saturated across a stream of problems of
+// wildly varying size, re-acquiring nothing per problem (§5, Table
+// II) — and Server lifts that premise from one engine to a fleet:
+//
+//   - Sharding is by size bin, so a 1k-element request draws from
+//     engines warmed on 1k-element problems instead of borrowing (or
+//     grow-thrashing) an arena warmed on 10M elements. Each shard owns
+//     a worker pool sized to its share of the hardware and a set of
+//     warm engines, one per pool worker.
+//   - Small requests coalesce: a shard's dispatcher takes everything
+//     that queued while it was busy in one hand-off and serves the
+//     batch with across-request parallelism (each pool worker runs its
+//     share of requests inline on its own engine) — the RankAll/
+//     ScanAll schedule, applied continuously to live traffic. A lone
+//     request on a shard is served with within-list parallelism
+//     instead, so latency never waits on batch formation.
+//   - Admission is bounded: each shard's queue has fixed capacity, and
+//     ServerOptions selects what a full queue does — park the
+//     submitter (backpressure propagates to the producer) or reject
+//     immediately (shed rather than queue).
+//   - Close is deterministic, mirroring WorkerPool.Close: it stops
+//     admission, drains every request admitted before Close, and
+//     returns only after the dispatchers and their worker pools have
+//     terminated.
+//
+// Steady-state contract, one level above the engines': a warm server
+// serving a steady trace performs zero heap allocations per request
+// after admission — and the admission path itself (ticket checkout,
+// queue hand-off, completion, ticket recycle) is also allocation-free
+// once warm (TestFleetZeroAllocSteadyState).
+
+// Op selects the operation a Request asks for.
+type Op int
+
+const (
+	// OpRank asks for the rank of every vertex (see Rank).
+	OpRank Op = iota
+	// OpScan asks for the exclusive integer-addition scan (see Scan).
+	OpScan
+)
+
+// Request is one unit of work submitted to a Server.
+type Request struct {
+	// Op selects rank or scan.
+	Op Op
+	// List is the problem; it must be non-nil. The serving engines may
+	// temporarily mutate the list in place (the sublist algorithm cuts
+	// it at the splitters and restores it before completing), so a
+	// list must not be shared between requests that can be in flight
+	// at the same time, and must not be read or mutated by the caller
+	// until Wait returns. It is never retained past completion.
+	List *List
+	// Dst receives the result and must have length List.Len(). A nil
+	// Dst asks the server to allocate the result (off the
+	// zero-allocation contract); Ticket.Wait returns it either way.
+	Dst []int64
+	// Opt tunes the run. The server owns parallelism — each shard
+	// dispatches on its own worker pool — so Opt.Procs is ignored;
+	// Algorithm, Seed, M and Discipline are honored per request.
+	Opt Options
+}
+
+// Errors reported by Ticket.Wait.
+var (
+	// ErrServerClosed reports a submission to a closed server (or one
+	// that closed while the submitter was parked on a full queue).
+	ErrServerClosed = errors.New("listrank: server closed")
+	// ErrBackpressure reports a rejected submission: the target
+	// shard's admission queue was full under the Reject policy.
+	ErrBackpressure = errors.New("listrank: admission queue full")
+	// ErrBadRequest reports a malformed request: a nil List, or a Dst
+	// whose length does not match the list.
+	ErrBadRequest = errors.New("listrank: malformed request")
+)
+
+// Ticket is the future returned by Submit. Exactly one Wait call must
+// be made per ticket; Wait recycles the ticket, so a ticket must not
+// be stored or touched after Wait returns.
+type Ticket struct {
+	srv  *Server
+	req  Request
+	err  error
+	done chan struct{} // capacity 1, reused across recycles
+}
+
+// Wait blocks until the request completes and returns the result
+// slice (the request's Dst, or the server-allocated result if Dst was
+// nil) and the request's error: nil on success, ErrServerClosed /
+// ErrBackpressure / ErrBadRequest if the request never ran.
+func (t *Ticket) Wait() ([]int64, error) {
+	<-t.done
+	dst, err := t.req.Dst, t.err
+	s := t.srv
+	t.req = Request{} // drop references before the ticket is recycled
+	t.err = nil
+	s.tickets.Put(t)
+	return dst, err
+}
+
+// ServerOptions configures NewServer. The zero value serves on all
+// available CPUs with the default size bins, blocking admission and
+// default queue depths.
+type ServerOptions struct {
+	// Procs is the worker budget. The bounded (coalescing) bins divide
+	// it among themselves (larger bins get the remainder), while the
+	// unbounded top bin's pool gets the full budget: its requests run
+	// one at a time with within-list parallelism, and a big problem
+	// deserves the whole machine when the small-bin shards are idle —
+	// when they are not, the runtime multiplexes benignly (parked
+	// pool workers cost nothing). 0 means GOMAXPROCS. With fewer
+	// procs than bounded bins every shard still gets one worker.
+	Procs int
+	// BinBounds are ascending size-bin upper bounds; a request routes
+	// to the first bin whose bound is ≥ its list length, and a final
+	// unbounded bin is always appended. nil selects the defaults,
+	// {4096, 262144} — three bins splitting the coalescing regime from
+	// the within-list-parallelism regime.
+	BinBounds []int
+	// QueueDepth is each shard's admission-queue capacity (default
+	// 1024). A full queue applies the backpressure policy.
+	QueueDepth int
+	// Reject selects reject-on-full backpressure: submissions to a
+	// full shard fail immediately with ErrBackpressure instead of
+	// parking the submitter until space frees up.
+	Reject bool
+	// MaxCoalesce bounds how many requests one dispatch packs
+	// (default 64).
+	MaxCoalesce int
+	// WarmSizes pre-grows the fleet for problems of these sizes
+	// before the server starts, exactly as Server.Warm would.
+	WarmSizes []int
+}
+
+// ServerStats is a snapshot of a server's counters.
+type ServerStats struct {
+	// Submitted counts Submit calls; Rejected counts the ones that
+	// never ran (backpressure, closed server, malformed request).
+	Submitted, Rejected int64
+	// Served counts completed requests (including zero-length
+	// requests completed trivially at admission), so Submitted =
+	// Served + Rejected; Dispatches counts engine dispatches (a
+	// coalesced batch is one dispatch); Coalesced counts requests
+	// served as part of a multi-request dispatch.
+	Served, Dispatches, Coalesced int64
+	// BinServed counts completed requests per size bin (trivial
+	// zero-length completions appear in no bin).
+	BinServed []int64
+}
+
+// Server is a long-lived fleet of warm engines serving rank and scan
+// requests: the serving layer on top of the engine and worker-pool
+// layers. Create one with NewServer, submit with Submit (or the Rank
+// and Scan helpers), and shut it down with Close. All methods are
+// safe for concurrent use.
+type Server struct {
+	bins    fleet.Bins
+	shards  []*shard
+	tickets fleet.FreeList[*Ticket]
+
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	// trivial counts requests completed in place without touching a
+	// shard (zero-length lists); they count as served so the
+	// Submitted = Served + Rejected identity holds.
+	trivial atomic.Int64
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// shard owns one size bin: a bounded admission queue, a dispatcher
+// goroutine, a worker pool sized to the shard's share of the server's
+// Procs, and one warm engine per pool worker.
+type shard struct {
+	q       *fleet.Queue[*Ticket]
+	pool    *WorkerPool
+	procs   int
+	engines []*Engine
+	// batch is the dispatcher's reused take buffer; coalesce marks
+	// bounded bins, whose multi-request batches are served with
+	// across-request parallelism.
+	batch    []*Ticket
+	coalesce bool
+
+	served     atomic.Int64
+	dispatches atomic.Int64
+	coalesced  atomic.Int64
+}
+
+// NewServer starts a server. The caller owns it and must Close it;
+// see SharedServer for the process-wide instance behind the batch
+// entry points.
+func NewServer(opt ServerOptions) *Server {
+	procs := opt.Procs
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	bounds := opt.BinBounds
+	if bounds == nil {
+		bounds = fleet.DefaultBinBounds
+	}
+	depth := opt.QueueDepth
+	if depth <= 0 {
+		depth = 1024
+	}
+	maxBatch := opt.MaxCoalesce
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	policy := fleet.Block
+	if opt.Reject {
+		policy = fleet.Reject
+	}
+	s := &Server{bins: fleet.NewBins(bounds)}
+	s.tickets.New = func() *Ticket {
+		return &Ticket{srv: s, done: make(chan struct{}, 1)}
+	}
+	nb := s.bins.Count()
+	bounded := nb - 1
+	s.shards = make([]*shard, nb)
+	for b := 0; b < nb; b++ {
+		// The unbounded top bin serves one request at a time with
+		// within-list parallelism and gets the full budget; the
+		// bounded bins split it (remainder to the largest).
+		share := procs
+		if b < bounded {
+			share = procs / bounded
+			if b >= bounded-procs%bounded {
+				share++
+			}
+			if share < 1 {
+				share = 1
+			}
+		}
+		coalesce := s.bins.Bound(b) != -1
+		// A coalescing shard serves batch chunks on one engine per pool
+		// worker; the unbounded shard serves one request at a time on
+		// engine 0 with within-list parallelism, so one (large) arena
+		// is all it ever uses.
+		engines := 1
+		if coalesce {
+			engines = share
+		}
+		sh := &shard{
+			q:        fleet.NewQueue[*Ticket](depth, policy),
+			pool:     NewWorkerPool(share),
+			procs:    share,
+			engines:  make([]*Engine, engines),
+			batch:    make([]*Ticket, maxBatch),
+			coalesce: coalesce,
+		}
+		for w := range sh.engines {
+			sh.engines[w] = NewEngine()
+			sh.engines[w].SetPool(sh.pool)
+		}
+		s.shards[b] = sh
+	}
+	s.Warm(opt.WarmSizes...)
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go s.dispatcherLoop(sh)
+	}
+	return s
+}
+
+// Warm pre-grows the fleet for problems of the given sizes: every
+// engine of each size's shard runs a synthetic rank and scan of that
+// size at every parallelism it serves with, so a later steady trace
+// of requests no larger than the warmed sizes allocates nothing.
+// Warm allocates freely itself (it is the opposite of the steady
+// state) and must not run concurrently with request service — call it
+// before the first Submit, or between quiescent points.
+func (s *Server) Warm(sizes ...int) {
+	for _, n := range sizes {
+		if n <= 0 {
+			continue
+		}
+		l := NewOrderedList(n)
+		dst := make([]int64, n)
+		sh := s.shards[s.bins.Index(n)]
+		for w, e := range sh.engines {
+			e.RankInto(dst, l, Options{Procs: 1})
+			e.ScanInto(dst, l, Options{Procs: 1})
+			if w == 0 && sh.procs > 1 {
+				e.RankInto(dst, l, Options{Procs: sh.procs})
+				e.ScanInto(dst, l, Options{Procs: sh.procs})
+			}
+		}
+	}
+}
+
+// Submit validates and enqueues a request, returning its ticket
+// immediately. Under the default blocking policy Submit parks when
+// the target shard's queue is full; under Reject it returns a ticket
+// whose Wait reports ErrBackpressure. Submit after Close returns a
+// ticket whose Wait reports ErrServerClosed. Wait must be called
+// exactly once on the returned ticket.
+func (s *Server) Submit(req Request) *Ticket {
+	s.submitted.Add(1)
+	t := s.tickets.Get()
+	t.req = req
+	if req.List == nil || (req.Dst != nil && len(req.Dst) != req.List.Len()) {
+		return s.fail(t, ErrBadRequest)
+	}
+	if req.List.Len() == 0 {
+		// Nothing to do; complete (and count as served) in place.
+		s.trivial.Add(1)
+		t.done <- struct{}{}
+		return t
+	}
+	if s.closed.Load() {
+		return s.fail(t, ErrServerClosed)
+	}
+	sh := s.shards[s.bins.Index(req.List.Len())]
+	if err := sh.q.Put(t); err != nil {
+		if errors.Is(err, fleet.ErrClosed) {
+			return s.fail(t, ErrServerClosed)
+		}
+		return s.fail(t, ErrBackpressure)
+	}
+	return t
+}
+
+// Rank submits a ranking request with default per-request options;
+// dst may be nil to have the server allocate the result.
+func (s *Server) Rank(l *List, dst []int64) *Ticket {
+	return s.Submit(Request{Op: OpRank, List: l, Dst: dst})
+}
+
+// Scan submits an exclusive integer-addition scan request; dst may be
+// nil to have the server allocate the result.
+func (s *Server) Scan(l *List, dst []int64) *Ticket {
+	return s.Submit(Request{Op: OpScan, List: l, Dst: dst})
+}
+
+// fail completes a ticket that never ran.
+func (s *Server) fail(t *Ticket, err error) *Ticket {
+	s.rejected.Add(1)
+	t.err = err
+	t.done <- struct{}{}
+	return t
+}
+
+// Close shuts the server down deterministically: admission stops,
+// every request admitted before Close is still served, and Close
+// returns only after the dispatchers and their worker pools have
+// terminated. Close is idempotent; submissions after Close complete
+// with ErrServerClosed.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	for _, sh := range s.shards {
+		sh.q.Close()
+	}
+	s.wg.Wait()
+	for _, sh := range s.shards {
+		sh.pool.Close()
+	}
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() ServerStats {
+	st := ServerStats{
+		Submitted: s.submitted.Load(),
+		Rejected:  s.rejected.Load(),
+		Served:    s.trivial.Load(),
+		BinServed: make([]int64, len(s.shards)),
+	}
+	for b, sh := range s.shards {
+		st.BinServed[b] = sh.served.Load()
+		st.Served += st.BinServed[b]
+		st.Dispatches += sh.dispatches.Load()
+		st.Coalesced += sh.coalesced.Load()
+	}
+	return st
+}
+
+// dispatcherLoop is a shard's dispatcher: it takes everything that
+// queued while it was busy in one hand-off and serves it, until the
+// queue is closed and drained.
+func (s *Server) dispatcherLoop(sh *shard) {
+	defer s.wg.Done()
+	for {
+		n, ok := sh.q.TakeBatch(sh.batch)
+		if !ok {
+			return
+		}
+		sh.serve(n)
+		for i := 0; i < n; i++ {
+			sh.batch[i] = nil // don't pin served tickets
+		}
+	}
+}
+
+// serve runs the first n tickets of the batch buffer. Multi-request
+// batches on bounded (coalescing) bins fan out across the shard's
+// pool — worker w serves its chunk of requests inline on engine w,
+// the RankAll schedule — while lone requests and unbounded-bin
+// requests run with within-list parallelism on the shard's pool.
+func (sh *shard) serve(n int) {
+	if n > 1 && sh.coalesce {
+		sh.dispatches.Add(1)
+		sh.coalesced.Add(int64(n))
+		sh.pool.ForChunksCtx(n, sh.procs, sh, shardServeChunk)
+		return
+	}
+	for i := 0; i < n; i++ {
+		sh.dispatches.Add(1)
+		sh.run(sh.batch[i], sh.engines[0], sh.procs)
+	}
+}
+
+// shardServeChunk is the named coalesced-dispatch body (closure-free,
+// per the worker pool's zero-allocation Ctx contract): pool worker w
+// serves requests [lo, hi) inline on its own engine.
+func shardServeChunk(ctx any, w, lo, hi int) {
+	sh := ctx.(*shard)
+	for i := lo; i < hi; i++ {
+		sh.run(sh.batch[i], sh.engines[w], 1)
+	}
+}
+
+// run serves one ticket on the given engine at the given parallelism
+// and completes it. A panic out of the engine (possible only on a
+// list that violates List's invariants) is captured into the
+// ticket's error instead of killing the dispatcher.
+func (sh *shard) run(t *Ticket, e *Engine, procs int) {
+	defer sh.finish(t)
+	req := &t.req
+	if req.Dst == nil {
+		req.Dst = make([]int64, req.List.Len())
+	}
+	opt := req.Opt
+	opt.Procs = procs
+	switch req.Op {
+	case OpScan:
+		e.ScanInto(req.Dst, req.List, opt)
+	default:
+		e.RankInto(req.Dst, req.List, opt)
+	}
+}
+
+// finish completes a ticket, converting a serve-time panic into its
+// error.
+func (sh *shard) finish(t *Ticket) {
+	if r := recover(); r != nil {
+		t.err = fmt.Errorf("listrank: serving request: %v", r)
+	}
+	sh.served.Add(1)
+	t.done <- struct{}{}
+}
+
+// SharedServer returns the process-wide server, created on first use
+// with default options (hardware-sized, blocking admission) and never
+// closed — the serving-layer analogue of SharedWorkerPool. The batch
+// entry points (RankAll, ScanAll) ride it, and ad-hoc callers that
+// want futures without owning a fleet can too.
+func SharedServer() *Server {
+	sharedServerOnce.Do(func() { sharedServer = NewServer(ServerOptions{}) })
+	return sharedServer
+}
+
+var (
+	sharedServerOnce sync.Once
+	sharedServer     *Server
+)

@@ -137,8 +137,8 @@ func NewExpr(left, right []int, ops []Op, leafVal []int64, opt listrank.Options)
 // leaves array is allocated.
 func (e *Expr) numberLeaves() error {
 	n := e.n
-	en := getEngine()
-	defer putEngine(en)
+	en := getEngine(n)
+	defer putEngine(n, en)
 	en.next = arena.Grow(en.next, 2*n)
 	en.value = arena.Zeroed(en.value, 2*n)
 	next, value := en.next, en.value
@@ -231,9 +231,9 @@ type ContractStats struct {
 // at any Procs (parallel rounds dispatch onto resident worker-pool
 // workers).
 func (e *Expr) Eval(stats *ContractStats) int64 {
-	en := getEngine()
+	en := getEngine(e.n)
 	v := en.Eval(e, stats)
-	putEngine(en)
+	putEngine(e.n, en)
 	return v
 }
 
@@ -259,8 +259,8 @@ type rakeRec struct {
 // parent of a later (= already replayed) rake.
 func (e *Expr) EvalAll(stats *ContractStats) []int64 {
 	out := make([]int64, e.n)
-	en := getEngine()
+	en := getEngine(e.n)
 	en.EvalAllInto(out, e, stats)
-	putEngine(en)
+	putEngine(e.n, en)
 	return out
 }

@@ -2,10 +2,10 @@ package tree
 
 import (
 	"fmt"
-	"sync"
 
 	"listrank"
 	"listrank/internal/arena"
+	"listrank/internal/fleet"
 )
 
 // Engine is a reusable working-space arena for the tree algorithms,
@@ -130,14 +130,20 @@ func (en *Engine) releaseCall() {
 	en.call.dst, en.call.parent = nil, nil
 }
 
-// enginePool backs the package-level entry points: Expr.Eval,
+// engineFleet backs the package-level entry points: Expr.Eval,
 // Expr.EvalAll, RootAt, Tree.LCA and the tour statistics all borrow a
 // warm engine per call, so callers that never construct an Engine
-// still amortize working-space allocation across calls.
-var enginePool = sync.Pool{New: func() any { return NewEngine() }}
+// still amortize working-space allocation across calls. Engines are
+// checked out by problem size from a size-binned fleet pool — the
+// same discipline as the listrank serving layer — so a 30-node
+// expression never borrows (and pins) an arena warmed on a
+// million-node tree, and a huge tree never grow-thrashes an arena
+// that has only seen small ones. Unlike a sync.Pool the fleet retains
+// its engines across GCs: warm working space is the point.
+var engineFleet = fleet.NewPool(nil, NewEngine)
 
-func getEngine() *Engine  { return enginePool.Get().(*Engine) }
-func putEngine(e *Engine) { enginePool.Put(e) }
+func getEngine(n int) *Engine    { return engineFleet.Checkout(n) }
+func putEngine(n int, e *Engine) { engineFleet.Checkin(n, e) }
 
 // --- Rake contraction -------------------------------------------------
 

@@ -34,9 +34,9 @@ type LCAIndex struct {
 // a pooled Engine for the scan's working space; hold an explicit
 // Engine and call its LCA method to control reuse directly.
 func (t *Tree) LCA() *LCAIndex {
-	en := getEngine()
+	en := getEngine(t.n)
 	x := en.LCA(t)
-	putEngine(en)
+	putEngine(t.n, en)
 	return x
 }
 

@@ -32,9 +32,9 @@ func RootAt(n int, edges [][2]int, root int, opt listrank.Options) ([]int, error
 		return nil, fmt.Errorf("tree: RootAt requires n > 0")
 	}
 	parent := make([]int, n)
-	en := getEngine()
+	en := getEngine(n)
 	err := en.RootAtInto(parent, n, edges, root, opt)
-	putEngine(en)
+	putEngine(n, en)
 	if err != nil {
 		return nil, err
 	}

@@ -173,11 +173,11 @@ func (t *Tree) tourRanks() []int64 {
 // n-element result is allocated.
 func (t *Tree) Depths() []int64 {
 	out := make([]int64, t.n)
-	en := getEngine()
+	en := getEngine(t.n)
 	en.pfx = arena.Grow(en.pfx, 2*t.n)
 	en.lrEngine().ScanInto(en.pfx, t.tour, t.opt)
 	copy(out, en.pfx[:t.n]) // prefix at down(v)
-	putEngine(en)
+	putEngine(t.n, en)
 	return out
 }
 
