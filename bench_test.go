@@ -608,3 +608,46 @@ func BenchmarkEngineReuseBatch(b *testing.B) {
 		_ = RankAll(pool, Options{Seed: uint64(i), Procs: 4})
 	}
 }
+
+// BenchmarkLaneWidth sweeps the chase-kernel lane width (the software
+// analog of the paper's vector lanes, internal/kernel) on a warm
+// engine: "warm" is a cache-resident list, "cold" is far past the
+// last-level cache of typical hosts, where each link is a DRAM miss
+// and the lanes' overlapped misses pay off most. K=1 is the serial
+// single-cursor oracle; K=0 is the tuned per-regime default. Results
+// are identical at every width. CI's bench-smoke leg records the warm
+// sweep in BENCH_kernels.json via cmd/benchjson; cmd/tune -lanes runs
+// the same sweep standalone with per-regime recommendations.
+func BenchmarkLaneWidth(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		n    int
+	}{{"warm", 1 << 16}, {"cold", 1 << 23}} {
+		// Built lazily on the first matched sub-benchmark, so running
+		// only the warm legs (as CI does) never pays for the cold list.
+		var l *List
+		var dst []int64
+		var e *Engine
+		setup := func() {
+			if l != nil {
+				return
+			}
+			l = NewRandomList(tc.n, 6)
+			dst = make([]int64, tc.n)
+			e = NewEngine()
+			e.RankInto(dst, l, Options{Seed: 6, Procs: 1}) // warm the arena
+		}
+		for _, k := range []int{1, 2, 4, 8, 16, 32, 0} {
+			b.Run(fmt.Sprintf("%s/K=%d", tc.name, k), func(b *testing.B) {
+				setup()
+				opt := Options{Seed: 6, Procs: 1, LaneWidth: k}
+				b.SetBytes(int64(8 * tc.n))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.RankInto(dst, l, opt)
+				}
+			})
+		}
+	}
+}

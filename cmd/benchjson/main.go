@@ -1,0 +1,128 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON file, so CI can record the performance
+// trajectory of the kernels instead of scrolling it away in a log.
+//
+// It reads benchmark output on stdin, parses every result line
+// (name, iterations, then any of ns/op, MB/s, B/op, allocs/op), and
+// writes a JSON array. Lines that are not benchmark results pass
+// through to stderr untouched, so piping through benchjson loses
+// nothing.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./... | benchjson -o BENCH.json
+//
+// Each entry has the shape
+//
+//	{"name": "BenchmarkLaneWidth/cold/K=16", "iterations": 3,
+//	 "ns_per_op": 33530200, "mb_per_s": 1000.72,
+//	 "bytes_per_op": 0, "allocs_per_op": 0}
+//
+// with the rate/memory fields omitted when the benchmark did not
+// report them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line. Pointer fields are omitted
+// from the JSON when the benchmark did not report the metric.
+type Result struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     *float64 `json:"ns_per_op,omitempty"`
+	MBPerS      *float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// parseLine parses one `go test -bench` result line, returning ok =
+// false for anything that is not one.
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	// Strip the -GOMAXPROCS suffix the harness appends to the name.
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := Result{Name: name, Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		val := v
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = &val
+		case "MB/s":
+			r.MBPerS = &val
+		case "B/op":
+			r.BytesPerOp = &val
+		case "allocs/op":
+			r.AllocsPerOp = &val
+		default:
+			continue // unknown custom metric: skip the pair
+		}
+		seen = true
+	}
+	return r, seen
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if r, ok := parseLine(line); ok {
+			results = append(results, r)
+		} else {
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+}

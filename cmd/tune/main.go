@@ -4,29 +4,112 @@
 // predicted times, and fits the cubic-in-log(n) polynomials the paper
 // uses to pick parameters at run time.
 //
+// It also tunes the one parameter the cost model cannot see because it
+// belongs to the host rather than the algorithm: the chase-kernel lane
+// width — how many independent sublist cursors each worker keeps in
+// flight (the software analog of the paper's vector lanes, see
+// internal/kernel). -lanes measures the real engine across lane widths
+// and list-length regimes on this machine and prints the measured
+// table plus a recommended width per regime; feed the winner to
+// Options.LaneWidth / Engine.SetLaneWidth, or leave LaneWidth 0 to use
+// the persisted defaults (kernel.DefaultWidth).
+//
 // Usage:
 //
-//	tune [-n 1048576] [-procs 1] [-fit] [-sweep]
+//	tune [-n 1048576] [-procs 1] [-fit] [-sweep] [-lanes]
 //
 // -sweep tunes across a geometric range of lengths; -fit additionally
-// fits and prints the polylog parameter polynomials (§4.4).
+// fits and prints the polylog parameter polynomials (§4.4); -lanes
+// runs the measured lane-width sweep instead of the cost model.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"time"
 
+	"listrank"
 	"listrank/internal/model"
 	"listrank/internal/vm"
 )
+
+// laneSweepWidths are the lane widths -lanes measures.
+var laneSweepWidths = []int{1, 2, 4, 8, 16, 32}
+
+// laneSweep measures ranking throughput across lane widths on this
+// host: one warm engine per size, best-of-reps wall clock per width,
+// identical seeds (results do not depend on the width; only the
+// memory-level parallelism does).
+func laneSweep(sizes []int, procs int) {
+	fmt.Printf("chase-kernel lane-width sweep (procs=%d, ns/vertex, best of 3 reps — 7 for n <= 2^18):\n\n", procs)
+	header := fmt.Sprintf("%-9s", "n")
+	for _, k := range laneSweepWidths {
+		header += fmt.Sprintf(" %-7s", fmt.Sprintf("K=%d", k))
+	}
+	fmt.Println(header + " best")
+	for _, n := range sizes {
+		l := listrank.NewRandomList(n, 11)
+		dst := make([]int64, n)
+		e := listrank.NewEngine()
+		var pool *listrank.WorkerPool
+		if procs > 1 {
+			pool = listrank.NewWorkerPool(procs)
+			e.SetPool(pool)
+		}
+		opt := listrank.Options{Seed: 11, Procs: procs}
+		e.RankInto(dst, l, opt) // warm the arena
+		row := fmt.Sprintf("%-9d", n)
+		best, bestK := math.Inf(1), 0
+		for _, k := range laneSweepWidths {
+			opt.LaneWidth = k
+			reps := 3
+			if n <= 1<<18 {
+				reps = 7
+			}
+			min := math.Inf(1)
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				e.RankInto(dst, l, opt)
+				if el := float64(time.Since(start)); el < min {
+					min = el
+				}
+			}
+			perVtx := min / float64(n)
+			row += fmt.Sprintf(" %-7.2f", perVtx)
+			if perVtx < best {
+				best, bestK = perVtx, k
+			}
+		}
+		fmt.Printf("%s K=%d\n", row, bestK)
+		if pool != nil {
+			pool.Close()
+		}
+	}
+	fmt.Println("\nrecommendation: pass the winning K per size regime to")
+	fmt.Println("Options.LaneWidth (or Engine.SetLaneWidth); 0 keeps the")
+	fmt.Println("persisted defaults (internal/kernel DefaultWidth).")
+}
 
 func main() {
 	n := flag.Int("n", 1<<20, "list length")
 	procs := flag.Int("procs", 1, "processor count to tune for")
 	sweep := flag.Bool("sweep", false, "tune across a range of lengths")
 	fit := flag.Bool("fit", false, "fit cubic-in-log2(n) polynomials to the tuned parameters")
+	lanes := flag.Bool("lanes", false, "measure the chase-kernel lane-width sweep on this host")
 	flag.Parse()
+
+	if *lanes {
+		sizes := []int{*n}
+		if *sweep {
+			sizes = nil
+			for v := 1 << 14; v <= 1<<22; v <<= 2 {
+				sizes = append(sizes, v)
+			}
+		}
+		laneSweep(sizes, *procs)
+		return
+	}
 
 	c := model.PaperConstants()
 	cfg := vm.CrayC90()

@@ -59,6 +59,7 @@ import (
 	"math/bits"
 	"sync/atomic"
 
+	"listrank/internal/kernel"
 	"listrank/internal/list"
 	"listrank/internal/par"
 	"listrank/internal/rng"
@@ -138,6 +139,16 @@ type Options struct {
 	SerialCutoff int
 	// Discipline selects the Phase 1/3 traversal discipline.
 	Discipline Discipline
+	// LaneWidth is the number of independent sublist cursors each
+	// worker interleaves in the Phase 1/3 chase loops (the software
+	// analog of the paper's vector lanes; see internal/kernel). 0
+	// selects the tuned per-regime default (kernel.DefaultWidth);
+	// values are clamped to [1, kernel.MaxLanes]. 1 is the serial
+	// single-cursor walk. Results are identical for every width; only
+	// the number of memory loads in flight differs. Ignored by the
+	// natural discipline (always 1) and the lockstep discipline (whose
+	// active set plays the role of the lanes).
+	LaneWidth int
 	// Schedule is the lockstep pack schedule: Schedule[i] is the total
 	// number of links each active sublist has traversed before the
 	// i-th load balance. Empty selects a geometric default derived
@@ -153,8 +164,8 @@ type Options struct {
 	// splitters is drawn, and when the active set first shrinks below
 	// OversampleTrigger of its initial size, the still-relevant
 	// reserves subdivide the surviving long sublists (see
-	// oversample.go). 0 disables. Requires Procs == 1 and lockstep;
-	// otherwise it is silently ignored.
+	// oversample.go). 0 disables. Requires Procs == 1 and the explicit
+	// lockstep discipline; otherwise it is silently ignored.
 	Oversample float64
 	// OversampleTrigger is the active-set fraction below which the
 	// reserve pool activates; <= 0 or >= 1 selects 0.25.
@@ -167,35 +178,39 @@ type Options struct {
 type Discipline int
 
 const (
-	// DisciplineAuto walks each sublist to completion on small
-	// inputs and switches to lockstep on large ones: interleaving the
-	// sublist walks keeps many independent cache misses in flight,
-	// which is the modern out-of-order-core analogue of the latency
-	// hiding the paper obtains from virtual processing (§1.1) and
-	// roughly halves the large-list wall clock in our measurements.
+	// DisciplineAuto walks sublists to completion in natural order
+	// with a lane-interleaved chase (internal/kernel): each worker
+	// advances LaneWidth independent sublist cursors round-robin, so
+	// that many cache misses are in flight per worker instead of one —
+	// the modern out-of-order-core analogue of the latency hiding the
+	// paper obtains from vector gathers over virtual processors
+	// (§1.1). It is the default and the fastest discipline at every
+	// size; the lane width defaults to the tuned per-regime constant.
 	DisciplineAuto Discipline = iota
-	// DisciplineNatural always walks each sublist to completion.
+	// DisciplineNatural walks each sublist to completion with a single
+	// cursor — the serial chase, one dependent load in flight. It is
+	// the lanes=1 case of the kernel, kept as the correctness oracle
+	// the lane-interleaved paths are tested against.
 	DisciplineNatural
 	// DisciplineLockstep always advances all active sublists one link
 	// per step with periodic packing on the §4 schedule — the exact
-	// structure of the paper's vector implementation.
+	// structure of the paper's vector implementation, kept to validate
+	// the schedule machinery and as an ablation target.
 	DisciplineLockstep
 )
 
-// lockstepAutoThreshold is the list length at which DisciplineAuto
-// switches to lockstep: roughly where the working set leaves the
-// last-level cache and miss overlap starts to matter.
-const lockstepAutoThreshold = 1 << 18
-
 func (o Options) lockstep(n int) bool {
-	switch o.Discipline {
-	case DisciplineNatural:
-		return false
-	case DisciplineLockstep:
-		return true
-	default:
-		return n >= lockstepAutoThreshold
+	return o.Discipline == DisciplineLockstep
+}
+
+// laneWidth resolves the chase-kernel lane width for this run: the
+// explicit LaneWidth if set, the tuned per-regime default otherwise,
+// and always 1 under the natural (single-cursor oracle) discipline.
+func (o Options) laneWidth(n int) int {
+	if o.Discipline == DisciplineNatural {
+		return 1
 	}
+	return kernel.Width(o.LaneWidth, n)
 }
 
 // DefaultM returns the default splitter count for a list of n
@@ -649,15 +664,16 @@ func scanAdd(out []int64, l *list.List, values []int64, opt Options, depth int, 
 	k := len(v.r)
 	p := par.Procs(opt.Procs, k)
 	lockstep := opt.lockstep(n)
+	lanes := opt.laneWidth(n)
 
-	// Phase 1: sublist sums.
+	// Phase 1: sublist sums via the lane-interleaved chase.
 	if lockstep {
 		lockstepPhase1(l, values, v, p, opt, sc)
 	} else {
 		if p == 1 {
-			sumChunkAdd(l.Next, values, v, 0, k)
+			kernel.SumAdd(l.Next, values, v.h, v.sum, v.cur, 0, k, lanes)
 		} else {
-			sc.fc.next, sc.fc.values = l.Next, values
+			sc.fc.next, sc.fc.values, sc.fc.lanes = l.Next, values, lanes
 			sc.fanout().ForChunksCtx(k, p, sc, taskSumAdd)
 		}
 		if opt.Stats != nil {
@@ -682,16 +698,16 @@ func scanAdd(out []int64, l *list.List, values []int64, opt Options, depth int, 
 	if lockstep {
 		lockstepPhase3(out, l, values, v, p, opt, sc)
 	} else if p == 1 {
-		expandChunkAdd(out, l.Next, values, v, 0, k)
+		kernel.ExpandAdd(out, l.Next, values, v.h, v.pfx, 0, k, lanes)
 	} else {
-		sc.fc.out, sc.fc.next, sc.fc.values = out, l.Next, values
+		sc.fc.out, sc.fc.next, sc.fc.values, sc.fc.lanes = out, l.Next, values, lanes
 		sc.fanout().ForChunksCtx(k, p, sc, taskExpandAdd)
 	}
 }
 
 func taskSumAdd(c any, _, lo, hi int) {
 	sc := c.(*Scratch)
-	sumChunkAdd(sc.fc.next, sc.fc.values, &sc.v, lo, hi)
+	kernel.SumAdd(sc.fc.next, sc.fc.values, sc.v.h, sc.v.sum, sc.v.cur, lo, hi, sc.fc.lanes)
 }
 
 func taskFoldTailsAdd(c any, _, lo, hi int) {
@@ -701,26 +717,7 @@ func taskFoldTailsAdd(c any, _, lo, hi int) {
 
 func taskExpandAdd(c any, _, lo, hi int) {
 	sc := c.(*Scratch)
-	expandChunkAdd(sc.fc.out, sc.fc.next, sc.fc.values, &sc.v, lo, hi)
-}
-
-// sumChunkAdd is the natural-discipline Phase 1 walk over sublists
-// [lo, hi): each is traversed to completion, accumulating its sum.
-func sumChunkAdd(next, values []int64, v *vps, lo, hi int) {
-	for j := lo; j < hi; j++ {
-		cur := v.h[j]
-		var sum int64
-		for {
-			sum += values[cur]
-			nx := next[cur]
-			if nx == cur {
-				break
-			}
-			cur = nx
-		}
-		v.sum[j] = sum
-		v.cur[j] = cur
-	}
+	kernel.ExpandAdd(sc.fc.out, sc.fc.next, sc.fc.values, sc.v.h, sc.v.pfx, lo, hi, sc.fc.lanes)
 }
 
 func foldTailsAdd(v *vps, lo, hi int) {
@@ -728,24 +725,6 @@ func foldTailsAdd(v *vps, lo, hi int) {
 		s := v.succ[j]
 		if int(s) != j {
 			v.sum[j] += v.saved[s]
-		}
-	}
-}
-
-// expandChunkAdd is the natural-discipline Phase 3 walk: each sublist
-// head's prefix is expanded across its vertices.
-func expandChunkAdd(out, next, values []int64, v *vps, lo, hi int) {
-	for j := lo; j < hi; j++ {
-		cur := v.h[j]
-		acc := v.pfx[j]
-		for {
-			out[cur] = acc
-			acc += values[cur]
-			nx := next[cur]
-			if nx == cur {
-				break
-			}
-			cur = nx
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"listrank/internal/kernel"
 	"listrank/internal/list"
 )
 
@@ -96,13 +97,9 @@ func lockstepP1Worker(next, values []int64, v *vps, activeAll []int32, steps []i
 			d = steps[round]
 		}
 		// Traverse d links on every active sublist: the paper's
-		// branch-free InitialScan inner loop.
+		// branch-free InitialScan inner loop (kernel.StepSumAdd).
 		for s := 0; s < d; s++ {
-			for _, j := range active {
-				cur := v.cur[j]
-				v.sum[j] += values[cur]
-				v.cur[j] = next[cur]
-			}
+			kernel.StepSumAdd(next, values, v.cur, v.sum, active)
 			links += int64(len(active))
 		}
 		// Correction: the loop above folds values[cur] *before*
@@ -177,13 +174,7 @@ func lockstepP3Worker(out, next, values []int64, v *vps, activeAll []int32, accA
 			d = steps[round]
 		}
 		for s := 0; s < d; s++ {
-			for _, j := range active {
-				cur := v.cur[j]
-				a := acc[int(j)-base]
-				out[cur] = a
-				acc[int(j)-base] = a + values[cur]
-				v.cur[j] = next[cur]
-			}
+			kernel.StepExpandAdd(out, next, values, v.cur, acc, base, active)
 			links += int64(len(active))
 		}
 		live := active[:0]

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"listrank/internal/kernel"
 	"listrank/internal/list"
 )
 
@@ -52,11 +53,7 @@ func lockstepP1OpWorker(next, values []int64, v *vps, activeAll []int32, op func
 			d = steps[round]
 		}
 		for s := 0; s < d; s++ {
-			for _, j := range active {
-				cur := v.cur[j]
-				v.sum[j] = op(v.sum[j], values[cur])
-				v.cur[j] = next[cur]
-			}
+			kernel.StepSumOp(next, values, v.cur, v.sum, op, active)
 			links += int64(len(active))
 		}
 		live := active[:0]
@@ -113,13 +110,7 @@ func lockstepP3OpWorker(out, next, values []int64, v *vps, activeAll []int32, ac
 			d = steps[round]
 		}
 		for s := 0; s < d; s++ {
-			for _, j := range active {
-				cur := v.cur[j]
-				a := acc[int(j)-base]
-				out[cur] = a
-				acc[int(j)-base] = op(a, values[cur])
-				v.cur[j] = next[cur]
-			}
+			kernel.StepExpandOp(out, next, values, v.cur, acc, base, op, active)
 			links += int64(len(active))
 		}
 		live := active[:0]

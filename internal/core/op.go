@@ -1,6 +1,7 @@
 package core
 
 import (
+	"listrank/internal/kernel"
 	"listrank/internal/list"
 	"listrank/internal/par"
 )
@@ -28,16 +29,19 @@ func scanOp(out []int64, l *list.List, values []int64, op func(a, b int64) int64
 	k := len(v.r)
 	p := par.Procs(opt.Procs, k)
 	lockstep := opt.lockstep(n)
+	lanes := opt.laneWidth(n)
 
-	// Phase 1: sublist "sums" under op.
+	// Phase 1: sublist "sums" under op, lane-interleaved. The
+	// per-sublist fold order is the serial walk's at every lane width,
+	// so non-commutative operators stay correct.
 	if lockstep {
 		lockstepPhase1Op(l, values, v, p, op, identity, opt, sc)
 	} else {
 		if p == 1 {
-			sumChunkOp(l.Next, values, v, op, identity, 0, k)
+			kernel.SumOp(l.Next, values, v.h, v.sum, v.cur, op, identity, 0, k, lanes)
 		} else {
 			sc.fc.next, sc.fc.values = l.Next, values
-			sc.fc.op, sc.fc.identity = op, identity
+			sc.fc.op, sc.fc.identity, sc.fc.lanes = op, identity, lanes
 			sc.fanout().ForChunksCtx(k, p, sc, taskSumOp)
 		}
 		if opt.Stats != nil {
@@ -110,10 +114,10 @@ func scanOp(out []int64, l *list.List, values []int64, op func(a, b int64) int64
 		return
 	}
 	if p == 1 {
-		expandChunkOp(out, l.Next, values, v, op, 0, k)
+		kernel.ExpandOp(out, l.Next, values, v.h, v.pfx, op, 0, k, lanes)
 	} else {
 		sc.fc.out, sc.fc.next, sc.fc.values = out, l.Next, values
-		sc.fc.op = op
+		sc.fc.op, sc.fc.lanes = op, lanes
 		sc.fanout().ForChunksCtx(k, p, sc, taskExpandOp)
 	}
 	if opt.Stats != nil {
@@ -123,7 +127,7 @@ func scanOp(out []int64, l *list.List, values []int64, op func(a, b int64) int64
 
 func taskSumOp(c any, _, lo, hi int) {
 	sc := c.(*Scratch)
-	sumChunkOp(sc.fc.next, sc.fc.values, &sc.v, sc.fc.op, sc.fc.identity, lo, hi)
+	kernel.SumOp(sc.fc.next, sc.fc.values, sc.v.h, sc.v.sum, sc.v.cur, sc.fc.op, sc.fc.identity, lo, hi, sc.fc.lanes)
 }
 
 func taskFoldTailsOp(c any, _, lo, hi int) {
@@ -133,24 +137,7 @@ func taskFoldTailsOp(c any, _, lo, hi int) {
 
 func taskExpandOp(c any, _, lo, hi int) {
 	sc := c.(*Scratch)
-	expandChunkOp(sc.fc.out, sc.fc.next, sc.fc.values, &sc.v, sc.fc.op, lo, hi)
-}
-
-func sumChunkOp(next, values []int64, v *vps, op func(a, b int64) int64, identity int64, lo, hi int) {
-	for j := lo; j < hi; j++ {
-		cur := v.h[j]
-		sum := identity
-		for {
-			sum = op(sum, values[cur])
-			nx := next[cur]
-			if nx == cur {
-				break
-			}
-			cur = nx
-		}
-		v.sum[j] = sum
-		v.cur[j] = cur
-	}
+	kernel.ExpandOp(sc.fc.out, sc.fc.next, sc.fc.values, sc.v.h, sc.v.pfx, sc.fc.op, lo, hi, sc.fc.lanes)
 }
 
 func foldTailsOp(v *vps, op func(a, b int64) int64, lo, hi int) {
@@ -158,22 +145,6 @@ func foldTailsOp(v *vps, op func(a, b int64) int64, lo, hi int) {
 		s := v.succ[j]
 		if int(s) != j {
 			v.sum[j] = op(v.sum[j], v.saved[s])
-		}
-	}
-}
-
-func expandChunkOp(out, next, values []int64, v *vps, op func(a, b int64) int64, lo, hi int) {
-	for j := lo; j < hi; j++ {
-		cur := v.h[j]
-		acc := v.pfx[j]
-		for {
-			out[cur] = acc
-			acc = op(acc, values[cur])
-			nx := next[cur]
-			if nx == cur {
-				break
-			}
-			cur = nx
 		}
 	}
 }

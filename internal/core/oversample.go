@@ -1,6 +1,7 @@
 package core
 
 import (
+	"listrank/internal/kernel"
 	"listrank/internal/list"
 	"listrank/internal/rng"
 )
@@ -115,13 +116,9 @@ func oversampledPhase1(l *list.List, values []int64, v *vps, reserve []int64, tr
 		}
 		for s := 0; s < d; s++ {
 			// The paper's InitialScan loop plus the predicted
-			// bookkeeping cost: one store per link.
-			for _, j := range active {
-				cur := v.cur[j]
-				v.sum[j] += values[cur]
-				visited[cur] = true
-				v.cur[j] = next[cur]
-			}
+			// bookkeeping cost: one store per link
+			// (kernel.StepSumAddMark).
+			kernel.StepSumAddMark(next, values, v.cur, v.sum, visited, active)
 			links += int64(len(active))
 		}
 		live := active[:0]

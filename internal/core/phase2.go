@@ -1,6 +1,7 @@
 package core
 
 import (
+	"listrank/internal/kernel"
 	"listrank/internal/par"
 	"listrank/internal/wyllie"
 )
@@ -39,11 +40,7 @@ func phase2WyllieAdd(v *vps, k, p int, sc *Scratch) {
 	rounds := wyllie.Rounds(k)
 	if p == 1 {
 		for r := 0; r < rounds; r++ {
-			for j := 0; j < k; j++ {
-				s := lnk[j]
-				val2[j] = val[j] + val[s]
-				lnk2[j] = lnk[s]
-			}
+			kernel.JumpAdd(val2, lnk2, val, lnk, 0, k)
 			val, val2 = val2, val
 			lnk, lnk2 = lnk2, lnk
 		}
@@ -81,11 +78,7 @@ func taskJumpAdd(c any, w int, b *par.Barrier) {
 	k, p, rounds := sc.fc.k, sc.fc.p, sc.fc.rounds
 	lo, hi := par.Chunk(k, p, w)
 	for r := 0; r < rounds; r++ {
-		for j := lo; j < hi; j++ {
-			s := ln[j]
-			lv2[j] = lv[j] + lv[s]
-			ln2[j] = ln[s]
-		}
+		kernel.JumpAdd(lv2, ln2, lv, ln, lo, hi)
 		b.Wait()
 		lv, lv2 = lv2, lv
 		ln, ln2 = ln2, ln
@@ -148,11 +141,7 @@ func phase2WyllieOp(v *vps, k, p int, op func(a, b int64) int64, identity int64,
 	rounds := wyllie.Rounds(k)
 	if p == 1 {
 		for r := 0; r < rounds; r++ {
-			for j := 0; j < k; j++ {
-				pv := prd[j]
-				val2[j] = op(val[pv], val[j]) // earlier segment first
-				prd2[j] = prd[pv]
-			}
+			kernel.JumpOp(val2, prd2, val, prd, op, 0, k) // earlier segment first
 			val, val2 = val2, val
 			prd, prd2 = prd2, prd
 		}
@@ -190,11 +179,7 @@ func taskJumpOp(c any, w int, b *par.Barrier) {
 	op, k, p, rounds := sc.fc.op, sc.fc.k, sc.fc.p, sc.fc.rounds
 	lo, hi := par.Chunk(k, p, w)
 	for r := 0; r < rounds; r++ {
-		for j := lo; j < hi; j++ {
-			pv := lp[j]
-			lv2[j] = op(lv[pv], lv[j])
-			lp2[j] = lp[pv]
-		}
+		kernel.JumpOp(lv2, lp2, lv, lp, op, lo, hi)
 		b.Wait()
 		lv, lv2 = lv2, lv
 		lp, lp2 = lp2, lp

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"listrank/internal/kernel"
 	"listrank/internal/list"
 	"listrank/internal/par"
 )
@@ -43,16 +44,19 @@ func ranksEnc(out []int64, l *list.List, opt Options, depth int, sc *Scratch) {
 	k := len(v.r)
 	p := par.Procs(opt.Procs, k)
 	lockstep := opt.lockstep(n)
+	lanes := opt.laneWidth(n)
 
 	// Phase 1: sublist lengths via the single-gather loop. The addend
-	// stream is folded from the same word as the link, so each step
-	// touches one cache line of enc and nothing else.
+	// stream is folded from the same word as the link, so each
+	// lane-step touches one cache line of enc and nothing else — with
+	// lanes of those loads in flight per worker (kernel.SumEnc).
 	if lockstep {
 		lockstepRankPhase1(enc, v, p, opt, sc)
 	} else {
 		if p == 1 {
-			rankSumChunk(enc, v, 0, k)
+			kernel.SumEnc(enc, v.h, v.sum, v.cur, 0, k, lanes)
 		} else {
+			sc.fc.lanes = lanes
 			sc.fanout().ForChunksCtx(k, p, sc, taskRankSum)
 		}
 		if opt.Stats != nil {
@@ -73,9 +77,9 @@ func ranksEnc(out []int64, l *list.List, opt Options, depth int, sc *Scratch) {
 		lockstepRankPhase3(out, enc, v, p, opt, sc)
 	} else {
 		if p == 1 {
-			rankExpandChunk(out, enc, v, 0, k)
+			kernel.ExpandEnc(out, enc, v.h, v.pfx, 0, k, lanes)
 		} else {
-			sc.fc.out = out
+			sc.fc.out, sc.fc.lanes = out, lanes
 			sc.fanout().ForChunksCtx(k, p, sc, taskRankExpand)
 		}
 		if opt.Stats != nil {
@@ -84,54 +88,17 @@ func ranksEnc(out []int64, l *list.List, opt Options, depth int, sc *Scratch) {
 	}
 }
 
+// taskRankSum and taskRankExpand are the natural-discipline pool
+// bodies: each worker runs the lane-interleaved single-gather kernels
+// over its chunk of sublists.
 func taskRankSum(c any, _, lo, hi int) {
 	sc := c.(*Scratch)
-	rankSumChunk(sc.enc, &sc.v, lo, hi)
+	kernel.SumEnc(sc.enc, sc.v.h, sc.v.sum, sc.v.cur, lo, hi, sc.fc.lanes)
 }
 
 func taskRankExpand(c any, _, lo, hi int) {
 	sc := c.(*Scratch)
-	rankExpandChunk(sc.fc.out, sc.enc, &sc.v, lo, hi)
-}
-
-// rankSumChunk is the natural-discipline single-gather length loop
-// over sublists [lo, hi).
-func rankSumChunk(enc []uint64, v *vps, lo, hi int) {
-	for j := lo; j < hi; j++ {
-		cur := v.h[j]
-		var sum int64
-		for {
-			e := enc[cur]
-			sum += int64(e & 0xffffffff)
-			nx := int64(e >> 32)
-			if nx == cur {
-				break
-			}
-			cur = nx
-		}
-		// The tail's addend is zero, so sum is the number of non-tail
-		// vertices; the tail itself completes the sublist length.
-		v.sum[j] = sum + 1
-		v.cur[j] = cur
-	}
-}
-
-// rankExpandChunk assigns consecutive ranks along sublists [lo, hi).
-func rankExpandChunk(out []int64, enc []uint64, v *vps, lo, hi int) {
-	for j := lo; j < hi; j++ {
-		cur := v.h[j]
-		acc := v.pfx[j]
-		for {
-			out[cur] = acc
-			e := enc[cur]
-			acc += int64(e & 0xffffffff)
-			nx := int64(e >> 32)
-			if nx == cur {
-				break
-			}
-			cur = nx
-		}
-	}
+	kernel.ExpandEnc(sc.fc.out, sc.enc, sc.v.h, sc.v.pfx, lo, hi, sc.fc.lanes)
 }
 
 // setupRank draws the splitters with the same parallel machinery as
@@ -242,11 +209,7 @@ func lockstepRankP1Worker(enc []uint64, v *vps, activeAll []int32, steps []int, 
 			d = steps[round]
 		}
 		for s := 0; s < d; s++ {
-			for _, j := range active {
-				e := enc[v.cur[j]]
-				v.sum[j] += int64(e & 0xffffffff)
-				v.cur[j] = int64(e >> 32)
-			}
+			kernel.StepSumEnc(enc, v.cur, v.sum, active)
 			links += int64(len(active))
 		}
 		live := active[:0]
@@ -306,14 +269,7 @@ func lockstepRankP3Worker(out []int64, enc []uint64, v *vps, activeAll []int32, 
 			d = steps[round]
 		}
 		for s := 0; s < d; s++ {
-			for _, j := range active {
-				cur := v.cur[j]
-				a := acc[int(j)-base]
-				out[cur] = a
-				e := enc[cur]
-				acc[int(j)-base] = a + int64(e&0xffffffff)
-				v.cur[j] = int64(e >> 32)
-			}
+			kernel.StepExpandEnc(out, enc, v.cur, acc, base, active)
 			links += int64(len(active))
 		}
 		live := active[:0]

@@ -93,6 +93,7 @@ type Scratch struct {
 		steps             []int
 		repeat            int
 		k, p, rounds      int
+		lanes             int
 		val, val2         []int64
 		lnk, lnk2         []int32
 		total             int64

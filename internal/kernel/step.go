@@ -1,0 +1,160 @@
+package kernel
+
+import "unsafe"
+
+// Step kernels: one lockstep traversal step — every sublist of the
+// active set advances one link — for the vector-faithful lockstep
+// discipline and the §7 oversampling extension. These are the paper's
+// vectorized InitialScan / FinalScan inner loops: the iterations are
+// independent (distinct virtual processors, distinct cursors), so the
+// whole active set's gathers overlap exactly as the C-90's vector
+// pipeline overlapped them. The active set, cursor and accumulator
+// columns are the caller's arena storage; the kernels validate the
+// column lengths once and run unchecked with chk per followed index.
+//
+// Idle steps on retired sublists (cursor parked on the self-looped,
+// identity-valued tail) re-fold the identity, which is the paper's
+// destructive-initialization device; the caller's pack rounds remove
+// them from the set on the §4 schedule.
+
+// StepSumEnc advances every active sublist one encoded word (§3):
+// sum[j] += addend, cur[j] = link, one gather per element.
+func StepSumEnc(enc []uint64, cur, sum []int64, active []int32) {
+	n := uint64(len(enc))
+	k := uint64(min(len(cur), len(sum)))
+	eb := unsafe.SliceData(enc)
+	cb, sb := unsafe.SliceData(cur), unsafe.SliceData(sum)
+	for _, j32 := range active {
+		j := int64(j32)
+		chk(j, k)
+		c := ld(cb, j)
+		chk(c, n)
+		e := ld(eb, c)
+		st(sb, j, ld(sb, j)+int64(e&addendMask))
+		st(cb, j, int64(e>>encShift))
+	}
+}
+
+// StepExpandEnc advances every active sublist one encoded word of the
+// Phase 3 expansion: out[cur] receives the accumulator, which then
+// folds the addend. acc is the worker-local accumulator column,
+// indexed j-base as in the lockstep workers.
+func StepExpandEnc(out []int64, enc []uint64, cur, acc []int64, base int, active []int32) {
+	n := uint64(min(len(enc), len(out)))
+	k := uint64(len(cur))
+	ka := uint64(len(acc))
+	eb := unsafe.SliceData(enc)
+	ob, cb, ab := unsafe.SliceData(out), unsafe.SliceData(cur), unsafe.SliceData(acc)
+	for _, j32 := range active {
+		j := int64(j32)
+		chk(j, k)
+		i := j - int64(base)
+		chk(i, ka)
+		c := ld(cb, j)
+		chk(c, n)
+		a := ld(ab, i)
+		st(ob, c, a)
+		e := ld(eb, c)
+		st(ab, i, a+int64(e&addendMask))
+		st(cb, j, int64(e>>encShift))
+	}
+}
+
+// StepSumAdd advances every active sublist one link of the generic
+// Phase 1 under integer addition.
+func StepSumAdd(next, values, cur, sum []int64, active []int32) {
+	n := uint64(min(len(next), len(values)))
+	k := uint64(min(len(cur), len(sum)))
+	nb, vb := unsafe.SliceData(next), unsafe.SliceData(values)
+	cb, sb := unsafe.SliceData(cur), unsafe.SliceData(sum)
+	for _, j32 := range active {
+		j := int64(j32)
+		chk(j, k)
+		c := ld(cb, j)
+		chk(c, n)
+		st(sb, j, ld(sb, j)+ld(vb, c))
+		st(cb, j, ld(nb, c))
+	}
+}
+
+// StepSumAddMark is StepSumAdd plus the §7 oversampling extension's
+// predicted bookkeeping cost: one store per link marks the visited
+// vertex, so the still-unvisited reserve splitters remain identifiable
+// at activation time.
+func StepSumAddMark(next, values, cur, sum []int64, visited []bool, active []int32) {
+	n := uint64(min(len(next), min(len(values), len(visited))))
+	k := uint64(min(len(cur), len(sum)))
+	nb, vb := unsafe.SliceData(next), unsafe.SliceData(values)
+	cb, sb := unsafe.SliceData(cur), unsafe.SliceData(sum)
+	mb := unsafe.SliceData(visited)
+	for _, j32 := range active {
+		j := int64(j32)
+		chk(j, k)
+		c := ld(cb, j)
+		chk(c, n)
+		st(sb, j, ld(sb, j)+ld(vb, c))
+		st(mb, c, true)
+		st(cb, j, ld(nb, c))
+	}
+}
+
+// StepExpandAdd advances every active sublist one link of the generic
+// Phase 3 under integer addition.
+func StepExpandAdd(out, next, values, cur, acc []int64, base int, active []int32) {
+	n := uint64(min(len(next), min(len(values), len(out))))
+	k := uint64(len(cur))
+	ka := uint64(len(acc))
+	nb, vb, ob := unsafe.SliceData(next), unsafe.SliceData(values), unsafe.SliceData(out)
+	cb, ab := unsafe.SliceData(cur), unsafe.SliceData(acc)
+	for _, j32 := range active {
+		j := int64(j32)
+		chk(j, k)
+		i := j - int64(base)
+		chk(i, ka)
+		c := ld(cb, j)
+		chk(c, n)
+		a := ld(ab, i)
+		st(ob, c, a)
+		st(ab, i, a+ld(vb, c))
+		st(cb, j, ld(nb, c))
+	}
+}
+
+// StepSumOp is StepSumAdd parameterized by an arbitrary associative
+// operator.
+func StepSumOp(next, values, cur, sum []int64, op func(a, b int64) int64, active []int32) {
+	n := uint64(min(len(next), len(values)))
+	k := uint64(min(len(cur), len(sum)))
+	nb, vb := unsafe.SliceData(next), unsafe.SliceData(values)
+	cb, sb := unsafe.SliceData(cur), unsafe.SliceData(sum)
+	for _, j32 := range active {
+		j := int64(j32)
+		chk(j, k)
+		c := ld(cb, j)
+		chk(c, n)
+		st(sb, j, op(ld(sb, j), ld(vb, c)))
+		st(cb, j, ld(nb, c))
+	}
+}
+
+// StepExpandOp is StepExpandAdd parameterized by an arbitrary
+// associative operator.
+func StepExpandOp(out, next, values, cur, acc []int64, base int, op func(a, b int64) int64, active []int32) {
+	n := uint64(min(len(next), min(len(values), len(out))))
+	k := uint64(len(cur))
+	ka := uint64(len(acc))
+	nb, vb, ob := unsafe.SliceData(next), unsafe.SliceData(values), unsafe.SliceData(out)
+	cb, ab := unsafe.SliceData(cur), unsafe.SliceData(acc)
+	for _, j32 := range active {
+		j := int64(j32)
+		chk(j, k)
+		i := j - int64(base)
+		chk(i, ka)
+		c := ld(cb, j)
+		chk(c, n)
+		a := ld(ab, i)
+		st(ob, c, a)
+		st(ab, i, op(a, ld(vb, c)))
+		st(cb, j, ld(nb, c))
+	}
+}

@@ -185,9 +185,19 @@ type Options struct {
 	// ≈ n/log n).
 	M int
 	// Discipline selects the sublist algorithm's traversal discipline:
-	// auto (lockstep on large inputs for miss-overlap latency hiding,
-	// natural walks on small ones), or force either.
+	// auto (the lane-interleaved chase — many independent cache misses
+	// in flight per worker), natural single-cursor walks (the serial
+	// oracle), or the paper's vector-faithful lockstep.
 	Discipline Discipline
+	// LaneWidth is the number of independent sublist cursors each
+	// worker interleaves in the sublist algorithm's hot chase loops —
+	// the software analog of the paper's vector lanes. 0 selects the
+	// tuned per-regime default; 1 forces the serial single-cursor
+	// walk; values are clamped to the kernel's maximum (32). Results
+	// are identical at every width; only the memory-level parallelism
+	// differs. See cmd/tune -lanes for measuring the best width on a
+	// given host.
+	LaneWidth int
 }
 
 // Discipline selects the sublist algorithm's Phase 1/3 traversal
@@ -280,5 +290,6 @@ func coreOptions(opt Options) core.Options {
 		M:          opt.M,
 		Procs:      opt.procs(),
 		Discipline: opt.Discipline,
+		LaneWidth:  opt.LaneWidth,
 	}
 }

@@ -1,0 +1,28 @@
+#!/bin/sh
+# BCE/codegen gate for the lane-interleaved traversal kernels.
+#
+# internal/kernel promises that its hot loops carry no
+# compiler-inserted bounds checks: data-dependent gathers go through
+# unchecked loads guarded by one explicit range test per followed link
+# (see internal/kernel/ptr.go and DESIGN.md, "Vector lanes in
+# software"). This script holds the package to that promise by
+# compiling it with the SSA check_bce debug pass, which prints a
+# "Found IsInBounds" / "Found IsSliceInBounds" line for every bounds
+# check that survives optimization, and failing if any does. The Go
+# build cache replays compiler diagnostics on cache hits, so the gate
+# is reliable without forced rebuilds.
+#
+# Usage: scripts/check_bce.sh   (from the module root)
+set -eu
+
+PKG=listrank/internal/kernel
+
+out="$(go build -gcflags="$PKG=-d=ssa/check_bce" "$PKG" 2>&1 | grep -v '^#' || true)"
+
+if [ -n "$out" ]; then
+	echo "check_bce: bounds checks survive in $PKG:" >&2
+	echo "$out" >&2
+	echo "check_bce: FAIL — the kernel hot loops must compile bounds-check-free" >&2
+	exit 1
+fi
+echo "check_bce: OK — no compiler-inserted bounds checks in $PKG"

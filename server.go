@@ -71,7 +71,8 @@ type Request struct {
 	Dst []int64
 	// Opt tunes the run. The server owns parallelism — each shard
 	// dispatches on its own worker pool — so Opt.Procs is ignored;
-	// Algorithm, Seed, M and Discipline are honored per request.
+	// Algorithm, Seed, M, Discipline and LaneWidth are honored per
+	// request.
 	Opt Options
 }
 

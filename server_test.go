@@ -399,4 +399,55 @@ func BenchmarkServerThroughput(b *testing.B) {
 			}
 		}
 	})
+
+	// Large-list legs: chase-dominated traffic, where the serving
+	// layer inherits the lane-interleaved kernel speedup end to end.
+	// The lane-oracle leg pins LaneWidth to 1 (the serial single-
+	// cursor chase) on the same fleet, so the pair isolates what the
+	// kernels buy on live traffic rather than in microbenchmarks.
+	const nLarge, eachLarge = 6, 1 << 19
+	var large []*List
+	var largeDsts [][]int64
+	// Built lazily on the first matched large leg, so selecting only
+	// the small-list legs never pays for ~100 MB of large lists.
+	setupLarge := func() {
+		if large != nil {
+			return
+		}
+		large = make([]*List, nLarge)
+		largeDsts = make([][]int64, nLarge)
+		for i := range large {
+			large[i] = NewRandomList(eachLarge, uint64(100+i))
+			largeDsts[i] = make([]int64, eachLarge)
+		}
+	}
+	for _, lw := range []int{0, 1} {
+		name := "server-large-lanes"
+		if lw == 1 {
+			name = "server-large-lane-oracle"
+		}
+		b.Run(name, func(b *testing.B) {
+			setupLarge()
+			s := NewServer(ServerOptions{Procs: 4, WarmSizes: []int{eachLarge}})
+			defer s.Close()
+			tickets := make([]*Ticket, nLarge)
+			serve := func() {
+				for j := range large {
+					tickets[j] = s.Submit(Request{Op: OpRank, List: large[j], Dst: largeDsts[j], Opt: Options{LaneWidth: lw}})
+				}
+				for _, tk := range tickets {
+					if _, err := tk.Wait(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			serve()
+			b.SetBytes(8 * nLarge * eachLarge)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				serve()
+			}
+		})
+	}
 }
