@@ -64,10 +64,13 @@ func batchAll(pool []*List, opt Options, op Op) [][]int64 {
 	if firstErr != nil {
 		// The shared server blocks rather than rejects and is never
 		// closed, so the only error that can surface here is a
-		// serve-time panic captured into the ticket — e.g. a list
-		// violating List's invariants. Re-panic with the underlying
-		// message, as the pre-serving-layer batch path would have.
-		panic(firstErr.Error())
+		// serve-time fault captured into the ticket — e.g. a list
+		// violating List's invariants, reported as an ErrPanic-wrapped
+		// error. Re-panic the error itself: recover sites keep the
+		// original message and can still classify it with
+		// errors.Is(err, ErrPanic), which the old re-panic of
+		// firstErr.Error() as a bare string destroyed.
+		panic(firstErr)
 	}
 	return out
 }

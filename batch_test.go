@@ -1,6 +1,7 @@
 package listrank
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -12,6 +13,29 @@ func poolOf(sizes []int, seed uint64) []*List {
 		pool[i] = NewRandomList(n, seed+uint64(i))
 	}
 	return pool
+}
+
+// TestBatchPanicPropagatesError: a fault contained while serving a
+// batch re-panics as the original error value — ErrPanic-wrapped, with
+// the underlying message — not a bare string, so recover sites can
+// classify it with errors.Is.
+func TestBatchPanicPropagatesError(t *testing.T) {
+	poisoned := NewRandomList(300, 1)
+	poisoned.Next[poisoned.Head] = int64(poisoned.Len()) + 1
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("batch with a poisoned list did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrPanic) {
+			t.Fatalf("batch panicked with %T (%v), want an ErrPanic-wrapped error", r, r)
+		}
+		if err.Error() == ErrPanic.Error() {
+			t.Fatalf("batch panic lost the original message: %v", err)
+		}
+	}()
+	RankAll([]*List{NewRandomList(100, 2), poisoned}, Options{})
 }
 
 func TestRankAllMatchesPerList(t *testing.T) {

@@ -13,15 +13,24 @@
 //	listrankd [-n 2000] [-procs 0] [-bins 4096,262144] [-queue 1024]
 //	          [-maxbatch 64] [-reject] [-rate 0] [-zipf 1.4]
 //	          [-min 256] [-max 1048576] [-lists 64] [-seed 1] [-compare]
+//	          [-deadline 0] [-poison-rate 0]
 //
 // -rate 0 (the default) replays the trace open-throttle: every
 // request is submitted as fast as the admission queue accepts it,
 // which measures the fleet's saturated steady state. A positive
 // -rate submits at that many requests per second with exponential
 // inter-arrival times.
+//
+// -deadline attaches a per-request deadline (relative to submission)
+// so the run exercises queued and mid-run expiry; -poison-rate mixes
+// in that fraction of structurally corrupt requests (out-of-range
+// link), exercising fault containment. Expired and poisoned counts
+// are reported next to the latency percentiles, which cover
+// successfully served requests only.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -51,6 +60,8 @@ func main() {
 	nLists := flag.Int("lists", 64, "distinct lists to cycle through")
 	seed := flag.Uint64("seed", 1, "trace seed")
 	compare := flag.Bool("compare", false, "also replay the trace through the naive per-request loop")
+	deadline := flag.Duration("deadline", 0, "per-request deadline relative to submission (0 = none)")
+	poisonRate := flag.Float64("poison-rate", 0, "fraction of requests with a corrupted (out-of-range link) list")
 	flag.Parse()
 
 	bounds, err := parseBins(*binsFlag)
@@ -60,6 +71,10 @@ func main() {
 	}
 	if *n < 1 || *minSize < 1 || *maxSize < *minSize || *zipfS <= 1 || *nLists < 1 {
 		fmt.Fprintln(os.Stderr, "listrankd: need -n ≥ 1, 1 ≤ -min ≤ -max, -zipf > 1, -lists ≥ 1")
+		os.Exit(2)
+	}
+	if *poisonRate < 0 || *poisonRate > 1 {
+		fmt.Fprintln(os.Stderr, "listrankd: need 0 ≤ -poison-rate ≤ 1")
 		os.Exit(2)
 	}
 
@@ -116,6 +131,23 @@ func main() {
 		}
 	}
 
+	// Poisoned traffic cycles through a small ring of corrupt lists
+	// (out-of-range link at the head), serialized per list exactly like
+	// the good problems: a contained fault restores the list on unwind,
+	// but two in-flight engines must still never share one.
+	var poisons []*problem
+	if *poisonRate > 0 {
+		for i := 0; i < 8; i++ {
+			p := &problem{
+				l:    listrank.NewRandomList(*minSize, *seed+uint64(i)+0xbad),
+				rank: make([]int64, *minSize),
+				sc:   make([]int64, *minSize),
+			}
+			p.l.Next[p.l.Head] = int64(*minSize) + 1
+			poisons = append(poisons, p)
+		}
+	}
+
 	srv := listrank.NewServer(listrank.ServerOptions{
 		Procs:       *procs,
 		BinBounds:   bounds,
@@ -136,7 +168,7 @@ func main() {
 	// Replay. Arrival pacing happens on the submitting goroutine; a
 	// waiter goroutine per request records completion latency.
 	latencies := make([]time.Duration, *n)
-	rejected := make([]bool, *n)
+	errs := make([]error, *n)
 	var bytes atomic.Int64 // bytes of *served* requests only
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -145,6 +177,9 @@ func main() {
 			time.Sleep(time.Duration(r.ExpFloat64() / *rate * float64(time.Second)))
 		}
 		p := bySize[sizes[i]]
+		if len(poisons) > 0 && r.Float64() < *poisonRate {
+			p = poisons[i%len(poisons)]
+		}
 		// Serialize in-flight requests per list (see the problem type);
 		// a hot list can therefore delay submission past its Poisson
 		// arrival time, which is the natural client behavior anyway.
@@ -152,6 +187,9 @@ func main() {
 		req := listrank.Request{Op: listrank.OpRank, List: p.l, Dst: p.rank}
 		if i%2 == 1 {
 			req = listrank.Request{Op: listrank.OpScan, List: p.l, Dst: p.sc}
+		}
+		if *deadline > 0 {
+			req.Deadline = time.Now().Add(*deadline)
 		}
 		submitted := time.Now()
 		tk := srv.Submit(req)
@@ -161,7 +199,7 @@ func main() {
 			defer p.mu.Unlock()
 			_, err := tk.Wait()
 			latencies[i] = time.Since(submitted)
-			rejected[i] = err != nil
+			errs[i] = err
 			if err == nil {
 				bytes.Add(int64(8 * p.l.Len()))
 			}
@@ -171,10 +209,17 @@ func main() {
 	elapsed := time.Since(start)
 
 	st := srv.Stats()
-	ok := 0
-	for _, rej := range rejected {
-		if !rej {
+	var ok, nRejected, nExpired, nPoisoned int
+	for _, err := range errs {
+		switch {
+		case err == nil:
 			ok++
+		case errors.Is(err, listrank.ErrDeadlineExceeded) || errors.Is(err, listrank.ErrCanceled):
+			nExpired++
+		case errors.Is(err, listrank.ErrPanic):
+			nPoisoned++
+		default:
+			nRejected++
 		}
 	}
 	fmt.Printf("served %d/%d requests in %v  (%.0f req/s, %.1f MB/s)\n",
@@ -186,11 +231,16 @@ func main() {
 	for b, served := range st.BinServed {
 		fmt.Printf("  bin %d: %d served\n", b, served)
 	}
+	if *deadline > 0 || *poisonRate > 0 || nRejected > 0 {
+		fmt.Printf("failure domains: %d rejected, %d expired, %d poisoned (server: %d/%d/%d)\n",
+			nRejected, nExpired, nPoisoned, st.Rejected, st.Expired, st.Poisoned)
+	}
 	// Percentiles over served requests only: a rejection completes in
-	// microseconds and would deflate every quantile under -reject.
+	// microseconds (and an expiry or contained fault is not a serve)
+	// and would deflate every quantile under -reject.
 	served := latencies[:0]
 	for i, d := range latencies {
-		if !rejected[i] {
+		if errs[i] == nil {
 			served = append(served, d)
 		}
 	}

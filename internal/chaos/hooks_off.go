@@ -1,0 +1,21 @@
+//go:build !chaos
+
+package chaos
+
+import "time"
+
+// Enabled reports whether fault injection is compiled in.
+func Enabled() bool { return false }
+
+// Point is a fault-injection hook. Without the chaos build tag it is
+// an empty, inlinable no-op: the production hot paths that call it
+// (pool worker bodies, phase boundaries, kernel strips) pay nothing.
+func Point(string) {}
+
+// ArmPanic, ArmDelay, Disarm and Fired are inert without the tag;
+// arming in a production build is silently a no-op so shared test
+// helpers can run under both builds.
+func ArmPanic(string, uint64)                {}
+func ArmDelay(string, time.Duration, uint64) {}
+func Disarm()                                {}
+func Fired(string) int64                     { return 0 }

@@ -1,0 +1,82 @@
+//go:build chaos
+
+package chaos
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Enabled reports whether fault injection is compiled in.
+func Enabled() bool { return true }
+
+// fault is one armed hook point. Hit counting is atomic so Point can
+// be called from any worker; the every'th hit fires.
+type fault struct {
+	every uint64 // fire on every N-th hit (≥ 1)
+	delay time.Duration
+	hits  atomic.Uint64
+	fired atomic.Int64
+}
+
+var (
+	mu    sync.RWMutex
+	armed = map[string]*fault{}
+)
+
+// ArmPanic arms hook point name to panic with a Fault on every
+// every'th hit (every ≤ 1 means every hit). Re-arming replaces the
+// previous fault and resets its counters.
+func ArmPanic(name string, every uint64) { arm(name, every, 0) }
+
+// ArmDelay arms hook point name to sleep for d on every every'th hit.
+func ArmDelay(name string, d time.Duration, every uint64) { arm(name, every, d) }
+
+func arm(name string, every uint64, d time.Duration) {
+	if every < 1 {
+		every = 1
+	}
+	mu.Lock()
+	armed[name] = &fault{every: every, delay: d}
+	mu.Unlock()
+}
+
+// Disarm removes every armed fault.
+func Disarm() {
+	mu.Lock()
+	armed = map[string]*fault{}
+	mu.Unlock()
+}
+
+// Fired reports how many times the fault armed at name has fired.
+func Fired(name string) int64 {
+	mu.RLock()
+	f := armed[name]
+	mu.RUnlock()
+	if f == nil {
+		return 0
+	}
+	return f.fired.Load()
+}
+
+// Point fires the fault armed at name, if any is due: a panic for
+// ArmPanic points (to be contained by the layer under test), a sleep
+// for ArmDelay points.
+func Point(name string) {
+	mu.RLock()
+	f := armed[name]
+	mu.RUnlock()
+	if f == nil {
+		return
+	}
+	if f.hits.Add(1)%f.every != 0 {
+		return
+	}
+	f.fired.Add(1)
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+		return
+	}
+	panic(Fault{Point: name})
+}

@@ -59,6 +59,7 @@ import (
 	"math/bits"
 	"sync/atomic"
 
+	"listrank/internal/chaos"
 	"listrank/internal/kernel"
 	"listrank/internal/list"
 	"listrank/internal/par"
@@ -159,6 +160,14 @@ type Options struct {
 	// generic scan over a ones array. It exists for the
 	// BenchmarkAblation_EncodedRank comparison.
 	DisableEncoding bool
+	// Cancel, if non-nil, makes the run cooperatively cancelable: it is
+	// polled at phase boundaries and between kernel chunk strips (see
+	// cancel.go for the cost bound), and a run that observes
+	// cancellation panics with ErrCanceled at its next phase boundary —
+	// after the deferred restore has un-mutated the caller's list. Nil
+	// (the default) compiles the checks down to nil-receiver
+	// short-circuits.
+	Cancel *Cancel
 	// Oversample enables the §7 oversampling extension in the
 	// lockstep discipline: a reserve pool of Oversample·M extra
 	// splitters is drawn, and when the active set first shrinks below
@@ -667,13 +676,15 @@ func scanAdd(out []int64, l *list.List, values []int64, opt Options, depth int, 
 	lanes := opt.laneWidth(n)
 
 	// Phase 1: sublist sums via the lane-interleaved chase.
+	opt.checkpoint(chaos.PointPhase1)
 	if lockstep {
 		lockstepPhase1(l, values, v, p, opt, sc)
 	} else {
 		if p == 1 {
-			kernel.SumAdd(l.Next, values, v.h, v.sum, v.cur, 0, k, lanes)
+			stripSumAdd(opt.Cancel, l.Next, values, v.h, v.sum, v.cur, 0, k, lanes)
 		} else {
 			sc.fc.next, sc.fc.values, sc.fc.lanes = l.Next, values, lanes
+			sc.fc.cancel = opt.Cancel
 			sc.fanout().ForChunksCtx(k, p, sc, taskSumAdd)
 		}
 		if opt.Stats != nil {
@@ -692,22 +703,30 @@ func scanAdd(out []int64, l *list.List, values []int64, opt Options, depth int, 
 	}
 
 	// Phase 2: scan the reduced list of sublist sums.
+	opt.checkpoint(chaos.PointPhase2)
 	phase2Add(v, k, opt, depth, sc)
 
 	// Phase 3: expand the head scan values across the sublists.
+	opt.checkpoint(chaos.PointPhase3)
 	if lockstep {
 		lockstepPhase3(out, l, values, v, p, opt, sc)
 	} else if p == 1 {
-		kernel.ExpandAdd(out, l.Next, values, v.h, v.pfx, 0, k, lanes)
+		stripExpandAdd(opt.Cancel, out, l.Next, values, v.h, v.pfx, 0, k, lanes)
 	} else {
 		sc.fc.out, sc.fc.next, sc.fc.values, sc.fc.lanes = out, l.Next, values, lanes
+		sc.fc.cancel = opt.Cancel
 		sc.fanout().ForChunksCtx(k, p, sc, taskExpandAdd)
+	}
+	// A cancellation observed mid-Phase 3 left out partially written;
+	// surface it (the deferred restore still un-mutates the list).
+	if opt.Cancel.Canceled() {
+		panic(ErrCanceled)
 	}
 }
 
 func taskSumAdd(c any, _, lo, hi int) {
 	sc := c.(*Scratch)
-	kernel.SumAdd(sc.fc.next, sc.fc.values, sc.v.h, sc.v.sum, sc.v.cur, lo, hi, sc.fc.lanes)
+	stripSumAdd(sc.fc.cancel, sc.fc.next, sc.fc.values, sc.v.h, sc.v.sum, sc.v.cur, lo, hi, sc.fc.lanes)
 }
 
 func taskFoldTailsAdd(c any, _, lo, hi int) {
@@ -717,7 +736,7 @@ func taskFoldTailsAdd(c any, _, lo, hi int) {
 
 func taskExpandAdd(c any, _, lo, hi int) {
 	sc := c.(*Scratch)
-	kernel.ExpandAdd(sc.fc.out, sc.fc.next, sc.fc.values, sc.v.h, sc.v.pfx, lo, hi, sc.fc.lanes)
+	stripExpandAdd(sc.fc.cancel, sc.fc.out, sc.fc.next, sc.fc.values, sc.v.h, sc.v.pfx, lo, hi, sc.fc.lanes)
 }
 
 func foldTailsAdd(v *vps, lo, hi int) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"listrank/internal/chaos"
 	"listrank/internal/kernel"
 	"listrank/internal/list"
 )
@@ -65,10 +66,11 @@ func lockstepPhase1(l *list.List, values []int64, v *vps, p int, opt Options, sc
 	activeAll := sc.active
 	next := l.Next
 	if p == 1 {
-		linksByWorker[0], roundsByWorker[0] = lockstepP1Worker(next, values, v, activeAll, steps, repeat, 0, k)
+		linksByWorker[0], roundsByWorker[0] = lockstepP1Worker(opt.Cancel, next, values, v, activeAll, steps, repeat, 0, k)
 	} else {
 		sc.fc.next, sc.fc.values = next, values
 		sc.fc.steps, sc.fc.repeat = steps, repeat
+		sc.fc.cancel = opt.Cancel
 		sc.fanout().ForChunksCtx(k, p, sc, taskLockstepP1)
 	}
 	// One extra fold per finished sublist happened when the final step
@@ -82,7 +84,7 @@ func lockstepPhase1(l *list.List, values []int64, v *vps, p int, opt Options, sc
 // lockstepP1Worker runs one worker's share [lo, hi) of the Phase 1
 // lockstep traversal, using its own region of the arena's active
 // buffer, and returns its link and pack-round counts.
-func lockstepP1Worker(next, values []int64, v *vps, activeAll []int32, steps []int, repeat, lo, hi int) (int64, int) {
+func lockstepP1Worker(cn *Cancel, next, values []int64, v *vps, activeAll []int32, steps []int, repeat, lo, hi int) (int64, int) {
 	active := activeAll[lo:lo:hi]
 	for j := lo; j < hi; j++ {
 		v.sum[j] = 0
@@ -92,6 +94,10 @@ func lockstepP1Worker(next, values []int64, v *vps, activeAll []int32, steps []i
 	round := 0
 	var links int64
 	for len(active) > 0 {
+		chaos.Point(chaos.PointChunk)
+		if cn.Canceled() {
+			return links, round
+		}
 		d := repeat
 		if round < len(steps) {
 			d = steps[round]
@@ -136,10 +142,11 @@ func lockstepPhase3(out []int64, l *list.List, values []int64, v *vps, p int, op
 	activeAll, accAll := sc.active, sc.acc
 	next := l.Next
 	if p == 1 {
-		linksByWorker[0], roundsByWorker[0] = lockstepP3Worker(out, next, values, v, activeAll, accAll, steps, repeat, 0, k)
+		linksByWorker[0], roundsByWorker[0] = lockstepP3Worker(opt.Cancel, out, next, values, v, activeAll, accAll, steps, repeat, 0, k)
 	} else {
 		sc.fc.out, sc.fc.next, sc.fc.values = out, next, values
 		sc.fc.steps, sc.fc.repeat = steps, repeat
+		sc.fc.cancel = opt.Cancel
 		sc.fanout().ForChunksCtx(k, p, sc, taskLockstepP3)
 	}
 	recordLockstepStats(opt.Stats, linksByWorker, roundsByWorker)
@@ -147,17 +154,17 @@ func lockstepPhase3(out []int64, l *list.List, values []int64, v *vps, p int, op
 
 func taskLockstepP1(c any, w, lo, hi int) {
 	sc := c.(*Scratch)
-	sc.links[w], sc.rounds[w] = lockstepP1Worker(sc.fc.next, sc.fc.values, &sc.v, sc.active, sc.fc.steps, sc.fc.repeat, lo, hi)
+	sc.links[w], sc.rounds[w] = lockstepP1Worker(sc.fc.cancel, sc.fc.next, sc.fc.values, &sc.v, sc.active, sc.fc.steps, sc.fc.repeat, lo, hi)
 }
 
 func taskLockstepP3(c any, w, lo, hi int) {
 	sc := c.(*Scratch)
-	sc.links[w], sc.rounds[w] = lockstepP3Worker(sc.fc.out, sc.fc.next, sc.fc.values, &sc.v, sc.active, sc.acc, sc.fc.steps, sc.fc.repeat, lo, hi)
+	sc.links[w], sc.rounds[w] = lockstepP3Worker(sc.fc.cancel, sc.fc.out, sc.fc.next, sc.fc.values, &sc.v, sc.active, sc.acc, sc.fc.steps, sc.fc.repeat, lo, hi)
 }
 
 // lockstepP3Worker runs one worker's share [lo, hi) of the Phase 3
 // lockstep expansion.
-func lockstepP3Worker(out, next, values []int64, v *vps, activeAll []int32, accAll []int64, steps []int, repeat, lo, hi int) (int64, int) {
+func lockstepP3Worker(cn *Cancel, out, next, values []int64, v *vps, activeAll []int32, accAll []int64, steps []int, repeat, lo, hi int) (int64, int) {
 	active := activeAll[lo:lo:hi]
 	acc := accAll[lo:hi]
 	base := lo
@@ -169,6 +176,10 @@ func lockstepP3Worker(out, next, values []int64, v *vps, activeAll []int32, accA
 	round := 0
 	var links int64
 	for len(active) > 0 {
+		chaos.Point(chaos.PointChunk)
+		if cn.Canceled() {
+			return links, round
+		}
 		d := repeat
 		if round < len(steps) {
 			d = steps[round]

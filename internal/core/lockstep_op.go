@@ -1,6 +1,7 @@
 package core
 
 import (
+	"listrank/internal/chaos"
 	"listrank/internal/kernel"
 	"listrank/internal/list"
 )
@@ -23,11 +24,12 @@ func lockstepPhase1Op(l *list.List, values []int64, v *vps, p int, op func(a, b 
 	activeAll := sc.active
 	next := l.Next
 	if p == 1 {
-		linksByWorker[0], roundsByWorker[0] = lockstepP1OpWorker(next, values, v, activeAll, op, identity, steps, repeat, 0, k)
+		linksByWorker[0], roundsByWorker[0] = lockstepP1OpWorker(opt.Cancel, next, values, v, activeAll, op, identity, steps, repeat, 0, k)
 	} else {
 		sc.fc.next, sc.fc.values = next, values
 		sc.fc.op, sc.fc.identity = op, identity
 		sc.fc.steps, sc.fc.repeat = steps, repeat
+		sc.fc.cancel = opt.Cancel
 		sc.fanout().ForChunksCtx(k, p, sc, taskLockstepP1Op)
 	}
 	recordLockstepStats(opt.Stats, linksByWorker, roundsByWorker)
@@ -35,10 +37,10 @@ func lockstepPhase1Op(l *list.List, values []int64, v *vps, p int, op func(a, b 
 
 func taskLockstepP1Op(c any, w, lo, hi int) {
 	sc := c.(*Scratch)
-	sc.links[w], sc.rounds[w] = lockstepP1OpWorker(sc.fc.next, sc.fc.values, &sc.v, sc.active, sc.fc.op, sc.fc.identity, sc.fc.steps, sc.fc.repeat, lo, hi)
+	sc.links[w], sc.rounds[w] = lockstepP1OpWorker(sc.fc.cancel, sc.fc.next, sc.fc.values, &sc.v, sc.active, sc.fc.op, sc.fc.identity, sc.fc.steps, sc.fc.repeat, lo, hi)
 }
 
-func lockstepP1OpWorker(next, values []int64, v *vps, activeAll []int32, op func(a, b int64) int64, identity int64, steps []int, repeat, lo, hi int) (int64, int) {
+func lockstepP1OpWorker(cn *Cancel, next, values []int64, v *vps, activeAll []int32, op func(a, b int64) int64, identity int64, steps []int, repeat, lo, hi int) (int64, int) {
 	active := activeAll[lo:lo:hi]
 	for j := lo; j < hi; j++ {
 		v.sum[j] = identity
@@ -48,6 +50,10 @@ func lockstepP1OpWorker(next, values []int64, v *vps, activeAll []int32, op func
 	round := 0
 	var links int64
 	for len(active) > 0 {
+		chaos.Point(chaos.PointChunk)
+		if cn.Canceled() {
+			return links, round
+		}
 		d := repeat
 		if round < len(steps) {
 			d = steps[round]
@@ -78,11 +84,12 @@ func lockstepPhase3Op(out []int64, l *list.List, values []int64, v *vps, p int, 
 	activeAll, accAll := sc.active, sc.acc
 	next := l.Next
 	if p == 1 {
-		linksByWorker[0], roundsByWorker[0] = lockstepP3OpWorker(out, next, values, v, activeAll, accAll, op, steps, repeat, 0, k)
+		linksByWorker[0], roundsByWorker[0] = lockstepP3OpWorker(opt.Cancel, out, next, values, v, activeAll, accAll, op, steps, repeat, 0, k)
 	} else {
 		sc.fc.out, sc.fc.next, sc.fc.values = out, next, values
 		sc.fc.op = op
 		sc.fc.steps, sc.fc.repeat = steps, repeat
+		sc.fc.cancel = opt.Cancel
 		sc.fanout().ForChunksCtx(k, p, sc, taskLockstepP3Op)
 	}
 	recordLockstepStats(opt.Stats, linksByWorker, roundsByWorker)
@@ -90,10 +97,10 @@ func lockstepPhase3Op(out []int64, l *list.List, values []int64, v *vps, p int, 
 
 func taskLockstepP3Op(c any, w, lo, hi int) {
 	sc := c.(*Scratch)
-	sc.links[w], sc.rounds[w] = lockstepP3OpWorker(sc.fc.out, sc.fc.next, sc.fc.values, &sc.v, sc.active, sc.acc, sc.fc.op, sc.fc.steps, sc.fc.repeat, lo, hi)
+	sc.links[w], sc.rounds[w] = lockstepP3OpWorker(sc.fc.cancel, sc.fc.out, sc.fc.next, sc.fc.values, &sc.v, sc.active, sc.acc, sc.fc.op, sc.fc.steps, sc.fc.repeat, lo, hi)
 }
 
-func lockstepP3OpWorker(out, next, values []int64, v *vps, activeAll []int32, accAll []int64, op func(a, b int64) int64, steps []int, repeat, lo, hi int) (int64, int) {
+func lockstepP3OpWorker(cn *Cancel, out, next, values []int64, v *vps, activeAll []int32, accAll []int64, op func(a, b int64) int64, steps []int, repeat, lo, hi int) (int64, int) {
 	active := activeAll[lo:lo:hi]
 	acc := accAll[lo:hi]
 	base := lo
@@ -105,6 +112,10 @@ func lockstepP3OpWorker(out, next, values []int64, v *vps, activeAll []int32, ac
 	round := 0
 	var links int64
 	for len(active) > 0 {
+		chaos.Point(chaos.PointChunk)
+		if cn.Canceled() {
+			return links, round
+		}
 		d := repeat
 		if round < len(steps) {
 			d = steps[round]

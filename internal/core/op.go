@@ -1,7 +1,7 @@
 package core
 
 import (
-	"listrank/internal/kernel"
+	"listrank/internal/chaos"
 	"listrank/internal/list"
 	"listrank/internal/par"
 )
@@ -34,14 +34,16 @@ func scanOp(out []int64, l *list.List, values []int64, op func(a, b int64) int64
 	// Phase 1: sublist "sums" under op, lane-interleaved. The
 	// per-sublist fold order is the serial walk's at every lane width,
 	// so non-commutative operators stay correct.
+	opt.checkpoint(chaos.PointPhase1)
 	if lockstep {
 		lockstepPhase1Op(l, values, v, p, op, identity, opt, sc)
 	} else {
 		if p == 1 {
-			kernel.SumOp(l.Next, values, v.h, v.sum, v.cur, op, identity, 0, k, lanes)
+			stripSumOp(opt.Cancel, l.Next, values, v.h, v.sum, v.cur, op, identity, 0, k, lanes)
 		} else {
 			sc.fc.next, sc.fc.values = l.Next, values
 			sc.fc.op, sc.fc.identity, sc.fc.lanes = op, identity, lanes
+			sc.fc.cancel = opt.Cancel
 			sc.fanout().ForChunksCtx(k, p, sc, taskSumOp)
 		}
 		if opt.Stats != nil {
@@ -61,6 +63,7 @@ func scanOp(out []int64, l *list.List, values []int64, op func(a, b int64) int64
 	// Phase 2: like phase2Add, directly on v.sum/v.succ — serial walk,
 	// predecessor-oriented pointer jumping, or recursion over an arena
 	// view; the reduced list is never materialized fresh.
+	opt.checkpoint(chaos.PointPhase2)
 	alg := opt.Phase2
 	if alg == Phase2Auto {
 		switch {
@@ -109,25 +112,31 @@ func scanOp(out []int64, l *list.List, values []int64, op func(a, b int64) int64
 	}
 
 	// Phase 3.
+	opt.checkpoint(chaos.PointPhase3)
 	if lockstep {
 		lockstepPhase3Op(out, l, values, v, p, op, opt, sc)
-		return
-	}
-	if p == 1 {
-		kernel.ExpandOp(out, l.Next, values, v.h, v.pfx, op, 0, k, lanes)
 	} else {
-		sc.fc.out, sc.fc.next, sc.fc.values = out, l.Next, values
-		sc.fc.op, sc.fc.lanes = op, lanes
-		sc.fanout().ForChunksCtx(k, p, sc, taskExpandOp)
+		if p == 1 {
+			stripExpandOp(opt.Cancel, out, l.Next, values, v.h, v.pfx, op, 0, k, lanes)
+		} else {
+			sc.fc.out, sc.fc.next, sc.fc.values = out, l.Next, values
+			sc.fc.op, sc.fc.lanes = op, lanes
+			sc.fc.cancel = opt.Cancel
+			sc.fanout().ForChunksCtx(k, p, sc, taskExpandOp)
+		}
+		if opt.Stats != nil {
+			opt.Stats.LinksTraversed += int64(n)
+		}
 	}
-	if opt.Stats != nil {
-		opt.Stats.LinksTraversed += int64(n)
+	// Surface a cancellation observed mid-Phase 3 (out is partial).
+	if opt.Cancel.Canceled() {
+		panic(ErrCanceled)
 	}
 }
 
 func taskSumOp(c any, _, lo, hi int) {
 	sc := c.(*Scratch)
-	kernel.SumOp(sc.fc.next, sc.fc.values, sc.v.h, sc.v.sum, sc.v.cur, sc.fc.op, sc.fc.identity, lo, hi, sc.fc.lanes)
+	stripSumOp(sc.fc.cancel, sc.fc.next, sc.fc.values, sc.v.h, sc.v.sum, sc.v.cur, sc.fc.op, sc.fc.identity, lo, hi, sc.fc.lanes)
 }
 
 func taskFoldTailsOp(c any, _, lo, hi int) {
@@ -137,7 +146,7 @@ func taskFoldTailsOp(c any, _, lo, hi int) {
 
 func taskExpandOp(c any, _, lo, hi int) {
 	sc := c.(*Scratch)
-	kernel.ExpandOp(sc.fc.out, sc.fc.next, sc.fc.values, sc.v.h, sc.v.pfx, sc.fc.op, lo, hi, sc.fc.lanes)
+	stripExpandOp(sc.fc.cancel, sc.fc.out, sc.fc.next, sc.fc.values, sc.v.h, sc.v.pfx, sc.fc.op, lo, hi, sc.fc.lanes)
 }
 
 func foldTailsOp(v *vps, op func(a, b int64) int64, lo, hi int) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"listrank/internal/chaos"
 	"listrank/internal/kernel"
 	"listrank/internal/list"
 	"listrank/internal/rng"
@@ -73,6 +74,7 @@ func scanAddOversampled(out []int64, l *list.List, values []int64, opt Options, 
 		trigger = defaultOversampleTrigger
 	}
 
+	opt.checkpoint(chaos.PointPhase1)
 	oversampledPhase1(l, values, v, reserve, trigger, opt)
 
 	k := len(v.r) // grown by activations
@@ -84,9 +86,14 @@ func scanAddOversampled(out []int64, l *list.List, values []int64, opt Options, 
 		}
 	}
 
+	opt.checkpoint(chaos.PointPhase2)
 	phase2Add(v, k, opt, depth, sc)
 
+	opt.checkpoint(chaos.PointPhase3)
 	lockstepPhase3(out, l, values, v, 1, opt, sc)
+	if opt.Cancel.Canceled() {
+		panic(ErrCanceled)
+	}
 }
 
 const defaultOversampleTrigger = 0.25
@@ -110,6 +117,10 @@ func oversampledPhase1(l *list.List, values []int64, v *vps, reserve []int64, tr
 	var links int64
 	activated := 0
 	for len(active) > 0 {
+		chaos.Point(chaos.PointChunk)
+		if opt.Cancel.Canceled() {
+			break // fall through to record stats; caller re-checks
+		}
 		d := repeat
 		if round < len(steps) {
 			d = steps[round]

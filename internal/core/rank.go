@@ -1,6 +1,7 @@
 package core
 
 import (
+	"listrank/internal/chaos"
 	"listrank/internal/kernel"
 	"listrank/internal/list"
 	"listrank/internal/par"
@@ -50,13 +51,15 @@ func ranksEnc(out []int64, l *list.List, opt Options, depth int, sc *Scratch) {
 	// stream is folded from the same word as the link, so each
 	// lane-step touches one cache line of enc and nothing else — with
 	// lanes of those loads in flight per worker (kernel.SumEnc).
+	opt.checkpoint(chaos.PointPhase1)
 	if lockstep {
 		lockstepRankPhase1(enc, v, p, opt, sc)
 	} else {
 		if p == 1 {
-			kernel.SumEnc(enc, v.h, v.sum, v.cur, 0, k, lanes)
+			stripSumEnc(opt.Cancel, enc, v.h, v.sum, v.cur, 0, k, lanes)
 		} else {
 			sc.fc.lanes = lanes
+			sc.fc.cancel = opt.Cancel
 			sc.fanout().ForChunksCtx(k, p, sc, taskRankSum)
 		}
 		if opt.Stats != nil {
@@ -70,21 +73,28 @@ func ranksEnc(out []int64, l *list.List, opt Options, depth int, sc *Scratch) {
 	// length already counts its tail vertex.
 
 	// Phase 2: prefix the sublist lengths; reuses the generic solver.
+	opt.checkpoint(chaos.PointPhase2)
 	phase2Add(v, k, opt, depth, sc)
 
 	// Phase 3: assign consecutive ranks along each sublist.
+	opt.checkpoint(chaos.PointPhase3)
 	if lockstep {
 		lockstepRankPhase3(out, enc, v, p, opt, sc)
 	} else {
 		if p == 1 {
-			kernel.ExpandEnc(out, enc, v.h, v.pfx, 0, k, lanes)
+			stripExpandEnc(opt.Cancel, out, enc, v.h, v.pfx, 0, k, lanes)
 		} else {
 			sc.fc.out, sc.fc.lanes = out, lanes
+			sc.fc.cancel = opt.Cancel
 			sc.fanout().ForChunksCtx(k, p, sc, taskRankExpand)
 		}
 		if opt.Stats != nil {
 			opt.Stats.LinksTraversed += int64(n)
 		}
+	}
+	// Surface a cancellation observed mid-Phase 3 (out is partial).
+	if opt.Cancel.Canceled() {
+		panic(ErrCanceled)
 	}
 }
 
@@ -93,12 +103,12 @@ func ranksEnc(out []int64, l *list.List, opt Options, depth int, sc *Scratch) {
 // over its chunk of sublists.
 func taskRankSum(c any, _, lo, hi int) {
 	sc := c.(*Scratch)
-	kernel.SumEnc(sc.enc, sc.v.h, sc.v.sum, sc.v.cur, lo, hi, sc.fc.lanes)
+	stripSumEnc(sc.fc.cancel, sc.enc, sc.v.h, sc.v.sum, sc.v.cur, lo, hi, sc.fc.lanes)
 }
 
 func taskRankExpand(c any, _, lo, hi int) {
 	sc := c.(*Scratch)
-	kernel.ExpandEnc(sc.fc.out, sc.enc, sc.v.h, sc.v.pfx, lo, hi, sc.fc.lanes)
+	stripExpandEnc(sc.fc.cancel, sc.fc.out, sc.enc, sc.v.h, sc.v.pfx, lo, hi, sc.fc.lanes)
 }
 
 // setupRank draws the splitters with the same parallel machinery as
@@ -181,9 +191,10 @@ func lockstepRankPhase1(enc []uint64, v *vps, p int, opt Options, sc *Scratch) {
 	sc.active = grow(sc.active, k)
 	activeAll := sc.active
 	if p == 1 {
-		linksByWorker[0], roundsByWorker[0] = lockstepRankP1Worker(enc, v, activeAll, steps, repeat, 0, k)
+		linksByWorker[0], roundsByWorker[0] = lockstepRankP1Worker(opt.Cancel, enc, v, activeAll, steps, repeat, 0, k)
 	} else {
 		sc.fc.steps, sc.fc.repeat = steps, repeat
+		sc.fc.cancel = opt.Cancel
 		sc.fanout().ForChunksCtx(k, p, sc, taskLockstepRankP1)
 	}
 	recordLockstepStats(opt.Stats, linksByWorker, roundsByWorker)
@@ -191,10 +202,10 @@ func lockstepRankPhase1(enc []uint64, v *vps, p int, opt Options, sc *Scratch) {
 
 func taskLockstepRankP1(c any, w, lo, hi int) {
 	sc := c.(*Scratch)
-	sc.links[w], sc.rounds[w] = lockstepRankP1Worker(sc.enc, &sc.v, sc.active, sc.fc.steps, sc.fc.repeat, lo, hi)
+	sc.links[w], sc.rounds[w] = lockstepRankP1Worker(sc.fc.cancel, sc.enc, &sc.v, sc.active, sc.fc.steps, sc.fc.repeat, lo, hi)
 }
 
-func lockstepRankP1Worker(enc []uint64, v *vps, activeAll []int32, steps []int, repeat, lo, hi int) (int64, int) {
+func lockstepRankP1Worker(cn *Cancel, enc []uint64, v *vps, activeAll []int32, steps []int, repeat, lo, hi int) (int64, int) {
 	active := activeAll[lo:lo:hi]
 	for j := lo; j < hi; j++ {
 		v.sum[j] = 0
@@ -204,6 +215,10 @@ func lockstepRankP1Worker(enc []uint64, v *vps, activeAll []int32, steps []int, 
 	round := 0
 	var links int64
 	for len(active) > 0 {
+		chaos.Point(chaos.PointChunk)
+		if cn.Canceled() {
+			return links, round
+		}
 		d := repeat
 		if round < len(steps) {
 			d = steps[round]
@@ -239,9 +254,10 @@ func lockstepRankPhase3(out []int64, enc []uint64, v *vps, p int, opt Options, s
 	sc.acc = grow(sc.acc, k)
 	activeAll, accAll := sc.active, sc.acc
 	if p == 1 {
-		linksByWorker[0], roundsByWorker[0] = lockstepRankP3Worker(out, enc, v, activeAll, accAll, steps, repeat, 0, k)
+		linksByWorker[0], roundsByWorker[0] = lockstepRankP3Worker(opt.Cancel, out, enc, v, activeAll, accAll, steps, repeat, 0, k)
 	} else {
 		sc.fc.out, sc.fc.steps, sc.fc.repeat = out, steps, repeat
+		sc.fc.cancel = opt.Cancel
 		sc.fanout().ForChunksCtx(k, p, sc, taskLockstepRankP3)
 	}
 	recordLockstepStats(opt.Stats, linksByWorker, roundsByWorker)
@@ -249,10 +265,10 @@ func lockstepRankPhase3(out []int64, enc []uint64, v *vps, p int, opt Options, s
 
 func taskLockstepRankP3(c any, w, lo, hi int) {
 	sc := c.(*Scratch)
-	sc.links[w], sc.rounds[w] = lockstepRankP3Worker(sc.fc.out, sc.enc, &sc.v, sc.active, sc.acc, sc.fc.steps, sc.fc.repeat, lo, hi)
+	sc.links[w], sc.rounds[w] = lockstepRankP3Worker(sc.fc.cancel, sc.fc.out, sc.enc, &sc.v, sc.active, sc.acc, sc.fc.steps, sc.fc.repeat, lo, hi)
 }
 
-func lockstepRankP3Worker(out []int64, enc []uint64, v *vps, activeAll []int32, accAll []int64, steps []int, repeat, lo, hi int) (int64, int) {
+func lockstepRankP3Worker(cn *Cancel, out []int64, enc []uint64, v *vps, activeAll []int32, accAll []int64, steps []int, repeat, lo, hi int) (int64, int) {
 	active := activeAll[lo:lo:hi]
 	acc := accAll[lo:hi]
 	base := lo
@@ -264,6 +280,10 @@ func lockstepRankP3Worker(out []int64, enc []uint64, v *vps, activeAll []int32, 
 	round := 0
 	var links int64
 	for len(active) > 0 {
+		chaos.Point(chaos.PointChunk)
+		if cn.Canceled() {
+			return links, round
+		}
 		d := repeat
 		if round < len(steps) {
 			d = steps[round]

@@ -86,6 +86,7 @@ type Scratch struct {
 	fc struct {
 		out, next, values []int64
 		op                func(a, b int64) int64
+		cancel            *Cancel
 		identity          int64
 		n, m              int
 		tail              int64
@@ -127,6 +128,7 @@ func (sc *Scratch) fanout() *par.Pool {
 func (sc *Scratch) releaseCall() {
 	sc.fc.out, sc.fc.next, sc.fc.values = nil, nil, nil
 	sc.fc.op = nil
+	sc.fc.cancel = nil
 	sc.fc.steps = nil
 	sc.fc.val, sc.fc.val2, sc.fc.lnk, sc.fc.lnk2 = nil, nil, nil, nil
 }

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"listrank/internal/chaos"
+	"listrank/internal/kernel"
+)
+
+// Strip wrappers around the Phase 1/3 chase kernels: each runs its
+// kernel over [lo, hi) in cancelStride-sublist strips, polling the
+// Cancel token (and the chaos chunk hook) between strips. Sublists are
+// independent, so splitting the range changes nothing about the
+// results — only how often the worker surfaces for air. A worker that
+// observes cancellation simply stops chasing; the orchestrator's next
+// phase-boundary checkpoint turns the partial phase into ErrCanceled.
+// With a nil token the poll is two predictable branches per
+// cancelStride sublists (each ~log n links of chasing), which is the
+// "bounded check cost" EXPERIMENTS.md quantifies.
+
+func stripSumAdd(cn *Cancel, next, values, h, sum, cur []int64, lo, hi, lanes int) {
+	for s := lo; s < hi; s += cancelStride {
+		chaos.Point(chaos.PointChunk)
+		if cn.Canceled() {
+			return
+		}
+		e := min(s+cancelStride, hi)
+		kernel.SumAdd(next, values, h, sum, cur, s, e, lanes)
+	}
+}
+
+func stripExpandAdd(cn *Cancel, out, next, values, h, pfx []int64, lo, hi, lanes int) {
+	for s := lo; s < hi; s += cancelStride {
+		chaos.Point(chaos.PointChunk)
+		if cn.Canceled() {
+			return
+		}
+		e := min(s+cancelStride, hi)
+		kernel.ExpandAdd(out, next, values, h, pfx, s, e, lanes)
+	}
+}
+
+func stripSumEnc(cn *Cancel, enc []uint64, h, sum, cur []int64, lo, hi, lanes int) {
+	for s := lo; s < hi; s += cancelStride {
+		chaos.Point(chaos.PointChunk)
+		if cn.Canceled() {
+			return
+		}
+		e := min(s+cancelStride, hi)
+		kernel.SumEnc(enc, h, sum, cur, s, e, lanes)
+	}
+}
+
+func stripExpandEnc(cn *Cancel, out []int64, enc []uint64, h, pfx []int64, lo, hi, lanes int) {
+	for s := lo; s < hi; s += cancelStride {
+		chaos.Point(chaos.PointChunk)
+		if cn.Canceled() {
+			return
+		}
+		e := min(s+cancelStride, hi)
+		kernel.ExpandEnc(out, enc, h, pfx, s, e, lanes)
+	}
+}
+
+func stripSumOp(cn *Cancel, next, values, h, sum, cur []int64, op func(a, b int64) int64, identity int64, lo, hi, lanes int) {
+	for s := lo; s < hi; s += cancelStride {
+		chaos.Point(chaos.PointChunk)
+		if cn.Canceled() {
+			return
+		}
+		e := min(s+cancelStride, hi)
+		kernel.SumOp(next, values, h, sum, cur, op, identity, s, e, lanes)
+	}
+}
+
+func stripExpandOp(cn *Cancel, out, next, values, h, pfx []int64, op func(a, b int64) int64, lo, hi, lanes int) {
+	for s := lo; s < hi; s += cancelStride {
+		chaos.Point(chaos.PointChunk)
+		if cn.Canceled() {
+			return
+		}
+		e := min(s+cancelStride, hi)
+		kernel.ExpandOp(out, next, values, h, pfx, op, s, e, lanes)
+	}
+}

@@ -10,7 +10,11 @@
 // contention, while the reference algorithms use them directly.
 package par
 
-import "sync"
+import (
+	"sync"
+
+	"listrank/internal/chaos"
+)
 
 // Procs clamps a requested processor count to at least 1 and at most n
 // (no point in more workers than work items).
@@ -49,6 +53,14 @@ func Chunk(n, p, w int) (lo, hi int) {
 // position at the price of false sharing on adjacent results; the
 // chunked assignment is the default everywhere and ForStrided exists
 // for the assignment-policy ablation.
+//
+// Worker panics are contained: every spawned worker runs to the
+// WaitGroup even when its body panics, and the first fault is rethrown
+// on the calling goroutine as a *WorkerPanic once the fan-out has
+// quiesced (an unrecovered panic on a spawned goroutine would
+// otherwise kill the process). The p == 1 inline path panics directly,
+// as a plain function call would. ForChunks and RunWorkers contain the
+// same way.
 func ForStrided(n, p int, body func(w, i int)) {
 	p = Procs(p, n)
 	if p == 1 {
@@ -57,39 +69,48 @@ func ForStrided(n, p int, body func(w, i int)) {
 		}
 		return
 	}
+	var faults panicSlot
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for w := 0; w < p; w++ {
 		go func(w int) {
 			defer wg.Done()
+			defer faults.recoverInto()
+			chaos.Point(chaos.PointWorker)
 			for i := w; i < n; i += p {
 				body(w, i)
 			}
 		}(w)
 	}
 	wg.Wait()
+	faults.rethrow()
 }
 
 // ForChunks runs body(w, lo, hi) on p goroutines, where [lo, hi) is
 // worker w's chunk of [0, n). With p == 1 it runs inline with no
 // goroutine, so single-processor measurements carry no scheduling
-// overhead. It returns when all workers have finished.
+// overhead. It returns when all workers have finished. Worker panics
+// are contained and rethrown on the caller; see ForStrided.
 func ForChunks(n, p int, body func(w, lo, hi int)) {
 	p = Procs(p, n)
 	if p == 1 {
 		body(0, 0, n)
 		return
 	}
+	var faults panicSlot
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for w := 0; w < p; w++ {
 		lo, hi := Chunk(n, p, w)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer faults.recoverInto()
+			chaos.Point(chaos.PointWorker)
 			body(w, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	faults.rethrow()
 }
 
 // Barrier is a reusable synchronization barrier for a fixed set of
@@ -132,9 +153,30 @@ func (b *Barrier) Wait() {
 	b.mu.Unlock()
 }
 
+// abandon removes one worker from the barrier's roster: a worker whose
+// body panicked will never call Wait again, and without this its peers
+// would block forever waiting for it. If the abandoning worker was the
+// last one the current round was waiting on, the round completes.
+// Subsequent rounds proceed with the reduced roster — the results are
+// garbage, but the fan-out quiesces so the dispatcher can rethrow the
+// fault and the caller can discard them.
+func (b *Barrier) abandon() {
+	b.mu.Lock()
+	b.n--
+	if b.n > 0 && b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
 // RunWorkers starts p goroutines running body(w) with a shared barrier
 // sized for them, and returns when all are done. It is the harness for
 // round-synchronous algorithms: body calls barrier.Wait between rounds.
+// Worker panics are contained and rethrown on the caller (see
+// ForStrided); a panicking worker abandons the barrier so its peers'
+// Waits release instead of deadlocking.
 func RunWorkers(p int, body func(w int, b *Barrier)) {
 	if p < 1 {
 		p = 1
@@ -144,13 +186,22 @@ func RunWorkers(p int, body func(w int, b *Barrier)) {
 		body(0, b)
 		return
 	}
+	var faults panicSlot
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for w := 0; w < p; w++ {
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					faults.note(r)
+					b.abandon()
+				}
+			}()
+			chaos.Point(chaos.PointWorker)
 			body(w, b)
 		}(w)
 	}
 	wg.Wait()
+	faults.rethrow()
 }

@@ -1,10 +1,14 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"listrank/internal/chaos"
 )
 
 // This file is layer 0 of the arena architecture: the persistent
@@ -57,6 +61,94 @@ const (
 	kindShutdown
 )
 
+// WorkerPanic is the value a fan-out rethrows on the dispatching
+// goroutine when one of its worker bodies panicked. Containment is
+// what makes the runtime crash-safe to serve on: without it, a panic
+// on a spawned or resident worker goroutine kills the whole process
+// (Go offers no cross-goroutine recover), so one malformed request
+// inside a fan-out would take down every request in flight. Instead,
+// each worker recovers its own panic, records the first one in the
+// dispatch's panic slot, and still reaches the completion barrier; the
+// dispatcher then observes a fully-quiesced fan-out and rethrows the
+// fault here, where the caller's ordinary recover can see it. Value
+// preserves the original panic value and Stack the faulted worker's
+// stack. WorkerPanic implements error (and unwraps to Value when that
+// is itself an error), so recover sites can classify the fault with
+// errors.Is through the usual chain.
+type WorkerPanic struct {
+	// Value is the original value the worker panicked with.
+	Value any
+	// Stack is the faulted worker's stack trace, captured at recover.
+	Stack []byte
+}
+
+// Error formats the original panic value; the worker stack is carried
+// separately in Stack so logs can include it without bloating the
+// message.
+func (wp *WorkerPanic) Error() string {
+	return fmt.Sprintf("par: panic on fan-out worker: %v", wp.Value)
+}
+
+// Unwrap exposes Value when the worker panicked with an error, so
+// errors.Is / errors.As reach through the containment wrapper.
+func (wp *WorkerPanic) Unwrap() error {
+	if err, ok := wp.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// wrapPanic normalizes a recovered value into a *WorkerPanic, keeping
+// an already-wrapped fault (a nested fan-out's rethrow caught by an
+// outer worker) as-is so the original value and stack survive.
+func wrapPanic(r any) *WorkerPanic {
+	if wp, ok := r.(*WorkerPanic); ok {
+		return wp
+	}
+	return &WorkerPanic{Value: r, Stack: debug.Stack()}
+}
+
+// panicSlot collects the first panic of one fan-out. The fault path
+// may allocate freely (it is the opposite of the steady state); the
+// no-fault path costs one recover call per worker per dispatch.
+type panicSlot struct {
+	mu  sync.Mutex
+	val *WorkerPanic
+}
+
+// recoverInto is the deferred recover of a spawned fan-out worker:
+// the panic is swallowed into the slot and the worker still reaches
+// its WaitGroup.
+func (ps *panicSlot) recoverInto() {
+	if r := recover(); r != nil {
+		ps.note(r)
+	}
+}
+
+// note records r if it is the fan-out's first fault.
+func (ps *panicSlot) note(r any) {
+	wp := wrapPanic(r)
+	ps.mu.Lock()
+	if ps.val == nil {
+		ps.val = wp
+	}
+	ps.mu.Unlock()
+}
+
+// rethrow re-panics the recorded fault, if any, clearing the slot for
+// the next dispatch. It must run after the fan-out has fully quiesced
+// and, on a Pool, after release has freed the pool: the panic then
+// unwinds a clean dispatcher, and the pool (or the next free-function
+// call) remains dispatchable.
+func (ps *panicSlot) rethrow() {
+	if ps.val == nil {
+		return
+	}
+	wp := ps.val
+	ps.val = nil
+	panic(wp)
+}
+
 // Pool is a persistent set of worker goroutines servicing chunked,
 // strided and round-synchronous fan-outs. The caller participates as
 // worker 0, so a Pool of procs p keeps p-1 goroutines parked between
@@ -105,6 +197,13 @@ type Pool struct {
 	fc   func(ctx any, w, lo, hi int)
 	fs   func(ctx any, w, i int)
 	fw   func(ctx any, w int, b *Barrier)
+
+	// faults records the current dispatch's first worker panic; the
+	// dispatcher rethrows it (as a *WorkerPanic) once the fan-out has
+	// quiesced and the pool has been released, so a fault fails the
+	// dispatching call without wedging the barrier or killing the
+	// process — the pool stays dispatchable afterward.
+	faults panicSlot
 }
 
 // NewPool returns a pool of procs resident workers (clamped to at
@@ -184,11 +283,37 @@ func (pl *Pool) workerLoop(w int) {
 		if pl.kind == kindShutdown {
 			return
 		}
-		pl.run(w)
+		pl.runGuarded(w)
 		if pl.outstanding.Add(-1) == 0 {
 			pl.doneMu.Lock()
 			pl.doneCond.Signal()
 			pl.doneMu.Unlock()
+		}
+	}
+}
+
+// runGuarded is run with panic containment: a panicking body is
+// recovered on the worker, recorded in the dispatch's panic slot, and
+// the worker still reaches the completion protocol (outstanding
+// decrement, barrier abandonment for round-synchronous jobs), so the
+// dispatcher always completes and can rethrow. The no-fault cost is
+// one open-coded defer and a nil recover per worker per dispatch —
+// nothing allocates, preserving the zero-allocation Ctx contract.
+func (pl *Pool) runGuarded(w int) {
+	defer pl.containPanic(w)
+	chaos.Point(chaos.PointWorker)
+	pl.run(w)
+}
+
+// containPanic is runGuarded's deferred recover. A fault inside a
+// RunWorkersCtx body additionally abandons the round barrier on the
+// panicking worker's behalf: its surviving peers would otherwise wait
+// forever for a participant that will never call Wait again.
+func (pl *Pool) containPanic(w int) {
+	if r := recover(); r != nil {
+		pl.faults.note(r)
+		if pl.kind == kindWorkers && w < pl.p {
+			pl.round.abandon()
 		}
 	}
 }
@@ -236,8 +361,12 @@ func (pl *Pool) release() {
 // Job-field writes happen-before the workers' reads via mu (written
 // before the epoch advance, read after observing it); the outstanding
 // count plus doneMu order the workers' writes before the caller
-// continues.
+// continues. Worker panics — including worker 0's own — are contained
+// into the fault slot and rethrown here (LIFO defers: await the
+// fan-out, release the pool, then rethrow), so a fault unwinds a
+// clean, reusable pool into the caller's recover.
 func (pl *Pool) dispatch() {
+	defer pl.faults.rethrow()
 	defer pl.release()
 	pl.outstanding.Store(int64(pl.procs - 1))
 	pl.mu.Lock()
@@ -245,7 +374,7 @@ func (pl *Pool) dispatch() {
 	pl.mu.Unlock()
 	pl.cond.Broadcast()
 	defer pl.await()
-	pl.run(0)
+	pl.runGuarded(0)
 }
 
 // await blocks until every worker has finished the current job.

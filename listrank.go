@@ -198,6 +198,11 @@ type Options struct {
 	// differs. See cmd/tune -lanes for measuring the best width on a
 	// given host.
 	LaneWidth int
+	// cancel is the serving layer's cooperative cancellation token,
+	// threaded through to the core engine. Requests carry deadlines and
+	// contexts (Request.Deadline, Request.Ctx) rather than setting this
+	// directly; the reference algorithms do not poll it.
+	cancel *core.Cancel
 }
 
 // Discipline selects the sublist algorithm's Phase 1/3 traversal
@@ -291,5 +296,6 @@ func coreOptions(opt Options) core.Options {
 		Procs:      opt.procs(),
 		Discipline: opt.Discipline,
 		LaneWidth:  opt.LaneWidth,
+		Cancel:     opt.cancel,
 	}
 }

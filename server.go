@@ -1,12 +1,15 @@
 package listrank
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"listrank/internal/core"
 	"listrank/internal/fleet"
 )
 
@@ -74,6 +77,20 @@ type Request struct {
 	// Algorithm, Seed, M, Discipline and LaneWidth are honored per
 	// request.
 	Opt Options
+	// Deadline, if non-zero, is the wall-clock instant after which the
+	// request must not keep running: a request that expires while
+	// queued fails with ErrDeadlineExceeded without ever running on an
+	// engine, and one that expires mid-run is cooperatively abandoned
+	// at the engine's next cancellation checkpoint (phase boundary or
+	// kernel chunk strip — tens of microseconds of chasing, not the
+	// rest of the problem). The deadline applies to the default Sublist
+	// algorithm; the reference algorithms do not poll it.
+	Deadline time.Time
+	// Ctx, if non-nil, cancels the request when it is done: the run is
+	// abandoned exactly as for Deadline, and Wait reports ErrCanceled.
+	// The context is polled, not watched — no goroutine is spawned per
+	// request — and is released at completion.
+	Ctx context.Context
 }
 
 // Errors reported by Ticket.Wait.
@@ -84,9 +101,24 @@ var (
 	// ErrBackpressure reports a rejected submission: the target
 	// shard's admission queue was full under the Reject policy.
 	ErrBackpressure = errors.New("listrank: admission queue full")
-	// ErrBadRequest reports a malformed request: a nil List, or a Dst
-	// whose length does not match the list.
+	// ErrBadRequest reports a malformed request: a nil List, a Dst
+	// whose length does not match the list, or (with
+	// ServerOptions.ValidateInputs) a list failing the cheap structural
+	// checks.
 	ErrBadRequest = errors.New("listrank: malformed request")
+	// ErrDeadlineExceeded reports a request whose Deadline passed —
+	// while queued (it never ran) or mid-run (it was cooperatively
+	// abandoned and its list restored).
+	ErrDeadlineExceeded = errors.New("listrank: request deadline exceeded")
+	// ErrCanceled reports a request withdrawn by Ticket.Cancel or its
+	// Request.Ctx before completing.
+	ErrCanceled = errors.New("listrank: request canceled")
+	// ErrPanic is the wrapper for a panic contained while serving a
+	// request — a poisoned input (e.g. an out-of-range link caught by
+	// the kernel guard) whose fault was confined to its own ticket.
+	// Wait's error wraps ErrPanic and preserves the original panic
+	// message; errors.Is(err, ErrPanic) classifies it.
+	ErrPanic = errors.New("listrank: panic while serving request")
 )
 
 // Ticket is the future returned by Submit. Exactly one Wait call must
@@ -97,18 +129,33 @@ type Ticket struct {
 	req  Request
 	err  error
 	done chan struct{} // capacity 1, reused across recycles
+	// cancel is the request's cooperative cancellation token, armed at
+	// submission from Deadline/Ctx and recycled with the ticket.
+	cancel core.Cancel
 }
+
+// Cancel asks the server to abandon the request: if it is still
+// queued it will fail with ErrCanceled without running; if it is
+// mid-run the engine abandons it at its next cancellation checkpoint
+// (restoring the request's list). Cancel is safe to call at any time
+// between Submit and Wait, from any goroutine, and does not replace
+// Wait — exactly one Wait call is still required.
+func (t *Ticket) Cancel() { t.cancel.Trip() }
 
 // Wait blocks until the request completes and returns the result
 // slice (the request's Dst, or the server-allocated result if Dst was
-// nil) and the request's error: nil on success, ErrServerClosed /
-// ErrBackpressure / ErrBadRequest if the request never ran.
+// nil) and the request's error: nil on success; ErrServerClosed /
+// ErrBackpressure / ErrBadRequest if the request never ran;
+// ErrDeadlineExceeded or ErrCanceled if it was withdrawn (queued or
+// mid-run — the list is restored either way); an ErrPanic-wrapped
+// error if a fault was contained while serving it.
 func (t *Ticket) Wait() ([]int64, error) {
 	<-t.done
 	dst, err := t.req.Dst, t.err
 	s := t.srv
 	t.req = Request{} // drop references before the ticket is recycled
 	t.err = nil
+	t.cancel.Reset() // disarm and drop the context reference
 	s.tickets.Put(t)
 	return dst, err
 }
@@ -145,21 +192,45 @@ type ServerOptions struct {
 	// WarmSizes pre-grows the fleet for problems of these sizes
 	// before the server starts, exactly as Server.Warm would.
 	WarmSizes []int
+	// ValidateInputs runs a cheap structural check on every list
+	// before serving it — every link in range, exactly one tail
+	// self-loop, head in range — failing the request with ErrBadRequest
+	// instead of relying on fault containment. The check is one
+	// memory-sequential parallel pass over Next (a small fraction of a
+	// rank's 2n dependent loads); it catches the out-of-range
+	// corruption class but, by design, not in-range structural damage
+	// such as disjoint cycles — full verification is list ranking
+	// itself. See DESIGN.md, "Failure domains".
+	ValidateInputs bool
 }
 
-// ServerStats is a snapshot of a server's counters.
+// ServerStats is a snapshot of a server's counters. Every submission
+// lands in exactly one of four buckets, so
+//
+//	Submitted = Served + Rejected + Expired + Poisoned
+//
+// holds at every quiescent point (and the chaos soak test enforces it
+// under mixed fault traffic).
 type ServerStats struct {
 	// Submitted counts Submit calls; Rejected counts the ones that
-	// never ran (backpressure, closed server, malformed request).
+	// never ran (backpressure, closed server, malformed request —
+	// including ValidateInputs failures).
 	Submitted, Rejected int64
-	// Served counts completed requests (including zero-length
-	// requests completed trivially at admission), so Submitted =
-	// Served + Rejected; Dispatches counts engine dispatches (a
-	// coalesced batch is one dispatch); Coalesced counts requests
-	// served as part of a multi-request dispatch.
+	// Served counts successfully completed requests (including
+	// zero-length requests completed trivially at admission);
+	// Dispatches counts engine dispatches (a coalesced batch is one
+	// dispatch); Coalesced counts requests served as part of a
+	// multi-request dispatch.
 	Served, Dispatches, Coalesced int64
-	// BinServed counts completed requests per size bin (trivial
-	// zero-length completions appear in no bin).
+	// Expired counts requests withdrawn before completing: deadline
+	// expiry (queued or mid-run) and Ticket.Cancel / context
+	// cancellation.
+	Expired int64
+	// Poisoned counts requests whose serve panicked — the fault was
+	// contained to the request's own ticket (ErrPanic).
+	Poisoned int64
+	// BinServed counts successfully served requests per size bin
+	// (trivial zero-length completions appear in no bin).
 	BinServed []int64
 }
 
@@ -175,9 +246,14 @@ type Server struct {
 
 	submitted atomic.Int64
 	rejected  atomic.Int64
+	// expired counts admission-time expiries (deadline passed or
+	// context done before the request was enqueued); in-shard expiries
+	// are counted by the shards.
+	expired atomic.Int64
 	// trivial counts requests completed in place without touching a
 	// shard (zero-length lists); they count as served so the
-	// Submitted = Served + Rejected identity holds.
+	// Submitted = Served + Rejected + Expired + Poisoned identity
+	// holds.
 	trivial atomic.Int64
 
 	closed atomic.Bool
@@ -194,13 +270,28 @@ type shard struct {
 	engines []*Engine
 	// batch is the dispatcher's reused take buffer; coalesce marks
 	// bounded bins, whose multi-request batches are served with
-	// across-request parallelism.
-	batch    []*Ticket
-	coalesce bool
+	// across-request parallelism. batchDone[i] records that batch[i]'s
+	// serve ran to completion, so a pool-level fault escaping a
+	// coalesced dispatch (possible only outside any single request's
+	// serve — per-request faults never leave run) can fail exactly the
+	// stranded tickets instead of leaving their Waits hanging.
+	batch     []*Ticket
+	batchDone []bool
+	coalesce  bool
+	// validate enables the cheap pre-serve structural check
+	// (ServerOptions.ValidateInputs).
+	validate bool
 
 	served     atomic.Int64
 	dispatches atomic.Int64
 	coalesced  atomic.Int64
+	// Failure-domain counters: requests that reached this shard but
+	// did not complete successfully. rejected counts ValidateInputs
+	// failures; expired counts cancellations and deadline expiries
+	// (queued or mid-run); poisoned counts contained serve panics.
+	rejected atomic.Int64
+	expired  atomic.Int64
+	poisoned atomic.Int64
 }
 
 // NewServer starts a server. The caller owns it and must Close it;
@@ -258,12 +349,14 @@ func NewServer(opt ServerOptions) *Server {
 			engines = share
 		}
 		sh := &shard{
-			q:        fleet.NewQueue[*Ticket](depth, policy),
-			pool:     NewWorkerPool(share),
-			procs:    share,
-			engines:  make([]*Engine, engines),
-			batch:    make([]*Ticket, maxBatch),
-			coalesce: coalesce,
+			q:         fleet.NewQueue[*Ticket](depth, policy),
+			pool:      NewWorkerPool(share),
+			procs:     share,
+			engines:   make([]*Engine, engines),
+			batch:     make([]*Ticket, maxBatch),
+			batchDone: make([]bool, maxBatch),
+			coalesce:  coalesce,
+			validate:  opt.ValidateInputs,
 		}
 		for w := range sh.engines {
 			sh.engines[w] = NewEngine()
@@ -312,29 +405,83 @@ func (s *Server) Warm(sizes ...int) {
 // ticket whose Wait reports ErrServerClosed. Wait must be called
 // exactly once on the returned ticket.
 func (s *Server) Submit(req Request) *Ticket {
+	t, _ := s.submit(req)
+	return t
+}
+
+// submit is Submit plus the outcome as an error, so SubmitTimeout can
+// distinguish retryable backpressure from terminal failures without
+// consuming the ticket.
+func (s *Server) submit(req Request) (*Ticket, error) {
 	s.submitted.Add(1)
 	t := s.tickets.Get()
 	t.req = req
 	if req.List == nil || (req.Dst != nil && len(req.Dst) != req.List.Len()) {
-		return s.fail(t, ErrBadRequest)
+		return s.fail(t, ErrBadRequest), ErrBadRequest
 	}
 	if req.List.Len() == 0 {
 		// Nothing to do; complete (and count as served) in place.
 		s.trivial.Add(1)
 		t.done <- struct{}{}
-		return t
+		return t, nil
 	}
 	if s.closed.Load() {
-		return s.fail(t, ErrServerClosed)
+		return s.fail(t, ErrServerClosed), ErrServerClosed
+	}
+	// Arm the cancellation token before the queue hand-off so a
+	// Ticket.Cancel racing with the dispatcher is never lost, and check
+	// expiry at admission: an already-dead request must not occupy a
+	// queue slot.
+	t.cancel.Arm(req.Ctx, req.Deadline)
+	if t.cancel.Canceled() {
+		return s.expire(t), t.err
 	}
 	sh := s.shards[s.bins.Index(req.List.Len())]
 	if err := sh.q.Put(t); err != nil {
 		if errors.Is(err, fleet.ErrClosed) {
-			return s.fail(t, ErrServerClosed)
+			return s.fail(t, ErrServerClosed), ErrServerClosed
 		}
-		return s.fail(t, ErrBackpressure)
+		return s.fail(t, ErrBackpressure), ErrBackpressure
 	}
-	return t
+	return t, nil
+}
+
+// SubmitTimeout submits under the Reject backpressure policy with
+// bounded retry: on ErrBackpressure it backs off (exponentially, from
+// 50µs to 5ms) and resubmits until the request is admitted or timeout
+// elapses, returning the admitted ticket or (nil, ErrBackpressure) if
+// the queue never opened. Non-backpressure failures return the failed
+// ticket's error immediately with a nil ticket; in every error case
+// the ticket has already been consumed — the caller must not Wait.
+// Each attempt is one submission, so under retry the stats identity
+// counts every rejected attempt individually. Under the default
+// blocking policy Submit never reports backpressure and SubmitTimeout
+// degenerates to a single Submit.
+func (s *Server) SubmitTimeout(req Request, timeout time.Duration) (*Ticket, error) {
+	deadline := time.Now().Add(timeout)
+	backoff := 50 * time.Microsecond
+	for {
+		t, err := s.submit(req)
+		if err == nil {
+			return t, nil
+		}
+		t.Wait() // consume and recycle the failed ticket
+		if !errors.Is(err, ErrBackpressure) {
+			return nil, err
+		}
+		now := time.Now()
+		if !now.Before(deadline) {
+			return nil, ErrBackpressure
+		}
+		d := backoff
+		if rem := deadline.Sub(now); d > rem {
+			d = rem
+		}
+		time.Sleep(d)
+		if backoff < 5*time.Millisecond {
+			backoff *= 2
+		}
+	}
 }
 
 // Rank submits a ranking request with default per-request options;
@@ -353,6 +500,19 @@ func (s *Server) Scan(l *List, dst []int64) *Ticket {
 func (s *Server) fail(t *Ticket, err error) *Ticket {
 	s.rejected.Add(1)
 	t.err = err
+	t.done <- struct{}{}
+	return t
+}
+
+// expire completes a ticket that was dead on arrival (deadline passed
+// or context done at admission).
+func (s *Server) expire(t *Ticket) *Ticket {
+	s.expired.Add(1)
+	if t.cancel.DeadlineExceeded() {
+		t.err = ErrDeadlineExceeded
+	} else {
+		t.err = ErrCanceled
+	}
 	t.done <- struct{}{}
 	return t
 }
@@ -380,6 +540,7 @@ func (s *Server) Stats() ServerStats {
 	st := ServerStats{
 		Submitted: s.submitted.Load(),
 		Rejected:  s.rejected.Load(),
+		Expired:   s.expired.Load(),
 		Served:    s.trivial.Load(),
 		BinServed: make([]int64, len(s.shards)),
 	}
@@ -388,6 +549,9 @@ func (s *Server) Stats() ServerStats {
 		st.Served += st.BinServed[b]
 		st.Dispatches += sh.dispatches.Load()
 		st.Coalesced += sh.coalesced.Load()
+		st.Rejected += sh.rejected.Load()
+		st.Expired += sh.expired.Load()
+		st.Poisoned += sh.poisoned.Load()
 	}
 	return st
 }
@@ -418,13 +582,45 @@ func (sh *shard) serve(n int) {
 	if n > 1 && sh.coalesce {
 		sh.dispatches.Add(1)
 		sh.coalesced.Add(int64(n))
-		sh.pool.ForChunksCtx(n, sh.procs, sh, shardServeChunk)
+		sh.serveBatch(n)
 		return
 	}
 	for i := 0; i < n; i++ {
 		sh.dispatches.Add(1)
 		sh.run(sh.batch[i], sh.engines[0], sh.procs)
 	}
+}
+
+// serveBatch fans a coalesced batch across the pool and contains
+// pool-level faults: a panic that escapes the dispatch struck the
+// worker machinery itself, outside any request's serve (per-request
+// faults — poisoned inputs, cancellations — are recovered inside run
+// and never reach here), so every ticket whose serve did not complete
+// is failed with ErrPanic rather than stranding its Wait, and the
+// dispatcher survives to take the next batch. The worker pool itself
+// recovers from contained faults (see internal/par), so the shard
+// keeps serving.
+func (sh *shard) serveBatch(n int) {
+	for i := 0; i < n; i++ {
+		sh.batchDone[i] = false
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		// The pool quiesced before rethrowing, so batchDone is settled:
+		// un-done tickets never completed and their clients still wait.
+		for i := 0; i < n; i++ {
+			if !sh.batchDone[i] {
+				t := sh.batch[i]
+				t.err = fmt.Errorf("%w: %v", ErrPanic, r)
+				sh.poisoned.Add(1)
+				t.done <- struct{}{}
+			}
+		}
+	}()
+	sh.pool.ForChunksCtx(n, sh.procs, sh, shardServeChunk)
 }
 
 // shardServeChunk is the named coalesced-dispatch body (closure-free,
@@ -434,21 +630,41 @@ func shardServeChunk(ctx any, w, lo, hi int) {
 	sh := ctx.(*shard)
 	for i := lo; i < hi; i++ {
 		sh.run(sh.batch[i], sh.engines[w], 1)
+		sh.batchDone[i] = true
 	}
 }
 
 // run serves one ticket on the given engine at the given parallelism
-// and completes it. A panic out of the engine (possible only on a
-// list that violates List's invariants) is captured into the
-// ticket's error instead of killing the dispatcher.
+// and completes it. A panic out of the engine — a poisoned list
+// violating List's invariants, or a cooperative-cancellation
+// abandonment — is captured into the ticket's error by finish instead
+// of killing the dispatcher (or, on a coalesced batch, the pool worker
+// serving the rest of its chunk).
 func (sh *shard) run(t *Ticket, e *Engine, procs int) {
 	defer sh.finish(t)
+	// A request that expired or was canceled while queued must not
+	// occupy the engine.
+	if t.cancel.Canceled() {
+		if t.cancel.DeadlineExceeded() {
+			t.err = ErrDeadlineExceeded
+		} else {
+			t.err = ErrCanceled
+		}
+		return
+	}
 	req := &t.req
+	if sh.validate {
+		if err := sh.checkList(req.List, procs); err != nil {
+			t.err = err
+			return
+		}
+	}
 	if req.Dst == nil {
 		req.Dst = make([]int64, req.List.Len())
 	}
 	opt := req.Opt
 	opt.Procs = procs
+	opt.cancel = &t.cancel
 	switch req.Op {
 	case OpScan:
 		e.ScanInto(req.Dst, req.List, opt)
@@ -457,13 +673,78 @@ func (sh *shard) run(t *Ticket, e *Engine, procs int) {
 	}
 }
 
-// finish completes a ticket, converting a serve-time panic into its
-// error.
+// checkList is the ValidateInputs pass (see ServerOptions): one
+// parallel memory-sequential sweep over Next checking that the head
+// and every link are in range and that exactly one vertex — the tail —
+// links to itself. It rejects the out-of-range corruption class before
+// it can trip the kernel guards; in-range structural damage (disjoint
+// cycles) is indistinguishable from a valid list without ranking it,
+// and is left to fault containment. Runs on the shard's pool but
+// closes over locals (validation is opt-in, off the zero-allocation
+// steady-state contract).
+func (sh *shard) checkList(l *List, procs int) error {
+	n := l.Len()
+	if l.Head < 0 || l.Head >= int64(n) {
+		return fmt.Errorf("%w: head %d out of range [0,%d)", ErrBadRequest, l.Head, n)
+	}
+	if len(l.Value) != n {
+		return fmt.Errorf("%w: %d values for %d vertices", ErrBadRequest, len(l.Value), n)
+	}
+	next := l.Next
+	var bad, loops atomic.Int64
+	sh.pool.ForChunks(n, procs, func(w, lo, hi int) {
+		var b, sl int64
+		for i := lo; i < hi; i++ {
+			nx := next[i]
+			if uint64(nx) >= uint64(n) {
+				b++
+			} else if nx == int64(i) {
+				sl++
+			}
+		}
+		if b != 0 {
+			bad.Add(b)
+		}
+		if sl != 0 {
+			loops.Add(sl)
+		}
+	})
+	if b := bad.Load(); b != 0 {
+		return fmt.Errorf("%w: %d out-of-range links", ErrBadRequest, b)
+	}
+	if sl := loops.Load(); sl != 1 {
+		return fmt.Errorf("%w: %d self-loops, want exactly 1 (the tail)", ErrBadRequest, sl)
+	}
+	return nil
+}
+
+// finish completes a ticket: it classifies a serve-time panic —
+// cooperative cancellation unwinds as core.ErrCanceled, anything else
+// is a contained fault wrapped in ErrPanic with the original message
+// preserved — and counts the ticket into exactly one failure-domain
+// bucket so the ServerStats identity holds.
 func (sh *shard) finish(t *Ticket) {
 	if r := recover(); r != nil {
-		t.err = fmt.Errorf("listrank: serving request: %v", r)
+		if err, ok := r.(error); ok && errors.Is(err, core.ErrCanceled) {
+			if t.cancel.DeadlineExceeded() {
+				t.err = ErrDeadlineExceeded
+			} else {
+				t.err = ErrCanceled
+			}
+		} else {
+			t.err = fmt.Errorf("%w: %v", ErrPanic, r)
+		}
 	}
-	sh.served.Add(1)
+	switch {
+	case t.err == nil:
+		sh.served.Add(1)
+	case errors.Is(t.err, ErrDeadlineExceeded), errors.Is(t.err, ErrCanceled):
+		sh.expired.Add(1)
+	case errors.Is(t.err, ErrBadRequest):
+		sh.rejected.Add(1)
+	default:
+		sh.poisoned.Add(1)
+	}
 	t.done <- struct{}{}
 }
 
