@@ -3,7 +3,8 @@
 // trajectory of the kernels instead of scrolling it away in a log.
 //
 // It reads benchmark output on stdin, parses every result line
-// (name, iterations, then any of ns/op, MB/s, B/op, allocs/op), and
+// (name, iterations, then any of ns/op, MB/s, req/s, B/op,
+// allocs/op), and
 // writes a JSON array. Lines that are not benchmark results pass
 // through to stderr untouched, so piping through benchjson loses
 // nothing.
@@ -39,6 +40,7 @@ type Result struct {
 	Iterations  int64    `json:"iterations"`
 	NsPerOp     *float64 `json:"ns_per_op,omitempty"`
 	MBPerS      *float64 `json:"mb_per_s,omitempty"`
+	ReqPerS     *float64 `json:"req_per_s,omitempty"`
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
@@ -74,6 +76,8 @@ func parseLine(line string) (Result, bool) {
 			r.NsPerOp = &val
 		case "MB/s":
 			r.MBPerS = &val
+		case "req/s":
+			r.ReqPerS = &val
 		case "B/op":
 			r.BytesPerOp = &val
 		case "allocs/op":

@@ -1,0 +1,14 @@
+//go:build !go1.24
+
+package main
+
+import "net/http"
+
+// h2cCapable is false before Go 1.24: net/http gained native h2c
+// (Server.Protocols with unencrypted HTTP/2) in 1.24, and this
+// repository takes no external dependencies, so older toolchains
+// serve HTTP/1.1 only.
+const h2cCapable = false
+
+// configureServerProtocols is a no-op before Go 1.24.
+func configureServerProtocols(*http.Server) {}

@@ -1,0 +1,20 @@
+//go:build go1.24
+
+package main
+
+import "net/http"
+
+// h2cCapable reports whether this build can speak HTTP/2 over
+// cleartext TCP (h2c). Go 1.24 grew native h2c in net/http via
+// Server.Protocols, so no external http2 module is needed.
+const h2cCapable = true
+
+// configureServerProtocols enables HTTP/1.1 and h2c on the daemon's
+// listener: gRPC-style clients multiplex streams over one connection,
+// plain HTTP/1.1 clients are unaffected.
+func configureServerProtocols(s *http.Server) {
+	var p http.Protocols
+	p.SetHTTP1(true)
+	p.SetUnencryptedHTTP2(true)
+	s.Protocols = &p
+}

@@ -1,285 +1,67 @@
-// Command listrankd replays a synthetic traffic trace against the
-// serving layer (listrank.Server): request sizes drawn from a
-// Zipf-over-geometric-buckets distribution (many small requests, a
-// heavy tail of big ones — the mix the size-binned fleet is built
-// for) and arrivals paced by a Poisson process. It reports
-// throughput, latency percentiles and the server's coalescing and
-// admission counters, and with -compare also replays the identical
-// trace through the naive per-request Rank/Scan loop the serving
-// layer replaces.
+// Command listrankd is the list-ranking network daemon: an HTTP
+// (h2c-capable on Go ≥ 1.24) front over the serving layer
+// (listrank.Server) speaking the compact binary frame protocol of
+// internal/wire — no JSON on the hot path, request bodies decoded
+// straight into pooled fleet-owned arenas, zero per-request array
+// allocations warm.
 //
-// Usage:
+// Serve mode (the default):
 //
-//	listrankd [-n 2000] [-procs 0] [-bins 4096,262144] [-queue 1024]
-//	          [-maxbatch 64] [-reject] [-rate 0] [-zipf 1.4]
-//	          [-min 256] [-max 1048576] [-lists 64] [-seed 1] [-compare]
-//	          [-deadline 0] [-poison-rate 0]
+//	listrankd [-addr 127.0.0.1:8347] [-addr-file path] [-procs 0]
+//	          [-bins 4096,262144] [-queue 1024] [-maxbatch 64]
+//	          [-reject] [-warm 1024,65536] [-validate]
+//	          [-max-elems 16777216] [-quota-rate 0] [-quota-burst 32]
+//	          [-drain-timeout 30s]
 //
-// -rate 0 (the default) replays the trace open-throttle: every
-// request is submitted as fast as the admission queue accepts it,
-// which measures the fleet's saturated steady state. A positive
+// Endpoints:
+//
+//	POST /rank         rank request frame in, result frame out
+//	POST /scan         scan request frame in, result frame out
+//	GET  /metrics      Prometheus text format (fleet + daemon counters)
+//	GET  /healthz      liveness
+//	GET  /debug/pprof  the standard profiles
+//
+// Per-request deadlines arrive in the frame header or the
+// X-Deadline-Ms header (tighter wins) and map onto the serving
+// layer's Request.Deadline; the client connection's context rides
+// along as Request.Ctx, so disconnects cancel queued or mid-run work.
+// The X-Tenant header selects a per-tenant token bucket (-quota-rate,
+// -quota-burst) checked before fleet admission. Responses carry an
+// X-Outcome header (served / rejected / expired / poisoned / quota /
+// badframe) mirroring the fleet's failure domains — cmd/listrankc
+// cross-checks its client-side tallies against /metrics through it.
+//
+// SIGTERM or SIGINT drains gracefully: stop accepting, finish
+// in-flight requests (bounded by -drain-timeout), close the fleet,
+// then exit 0 only if the accounting identity
+// Submitted = Served + Rejected + Expired + Poisoned balanced and no
+// goroutines leaked.
+//
+// Replay mode (the original in-process trace harness, flags
+// unchanged):
+//
+//	listrankd -replay [-n 2000] [-procs 0] [-bins 4096,262144]
+//	          [-queue 1024] [-maxbatch 64] [-reject] [-rate 0]
+//	          [-zipf 1.4] [-min 256] [-max 1048576] [-lists 64]
+//	          [-seed 1] [-compare] [-deadline 0] [-poison-rate 0]
+//
+// -rate 0 (the default) replays the trace open-throttle; a positive
 // -rate submits at that many requests per second with exponential
-// inter-arrival times.
-//
-// -deadline attaches a per-request deadline (relative to submission)
-// so the run exercises queued and mid-run expiry; -poison-rate mixes
-// in that fraction of structurally corrupt requests (out-of-range
-// link), exercising fault containment. Expired and poisoned counts
-// are reported next to the latency percentiles, which cover
-// successfully served requests only.
+// inter-arrival times. -deadline attaches a per-request deadline so
+// the run exercises queued and mid-run expiry; -poison-rate mixes in
+// structurally corrupt requests, exercising fault containment.
 package main
 
-import (
-	"errors"
-	"flag"
-	"fmt"
-	"math/rand"
-	"os"
-	"runtime"
-	"sort"
-	"strconv"
-	"strings"
-	"sync"
-	"sync/atomic"
-	"time"
-
-	"listrank"
-)
+import "os"
 
 func main() {
-	n := flag.Int("n", 2000, "requests in the trace")
-	procs := flag.Int("procs", 0, "total fleet worker budget (0 = GOMAXPROCS)")
-	binsFlag := flag.String("bins", "", "comma-separated size-bin upper bounds (empty = server default)")
-	queue := flag.Int("queue", 1024, "per-shard admission queue depth")
-	maxBatch := flag.Int("maxbatch", 64, "max requests coalesced per dispatch")
-	reject := flag.Bool("reject", false, "reject-on-full backpressure instead of blocking")
-	rate := flag.Float64("rate", 0, "mean arrivals per second (0 = open throttle)")
-	zipfS := flag.Float64("zipf", 1.4, "Zipf exponent over geometric size buckets (> 1)")
-	minSize := flag.Int("min", 256, "smallest request size")
-	maxSize := flag.Int("max", 1<<20, "largest request size")
-	nLists := flag.Int("lists", 64, "distinct lists to cycle through")
-	seed := flag.Uint64("seed", 1, "trace seed")
-	compare := flag.Bool("compare", false, "also replay the trace through the naive per-request loop")
-	deadline := flag.Duration("deadline", 0, "per-request deadline relative to submission (0 = none)")
-	poisonRate := flag.Float64("poison-rate", 0, "fraction of requests with a corrupted (out-of-range link) list")
-	flag.Parse()
-
-	bounds, err := parseBins(*binsFlag)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "listrankd:", err)
-		os.Exit(2)
-	}
-	if *n < 1 || *minSize < 1 || *maxSize < *minSize || *zipfS <= 1 || *nLists < 1 {
-		fmt.Fprintln(os.Stderr, "listrankd: need -n ≥ 1, 1 ≤ -min ≤ -max, -zipf > 1, -lists ≥ 1")
-		os.Exit(2)
-	}
-	if *poisonRate < 0 || *poisonRate > 1 {
-		fmt.Fprintln(os.Stderr, "listrankd: need 0 ≤ -poison-rate ≤ 1")
-		os.Exit(2)
-	}
-
-	// Build the trace: geometric size buckets [min·2^k, min·2^k+1)
-	// with Zipf(k) frequency, so most requests are small (the
-	// coalescing regime) with a heavy tail reaching the top bin.
-	r := rand.New(rand.NewSource(int64(*seed)))
-	buckets := 0
-	for s := *minSize; s < *maxSize; s *= 2 {
-		buckets++
-	}
-	zipf := rand.NewZipf(r, *zipfS, 1, uint64(buckets))
-	sizes := make([]int, *n)
-	for i := range sizes {
-		s := *minSize << zipf.Uint64()
-		s += r.Intn(s) // jitter within the bucket
-		if s > *maxSize {
-			s = *maxSize
-		}
-		sizes[i] = s
-	}
-
-	// A fixed set of lists is cycled through by size so the trace's
-	// working set is bounded. The serving engines temporarily mutate a
-	// list in place (and restore it), so a list must never be in two
-	// in-flight requests at once: each problem carries a mutex held
-	// from submission until its ticket completes, serializing requests
-	// per list while keeping the lists themselves concurrent.
-	type problem struct {
-		mu       sync.Mutex
-		l        *listrank.List
-		rank, sc []int64
-	}
-	problems := make([]*problem, 0, *nLists)
-	bySize := make(map[int]*problem)
-	warmSizes := []int{}
-	for _, s := range sizes {
-		if _, ok := bySize[s]; ok {
-			continue
-		}
-		if len(problems) < *nLists {
-			p := &problem{
-				l:    listrank.NewRandomList(s, *seed+uint64(s)),
-				rank: make([]int64, s),
-				sc:   make([]int64, s),
-			}
-			problems = append(problems, p)
-			bySize[s] = p
-			warmSizes = append(warmSizes, s)
-		} else {
-			// List budget exhausted: alias this size onto an existing
-			// problem (the request then uses that problem's true size).
-			bySize[s] = problems[len(bySize)%len(problems)]
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "-replay", "--replay", "replay":
+			runReplay(args[1:])
+			return
 		}
 	}
-
-	// Poisoned traffic cycles through a small ring of corrupt lists
-	// (out-of-range link at the head), serialized per list exactly like
-	// the good problems: a contained fault restores the list on unwind,
-	// but two in-flight engines must still never share one.
-	var poisons []*problem
-	if *poisonRate > 0 {
-		for i := 0; i < 8; i++ {
-			p := &problem{
-				l:    listrank.NewRandomList(*minSize, *seed+uint64(i)+0xbad),
-				rank: make([]int64, *minSize),
-				sc:   make([]int64, *minSize),
-			}
-			p.l.Next[p.l.Head] = int64(*minSize) + 1
-			poisons = append(poisons, p)
-		}
-	}
-
-	srv := listrank.NewServer(listrank.ServerOptions{
-		Procs:       *procs,
-		BinBounds:   bounds,
-		QueueDepth:  *queue,
-		MaxCoalesce: *maxBatch,
-		Reject:      *reject,
-		WarmSizes:   warmSizes,
-	})
-	defer srv.Close()
-
-	hw := *procs
-	if hw <= 0 {
-		hw = runtime.GOMAXPROCS(0)
-	}
-	fmt.Printf("listrankd: %d requests, %d distinct lists, sizes %d..%d (zipf %.2f), fleet procs %d\n",
-		*n, len(problems), *minSize, *maxSize, *zipfS, hw)
-
-	// Replay. Arrival pacing happens on the submitting goroutine; a
-	// waiter goroutine per request records completion latency.
-	latencies := make([]time.Duration, *n)
-	errs := make([]error, *n)
-	var bytes atomic.Int64 // bytes of *served* requests only
-	var wg sync.WaitGroup
-	start := time.Now()
-	for i := 0; i < *n; i++ {
-		if *rate > 0 {
-			time.Sleep(time.Duration(r.ExpFloat64() / *rate * float64(time.Second)))
-		}
-		p := bySize[sizes[i]]
-		if len(poisons) > 0 && r.Float64() < *poisonRate {
-			p = poisons[i%len(poisons)]
-		}
-		// Serialize in-flight requests per list (see the problem type);
-		// a hot list can therefore delay submission past its Poisson
-		// arrival time, which is the natural client behavior anyway.
-		p.mu.Lock()
-		req := listrank.Request{Op: listrank.OpRank, List: p.l, Dst: p.rank}
-		if i%2 == 1 {
-			req = listrank.Request{Op: listrank.OpScan, List: p.l, Dst: p.sc}
-		}
-		if *deadline > 0 {
-			req.Deadline = time.Now().Add(*deadline)
-		}
-		submitted := time.Now()
-		tk := srv.Submit(req)
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			defer p.mu.Unlock()
-			_, err := tk.Wait()
-			latencies[i] = time.Since(submitted)
-			errs[i] = err
-			if err == nil {
-				bytes.Add(int64(8 * p.l.Len()))
-			}
-		}(i)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	st := srv.Stats()
-	var ok, nRejected, nExpired, nPoisoned int
-	for _, err := range errs {
-		switch {
-		case err == nil:
-			ok++
-		case errors.Is(err, listrank.ErrDeadlineExceeded) || errors.Is(err, listrank.ErrCanceled):
-			nExpired++
-		case errors.Is(err, listrank.ErrPanic):
-			nPoisoned++
-		default:
-			nRejected++
-		}
-	}
-	fmt.Printf("served %d/%d requests in %v  (%.0f req/s, %.1f MB/s)\n",
-		ok, *n, elapsed.Round(time.Millisecond),
-		float64(ok)/elapsed.Seconds(), float64(bytes.Load())/1e6/elapsed.Seconds())
-	fmt.Printf("fleet: %d dispatches for %d served (%.2f requests/dispatch), %d coalesced, %d rejected\n",
-		st.Dispatches, st.Served, float64(st.Served)/float64(max(st.Dispatches, 1)),
-		st.Coalesced, st.Rejected)
-	for b, served := range st.BinServed {
-		fmt.Printf("  bin %d: %d served\n", b, served)
-	}
-	if *deadline > 0 || *poisonRate > 0 || nRejected > 0 {
-		fmt.Printf("failure domains: %d rejected, %d expired, %d poisoned (server: %d/%d/%d)\n",
-			nRejected, nExpired, nPoisoned, st.Rejected, st.Expired, st.Poisoned)
-	}
-	// Percentiles over served requests only: a rejection completes in
-	// microseconds (and an expiry or contained fault is not a serve)
-	// and would deflate every quantile under -reject.
-	served := latencies[:0]
-	for i, d := range latencies {
-		if errs[i] == nil {
-			served = append(served, d)
-		}
-	}
-	if len(served) > 0 {
-		sort.Slice(served, func(i, j int) bool { return served[i] < served[j] })
-		q := func(p float64) time.Duration { return served[int(p*float64(len(served)-1))] }
-		fmt.Printf("latency (served): p50 %v  p90 %v  p99 %v  max %v\n",
-			q(.50).Round(time.Microsecond), q(.90).Round(time.Microsecond),
-			q(.99).Round(time.Microsecond), served[len(served)-1].Round(time.Microsecond))
-	}
-
-	if *compare {
-		start = time.Now()
-		for i := 0; i < *n; i++ {
-			p := bySize[sizes[i]]
-			if i%2 == 1 {
-				_ = listrank.ScanWith(p.l, listrank.Options{})
-			} else {
-				_ = listrank.RankWith(p.l, listrank.Options{})
-			}
-		}
-		naive := time.Since(start)
-		fmt.Printf("naive per-request loop: %v  (%.2fx the fleet's time)\n",
-			naive.Round(time.Millisecond), float64(naive)/float64(elapsed))
-	}
-}
-
-func parseBins(s string) ([]int, error) {
-	if s == "" {
-		return nil, nil
-	}
-	parts := strings.Split(s, ",")
-	bounds := make([]int, len(parts))
-	for i, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad -bins value %q: %v", p, err)
-		}
-		bounds[i] = v
-	}
-	return bounds, nil
+	os.Exit(runServe(args))
 }

@@ -1,0 +1,422 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"listrank"
+	"listrank/internal/arena"
+	"listrank/internal/fleet"
+	"listrank/internal/wire"
+)
+
+// daemon is the network front of a listrank.Server: it decodes wire
+// frames into pooled arenas, maps wire deadlines and client
+// disconnects onto the serving layer's cancellation machinery,
+// applies per-tenant quotas ahead of the fleet's backpressure, and
+// exports everything it and the fleet count through /metrics.
+type daemon struct {
+	srv        *listrank.Server
+	maxElems   int
+	quotaRate  float64
+	quotaBurst float64
+
+	// bufs recycles per-request decode/encode state: a connection
+	// checks a buffer out per request and returns it after the
+	// response is flushed, so a warm daemon decodes request bodies
+	// straight into fleet-owned arenas — no per-request []int64 (or
+	// intermediate []int32) allocations, the wire-level extension of
+	// the fleet's zero-allocation steady state.
+	bufs fleet.FreeList[*connBuf]
+
+	// quotas maps tenant → token bucket, created on first sight. The
+	// bucket is checked BEFORE Submit: a tenant over its quota is
+	// rejected at the door and never occupies an admission-queue slot
+	// (see DESIGN.md, "The wire").
+	quotaMu sync.Mutex
+	quotas  map[string]*fleet.TokenBucket
+
+	started time.Time
+
+	// HTTP-level counters, exported as listrankd_* metrics. The four
+	// outcome counters tally what clients were told (the X-Outcome
+	// response header) and must agree exactly with the fleet's
+	// ServerStats failure-domain counters — the end-to-end accounting
+	// identity the serve-e2e CI job asserts over the wire.
+	inflight      atomic.Int64
+	nRank, nScan  atomic.Int64
+	badFrames     atomic.Int64
+	quotaRejected atomic.Int64
+	served        atomic.Int64
+	rejected      atomic.Int64
+	expired       atomic.Int64
+	poisoned      atomic.Int64
+	bytesIn       atomic.Int64
+	bytesOut      atomic.Int64
+}
+
+// connBuf is one connection's worth of reusable request state: the
+// wire codec's arenas plus the List header the request is served
+// through. Everything a request touches lives here or in the fleet.
+type connBuf struct {
+	wb   wire.Buffer
+	list listrank.List
+}
+
+func newDaemon(srv *listrank.Server, maxElems int, quotaRate, quotaBurst float64) *daemon {
+	d := &daemon{
+		srv:        srv,
+		maxElems:   maxElems,
+		quotaRate:  quotaRate,
+		quotaBurst: quotaBurst,
+		quotas:     make(map[string]*fleet.TokenBucket),
+		started:    time.Now(),
+	}
+	d.bufs.New = func() *connBuf { return &connBuf{} }
+	return d
+}
+
+// mux builds the daemon's routing table: the two hot binary-frame
+// endpoints, the observability endpoints, and pprof.
+func (d *daemon) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/rank", func(w http.ResponseWriter, r *http.Request) {
+		d.handle(w, r, listrank.OpRank)
+	})
+	mux.HandleFunc("/scan", func(w http.ResponseWriter, r *http.Request) {
+		d.handle(w, r, listrank.OpScan)
+	})
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// fail finishes a request without a result frame: the outcome header
+// is what load generators classify by, the status code is for
+// everyone else.
+func fail(w http.ResponseWriter, code int, outcome, msg string) {
+	w.Header().Set("X-Outcome", outcome)
+	http.Error(w, msg, code)
+}
+
+// handle serves one /rank or /scan request: decode the frame into
+// pooled arenas, quota-check the tenant, map the wire deadline and
+// the client connection onto the request's cancellation, submit, and
+// stream the result (or the failure classification) back.
+func (d *daemon) handle(w http.ResponseWriter, r *http.Request, op listrank.Op) {
+	if op == listrank.OpRank {
+		d.nRank.Add(1)
+	} else {
+		d.nScan.Add(1)
+	}
+	if r.Method != http.MethodPost {
+		fail(w, http.StatusMethodNotAllowed, "badframe", "POST a request frame")
+		return
+	}
+	d.inflight.Add(1)
+	defer d.inflight.Add(-1)
+
+	cb := d.bufs.Get()
+	defer d.bufs.Put(cb)
+
+	h, err := wire.ReadRequest(r.Body, &cb.wb, d.maxElems)
+	if err != nil {
+		d.badFrames.Add(1)
+		fail(w, http.StatusBadRequest, "badframe", err.Error())
+		return
+	}
+	d.bytesIn.Add(int64(h.FrameLen()))
+
+	if tenant := r.Header.Get("X-Tenant"); tenant != "" && !d.allow(tenant) {
+		d.quotaRejected.Add(1)
+		fail(w, http.StatusTooManyRequests, "quota", "tenant over quota: "+tenant)
+		return
+	}
+
+	// The wire deadline: the frame field and the X-Deadline-Ms header
+	// are both honored, tighter wins. It maps onto Request.Deadline —
+	// queued expiry never touches an engine, mid-run expiry abandons
+	// at the next cancellation checkpoint — and the connection's
+	// context rides along as Request.Ctx, so a client that gives up
+	// (or disconnects) frees its engine instead of being served into
+	// the void.
+	deadlineMs := int64(h.DeadlineMs)
+	if v := r.Header.Get("X-Deadline-Ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 32)
+		if err != nil || ms < 0 {
+			d.badFrames.Add(1)
+			fail(w, http.StatusBadRequest, "badframe", "bad X-Deadline-Ms: "+v)
+			return
+		}
+		if deadlineMs == 0 || (ms > 0 && ms < deadlineMs) {
+			deadlineMs = ms
+		}
+	}
+
+	cb.list = listrank.List{Next: cb.wb.Next, Value: cb.wb.Value, Head: int64(h.Head)}
+	cb.wb.Dst = arena.Grow(cb.wb.Dst, h.N)
+	req := listrank.Request{
+		Op:   op,
+		List: &cb.list,
+		Dst:  cb.wb.Dst,
+		Ctx:  r.Context(),
+	}
+	if deadlineMs > 0 {
+		req.Deadline = time.Now().Add(time.Duration(deadlineMs) * time.Millisecond)
+	}
+
+	res, err := d.srv.Submit(req).Wait()
+	switch {
+	case err == nil:
+		d.served.Add(1)
+		hd := w.Header()
+		hd.Set("X-Outcome", "served")
+		hd.Set("Content-Type", "application/octet-stream")
+		hd.Set("Content-Length", strconv.Itoa(wire.RespLen(len(res))))
+		// A write error here means the client went away after the
+		// serve completed; the request was still served and is counted
+		// as such on both ends of the identity.
+		if err := wire.WriteResponse(w, &cb.wb, res); err == nil {
+			d.bytesOut.Add(int64(wire.RespLen(len(res))))
+		}
+	case errors.Is(err, listrank.ErrDeadlineExceeded), errors.Is(err, listrank.ErrCanceled):
+		d.expired.Add(1)
+		fail(w, http.StatusGatewayTimeout, "expired", err.Error())
+	case errors.Is(err, listrank.ErrPanic):
+		d.poisoned.Add(1)
+		fail(w, http.StatusInternalServerError, "poisoned", err.Error())
+	case errors.Is(err, listrank.ErrBackpressure):
+		d.rejected.Add(1)
+		fail(w, http.StatusTooManyRequests, "rejected", err.Error())
+	case errors.Is(err, listrank.ErrServerClosed):
+		d.rejected.Add(1)
+		fail(w, http.StatusServiceUnavailable, "rejected", err.Error())
+	default: // ErrBadRequest (e.g. -validate structural rejects)
+		d.rejected.Add(1)
+		fail(w, http.StatusBadRequest, "rejected", err.Error())
+	}
+}
+
+// allow checks (and lazily creates) the tenant's token bucket.
+func (d *daemon) allow(tenant string) bool {
+	if d.quotaRate <= 0 {
+		return true
+	}
+	d.quotaMu.Lock()
+	tb := d.quotas[tenant]
+	if tb == nil {
+		tb = fleet.NewTokenBucket(d.quotaRate, d.quotaBurst)
+		d.quotas[tenant] = tb
+	}
+	d.quotaMu.Unlock()
+	return tb.Allow(time.Now())
+}
+
+// handleMetrics hand-renders the Prometheus text exposition format
+// from the fleet's ServerStats snapshot and the daemon's own
+// counters — no client library, the format is five lines of printf.
+func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := d.srv.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	// Fleet counters: every submission lands in exactly one of the
+	// four outcome buckets, so submitted = served+rejected+expired+
+	// poisoned at every quiescent point.
+	counter("listrank_submitted_total", "Requests submitted to the fleet.", st.Submitted)
+	counter("listrank_served_total", "Requests served successfully.", st.Served)
+	counter("listrank_rejected_total", "Requests rejected (backpressure, closed, malformed).", st.Rejected)
+	counter("listrank_expired_total", "Requests expired or canceled (queued or mid-run).", st.Expired)
+	counter("listrank_poisoned_total", "Requests whose serve panicked (fault contained).", st.Poisoned)
+	counter("listrank_dispatches_total", "Engine dispatches (a coalesced batch is one).", st.Dispatches)
+	counter("listrank_coalesced_total", "Requests served inside multi-request dispatches.", st.Coalesced)
+
+	bounds := d.srv.BinBounds()
+	fmt.Fprintf(w, "# HELP listrank_bin_served_total Served requests per size bin.\n# TYPE listrank_bin_served_total counter\n")
+	for b, v := range st.BinServed {
+		fmt.Fprintf(w, "listrank_bin_served_total{bin=\"%d\",bound=\"%s\"} %d\n", b, boundLabel(bounds[b]), v)
+	}
+	fmt.Fprintf(w, "# HELP listrank_queue_depth Admission-queue depth per size bin.\n# TYPE listrank_queue_depth gauge\n")
+	for b, v := range st.BinQueued {
+		fmt.Fprintf(w, "listrank_queue_depth{bin=\"%d\",bound=\"%s\"} %d\n", b, boundLabel(bounds[b]), v)
+	}
+
+	// Daemon counters: the wire-level view. decode errors and quota
+	// rejections happen before Submit, so they are NOT part of the
+	// fleet identity; the four outcome counters are its client-visible
+	// mirror and must match the listrank_* set exactly.
+	counter("listrankd_rank_requests_total", "HTTP requests to /rank.", d.nRank.Load())
+	counter("listrankd_scan_requests_total", "HTTP requests to /scan.", d.nScan.Load())
+	counter("listrankd_decode_errors_total", "Frames rejected by the wire codec (never submitted).", d.badFrames.Load())
+	counter("listrankd_quota_rejected_total", "Requests rejected by per-tenant quota (never submitted).", d.quotaRejected.Load())
+	counter("listrankd_outcome_served_total", "Responses with X-Outcome: served.", d.served.Load())
+	counter("listrankd_outcome_rejected_total", "Responses with X-Outcome: rejected.", d.rejected.Load())
+	counter("listrankd_outcome_expired_total", "Responses with X-Outcome: expired.", d.expired.Load())
+	counter("listrankd_outcome_poisoned_total", "Responses with X-Outcome: poisoned.", d.poisoned.Load())
+	counter("listrankd_frame_bytes_in_total", "Request-frame bytes decoded.", d.bytesIn.Load())
+	counter("listrankd_frame_bytes_out_total", "Response-frame bytes written.", d.bytesOut.Load())
+	gauge("listrankd_inflight_requests", "Frame requests currently in flight.", d.inflight.Load())
+	gauge("listrankd_uptime_seconds", "Seconds since the daemon started.", int64(time.Since(d.started).Seconds()))
+	gauge("go_goroutines", "Current goroutine count.", int64(runtime.NumGoroutine()))
+}
+
+// boundLabel renders a size-bin upper bound for a metric label; the
+// final unbounded bin (-1) renders as +Inf, Prometheus-style.
+func boundLabel(bound int) string {
+	if bound < 0 {
+		return "+Inf"
+	}
+	return strconv.Itoa(bound)
+}
+
+// runServe is the daemon mode: boot a fleet, bind, serve until
+// SIGTERM/SIGINT, then drain — stop accepting, finish in-flight
+// requests, close the fleet — and self-check the accounting identity
+// and goroutine count on the way out. The returned code is the
+// process exit status, so deferred cleanup still runs.
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("listrankd", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8347", "listen address (host:port; port 0 picks a free port)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
+	procs := fs.Int("procs", 0, "total fleet worker budget (0 = GOMAXPROCS)")
+	binsFlag := fs.String("bins", "", "comma-separated size-bin upper bounds (empty = server default)")
+	queue := fs.Int("queue", 1024, "per-shard admission queue depth")
+	maxBatch := fs.Int("maxbatch", 64, "max requests coalesced per dispatch")
+	reject := fs.Bool("reject", false, "reject-on-full backpressure instead of blocking")
+	warm := fs.String("warm", "", "comma-separated list sizes to pre-warm the fleet for")
+	validate := fs.Bool("validate", false, "structurally validate lists before serving (reject instead of containing)")
+	maxElems := fs.Int("max-elems", wire.DefaultMaxElems, "largest accepted list length per frame")
+	quotaRate := fs.Float64("quota-rate", 0, "per-tenant token refill rate, requests/sec (0 = no quotas)")
+	quotaBurst := fs.Float64("quota-burst", 32, "per-tenant token-bucket burst")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "in-flight drain budget on SIGTERM")
+	fs.Parse(args)
+
+	bounds, err := parseBins(*binsFlag)
+	if err != nil {
+		log.Fatalf("listrankd: %v", err)
+	}
+	warmSizes, err := parseSizes(*warm)
+	if err != nil {
+		log.Fatalf("listrankd: -warm: %v", err)
+	}
+
+	// Goroutine baseline for the shutdown leak check, taken before the
+	// fleet (and the signal handler) spin anything up.
+	baseline := runtime.NumGoroutine()
+
+	srv := listrank.NewServer(listrank.ServerOptions{
+		Procs:          *procs,
+		BinBounds:      bounds,
+		QueueDepth:     *queue,
+		MaxCoalesce:    *maxBatch,
+		Reject:         *reject,
+		WarmSizes:      warmSizes,
+		ValidateInputs: *validate,
+	})
+	d := newDaemon(srv, *maxElems, *quotaRate, *quotaBurst)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listrankd: listen: %v", err)
+	}
+	if *addrFile != "" {
+		// Write-then-rename so a polling reader never sees a partial
+		// address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatalf("listrankd: addr-file: %v", err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			log.Fatalf("listrankd: addr-file: %v", err)
+		}
+		defer os.Remove(*addrFile)
+	}
+
+	hs := &http.Server{Handler: d.mux(), ReadHeaderTimeout: 10 * time.Second}
+	configureServerProtocols(hs)
+	log.Printf("listrankd: serving on http://%s  (h2c=%v procs=%d bins=%v queue=%d reject=%v quota-rate=%g max-elems=%d)",
+		ln.Addr(), h2cCapable, *procs, bounds, *queue, *reject, *quotaRate, *maxElems)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("listrankd: serve: %v", err)
+	case s := <-sig:
+		log.Printf("listrankd: %v: draining (stop accepting, finish in-flight, close fleet)", s)
+	}
+	signal.Stop(sig)
+
+	exit := 0
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("listrankd: shutdown: %v", err)
+		exit = 1
+	}
+	srv.Close()
+
+	// The daemon's exit is itself an assertion: the accounting
+	// identity must balance and the goroutines must be gone, or the
+	// drain was not clean and CI should see a nonzero exit.
+	st := srv.Stats()
+	log.Printf("listrankd: final stats: submitted=%d served=%d rejected=%d expired=%d poisoned=%d (decode-errors=%d quota-rejected=%d)",
+		st.Submitted, st.Served, st.Rejected, st.Expired, st.Poisoned,
+		d.badFrames.Load(), d.quotaRejected.Load())
+	if st.Submitted != st.Served+st.Rejected+st.Expired+st.Poisoned {
+		log.Printf("listrankd: ACCOUNTING IDENTITY VIOLATED: %d submitted != %d served + %d rejected + %d expired + %d poisoned",
+			st.Submitted, st.Served, st.Rejected, st.Expired, st.Poisoned)
+		exit = 1
+	}
+	if !waitGoroutines(baseline + 2) { // +2: signal-notify internals, late conn teardown
+		log.Printf("listrankd: GOROUTINE LEAK: %d goroutines alive after drain (baseline %d)",
+			runtime.NumGoroutine(), baseline)
+		exit = 1
+	}
+	if exit == 0 {
+		log.Printf("listrankd: drained clean")
+	}
+	return exit
+}
+
+// waitGoroutines polls until the process goroutine count falls to at
+// most limit, giving late HTTP connection teardown up to two seconds.
+func waitGoroutines(limit int) bool {
+	for i := 0; i < 40; i++ {
+		if runtime.NumGoroutine() <= limit {
+			return true
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return runtime.NumGoroutine() <= limit
+}

@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is the per-tenant admission quota primitive the network
+// daemon layers ON TOP OF the queue's Block/Reject backpressure:
+// backpressure protects the fleet from aggregate overload, while a
+// quota protects tenants from each other — one greedy client drains
+// its own bucket and is rejected before it can occupy queue slots the
+// other tenants' traffic needs.
+//
+// The bucket holds up to burst tokens and refills at rate tokens per
+// second; Allow consumes one token per admitted request. A rate <= 0
+// disables the bucket (Allow always admits), so an unconfigured
+// tenant costs one branch. Allow takes the current time as an
+// argument — the caller already has it, and injecting it keeps the
+// refill arithmetic deterministic under test. The steady state
+// allocates nothing.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket returns a full bucket refilling at rate tokens per
+// second with the given burst capacity (clamped to at least 1 token
+// so a positive rate can ever admit).
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// Allow reports whether one request may be admitted at time now,
+// consuming a token when it is. Calls with a non-monotonic now are
+// safe: time never flows backwards through the bucket.
+func (tb *TokenBucket) Allow(now time.Time) bool {
+	if tb.rate <= 0 {
+		return true
+	}
+	tb.mu.Lock()
+	if tb.last.IsZero() {
+		tb.last = now
+	}
+	if dt := now.Sub(tb.last).Seconds(); dt > 0 {
+		tb.tokens = min(tb.burst, tb.tokens+dt*tb.rate)
+		tb.last = now
+	}
+	ok := tb.tokens >= 1
+	if ok {
+		tb.tokens--
+	}
+	tb.mu.Unlock()
+	return ok
+}

@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketBurstThenRefill(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	tb := NewTokenBucket(10, 3) // 10 tokens/s, burst 3
+
+	// The burst admits immediately; the fourth request is rejected.
+	for i := 0; i < 3; i++ {
+		if !tb.Allow(t0) {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	if tb.Allow(t0) {
+		t.Fatal("request past the burst admitted")
+	}
+
+	// 100ms refills exactly one token at 10/s.
+	t1 := t0.Add(100 * time.Millisecond)
+	if !tb.Allow(t1) {
+		t.Fatal("refilled token rejected")
+	}
+	if tb.Allow(t1) {
+		t.Fatal("second request after one-token refill admitted")
+	}
+
+	// A long idle refills to burst, not beyond.
+	t2 := t1.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !tb.Allow(t2) {
+			t.Fatalf("post-idle request %d rejected", i)
+		}
+	}
+	if tb.Allow(t2) {
+		t.Fatal("bucket refilled past burst")
+	}
+}
+
+func TestTokenBucketUnlimitedAndClamps(t *testing.T) {
+	tb := NewTokenBucket(0, 0) // rate <= 0: unlimited
+	now := time.Unix(1, 0)
+	for i := 0; i < 1000; i++ {
+		if !tb.Allow(now) {
+			t.Fatal("unlimited bucket rejected")
+		}
+	}
+
+	tb = NewTokenBucket(5, 0) // burst clamps to 1
+	if !tb.Allow(now) {
+		t.Fatal("clamped bucket rejected its single burst token")
+	}
+	if tb.Allow(now) {
+		t.Fatal("clamped bucket admitted past burst 1")
+	}
+
+	// Time flowing backwards neither refills nor panics.
+	if tb.Allow(now.Add(-time.Hour)) {
+		t.Fatal("backwards time refilled the bucket")
+	}
+}
+
+func TestTokenBucketAllowZeroAlloc(t *testing.T) {
+	tb := NewTokenBucket(1e9, 64)
+	now := time.Unix(2000, 0)
+	allocs := testing.AllocsPerRun(100, func() {
+		now = now.Add(time.Microsecond)
+		tb.Allow(now)
+	})
+	if allocs != 0 {
+		t.Errorf("Allow: %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,43 @@
+// Package trace generates the synthetic traffic shapes the serving
+// harnesses share: cmd/listrankd's -replay mode and the cmd/listrankc
+// wire load generator both draw request sizes from the same
+// Zipf-over-geometric-buckets distribution (many small requests, a
+// heavy tail of big ones — the mix the size-binned fleet is built
+// for) and pace arrivals with the same Poisson process.
+package trace
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sizes draws n request sizes from geometric buckets
+// [min·2^k, min·2^k+1) with Zipf(k) frequency and uniform jitter
+// inside the bucket, clamped to max. zipfS must be > 1 and min >= 1.
+func Sizes(r *rand.Rand, n, min, max int, zipfS float64) []int {
+	buckets := 0
+	for s := min; s < max; s *= 2 {
+		buckets++
+	}
+	zipf := rand.NewZipf(r, zipfS, 1, uint64(buckets))
+	sizes := make([]int, n)
+	for i := range sizes {
+		s := min << zipf.Uint64()
+		s += r.Intn(s) // jitter within the bucket
+		if s > max {
+			s = max
+		}
+		sizes[i] = s
+	}
+	return sizes
+}
+
+// PoissonWait returns one exponential inter-arrival wait for a
+// Poisson process at rate arrivals per second; 0 when rate <= 0 (open
+// throttle).
+func PoissonWait(r *rand.Rand, rate float64) time.Duration {
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(r.ExpFloat64() / rate * float64(time.Second))
+}

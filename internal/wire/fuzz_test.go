@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireDecode throws arbitrary bytes at both decoders (in-memory
+// and streaming) and checks three properties: no input panics, the
+// two request decoders agree, and every frame that decodes cleanly
+// re-encodes byte-identically (the format is canonical).
+func FuzzWireDecode(f *testing.F) {
+	next, value := buildList(33)
+	if frame, err := AppendRequest(nil, OpRank, 0, 0, next, nil); err == nil {
+		f.Add(frame)
+		f.Add(frame[:len(frame)-2])
+		f.Add(append(frame, 0xEE))
+	}
+	if frame, err := AppendRequest(nil, OpScan, 77, 32, next, value); err == nil {
+		f.Add(frame)
+		f.Add(frame[:ReqHeaderLen])
+	}
+	f.Add(AppendResponse(nil, value))
+	f.Add([]byte{})
+	f.Add([]byte{0x4C, 0x52, 0x4B, 0x31})
+
+	const limit = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var bm, bs Buffer
+		hm, errM := DecodeRequest(data, &bm, limit)
+		hs, errS := ReadRequest(bytes.NewReader(data), &bs, limit)
+		if (errM == nil) != (errS == nil) {
+			t.Fatalf("decoders disagree: DecodeRequest err=%v, ReadRequest err=%v", errM, errS)
+		}
+		if errM == nil {
+			if hm != hs {
+				t.Fatalf("headers disagree: %+v vs %+v", hm, hs)
+			}
+			for i := 0; i < hm.N; i++ {
+				if bm.Next[i] != bs.Next[i] || bm.Value[i] != bs.Value[i] {
+					t.Fatalf("payloads disagree at %d", i)
+				}
+			}
+			var val []int64
+			if hm.HasValues {
+				val = bm.Value
+			}
+			re, err := AppendRequest(nil, hm.Op, hm.DeadlineMs, int64(hm.Head), bm.Next, val)
+			if err != nil {
+				t.Fatalf("re-encode of decoded frame failed: %v", err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("re-encode differs from input: %d vs %d bytes", len(re), len(data))
+			}
+		}
+
+		// Response decoding must not panic either, and the two forms
+		// must agree.
+		rm, errRM := DecodeResponse(data, &bm, limit)
+		rs, errRS := ReadResponse(bytes.NewReader(data), &bs, limit)
+		if (errRM == nil) != (errRS == nil) {
+			t.Fatalf("response decoders disagree: %v vs %v", errRM, errRS)
+		}
+		if errRM == nil {
+			if len(rm) != len(rs) {
+				t.Fatalf("response lengths disagree: %d vs %d", len(rm), len(rs))
+			}
+			for i := range rm {
+				if rm[i] != rs[i] {
+					t.Fatalf("responses disagree at %d", i)
+				}
+			}
+			if !bytes.Equal(AppendResponse(nil, rm), data) {
+				t.Fatal("response re-encode differs from input")
+			}
+		}
+	})
+}

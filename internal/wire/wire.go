@@ -1,0 +1,484 @@
+// Package wire is the binary frame codec the network daemon
+// (cmd/listrankd) and its load generator (cmd/listrankc) speak. JSON
+// never touches the hot path: the bulk succ and value arrays cross
+// the wire as length-prefixed little-endian int32 payloads, and
+// results come back as little-endian int64 — a rank or scan request
+// over n vertices costs 20 + 4n (or 20 + 8n with values) bytes up and
+// 8 + 8n bytes down, nothing more.
+//
+// # Request frame
+//
+//	offset  size  field
+//	 0      4     magic "LRK1" (uint32, little-endian)
+//	 4      1     op (0 = rank, 1 = scan)
+//	 5      1     flags (bit 0: value payload present)
+//	 6      2     reserved, must be zero
+//	 8      4     deadline_ms (uint32; 0 = none; relative to receipt)
+//	12      4     head (int32; first vertex)
+//	16      4     n (uint32; vertex count)
+//	20      4n    succ array (int32 little-endian; succ[v] = next of v)
+//	[+4n]   4n    value array (int32 little-endian; present iff flag)
+//
+// A frame with no value payload decodes with unit values — the
+// paper's ranking workload. Decoding validates everything the codec
+// can know locally (magic, op, flags, reserved bytes, head in range,
+// element limit, exact frame length) and rejects violations with a
+// typed error, never a panic; it deliberately does NOT validate the
+// succ links themselves — out-of-range links are the serving layer's
+// poison-containment domain (ErrPanic), and in-range structural
+// damage is indistinguishable from a valid list without ranking it.
+//
+// # Response frame
+//
+//	offset  size  field
+//	 0      4     magic "LRR1" (uint32, little-endian)
+//	 4      4     n (uint32; element count)
+//	 8      8n    result array (int64 little-endian)
+//
+// # Steady-state contract
+//
+// The streaming forms (ReadRequest, WriteResponse, ReadResponse)
+// decode into and encode out of a caller-owned Buffer whose arenas
+// grow to the high-water frame size and are then reused: a warm
+// connection serving a steady stream of frames performs zero heap
+// allocations in the codec (TestWireZeroAllocSteadyState), which is
+// what lets the daemon keep the fleet's no-per-request-allocation
+// promise across the network boundary.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"listrank/internal/arena"
+)
+
+// Op selects the operation a request frame asks for. The values match
+// listrank.Op (0 = rank, 1 = scan) but the codec does not import the
+// root package: the wire format is defined here, not inherited.
+type Op uint8
+
+const (
+	// OpRank asks for the rank of every vertex.
+	OpRank Op = 0
+	// OpScan asks for the exclusive integer-addition scan.
+	OpScan Op = 1
+)
+
+// Frame layout constants.
+const (
+	// ReqMagic opens every request frame ("LRK1", little-endian).
+	ReqMagic uint32 = 0x314B524C
+	// RespMagic opens every response frame ("LRR1", little-endian).
+	RespMagic uint32 = 0x3152524C
+	// ReqHeaderLen is the fixed request-frame header size in bytes.
+	ReqHeaderLen = 20
+	// RespHeaderLen is the fixed response-frame header size in bytes.
+	RespHeaderLen = 8
+	// FlagValues marks a request frame carrying a value payload after
+	// the succ array.
+	FlagValues = 1 << 0
+	// DefaultMaxElems is the element limit the daemon enforces unless
+	// configured otherwise: frames declaring more elements are
+	// rejected with ErrTooLarge before any payload is read.
+	DefaultMaxElems = 1 << 24
+	// chunkBytes is the streaming staging-chunk size: payloads are
+	// read and written through Buffer.raw in chunks of this many
+	// bytes, so arbitrarily large frames stream at fixed memory cost
+	// beyond the decoded arrays themselves.
+	chunkBytes = 32 << 10
+)
+
+// Errors reported by the codec. Decode errors wrap one of these four,
+// so callers classify with errors.Is.
+var (
+	// ErrMagic reports a frame that does not open with the expected
+	// magic — not this protocol, or a desynchronized stream.
+	ErrMagic = errors.New("wire: bad magic")
+	// ErrTruncated reports a frame that ended before its declared
+	// payload (or mid-header).
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrTooLarge reports a frame declaring more elements than the
+	// decoder's limit; the payload is never read.
+	ErrTooLarge = errors.New("wire: frame exceeds element limit")
+	// ErrFrame reports a structurally malformed frame: unknown op or
+	// flags, nonzero reserved bytes, head out of range, or trailing
+	// bytes after the declared payload.
+	ErrFrame = errors.New("wire: malformed frame")
+)
+
+// ReqHeader is a parsed request-frame header.
+type ReqHeader struct {
+	// Op is the requested operation.
+	Op Op
+	// HasValues reports whether a value payload follows the succ
+	// array. Decoding a frame without one fills Buffer.Value with
+	// unit values.
+	HasValues bool
+	// DeadlineMs is the request's deadline in milliseconds relative
+	// to receipt; 0 means none.
+	DeadlineMs uint32
+	// Head is the first vertex of the list.
+	Head int32
+	// N is the vertex count.
+	N int
+}
+
+// payloadLen returns the number of payload bytes following the
+// header.
+func (h ReqHeader) payloadLen() int {
+	n := 4 * h.N
+	if h.HasValues {
+		n *= 2
+	}
+	return n
+}
+
+// FrameLen returns the total encoded frame length in bytes.
+func (h ReqHeader) FrameLen() int { return ReqHeaderLen + h.payloadLen() }
+
+// ParseReqHeader parses and validates the fixed request header in
+// b[:ReqHeaderLen]. maxElems caps the declared element count (<= 0
+// selects DefaultMaxElems).
+func ParseReqHeader(b []byte, maxElems int) (ReqHeader, error) {
+	var h ReqHeader
+	if len(b) < ReqHeaderLen {
+		return h, ErrTruncated
+	}
+	if binary.LittleEndian.Uint32(b[0:4]) != ReqMagic {
+		return h, ErrMagic
+	}
+	if op := b[4]; op > uint8(OpScan) {
+		return h, fmt.Errorf("%w: unknown op %d", ErrFrame, op)
+	}
+	if flags := b[5]; flags&^FlagValues != 0 {
+		return h, fmt.Errorf("%w: unknown flags %#x", ErrFrame, flags)
+	}
+	if b[6] != 0 || b[7] != 0 {
+		return h, fmt.Errorf("%w: nonzero reserved bytes", ErrFrame)
+	}
+	if maxElems <= 0 {
+		maxElems = DefaultMaxElems
+	}
+	n := binary.LittleEndian.Uint32(b[16:20])
+	if int64(n) > int64(maxElems) {
+		return h, fmt.Errorf("%w: %d elements, limit %d", ErrTooLarge, n, maxElems)
+	}
+	head := int32(binary.LittleEndian.Uint32(b[12:16]))
+	if n == 0 {
+		if head != 0 {
+			return h, fmt.Errorf("%w: nonzero head %d on empty list", ErrFrame, head)
+		}
+	} else if head < 0 || int64(head) >= int64(n) {
+		return h, fmt.Errorf("%w: head %d out of range [0,%d)", ErrFrame, head, n)
+	}
+	return ReqHeader{
+		Op:         Op(b[4]),
+		HasValues:  b[5]&FlagValues != 0,
+		DeadlineMs: binary.LittleEndian.Uint32(b[8:12]),
+		Head:       head,
+		N:          int(n),
+	}, nil
+}
+
+// AppendRequest appends a complete request frame to dst and returns
+// the extended slice. value may be nil (no value payload; the decoder
+// supplies unit values). It fails if the head or any array element
+// does not fit the frame's int32 fields — links are NOT range-checked
+// against n, so callers can encode deliberately poisoned lists for
+// fault-containment testing.
+func AppendRequest(dst []byte, op Op, deadlineMs uint32, head int64, next, value []int64) ([]byte, error) {
+	n := len(next)
+	if op > OpScan {
+		return dst, fmt.Errorf("%w: unknown op %d", ErrFrame, op)
+	}
+	if n == 0 {
+		if head != 0 {
+			return dst, fmt.Errorf("%w: nonzero head %d on empty list", ErrFrame, head)
+		}
+	} else if head < 0 || head >= int64(n) {
+		return dst, fmt.Errorf("%w: head %d out of range [0,%d)", ErrFrame, head, n)
+	}
+	if value != nil && len(value) != n {
+		return dst, fmt.Errorf("%w: %d values for %d vertices", ErrFrame, len(value), n)
+	}
+	if int64(n) > math.MaxUint32 {
+		return dst, fmt.Errorf("%w: %d elements", ErrTooLarge, n)
+	}
+	var flags byte
+	if value != nil {
+		flags |= FlagValues
+	}
+	var hb [ReqHeaderLen]byte
+	binary.LittleEndian.PutUint32(hb[0:4], ReqMagic)
+	hb[4] = byte(op)
+	hb[5] = flags
+	binary.LittleEndian.PutUint32(hb[8:12], deadlineMs)
+	binary.LittleEndian.PutUint32(hb[12:16], uint32(int32(head)))
+	binary.LittleEndian.PutUint32(hb[16:20], uint32(n))
+	dst = append(dst, hb[:]...)
+	var err error
+	if dst, err = appendInt32s(dst, next); err != nil {
+		return dst, err
+	}
+	if value != nil {
+		if dst, err = appendInt32s(dst, value); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// appendInt32s narrows src to little-endian int32s, failing on any
+// element outside the int32 range.
+func appendInt32s(dst []byte, src []int64) ([]byte, error) {
+	for _, v := range src {
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			return dst, fmt.Errorf("%w: element %d outside int32", ErrFrame, v)
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(v)))
+	}
+	return dst, nil
+}
+
+// Buffer owns the reusable decode/encode arenas for one connection
+// (or one client worker): the succ and value arrays a request frame
+// widens into, the result array a response decodes into, and the raw
+// staging chunk the streaming forms read and write through. The
+// arenas grow to the high-water frame size and are then reused — the
+// codec's zero-allocation steady state. The zero value is ready to
+// use; pool Buffers with fleet.FreeList to reuse them across
+// connections.
+type Buffer struct {
+	// Next is the decoded succ array of the last ReadRequest /
+	// DecodeRequest (widened int32 → int64).
+	Next []int64
+	// Value is the decoded value array — the frame's payload when
+	// present, unit values otherwise.
+	Value []int64
+	// Dst is the result array: ReadResponse / DecodeResponse decode
+	// into it, and daemons may use it as per-request result storage.
+	Dst []int64
+	// raw is the streaming staging chunk.
+	raw []byte
+}
+
+// ReadRequest streams one request frame from r into b's arenas:
+// header first, then the succ (and optional value) payload widened
+// int32 → int64 through the staging chunk. A frame without a value
+// payload fills b.Value with unit values. The reader must end exactly
+// at the frame boundary (trailing bytes are ErrFrame) — the natural
+// contract for an HTTP request body. Warm (arenas at high-water
+// size), it allocates nothing.
+func ReadRequest(r io.Reader, b *Buffer, maxElems int) (ReqHeader, error) {
+	b.raw = arena.Grow(b.raw, chunkBytes)
+	hb := b.raw[:ReqHeaderLen]
+	if _, err := io.ReadFull(r, hb); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return ReqHeader{}, ErrTruncated
+		}
+		return ReqHeader{}, err
+	}
+	h, err := ParseReqHeader(hb, maxElems)
+	if err != nil {
+		return h, err
+	}
+	b.Next = arena.Grow(b.Next, h.N)
+	if err := readInt32s(r, b.raw, b.Next); err != nil {
+		return h, err
+	}
+	if h.HasValues {
+		b.Value = arena.Grow(b.Value, h.N)
+		if err := readInt32s(r, b.raw, b.Value); err != nil {
+			return h, err
+		}
+	} else {
+		b.Value = arena.Filled(b.Value, h.N, 1)
+	}
+	if _, err := io.ReadFull(r, b.raw[:1]); err == nil {
+		return h, fmt.Errorf("%w: trailing bytes after payload", ErrFrame)
+	} else if err != io.EOF && err != io.ErrUnexpectedEOF {
+		return h, err
+	}
+	return h, nil
+}
+
+// DecodeRequest decodes one complete in-memory request frame into b's
+// arenas, with the same validation and unit-value contract as
+// ReadRequest. The frame must span data exactly.
+func DecodeRequest(data []byte, b *Buffer, maxElems int) (ReqHeader, error) {
+	h, err := ParseReqHeader(data, maxElems)
+	if err != nil {
+		return h, err
+	}
+	if len(data) < h.FrameLen() {
+		return h, ErrTruncated
+	}
+	if len(data) > h.FrameLen() {
+		return h, fmt.Errorf("%w: %d trailing bytes after payload", ErrFrame, len(data)-h.FrameLen())
+	}
+	b.Next = widenInt32s(b.Next, data[ReqHeaderLen:ReqHeaderLen+4*h.N])
+	if h.HasValues {
+		b.Value = widenInt32s(b.Value, data[ReqHeaderLen+4*h.N:])
+	} else {
+		b.Value = arena.Filled(b.Value, h.N, 1)
+	}
+	return h, nil
+}
+
+// readInt32s fills dst by reading 4·len(dst) bytes through the
+// staging chunk, widening each little-endian int32.
+func readInt32s(r io.Reader, chunk []byte, dst []int64) error {
+	for len(dst) > 0 {
+		c := len(chunk)
+		if c > 4*len(dst) {
+			c = 4 * len(dst)
+		}
+		if _, err := io.ReadFull(r, chunk[:c]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return ErrTruncated
+			}
+			return err
+		}
+		k := c / 4
+		for i := 0; i < k; i++ {
+			dst[i] = int64(int32(binary.LittleEndian.Uint32(chunk[4*i:])))
+		}
+		dst = dst[k:]
+	}
+	return nil
+}
+
+// widenInt32s decodes len(src)/4 little-endian int32s into dst
+// (grown in place).
+func widenInt32s(dst []int64, src []byte) []int64 {
+	dst = arena.Grow(dst, len(src)/4)
+	for i := range dst {
+		dst[i] = int64(int32(binary.LittleEndian.Uint32(src[4*i:])))
+	}
+	return dst
+}
+
+// RespLen returns the encoded response-frame length for n result
+// elements.
+func RespLen(n int) int { return RespHeaderLen + 8*n }
+
+// AppendResponse appends a complete response frame carrying result to
+// dst and returns the extended slice.
+func AppendResponse(dst []byte, result []int64) []byte {
+	var hb [RespHeaderLen]byte
+	binary.LittleEndian.PutUint32(hb[0:4], RespMagic)
+	binary.LittleEndian.PutUint32(hb[4:8], uint32(len(result)))
+	dst = append(dst, hb[:]...)
+	for _, v := range result {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	return dst
+}
+
+// WriteResponse streams a response frame carrying result to w through
+// b's staging chunk. Warm, it allocates nothing.
+func WriteResponse(w io.Writer, b *Buffer, result []int64) error {
+	b.raw = arena.Grow(b.raw, chunkBytes)
+	binary.LittleEndian.PutUint32(b.raw[0:4], RespMagic)
+	binary.LittleEndian.PutUint32(b.raw[4:8], uint32(len(result)))
+	fill := RespHeaderLen
+	for _, v := range result {
+		if fill+8 > len(b.raw) {
+			if _, err := w.Write(b.raw[:fill]); err != nil {
+				return err
+			}
+			fill = 0
+		}
+		binary.LittleEndian.PutUint64(b.raw[fill:], uint64(v))
+		fill += 8
+	}
+	if fill > 0 {
+		if _, err := w.Write(b.raw[:fill]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadResponse streams one response frame from r into b.Dst and
+// returns it. The reader must end exactly at the frame boundary.
+// Warm, it allocates nothing.
+func ReadResponse(r io.Reader, b *Buffer, maxElems int) ([]int64, error) {
+	b.raw = arena.Grow(b.raw, chunkBytes)
+	hb := b.raw[:RespHeaderLen]
+	if _, err := io.ReadFull(r, hb); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, ErrTruncated
+		}
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hb[0:4]) != RespMagic {
+		return nil, ErrMagic
+	}
+	if maxElems <= 0 {
+		maxElems = DefaultMaxElems
+	}
+	n := binary.LittleEndian.Uint32(hb[4:8])
+	if int64(n) > int64(maxElems) {
+		return nil, fmt.Errorf("%w: %d elements, limit %d", ErrTooLarge, n, maxElems)
+	}
+	b.Dst = arena.Grow(b.Dst, int(n))
+	dst := b.Dst
+	for len(dst) > 0 {
+		c := len(b.raw)
+		if c > 8*len(dst) {
+			c = 8 * len(dst)
+		}
+		if _, err := io.ReadFull(r, b.raw[:c]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, ErrTruncated
+			}
+			return nil, err
+		}
+		k := c / 8
+		for i := 0; i < k; i++ {
+			dst[i] = int64(binary.LittleEndian.Uint64(b.raw[8*i:]))
+		}
+		dst = dst[k:]
+	}
+	if _, err := io.ReadFull(r, b.raw[:1]); err == nil {
+		return nil, fmt.Errorf("%w: trailing bytes after payload", ErrFrame)
+	} else if err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, err
+	}
+	return b.Dst, nil
+}
+
+// DecodeResponse decodes one complete in-memory response frame into
+// b.Dst and returns it. The frame must span data exactly.
+func DecodeResponse(data []byte, b *Buffer, maxElems int) ([]int64, error) {
+	if len(data) < RespHeaderLen {
+		return nil, ErrTruncated
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != RespMagic {
+		return nil, ErrMagic
+	}
+	if maxElems <= 0 {
+		maxElems = DefaultMaxElems
+	}
+	n := binary.LittleEndian.Uint32(data[4:8])
+	if int64(n) > int64(maxElems) {
+		return nil, fmt.Errorf("%w: %d elements, limit %d", ErrTooLarge, n, maxElems)
+	}
+	want := RespLen(int(n))
+	if len(data) < want {
+		return nil, ErrTruncated
+	}
+	if len(data) > want {
+		return nil, fmt.Errorf("%w: %d trailing bytes after payload", ErrFrame, len(data)-want)
+	}
+	b.Dst = arena.Grow(b.Dst, int(n))
+	for i := range b.Dst {
+		b.Dst[i] = int64(binary.LittleEndian.Uint64(data[RespHeaderLen+8*i:]))
+	}
+	return b.Dst, nil
+}

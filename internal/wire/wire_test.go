@@ -1,0 +1,290 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// buildList returns a deterministic pseudo-random next/value pair of
+// length n (a valid single chain is not required at the codec layer;
+// the frames just need well-defined contents).
+func buildList(n int) (next, value []int64) {
+	next = make([]int64, n)
+	value = make([]int64, n)
+	s := uint64(0x9E3779B97F4A7C15)
+	for i := range next {
+		s = s*6364136223846793005 + 1442695040888963407
+		next[i] = int64(s % uint64(n))
+		value[i] = int64(int32(s >> 32))
+	}
+	return next, value
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 4096, 8191} {
+		for _, withValues := range []bool{false, true} {
+			next, value := buildList(n)
+			if !withValues {
+				value = nil
+			}
+			var head int64
+			if n > 0 {
+				head = int64(n / 2)
+			}
+			frame, err := AppendRequest(nil, OpScan, 123, head, next, value)
+			if err != nil {
+				t.Fatalf("n=%d values=%v: encode: %v", n, withValues, err)
+			}
+			wantLen := ReqHeaderLen + 4*n
+			if withValues {
+				wantLen += 4 * n
+			}
+			if len(frame) != wantLen {
+				t.Fatalf("n=%d values=%v: frame len %d, want %d", n, withValues, len(frame), wantLen)
+			}
+
+			// Both decode forms agree with the input.
+			for _, mode := range []string{"decode", "read"} {
+				var b Buffer
+				var h ReqHeader
+				var err error
+				if mode == "decode" {
+					h, err = DecodeRequest(frame, &b, 0)
+				} else {
+					h, err = ReadRequest(bytes.NewReader(frame), &b, 0)
+				}
+				if err != nil {
+					t.Fatalf("n=%d values=%v %s: %v", n, withValues, mode, err)
+				}
+				if h.Op != OpScan || h.DeadlineMs != 123 || int64(h.Head) != head || h.N != n || h.HasValues != withValues {
+					t.Fatalf("n=%d values=%v %s: header %+v", n, withValues, mode, h)
+				}
+				for i := range next {
+					if b.Next[i] != next[i] {
+						t.Fatalf("n=%d %s: Next[%d] = %d, want %d", n, mode, i, b.Next[i], next[i])
+					}
+				}
+				for i := 0; i < n; i++ {
+					want := int64(1)
+					if withValues {
+						want = value[i]
+					}
+					if b.Value[i] != want {
+						t.Fatalf("n=%d values=%v %s: Value[%d] = %d, want %d", n, withValues, mode, i, b.Value[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 4096} {
+		_, result := buildList(n)
+		frame := AppendResponse(nil, result)
+		if len(frame) != RespLen(n) {
+			t.Fatalf("n=%d: frame len %d, want %d", n, len(frame), RespLen(n))
+		}
+		var b Buffer
+		got, err := DecodeResponse(frame, &b, 0)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d elements", n, len(got))
+		}
+		for i := range got {
+			if got[i] != result[i] {
+				t.Fatalf("n=%d: [%d] = %d, want %d", n, i, got[i], result[i])
+			}
+		}
+		// The streaming writer and reader agree with the in-memory forms.
+		var out bytes.Buffer
+		if err := WriteResponse(&out, &b, result); err != nil {
+			t.Fatalf("n=%d: write: %v", n, err)
+		}
+		if !bytes.Equal(out.Bytes(), frame) {
+			t.Fatalf("n=%d: WriteResponse differs from AppendResponse", n)
+		}
+		got2, err := ReadResponse(bytes.NewReader(frame), &b, 0)
+		if err != nil {
+			t.Fatalf("n=%d: read: %v", n, err)
+		}
+		for i := range got2 {
+			if got2[i] != result[i] {
+				t.Fatalf("n=%d: streamed [%d] = %d, want %d", n, i, got2[i], result[i])
+			}
+		}
+	}
+}
+
+// TestRequestMaxSizeFrame exercises a frame at exactly the decoder's
+// element limit, and one element past it.
+func TestRequestMaxSizeFrame(t *testing.T) {
+	const limit = 1 << 12
+	next, value := buildList(limit)
+	frame, err := AppendRequest(nil, OpRank, 0, 0, next, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Buffer
+	if _, err := DecodeRequest(frame, &b, limit); err != nil {
+		t.Fatalf("frame at the limit: %v", err)
+	}
+	over, err := AppendRequest(nil, OpRank, 0, 0, append(next, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRequest(over, &b, limit); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("frame past the limit: err = %v, want ErrTooLarge", err)
+	}
+	if _, err := ReadRequest(bytes.NewReader(over), &b, limit); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("streamed frame past the limit: err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestRequestRejectsMalformed walks the malformed-input classes:
+// every one must come back as a typed error, never a panic.
+func TestRequestRejectsMalformed(t *testing.T) {
+	next, value := buildList(64)
+	good, err := AppendRequest(nil, OpScan, 0, 3, next, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(off int, b byte) []byte {
+		m := append([]byte(nil), good...)
+		m[off] = b
+		return m
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", good[:ReqHeaderLen-1], ErrTruncated},
+		{"truncated payload", good[:ReqHeaderLen+17], ErrTruncated},
+		{"one byte short", good[:len(good)-1], ErrTruncated},
+		{"trailing byte", append(append([]byte(nil), good...), 0), ErrFrame},
+		{"bad magic", mut(0, 'X'), ErrMagic},
+		{"unknown op", mut(4, 9), ErrFrame},
+		{"unknown flag", mut(5, 0x82), ErrFrame},
+		{"reserved byte", mut(6, 1), ErrFrame},
+		{"head out of range", mut(12, 0xFF), ErrFrame}, // head = 64·4-ish, ≥ n
+	}
+	for _, tc := range cases {
+		var b Buffer
+		if _, err := DecodeRequest(tc.data, &b, 0); !errors.Is(err, tc.want) {
+			t.Errorf("%s: DecodeRequest err = %v, want %v", tc.name, err, tc.want)
+		}
+		if _, err := ReadRequest(bytes.NewReader(tc.data), &b, 0); !errors.Is(err, tc.want) {
+			t.Errorf("%s: ReadRequest err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Encoder-side validation.
+	if _, err := AppendRequest(nil, OpRank, 0, 64, next, nil); !errors.Is(err, ErrFrame) {
+		t.Errorf("encode head out of range: err = %v", err)
+	}
+	if _, err := AppendRequest(nil, OpRank, 0, 0, next, value[:10]); !errors.Is(err, ErrFrame) {
+		t.Errorf("encode value length mismatch: err = %v", err)
+	}
+	if _, err := AppendRequest(nil, OpRank, 0, 0, []int64{1 << 40}, nil); !errors.Is(err, ErrFrame) {
+		t.Errorf("encode element outside int32: err = %v", err)
+	}
+}
+
+func TestResponseRejectsMalformed(t *testing.T) {
+	_, result := buildList(16)
+	good := AppendResponse(nil, result)
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", good[:RespHeaderLen-1], ErrTruncated},
+		{"truncated payload", good[:len(good)-3], ErrTruncated},
+		{"trailing byte", append(append([]byte(nil), good...), 0), ErrFrame},
+		{"bad magic", bad, ErrMagic},
+	}
+	for _, tc := range cases {
+		var b Buffer
+		if _, err := DecodeResponse(tc.data, &b, 0); !errors.Is(err, tc.want) {
+			t.Errorf("%s: DecodeResponse err = %v, want %v", tc.name, err, tc.want)
+		}
+		if _, err := ReadResponse(bytes.NewReader(tc.data), &b, 0); !errors.Is(err, tc.want) {
+			t.Errorf("%s: ReadResponse err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	var b Buffer
+	if _, err := DecodeResponse(good[:RespHeaderLen+8], &b, 8); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("over element limit: err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestWireZeroAllocSteadyState is the codec's gate on the daemon's
+// no-per-request-allocation promise: once a Buffer's arenas have
+// grown to the frame size, the warm streaming decode path (request
+// in), encode path (response out) and client-side decode path
+// (response in) allocate nothing.
+func TestWireZeroAllocSteadyState(t *testing.T) {
+	const n = 4096
+	next, value := buildList(n)
+	reqFrame, err := AppendRequest(nil, OpScan, 5, 1, next, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respFrame := AppendResponse(nil, value)
+
+	var b Buffer
+	rd := bytes.NewReader(reqFrame)
+	if _, err := ReadRequest(rd, &b, 0); err != nil { // warm the arenas
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		rd.Reset(reqFrame)
+		if _, err := ReadRequest(rd, &b, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm ReadRequest: %.1f allocs/op, want 0", allocs)
+	}
+
+	var sink countWriter
+	allocs = testing.AllocsPerRun(100, func() {
+		sink = 0
+		if err := WriteResponse(&sink, &b, b.Value); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm WriteResponse: %.1f allocs/op, want 0", allocs)
+	}
+
+	rd.Reset(respFrame)
+	if _, err := ReadResponse(rd, &b, 0); err != nil { // warm Dst
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		rd.Reset(respFrame)
+		if _, err := ReadResponse(rd, &b, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm ReadResponse: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// countWriter is an allocation-free io.Writer counting bytes.
+type countWriter int64
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	*w += countWriter(len(p))
+	return len(p), nil
+}

@@ -232,6 +232,11 @@ type ServerStats struct {
 	// BinServed counts successfully served requests per size bin
 	// (trivial zero-length completions appear in no bin).
 	BinServed []int64
+	// BinQueued is the instantaneous admission-queue depth per size
+	// bin at snapshot time — a gauge, not a counter, exposed so the
+	// serving daemon's /metrics can show where backpressure is
+	// building before it turns into rejections.
+	BinQueued []int64
 }
 
 // Server is a long-lived fleet of warm engines serving rank and scan
@@ -543,9 +548,11 @@ func (s *Server) Stats() ServerStats {
 		Expired:   s.expired.Load(),
 		Served:    s.trivial.Load(),
 		BinServed: make([]int64, len(s.shards)),
+		BinQueued: make([]int64, len(s.shards)),
 	}
 	for b, sh := range s.shards {
 		st.BinServed[b] = sh.served.Load()
+		st.BinQueued[b] = int64(sh.q.Len())
 		st.Served += st.BinServed[b]
 		st.Dispatches += sh.dispatches.Load()
 		st.Coalesced += sh.coalesced.Load()
@@ -746,6 +753,18 @@ func (sh *shard) finish(t *Ticket) {
 		sh.poisoned.Add(1)
 	}
 	t.done <- struct{}{}
+}
+
+// BinBounds returns the server's size-bin upper bounds, one per bin
+// in routing order, with the final unbounded bin reported as -1 — the
+// labels a metrics exporter needs to make the per-bin counters in
+// Stats legible.
+func (s *Server) BinBounds() []int {
+	out := make([]int, s.bins.Count())
+	for b := range out {
+		out[b] = s.bins.Bound(b)
+	}
+	return out
 }
 
 // SharedServer returns the process-wide server, created on first use
