@@ -18,9 +18,10 @@ import (
 // chaos -race -run TestChaosSoak`): a server under open-throttle mixed
 // traffic — good requests, poisoned lists, pre-expired and racing
 // deadlines, client cancellations, queue-full bursts against a small
-// Reject-mode queue — while the chaos harness injects panics into pool
-// worker bodies, engine phase boundaries and kernel chunk strips, and
-// stalls workers. It must end with every ticket completed (no Wait
+// Reject-mode queue, handle requests through the reorder cache with
+// concurrent value mutation + Invalidate — while the chaos harness
+// injects panics into pool worker bodies, engine phase boundaries and
+// kernel chunk strips, and stalls workers. It must end with every ticket completed (no Wait
 // hangs — the test would time out), the accounting identity
 //
 //	Submitted = Served + Rejected + Expired + Poisoned
@@ -36,6 +37,9 @@ func TestChaosSoak(t *testing.T) {
 		QueueDepth: 8, // small enough that the burst traffic overflows it
 		Reject:     true,
 		WarmSizes:  []int{1 << 12, 20000},
+		// Cache on the first serve so the handle traffic spends most of
+		// its time on the warm-hit path, with builds racing the chaos.
+		ReorderAfter: 1,
 	})
 
 	// Arm after NewServer so warming runs clean. Rates are tuned so
@@ -89,6 +93,13 @@ func TestChaosSoak(t *testing.T) {
 			}
 			poison := NewRandomList(256, uint64(g)+5)
 			poison.Next[poison.Head] = int64(poison.Len()) + 3
+			// Handles over the same private lists: requests from this
+			// submitter are serialized by Wait, so mutating a list at
+			// loop top is always at quiescence for its handle.
+			handles := make([]*Handle, len(good))
+			for i, l := range good {
+				handles[i] = s.Register(l)
+			}
 			burst := make([]*Ticket, 12)
 			for i := 0; i < perSubmitter; i++ {
 				req := Request{Op: OpRank}
@@ -118,6 +129,19 @@ func TestChaosSoak(t *testing.T) {
 						classify(err)
 					}
 					continue
+				case kind < 14: // direct-List request, canceled below
+					req.List = good[gi]
+					wantRanks = want[gi]
+				case kind < 30: // handle request through the reorder cache
+					req.Handle = handles[gi]
+					wantRanks = want[gi]
+					if kind == 14 {
+						// Mutate values at quiescence and bump the version:
+						// the stale layout must never serve again. Ranks
+						// don't depend on values, so want stays valid.
+						good[gi].Value[r.Intn(good[gi].Len())] = int64(r.Intn(1000))
+						handles[gi].Invalidate()
+					}
 				default:
 					req.List = good[gi]
 					wantRanks = want[gi]
@@ -146,10 +170,11 @@ func TestChaosSoak(t *testing.T) {
 
 	st := s.Stats()
 	total := submitted.Load()
-	t.Logf("soak: submitted=%d served=%d rejected=%d expired=%d poisoned=%d injected(worker=%d phase2=%d chunk=%d) delays=%d",
+	t.Logf("soak: submitted=%d served=%d rejected=%d expired=%d poisoned=%d injected(worker=%d phase2=%d chunk=%d) delays=%d reorder(hits=%d misses=%d builds=%d evictions=%d)",
 		st.Submitted, st.Served, st.Rejected, st.Expired, st.Poisoned,
 		chaos.Fired(chaos.PointWorker), chaos.Fired(chaos.PointPhase2), chaos.Fired(chaos.PointChunk),
-		chaos.Fired(chaos.PointPhase1))
+		chaos.Fired(chaos.PointPhase1),
+		st.ReorderHits, st.ReorderMisses, st.ReorderBuilds, st.ReorderEvictions)
 
 	if other.Load() != 0 {
 		t.Fatalf("%d tickets completed with unclassifiable errors", other.Load())
@@ -176,6 +201,11 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if st.Expired < total*5/100 {
 		t.Errorf("expired %d < 5%% of %d requests", st.Expired, total)
+	}
+	// The handle traffic must actually have exercised the cache: layouts
+	// built (some racing injected panics) and warm hits served.
+	if st.ReorderBuilds == 0 || st.ReorderHits == 0 {
+		t.Errorf("reorder cache unexercised: builds=%d hits=%d", st.ReorderBuilds, st.ReorderHits)
 	}
 
 	// No goroutine may outlive Close: dispatchers, pool workers and

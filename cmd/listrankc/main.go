@@ -8,10 +8,10 @@
 //
 //	listrankc [-addr 127.0.0.1:8347] [-n 5000] [-rate 0] [-conns 64]
 //	          [-lists 64] [-min 256] [-max 1048576] [-zipf 1.4]
-//	          [-seed 1] [-scan-frac 0.3] [-poison-rate 0]
-//	          [-expire-rate 0] [-quota-frac 0] [-tenant loadgen]
-//	          [-badframe-rate 0] [-deadline-ms 0] [-verify-max 65536]
-//	          [-check] [-bench label]
+//	          [-seed 1] [-scan-frac 0.3] [-reuse-frac 0]
+//	          [-poison-rate 0] [-expire-rate 0] [-quota-frac 0]
+//	          [-tenant loadgen] [-badframe-rate 0] [-deadline-ms 0]
+//	          [-verify-max 65536] [-check] [-bench label]
 //
 // -rate 0 (the default) runs closed-loop with -conns concurrent
 // streams, measuring peak throughput; a positive -rate submits at
@@ -24,6 +24,16 @@
 // -badframe-rate sends truncated frames (400/badframe), and
 // -quota-frac tags requests with the X-Tenant header so a daemon
 // running with -quota-rate rejects the overflow (429/quota).
+//
+// -reuse-frac sends that fraction of ordinary requests as tagged
+// frames (the wire's list_id/list_version extension), reusing stable
+// ids per problem so the Zipf working set's repeat traffic lands in
+// the daemon's reorder cache; a small slice of tagged sends carries a
+// bumped version to exercise invalidation and re-registration. Rank
+// and scan frames use disjoint id spaces because an id+version pins
+// the whole list — values included — and the pre-encoded rank frames
+// don't carry values. With -reuse-frac > 0 the final metrics
+// cross-check additionally asserts the cache actually hit.
 //
 // Every response is classified by its X-Outcome header. Served
 // responses for problems no larger than -verify-max are decoded and
@@ -61,13 +71,18 @@ import (
 )
 
 // problem is one pre-encoded request: the frame bytes and, for
-// problems small enough to verify, the expected answers.
+// problems small enough to verify, the expected answers. The tagged
+// variants carry the list_id/list_version handle extension (two
+// versions each, to exercise the daemon's invalidation path); they
+// encode the same list, so the expected answers are shared.
 type problem struct {
-	n         int
-	rankFrame []byte
-	scanFrame []byte
-	wantRank  []int64
-	wantScan  []int64
+	n          int
+	rankFrame  []byte
+	scanFrame  []byte
+	taggedRank [2][]byte
+	taggedScan [2][]byte
+	wantRank   []int64
+	wantScan   []int64
 }
 
 // shot is one request's classified outcome.
@@ -101,6 +116,7 @@ func main() {
 		zipfS     = flag.Float64("zipf", 1.4, "Zipf exponent over size buckets")
 		seed      = flag.Int64("seed", 1, "random seed")
 		scanFrac  = flag.Float64("scan-frac", 0.3, "fraction of requests that are scans")
+		reuseFrac = flag.Float64("reuse-frac", 0, "fraction of ordinary requests sent as tagged (list_id) frames")
 		poisonR   = flag.Float64("poison-rate", 0, "fraction of requests with corrupt links")
 		expireR   = flag.Float64("expire-rate", 0, "fraction of requests with a 1ms frame deadline")
 		badR      = flag.Float64("badframe-rate", 0, "fraction of requests sent as truncated frames")
@@ -123,7 +139,7 @@ func main() {
 	}
 
 	r := rand.New(rand.NewSource(*seed))
-	probs := buildProblems(r, *lists, *minN, *maxN, *zipfS, *verifyMax)
+	probs := buildProblems(r, *lists, *minN, *maxN, *zipfS, *verifyMax, *reuseFrac > 0)
 
 	// The largest problem with a 1 ms frame deadline: under load it is
 	// stale before a worker reaches it.
@@ -154,6 +170,7 @@ func main() {
 		sem = make(chan struct{}, maxInt(1, *conns))
 	}
 
+	var taggedSent int64
 	for i := 0; i < *nReq; i++ {
 		// Draw the request's shape on the dispatch goroutine so the
 		// mix is deterministic for a given seed.
@@ -167,6 +184,16 @@ func main() {
 			kind = "expire"
 		}
 		isScan := r.Float64() < *scanFrac
+		// Tagged requests reuse the problem's stable list_id; ~2% of
+		// them bump the version to exercise invalidation.
+		tagVer := -1
+		if kind == "good" && r.Float64() < *reuseFrac {
+			tagVer = 0
+			if r.Float64() < 0.02 {
+				tagVer = 1
+			}
+			taggedSent++
+		}
 		p := probs[r.Intn(len(probs))]
 		pf := poisonFrames[i%len(poisonFrames)]
 		hdr := map[string]string{}
@@ -188,7 +215,7 @@ func main() {
 			if sem != nil {
 				defer func() { <-sem }()
 			}
-			shots <- fire(client, base, p, pf, expireFrame, kind, isScan, hdr)
+			shots <- fire(client, base, p, pf, expireFrame, kind, isScan, tagVer, hdr)
 		}()
 	}
 	wg.Wait()
@@ -224,7 +251,7 @@ func main() {
 		fmt.Fprintf(report, "FAIL: %d transport errors\n", tl.transport)
 		failed = true
 	}
-	if err := crossCheck(client, base, tl, report); err != nil {
+	if err := crossCheck(client, base, tl, taggedSent, report); err != nil {
 		fmt.Fprintf(report, "FAIL: metrics cross-check: %v\n", err)
 		failed = true
 	} else {
@@ -250,7 +277,7 @@ func main() {
 // buildProblems generates the working set: Zipf-mixed sizes, each
 // pre-encoded once as a rank frame and a scan frame, with expected
 // answers computed locally for the verifiable sizes.
-func buildProblems(r *rand.Rand, lists, minN, maxN int, zipfS float64, verifyMax int) []*problem {
+func buildProblems(r *rand.Rand, lists, minN, maxN int, zipfS float64, verifyMax int, tagged bool) []*problem {
 	sizes := trace.Sizes(r, lists, minN, maxN, zipfS)
 	probs := make([]*problem, len(sizes))
 	for i, n := range sizes {
@@ -267,6 +294,23 @@ func buildProblems(r *rand.Rand, lists, minN, maxN int, zipfS float64, verifyMax
 			fatal("encode scan frame: %v", err)
 		}
 		p := &problem{n: n, rankFrame: rf, scanFrame: sf}
+		if tagged {
+			// Stable ids per problem, disjoint spaces for rank and scan
+			// (an id+version pins values too, and the rank frames carry
+			// none). Two versions of the same list: a version bump is a
+			// contract about change, not a requirement of it, and the
+			// flapping exercises invalidate + re-register on the daemon.
+			for v := uint32(0); v < 2; v++ {
+				p.taggedRank[v], err = wire.AppendRequestTagged(nil, wire.OpRank, 0, l.Head, l.Next, nil, uint32(i+1), v+1)
+				if err != nil {
+					fatal("encode tagged rank frame: %v", err)
+				}
+				p.taggedScan[v], err = wire.AppendRequestTagged(nil, wire.OpScan, 0, l.Head, l.Next, l.Value, uint32(i+1)|1<<31, v+1)
+				if err != nil {
+					fatal("encode tagged scan frame: %v", err)
+				}
+			}
+		}
 		if n <= verifyMax {
 			p.wantRank = listrank.RankWith(l, listrank.Options{})
 			p.wantScan = listrank.ScanWith(l, listrank.Options{})
@@ -314,9 +358,11 @@ func largest(probs []*problem) int {
 	return best
 }
 
-// fire sends one request and classifies the response.
+// fire sends one request and classifies the response. tagVer < 0
+// sends the anonymous frame; 0 or 1 sends the tagged frame carrying
+// that version of the problem's list_id.
 func fire(client *http.Client, base string, p *problem, poison, expire []byte,
-	kind string, isScan bool, hdr map[string]string) shot {
+	kind string, isScan bool, tagVer int, hdr map[string]string) shot {
 
 	frame := p.rankFrame
 	path := "/rank"
@@ -331,8 +377,14 @@ func fire(client *http.Client, base string, p *problem, poison, expire []byte,
 	default:
 		if isScan {
 			frame, path, want = p.scanFrame, "/scan", p.wantScan
+			if tagVer >= 0 {
+				frame = p.taggedScan[tagVer]
+			}
 		} else {
 			want = p.wantRank
+			if tagVer >= 0 {
+				frame = p.taggedRank[tagVer]
+			}
 		}
 	}
 
@@ -408,9 +460,11 @@ func collect(shots <-chan shot, done chan<- tallies) {
 }
 
 // crossCheck fetches /metrics and verifies the daemon's books against
-// the client's own outcome tallies. It assumes this client was the
-// only traffic since the daemon booted (true in the e2e harness).
-func crossCheck(client *http.Client, base string, tl tallies, report io.Writer) error {
+// the client's own outcome tallies; when tagged traffic was sent, the
+// daemon's reorder cache must also have hit at least once. It assumes
+// this client was the only traffic since the daemon booted (true in
+// the e2e harness).
+func crossCheck(client *http.Client, base string, tl tallies, taggedSent int64, report io.Writer) error {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
 		return fmt.Errorf("fetch /metrics: %w", err)
@@ -466,6 +520,20 @@ func crossCheck(client *http.Client, base string, tl tallies, report io.Writer) 
 	expect("listrank_poisoned_total", tl.byOutcome["poisoned"])
 	expect("listrankd_quota_rejected_total", tl.byOutcome["quota"])
 	expect("listrankd_decode_errors_total", tl.byOutcome["badframe"])
+
+	if taggedSent > 0 {
+		hits, err := get("listrank_reorder_hits_total")
+		if err != nil {
+			return err
+		}
+		misses, _ := get("listrank_reorder_misses_total")
+		builds, _ := get("listrank_reorder_builds_total")
+		fmt.Fprintf(report, "  reorder cache: %d hits, %d misses, %d builds (%d tagged requests sent)\n",
+			hits, misses, builds, taggedSent)
+		if hits == 0 && firstErr == nil {
+			firstErr = fmt.Errorf("sent %d tagged requests but listrank_reorder_hits_total = 0", taggedSent)
+		}
+	}
 	return firstErr
 }
 

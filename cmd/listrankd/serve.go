@@ -50,6 +50,20 @@ type daemon struct {
 	quotaMu sync.Mutex
 	quotas  map[string]*fleet.TokenBucket
 
+	// registry maps wire list_id → registered list, created the first
+	// time a tagged frame names the id. The daemon copies the frame's
+	// arrays once (frames decode into per-request recycled arenas, but
+	// a Server handle needs storage that outlives any one request) and
+	// registers the copy with the fleet, so repeat tagged traffic hits
+	// the Server's reorder cache. A tagged frame whose list_version
+	// differs from the registered one invalidates the old handle and
+	// re-registers from its own payload; in-flight requests on the old
+	// handle keep the old storage. At most maxHandles ids are held —
+	// frames naming new ids beyond that are served anonymously.
+	regMu      sync.Mutex
+	registry   map[uint32]*regList
+	maxHandles int
+
 	started time.Time
 
 	// HTTP-level counters, exported as listrankd_* metrics. The four
@@ -67,6 +81,25 @@ type daemon struct {
 	poisoned      atomic.Int64
 	bytesIn       atomic.Int64
 	bytesOut      atomic.Int64
+
+	// Handle-registry counters: tagged counts frames that carried a
+	// list_id, registered counts registrations (first sight of an id,
+	// or a version bump replacing one), fallback counts tagged frames
+	// served anonymously because the registry was at max-handles.
+	tagged     atomic.Int64
+	registered atomic.Int64
+	fallback   atomic.Int64
+}
+
+// regList is one registered list: a daemon-owned copy of the frame
+// arrays (request arenas are recycled per-request; handle storage must
+// outlive them) plus the Server handle serving it. A version bump
+// replaces the whole regList — the old one's storage stays valid for
+// requests already in flight on its handle.
+type regList struct {
+	h       *listrank.Handle
+	version uint32
+	list    listrank.List
 }
 
 // connBuf is one connection's worth of reusable request state: the
@@ -77,17 +110,59 @@ type connBuf struct {
 	list listrank.List
 }
 
-func newDaemon(srv *listrank.Server, maxElems int, quotaRate, quotaBurst float64) *daemon {
+func newDaemon(srv *listrank.Server, maxElems, maxHandles int, quotaRate, quotaBurst float64) *daemon {
 	d := &daemon{
 		srv:        srv,
 		maxElems:   maxElems,
+		maxHandles: maxHandles,
 		quotaRate:  quotaRate,
 		quotaBurst: quotaBurst,
 		quotas:     make(map[string]*fleet.TokenBucket),
+		registry:   make(map[uint32]*regList),
 		started:    time.Now(),
 	}
 	d.bufs.New = func() *connBuf { return &connBuf{} }
 	return d
+}
+
+// lookup resolves a tagged frame against the registry: a version match
+// returns the live registration, a version bump invalidates the old
+// handle and re-registers from this frame's payload, and a new id
+// registers (or, past max-handles, returns nil → serve anonymously).
+// A tagged frame whose length disagrees with the registered list is a
+// client bug — the identity contract says id+version pins the whole
+// list — and lookup refuses it rather than serving the wrong data.
+var errHandleLen = errors.New("list_id registered with a different length")
+
+func (d *daemon) lookup(h wire.ReqHeader, wb *wire.Buffer) (*regList, error) {
+	d.regMu.Lock()
+	defer d.regMu.Unlock()
+	rl := d.registry[h.ListID]
+	if rl != nil && rl.version == h.ListVersion {
+		if rl.list.Len() != h.N {
+			return nil, errHandleLen
+		}
+		return rl, nil
+	}
+	if rl == nil && len(d.registry) >= d.maxHandles {
+		d.fallback.Add(1)
+		return nil, nil
+	}
+	if rl != nil {
+		// Version bump: the list changed under the id. Drop the old
+		// handle's cached layout; in-flight requests keep old storage.
+		rl.h.Invalidate()
+	}
+	nrl := &regList{version: h.ListVersion}
+	nrl.list = listrank.List{
+		Next:  append([]int64(nil), wb.Next[:h.N]...),
+		Value: append([]int64(nil), wb.Value[:h.N]...),
+		Head:  int64(h.Head),
+	}
+	nrl.h = d.srv.Register(&nrl.list)
+	d.registry[h.ListID] = nrl
+	d.registered.Add(1)
+	return nrl, nil
 }
 
 // mux builds the daemon's routing table: the two hot binary-frame
@@ -174,13 +249,32 @@ func (d *daemon) handle(w http.ResponseWriter, r *http.Request, op listrank.Op) 
 		}
 	}
 
-	cb.list = listrank.List{Next: cb.wb.Next, Value: cb.wb.Value, Head: int64(h.Head)}
+	// A tagged frame resolves to a registered handle so repeat traffic
+	// hits the Server's reorder cache; anonymous frames (and tagged
+	// ones bounced by max-handles) serve through the request's own
+	// pooled arenas exactly as before.
+	var rl *regList
+	if h.HasHandle {
+		d.tagged.Add(1)
+		rl, err = d.lookup(h, &cb.wb)
+		if err != nil {
+			d.badFrames.Add(1)
+			fail(w, http.StatusBadRequest, "badframe", err.Error())
+			return
+		}
+	}
+
 	cb.wb.Dst = arena.Grow(cb.wb.Dst, h.N)
 	req := listrank.Request{
-		Op:   op,
-		List: &cb.list,
-		Dst:  cb.wb.Dst,
-		Ctx:  r.Context(),
+		Op:  op,
+		Dst: cb.wb.Dst,
+		Ctx: r.Context(),
+	}
+	if rl != nil {
+		req.Handle = rl.h
+	} else {
+		cb.list = listrank.List{Next: cb.wb.Next, Value: cb.wb.Value, Head: int64(h.Head)}
+		req.List = &cb.list
 	}
 	if deadlineMs > 0 {
 		req.Deadline = time.Now().Add(time.Duration(deadlineMs) * time.Millisecond)
@@ -258,6 +352,16 @@ func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("listrank_dispatches_total", "Engine dispatches (a coalesced batch is one).", st.Dispatches)
 	counter("listrank_coalesced_total", "Requests served inside multi-request dispatches.", st.Coalesced)
 
+	// Reorder-cache counters: warm handle traffic served from a cached
+	// sequential layout (hits) vs. handle traffic that chased pointers
+	// (misses); builds and evictions bound the cache's churn and
+	// listrank_reorder_bytes its footprint.
+	counter("listrank_reorder_hits_total", "Handle requests served from a cached reordered layout.", st.ReorderHits)
+	counter("listrank_reorder_misses_total", "Handle requests served without a cached layout.", st.ReorderMisses)
+	counter("listrank_reorder_builds_total", "Reordered layouts built.", st.ReorderBuilds)
+	counter("listrank_reorder_evictions_total", "Reordered layouts evicted by the byte budget.", st.ReorderEvictions)
+	gauge("listrank_reorder_bytes", "Bytes held by cached reordered layouts.", st.ReorderBytes)
+
 	bounds := d.srv.BinBounds()
 	fmt.Fprintf(w, "# HELP listrank_bin_served_total Served requests per size bin.\n# TYPE listrank_bin_served_total counter\n")
 	for b, v := range st.BinServed {
@@ -282,6 +386,9 @@ func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("listrankd_outcome_poisoned_total", "Responses with X-Outcome: poisoned.", d.poisoned.Load())
 	counter("listrankd_frame_bytes_in_total", "Request-frame bytes decoded.", d.bytesIn.Load())
 	counter("listrankd_frame_bytes_out_total", "Response-frame bytes written.", d.bytesOut.Load())
+	counter("listrankd_tagged_requests_total", "Request frames carrying a list_id tag.", d.tagged.Load())
+	counter("listrankd_handles_registered_total", "List registrations (first sight or version bump).", d.registered.Load())
+	counter("listrankd_handle_fallback_total", "Tagged frames served anonymously (registry full).", d.fallback.Load())
 	gauge("listrankd_inflight_requests", "Frame requests currently in flight.", d.inflight.Load())
 	gauge("listrankd_uptime_seconds", "Seconds since the daemon started.", int64(time.Since(d.started).Seconds()))
 	gauge("go_goroutines", "Current goroutine count.", int64(runtime.NumGoroutine()))
@@ -313,6 +420,9 @@ func runServe(args []string) int {
 	warm := fs.String("warm", "", "comma-separated list sizes to pre-warm the fleet for")
 	validate := fs.Bool("validate", false, "structurally validate lists before serving (reject instead of containing)")
 	maxElems := fs.Int("max-elems", wire.DefaultMaxElems, "largest accepted list length per frame")
+	reorderAfter := fs.Int("reorder-after", 0, "serves per list version before caching a reordered layout (0 = server default, negative disables)")
+	reorderBudget := fs.Int64("reorder-budget", 0, "reorder-cache byte budget across all shards (0 = server default, negative disables)")
+	maxHandles := fs.Int("max-handles", 4096, "max distinct list_ids registered; tagged frames beyond this serve anonymously")
 	quotaRate := fs.Float64("quota-rate", 0, "per-tenant token refill rate, requests/sec (0 = no quotas)")
 	quotaBurst := fs.Float64("quota-burst", 32, "per-tenant token-bucket burst")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "in-flight drain budget on SIGTERM")
@@ -332,15 +442,17 @@ func runServe(args []string) int {
 	baseline := runtime.NumGoroutine()
 
 	srv := listrank.NewServer(listrank.ServerOptions{
-		Procs:          *procs,
-		BinBounds:      bounds,
-		QueueDepth:     *queue,
-		MaxCoalesce:    *maxBatch,
-		Reject:         *reject,
-		WarmSizes:      warmSizes,
-		ValidateInputs: *validate,
+		Procs:              *procs,
+		BinBounds:          bounds,
+		QueueDepth:         *queue,
+		MaxCoalesce:        *maxBatch,
+		Reject:             *reject,
+		WarmSizes:          warmSizes,
+		ValidateInputs:     *validate,
+		ReorderAfter:       *reorderAfter,
+		ReorderBudgetBytes: *reorderBudget,
 	})
-	d := newDaemon(srv, *maxElems, *quotaRate, *quotaBurst)
+	d := newDaemon(srv, *maxElems, *maxHandles, *quotaRate, *quotaBurst)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

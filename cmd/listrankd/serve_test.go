@@ -20,7 +20,7 @@ import (
 func newTestDaemon(t *testing.T, opt listrank.ServerOptions, quotaRate, quotaBurst float64) (*daemon, *httptest.Server) {
 	t.Helper()
 	srv := listrank.NewServer(opt)
-	d := newDaemon(srv, 1<<21, quotaRate, quotaBurst)
+	d := newDaemon(srv, 1<<21, 4096, quotaRate, quotaBurst)
 	hs := httptest.NewServer(d.mux())
 	t.Cleanup(func() {
 		hs.Close()
@@ -335,13 +335,143 @@ func TestServeMetricsIdentity(t *testing.T) {
 	}
 }
 
+// encodeTagged encodes l as a request frame carrying the list_id/
+// list_version handle extension.
+func encodeTagged(t *testing.T, op wire.Op, l *listrank.List, withValues bool, id, version uint32) []byte {
+	t.Helper()
+	var value []int64
+	if withValues {
+		value = l.Value
+	}
+	frame, err := wire.AppendRequestTagged(nil, op, 0, l.Head, l.Next, value, id, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// TestServeTaggedFramesHitReorderCache drives the daemon's handle
+// registry end to end over the wire: repeat tagged frames must be
+// served from the Server's reorder cache (hits in /metrics), a version
+// bump must invalidate and re-register, a length-mismatched reuse of
+// an id must bounce as badframe, and ids past max-handles must fall
+// back to anonymous serving — all while the answers stay correct.
+func TestServeTaggedFramesHitReorderCache(t *testing.T) {
+	srv := listrank.NewServer(listrank.ServerOptions{Procs: 2, ReorderAfter: 1})
+	d := newDaemon(srv, 1<<21, 2, 0, 0) // max-handles = 2
+	hs := httptest.NewServer(d.mux())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+
+	l := listrank.NewRandomList(2048, 31)
+	for i := range l.Value {
+		l.Value[i] = int64(i%11) - 5
+	}
+	wantRank := listrank.RankWith(l, listrank.Options{})
+	wantScan := listrank.ScanWith(l, listrank.Options{})
+
+	var b wire.Buffer
+	checkServe := func(path string, frame []byte, want []int64) {
+		t.Helper()
+		status, outcome, body := post(t, hs.URL+path, frame, nil)
+		if status != http.StatusOK || outcome != "served" {
+			t.Fatalf("%s: status %d outcome %q body %q", path, status, outcome, body)
+		}
+		got, err := wire.DecodeResponse(body, &b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: result[%d] = %d, want %d", path, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Repeat tagged traffic on one id: first serve registers and counts
+	// a miss, ReorderAfter=1 builds after it, the rest are warm hits.
+	// An id+version pins the WHOLE list — head, succ, and values — so a
+	// rank frame sharing an id with scan frames must carry the values.
+	rankFrame := encodeTagged(t, wire.OpRank, l, true, 1, 1)
+	scanFrame := encodeTagged(t, wire.OpScan, l, true, 1, 1)
+	for i := 0; i < 3; i++ {
+		checkServe("/rank", rankFrame, wantRank)
+		checkServe("/scan", scanFrame, wantScan)
+	}
+	st := srv.Stats()
+	if st.ReorderBuilds != 1 || st.ReorderHits < 4 {
+		t.Fatalf("after repeat tagged traffic: builds=%d hits=%d misses=%d",
+			st.ReorderBuilds, st.ReorderHits, st.ReorderMisses)
+	}
+	if got := d.registered.Load(); got != 1 {
+		t.Fatalf("registrations = %d, want 1", got)
+	}
+
+	// Version bump: the list mutates, frames carry version 2. The old
+	// layout is dropped, the new contents are registered and served.
+	for i := range l.Value {
+		l.Value[i] += 100
+	}
+	wantScan2 := listrank.ScanWith(l, listrank.Options{})
+	scan2 := encodeTagged(t, wire.OpScan, l, true, 1, 2)
+	checkServe("/scan", scan2, wantScan2)
+	checkServe("/scan", scan2, wantScan2)
+	if got := d.registered.Load(); got != 2 {
+		t.Fatalf("registrations after version bump = %d, want 2", got)
+	}
+	st2 := srv.Stats()
+	if st2.ReorderBuilds != 2 {
+		t.Fatalf("builds after version bump = %d, want 2", st2.ReorderBuilds)
+	}
+
+	// Reusing a registered id+version with a different length is a
+	// client bug the daemon refuses rather than serving wrong data.
+	short := listrank.NewRandomList(64, 32)
+	status, outcome, _ := post(t, hs.URL+"/rank", encodeTagged(t, wire.OpRank, short, false, 1, 2), nil)
+	if status != http.StatusBadRequest || outcome != "badframe" {
+		t.Fatalf("length-mismatched id reuse: status %d outcome %q", status, outcome)
+	}
+
+	// Registry is capped at 2: id 2 registers, id 3 serves anonymously.
+	other := listrank.NewRandomList(512, 33)
+	wantOther := listrank.RankWith(other, listrank.Options{})
+	checkServe("/rank", encodeTagged(t, wire.OpRank, other, false, 2, 1), wantOther)
+	checkServe("/rank", encodeTagged(t, wire.OpRank, other, false, 3, 1), wantOther)
+	if got := d.fallback.Load(); got != 1 {
+		t.Fatalf("anonymous fallbacks = %d, want 1", got)
+	}
+
+	// The /metrics view agrees: hits are exported and nonzero.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := string(mb)
+	if hits := metricValue(t, m, "listrank_reorder_hits_total"); hits < 5 {
+		t.Errorf("listrank_reorder_hits_total = %d, want >= 5", hits)
+	}
+	if tagged := metricValue(t, m, "listrankd_tagged_requests_total"); tagged != int64(d.tagged.Load()) {
+		t.Errorf("tagged metric %d != counter %d", tagged, d.tagged.Load())
+	}
+	if bytes := metricValue(t, m, "listrank_reorder_bytes"); bytes <= 0 {
+		t.Errorf("listrank_reorder_bytes = %d, want > 0", bytes)
+	}
+}
+
 // TestServeDrainNoGoroutineLeak checks the daemon's teardown story at
 // the test level: serve traffic, close everything, and the goroutine
 // count returns to baseline.
 func TestServeDrainNoGoroutineLeak(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 	srv := listrank.NewServer(listrank.ServerOptions{Procs: 2})
-	d := newDaemon(srv, 1<<21, 0, 0)
+	d := newDaemon(srv, 1<<21, 4096, 0, 0)
 	hs := httptest.NewServer(d.mux())
 
 	l := listrank.NewRandomList(1024, 21)

@@ -4,10 +4,12 @@
 // step" (paper §2) — and measure what that does to traversal speed.
 //
 // Pointer structures degrade as their memory order diverges from their
-// logical order (every hop is a cache miss). Ranking gives each vertex
-// its logical position, after which a single scatter produces a
-// compact, sequential layout; subsequent passes over the data run at
-// streaming speed instead of pointer-chasing speed.
+// logical order (every hop is a cache miss). listrank.Reorder ranks
+// the list in parallel and scatters it into a compact sequential
+// layout; subsequent passes over the data run at streaming speed
+// instead of pointer-chasing speed. (The Server applies the same
+// transformation automatically to repeat traffic — see the reorder
+// cache in DESIGN.md.)
 package main
 
 import (
@@ -38,23 +40,24 @@ func main() {
 	}
 	chase := time.Since(start)
 
-	// Rank the list in parallel, then scatter values into list order.
+	// Rank the list in parallel and scatter it into array order.
 	start = time.Now()
-	ranks := listrank.Rank(l)
-	inOrder := make([]int64, n)
-	for i, r := range ranks {
-		inOrder[r] = l.Value[i]
-	}
+	ordered, perm := listrank.Reorder(l)
 	reorder := time.Since(start)
 
 	// The same traversal is now a sequential sweep.
 	start = time.Now()
 	sum2 := int64(0)
-	for _, x := range inOrder {
+	for _, x := range ordered.Value {
 		sum2 += x
 	}
 	sweep := time.Since(start)
 
+	// The permutation maps positions back to original vertex ids, so
+	// position-indexed results translate to vertex-indexed ones.
+	if ordered.Value[0] != l.Value[perm[0]] {
+		panic("permutation does not map the head")
+	}
 	if sum1 != sum2 {
 		panic("reordering changed the data")
 	}

@@ -20,6 +20,10 @@ func FuzzWireDecode(f *testing.F) {
 		f.Add(frame)
 		f.Add(frame[:ReqHeaderLen])
 	}
+	if frame, err := AppendRequestTagged(nil, OpScan, 5, 0, next, value, 42, 3); err == nil {
+		f.Add(frame)
+		f.Add(frame[:ReqHeaderLen+4])
+	}
 	f.Add(AppendResponse(nil, value))
 	f.Add([]byte{})
 	f.Add([]byte{0x4C, 0x52, 0x4B, 0x31})
@@ -43,9 +47,20 @@ func FuzzWireDecode(f *testing.F) {
 			}
 			var val []int64
 			if hm.HasValues {
-				val = bm.Value
+				// The flag is canonical even at n=0, where the decoded
+				// arena may be nil: re-encode with a non-nil empty
+				// slice so AppendRequest keeps the flag.
+				if val = bm.Value; val == nil {
+					val = []int64{}
+				}
 			}
-			re, err := AppendRequest(nil, hm.Op, hm.DeadlineMs, int64(hm.Head), bm.Next, val)
+			var re []byte
+			var err error
+			if hm.HasHandle {
+				re, err = AppendRequestTagged(nil, hm.Op, hm.DeadlineMs, int64(hm.Head), bm.Next, val, hm.ListID, hm.ListVersion)
+			} else {
+				re, err = AppendRequest(nil, hm.Op, hm.DeadlineMs, int64(hm.Head), bm.Next, val)
+			}
 			if err != nil {
 				t.Fatalf("re-encode of decoded frame failed: %v", err)
 			}

@@ -11,22 +11,33 @@
 //	offset  size  field
 //	 0      4     magic "LRK1" (uint32, little-endian)
 //	 4      1     op (0 = rank, 1 = scan)
-//	 5      1     flags (bit 0: value payload present)
+//	 5      1     flags (bit 0: value payload present; bit 1: handle tag)
 //	 6      2     reserved, must be zero
 //	 8      4     deadline_ms (uint32; 0 = none; relative to receipt)
 //	12      4     head (int32; first vertex)
 //	16      4     n (uint32; vertex count)
-//	20      4n    succ array (int32 little-endian; succ[v] = next of v)
-//	[+4n]   4n    value array (int32 little-endian; present iff flag)
+//	[20     4     list_id (uint32; present iff flag bit 1)]
+//	[24     4     list_version (uint32; present iff flag bit 1)]
+//	 .      4n    succ array (int32 little-endian; succ[v] = next of v)
+//	[+4n]   4n    value array (int32 little-endian; present iff flag bit 0)
 //
 // A frame with no value payload decodes with unit values — the
-// paper's ranking workload. Decoding validates everything the codec
-// can know locally (magic, op, flags, reserved bytes, head in range,
-// element limit, exact frame length) and rejects violations with a
-// typed error, never a panic; it deliberately does NOT validate the
-// succ links themselves — out-of-range links are the serving layer's
-// poison-containment domain (ErrPanic), and in-range structural
-// damage is indistinguishable from a valid list without ranking it.
+// paper's ranking workload. The handle tag (FlagHandle) inserts an
+// 8-byte extension between the fixed header and the payload naming a
+// client-chosen list identity and version: the daemon registers the
+// list under that identity so repeat traffic can hit the Server's
+// reorder cache, and a version change invalidates any cached layout.
+// Identity covers the whole list — head, succ, AND values — so
+// clients must not reuse an id across lists that differ in any of the
+// three. Anonymous frames (flag clear) behave exactly as before the
+// extension existed, byte for byte. Decoding validates everything the
+// codec can know locally (magic, op, flags, reserved bytes, head in
+// range, element limit, exact frame length) and rejects violations
+// with a typed error, never a panic; it deliberately does NOT
+// validate the succ links themselves — out-of-range links are the
+// serving layer's poison-containment domain (ErrPanic), and in-range
+// structural damage is indistinguishable from a valid list without
+// ranking it.
 //
 // # Response frame
 //
@@ -81,6 +92,13 @@ const (
 	// FlagValues marks a request frame carrying a value payload after
 	// the succ array.
 	FlagValues = 1 << 0
+	// FlagHandle marks a request frame carrying the HandleExtLen-byte
+	// list_id/list_version extension between the fixed header and the
+	// payload.
+	FlagHandle = 1 << 1
+	// HandleExtLen is the size of the handle extension (list_id uint32
+	// + list_version uint32).
+	HandleExtLen = 8
 	// DefaultMaxElems is the element limit the daemon enforces unless
 	// configured otherwise: frames declaring more elements are
 	// rejected with ErrTooLarge before any payload is read.
@@ -125,10 +143,19 @@ type ReqHeader struct {
 	Head int32
 	// N is the vertex count.
 	N int
+	// HasHandle reports whether the frame carries the handle
+	// extension; when true, ListID and ListVersion are its contents.
+	HasHandle bool
+	// ListID is the client-chosen list identity (meaningful only when
+	// HasHandle).
+	ListID uint32
+	// ListVersion is the client-declared version of the identified
+	// list (meaningful only when HasHandle).
+	ListVersion uint32
 }
 
 // payloadLen returns the number of payload bytes following the
-// header.
+// header (and handle extension, when present).
 func (h ReqHeader) payloadLen() int {
 	n := 4 * h.N
 	if h.HasValues {
@@ -137,12 +164,24 @@ func (h ReqHeader) payloadLen() int {
 	return n
 }
 
-// FrameLen returns the total encoded frame length in bytes.
-func (h ReqHeader) FrameLen() int { return ReqHeaderLen + h.payloadLen() }
+// HeaderLen returns the encoded header length: the fixed header plus
+// the handle extension when present.
+func (h ReqHeader) HeaderLen() int {
+	if h.HasHandle {
+		return ReqHeaderLen + HandleExtLen
+	}
+	return ReqHeaderLen
+}
 
-// ParseReqHeader parses and validates the fixed request header in
-// b[:ReqHeaderLen]. maxElems caps the declared element count (<= 0
-// selects DefaultMaxElems).
+// FrameLen returns the total encoded frame length in bytes.
+func (h ReqHeader) FrameLen() int { return h.HeaderLen() + h.payloadLen() }
+
+// ParseReqHeader parses and validates the request header at the front
+// of b: the fixed ReqHeaderLen bytes, plus the handle extension when
+// the frame's flags declare one (callers streaming a frame can check
+// for FlagHandle in byte 5 to learn how many bytes to supply).
+// maxElems caps the declared element count (<= 0 selects
+// DefaultMaxElems).
 func ParseReqHeader(b []byte, maxElems int) (ReqHeader, error) {
 	var h ReqHeader
 	if len(b) < ReqHeaderLen {
@@ -154,7 +193,7 @@ func ParseReqHeader(b []byte, maxElems int) (ReqHeader, error) {
 	if op := b[4]; op > uint8(OpScan) {
 		return h, fmt.Errorf("%w: unknown op %d", ErrFrame, op)
 	}
-	if flags := b[5]; flags&^FlagValues != 0 {
+	if flags := b[5]; flags&^(FlagValues|FlagHandle) != 0 {
 		return h, fmt.Errorf("%w: unknown flags %#x", ErrFrame, flags)
 	}
 	if b[6] != 0 || b[7] != 0 {
@@ -175,13 +214,22 @@ func ParseReqHeader(b []byte, maxElems int) (ReqHeader, error) {
 	} else if head < 0 || int64(head) >= int64(n) {
 		return h, fmt.Errorf("%w: head %d out of range [0,%d)", ErrFrame, head, n)
 	}
-	return ReqHeader{
+	h = ReqHeader{
 		Op:         Op(b[4]),
 		HasValues:  b[5]&FlagValues != 0,
 		DeadlineMs: binary.LittleEndian.Uint32(b[8:12]),
 		Head:       head,
 		N:          int(n),
-	}, nil
+		HasHandle:  b[5]&FlagHandle != 0,
+	}
+	if h.HasHandle {
+		if len(b) < ReqHeaderLen+HandleExtLen {
+			return ReqHeader{}, ErrTruncated
+		}
+		h.ListID = binary.LittleEndian.Uint32(b[20:24])
+		h.ListVersion = binary.LittleEndian.Uint32(b[24:28])
+	}
+	return h, nil
 }
 
 // AppendRequest appends a complete request frame to dst and returns
@@ -191,6 +239,20 @@ func ParseReqHeader(b []byte, maxElems int) (ReqHeader, error) {
 // against n, so callers can encode deliberately poisoned lists for
 // fault-containment testing.
 func AppendRequest(dst []byte, op Op, deadlineMs uint32, head int64, next, value []int64) ([]byte, error) {
+	return appendRequest(dst, op, deadlineMs, head, next, value, false, 0, 0)
+}
+
+// AppendRequestTagged is AppendRequest with the handle extension:
+// the frame carries FlagHandle and names the list (listID,
+// listVersion) so the daemon can register it and route repeat traffic
+// through the Server's reorder cache. The identity must cover the
+// whole list — reusing an id for a list with a different head, succ
+// array, or values corrupts cached results for that id.
+func AppendRequestTagged(dst []byte, op Op, deadlineMs uint32, head int64, next, value []int64, listID, listVersion uint32) ([]byte, error) {
+	return appendRequest(dst, op, deadlineMs, head, next, value, true, listID, listVersion)
+}
+
+func appendRequest(dst []byte, op Op, deadlineMs uint32, head int64, next, value []int64, tagged bool, listID, listVersion uint32) ([]byte, error) {
 	n := len(next)
 	if op > OpScan {
 		return dst, fmt.Errorf("%w: unknown op %d", ErrFrame, op)
@@ -212,14 +274,23 @@ func AppendRequest(dst []byte, op Op, deadlineMs uint32, head int64, next, value
 	if value != nil {
 		flags |= FlagValues
 	}
-	var hb [ReqHeaderLen]byte
+	if tagged {
+		flags |= FlagHandle
+	}
+	var hb [ReqHeaderLen + HandleExtLen]byte
 	binary.LittleEndian.PutUint32(hb[0:4], ReqMagic)
 	hb[4] = byte(op)
 	hb[5] = flags
 	binary.LittleEndian.PutUint32(hb[8:12], deadlineMs)
 	binary.LittleEndian.PutUint32(hb[12:16], uint32(int32(head)))
 	binary.LittleEndian.PutUint32(hb[16:20], uint32(n))
-	dst = append(dst, hb[:]...)
+	hl := ReqHeaderLen
+	if tagged {
+		binary.LittleEndian.PutUint32(hb[20:24], listID)
+		binary.LittleEndian.PutUint32(hb[24:28], listVersion)
+		hl += HandleExtLen
+	}
+	dst = append(dst, hb[:hl]...)
 	var err error
 	if dst, err = appendInt32s(dst, next); err != nil {
 		return dst, err
@@ -282,6 +353,15 @@ func ReadRequest(r io.Reader, b *Buffer, maxElems int) (ReqHeader, error) {
 		}
 		return ReqHeader{}, err
 	}
+	if hb[5]&FlagHandle != 0 {
+		hb = b.raw[:ReqHeaderLen+HandleExtLen]
+		if _, err := io.ReadFull(r, hb[ReqHeaderLen:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return ReqHeader{}, ErrTruncated
+			}
+			return ReqHeader{}, err
+		}
+	}
 	h, err := ParseReqHeader(hb, maxElems)
 	if err != nil {
 		return h, err
@@ -320,9 +400,10 @@ func DecodeRequest(data []byte, b *Buffer, maxElems int) (ReqHeader, error) {
 	if len(data) > h.FrameLen() {
 		return h, fmt.Errorf("%w: %d trailing bytes after payload", ErrFrame, len(data)-h.FrameLen())
 	}
-	b.Next = widenInt32s(b.Next, data[ReqHeaderLen:ReqHeaderLen+4*h.N])
+	hl := h.HeaderLen()
+	b.Next = widenInt32s(b.Next, data[hl:hl+4*h.N])
 	if h.HasValues {
-		b.Value = widenInt32s(b.Value, data[ReqHeaderLen+4*h.N:])
+		b.Value = widenInt32s(b.Value, data[hl+4*h.N:])
 	} else {
 		b.Value = arena.Filled(b.Value, h.N, 1)
 	}

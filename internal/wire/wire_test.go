@@ -79,6 +79,85 @@ func TestRequestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRequestTaggedRoundTrip covers the handle extension: tagged
+// frames carry list_id/list_version through both decode forms, cost
+// exactly HandleExtLen extra bytes, and anonymous frames are
+// byte-identical to the pre-extension format.
+func TestRequestTaggedRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 4096} {
+		for _, withValues := range []bool{false, true} {
+			next, value := buildList(n)
+			if !withValues {
+				value = nil
+			}
+			var head int64
+			if n > 0 {
+				head = int64(n - 1)
+			}
+			tagged, err := AppendRequestTagged(nil, OpRank, 9, head, next, value, 0xDEADBEEF, 7)
+			if err != nil {
+				t.Fatalf("n=%d values=%v: encode: %v", n, withValues, err)
+			}
+			anon, err := AppendRequest(nil, OpRank, 9, head, next, value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tagged) != len(anon)+HandleExtLen {
+				t.Fatalf("n=%d: tagged frame %d bytes, anonymous %d, want +%d", n, len(tagged), len(anon), HandleExtLen)
+			}
+			// Everything outside the flag byte and the extension is
+			// identical — the tag is purely additive.
+			if !bytes.Equal(tagged[:5], anon[:5]) || !bytes.Equal(tagged[6:ReqHeaderLen], anon[6:ReqHeaderLen]) ||
+				!bytes.Equal(tagged[ReqHeaderLen+HandleExtLen:], anon[ReqHeaderLen:]) {
+				t.Fatalf("n=%d: tagged frame diverges beyond flag + extension", n)
+			}
+			for _, mode := range []string{"decode", "read"} {
+				var b Buffer
+				var h ReqHeader
+				var err error
+				if mode == "decode" {
+					h, err = DecodeRequest(tagged, &b, 0)
+				} else {
+					h, err = ReadRequest(bytes.NewReader(tagged), &b, 0)
+				}
+				if err != nil {
+					t.Fatalf("n=%d values=%v %s: %v", n, withValues, mode, err)
+				}
+				if !h.HasHandle || h.ListID != 0xDEADBEEF || h.ListVersion != 7 {
+					t.Fatalf("n=%d %s: handle fields %+v", n, mode, h)
+				}
+				if h.Op != OpRank || h.DeadlineMs != 9 || int64(h.Head) != head || h.N != n || h.HasValues != withValues {
+					t.Fatalf("n=%d values=%v %s: header %+v", n, withValues, mode, h)
+				}
+				if h.FrameLen() != len(tagged) {
+					t.Fatalf("n=%d %s: FrameLen %d, want %d", n, mode, h.FrameLen(), len(tagged))
+				}
+				for i := range next {
+					if b.Next[i] != next[i] {
+						t.Fatalf("n=%d %s: Next[%d] = %d, want %d", n, mode, i, b.Next[i], next[i])
+					}
+				}
+			}
+		}
+	}
+
+	// A tagged frame truncated inside the extension is ErrTruncated in
+	// both decode forms.
+	next, _ := buildList(8)
+	frame, err := AppendRequestTagged(nil, OpRank, 0, 0, next, nil, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := frame[:ReqHeaderLen+HandleExtLen-3]
+	var b Buffer
+	if _, err := DecodeRequest(short, &b, 0); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated extension: DecodeRequest err = %v, want ErrTruncated", err)
+	}
+	if _, err := ReadRequest(bytes.NewReader(short), &b, 0); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated extension: ReadRequest err = %v, want ErrTruncated", err)
+	}
+}
+
 func TestResponseRoundTrip(t *testing.T) {
 	for _, n := range []int{0, 1, 5, 4096} {
 		_, result := buildList(n)

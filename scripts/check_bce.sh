@@ -1,11 +1,15 @@
 #!/bin/sh
-# BCE/codegen gate for the lane-interleaved traversal kernels.
+# BCE/codegen gate for the traversal kernels — the lane-interleaved
+# chase loops AND the sequential reorder-cache kernels (SeqSum,
+# SeqScanAdd, SeqScanOp, SeqRank in seq.go), which the Server's warm
+# hit path runs per request and which must stream at memcpy-class
+# speed.
 #
 # internal/kernel promises that its hot loops carry no
-# compiler-inserted bounds checks: data-dependent gathers go through
-# unchecked loads guarded by one explicit range test per followed link
-# (see internal/kernel/ptr.go and DESIGN.md, "Vector lanes in
-# software"). This script holds the package to that promise by
+# compiler-inserted bounds checks: data-dependent gathers and scatters
+# go through unchecked loads/stores guarded by one explicit range test
+# per followed link or permutation entry (see internal/kernel/ptr.go
+# and DESIGN.md, "Vector lanes in software"). This script holds the package to that promise by
 # compiling it with the SSA check_bce debug pass, which prints a
 # "Found IsInBounds" / "Found IsSliceInBounds" line for every bounds
 # check that survives optimization, and failing if any does. The Go

@@ -55,19 +55,39 @@ const (
 	OpRank Op = iota
 	// OpScan asks for the exclusive integer-addition scan (see Scan).
 	OpScan
+	// OpScanOp asks for the exclusive scan under the request's ScanOp
+	// operator and Identity (see ScanOpWith). Requests with OpScanOp
+	// must set ScanOp.
+	OpScanOp
 )
 
 // Request is one unit of work submitted to a Server.
 type Request struct {
-	// Op selects rank or scan.
+	// Op selects rank, scan, or generic-operator scan.
 	Op Op
-	// List is the problem; it must be non-nil. The serving engines may
-	// temporarily mutate the list in place (the sublist algorithm cuts
-	// it at the splitters and restores it before completing), so a
-	// list must not be shared between requests that can be in flight
-	// at the same time, and must not be read or mutated by the caller
-	// until Wait returns. It is never retained past completion.
+	// List is the problem; exactly one of List and Handle must be
+	// non-nil. The serving engines may temporarily mutate the list in
+	// place (the sublist algorithm cuts it at the splitters and
+	// restores it before completing), so a list must not be shared
+	// between requests that can be in flight at the same time, and
+	// must not be read or mutated by the caller until Wait returns. It
+	// is never retained past completion.
 	List *List
+	// Handle names a list registered with this server (Server.Register)
+	// in place of List: repeat traffic on the same handle becomes
+	// eligible for the reorder cache, after which rank requests are
+	// served by copying the cached rank table and scans by the
+	// streaming sequential kernels — no link is chased at all. A
+	// handle registered with a different server fails with
+	// ErrBadRequest.
+	Handle *Handle
+	// ScanOp and Identity define the OpScanOp operator: an associative
+	// op folded in list order from identity (non-commutative operators
+	// are safe). Ignored for other ops; a nil ScanOp fails OpScanOp
+	// requests with ErrBadRequest. OpScanOp is an in-process API only —
+	// functions do not cross the wire protocol.
+	ScanOp   func(a, b int64) int64
+	Identity int64
 	// Dst receives the result and must have length List.Len(). A nil
 	// Dst asks the server to allocate the result (off the
 	// zero-allocation contract); Ticket.Wait returns it either way.
@@ -192,6 +212,20 @@ type ServerOptions struct {
 	// WarmSizes pre-grows the fleet for problems of these sizes
 	// before the server starts, exactly as Server.Warm would.
 	WarmSizes []int
+	// ReorderAfter is the serve count on one handle (within one
+	// version) after which its shard builds a reordered layout, making
+	// subsequent requests on the handle memcpy/streaming-fast (see
+	// Handle and DESIGN.md, "The reorder cache"). 0 selects the default
+	// of 2 — the second serve of repeat traffic pays the amortized
+	// re-layout, the third is warm; negative disables the reorder
+	// cache entirely.
+	ReorderAfter int
+	// ReorderBudgetBytes bounds the total bytes of cached reordered
+	// layouts across the server (24 bytes per element per cached
+	// handle), split evenly among the shards, each evicting
+	// least-recently-used layouts to stay under its share. 0 selects
+	// the default of 256 MiB; negative disables the reorder cache.
+	ReorderBudgetBytes int64
 	// ValidateInputs runs a cheap structural check on every list
 	// before serving it — every link in range, exactly one tail
 	// self-loop, head in range — failing the request with ErrBadRequest
@@ -237,6 +271,15 @@ type ServerStats struct {
 	// serving daemon's /metrics can show where backpressure is
 	// building before it turns into rejections.
 	BinQueued []int64
+	// Reorder-cache counters (see Handle). Every handle-request serve
+	// is a hit (served from a cached layout by the sequential kernels)
+	// or a miss (served cold by the lane kernels); ReorderBuilds
+	// counts layouts published, ReorderEvictions layouts dropped for
+	// budget (invalidations are not evictions).
+	ReorderHits, ReorderMisses, ReorderBuilds, ReorderEvictions int64
+	// ReorderBytes is the instantaneous total bytes of cached layouts —
+	// a gauge, always ≤ the configured budget.
+	ReorderBytes int64
 }
 
 // Server is a long-lived fleet of warm engines serving rank and scan
@@ -286,6 +329,8 @@ type shard struct {
 	// validate enables the cheap pre-serve structural check
 	// (ServerOptions.ValidateInputs).
 	validate bool
+	// cache is this shard's reorder cache (see handle.go).
+	cache reorderCache
 
 	served     atomic.Int64
 	dispatches atomic.Int64
@@ -322,6 +367,17 @@ func NewServer(opt ServerOptions) *Server {
 	policy := fleet.Block
 	if opt.Reject {
 		policy = fleet.Reject
+	}
+	reorderAfter := opt.ReorderAfter
+	if reorderAfter == 0 {
+		reorderAfter = 2
+	}
+	reorderBudget := opt.ReorderBudgetBytes
+	if reorderBudget == 0 {
+		reorderBudget = 256 << 20
+	}
+	if reorderAfter < 0 || reorderBudget < 0 {
+		reorderAfter, reorderBudget = 0, 0 // cache disabled
 	}
 	s := &Server{bins: fleet.NewBins(bounds)}
 	s.tickets.New = func() *Ticket {
@@ -367,6 +423,13 @@ func NewServer(opt ServerOptions) *Server {
 			sh.engines[w] = NewEngine()
 			sh.engines[w].SetPool(sh.pool)
 		}
+		// Each shard polices its even share of the reorder budget, so
+		// the summed cached bytes never exceed the configured total.
+		share64 := reorderBudget / int64(nb)
+		if b == nb-1 {
+			share64 = reorderBudget - share64*int64(nb-1)
+		}
+		sh.cache.init(reorderAfter, share64)
 		s.shards[b] = sh
 	}
 	s.Warm(opt.WarmSizes...)
@@ -421,10 +484,27 @@ func (s *Server) submit(req Request) (*Ticket, error) {
 	s.submitted.Add(1)
 	t := s.tickets.Get()
 	t.req = req
-	if req.List == nil || (req.Dst != nil && len(req.Dst) != req.List.Len()) {
+	// Exactly one problem source: a bare List, or a Handle registered
+	// with this server.
+	var n int
+	switch {
+	case req.Handle != nil:
+		if req.List != nil || req.Handle.srv != s {
+			return s.fail(t, ErrBadRequest), ErrBadRequest
+		}
+		n = req.Handle.n
+	case req.List != nil:
+		n = req.List.Len()
+	default:
 		return s.fail(t, ErrBadRequest), ErrBadRequest
 	}
-	if req.List.Len() == 0 {
+	if req.Dst != nil && len(req.Dst) != n {
+		return s.fail(t, ErrBadRequest), ErrBadRequest
+	}
+	if req.Op == OpScanOp && req.ScanOp == nil {
+		return s.fail(t, ErrBadRequest), ErrBadRequest
+	}
+	if n == 0 {
 		// Nothing to do; complete (and count as served) in place.
 		s.trivial.Add(1)
 		t.done <- struct{}{}
@@ -441,7 +521,10 @@ func (s *Server) submit(req Request) (*Ticket, error) {
 	if t.cancel.Canceled() {
 		return s.expire(t), t.err
 	}
-	sh := s.shards[s.bins.Index(req.List.Len())]
+	sh := s.shards[s.bins.Index(n)]
+	if req.Handle != nil {
+		sh = req.Handle.sh // routing fixed at registration
+	}
 	if err := sh.q.Put(t); err != nil {
 		if errors.Is(err, fleet.ErrClosed) {
 			return s.fail(t, ErrServerClosed), ErrServerClosed
@@ -559,6 +642,14 @@ func (s *Server) Stats() ServerStats {
 		st.Rejected += sh.rejected.Load()
 		st.Expired += sh.expired.Load()
 		st.Poisoned += sh.poisoned.Load()
+		rc := &sh.cache
+		st.ReorderHits += rc.hits.Load()
+		st.ReorderMisses += rc.misses.Load()
+		st.ReorderBuilds += rc.builds.Load()
+		st.ReorderEvictions += rc.evictions.Load()
+		rc.mu.Lock()
+		st.ReorderBytes += rc.bytes
+		rc.mu.Unlock()
 	}
 	return st
 }
@@ -660,6 +751,10 @@ func (sh *shard) run(t *Ticket, e *Engine, procs int) {
 		return
 	}
 	req := &t.req
+	if req.Handle != nil {
+		sh.runHandle(t, e, procs)
+		return
+	}
 	if sh.validate {
 		if err := sh.checkList(req.List, procs); err != nil {
 			t.err = err
@@ -675,6 +770,8 @@ func (sh *shard) run(t *Ticket, e *Engine, procs int) {
 	switch req.Op {
 	case OpScan:
 		e.ScanInto(req.Dst, req.List, opt)
+	case OpScanOp:
+		e.ScanOpInto(req.Dst, req.List, req.ScanOp, req.Identity, opt)
 	default:
 		e.RankInto(req.Dst, req.List, opt)
 	}

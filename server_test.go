@@ -450,4 +450,45 @@ func BenchmarkServerThroughput(b *testing.B) {
 			}
 		})
 	}
+
+	// The reorder-cache leg: the same six large lists as repeat
+	// traffic through handles. After the one-time re-layout, every
+	// rank is a memcpy of the cached rank table — the acceptance
+	// target is ≥5x over server-large-lanes at 0 allocs/op.
+	b.Run("server-large-reorder-warm", func(b *testing.B) {
+		setupLarge()
+		s := NewServer(ServerOptions{
+			Procs:              4,
+			WarmSizes:          []int{eachLarge},
+			ReorderAfter:       1,
+			ReorderBudgetBytes: 512 << 20, // all six layouts fit
+		})
+		defer s.Close()
+		handles := make([]*Handle, nLarge)
+		for j := range large {
+			handles[j] = s.Register(large[j])
+		}
+		tickets := make([]*Ticket, nLarge)
+		serve := func() {
+			for j := range handles {
+				tickets[j] = s.Submit(Request{Op: OpRank, Handle: handles[j], Dst: largeDsts[j]})
+			}
+			for _, tk := range tickets {
+				if _, err := tk.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		serve() // cold: builds every layout
+		serve() // warm
+		if st := s.Stats(); st.ReorderBuilds != nLarge {
+			b.Fatalf("expected %d layout builds before measuring, got %d", nLarge, st.ReorderBuilds)
+		}
+		b.SetBytes(8 * nLarge * eachLarge)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serve()
+		}
+	})
 }
