@@ -219,3 +219,155 @@ func TestChaosSoak(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestChaosSoakSegmented soaks cross-shard segmented dispatch under
+// the same injected faults: parents fan sub-requests across a small
+// Reject-mode fleet while the chaos harness panics pool workers
+// (striking coalesced sub-request batches), engine phase boundaries
+// and kernel strips (striking the orchestrator's inline boundary
+// rank). Every parent ticket must complete in exactly one failure
+// domain, the accounting identity must balance with the sub-request
+// traffic folded in, served results must stay exact, and nothing —
+// orchestrator goroutines included — may outlive Close.
+func TestChaosSoakSegmented(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := NewServer(ServerOptions{
+		Procs:       4,
+		BinBounds:   []int{1 << 12},
+		QueueDepth:  16,
+		Reject:      true,
+		AutoSegment: 1 << 12, // 20k-element lists auto-split into 5 segments
+		WarmSizes:   []int{1 << 12, 20000},
+	})
+	chaos.ArmPanic(chaos.PointChunk, 200)
+	chaos.ArmPanic(chaos.PointPhase2, 60)
+	chaos.ArmPanic(chaos.PointWorker, 800)
+	chaos.ArmDelay(chaos.PointPhase1, 100*time.Microsecond, 25)
+	defer chaos.Disarm()
+
+	const (
+		submitters   = 4
+		perSubmitter = 400
+	)
+	var submitted, served, rejected, expired, poisoned, other atomic.Int64
+	// Parents guaranteed to reach segmented dispatch (no deadline that
+	// could expire them at admission) vs. all segmentable parents.
+	var segSure, segMaybe atomic.Int64
+	var wg sync.WaitGroup
+	classify := func(err error) {
+		switch {
+		case err == nil:
+			served.Add(1)
+		case errors.Is(err, ErrBackpressure) || errors.Is(err, ErrBadRequest) || errors.Is(err, ErrServerClosed):
+			rejected.Add(1)
+		case errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, ErrCanceled):
+			expired.Add(1)
+		case errors.Is(err, ErrPanic):
+			poisoned.Add(1)
+		default:
+			other.Add(1)
+			t.Errorf("unclassifiable error: %v", err)
+		}
+	}
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(g)*0x517cc1b727220a95 + 3)
+			good := NewRandomList(20000, uint64(g)+21)
+			want := serverRef(OpRank, good)
+			poison := NewOrderedList(20000)
+			poison.Next[100] = 500 // orphans 101..499 inside segment 0
+			small := NewRandomList(600, uint64(g)+22)
+			for i := 0; i < perSubmitter; i++ {
+				req := Request{Op: OpRank}
+				kind := r.Intn(100)
+				var wantRanks []int64
+				switch {
+				case kind < 10: // racing deadline across the two-phase fan
+					req.List = good
+					req.Segments = 2 + r.Intn(5)
+					req.Deadline = time.Now().Add(time.Duration(r.Intn(3000)) * time.Microsecond)
+					segMaybe.Add(1)
+				case kind < 20: // poisoned segment sub-request
+					req.List = poison
+					req.Segments = 4
+					segSure.Add(1)
+					segMaybe.Add(1)
+				case kind < 30: // client cancellation race
+					req.List = good
+					req.Segments = 4
+					segSure.Add(1)
+					segMaybe.Add(1)
+				case kind < 40: // small monolithic chaff on the same fleet
+					req.List = small
+				default: // healthy segmented traffic, explicit or auto-split
+					req.List = good
+					if kind < 70 {
+						req.Segments = 2 + r.Intn(5)
+					}
+					wantRanks = want
+					segSure.Add(1)
+					segMaybe.Add(1)
+				}
+				tk := s.Submit(req)
+				submitted.Add(1)
+				if kind >= 20 && kind < 30 {
+					tk.Cancel()
+					wantRanks = nil
+				}
+				got, err := tk.Wait()
+				classify(err)
+				if err == nil && wantRanks != nil && i%32 == 0 {
+					for v := range wantRanks {
+						if got[v] != wantRanks[v] {
+							t.Errorf("served segmented request corrupted: rank[%d] = %d, want %d", v, got[v], wantRanks[v])
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Close()
+
+	st := s.Stats()
+	t.Logf("segmented soak: submitted=%d served=%d rejected=%d expired=%d poisoned=%d segmented=%d subrequests=%d injected(worker=%d phase2=%d chunk=%d)",
+		st.Submitted, st.Served, st.Rejected, st.Expired, st.Poisoned, st.Segmented, st.SegSubmits,
+		chaos.Fired(chaos.PointWorker), chaos.Fired(chaos.PointPhase2), chaos.Fired(chaos.PointChunk))
+
+	if other.Load() != 0 {
+		t.Fatalf("%d tickets completed with unclassifiable errors", other.Load())
+	}
+	// The server-side identity must balance exactly even though the
+	// sub-request traffic (including SubmitTimeout retries under
+	// backpressure) is invisible to the clients.
+	if st.Submitted != st.Served+st.Rejected+st.Expired+st.Poisoned {
+		t.Errorf("identity violated: submitted %d != served %d + rejected %d + expired %d + poisoned %d",
+			st.Submitted, st.Served, st.Rejected, st.Expired, st.Poisoned)
+	}
+	// Every deadline-free segmentable parent was diverted; deadline
+	// parents divert only if they survive admission.
+	if st.Segmented < segSure.Load() || st.Segmented > segMaybe.Load() {
+		t.Errorf("Segmented = %d, want within [%d, %d]", st.Segmented, segSure.Load(), segMaybe.Load())
+	}
+	if st.SegSubmits < 2*st.Segmented {
+		t.Errorf("SegSubmits = %d for %d parents; every parent fans at least two sub-requests", st.SegSubmits, st.Segmented)
+	}
+	if poisoned.Load() == 0 {
+		t.Error("no parent was poisoned under injected faults + poisoned lists")
+	}
+	if served.Load() == 0 {
+		t.Error("no segmented request was served")
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before server, %d after Close", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}

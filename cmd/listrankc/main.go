@@ -514,10 +514,36 @@ func crossCheck(client *http.Client, base string, tl tallies, taggedSent int64, 
 	fmt.Fprintf(report, "  daemon identity: %d submitted = %d served + %d rejected + %d expired + %d poisoned\n",
 		submitted, served, rejected, expired, poisoned)
 
-	expect("listrank_served_total", tl.byOutcome["served"])
-	expect("listrank_rejected_total", tl.byOutcome["rejected"])
-	expect("listrank_expired_total", tl.byOutcome["expired"])
-	expect("listrank_poisoned_total", tl.byOutcome["poisoned"])
+	segmented, _ := get("listrank_segmented_total")
+	if segmented == 0 {
+		expect("listrank_served_total", tl.byOutcome["served"])
+		expect("listrank_rejected_total", tl.byOutcome["rejected"])
+		expect("listrank_expired_total", tl.byOutcome["expired"])
+		expect("listrank_poisoned_total", tl.byOutcome["poisoned"])
+	} else {
+		// Segmented dispatch (-auto-segment) fans server-side
+		// sub-requests the client never sees, so per-bucket equality
+		// cannot hold. What does hold exactly: every admitted
+		// sub-request (seg_submits) terminates in served, expired or
+		// poisoned, so the daemon's surplus in those three buckets over
+		// the client's tallies is the sub-request count. (Rejected can
+		// additionally inflate via SubmitTimeout retries, each a fresh
+		// submission, so it only gets a lower bound.)
+		segSubmits, err := get("listrank_seg_submits_total")
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		surplus := served - tl.byOutcome["served"] +
+			expired - tl.byOutcome["expired"] +
+			poisoned - tl.byOutcome["poisoned"]
+		if surplus != segSubmits && firstErr == nil {
+			firstErr = fmt.Errorf("segmented books: served+expired+poisoned exceed client tallies by %d, want seg_submits %d", surplus, segSubmits)
+		}
+		if rejected < tl.byOutcome["rejected"] && firstErr == nil {
+			firstErr = fmt.Errorf("listrank_rejected_total = %d < client counted %d", rejected, tl.byOutcome["rejected"])
+		}
+		fmt.Fprintf(report, "  segmented dispatch: %d parents, %d sub-requests (books reconcile)\n", segmented, segSubmits)
+	}
 	expect("listrankd_quota_rejected_total", tl.byOutcome["quota"])
 	expect("listrankd_decode_errors_total", tl.byOutcome["badframe"])
 

@@ -66,6 +66,11 @@ type Scratch struct {
 	rlNext []int64
 	rl     list.List
 
+	// bl is the reusable header for the boundary-list entry points
+	// (segrank.go). It is distinct from rl because a boundary scan that
+	// recurses in its own Phase 2 uses rl at the same time.
+	bl list.List
+
 	// child is the arena for Phase 2 recursion, created on first use
 	// and reused for every later recursive call.
 	child *Scratch

@@ -1,0 +1,59 @@
+package kernel
+
+import "unsafe"
+
+// Broadcast kernels: the Phase 3 of segmented ranking (internal/
+// segment), one recursion level above the sublist engine. After each
+// segment's runs have been scanned locally and the reduced boundary
+// list has been ranked, every vertex's global prefix is its local
+// prefix combined with the boundary offset of the run it belongs to:
+//
+//	dst[i] = off[ids[i]] (+ or op) dst[i]
+//
+// The loop is a pure stream over dst/ids with one data-dependent
+// gather per element (the run-id-directed load from off), so it runs
+// at prefetcher speed with full miss-level parallelism — the segmented
+// analog of the reorder cache's sequential kernels. Like every kernel
+// in this package the gather goes through an unchecked load behind one
+// explicit range guard per element (ptr.go), so a corrupted run-id
+// table panics instead of reading outside the offset slice, and the
+// package BCE gate (scripts/check_bce.sh) holds the loops to zero
+// compiler-inserted bounds checks.
+
+// checkIDs validates the dst/ids length pairing once, so the hot loops
+// can index dst by the range variable with the check eliminated.
+func checkIDs(ldst, lids int) {
+	if ldst != lids {
+		panic("kernel: run-id and data lengths disagree")
+	}
+}
+
+// BroadcastAdd adds off[ids[i]] to dst[i] for every i — the
+// integer-addition boundary-offset broadcast. dst and ids must have
+// equal lengths; every id must index off.
+func BroadcastAdd(dst []int64, ids []int32, off []int64) {
+	checkIDs(len(dst), len(ids))
+	n := uint64(len(off))
+	ob := unsafe.SliceData(off)
+	dst = dst[:len(ids)]
+	for i, id := range ids {
+		chk(int64(id), n)
+		dst[i] += ld(ob, int64(id))
+	}
+}
+
+// BroadcastOp folds the boundary offset in on the left under an
+// arbitrary associative operator: dst[i] = op(off[ids[i]], dst[i]).
+// The offset is the scan of everything strictly preceding the run
+// head and dst[i] the fold from the run head to i, so left-folding
+// preserves list order and non-commutative operators are safe.
+func BroadcastOp(dst []int64, ids []int32, off []int64, op func(a, b int64) int64) {
+	checkIDs(len(dst), len(ids))
+	n := uint64(len(off))
+	ob := unsafe.SliceData(off)
+	dst = dst[:len(ids)]
+	for i, id := range ids {
+		chk(int64(id), n)
+		dst[i] = op(ld(ob, int64(id)), dst[i])
+	}
+}

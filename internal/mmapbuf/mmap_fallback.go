@@ -1,0 +1,28 @@
+//go:build !unix
+
+package mmapbuf
+
+import "os"
+
+// Fallback for platforms without syscall.Mmap: a heap buffer read at
+// map time and written back at unmap time for writable regions. The
+// budget then bounds heap staging instead of mapped address space —
+// same contract, weaker coherence (a region does not observe WriteAt
+// traffic to its window while mapped; the out-of-core engine never
+// does that).
+
+func mapFile(f *os.File, off, length int64, _ bool) ([]byte, error) {
+	data := make([]byte, length)
+	if _, err := f.ReadAt(data, off); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func unmapFile(f *os.File, data []byte, off int64, writable bool) error {
+	if !writable {
+		return nil
+	}
+	_, err := f.WriteAt(data, off)
+	return err
+}

@@ -1,0 +1,25 @@
+//go:build unix
+
+package mmapbuf
+
+import (
+	"os"
+	"syscall"
+)
+
+// Real mmap path: shared file mappings, so writes persist without an
+// explicit write-back and the views are coherent with ReadAt/WriteAt
+// through the unified page cache. off arrives page-aligned (Map
+// aligns it down).
+
+func mapFile(f *os.File, off, length int64, writable bool) ([]byte, error) {
+	prot := syscall.PROT_READ
+	if writable {
+		prot |= syscall.PROT_WRITE
+	}
+	return syscall.Mmap(int(f.Fd()), off, int(length), prot, syscall.MAP_SHARED)
+}
+
+func unmapFile(_ *os.File, data []byte, _ int64, _ bool) error {
+	return syscall.Munmap(data)
+}

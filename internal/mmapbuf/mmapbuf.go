@@ -1,0 +1,244 @@
+// Package mmapbuf provides file-backed, budget-accounted buffers for
+// the out-of-core segmented ranking backend: a list whose arrays
+// exceed RAM lives in spill files, and each segment's windows are
+// mapped into the address space only while that segment is being
+// worked, under a byte-exact resident budget.
+//
+// The budget counts mapped bytes — the address-space the process has
+// asked the OS to make resident on touch — rounded to page
+// granularity, which is the unit the OS actually faults in. Plain
+// ReadAt/WriteAt staging I/O goes through the page cache but is
+// reclaimable and never counts. Accounting is exact and auditable:
+// every Map reserves, every Unmap releases, Budget.Peak reports the
+// high-water mark, and a reservation over the limit fails the Map
+// with ErrBudget instead of silently overshooting.
+package mmapbuf
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ErrBudget is returned (wrapped) by Map when the reservation would
+// push resident mapped bytes over the budget's limit.
+var ErrBudget = errors.New("mmapbuf: resident budget exceeded")
+
+// Budget is a shared resident-bytes ledger. The zero limit means
+// unlimited (accounting only).
+type Budget struct {
+	mu       sync.Mutex
+	limit    int64
+	resident int64
+	peak     int64
+}
+
+// NewBudget returns a ledger with the given limit in bytes; limit <= 0
+// means unlimited.
+func NewBudget(limit int64) *Budget { return &Budget{limit: limit} }
+
+func (b *Budget) reserve(n int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.limit > 0 && b.resident+n > b.limit {
+		return fmt.Errorf("%w: %d resident + %d requested > %d limit", ErrBudget, b.resident, n, b.limit)
+	}
+	b.resident += n
+	if b.resident > b.peak {
+		b.peak = b.resident
+	}
+	return nil
+}
+
+func (b *Budget) release(n int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.resident -= n
+	if b.resident < 0 {
+		panic("mmapbuf: budget released more than reserved")
+	}
+}
+
+// Limit returns the configured limit (0 = unlimited).
+func (b *Budget) Limit() int64 { b.mu.Lock(); defer b.mu.Unlock(); return b.limit }
+
+// Resident returns the bytes currently mapped against this budget.
+func (b *Budget) Resident() int64 { b.mu.Lock(); defer b.mu.Unlock(); return b.resident }
+
+// Peak returns the high-water mark of Resident.
+func (b *Budget) Peak() int64 { b.mu.Lock(); defer b.mu.Unlock(); return b.peak }
+
+// File is a spill file whose windows can be mapped under a budget.
+// Methods are safe for concurrent use; the []byte views returned by
+// Map are coherent with ReadAt/WriteAt (one page cache) on the real
+// mmap path.
+type File struct {
+	f      *os.File
+	path   string
+	budget *Budget
+
+	mu      sync.Mutex
+	size    int64
+	regions map[*Region]struct{}
+	closed  bool
+}
+
+// Create creates (truncating) a spill file of the given size in dir,
+// charging its mapped windows to budget (nil means unaccounted and
+// unlimited). The file is removed by Close.
+func Create(dir, name string, size int64, budget *Budget) (*File, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("mmapbuf: negative size %d", size)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if budget == nil {
+		budget = NewBudget(0)
+	}
+	return &File{f: f, path: path, budget: budget, size: size, regions: make(map[*Region]struct{})}, nil
+}
+
+// Size returns the file's current size.
+func (f *File) Size() int64 { f.mu.Lock(); defer f.mu.Unlock(); return f.size }
+
+// Mapped returns the number of live regions — zero after every
+// well-behaved call, which the lifecycle tests assert.
+func (f *File) Mapped() int { f.mu.Lock(); defer f.mu.Unlock(); return len(f.regions) }
+
+// ReadAt and WriteAt are unaccounted staging I/O (page-cache backed,
+// reclaimable); they do not require or create mappings.
+func (f *File) ReadAt(p []byte, off int64) (int, error)  { return f.f.ReadAt(p, off) }
+func (f *File) WriteAt(p []byte, off int64) (int, error) { return f.f.WriteAt(p, off) }
+
+// Truncate grows or shrinks the file. It refuses while any region is
+// mapped — a shrink under a live mapping would turn loads into
+// SIGBUS.
+func (f *File) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return errors.New("mmapbuf: file is closed")
+	}
+	if len(f.regions) != 0 {
+		return fmt.Errorf("mmapbuf: truncate with %d live mappings", len(f.regions))
+	}
+	if size < 0 {
+		return fmt.Errorf("mmapbuf: negative size %d", size)
+	}
+	if err := f.f.Truncate(size); err != nil {
+		return err
+	}
+	f.size = size
+	return nil
+}
+
+// Map maps the window [off, off+length) and reserves its page-rounded
+// footprint against the budget. The mapping is shared: writes through
+// a writable region persist to the file. Fails with ErrBudget
+// (wrapped) if the reservation would exceed the limit.
+func (f *File) Map(off, length int64, writable bool) (*Region, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, errors.New("mmapbuf: file is closed")
+	}
+	if off < 0 || length < 0 || off+length > f.size {
+		return nil, fmt.Errorf("mmapbuf: window [%d,%d) outside file of %d bytes", off, off+length, f.size)
+	}
+	page := int64(os.Getpagesize())
+	aoff := off &^ (page - 1)
+	alen := length + (off - aoff)
+	footprint := (alen + page - 1) &^ (page - 1)
+	if err := f.budget.reserve(footprint); err != nil {
+		return nil, err
+	}
+	r := &Region{f: f, off: off, aoff: aoff, footprint: footprint, writable: writable}
+	if alen > 0 {
+		data, err := mapFile(f.f, aoff, alen, writable)
+		if err != nil {
+			f.budget.release(footprint)
+			return nil, err
+		}
+		r.data = data
+	}
+	f.regions[r] = struct{}{}
+	return r, nil
+}
+
+// Close unmaps any live regions, closes the file and removes it from
+// disk. Idempotent.
+func (f *File) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	live := make([]*Region, 0, len(f.regions))
+	for r := range f.regions {
+		live = append(live, r)
+	}
+	f.mu.Unlock()
+
+	var first error
+	for _, r := range live {
+		if err := r.Unmap(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := f.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	if err := os.Remove(f.path); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Region is one mapped window. The view accessors return the
+// requested window (the page-alignment slop is hidden); they must not
+// be used after Unmap.
+type Region struct {
+	f         *File
+	data      []byte // aligned mapping, starts at aoff
+	off, aoff int64
+	footprint int64
+	writable  bool
+	unmapped  bool
+}
+
+// Bytes returns the requested window as bytes.
+func (r *Region) Bytes() []byte { return r.data[r.off-r.aoff:] }
+
+// Unmap releases the mapping and its budget reservation. On the
+// fallback (non-mmap) implementation a writable region is written
+// back here. Idempotent.
+func (r *Region) Unmap() error {
+	f := r.f
+	f.mu.Lock()
+	if r.unmapped {
+		f.mu.Unlock()
+		return nil
+	}
+	r.unmapped = true
+	delete(f.regions, r)
+	f.mu.Unlock()
+
+	var err error
+	if r.data != nil {
+		err = unmapFile(f.f, r.data, r.aoff, r.writable)
+		r.data = nil
+	}
+	f.budget.release(r.footprint)
+	return err
+}

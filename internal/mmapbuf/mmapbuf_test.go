@@ -1,0 +1,206 @@
+package mmapbuf
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBudgetByteExact checks the ledger against hand-computed
+// page-rounded footprints: reserve on Map, release on Unmap, peak as
+// high-water mark.
+func TestBudgetByteExact(t *testing.T) {
+	page := int64(os.Getpagesize())
+	b := NewBudget(10 * page)
+	f, err := Create(t.TempDir(), "a.bin", 4*page, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Window [page+8, page+8+page): aligned start page, aligned length
+	// page+8, footprint 2 pages.
+	r1, err := f.Map(page+8, page, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Resident(); got != 2*page {
+		t.Fatalf("resident = %d, want %d", got, 2*page)
+	}
+	// A second window of exactly one page.
+	r2, err := f.Map(0, page, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Resident(); got != 3*page {
+		t.Fatalf("resident = %d, want %d", got, 3*page)
+	}
+	if err := r1.Unmap(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Unmap(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Resident(); got != 0 {
+		t.Fatalf("resident after unmap = %d, want 0", got)
+	}
+	if got := b.Peak(); got != 3*page {
+		t.Fatalf("peak = %d, want %d", got, 3*page)
+	}
+	// Unmap is idempotent and releases only once.
+	if err := r1.Unmap(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Resident(); got != 0 {
+		t.Fatalf("resident after double unmap = %d, want 0", got)
+	}
+}
+
+// TestBudgetEnforced checks that a reservation over the limit fails
+// the Map with ErrBudget and reserves nothing.
+func TestBudgetEnforced(t *testing.T) {
+	page := int64(os.Getpagesize())
+	b := NewBudget(page)
+	f, err := Create(t.TempDir(), "a.bin", 4*page, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Map(0, 2*page, false); !errors.Is(err, ErrBudget) {
+		t.Fatalf("Map over budget: err = %v, want ErrBudget", err)
+	}
+	if got := b.Resident(); got != 0 {
+		t.Fatalf("failed Map left %d bytes reserved", got)
+	}
+	r, err := f.Map(0, page, false)
+	if err != nil {
+		t.Fatalf("Map within budget: %v", err)
+	}
+	r.Unmap()
+}
+
+// TestWriteThroughAndCoherence writes int64s through a writable
+// region and reads them back with staging I/O.
+func TestWriteThroughAndCoherence(t *testing.T) {
+	f, err := Create(t.TempDir(), "a.bin", 1<<16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := f.Map(512, 80, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := r.Int64s()
+	if len(w) != 10 {
+		t.Fatalf("Int64s len = %d, want 10", len(w))
+	}
+	for i := range w {
+		w[i] = int64(1000 + i)
+	}
+	if err := r.Unmap(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int64, 10)
+	if _, err := f.ReadAt(Int64Bytes(got), 512); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != int64(1000+i) {
+			t.Fatalf("readback[%d] = %d, want %d", i, got[i], 1000+i)
+		}
+	}
+}
+
+// TestCloseUnmapsAndRemoves checks the lifecycle: Close unmaps every
+// live region (budget back to zero), and the file is gone from disk.
+func TestCloseUnmapsAndRemoves(t *testing.T) {
+	dir := t.TempDir()
+	page := int64(os.Getpagesize())
+	b := NewBudget(0)
+	f, err := Create(dir, "a.bin", 4*page, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Map(0, page, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Map(page, page, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Mapped(); got != 2 {
+		t.Fatalf("Mapped = %d, want 2", got)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Mapped(); got != 0 {
+		t.Fatalf("Mapped after Close = %d, want 0", got)
+	}
+	if got := b.Resident(); got != 0 {
+		t.Fatalf("resident after Close = %d, want 0", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a.bin")); !os.IsNotExist(err) {
+		t.Fatalf("spill file still on disk: %v", err)
+	}
+	// Idempotent.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGrowShrinkReuse checks the truncate path: refuse under live
+// mappings, then grow, map and write the new tail, shrink, and keep
+// serving windows within the new size.
+func TestGrowShrinkReuse(t *testing.T) {
+	page := int64(os.Getpagesize())
+	f, err := Create(t.TempDir(), "a.bin", 2*page, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	r, err := f.Map(0, page, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(8 * page); err == nil {
+		t.Fatal("Truncate under a live mapping should fail")
+	}
+	r.Int64s()[0] = 7
+	if err := r.Unmap(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow; the new tail must be mappable and writable.
+	if err := f.Truncate(8 * page); err != nil {
+		t.Fatal(err)
+	}
+	r, err = f.Map(7*page, page, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Int64s()[0] = 9
+	if err := r.Unmap(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shrink below the old tail; earlier content survives.
+	if err := f.Truncate(page); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Map(0, 2*page, false); err == nil {
+		t.Fatal("Map beyond the shrunk size should fail")
+	}
+	r, err = f.Map(0, page, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Int64s()[0]; got != 7 {
+		t.Fatalf("content after grow-then-shrink = %d, want 7", got)
+	}
+	if err := r.Unmap(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package mmapbuf
+
+import "unsafe"
+
+// Typed views of a mapped window. The window's file offset must be
+// aligned to the element size (the out-of-core layout keeps every
+// array at an 8-byte-aligned offset); a misaligned view panics rather
+// than fault on strict architectures. Trailing bytes short of a full
+// element are dropped.
+
+// Int64s returns the window as int64s.
+func (r *Region) Int64s() []int64 {
+	b := r.Bytes()
+	if len(b) < 8 {
+		return nil
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		panic("mmapbuf: window offset not 8-byte aligned")
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// Int64Bytes returns the raw byte view of v in native endianness, for
+// staging I/O (ReadAt/WriteAt) against spill files. Spill files are
+// same-machine scratch storage, never an interchange format.
+func Int64Bytes(v []int64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+}
+
+// Int32s returns the window as int32s.
+func (r *Region) Int32s() []int32 {
+	b := r.Bytes()
+	if len(b) < 4 {
+		return nil
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%4 != 0 {
+		panic("mmapbuf: window offset not 4-byte aligned")
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}

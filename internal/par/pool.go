@@ -136,10 +136,10 @@ func (ps *panicSlot) note(r any) {
 }
 
 // rethrow re-panics the recorded fault, if any, clearing the slot for
-// the next dispatch. It must run after the fan-out has fully quiesced
-// and, on a Pool, after release has freed the pool: the panic then
-// unwinds a clean dispatcher, and the pool (or the next free-function
-// call) remains dispatchable.
+// the next dispatch. It must run after the fan-out has fully
+// quiesced. Free-function fan-outs call it on their local slot; a
+// Pool instead takes the fault before release (see finishDispatch)
+// because its slot is shared across dispatches.
 func (ps *panicSlot) rethrow() {
 	if ps.val == nil {
 		return
@@ -147,6 +147,16 @@ func (ps *panicSlot) rethrow() {
 	wp := ps.val
 	ps.val = nil
 	panic(wp)
+}
+
+// take removes and returns the recorded fault, leaving the slot clean
+// for the next dispatch.
+func (ps *panicSlot) take() *WorkerPanic {
+	ps.mu.Lock()
+	wp := ps.val
+	ps.val = nil
+	ps.mu.Unlock()
+	return wp
 }
 
 // Pool is a persistent set of worker goroutines servicing chunked,
@@ -362,19 +372,33 @@ func (pl *Pool) release() {
 // before the epoch advance, read after observing it); the outstanding
 // count plus doneMu order the workers' writes before the caller
 // continues. Worker panics — including worker 0's own — are contained
-// into the fault slot and rethrown here (LIFO defers: await the
-// fan-out, release the pool, then rethrow), so a fault unwinds a
-// clean, reusable pool into the caller's recover.
+// into the fault slot and rethrown by finishDispatch, so a fault
+// unwinds a clean, reusable pool into the caller's recover.
 func (pl *Pool) dispatch() {
-	defer pl.faults.rethrow()
-	defer pl.release()
+	defer pl.finishDispatch()
 	pl.outstanding.Store(int64(pl.procs - 1))
 	pl.mu.Lock()
 	pl.epoch++
 	pl.mu.Unlock()
 	pl.cond.Broadcast()
-	defer pl.await()
 	pl.runGuarded(0)
+}
+
+// finishDispatch completes a dispatch: await the fan-out, take
+// ownership of any recorded fault, free the pool, and only then
+// re-panic. The fault leaves the shared slot strictly before release
+// publishes the pool — once busy clears, another goroutine may start
+// the next dispatch immediately, and with the old ordering (release,
+// then read the slot) that dispatch's fault notes raced with, and
+// could be stolen by, this one's rethrow. The panic itself still
+// fires after release so it unwinds a clean, dispatchable pool.
+func (pl *Pool) finishDispatch() {
+	pl.await()
+	wp := pl.faults.take()
+	pl.release()
+	if wp != nil {
+		panic(wp)
+	}
 }
 
 // await blocks until every worker has finished the current job.

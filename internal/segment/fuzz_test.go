@@ -1,0 +1,86 @@
+package segment
+
+import "testing"
+
+// FuzzSegmentStitch is the differential stitching fuzzer: a
+// fuzz-generated valid list (a permutation chain) is ranked under
+// fuzz-chosen cut points — arbitrary nondecreasing cuts, including
+// empty and single-vertex segments, the geometry the even-cut tests
+// can never produce — and every result must match the serial oracle
+// exactly, with none of the structural guards firing (the input is
+// a single chain by construction, so any panic is a stitching bug).
+func FuzzSegmentStitch(f *testing.F) {
+	f.Add(uint64(1), uint16(16), []byte{3, 5, 9})
+	f.Add(uint64(42), uint16(64), []byte{0, 0, 255, 1})
+	f.Add(uint64(7), uint16(0), []byte{})
+	f.Add(uint64(99), uint16(256), []byte{128, 128, 128})
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint16, cutBytes []byte) {
+		n := int(nRaw)%257 + 1
+		// A chain visiting a seeded permutation: always a valid list.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		x := seed | 1
+		step := func() uint64 {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			return x
+		}
+		for i := n - 1; i > 0; i-- {
+			j := int(step() % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+		next := make([]int64, n)
+		value := make([]int64, n)
+		for i := 0; i < n-1; i++ {
+			next[order[i]] = int64(order[i+1])
+		}
+		next[order[n-1]] = int64(order[n-1])
+		for i := range value {
+			value[i] = int64(step() % 1000)
+		}
+		head := int64(order[0])
+
+		// Fuzz-chosen nondecreasing cuts over [0, n]; each byte advances
+		// the previous cut by an arbitrary legal amount, so zero bytes
+		// yield empty segments.
+		cuts := []int{0}
+		cur := 0
+		for _, b := range cutBytes {
+			if len(cuts) > 80 {
+				break
+			}
+			cur += int(b) % (n - cur + 1)
+			cuts = append(cuts, cur)
+		}
+		cuts = append(cuts, n)
+		plan, err := PlanFromCuts(n, cuts)
+		if err != nil {
+			t.Fatalf("constructed cuts rejected: %v", err)
+		}
+
+		wantRank, wantScan, wantOp := oracle(next, value, head)
+		sc := NewScratch()
+		got := make([]int64, n)
+		sc.RankInto(got, next, head, plan, Options{Procs: 2})
+		for i := range got {
+			if got[i] != wantRank[i] {
+				t.Fatalf("n=%d cuts=%v: rank[%d] = %d, want %d", n, cuts, i, got[i], wantRank[i])
+			}
+		}
+		sc.ScanInto(got, next, value, head, plan, Options{Procs: 2})
+		for i := range got {
+			if got[i] != wantScan[i] {
+				t.Fatalf("n=%d cuts=%v: scan[%d] = %d, want %d", n, cuts, i, got[i], wantScan[i])
+			}
+		}
+		sc.ScanOpInto(got, next, value, head, maxOp, -1<<62, plan, Options{Procs: 2})
+		for i := range got {
+			if got[i] != wantOp[i] {
+				t.Fatalf("n=%d cuts=%v: opscan[%d] = %d, want %d", n, cuts, i, got[i], wantOp[i])
+			}
+		}
+	})
+}

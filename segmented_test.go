@@ -1,0 +1,103 @@
+package listrank
+
+import (
+	"strconv"
+	"testing"
+
+	"listrank/internal/segment"
+)
+
+// segShape builds the differential suite's list shapes: one long
+// cache-friendly chain crossing every boundary once (ordered), its
+// backward twin (reversed), an adversarial permutation whose segments
+// shatter into many short runs (random), and a strided chain that
+// leaves its segment on almost every link (stride) — the worst
+// boundary-list blowup a single chain can produce.
+func segShape(t *testing.T, kind string, n int, seed uint64) *List {
+	t.Helper()
+	switch kind {
+	case "ordered":
+		return NewOrderedList(n)
+	case "reversed":
+		order := make([]int, n)
+		for i := range order {
+			order[i] = n - 1 - i
+		}
+		return FromOrder(order)
+	case "random":
+		return NewRandomList(n, seed)
+	case "stride":
+		// Visit 0, k, 2k, ... mod n with gcd(k, n) = 1.
+		k := 17
+		for n%k == 0 {
+			k++
+		}
+		order := make([]int, n)
+		for i := range order {
+			order[i] = (i * k) % n
+		}
+		return FromOrder(order)
+	default:
+		t.Fatalf("unknown shape %q", kind)
+		return nil
+	}
+}
+
+// TestSegmentedMatchesMonolithic is the public differential suite:
+// every segmented entry point must agree exactly with the monolithic
+// serial oracle for every (shape, S, n, procs) cell, including sizes
+// chosen to land on, just under and just over the even cut points.
+func TestSegmentedMatchesMonolithic(t *testing.T) {
+	for _, S := range []int{1, 2, 3, 7, 64} {
+		for _, kind := range []string{"ordered", "reversed", "random", "stride"} {
+			sizes := []int{1, 2, 3, 37*S - 1, 37 * S, 37*S + 1}
+			for _, n := range sizes {
+				l := segShape(t, kind, n, uint64(n)*31+uint64(S))
+				affineValues(l, uint64(S)*1000+uint64(n))
+				wantRank := RankWith(l, Options{Algorithm: Serial})
+				wantScan := ScanWith(l, Options{Algorithm: Serial})
+				wantOp := ScanOpWith(l, affineCompose, affineID, Options{Algorithm: Serial})
+				for _, procs := range []int{1, 4} {
+					name := kind + "/S=" + strconv.Itoa(S) + "/n=" + strconv.Itoa(n) + "/p=" + strconv.Itoa(procs)
+					opt := SegmentedOptions{Segments: S, Procs: procs, Seed: 5}
+					checkSlice(t, name+"/rank", SegmentedRank(l, opt), wantRank)
+					checkSlice(t, name+"/scan", SegmentedScan(l, opt), wantScan)
+					got := make([]int64, n)
+					SegmentedScanOpInto(got, l, affineCompose, affineID, opt)
+					checkSlice(t, name+"/scanop", got, wantOp)
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentedZeroAllocSteadyState pins the warm-path contract of
+// the segmented engine: after warmup, a steady trace of rank, scan
+// and operator-scan calls (arena-backed plan and staging tables,
+// closure-free fan-out) performs zero heap allocations. The Scratch
+// is held explicitly, like core's own zero-alloc gate: the public
+// entry points add only a sync.Pool checkout on top, and under the
+// race detector sync.Pool deliberately drops a quarter of all Puts,
+// so the pooled path regrows scratches by design under -race.
+func TestSegmentedZeroAllocSteadyState(t *testing.T) {
+	l := NewRandomList(50000, 11)
+	affineValues(l, 3)
+	dst := make([]int64, l.Len())
+	sc := segment.NewScratch()
+	// Procs 0 (= GOMAXPROCS) keeps every dispatch within the shared
+	// pool's resident workers; an explicit Procs wider than the machine
+	// would legitimately fall back to spawn-per-call fan-outs.
+	opt := segment.Options{Seed: 2}
+	trace := func() {
+		plan := sc.EvenPlan(l.Len(), 8)
+		sc.RankInto(dst, l.Next, l.Head, plan, opt)
+		sc.ScanInto(dst, l.Next, l.Value, l.Head, plan, opt)
+		sc.ScanOpInto(dst, l.Next, l.Value, l.Head, affineCompose, affineID, plan, opt)
+	}
+	for i := 0; i < 3; i++ {
+		trace()
+	}
+	if allocs := testing.AllocsPerRun(5, trace); allocs != 0 {
+		t.Errorf("steady segmented trace: %v allocs per 3-call trace, want 0", allocs)
+	}
+}

@@ -81,6 +81,18 @@ type Request struct {
 	// handle registered with a different server fails with
 	// ErrBadRequest.
 	Handle *Handle
+	// Segments, when > 1, asks for segmented service: the list is cut
+	// into that many contiguous segments, each segment's run walk and
+	// offset broadcast served as its own sub-request on the shard
+	// fleet, with the reduced boundary list ranked in between (see
+	// internal/segment and DESIGN.md, "Ranking beyond one arena").
+	// 0 and 1 serve monolithically; negative values, or Segments with
+	// Handle, fail with ErrBadRequest. Segmented requests never mutate
+	// the list, validate its structure as a side effect, and ignore
+	// Opt.Algorithm; they are off the zero-allocation steady-state
+	// contract, and one that races Close may be finished inline by its
+	// orchestrator rather than on the fleet.
+	Segments int
 	// ScanOp and Identity define the OpScanOp operator: an associative
 	// op folded in list order from identity (non-commutative operators
 	// are safe). Ignored for other ops; a nil ScanOp fails OpScanOp
@@ -111,6 +123,10 @@ type Request struct {
 	// The context is polled, not watched — no goroutine is spawned per
 	// request — and is released at completion.
 	Ctx context.Context
+
+	// seg marks a segment sub-request spawned by the segmented
+	// orchestrator (see server_segment.go); never set by callers.
+	seg *segTask
 }
 
 // Errors reported by Ticket.Wait.
@@ -209,6 +225,13 @@ type ServerOptions struct {
 	// MaxCoalesce bounds how many requests one dispatch packs
 	// (default 64).
 	MaxCoalesce int
+	// AutoSegment, when positive, serves any bare-List request longer
+	// than this threshold segmented — cut into ceil(n/AutoSegment)
+	// contiguous segments (at most 64) fanned across the shard fleet
+	// as sub-requests, exactly as if Request.Segments had been set.
+	// Handle requests are never auto-split. 0 disables
+	// auto-segmentation.
+	AutoSegment int
 	// WarmSizes pre-grows the fleet for problems of these sizes
 	// before the server starts, exactly as Server.Warm would.
 	WarmSizes []int
@@ -263,6 +286,12 @@ type ServerStats struct {
 	// Poisoned counts requests whose serve panicked — the fault was
 	// contained to the request's own ticket (ErrPanic).
 	Poisoned int64
+	// Segmented counts requests served by segmented (cross-shard)
+	// dispatch — each such parent also lands in exactly one of the four
+	// identity buckets above — and SegSubmits counts the per-segment
+	// sub-requests those parents spawned, each a full submission of its
+	// own (so they appear in Submitted and the per-bin counters too).
+	Segmented, SegSubmits int64
 	// BinServed counts successfully served requests per size bin
 	// (trivial zero-length completions appear in no bin).
 	BinServed []int64
@@ -303,6 +332,23 @@ type Server struct {
 	// Submitted = Served + Rejected + Expired + Poisoned identity
 	// holds.
 	trivial atomic.Int64
+
+	// Segmented (cross-shard) dispatch. procs is the resolved worker
+	// budget (the orchestrator's inline phases use it); autoSegment is
+	// ServerOptions.AutoSegment. Parents complete on their orchestrator
+	// goroutine, outside any shard, so their outcome buckets are these
+	// server-level counters; segActive bounds live orchestrators
+	// (beyond the cap a parent degrades to monolithic service), and
+	// segWG lets Close wait for them.
+	procs       int
+	autoSegment int
+	segmented   atomic.Int64
+	segSubmits  atomic.Int64
+	segServed   atomic.Int64
+	segExpired  atomic.Int64
+	segPoisoned atomic.Int64
+	segActive   atomic.Int64
+	segWG       sync.WaitGroup
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -380,6 +426,8 @@ func NewServer(opt ServerOptions) *Server {
 		reorderAfter, reorderBudget = 0, 0 // cache disabled
 	}
 	s := &Server{bins: fleet.NewBins(bounds)}
+	s.procs = procs
+	s.autoSegment = opt.AutoSegment
 	s.tickets.New = func() *Ticket {
 		return &Ticket{srv: s, done: make(chan struct{}, 1)}
 	}
@@ -488,6 +536,10 @@ func (s *Server) submit(req Request) (*Ticket, error) {
 	// with this server.
 	var n int
 	switch {
+	case req.seg != nil:
+		// A segment sub-request spawned by serveSegmented: its window
+		// length routes it to a size bin like any other request.
+		n = int(req.seg.st.Hi - req.seg.st.Lo)
 	case req.Handle != nil:
 		if req.List != nil || req.Handle.srv != s {
 			return s.fail(t, ErrBadRequest), ErrBadRequest
@@ -502,6 +554,9 @@ func (s *Server) submit(req Request) (*Ticket, error) {
 		return s.fail(t, ErrBadRequest), ErrBadRequest
 	}
 	if req.Op == OpScanOp && req.ScanOp == nil {
+		return s.fail(t, ErrBadRequest), ErrBadRequest
+	}
+	if req.Segments < 0 || (req.Segments > 1 && req.Handle != nil) {
 		return s.fail(t, ErrBadRequest), ErrBadRequest
 	}
 	if n == 0 {
@@ -520,6 +575,19 @@ func (s *Server) submit(req Request) (*Ticket, error) {
 	t.cancel.Arm(req.Ctx, req.Deadline)
 	if t.cancel.Canceled() {
 		return s.expire(t), t.err
+	}
+	if req.seg == nil && req.Handle == nil {
+		if S := s.resolveSegments(req.Segments, n); S > 1 {
+			if s.segActive.Add(1) <= maxSegmented {
+				s.segmented.Add(1)
+				s.segWG.Add(1)
+				go s.serveSegmented(t, S)
+				return t, nil
+			}
+			// Orchestrator cap reached: degrade gracefully to monolithic
+			// service rather than invent a new failure mode.
+			s.segActive.Add(-1)
+		}
 	}
 	sh := s.shards[s.bins.Index(n)]
 	if req.Handle != nil {
@@ -618,6 +686,10 @@ func (s *Server) Close() {
 		sh.q.Close()
 	}
 	s.wg.Wait()
+	// Orchestrators waiting on sub-requests have them all by now (the
+	// dispatchers drained before exiting); any later wave fails
+	// admission and is finished inline, so this wait is bounded.
+	s.segWG.Wait()
 	for _, sh := range s.shards {
 		sh.pool.Close()
 	}
@@ -626,12 +698,15 @@ func (s *Server) Close() {
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() ServerStats {
 	st := ServerStats{
-		Submitted: s.submitted.Load(),
-		Rejected:  s.rejected.Load(),
-		Expired:   s.expired.Load(),
-		Served:    s.trivial.Load(),
-		BinServed: make([]int64, len(s.shards)),
-		BinQueued: make([]int64, len(s.shards)),
+		Submitted:  s.submitted.Load(),
+		Rejected:   s.rejected.Load(),
+		Expired:    s.expired.Load() + s.segExpired.Load(),
+		Served:     s.trivial.Load() + s.segServed.Load(),
+		Poisoned:   s.segPoisoned.Load(),
+		Segmented:  s.segmented.Load(),
+		SegSubmits: s.segSubmits.Load(),
+		BinServed:  make([]int64, len(s.shards)),
+		BinQueued:  make([]int64, len(s.shards)),
 	}
 	for b, sh := range s.shards {
 		st.BinServed[b] = sh.served.Load()
@@ -751,6 +826,10 @@ func (sh *shard) run(t *Ticket, e *Engine, procs int) {
 		return
 	}
 	req := &t.req
+	if req.seg != nil {
+		req.seg.run(t)
+		return
+	}
 	if req.Handle != nil {
 		sh.runHandle(t, e, procs)
 		return
