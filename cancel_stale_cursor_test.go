@@ -1,0 +1,76 @@
+package listrank
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCancelMidPhase1DoesNotPoison is the regression test for a
+// deadline-cancellation fault found by the overload benchmark: a
+// Phase 1 chase abandoned cooperatively leaves the scratch cursor
+// table (v.cur) only partially written for the current run — entries
+// for sublists no worker reached still hold indices from a previous
+// problem served on the same engine. findSuccessors then indexed the
+// (smaller) current result slice with a stale cursor from a larger
+// earlier list and panicked with index-out-of-range, so a request
+// that should have expired was misclassified as poisoned. The engine
+// now abandons a canceled run before any stage consumes the cursor
+// table.
+//
+// The shape that reproduces it: one shard's engine alternates between
+// a larger and a smaller list, with deadlines tight enough that many
+// requests are canceled mid-Phase 1.
+func TestCancelMidPhase1DoesNotPoison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deadline-churn loop")
+	}
+	s := NewServer(ServerOptions{Procs: 2})
+	defer s.Close()
+
+	var poisons atomic.Int64
+	var firstPoison atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Private lists, alternating sizes, one in flight at a
+			// time: the same top-bin engine keeps switching problem
+			// sizes, so any cursor staleness from a canceled run gets
+			// exposed by the next, smaller problem.
+			big := NewRandomList(1<<18+4096*(w+1), uint64(2*w+1))
+			small := NewRandomList(1<<18, uint64(2*w+2))
+			dst := make([]int64, big.Len())
+			for i := 0; i < 40; i++ {
+				l := small
+				if i%2 == 0 {
+					l = big
+				}
+				tk := s.Submit(Request{
+					Op: OpRank, List: l, Dst: dst[:l.Len()],
+					Deadline: time.Now().Add(time.Duration(1+i%5) * time.Millisecond),
+				})
+				if _, err := tk.Wait(); errors.Is(err, ErrPanic) {
+					poisons.Add(1)
+					firstPoison.CompareAndSwap(nil, err.Error())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := poisons.Load(); got != 0 {
+		t.Fatalf("%d deadline-canceled requests poisoned; first: %v", got, firstPoison.Load())
+	}
+	st := s.Stats()
+	if st.Poisoned != 0 {
+		t.Errorf("server counted %d poisoned, want 0", st.Poisoned)
+	}
+	if st.Submitted != st.Served+st.Rejected+st.Expired+st.Poisoned+st.Shed {
+		t.Errorf("identity violated: %d submitted != %d served + %d rejected + %d expired + %d poisoned + %d shed",
+			st.Submitted, st.Served, st.Rejected, st.Expired, st.Poisoned, st.Shed)
+	}
+}

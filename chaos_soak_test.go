@@ -24,7 +24,7 @@ import (
 // kernel chunk strips, and stalls workers. It must end with every ticket completed (no Wait
 // hangs — the test would time out), the accounting identity
 //
-//	Submitted = Served + Rejected + Expired + Poisoned
+//	Submitted = Served + Rejected + Expired + Poisoned + Shed
 //
 // exactly equal to the client-side tallies, at least 1% of requests
 // hit by injected panics and at least 5% expired, and no goroutine
@@ -185,9 +185,9 @@ func TestChaosSoak(t *testing.T) {
 	if st.Submitted != total {
 		t.Errorf("submitted %d, want %d (client tally)", st.Submitted, total)
 	}
-	if st.Submitted != st.Served+st.Rejected+st.Expired+st.Poisoned {
-		t.Errorf("identity violated: submitted %d != served %d + rejected %d + expired %d + poisoned %d",
-			st.Submitted, st.Served, st.Rejected, st.Expired, st.Poisoned)
+	if st.Submitted != st.Served+st.Rejected+st.Expired+st.Poisoned+st.Shed {
+		t.Errorf("identity violated: submitted %d != served %d + rejected %d + expired %d + poisoned %d + shed %d",
+			st.Submitted, st.Served, st.Rejected, st.Expired, st.Poisoned, st.Shed)
 	}
 	// Server-side counters must agree exactly with what clients saw.
 	if st.Served != served.Load() || st.Rejected != rejected.Load() ||
@@ -343,9 +343,9 @@ func TestChaosSoakSegmented(t *testing.T) {
 	// The server-side identity must balance exactly even though the
 	// sub-request traffic (including SubmitTimeout retries under
 	// backpressure) is invisible to the clients.
-	if st.Submitted != st.Served+st.Rejected+st.Expired+st.Poisoned {
-		t.Errorf("identity violated: submitted %d != served %d + rejected %d + expired %d + poisoned %d",
-			st.Submitted, st.Served, st.Rejected, st.Expired, st.Poisoned)
+	if st.Submitted != st.Served+st.Rejected+st.Expired+st.Poisoned+st.Shed {
+		t.Errorf("identity violated: submitted %d != served %d + rejected %d + expired %d + poisoned %d + shed %d",
+			st.Submitted, st.Served, st.Rejected, st.Expired, st.Poisoned, st.Shed)
 	}
 	// Every deadline-free segmentable parent was diverted; deadline
 	// parents divert only if they survive admission.

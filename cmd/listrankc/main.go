@@ -11,6 +11,7 @@
 //	          [-seed 1] [-scan-frac 0.3] [-reuse-frac 0]
 //	          [-poison-rate 0] [-expire-rate 0] [-quota-frac 0]
 //	          [-tenant loadgen] [-badframe-rate 0] [-deadline-ms 0]
+//	          [-retries 0] [-retry-budget 0.2] [-expect-shed]
 //	          [-verify-max 65536] [-check] [-bench label]
 //
 // -rate 0 (the default) runs closed-loop with -conns concurrent
@@ -35,16 +36,32 @@
 // don't carry values. With -reuse-frac > 0 the final metrics
 // cross-check additionally asserts the cache actually hit.
 //
+// -retries enables resilience against overload pushback: a response
+// the daemon marked retryable (429/503 with outcome shed, rejected or
+// throttled) is re-sent up to that many times with capped exponential
+// backoff and full jitter, honoring the daemon's Retry-After header
+// as a floor. Retries draw on a global retry budget — every original
+// request earns -retry-budget tokens and each retry spends one — so
+// the generator amplifies load by at most (1 + budget) even when the
+// daemon rejects everything; without that cap a retrying load
+// generator IS the retry storm it is meant to measure. Each attempt
+// is tallied under its own outcome (a retried request's failed
+// attempts are real daemon-side submissions), so the metrics
+// cross-check still balances exactly.
+//
 // Every response is classified by its X-Outcome header. Served
 // responses for problems no larger than -verify-max are decoded and
 // compared against locally computed ranks/scans. At the end the
 // client fetches /metrics and cross-checks the daemon's books against
 // its own tallies — the accounting identity
-// Submitted = Served + Rejected + Expired + Poisoned must balance
-// end-to-end over the wire, and the quota/decode-error side counters
-// must equal what the client sent. With -check any mismatch,
+// Submitted = Served + Rejected + Expired + Poisoned + Shed must
+// balance end-to-end over the wire, and the quota/decode-error side
+// counters must equal what the client sent. With -check any mismatch,
 // transport error, or verification failure makes the exit status
 // nonzero, which is how the serve-e2e CI job consumes this tool.
+// -expect-shed additionally fails the run if the daemon never shed —
+// the overload CI leg uses it to prove admission control actually
+// engaged at 2x capacity rather than trivially passing idle books.
 //
 // With -bench LABEL the client prints `go test -bench`-shaped result
 // lines (throughput with ns/op, MB/s, and req/s, plus p50/p95/p99
@@ -63,6 +80,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"listrank"
@@ -85,19 +103,89 @@ type problem struct {
 	wantScan   []int64
 }
 
-// shot is one request's classified outcome.
+// shot is one request's classified outcome. With retries enabled,
+// outcome is the final attempt's; retried lists the outcomes of the
+// attempts that were retried (each was a real daemon-side submission,
+// so the collector tallies them too), and the byte counters cover all
+// attempts. latency is the final attempt's service time only — backoff
+// waits are deliberate client-side delay, not server latency.
 type shot struct {
 	outcome   string // X-Outcome, or "transport"
 	latency   time.Duration
 	bytesIn   int64
 	bytesOut  int64
 	verifyErr error
+	retried   []string
+}
+
+// retryPolicy is the shared budgeted-backoff state. The bucket holds
+// milli-tokens: every original request earns earnMilli, every retry
+// spends 1000, and a spend that would go negative is refused — the
+// cap on total amplification. Backoff is capped exponential with full
+// jitter: a uniform draw over (0, min(base<<attempt, max)], floored
+// at the server's Retry-After. Full jitter (rather than equal or
+// decorrelated) maximizes spread, so synchronized rejection of a
+// burst does not re-synchronize into a retry burst.
+type retryPolicy struct {
+	max       int
+	earnMilli int64
+	bucket    atomic.Int64
+	base      time.Duration
+	ceil      time.Duration
+}
+
+func (rp *retryPolicy) earn() { rp.bucket.Add(rp.earnMilli) }
+
+func (rp *retryPolicy) spend() bool {
+	if rp.bucket.Add(-1000) < 0 {
+		rp.bucket.Add(1000)
+		return false
+	}
+	return true
+}
+
+func (rp *retryPolicy) wait(attempt int, retryAfter time.Duration) time.Duration {
+	hi := rp.base << attempt
+	if hi > rp.ceil || hi <= 0 {
+		hi = rp.ceil
+	}
+	w := time.Duration(rand.Int63n(int64(hi))) + 1
+	if w < retryAfter {
+		w = retryAfter
+	}
+	return w
+}
+
+// retryable reports whether an outcome is worth re-sending: overload
+// pushback clears when pressure does. Deterministic failures (poison,
+// badframe, quota policy, expiry of an already-stale frame) do not.
+func retryable(outcome string) bool {
+	switch outcome {
+	case "shed", "rejected", "throttled":
+		return true
+	}
+	return false
+}
+
+// retryAfterHint parses the Retry-After header as delay-seconds; 0
+// when absent or in the (unused here) HTTP-date form.
+func retryAfterHint(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // tallies aggregates shots; only the collector goroutine writes it.
 type tallies struct {
 	byOutcome  map[string]int64
 	transport  int64
+	retries    int64
 	verifyErrs []error
 	latencies  []time.Duration // served only
 	bytesIn    int64
@@ -123,6 +211,9 @@ func main() {
 		quotaFrac = flag.Float64("quota-frac", 0, "fraction of requests tagged with X-Tenant")
 		tenant    = flag.String("tenant", "loadgen", "tenant name for quota-tagged requests")
 		deadline  = flag.Int("deadline-ms", 0, "X-Deadline-Ms header on ordinary requests (0 = none)")
+		retries   = flag.Int("retries", 0, "max retries per request on shed/rejected/throttled pushback (0 = off)")
+		retryBud  = flag.Float64("retry-budget", 0.2, "retry tokens earned per original request (caps retry amplification)")
+		expShed   = flag.Bool("expect-shed", false, "fail the cross-check if the daemon never shed (overload CI leg)")
 		verifyMax = flag.Int("verify-max", 1<<16, "verify served results for lists up to this size")
 		check     = flag.Bool("check", false, "exit nonzero on identity mismatch, transport error, or bad result")
 		bench     = flag.String("bench", "", "emit benchmark-format lines on stdout under this label")
@@ -169,6 +260,15 @@ func main() {
 	if *rate <= 0 {
 		sem = make(chan struct{}, maxInt(1, *conns))
 	}
+	var rp *retryPolicy
+	if *retries > 0 {
+		rp = &retryPolicy{
+			max:       *retries,
+			earnMilli: int64(*retryBud * 1000),
+			base:      5 * time.Millisecond,
+			ceil:      500 * time.Millisecond,
+		}
+	}
 
 	var taggedSent int64
 	for i := 0; i < *nReq; i++ {
@@ -204,6 +304,9 @@ func main() {
 			hdr["X-Tenant"] = *tenant
 		}
 
+		if rp != nil {
+			rp.earn()
+		}
 		if *rate > 0 {
 			time.Sleep(trace.PoissonWait(r, *rate))
 		} else {
@@ -215,7 +318,7 @@ func main() {
 			if sem != nil {
 				defer func() { <-sem }()
 			}
-			shots <- fire(client, base, p, pf, expireFrame, kind, isScan, tagVer, hdr)
+			shots <- fire(client, base, p, pf, expireFrame, kind, isScan, tagVer, hdr, rp)
 		}()
 	}
 	wg.Wait()
@@ -227,8 +330,16 @@ func main() {
 	served := tl.byOutcome["served"]
 	fmt.Fprintf(report, "listrankc: %d requests in %v (%.1f req/s offered)\n",
 		*nReq, wall.Round(time.Millisecond), float64(*nReq)/wall.Seconds())
-	for _, k := range []string{"served", "rejected", "expired", "poisoned", "quota", "badframe"} {
+	for _, k := range []string{"served", "rejected", "expired", "poisoned", "shed", "quota", "badframe"} {
 		fmt.Fprintf(report, "  %-9s %d\n", k, tl.byOutcome[k])
+	}
+	for _, k := range []string{"evicted", "throttled"} {
+		if tl.byOutcome[k] > 0 {
+			fmt.Fprintf(report, "  %-9s %d\n", k, tl.byOutcome[k])
+		}
+	}
+	if tl.retries > 0 {
+		fmt.Fprintf(report, "  retries   %d\n", tl.retries)
 	}
 	if tl.transport > 0 {
 		fmt.Fprintf(report, "  transport %d\n", tl.transport)
@@ -251,7 +362,7 @@ func main() {
 		fmt.Fprintf(report, "FAIL: %d transport errors\n", tl.transport)
 		failed = true
 	}
-	if err := crossCheck(client, base, tl, taggedSent, report); err != nil {
+	if err := crossCheck(client, base, tl, taggedSent, *expShed, report); err != nil {
 		fmt.Fprintf(report, "FAIL: metrics cross-check: %v\n", err)
 		failed = true
 	} else {
@@ -358,11 +469,12 @@ func largest(probs []*problem) int {
 	return best
 }
 
-// fire sends one request and classifies the response. tagVer < 0
+// fire sends one request and classifies the response, re-sending on
+// retryable pushback within the retry policy's budget. tagVer < 0
 // sends the anonymous frame; 0 or 1 sends the tagged frame carrying
 // that version of the problem's list_id.
 func fire(client *http.Client, base string, p *problem, poison, expire []byte,
-	kind string, isScan bool, tagVer int, hdr map[string]string) shot {
+	kind string, isScan bool, tagVer int, hdr map[string]string, rp *retryPolicy) shot {
 
 	frame := p.rankFrame
 	path := "/rank"
@@ -388,9 +500,29 @@ func fire(client *http.Client, base string, p *problem, poison, expire []byte,
 		}
 	}
 
-	req, err := http.NewRequest(http.MethodPost, base+path, strings.NewReader(string(frame)))
+	s, ra := attempt(client, base+path, frame, hdr, p, path, want)
+	for att := 0; rp != nil && att < rp.max && retryable(s.outcome); att++ {
+		if !rp.spend() {
+			break
+		}
+		time.Sleep(rp.wait(att, ra))
+		prev := s
+		s, ra = attempt(client, base+path, frame, hdr, p, path, want)
+		s.retried = append(prev.retried, prev.outcome)
+		s.bytesIn += prev.bytesIn
+		s.bytesOut += prev.bytesOut
+	}
+	return s
+}
+
+// attempt sends the frame once, classifying the response and parsing
+// its Retry-After hint.
+func attempt(client *http.Client, url string, frame []byte, hdr map[string]string,
+	p *problem, path string, want []int64) (shot, time.Duration) {
+
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(string(frame)))
 	if err != nil {
-		return shot{outcome: "transport", verifyErr: err}
+		return shot{outcome: "transport", verifyErr: err}, 0
 	}
 	for k, v := range hdr {
 		req.Header.Set(k, v)
@@ -400,13 +532,14 @@ func fire(client *http.Client, base string, p *problem, poison, expire []byte,
 	start := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		return shot{outcome: "transport"}
+		return shot{outcome: "transport"}, 0
 	}
+	ra := retryAfterHint(resp)
 	body, rerr := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	lat := time.Since(start)
 	if rerr != nil {
-		return shot{outcome: "transport"}
+		return shot{outcome: "transport"}, ra
 	}
 
 	s := shot{
@@ -435,13 +568,24 @@ func fire(client *http.Client, base string, p *problem, poison, expire []byte,
 			}
 		}
 	}
-	return s
+	return s, ra
 }
 
-// collect drains the shots channel into aggregate tallies.
+// collect drains the shots channel into aggregate tallies. Retried
+// attempts were real daemon-side submissions, so each one's outcome
+// is tallied alongside the final attempt's — that is what keeps the
+// per-bucket metrics cross-check exact under retries.
 func collect(shots <-chan shot, done chan<- tallies) {
 	tl := tallies{byOutcome: map[string]int64{}}
 	for s := range shots {
+		for _, o := range s.retried {
+			tl.retries++
+			if o == "transport" {
+				tl.transport++
+			} else {
+				tl.byOutcome[o]++
+			}
+		}
 		if s.outcome == "transport" {
 			tl.transport++
 			continue
@@ -464,7 +608,7 @@ func collect(shots <-chan shot, done chan<- tallies) {
 // daemon's reorder cache must also have hit at least once. It assumes
 // this client was the only traffic since the daemon booted (true in
 // the e2e harness).
-func crossCheck(client *http.Client, base string, tl tallies, taggedSent int64, report io.Writer) error {
+func crossCheck(client *http.Client, base string, tl tallies, taggedSent int64, expectShed bool, report io.Writer) error {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
 		return fmt.Errorf("fetch /metrics: %w", err)
@@ -507,12 +651,21 @@ func crossCheck(client *http.Client, base string, tl tallies, taggedSent int64, 
 	rejected, _ := get("listrank_rejected_total")
 	expired, _ := get("listrank_expired_total")
 	poisoned, _ := get("listrank_poisoned_total")
-	if submitted != served+rejected+expired+poisoned {
-		return fmt.Errorf("identity violated on the daemon: submitted %d != %d+%d+%d+%d",
-			submitted, served, rejected, expired, poisoned)
+	shed, _ := get("listrank_shed_total")
+	if submitted != served+rejected+expired+poisoned+shed {
+		return fmt.Errorf("identity violated on the daemon: submitted %d != %d+%d+%d+%d+%d",
+			submitted, served, rejected, expired, poisoned, shed)
 	}
-	fmt.Fprintf(report, "  daemon identity: %d submitted = %d served + %d rejected + %d expired + %d poisoned\n",
-		submitted, served, rejected, expired, poisoned)
+	fmt.Fprintf(report, "  daemon identity: %d submitted = %d served + %d rejected + %d expired + %d poisoned + %d shed\n",
+		submitted, served, rejected, expired, poisoned, shed)
+	if expectShed && shed == 0 {
+		return fmt.Errorf("-expect-shed: daemon never shed (listrank_shed_total = 0) — admission control did not engage")
+	}
+
+	// Shed happens at admission, before segmentation, and segment
+	// sub-requests are exempt — so shed equality is exact regardless of
+	// dispatch mode.
+	expect("listrank_shed_total", tl.byOutcome["shed"])
 
 	segmented, _ := get("listrank_segmented_total")
 	if segmented == 0 {
@@ -523,12 +676,13 @@ func crossCheck(client *http.Client, base string, tl tallies, taggedSent int64, 
 	} else {
 		// Segmented dispatch (-auto-segment) fans server-side
 		// sub-requests the client never sees, so per-bucket equality
-		// cannot hold. What does hold exactly: every admitted
-		// sub-request (seg_submits) terminates in served, expired or
-		// poisoned, so the daemon's surplus in those three buckets over
-		// the client's tallies is the sub-request count. (Rejected can
-		// additionally inflate via SubmitTimeout retries, each a fresh
-		// submission, so it only gets a lower bound.)
+		// cannot hold. What does hold exactly: every sub-request
+		// submission (seg_submits) terminates in served, expired or
+		// poisoned — expiry at admission included — so the daemon's
+		// surplus in those three buckets over the client's tallies is
+		// the sub-request count. (Rejected can additionally inflate
+		// via SubmitTimeout retries, each a fresh submission, so it
+		// only gets a lower bound.)
 		segSubmits, err := get("listrank_seg_submits_total")
 		if err != nil && firstErr == nil {
 			firstErr = err

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// Connection-level overload protection: a cap on concurrent
+// connections (limitListener), a per-connection in-flight request
+// counter threaded through the request context (connKey), and a
+// progress watchdog on request-body reads (progressBody) that evicts
+// clients who hold a pooled wire buffer while trickling or stalling
+// their upload.
+
+// limitListener caps concurrent accepted connections with a
+// semaphore: Accept blocks once max connections are open, so the
+// kernel's SYN backlog — not the daemon's memory — absorbs a
+// connection flood. The per-conn release is idempotent (http.Server
+// can close a connection more than once on some teardown paths).
+type limitListener struct {
+	net.Listener
+	sem chan struct{}
+}
+
+func newLimitListener(ln net.Listener, max int) *limitListener {
+	return &limitListener{Listener: ln, sem: make(chan struct{}, max)}
+}
+
+func (l *limitListener) Accept() (net.Conn, error) {
+	l.sem <- struct{}{}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		<-l.sem
+		return nil, err
+	}
+	return &limitConn{Conn: c, ln: l}, nil
+}
+
+// Active returns the number of currently open accepted connections.
+func (l *limitListener) Active() int { return len(l.sem) }
+
+type limitConn struct {
+	net.Conn
+	ln       *limitListener
+	released atomic.Bool
+}
+
+func (c *limitConn) Close() error {
+	if c.released.CompareAndSwap(false, true) {
+		<-c.ln.sem
+	}
+	return c.Conn.Close()
+}
+
+// connKey carries the per-connection in-flight counter from
+// http.Server.ConnContext to the handler, where -max-conn-inflight is
+// enforced. With HTTP/1.1 a connection serves one request at a time,
+// so the cap only bites under h2c multiplexing — exactly the case
+// where one client could otherwise occupy every engine.
+type connKey struct{}
+
+func connContext(ctx context.Context, _ net.Conn) context.Context {
+	return context.WithValue(ctx, connKey{}, new(atomic.Int64))
+}
+
+// connInflight returns the request's per-connection counter, nil when
+// the server was not wired with connContext (tests driving the mux
+// directly).
+func connInflight(r *http.Request) *atomic.Int64 {
+	ctr, _ := r.Context().Value(connKey{}).(*atomic.Int64)
+	return ctr
+}
+
+// progressBody wraps a request body so every Read must make progress
+// within the stall budget: before each underlying Read it arms the
+// connection's read deadline, so a client that sends a header and
+// then trickles (or stops) is evicted instead of pinning a pooled
+// wire buffer and an inflight slot for the life of the connection.
+// The net/http body reader surfaces the tripped deadline as an error
+// from Read; stalled records it so the handler can classify the
+// request as "evicted" rather than "badframe".
+type progressBody struct {
+	r           io.Reader
+	rc          *http.ResponseController
+	stallAfter  time.Duration
+	stalled     bool
+	unsupported bool
+}
+
+func (p *progressBody) reset(r io.Reader, rc *http.ResponseController, d time.Duration) {
+	p.r = r
+	p.rc = rc
+	p.stallAfter = d
+	p.stalled = false
+	p.unsupported = false
+}
+
+// release drops references and clears the armed read deadline so a
+// kept-alive connection's next request does not inherit it.
+func (p *progressBody) release() {
+	if p.rc != nil && !p.unsupported && !p.stalled {
+		p.rc.SetReadDeadline(time.Time{})
+	}
+	p.r = nil
+	p.rc = nil
+}
+
+func (p *progressBody) Read(b []byte) (int, error) {
+	if !p.unsupported {
+		if err := p.rc.SetReadDeadline(time.Now().Add(p.stallAfter)); err != nil {
+			// ErrNotSupported (e.g. an exotic wrapper): serve without
+			// the watchdog rather than fail everyone.
+			p.unsupported = true
+		}
+	}
+	n, err := p.r.Read(b)
+	if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+		p.stalled = true
+	}
+	return n, err
+}

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"listrank"
+	"listrank/internal/netchaos"
+	"listrank/internal/wire"
+)
+
+// TestNetchaosSoak runs the full daemon — a real http.Server with the
+// production timeouts, body-stall watchdog, and per-conn plumbing —
+// behind the netchaos proxy and pushes a mixed workload through
+// latency jitter, partial writes, mid-frame stalls, and connection
+// resets. Chaos may cost individual requests (transport errors are
+// expected and tallied), but it must never cost the daemon its
+// invariants:
+//
+//   - the five-bucket accounting identity (Submitted = Served +
+//     Rejected + Expired + Poisoned + Shed) balances exactly at
+//     quiescence;
+//   - every pooled wire buffer checked out by a request — including
+//     ones whose client vanished mid-frame — is returned (bufsLive
+//     drains to zero);
+//   - no goroutines leak: the count returns to baseline after the
+//     proxy, server, and fleet shut down.
+//
+// The CI soak job runs this test under -race at full volume; -short
+// keeps it cheap inside the ordinary tier-1 sweep.
+func TestNetchaosSoak(t *testing.T) {
+	nReq := 5000
+	if testing.Short() {
+		nReq = 500
+	}
+	baseline := runtime.NumGoroutine()
+
+	srv := listrank.NewServer(listrank.ServerOptions{Procs: 2, Shed: true})
+	d := newDaemon(srv, 1<<21, 4096, 0, 0)
+	d.bodyStall = 2 * time.Second // watchdog armed, but chaos stalls stay under it
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	hsrv := &http.Server{
+		Handler:     d.mux(),
+		ConnContext: connContext,
+		ReadTimeout: 30 * time.Second,
+		IdleTimeout: 5 * time.Second,
+	}
+	go hsrv.Serve(ln)
+
+	// ResetEvery is low because the client pools keep-alive
+	// connections: each reset murders a pooled conn mid-exchange and
+	// the transport dials a fresh one, which draws a fresh sequence
+	// number — so resets keep firing for the whole soak.
+	proxy, err := netchaos.New(ln.Addr().String(), netchaos.Config{
+		Jitter:          100 * time.Microsecond,
+		ChunkMax:        4096,
+		StallEvery:      64,
+		StallFor:        2 * time.Millisecond,
+		ResetEvery:      5,
+		ResetAfterBytes: 1 << 16,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatalf("netchaos.New: %v", err)
+	}
+	base := "http://" + proxy.Addr()
+
+	// Pre-encode the working set: small ranks and scans (verifiable),
+	// a poison frame, and a large list sent with a 1 ms deadline.
+	rng := rand.New(rand.NewSource(2))
+	type job struct {
+		path  string
+		frame []byte
+		hdr   map[string]string
+	}
+	var jobs []job
+	for _, n := range []int{256, 512, 1024, 2048} {
+		l := listrank.NewRandomList(n, uint64(n))
+		for i := range l.Value {
+			l.Value[i] = int64(i%5) - 2
+		}
+		rf, _ := wire.AppendRequest(nil, wire.OpRank, 0, l.Head, l.Next, nil)
+		sf, _ := wire.AppendRequest(nil, wire.OpScan, 0, l.Head, l.Next, l.Value)
+		jobs = append(jobs,
+			job{"/rank", rf, nil},
+			job{"/scan", sf, nil},
+			// A tight header deadline under chaos queueing: lands as
+			// served, expired, or shed — all accounted buckets.
+			job{"/rank", rf, map[string]string{"X-Deadline-Ms": "5"}},
+		)
+	}
+	poison := listrank.NewRandomList(256, 5)
+	poison.Next[poison.Head] = 400
+	pf, _ := wire.AppendRequest(nil, wire.OpRank, 0, poison.Head, poison.Next, nil)
+	jobs = append(jobs, job{"/rank", pf, nil})
+	big := listrank.NewRandomList(1<<17, 6)
+	ef, _ := wire.AppendRequest(nil, wire.OpRank, 1, big.Head, big.Next, nil)
+	jobs = append(jobs, job{"/rank", ef, nil})
+
+	// Closed-loop workers over the chaos proxy. Transport errors are
+	// an expected product of the resets; everything else must carry a
+	// classifiable X-Outcome.
+	tr := &http.Transport{MaxIdleConnsPerHost: 64}
+	client := &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	var (
+		mu        sync.Mutex
+		tally     = map[string]int64{}
+		transport atomic.Int64
+		workers   = 16
+	)
+	seq := make(chan job, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range seq {
+				req, err := http.NewRequest(http.MethodPost, base+j.path, bytes.NewReader(j.frame))
+				if err != nil {
+					t.Errorf("NewRequest: %v", err)
+					return
+				}
+				for k, v := range j.hdr {
+					req.Header.Set(k, v)
+				}
+				req.ContentLength = int64(len(j.frame))
+				resp, err := client.Do(req)
+				if err != nil {
+					transport.Add(1)
+					continue
+				}
+				_, rerr := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				outcome := resp.Header.Get("X-Outcome")
+				if rerr != nil || outcome == "" {
+					transport.Add(1)
+					continue
+				}
+				mu.Lock()
+				tally[outcome]++
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < nReq; i++ {
+		seq <- jobs[rng.Intn(len(jobs))]
+	}
+	close(seq)
+	wg.Wait()
+
+	// Full teardown: proxy, server, fleet — then audit the books.
+	tr.CloseIdleConnections()
+	if err := proxy.Close(); err != nil {
+		t.Errorf("proxy.Close: %v", err)
+	}
+	if err := hsrv.Close(); err != nil {
+		t.Errorf("http server Close: %v", err)
+	}
+	srv.Close()
+
+	st := srv.Stats()
+	if st.Submitted != st.Served+st.Rejected+st.Expired+st.Poisoned+st.Shed {
+		t.Errorf("identity violated after chaos: %+v", st)
+	}
+	mu.Lock()
+	served := tally["served"]
+	mu.Unlock()
+	if served == 0 {
+		t.Errorf("no request served through the chaos proxy (tally %v, %d transport)", tally, transport.Load())
+	}
+	// Chaos can eat a response after the server counted it served, so
+	// only one direction of the comparison is exact.
+	if st.Served < served {
+		t.Errorf("server served %d < client observed %d", st.Served, served)
+	}
+	if live := d.bufsLive.Load(); live != 0 {
+		t.Errorf("wire buffer leak: %d pooled buffers still checked out", live)
+	}
+	if pstats := proxy.Stats(); pstats.Resets == 0 || pstats.Stalls == 0 {
+		t.Errorf("chaos did not engage: %+v", pstats)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > baseline {
+		buf := make([]byte, 1<<16)
+		t.Errorf("goroutine leak after chaos soak: %d > baseline %d\n%s",
+			got, baseline, buf[:runtime.Stack(buf, true)])
+	}
+	t.Logf("soak: %d requests, tally %v, %d transport errors, proxy %+v, server %+v",
+		nReq, tally, transport.Load(), proxy.Stats(), st)
+}

@@ -18,9 +18,12 @@ import (
 	"syscall"
 	"time"
 
+	"io"
+
 	"listrank"
 	"listrank/internal/arena"
 	"listrank/internal/fleet"
+	"listrank/internal/govern"
 	"listrank/internal/wire"
 )
 
@@ -34,6 +37,20 @@ type daemon struct {
 	maxElems   int
 	quotaRate  float64
 	quotaBurst float64
+
+	// Overload-protection knobs (see runServe's flags). gov is the
+	// process memory governor the daemon reports wire-buffer bytes to
+	// and renders in /metrics; retryAfter is the integer seconds sent
+	// as Retry-After on every 429/503; bodyStall arms the body-read
+	// progress watchdog (0 = off); maxConnInflight caps per-connection
+	// concurrent requests (0 = off; only bites under h2c).
+	gov             *govern.Governor
+	retryAfter      int
+	bodyStall       time.Duration
+	maxConnInflight int
+	// conns, when the -max-conns listener wrap is active, exposes the
+	// open-connection gauge.
+	conns *limitListener
 
 	// bufs recycles per-request decode/encode state: a connection
 	// checks a buffer out per request and returns it after the
@@ -79,8 +96,19 @@ type daemon struct {
 	rejected      atomic.Int64
 	expired       atomic.Int64
 	poisoned      atomic.Int64
+	shed          atomic.Int64
 	bytesIn       atomic.Int64
 	bytesOut      atomic.Int64
+
+	// Overload counters: evicted counts slow clients cut off by the
+	// body-read watchdog (before Submit, like decode errors);
+	// throttled counts requests bounced by the per-connection
+	// in-flight cap. bufsLive is the checked-out pooled-buffer gauge —
+	// it must read 0 at every quiescent point or a handler path leaked
+	// a wire.Buffer (the slow-client tests assert exactly this).
+	evicted   atomic.Int64
+	throttled atomic.Int64
+	bufsLive  atomic.Int64
 
 	// Handle-registry counters: tagged counts frames that carried a
 	// list_id, registered counts registrations (first sight of an id,
@@ -105,9 +133,14 @@ type regList struct {
 // connBuf is one connection's worth of reusable request state: the
 // wire codec's arenas plus the List header the request is served
 // through. Everything a request touches lives here or in the fleet.
+// acct is the footprint last reported to the governor (ClassWire);
+// pb is the body-watchdog wrapper, hosted here so enabling the
+// watchdog does not add a per-request allocation for the reader.
 type connBuf struct {
 	wb   wire.Buffer
 	list listrank.List
+	acct int64
+	pb   progressBody
 }
 
 func newDaemon(srv *listrank.Server, maxElems, maxHandles int, quotaRate, quotaBurst float64) *daemon {
@@ -120,6 +153,8 @@ func newDaemon(srv *listrank.Server, maxElems, maxHandles int, quotaRate, quotaB
 		quotas:     make(map[string]*fleet.TokenBucket),
 		registry:   make(map[uint32]*regList),
 		started:    time.Now(),
+		gov:        govern.Process(),
+		retryAfter: 1,
 	}
 	d.bufs.New = func() *connBuf { return &connBuf{} }
 	return d
@@ -195,6 +230,14 @@ func fail(w http.ResponseWriter, code int, outcome, msg string) {
 	http.Error(w, msg, code)
 }
 
+// failRetry is fail plus a Retry-After header — every 429/503 the
+// daemon sends carries one, so well-behaved clients back off for at
+// least that long instead of hammering an overloaded door.
+func (d *daemon) failRetry(w http.ResponseWriter, code int, outcome, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(d.retryAfter))
+	fail(w, code, outcome, msg)
+}
+
 // handle serves one /rank or /scan request: decode the frame into
 // pooled arenas, quota-check the tenant, map the wire deadline and
 // the client connection onto the request's cancellation, submit, and
@@ -209,14 +252,53 @@ func (d *daemon) handle(w http.ResponseWriter, r *http.Request, op listrank.Op) 
 		fail(w, http.StatusMethodNotAllowed, "badframe", "POST a request frame")
 		return
 	}
+	if d.maxConnInflight > 0 {
+		if ctr := connInflight(r); ctr != nil {
+			if ctr.Add(1) > int64(d.maxConnInflight) {
+				ctr.Add(-1)
+				d.throttled.Add(1)
+				d.failRetry(w, http.StatusTooManyRequests, "throttled", "per-connection in-flight cap reached")
+				return
+			}
+			defer ctr.Add(-1)
+		}
+	}
 	d.inflight.Add(1)
 	defer d.inflight.Add(-1)
 
 	cb := d.bufs.Get()
-	defer d.bufs.Put(cb)
+	d.bufsLive.Add(1)
+	defer func() {
+		// Report the buffer's retained footprint to the governor as
+		// pooled wire bytes — once per high-water change, not per
+		// request — then return it. Every exit path runs this, which is
+		// what the buffer-leak checks in the slow-client tests pin.
+		if fp := cb.wb.Footprint(); fp != cb.acct {
+			d.gov.Adjust(govern.ClassWire, fp-cb.acct)
+			cb.acct = fp
+		}
+		d.bufsLive.Add(-1)
+		d.bufs.Put(cb)
+	}()
 
-	h, err := wire.ReadRequest(r.Body, &cb.wb, d.maxElems)
+	// The body-read progress watchdog: a client that stalls or
+	// trickles its upload trips the connection read deadline and is
+	// evicted, releasing the pooled buffer and the inflight slot it
+	// would otherwise pin for the life of the connection.
+	body := io.Reader(r.Body)
+	if d.bodyStall > 0 {
+		cb.pb.reset(r.Body, http.NewResponseController(w), d.bodyStall)
+		body = &cb.pb
+		defer cb.pb.release()
+	}
+	h, err := wire.ReadRequest(body, &cb.wb, d.maxElems)
 	if err != nil {
+		if d.bodyStall > 0 && cb.pb.stalled {
+			d.evicted.Add(1)
+			w.Header().Set("Connection", "close")
+			fail(w, http.StatusRequestTimeout, "evicted", "request body stalled: "+err.Error())
+			return
+		}
 		d.badFrames.Add(1)
 		fail(w, http.StatusBadRequest, "badframe", err.Error())
 		return
@@ -225,7 +307,7 @@ func (d *daemon) handle(w http.ResponseWriter, r *http.Request, op listrank.Op) 
 
 	if tenant := r.Header.Get("X-Tenant"); tenant != "" && !d.allow(tenant) {
 		d.quotaRejected.Add(1)
-		fail(w, http.StatusTooManyRequests, "quota", "tenant over quota: "+tenant)
+		d.failRetry(w, http.StatusTooManyRequests, "quota", "tenant over quota: "+tenant)
 		return
 	}
 
@@ -300,12 +382,15 @@ func (d *daemon) handle(w http.ResponseWriter, r *http.Request, op listrank.Op) 
 	case errors.Is(err, listrank.ErrPanic):
 		d.poisoned.Add(1)
 		fail(w, http.StatusInternalServerError, "poisoned", err.Error())
+	case errors.Is(err, listrank.ErrShed):
+		d.shed.Add(1)
+		d.failRetry(w, http.StatusTooManyRequests, "shed", err.Error())
 	case errors.Is(err, listrank.ErrBackpressure):
 		d.rejected.Add(1)
-		fail(w, http.StatusTooManyRequests, "rejected", err.Error())
+		d.failRetry(w, http.StatusTooManyRequests, "rejected", err.Error())
 	case errors.Is(err, listrank.ErrServerClosed):
 		d.rejected.Add(1)
-		fail(w, http.StatusServiceUnavailable, "rejected", err.Error())
+		d.failRetry(w, http.StatusServiceUnavailable, "rejected", err.Error())
 	default: // ErrBadRequest (e.g. -validate structural rejects)
 		d.rejected.Add(1)
 		fail(w, http.StatusBadRequest, "rejected", err.Error())
@@ -342,13 +427,14 @@ func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 
 	// Fleet counters: every submission lands in exactly one of the
-	// four outcome buckets, so submitted = served+rejected+expired+
-	// poisoned at every quiescent point.
+	// five outcome buckets, so submitted = served+rejected+expired+
+	// poisoned+shed at every quiescent point.
 	counter("listrank_submitted_total", "Requests submitted to the fleet.", st.Submitted)
 	counter("listrank_served_total", "Requests served successfully.", st.Served)
 	counter("listrank_rejected_total", "Requests rejected (backpressure, closed, malformed).", st.Rejected)
 	counter("listrank_expired_total", "Requests expired or canceled (queued or mid-run).", st.Expired)
 	counter("listrank_poisoned_total", "Requests whose serve panicked (fault contained).", st.Poisoned)
+	counter("listrank_shed_total", "Requests fast-rejected by adaptive load shedding.", st.Shed)
 	counter("listrank_dispatches_total", "Engine dispatches (a coalesced batch is one).", st.Dispatches)
 	counter("listrank_coalesced_total", "Requests served inside multi-request dispatches.", st.Coalesced)
 	counter("listrank_segmented_total", "Requests served by segmented (cross-shard) dispatch.", st.Segmented)
@@ -386,14 +472,34 @@ func (d *daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("listrankd_outcome_rejected_total", "Responses with X-Outcome: rejected.", d.rejected.Load())
 	counter("listrankd_outcome_expired_total", "Responses with X-Outcome: expired.", d.expired.Load())
 	counter("listrankd_outcome_poisoned_total", "Responses with X-Outcome: poisoned.", d.poisoned.Load())
+	counter("listrankd_outcome_shed_total", "Responses with X-Outcome: shed.", d.shed.Load())
+	counter("listrankd_evicted_total", "Slow clients evicted by the body-read watchdog (never submitted).", d.evicted.Load())
+	counter("listrankd_throttled_total", "Requests bounced by the per-connection in-flight cap (never submitted).", d.throttled.Load())
 	counter("listrankd_frame_bytes_in_total", "Request-frame bytes decoded.", d.bytesIn.Load())
 	counter("listrankd_frame_bytes_out_total", "Response-frame bytes written.", d.bytesOut.Load())
 	counter("listrankd_tagged_requests_total", "Request frames carrying a list_id tag.", d.tagged.Load())
 	counter("listrankd_handles_registered_total", "List registrations (first sight or version bump).", d.registered.Load())
 	counter("listrankd_handle_fallback_total", "Tagged frames served anonymously (registry full).", d.fallback.Load())
 	gauge("listrankd_inflight_requests", "Frame requests currently in flight.", d.inflight.Load())
+	gauge("listrankd_wire_buffers_live", "Pooled wire buffers currently checked out (0 when quiescent).", d.bufsLive.Load())
+	if d.conns != nil {
+		gauge("listrankd_open_connections", "Accepted connections currently open (capped by -max-conns).", int64(d.conns.Active()))
+	}
 	gauge("listrankd_uptime_seconds", "Seconds since the daemon started.", int64(time.Since(d.started).Seconds()))
 	gauge("go_goroutines", "Current goroutine count.", int64(runtime.NumGoroutine()))
+
+	// Memory-governor gauges: the process-wide pressure ledger every
+	// subsystem reports into (0=ok, 1=soft, 2=hard). Hard pressure is
+	// visible here as listrank_mem_pressure 2 alongside a rising
+	// listrank_shed_total.
+	gs := d.gov.Snapshot()
+	gauge("listrank_mem_limit_bytes", "Memory governor byte limit (0 = unlimited).", gs.Limit)
+	gauge("listrank_mem_used_bytes", "Bytes accounted against the memory governor.", gs.Used)
+	gauge("listrank_mem_pressure", "Governor pressure level: 0 ok, 1 soft, 2 hard.", int64(gs.Level))
+	fmt.Fprintf(w, "# HELP listrank_mem_class_bytes Governed bytes per subsystem class.\n# TYPE listrank_mem_class_bytes gauge\n")
+	for c, v := range gs.ByClass {
+		fmt.Fprintf(w, "listrank_mem_class_bytes{class=%q} %d\n", govern.Class(c).String(), v)
+	}
 }
 
 // boundLabel renders a size-bin upper bound for a metric label; the
@@ -429,6 +535,15 @@ func runServe(args []string) int {
 	quotaRate := fs.Float64("quota-rate", 0, "per-tenant token refill rate, requests/sec (0 = no quotas)")
 	quotaBurst := fs.Float64("quota-burst", 32, "per-tenant token-bucket burst")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "in-flight drain budget on SIGTERM")
+	shed := fs.Bool("shed", false, "deadline-aware adaptive admission: fast-reject requests whose deadline the shard backlog cannot meet")
+	memLimit := fs.Int64("mem-limit", 0, "process memory-governor byte limit across reorder/segment/mmap/wire classes (0 = unlimited)")
+	maxConns := fs.Int("max-conns", 0, "max concurrent accepted connections (0 = unlimited)")
+	maxConnInflight := fs.Int("max-conn-inflight", 0, "max in-flight requests per connection, h2c only (0 = unlimited)")
+	readTimeout := fs.Duration("read-timeout", 0, "per-request read deadline, header+body (0 = none)")
+	writeTimeout := fs.Duration("write-timeout", 0, "per-request write deadline (0 = none)")
+	idleTimeout := fs.Duration("idle-timeout", 0, "keep-alive idle connection timeout (0 = none)")
+	bodyStall := fs.Duration("body-stall-timeout", 0, "max time between body-read progress before a slow client is evicted (0 = off)")
+	retryAfter := fs.Int("retry-after", 1, "Retry-After seconds sent on 429/503 responses")
 	fs.Parse(args)
 
 	bounds, err := parseBins(*binsFlag)
@@ -444,6 +559,7 @@ func runServe(args []string) int {
 	// fleet (and the signal handler) spin anything up.
 	baseline := runtime.NumGoroutine()
 
+	gov := govern.New(*memLimit)
 	srv := listrank.NewServer(listrank.ServerOptions{
 		Procs:              *procs,
 		BinBounds:          bounds,
@@ -455,12 +571,23 @@ func runServe(args []string) int {
 		AutoSegment:        *autoSegment,
 		ReorderAfter:       *reorderAfter,
 		ReorderBudgetBytes: *reorderBudget,
+		Shed:               *shed,
+		Governor:           gov,
 	})
 	d := newDaemon(srv, *maxElems, *maxHandles, *quotaRate, *quotaBurst)
+	d.gov = gov
+	d.retryAfter = *retryAfter
+	d.bodyStall = *bodyStall
+	d.maxConnInflight = *maxConnInflight
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("listrankd: listen: %v", err)
+	}
+	if *maxConns > 0 {
+		ll := newLimitListener(ln, *maxConns)
+		d.conns = ll
+		ln = ll
 	}
 	if *addrFile != "" {
 		// Write-then-rename so a polling reader never sees a partial
@@ -475,10 +602,17 @@ func runServe(args []string) int {
 		defer os.Remove(*addrFile)
 	}
 
-	hs := &http.Server{Handler: d.mux(), ReadHeaderTimeout: 10 * time.Second}
+	hs := &http.Server{
+		Handler:           d.mux(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		ConnContext:       connContext,
+	}
 	configureServerProtocols(hs)
-	log.Printf("listrankd: serving on http://%s  (h2c=%v procs=%d bins=%v queue=%d reject=%v quota-rate=%g max-elems=%d)",
-		ln.Addr(), h2cCapable, *procs, bounds, *queue, *reject, *quotaRate, *maxElems)
+	log.Printf("listrankd: serving on http://%s  (h2c=%v procs=%d bins=%v queue=%d reject=%v shed=%v mem-limit=%d quota-rate=%g max-elems=%d max-conns=%d)",
+		ln.Addr(), h2cCapable, *procs, bounds, *queue, *reject, *shed, *memLimit, *quotaRate, *maxElems, *maxConns)
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -506,12 +640,16 @@ func runServe(args []string) int {
 	// identity must balance and the goroutines must be gone, or the
 	// drain was not clean and CI should see a nonzero exit.
 	st := srv.Stats()
-	log.Printf("listrankd: final stats: submitted=%d served=%d rejected=%d expired=%d poisoned=%d (decode-errors=%d quota-rejected=%d)",
-		st.Submitted, st.Served, st.Rejected, st.Expired, st.Poisoned,
-		d.badFrames.Load(), d.quotaRejected.Load())
-	if st.Submitted != st.Served+st.Rejected+st.Expired+st.Poisoned {
-		log.Printf("listrankd: ACCOUNTING IDENTITY VIOLATED: %d submitted != %d served + %d rejected + %d expired + %d poisoned",
-			st.Submitted, st.Served, st.Rejected, st.Expired, st.Poisoned)
+	log.Printf("listrankd: final stats: submitted=%d served=%d rejected=%d expired=%d poisoned=%d shed=%d (decode-errors=%d quota-rejected=%d evicted=%d)",
+		st.Submitted, st.Served, st.Rejected, st.Expired, st.Poisoned, st.Shed,
+		d.badFrames.Load(), d.quotaRejected.Load(), d.evicted.Load())
+	if st.Submitted != st.Served+st.Rejected+st.Expired+st.Poisoned+st.Shed {
+		log.Printf("listrankd: ACCOUNTING IDENTITY VIOLATED: %d submitted != %d served + %d rejected + %d expired + %d poisoned + %d shed",
+			st.Submitted, st.Served, st.Rejected, st.Expired, st.Poisoned, st.Shed)
+		exit = 1
+	}
+	if live := d.bufsLive.Load(); live != 0 {
+		log.Printf("listrankd: WIRE BUFFER LEAK: %d pooled buffers still checked out after drain", live)
 		exit = 1
 	}
 	if !waitGoroutines(baseline + 2) { // +2: signal-notify internals, late conn teardown

@@ -498,7 +498,7 @@ func TestServeDrainNoGoroutineLeak(t *testing.T) {
 	}
 	// The fleet's books must balance at quiescence.
 	st := srv.Stats()
-	if st.Submitted != st.Served+st.Rejected+st.Expired+st.Poisoned {
+	if st.Submitted != st.Served+st.Rejected+st.Expired+st.Poisoned+st.Shed {
 		t.Errorf("identity violated after drain: %+v", st)
 	}
 }

@@ -1,0 +1,252 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"listrank"
+	"listrank/internal/wire"
+)
+
+// Slow- and abusive-client tests: clients that trickle, stall, lie
+// about sizes, or vanish mid-exchange. The daemon's contract in every
+// case is containment — the request is classified (or the connection
+// cut), the pooled wire buffer goes back to the free list (bufsLive
+// drains to zero), and the next well-behaved request is served
+// normally. All drive a real http.Server, not the bare mux: the
+// body-stall watchdog needs the ResponseController's per-connection
+// read deadline, which only a real server connection supports.
+
+// newRawDaemon boots the daemon on a real listener with the body
+// watchdog armed at stall. Cleanup closes everything.
+func newRawDaemon(t *testing.T, stall time.Duration) (*daemon, string) {
+	t.Helper()
+	srv := listrank.NewServer(listrank.ServerOptions{Procs: 2})
+	d := newDaemon(srv, 1<<21, 4096, 0, 0)
+	d.bodyStall = stall
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	hsrv := &http.Server{Handler: d.mux(), ConnContext: connContext}
+	go hsrv.Serve(ln)
+	t.Cleanup(func() {
+		hsrv.Close()
+		srv.Close()
+	})
+	return d, ln.Addr().String()
+}
+
+// rawPost opens a TCP connection and writes the request head for one
+// frame POST, returning the connection ready for body writes.
+func rawPost(t *testing.T, addr, path string, contentLength int) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	head := fmt.Sprintf("POST %s HTTP/1.1\r\nHost: %s\r\nContent-Length: %d\r\n\r\n",
+		path, addr, contentLength)
+	if _, err := io.WriteString(c, head); err != nil {
+		t.Fatalf("write head: %v", err)
+	}
+	return c
+}
+
+// waitBufsDrained polls until every pooled wire buffer is back on the
+// free list — the no-leak invariant every abusive client must leave
+// behind.
+func waitBufsDrained(t *testing.T, d *daemon) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if d.bufsLive.Load() == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("wire buffer leak: %d pooled buffers still checked out", d.bufsLive.Load())
+}
+
+// TestSlowClientTrickleIsServed: a client that dribbles its upload a
+// few bytes at a time keeps making progress, so the watchdog — which
+// re-arms on every read — must NOT evict it, however long the total
+// transfer takes relative to the stall budget.
+func TestSlowClientTrickleIsServed(t *testing.T) {
+	d, addr := newRawDaemon(t, 150*time.Millisecond)
+	l := listrank.NewRandomList(64, 1)
+	frame, err := wire.AppendRequest(nil, wire.OpRank, 0, l.Head, l.Next, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := rawPost(t, addr, "/rank", len(frame))
+	defer c.Close()
+	// ~550 bytes in 8-byte sips with pauses: total transfer time far
+	// exceeds the 150ms stall budget, but no single gap approaches it.
+	for off := 0; off < len(frame); off += 8 {
+		end := off + 8
+		if end > len(frame) {
+			end = len(frame)
+		}
+		if _, err := c.Write(frame[off:end]); err != nil {
+			t.Fatalf("trickle write at %d: %v", off, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.ReadResponse(bufio.NewReader(c), nil)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Outcome") != "served" {
+		t.Fatalf("trickled request: status %d outcome %q", resp.StatusCode, resp.Header.Get("X-Outcome"))
+	}
+	if got := d.evicted.Load(); got != 0 {
+		t.Errorf("evicted = %d for a client that kept making progress", got)
+	}
+	waitBufsDrained(t, d)
+}
+
+// TestSlowClientStallAfterHeaderEvicted: a client that sends the
+// request head and part of the frame, then goes silent, is holding a
+// pooled buffer and an inflight slot hostage. The watchdog must cut
+// it off: 408, outcome "evicted", Connection: close — and the buffer
+// back on the free list.
+func TestSlowClientStallAfterHeaderEvicted(t *testing.T) {
+	d, addr := newRawDaemon(t, 100*time.Millisecond)
+	l := listrank.NewRandomList(512, 2)
+	frame, err := wire.AppendRequest(nil, wire.OpRank, 0, l.Head, l.Next, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := rawPost(t, addr, "/rank", len(frame))
+	defer c.Close()
+	if _, err := c.Write(frame[:len(frame)/2]); err != nil {
+		t.Fatalf("partial write: %v", err)
+	}
+	// ...and never send the rest.
+
+	resp, err := http.ReadResponse(bufio.NewReader(c), nil)
+	if err != nil {
+		t.Fatalf("read eviction response: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestTimeout || resp.Header.Get("X-Outcome") != "evicted" {
+		t.Fatalf("stalled request: status %d outcome %q, want 408 evicted",
+			resp.StatusCode, resp.Header.Get("X-Outcome"))
+	}
+	// net/http folds the Connection: close header into resp.Close.
+	if !resp.Close {
+		t.Errorf("eviction response did not close the connection")
+	}
+	if got := d.evicted.Load(); got != 1 {
+		t.Errorf("evicted counter = %d, want 1", got)
+	}
+	if got := d.badFrames.Load(); got != 0 {
+		t.Errorf("stall misclassified as badframe (%d)", got)
+	}
+	waitBufsDrained(t, d)
+
+	// The daemon is unharmed: a prompt client on a fresh connection is
+	// served.
+	c2 := rawPost(t, addr, "/rank", len(frame))
+	defer c2.Close()
+	if _, err := c2.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.ReadResponse(bufio.NewReader(c2), nil)
+	if err != nil {
+		t.Fatalf("post-eviction serve: %v", err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.Header.Get("X-Outcome") != "served" {
+		t.Fatalf("post-eviction serve: outcome %q", resp2.Header.Get("X-Outcome"))
+	}
+	waitBufsDrained(t, d)
+}
+
+// TestClientDisconnectMidResponse: the client sends a valid large
+// request and hangs up after the first bytes of the response. The
+// write path fails, but the handler's cleanup must still run — no
+// buffer leak, no stuck inflight slot.
+func TestClientDisconnectMidResponse(t *testing.T) {
+	d, addr := newRawDaemon(t, 0)
+	l := listrank.NewRandomList(1<<18, 3) // ~2 MiB response
+	frame, err := wire.AppendRequest(nil, wire.OpRank, 0, l.Head, l.Next, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := rawPost(t, addr, "/rank", len(frame))
+	if _, err := c.Write(frame); err != nil {
+		t.Fatalf("write frame: %v", err)
+	}
+	// Read just the status line, then vanish without draining 2 MiB.
+	buf := make([]byte, 32)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read response head: %v", err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0) // RST: the write path sees a hard error
+	}
+	c.Close()
+
+	waitBufsDrained(t, d)
+	deadline := time.Now().Add(5 * time.Second)
+	for d.inflight.Load() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := d.inflight.Load(); got != 0 {
+		t.Errorf("inflight = %d after client disconnect", got)
+	}
+}
+
+// TestOversizedDeclaredElems: a frame whose header declares more
+// elements than -max-elems is refused from the header alone — the
+// daemon must not commit memory to (or sit waiting for) a payload it
+// already knows it will reject, even when the client declares a
+// gigabyte of Content-Length and sends none of it.
+func TestOversizedDeclaredElems(t *testing.T) {
+	d, addr := newRawDaemon(t, 200*time.Millisecond)
+	l := listrank.NewRandomList(64, 4)
+	good, err := wire.AppendRequest(nil, wire.OpRank, 0, l.Head, l.Next, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A real header with the element count field rewritten to 2^22 —
+	// over the 2^21 cap the daemon was built with.
+	head := append([]byte(nil), good[:wire.ReqHeaderLen]...)
+	head[16], head[17], head[18], head[19] = 0, 0, 0x40, 0
+
+	c := rawPost(t, addr, "/rank", 1<<30)
+	defer c.Close()
+	if _, err := c.Write(head); err != nil {
+		t.Fatalf("write oversized header: %v", err)
+	}
+	// Send nothing further: the rejection must come from the header.
+	resp, err := http.ReadResponse(bufio.NewReader(c), nil)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || resp.Header.Get("X-Outcome") != "badframe" {
+		t.Fatalf("oversized frame: status %d outcome %q, want 400 badframe",
+			resp.StatusCode, resp.Header.Get("X-Outcome"))
+	}
+	if got := d.badFrames.Load(); got != 1 {
+		t.Errorf("badframe counter = %d, want 1", got)
+	}
+	waitBufsDrained(t, d)
+}

@@ -6,6 +6,7 @@ import (
 
 	"listrank/internal/arena"
 	"listrank/internal/fleet"
+	"listrank/internal/govern"
 	"listrank/internal/kernel"
 )
 
@@ -126,9 +127,12 @@ type layout struct {
 type reorderCache struct {
 	// after is the serve count within a version that triggers a
 	// build; 0 disables the cache. budget bounds the summed bytes of
-	// attached layouts.
+	// attached layouts. gov is the server's memory governor: attached
+	// layout bytes are accounted as ClassReorder, and a governor at
+	// soft pressure or worse vetoes new builds.
 	after  int
 	budget int64
+	gov    *govern.Governor
 
 	mu         sync.Mutex
 	bytes      int64
@@ -138,9 +142,10 @@ type reorderCache struct {
 	hits, misses, builds, evictions atomic.Int64
 }
 
-func (rc *reorderCache) init(after int, budget int64) {
+func (rc *reorderCache) init(after int, budget int64, gov *govern.Governor) {
 	rc.after = after
 	rc.budget = budget
+	rc.gov = gov
 	rc.free.New = func() *layout { return &layout{} }
 }
 
@@ -189,6 +194,7 @@ func (rc *reorderCache) publish(h *Handle, lay *layout, ver uint64) bool {
 	lay.refs = 1
 	lay.detached = false
 	rc.bytes += lay.bytes
+	rc.gov.Adjust(govern.ClassReorder, lay.bytes)
 	rc.pushFront(lay)
 	for rc.bytes > rc.budget && rc.tail != nil && rc.tail != lay {
 		victim := rc.tail
@@ -197,6 +203,18 @@ func (rc *reorderCache) publish(h *Handle, lay *layout, ver uint64) bool {
 	}
 	rc.mu.Unlock()
 	return true
+}
+
+// purge detaches every attached layout. Server.Close calls it after
+// the dispatchers stop, so a closed server's governor accounting
+// (ClassReorder) returns to zero and the process-wide pressure level
+// reflects only live servers.
+func (rc *reorderCache) purge() {
+	rc.mu.Lock()
+	for rc.head != nil {
+		rc.detachLocked(rc.head)
+	}
+	rc.mu.Unlock()
 }
 
 // invalidate detaches the handle's layout, if any. The version bump
@@ -216,6 +234,7 @@ func (rc *reorderCache) invalidate(h *Handle) {
 func (rc *reorderCache) detachLocked(lay *layout) {
 	rc.unlink(lay)
 	rc.bytes -= lay.bytes
+	rc.gov.Adjust(govern.ClassReorder, -lay.bytes)
 	lay.h.layout = nil
 	lay.detached = true
 	lay.refs--
@@ -337,6 +356,13 @@ func (sh *shard) maybeBuild(h *Handle, e *Engine, procs int, req *Request) {
 	}
 	h.hits++
 	if h.hits < rc.after {
+		return
+	}
+	// Under memory pressure a build is exactly the optional growth to
+	// skip: the cold path already served the request correctly, and
+	// the serve count keeps accruing, so the build happens on the
+	// first post-pressure serve instead.
+	if rc.gov.Level() >= govern.LevelSoft {
 		return
 	}
 	n := h.n

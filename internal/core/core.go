@@ -692,6 +692,11 @@ func scanAdd(out []int64, l *list.List, values []int64, opt Options, depth int, 
 		}
 	}
 
+	// A canceled Phase 1 leaves v.cur partially stale (see the same
+	// guard in ranksEnc); abandon before any stage consumes it.
+	if opt.Cancel.Canceled() {
+		panic(ErrCanceled)
+	}
 	findSuccessors(out, v, p, sc)
 
 	// Fold each sublist's tail value (identity-overwritten in list

@@ -51,6 +51,11 @@ func scanOp(out []int64, l *list.List, values []int64, op func(a, b int64) int64
 		}
 	}
 
+	// A canceled Phase 1 leaves v.cur partially stale (see the same
+	// guard in ranksEnc); abandon before any stage consumes it.
+	if opt.Cancel.Canceled() {
+		panic(ErrCanceled)
+	}
 	findSuccessors(out, v, p, sc)
 
 	if p == 1 {

@@ -78,6 +78,11 @@ func scanAddOversampled(out []int64, l *list.List, values []int64, opt Options, 
 	oversampledPhase1(l, values, v, reserve, trigger, opt)
 
 	k := len(v.r) // grown by activations
+	// A canceled Phase 1 leaves v.cur partially stale (see the same
+	// guard in ranksEnc); abandon before any stage consumes it.
+	if opt.Cancel.Canceled() {
+		panic(ErrCanceled)
+	}
 	findSuccessors(out, v, 1, sc)
 	for j := 0; j < k; j++ {
 		s := v.succ[j]

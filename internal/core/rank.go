@@ -67,6 +67,14 @@ func ranksEnc(out []int64, l *list.List, opt Options, depth int, sc *Scratch) {
 		}
 	}
 
+	// A Phase 1 abandoned mid-chase leaves v.cur only partially
+	// written: entries for sublists no worker reached are stale
+	// scratch from a previous (possibly larger) problem on this
+	// engine, so findSuccessors must not index out with them. Abandon
+	// here rather than at the Phase 2 checkpoint.
+	if opt.Cancel.Canceled() {
+		panic(ErrCanceled)
+	}
 	findSuccessors(out, v, p, sc)
 
 	// No tail-value fold: unlike the generic engine, the sublist

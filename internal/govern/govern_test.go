@@ -1,0 +1,137 @@
+package govern
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestUnlimitedAlwaysOK(t *testing.T) {
+	g := New(0)
+	g.Adjust(ClassReorder, 1<<40)
+	if got := g.Level(); got != LevelOK {
+		t.Fatalf("unlimited governor Level = %v, want LevelOK", got)
+	}
+	if got := g.Used(); got != 1<<40 {
+		t.Fatalf("Used = %d, want %d", got, int64(1)<<40)
+	}
+}
+
+func TestNilGovernorSafe(t *testing.T) {
+	var g *Governor
+	g.Adjust(ClassWire, 123) // must not panic
+	if g.Level() != LevelOK || g.Used() != 0 || g.ClassUsed(ClassWire) != 0 {
+		t.Fatal("nil governor must read as empty and OK")
+	}
+	if s := g.Snapshot(); s.Used != 0 || s.Level != LevelOK {
+		t.Fatal("nil governor snapshot must be zero")
+	}
+}
+
+func TestLevelThresholds(t *testing.T) {
+	g := New(1000)
+	cases := []struct {
+		used int64
+		want Level
+	}{
+		{0, LevelOK},
+		{799, LevelOK},
+		{800, LevelSoft}, // default soft = 80%
+		{949, LevelSoft},
+		{950, LevelHard}, // default hard = 95%
+		{2000, LevelHard},
+	}
+	var prev int64
+	for _, c := range cases {
+		g.Adjust(ClassMmap, c.used-prev)
+		prev = c.used
+		if got := g.Level(); got != c.want {
+			t.Fatalf("used=%d: Level = %v, want %v", c.used, got, c.want)
+		}
+	}
+}
+
+func TestSetThresholds(t *testing.T) {
+	g := New(100)
+	g.SetThresholds(50, 90)
+	g.Adjust(ClassSegment, 50)
+	if got := g.Level(); got != LevelSoft {
+		t.Fatalf("used=50 soft=50%%: Level = %v, want LevelSoft", got)
+	}
+	g.Adjust(ClassSegment, 40)
+	if got := g.Level(); got != LevelHard {
+		t.Fatalf("used=90 hard=90%%: Level = %v, want LevelHard", got)
+	}
+	// Invalid thresholds fall back to defaults.
+	g.SetThresholds(90, 50)
+	if got := g.Level(); got != LevelSoft { // 90/100 >= 80%, < 95%
+		t.Fatalf("after invalid SetThresholds: Level = %v, want LevelSoft", got)
+	}
+}
+
+func TestClassAccounting(t *testing.T) {
+	g := New(0)
+	g.Adjust(ClassReorder, 100)
+	g.Adjust(ClassWire, 50)
+	g.Adjust(ClassReorder, -40)
+	if got := g.ClassUsed(ClassReorder); got != 60 {
+		t.Fatalf("ClassUsed(reorder) = %d, want 60", got)
+	}
+	if got := g.ClassUsed(ClassWire); got != 50 {
+		t.Fatalf("ClassUsed(wire) = %d, want 50", got)
+	}
+	if got := g.Used(); got != 110 {
+		t.Fatalf("Used = %d, want 110", got)
+	}
+	s := g.Snapshot()
+	if s.ByClass[ClassReorder] != 60 || s.ByClass[ClassWire] != 50 || s.Used != 110 {
+		t.Fatalf("snapshot mismatch: %+v", s)
+	}
+}
+
+func TestConcurrentAdjustBalances(t *testing.T) {
+	g := New(1 << 30)
+	const (
+		workers = 8
+		rounds  = 10000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			class := Class(w % int(numClasses))
+			for i := 0; i < rounds; i++ {
+				g.Adjust(class, 64)
+				g.Adjust(class, -64)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.Used(); got != 0 {
+		t.Fatalf("Used after balanced adjusts = %d, want 0", got)
+	}
+	for c := Class(0); c < numClasses; c++ {
+		if got := g.ClassUsed(c); got != 0 {
+			t.Fatalf("ClassUsed(%v) = %d, want 0", c, got)
+		}
+	}
+}
+
+func TestClassAndLevelStrings(t *testing.T) {
+	if ClassReorder.String() != "reorder" || ClassSegment.String() != "segment" ||
+		ClassMmap.String() != "mmap" || ClassWire.String() != "wire" {
+		t.Fatal("class names changed; metrics labels depend on these")
+	}
+	if LevelOK.String() != "ok" || LevelSoft.String() != "soft" || LevelHard.String() != "hard" {
+		t.Fatal("level names changed; metrics labels depend on these")
+	}
+	if Class(99).String() != "unknown" || Level(99).String() != "unknown" {
+		t.Fatal("out-of-range enum should stringify as unknown")
+	}
+}
+
+func TestProcessSingleton(t *testing.T) {
+	if Process() == nil || Process() != Process() {
+		t.Fatal("Process() must return a stable non-nil governor")
+	}
+}

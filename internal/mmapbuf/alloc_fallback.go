@@ -1,0 +1,13 @@
+//go:build !linux
+
+package mmapbuf
+
+import "os"
+
+// preallocate on platforms without fallocate(2) is a chunked
+// zero-fill: slower, but every block is really allocated when Create
+// returns, so a full disk is an error here rather than a SIGBUS (or,
+// on the heap fallback, a failed write-back) later.
+func preallocate(f *os.File, size int64) error {
+	return zeroFill(f, size)
+}

@@ -1,0 +1,29 @@
+//go:build linux
+
+package mmapbuf
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// preallocate reserves real filesystem blocks for [0, size) with
+// fallocate(2): constant-time on extent filesystems, and it turns a
+// full disk into an ENOSPC error at Create instead of a SIGBUS at
+// first page touch. Filesystems without fallocate support (ENOTSUP /
+// ENOSYS — e.g. some network or FUSE mounts) fall back to a chunked
+// zero-fill, which allocates the same blocks the slow way.
+func preallocate(f *os.File, size int64) error {
+	if size == 0 {
+		return nil
+	}
+	err := syscall.Fallocate(int(f.Fd()), 0, 0, size)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, syscall.EOPNOTSUPP) || errors.Is(err, syscall.ENOSYS) {
+		return zeroFill(f, size)
+	}
+	return err
+}

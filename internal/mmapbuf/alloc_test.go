@@ -1,0 +1,95 @@
+package mmapbuf
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"listrank/internal/govern"
+)
+
+// TestCreatePreallocates proves Create leaves no sparse holes: every
+// block is really allocated, so a full disk is an ENOSPC error at
+// Create instead of a SIGBUS when a mapped page is first touched.
+func TestCreatePreallocates(t *testing.T) {
+	const size = 1 << 20
+	f, err := Create(t.TempDir(), "spill.bin", size, nil)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer f.Close()
+	var st syscall.Stat_t
+	if err := syscall.Stat(f.path, &st); err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	// Blocks is in 512-byte units; a fully allocated 1 MiB file has at
+	// least 2048 of them (allow filesystem slack downward only for
+	// compression-capable filesystems — none in CI — so require the
+	// full count).
+	if got := st.Blocks * 512; got < size {
+		t.Fatalf("file has %d allocated bytes for %d logical — still sparse, ENOSPC would SIGBUS", got, size)
+	}
+}
+
+// TestCreateENOSPCContained fills a tiny tmpfs and asserts the error
+// is a clean ENOSPC from Create, not a crash. Mounting needs
+// privileges; the test skips where it has none (regular CI test
+// jobs), and the preallocation property it guards is covered
+// unprivileged by TestCreatePreallocates.
+func TestCreateENOSPCContained(t *testing.T) {
+	dir := t.TempDir()
+	if err := syscall.Mount("tmpfs", dir, "tmpfs", 0, "size=65536"); err != nil {
+		t.Skipf("cannot mount tiny tmpfs (%v); need privileges", err)
+	}
+	defer syscall.Unmount(dir, 0)
+
+	// Far larger than the 64 KiB filesystem: preallocation must fail.
+	_, err := Create(dir, "big.bin", 1<<20, nil)
+	if err == nil {
+		t.Fatal("Create of 1 MiB on a 64 KiB filesystem succeeded")
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Create error = %v, want ENOSPC", err)
+	}
+	// The failed create must not leave the file behind.
+	if _, serr := os.Stat(filepath.Join(dir, "big.bin")); !os.IsNotExist(serr) {
+		t.Fatalf("failed Create left the file behind: %v", serr)
+	}
+}
+
+// TestBudgetGovernForwarding: a governed budget mirrors its resident
+// bytes into the governor's ClassMmap ledger and returns to zero.
+func TestBudgetGovernForwarding(t *testing.T) {
+	g := govern.New(0)
+	b := NewBudget(1 << 16) // exactly one 64 KiB window
+	b.Govern(g)
+	f, err := Create(t.TempDir(), "spill.bin", 1<<16, b)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer f.Close()
+
+	r, err := f.Map(0, 1<<16, false)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if got, res := g.ClassUsed(govern.ClassMmap), b.Resident(); got != res || got == 0 {
+		t.Fatalf("governor ClassMmap = %d, budget resident = %d; want equal and nonzero", got, res)
+	}
+	// A reservation rejected by the budget must not leak into the
+	// governor.
+	if _, err := f.Map(0, 1<<16, false); !errors.Is(err, ErrBudget) {
+		t.Fatalf("second Map error = %v, want ErrBudget", err)
+	}
+	if got := g.ClassUsed(govern.ClassMmap); got != b.Resident() {
+		t.Fatalf("governor ClassMmap after rejected Map = %d, want %d", got, b.Resident())
+	}
+	if err := r.Unmap(); err != nil {
+		t.Fatalf("Unmap: %v", err)
+	}
+	if got := g.ClassUsed(govern.ClassMmap); got != 0 {
+		t.Fatalf("governor ClassMmap after Unmap = %d, want 0", got)
+	}
+}

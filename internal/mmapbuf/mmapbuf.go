@@ -20,6 +20,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"listrank/internal/govern"
 )
 
 // ErrBudget is returned (wrapped) by Map when the reservation would
@@ -27,17 +29,30 @@ import (
 var ErrBudget = errors.New("mmapbuf: resident budget exceeded")
 
 // Budget is a shared resident-bytes ledger. The zero limit means
-// unlimited (accounting only).
+// unlimited (accounting only). A budget may additionally forward its
+// reservations to a process-wide governor (Govern), so out-of-core
+// mapped bytes show up in the same ledger as the reorder cache and
+// the daemon's wire buffers.
 type Budget struct {
 	mu       sync.Mutex
 	limit    int64
 	resident int64
 	peak     int64
+	gov      *govern.Governor
 }
 
 // NewBudget returns a ledger with the given limit in bytes; limit <= 0
 // means unlimited.
 func NewBudget(limit int64) *Budget { return &Budget{limit: limit} }
+
+// Govern forwards this budget's reservations to g as ClassMmap bytes
+// (nil detaches). Call before the first Map; reservations made while
+// attached are released against the same governor.
+func (b *Budget) Govern(g *govern.Governor) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.gov = g
+}
 
 func (b *Budget) reserve(n int64) error {
 	b.mu.Lock()
@@ -49,6 +64,7 @@ func (b *Budget) reserve(n int64) error {
 	if b.resident > b.peak {
 		b.peak = b.resident
 	}
+	b.gov.Adjust(govern.ClassMmap, n)
 	return nil
 }
 
@@ -59,6 +75,7 @@ func (b *Budget) release(n int64) {
 	if b.resident < 0 {
 		panic("mmapbuf: budget released more than reserved")
 	}
+	b.gov.Adjust(govern.ClassMmap, -n)
 }
 
 // Limit returns the configured limit (0 = unlimited).
@@ -87,7 +104,12 @@ type File struct {
 
 // Create creates (truncating) a spill file of the given size in dir,
 // charging its mapped windows to budget (nil means unaccounted and
-// unlimited). The file is removed by Close.
+// unlimited). The file's blocks are preallocated — fallocate where
+// the OS supports it, a chunked zero-fill otherwise — so a full disk
+// surfaces here as a clean ENOSPC error instead of as a SIGBUS when a
+// mapped page of a sparse file is first touched (a fault Go cannot
+// recover and that would kill the whole serving process). The file is
+// removed by Close.
 func Create(dir, name string, size int64, budget *Budget) (*File, error) {
 	if size < 0 {
 		return nil, fmt.Errorf("mmapbuf: negative size %d", size)
@@ -102,10 +124,37 @@ func Create(dir, name string, size int64, budget *Budget) (*File, error) {
 		os.Remove(path)
 		return nil, err
 	}
+	if err := preallocate(f, size); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("mmapbuf: preallocate %d bytes for %s: %w", size, name, err)
+	}
 	if budget == nil {
 		budget = NewBudget(0)
 	}
 	return &File{f: f, path: path, budget: budget, size: size, regions: make(map[*Region]struct{})}, nil
+}
+
+// zeroFill writes zeros over [0, size) in chunks — the portable
+// preallocation: every filesystem block is really allocated when it
+// returns, so ENOSPC surfaces as a write error here.
+func zeroFill(f *os.File, size int64) error {
+	const chunk = 1 << 20
+	buf := make([]byte, min64(chunk, size))
+	for off := int64(0); off < size; off += chunk {
+		n := min64(chunk, size-off)
+		if _, err := f.WriteAt(buf[:n], off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // Size returns the file's current size.

@@ -1,0 +1,284 @@
+// Package netchaos is an in-process TCP chaos proxy for exercising a
+// network server against hostile transport conditions without leaving
+// the test process: added latency and jitter, bandwidth throttling,
+// partial writes (small forwarded chunks), mid-stream stalls that
+// freeze a connection part-way through a frame, and abrupt connection
+// resets (RST, not FIN). Every degradation is driven by a per-
+// connection deterministic RNG derived from Config.Seed and the
+// connection's accept sequence number, so a failing soak replays
+// byte-for-byte under the same seed.
+//
+// The proxy listens on 127.0.0.1:0 and forwards to a fixed target
+// address. Close tears down the listener and every live connection
+// and then waits for all pump goroutines to exit, so a test can
+// assert a stable goroutine count after Close — the proxy itself
+// never leaks.
+package netchaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config selects which faults the proxy injects. The zero value is a
+// transparent proxy. All faults compose: a connection can be
+// throttled, chunked, stalled, and finally reset.
+type Config struct {
+	// Latency is a fixed delay added before each forwarded chunk, in
+	// each direction; Jitter adds a further uniform draw over
+	// [0, Jitter) on top.
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// BandwidthBps throttles each direction of each connection to
+	// roughly this many bytes per second by sleeping after each
+	// forwarded chunk. 0 = unthrottled.
+	BandwidthBps int64
+
+	// ChunkMax caps the bytes forwarded per write, forcing the peer to
+	// see partial writes and reassemble frames across many reads.
+	// 0 = forward whole reads.
+	ChunkMax int
+
+	// StallEvery freezes the stream for StallFor before every Nth
+	// forwarded chunk (per direction) — a mid-frame stall: the bytes
+	// up to the chunk boundary have been delivered and the rest
+	// arrives only after the pause. 0 = never stall.
+	StallEvery int
+	StallFor   time.Duration
+
+	// ResetEvery aborts every Nth accepted connection (1 = all) with a
+	// TCP RST once it has forwarded ResetAfterBytes bytes (both
+	// directions combined), simulating a peer that dies mid-exchange
+	// rather than closing cleanly. 0 = never reset.
+	ResetEvery      int
+	ResetAfterBytes int64
+
+	// Seed derives each connection's RNG. Same seed, same fault
+	// schedule.
+	Seed int64
+}
+
+// Stats is a snapshot of the proxy's lifetime counters.
+type Stats struct {
+	Conns  int64 // connections accepted
+	Resets int64 // connections aborted with RST
+	Stalls int64 // mid-stream stalls injected
+	Bytes  int64 // payload bytes forwarded (both directions)
+}
+
+// Proxy is one chaos proxy instance. Create with New, point clients
+// at Addr, Close when done.
+type Proxy struct {
+	cfg    Config
+	target string
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	live  map[*proxyConn]struct{}
+	seq   int64
+	conns atomic.Int64
+	rsts  atomic.Int64
+	stls  atomic.Int64
+	bytes atomic.Int64
+}
+
+// proxyConn pairs the two sides of one forwarded connection so Close
+// and the reset path can tear both down together.
+type proxyConn struct {
+	client *net.TCPConn
+	server net.Conn
+	fwd    atomic.Int64 // bytes forwarded, both directions
+	reset  atomic.Bool
+}
+
+// New starts a proxy on 127.0.0.1:0 forwarding to target.
+func New(target string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{cfg: cfg, target: target, ln: ln, live: map[*proxyConn]struct{}{}}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats returns a snapshot of the proxy's counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Conns:  p.conns.Load(),
+		Resets: p.rsts.Load(),
+		Stalls: p.stls.Load(),
+		Bytes:  p.bytes.Load(),
+	}
+}
+
+// Close stops accepting, severs every live connection, and waits for
+// all pump goroutines to exit.
+func (p *Proxy) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := p.ln.Close()
+	p.mu.Lock()
+	for pc := range p.live {
+		pc.client.Close()
+		pc.server.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		seq := func() int64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			p.seq++
+			return p.seq
+		}()
+		p.conns.Add(1)
+		p.wg.Add(1)
+		go p.serve(c.(*net.TCPConn), seq)
+	}
+}
+
+func (p *Proxy) serve(client *net.TCPConn, seq int64) {
+	defer p.wg.Done()
+	server, err := net.Dial("tcp", p.target)
+	if err != nil {
+		client.Close()
+		return
+	}
+	pc := &proxyConn{client: client, server: server}
+	p.mu.Lock()
+	if p.closed.Load() {
+		p.mu.Unlock()
+		client.Close()
+		server.Close()
+		return
+	}
+	p.live[pc] = struct{}{}
+	p.mu.Unlock()
+
+	resetAt := int64(-1)
+	if p.cfg.ResetEvery > 0 && seq%int64(p.cfg.ResetEvery) == 0 {
+		resetAt = p.cfg.ResetAfterBytes
+	}
+
+	var pumps sync.WaitGroup
+	pumps.Add(2)
+	go p.pump(pc, client, server, seq*2, resetAt, &pumps)
+	go p.pump(pc, server, client, seq*2+1, resetAt, &pumps)
+	pumps.Wait()
+
+	client.Close()
+	server.Close()
+	p.mu.Lock()
+	delete(p.live, pc)
+	p.mu.Unlock()
+}
+
+// pump forwards src→dst with the configured degradations until either
+// side errors or the connection's reset budget is spent.
+func (p *Proxy) pump(pc *proxyConn, src, dst net.Conn, streamID, resetAt int64, pumps *sync.WaitGroup) {
+	defer pumps.Done()
+	rng := splitmix(uint64(p.cfg.Seed) ^ uint64(streamID)*0x9E3779B97F4A7C15)
+	buf := make([]byte, 32<<10)
+	chunks := 0
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			data := buf[:n]
+			for len(data) > 0 {
+				c := len(data)
+				if p.cfg.ChunkMax > 0 && c > p.cfg.ChunkMax {
+					c = p.cfg.ChunkMax
+				}
+				chunks++
+				if p.cfg.StallEvery > 0 && chunks%p.cfg.StallEvery == 0 {
+					p.stls.Add(1)
+					time.Sleep(p.cfg.StallFor)
+				}
+				if d := p.delay(&rng, c); d > 0 {
+					time.Sleep(d)
+				}
+				if resetAt >= 0 && pc.fwd.Load() >= resetAt {
+					p.abort(pc)
+					return
+				}
+				if _, werr := dst.Write(data[:c]); werr != nil {
+					return
+				}
+				pc.fwd.Add(int64(c))
+				p.bytes.Add(int64(c))
+				data = data[c:]
+			}
+		}
+		if err != nil {
+			// EOF on one direction: half-close toward the destination so
+			// in-flight responses still drain the other way.
+			if err == io.EOF {
+				if tc, ok := dst.(*net.TCPConn); ok {
+					tc.CloseWrite()
+				}
+			}
+			return
+		}
+	}
+}
+
+// delay computes the per-chunk sleep: fixed latency, plus jitter from
+// the stream's deterministic RNG, plus the bandwidth-shaped cost of
+// the chunk itself.
+func (p *Proxy) delay(rng *uint64, chunk int) time.Duration {
+	d := p.cfg.Latency
+	if p.cfg.Jitter > 0 {
+		d += time.Duration(splitmixNext(rng) % uint64(p.cfg.Jitter))
+	}
+	if p.cfg.BandwidthBps > 0 {
+		d += time.Duration(int64(chunk) * int64(time.Second) / p.cfg.BandwidthBps)
+	}
+	return d
+}
+
+// abort kills both sides of a connection with an RST toward the
+// client (SO_LINGER 0 turns Close into a reset), so the peer sees
+// ECONNRESET mid-stream rather than a clean EOF.
+func (p *Proxy) abort(pc *proxyConn) {
+	if !pc.reset.CompareAndSwap(false, true) {
+		return
+	}
+	p.rsts.Add(1)
+	pc.client.SetLinger(0)
+	pc.client.Close()
+	pc.server.Close()
+}
+
+// splitmix seeds a splitmix64 stream; splitmixNext advances it. A
+// tiny inline PRNG keeps the per-chunk jitter draw allocation-free
+// and independent of math/rand's global lock.
+func splitmix(seed uint64) uint64 { return seed }
+
+func splitmixNext(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

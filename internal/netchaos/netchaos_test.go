@@ -1,0 +1,213 @@
+package netchaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes everything back until the
+// peer half-closes. Returns the listen address and a stop func.
+func echoServer(t *testing.T) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				io.Copy(c, c)
+				c.Close()
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }
+}
+
+func roundTrip(t *testing.T, addr string, payload []byte) []byte {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write(payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.(*net.TCPConn).CloseWrite()
+	got, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return got
+}
+
+// TestPassthrough: a zero-config proxy is transparent — bytes survive
+// unmodified in both directions.
+func TestPassthrough(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+
+	payload := bytes.Repeat([]byte("abcdefgh"), 8192) // 64 KiB
+	if got := roundTrip(t, p.Addr(), payload); !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted: %d bytes back, want %d", len(got), len(payload))
+	}
+	st := p.Stats()
+	if st.Conns != 1 || st.Bytes < int64(2*len(payload)) {
+		t.Fatalf("stats = %+v, want 1 conn and >= %d bytes", st, 2*len(payload))
+	}
+}
+
+// TestChunkingPreservesBytes: tiny forwarded chunks with latency and
+// jitter reorder nothing and lose nothing — the stream is merely slow.
+func TestChunkingPreservesBytes(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Config{
+		ChunkMax: 7,
+		Latency:  100 * time.Microsecond,
+		Jitter:   100 * time.Microsecond,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+
+	payload := bytes.Repeat([]byte{0xA5, 0x5A, 0x01}, 997)
+	start := time.Now()
+	got := roundTrip(t, p.Addr(), payload)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted through chunked path")
+	}
+	// ~427 chunks each way at >= 100µs apiece: the transfer cannot have
+	// been instant. Keep the bound loose (10ms) for slow CI.
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("chunked transfer finished in %v — latency not injected", elapsed)
+	}
+}
+
+// TestStallInjection: a stall-every-chunk config must record stalls
+// and still deliver the payload.
+func TestStallInjection(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Config{
+		ChunkMax:   64,
+		StallEvery: 4,
+		StallFor:   time.Millisecond,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+
+	payload := bytes.Repeat([]byte("stall"), 512)
+	if got := roundTrip(t, p.Addr(), payload); !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted through stalling path")
+	}
+	if st := p.Stats(); st.Stalls == 0 {
+		t.Fatalf("stats = %+v, want stalls > 0", st)
+	}
+}
+
+// TestReset: a connection past its reset budget dies with an error on
+// the client side — not a clean EOF with truncated-but-plausible data.
+func TestReset(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Config{
+		ResetEvery:      1,
+		ResetAfterBytes: 1024,
+		ChunkMax:        256,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	payload := bytes.Repeat([]byte("x"), 1<<20)
+	// Either the write or the read must fail: the proxy aborts after
+	// ~1 KiB of the megabyte has moved.
+	_, werr := c.Write(payload)
+	var rerr error
+	if werr == nil {
+		_, rerr = io.Copy(io.Discard, c)
+	}
+	if werr == nil && rerr == nil {
+		t.Fatal("1 MiB round-tripped through a proxy that resets after 1 KiB")
+	}
+	if st := p.Stats(); st.Resets != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 reset", st)
+	}
+}
+
+// TestCloseReleasesEverything: Close with live, mid-transfer
+// connections must terminate every pump goroutine and return. The
+// goroutine count returning to baseline is the leak check.
+func TestCloseReleasesEverything(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	baseline := runtime.NumGoroutine()
+
+	p, err := New(addr, Config{BandwidthBps: 64 << 10, ChunkMax: 512, Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Park several connections mid-transfer on the throttled path.
+	var conns []net.Conn
+	for i := 0; i < 4; i++ {
+		c, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		conns = append(conns, c)
+		go c.Write(bytes.Repeat([]byte("y"), 1<<20))
+	}
+	time.Sleep(20 * time.Millisecond) // let the pumps start moving bytes
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	// Double Close is a no-op.
+	if err := p.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d at baseline, %d after Close", baseline, runtime.NumGoroutine())
+}

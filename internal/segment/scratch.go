@@ -332,6 +332,29 @@ func (sc *Scratch) Phase2(rhead int64, mode Mode, op func(a, b int64) int64, ide
 // Nodes returns B, the boundary-list size of the prepared call.
 func (sc *Scratch) Nodes() int { return len(sc.headv) }
 
+// Footprint returns the arena's retained heap bytes — the summed
+// capacities of every buffer it owns, which persist across calls by
+// design. The serving layer reports this to the process memory
+// governor for the lifetime of each segmented parent. The embedded
+// core arena (Phase 2) is not included: it is sized by B, the reduced
+// list, which is orders of magnitude smaller than the per-vertex
+// tables counted here.
+func (sc *Scratch) Footprint() int64 {
+	var b int64
+	for _, ls := range sc.exits {
+		b += int64(cap(ls)) * 8
+	}
+	for _, ls := range sc.inbox {
+		b += int64(cap(ls)) * 8
+	}
+	b += int64(cap(sc.exits)+cap(sc.inbox)) * 24 // slice headers
+	b += int64(cap(sc.headv)+cap(sc.sum)+cap(sc.exitv)+cap(sc.succ)+cap(sc.pfx)) * 8
+	b += int64(cap(sc.base)) * 4
+	b += int64(cap(sc.runid)) * 4
+	b += int64(cap(sc.cuts)) * 8
+	return b
+}
+
 // Release drops the arena's references to caller-owned storage.
 // Backends that drive the step API directly (rather than through
 // RankInto and friends, which release on return) call it when their

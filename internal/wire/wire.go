@@ -337,6 +337,15 @@ type Buffer struct {
 	raw []byte
 }
 
+// Footprint returns the buffer's retained heap bytes — the summed
+// capacities of its arenas, which persist across requests by design
+// (they are the wire-level zero-allocation steady state). Daemons
+// report this to the process memory governor as pooled wire-buffer
+// bytes.
+func (b *Buffer) Footprint() int64 {
+	return int64(cap(b.Next)+cap(b.Value)+cap(b.Dst))*8 + int64(cap(b.raw))
+}
+
 // ReadRequest streams one request frame from r into b's arenas:
 // header first, then the succ (and optional value) payload widened
 // int32 → int64 through the staging chunk. A frame without a value

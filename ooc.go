@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"listrank/internal/govern"
 	"listrank/internal/mmapbuf"
 	"listrank/internal/segment"
 )
@@ -40,6 +41,11 @@ type OutOfCoreOptions struct {
 	Procs int
 	// Seed seeds the boundary rank's splitter selection.
 	Seed uint64
+	// Governor, when non-nil, receives this list's resident mapped
+	// bytes as ClassMmap — so out-of-core traffic shows up in the same
+	// process-wide pressure ledger as the serving layer's caches. nil
+	// selects the shared ProcessGovernor().
+	Governor *Governor
 }
 
 // OutOfCoreStats describes the last completed ranking call.
@@ -95,6 +101,11 @@ func NewOutOfCoreList(n int, opt OutOfCoreOptions) (*OutOfCoreList, error) {
 		return nil, err
 	}
 	o := &OutOfCoreList{n: n, dir: dir, opt: opt, budget: mmapbuf.NewBudget(opt.Budget), sc: segment.NewScratch()}
+	if opt.Governor != nil {
+		o.budget.Govern(opt.Governor)
+	} else {
+		o.budget.Govern(govern.Process())
+	}
 	for _, f := range []struct {
 		name string
 		dst  **mmapbuf.File

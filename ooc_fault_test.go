@@ -1,0 +1,68 @@
+//go:build linux
+
+package listrank
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+)
+
+// TestOutOfCoreENOSPCContained: spill storage on an exhausted tiny
+// filesystem must surface as a clean error from the out-of-core API —
+// never as a SIGBUS crash from touching an unbacked mapped page.
+// Block preallocation at spill-file creation is what guarantees this
+// (internal/mmapbuf); here we drive it through the public path.
+// Mounting a tiny tmpfs needs privileges; skip without them (the
+// preallocation property itself is asserted unprivileged in
+// internal/mmapbuf).
+func TestOutOfCoreENOSPCContained(t *testing.T) {
+	dir := t.TempDir()
+	if err := syscall.Mount("tmpfs", dir, "tmpfs", 0, "size=131072"); err != nil {
+		t.Skipf("cannot mount tiny tmpfs (%v); need privileges", err)
+	}
+	defer syscall.Unmount(dir, 0)
+
+	// next+dst spill alone needs n*16 bytes — far over the 128 KiB
+	// filesystem. Creation must fail cleanly, not crash later.
+	o, err := NewOutOfCoreList(1<<20, OutOfCoreOptions{Dir: dir})
+	if err == nil {
+		o.Close()
+		t.Fatal("NewOutOfCoreList on an exhausted filesystem succeeded")
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("error = %v, want ENOSPC", err)
+	}
+
+	// A list that fits must still work end to end on the same mount:
+	// the containment is per-file, not a poisoned state.
+	const n = 1 << 10
+	o, err = NewOutOfCoreList(n, OutOfCoreOptions{Dir: dir, Budget: 1 << 20})
+	if err != nil {
+		t.Fatalf("NewOutOfCoreList(fits): %v", err)
+	}
+	defer o.Close()
+	next := make([]int64, n)
+	for i := range next {
+		if i == n-1 {
+			next[i] = int64(i) // tail self-loop
+		} else {
+			next[i] = int64(i + 1)
+		}
+	}
+	if err := o.Append(next, nil); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := o.Rank(0); err != nil {
+		t.Fatalf("Rank: %v", err)
+	}
+	out := make([]int64, n)
+	if err := o.ReadResult(0, out); err != nil {
+		t.Fatalf("ReadResult: %v", err)
+	}
+	for i, r := range out {
+		if r != int64(i) {
+			t.Fatalf("rank[%d] = %d, want %d", i, r, i)
+		}
+	}
+}

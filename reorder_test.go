@@ -267,7 +267,7 @@ func TestHandleInvalidateRace(t *testing.T) {
 	wg.Wait()
 	// The identity still holds with handle traffic in the mix.
 	st := s.Stats()
-	if st.Submitted != st.Served+st.Rejected+st.Expired+st.Poisoned {
+	if st.Submitted != st.Served+st.Rejected+st.Expired+st.Poisoned+st.Shed {
 		t.Errorf("accounting identity broken: %+v", st)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -11,6 +13,7 @@ import (
 
 	"listrank/internal/core"
 	"listrank/internal/fleet"
+	"listrank/internal/govern"
 )
 
 // This file is the serving layer: a long-lived, sharded fleet of warm
@@ -155,6 +158,13 @@ var (
 	// Wait's error wraps ErrPanic and preserves the original panic
 	// message; errors.Is(err, ErrPanic) classifies it.
 	ErrPanic = errors.New("listrank: panic while serving request")
+	// ErrShed reports a request fast-rejected at admission by adaptive
+	// load shedding: either the target shard's estimated queue wait
+	// already exceeded the request's Deadline (ServerOptions.Shed), or
+	// the memory governor read hard pressure. The request never ran
+	// and never occupied a queue slot; the caller should back off
+	// before retrying (the daemon maps it to 429 + Retry-After).
+	ErrShed = errors.New("listrank: request shed at admission")
 )
 
 // Ticket is the future returned by Submit. Exactly one Wait call must
@@ -168,6 +178,11 @@ type Ticket struct {
 	// cancel is the request's cooperative cancellation token, armed at
 	// submission from Deadline/Ctx and recycled with the ticket.
 	cancel core.Cancel
+	// elems is the ticket's element count while it occupies a shard
+	// queue — the unit of the shard's backlog gauge for shed-wait
+	// estimation. Set just before the queue hand-off, zeroed by
+	// whichever completion path drains it (exactly one does).
+	elems int
 }
 
 // Cancel asks the server to abandon the request: if it is still
@@ -249,6 +264,23 @@ type ServerOptions struct {
 	// least-recently-used layouts to stay under its share. 0 selects
 	// the default of 256 MiB; negative disables the reorder cache.
 	ReorderBudgetBytes int64
+	// Shed enables deadline-aware adaptive admission: each shard keeps
+	// an EWMA of serve-time ns per element and an element backlog
+	// gauge, and a request with a Deadline whose estimated queue wait
+	// already exceeds it is fast-rejected with ErrShed in microseconds
+	// instead of expiring at p99 after consuming a queue slot.
+	// Requests without a Deadline are never deadline-shed. Independent
+	// of this flag, a Governor reading hard memory pressure sheds all
+	// new non-trivial load (see Governor).
+	Shed bool
+	// Governor is the process-wide memory governor this server reads
+	// at admission and reports reorder/segment footprints to. nil
+	// selects the shared ProcessGovernor(), which is unlimited until
+	// configured — so the zero value changes nothing. Under
+	// GovernSoft the server stops building new reorder layouts and
+	// stops auto-segmenting (explicit Request.Segments is still
+	// honored); under GovernHard it sheds new load with ErrShed.
+	Governor *Governor
 	// ValidateInputs runs a cheap structural check on every list
 	// before serving it — every link in range, exactly one tail
 	// self-loop, head in range — failing the request with ErrBadRequest
@@ -262,11 +294,11 @@ type ServerOptions struct {
 }
 
 // ServerStats is a snapshot of a server's counters. Every submission
-// lands in exactly one of four buckets, so
+// lands in exactly one of five buckets, so
 //
-//	Submitted = Served + Rejected + Expired + Poisoned
+//	Submitted = Served + Rejected + Expired + Poisoned + Shed
 //
-// holds at every quiescent point (and the chaos soak test enforces it
+// holds at every quiescent point (and the chaos soak tests enforce it
 // under mixed fault traffic).
 type ServerStats struct {
 	// Submitted counts Submit calls; Rejected counts the ones that
@@ -286,6 +318,11 @@ type ServerStats struct {
 	// Poisoned counts requests whose serve panicked — the fault was
 	// contained to the request's own ticket (ErrPanic).
 	Poisoned int64
+	// Shed counts requests fast-rejected at admission by adaptive load
+	// shedding (ErrShed): deadline-infeasible under the current
+	// backlog, or hard memory pressure. Shed requests never ran and
+	// never occupied a queue slot.
+	Shed int64
 	// Segmented counts requests served by segmented (cross-shard)
 	// dispatch — each such parent also lands in exactly one of the four
 	// identity buckets above — and SegSubmits counts the per-segment
@@ -329,9 +366,16 @@ type Server struct {
 	expired atomic.Int64
 	// trivial counts requests completed in place without touching a
 	// shard (zero-length lists); they count as served so the
-	// Submitted = Served + Rejected + Expired + Poisoned identity
-	// holds.
+	// Submitted = Served + Rejected + Expired + Poisoned + Shed
+	// identity holds.
 	trivial atomic.Int64
+	// shed counts ErrShed fast-rejections (adaptive admission and
+	// hard-pressure shedding); shedOn gates the deadline-based path
+	// (ServerOptions.Shed). gov is the memory governor (never nil;
+	// defaults to the process-wide one).
+	shed   atomic.Int64
+	shedOn bool
+	gov    *govern.Governor
 
 	// Segmented (cross-shard) dispatch. procs is the resolved worker
 	// budget (the orchestrator's inline phases use it); autoSegment is
@@ -388,6 +432,49 @@ type shard struct {
 	rejected atomic.Int64
 	expired  atomic.Int64
 	poisoned atomic.Int64
+
+	// Adaptive-admission state (ServerOptions.Shed). backlog is the
+	// total elements of tickets currently occupying the queue or being
+	// served; ewmaNs holds the shard's smoothed serve cost in ns per
+	// element as math.Float64bits (0 = cold, admit everything). Only
+	// the dispatcher writes ewmaNs; submitters read both to estimate
+	// queue wait.
+	backlog atomic.Int64
+	ewmaNs  atomic.Uint64
+}
+
+// observe folds one dispatch's measured cost into the shard's EWMA.
+// Single writer (the dispatcher), so load/store suffices.
+func (sh *shard) observe(elems int64, d time.Duration) {
+	sample := float64(d.Nanoseconds()) / float64(elems)
+	prev := math.Float64frombits(sh.ewmaNs.Load())
+	next := sample
+	if prev > 0 {
+		next = 0.2*sample + 0.8*prev
+	}
+	sh.ewmaNs.Store(math.Float64bits(next))
+}
+
+// estWait estimates how long a new n-element request would wait
+// behind the shard's current backlog before its serve completes.
+// 0 means "no estimate" (cold shard): admit.
+func (sh *shard) estWait(n int) time.Duration {
+	ewma := math.Float64frombits(sh.ewmaNs.Load())
+	if ewma <= 0 {
+		return 0
+	}
+	elems := sh.backlog.Load() + int64(n)
+	return time.Duration(float64(elems) * ewma)
+}
+
+// drainBacklog returns the ticket's elements to the shard's backlog
+// gauge; exactly one completion path per ticket calls it effectively
+// (elems is zeroed on first drain).
+func (sh *shard) drainBacklog(t *Ticket) {
+	if t.elems > 0 {
+		sh.backlog.Add(-int64(t.elems))
+		t.elems = 0
+	}
 }
 
 // NewServer starts a server. The caller owns it and must Close it;
@@ -428,6 +515,11 @@ func NewServer(opt ServerOptions) *Server {
 	s := &Server{bins: fleet.NewBins(bounds)}
 	s.procs = procs
 	s.autoSegment = opt.AutoSegment
+	s.shedOn = opt.Shed
+	s.gov = opt.Governor
+	if s.gov == nil {
+		s.gov = govern.Process()
+	}
 	s.tickets.New = func() *Ticket {
 		return &Ticket{srv: s, done: make(chan struct{}, 1)}
 	}
@@ -477,7 +569,7 @@ func NewServer(opt ServerOptions) *Server {
 		if b == nb-1 {
 			share64 = reorderBudget - share64*int64(nb-1)
 		}
-		sh.cache.init(reorderAfter, share64)
+		sh.cache.init(reorderAfter, share64, s.gov)
 		s.shards[b] = sh
 	}
 	s.Warm(opt.WarmSizes...)
@@ -568,6 +660,13 @@ func (s *Server) submit(req Request) (*Ticket, error) {
 	if s.closed.Load() {
 		return s.fail(t, ErrServerClosed), ErrServerClosed
 	}
+	// Hard memory pressure sheds all new top-level load outright —
+	// the cheapest possible rejection, before the cancellation token
+	// is even armed. Segment sub-requests are exempt: their parent was
+	// already admitted and holds the resources either way.
+	if req.seg == nil && s.gov.Level() >= govern.LevelHard {
+		return s.shedTicket(t), ErrShed
+	}
 	// Arm the cancellation token before the queue hand-off so a
 	// Ticket.Cancel racing with the dispatcher is never lost, and check
 	// expiry at admission: an already-dead request must not occupy a
@@ -593,7 +692,20 @@ func (s *Server) submit(req Request) (*Ticket, error) {
 	if req.Handle != nil {
 		sh = req.Handle.sh // routing fixed at registration
 	}
+	// Deadline-aware adaptive admission: if the shard's estimated
+	// queue wait already exceeds the request's deadline, fail in
+	// microseconds now instead of expiring at p99 later. Cold shards
+	// (no EWMA yet) admit everything; segment sub-requests are exempt
+	// (the parent's deadline governs them cooperatively).
+	if s.shedOn && req.seg == nil && !req.Deadline.IsZero() {
+		if wait := sh.estWait(n); wait > 0 && time.Now().Add(wait).After(req.Deadline) {
+			return s.shedTicket(t), ErrShed
+		}
+	}
+	t.elems = n
+	sh.backlog.Add(int64(n))
 	if err := sh.q.Put(t); err != nil {
+		sh.drainBacklog(t)
 		if errors.Is(err, fleet.ErrClosed) {
 			return s.fail(t, ErrServerClosed), ErrServerClosed
 		}
@@ -602,17 +714,30 @@ func (s *Server) submit(req Request) (*Ticket, error) {
 	return t, nil
 }
 
+// shedTicket completes a ticket fast-rejected by load shedding.
+func (s *Server) shedTicket(t *Ticket) *Ticket {
+	s.shed.Add(1)
+	t.err = ErrShed
+	t.done <- struct{}{}
+	return t
+}
+
 // SubmitTimeout submits under the Reject backpressure policy with
-// bounded retry: on ErrBackpressure it backs off (exponentially, from
-// 50µs to 5ms) and resubmits until the request is admitted or timeout
-// elapses, returning the admitted ticket or (nil, ErrBackpressure) if
-// the queue never opened. Non-backpressure failures return the failed
-// ticket's error immediately with a nil ticket; in every error case
-// the ticket has already been consumed — the caller must not Wait.
-// Each attempt is one submission, so under retry the stats identity
-// counts every rejected attempt individually. Under the default
-// blocking policy Submit never reports backpressure and SubmitTimeout
-// degenerates to a single Submit.
+// bounded retry: on ErrBackpressure it backs off and resubmits until
+// the request is admitted or timeout elapses, returning the admitted
+// ticket or (nil, ErrBackpressure) if the queue never opened. Each
+// retry sleeps a full-jitter draw — uniform in (0, cap], with the cap
+// doubling from 50µs to 5ms — so concurrent retriers decorrelate
+// instead of re-colliding in synchronized herds. Non-backpressure
+// failures (including ErrShed — shedding means "back off for longer
+// than a queue slot takes to open", so hammering it defeats the
+// point) return the failed ticket's error immediately with a nil
+// ticket; in every error case the ticket has already been consumed —
+// the caller must not Wait. Each attempt is one submission, so under
+// retry the stats identity counts every rejected attempt
+// individually. Under the default blocking policy Submit never
+// reports backpressure and SubmitTimeout degenerates to a single
+// Submit.
 func (s *Server) SubmitTimeout(req Request, timeout time.Duration) (*Ticket, error) {
 	deadline := time.Now().Add(timeout)
 	backoff := 50 * time.Microsecond
@@ -629,7 +754,7 @@ func (s *Server) SubmitTimeout(req Request, timeout time.Duration) (*Ticket, err
 		if !now.Before(deadline) {
 			return nil, ErrBackpressure
 		}
-		d := backoff
+		d := jitterBackoff(backoff)
 		if rem := deadline.Sub(now); d > rem {
 			d = rem
 		}
@@ -638,6 +763,17 @@ func (s *Server) SubmitTimeout(req Request, timeout time.Duration) (*Ticket, err
 			backoff *= 2
 		}
 	}
+}
+
+// jitterBackoff draws a full-jitter retry delay: uniform in (0, max].
+// Full jitter (delay = rand(0, cap) rather than delay = cap) is what
+// keeps a herd of simultaneous rejects from retrying in lockstep and
+// re-colliding on the same queue-full instant forever.
+func jitterBackoff(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(max))) + 1
 }
 
 // Rank submits a ranking request with default per-request options;
@@ -692,6 +828,10 @@ func (s *Server) Close() {
 	s.segWG.Wait()
 	for _, sh := range s.shards {
 		sh.pool.Close()
+		// Release the shard's cached reorder layouts so the governor's
+		// ClassReorder accounting returns to zero: a closed server
+		// holds no memory the process should still budget for.
+		sh.cache.purge()
 	}
 }
 
@@ -703,6 +843,7 @@ func (s *Server) Stats() ServerStats {
 		Expired:    s.expired.Load() + s.segExpired.Load(),
 		Served:     s.trivial.Load() + s.segServed.Load(),
 		Poisoned:   s.segPoisoned.Load(),
+		Shed:       s.shed.Load(),
 		Segmented:  s.segmented.Load(),
 		SegSubmits: s.segSubmits.Load(),
 		BinServed:  make([]int64, len(s.shards)),
@@ -739,7 +880,18 @@ func (s *Server) dispatcherLoop(sh *shard) {
 		if !ok {
 			return
 		}
+		// Sum the batch's elements before serving: completed tickets
+		// are recycled the instant their Wait returns, so touching
+		// them after serve would race.
+		var elems int64
+		for i := 0; i < n; i++ {
+			elems += int64(sh.batch[i].elems)
+		}
+		start := time.Now()
 		sh.serve(n)
+		if elems > 0 {
+			sh.observe(elems, time.Since(start))
+		}
 		for i := 0; i < n; i++ {
 			sh.batch[i] = nil // don't pin served tickets
 		}
@@ -787,6 +939,7 @@ func (sh *shard) serveBatch(n int) {
 		for i := 0; i < n; i++ {
 			if !sh.batchDone[i] {
 				t := sh.batch[i]
+				sh.drainBacklog(t)
 				t.err = fmt.Errorf("%w: %v", ErrPanic, r)
 				sh.poisoned.Add(1)
 				t.done <- struct{}{}
@@ -907,6 +1060,7 @@ func (sh *shard) checkList(l *List, procs int) error {
 // preserved — and counts the ticket into exactly one failure-domain
 // bucket so the ServerStats identity holds.
 func (sh *shard) finish(t *Ticket) {
+	sh.drainBacklog(t)
 	if r := recover(); r != nil {
 		if err, ok := r.(error); ok && errors.Is(err, core.ErrCanceled) {
 			if t.cancel.DeadlineExceeded() {

@@ -12,9 +12,9 @@ import (
 func checkIdentity(t *testing.T, s *Server) {
 	t.Helper()
 	st := s.Stats()
-	if st.Submitted != st.Served+st.Rejected+st.Expired+st.Poisoned {
-		t.Errorf("stats identity violated: submitted %d != served %d + rejected %d + expired %d + poisoned %d",
-			st.Submitted, st.Served, st.Rejected, st.Expired, st.Poisoned)
+	if st.Submitted != st.Served+st.Rejected+st.Expired+st.Poisoned+st.Shed {
+		t.Errorf("stats identity violated: submitted %d != served %d + rejected %d + expired %d + poisoned %d + shed %d",
+			st.Submitted, st.Served, st.Rejected, st.Expired, st.Poisoned, st.Shed)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"listrank/internal/core"
+	"listrank/internal/govern"
 	"listrank/internal/segment"
 )
 
@@ -37,6 +38,13 @@ const maxAutoSegments = 64
 func (s *Server) resolveSegments(explicit, n int) int {
 	S := explicit
 	if S == 0 && s.autoSegment > 0 && n > s.autoSegment {
+		// Auto-segmentation is optional memory growth (an orchestrator
+		// arena per parent); under governor pressure serve monolithic/
+		// cold instead. An explicit Request.Segments is still honored —
+		// the caller asked for the segmented result shape.
+		if s.gov.Level() >= govern.LevelSoft {
+			return 1
+		}
 		S = (n + s.autoSegment - 1) / s.autoSegment
 		if S > maxAutoSegments {
 			S = maxAutoSegments
@@ -95,6 +103,17 @@ func (s *Server) serveSegmented(t *Ticket, S int) {
 	sc := getSegScratch()
 	defer putSegScratch(sc)
 	defer sc.Release()
+	// Account the orchestrator's arena footprint as ClassSegment for
+	// the parent's lifetime, re-measured after each growth point, so
+	// the governor sees segmented traffic's real memory (the pressure
+	// that in turn gates new auto-segmentation).
+	var acct int64
+	defer func() { s.gov.Adjust(govern.ClassSegment, -acct) }()
+	account := func() {
+		fp := sc.Footprint()
+		s.gov.Adjust(govern.ClassSegment, fp-acct)
+		acct = fp
+	}
 	plan := sc.EvenPlan(n, S)
 	opt := segment.Options{Procs: s.procs, Seed: req.Opt.Seed, Cancel: &t.cancel}
 	// Prepare validates links and assembles the boundary nodes; a
@@ -102,6 +121,7 @@ func (s *Server) serveSegmented(t *Ticket, S int) {
 	// sub-request's walk, and finishDetached contains either into the
 	// parent's ErrPanic.
 	sc.Prepare(l.Next, l.Head, plan, opt)
+	account()
 	if err := s.fanSegments(t, sc, plan, mode, 1); err != nil {
 		t.err = err
 		return
@@ -111,6 +131,7 @@ func (s *Server) serveSegmented(t *Ticket, S int) {
 	}
 	rhead := sc.Stitch(plan, l.Head)
 	sc.Phase2(rhead, mode, req.ScanOp, req.Identity, opt)
+	account()
 	if err := s.fanSegments(t, sc, plan, mode, 3); err != nil {
 		t.err = err
 	}
@@ -153,6 +174,13 @@ func (s *Server) fanSegments(t *Ticket, sc *segment.Scratch, plan segment.Plan, 
 			s.segSubmits.Add(1)
 			subs[i] = tk
 		case errors.Is(err, ErrDeadlineExceeded), errors.Is(err, ErrCanceled):
+			// The failed admission was still a full submission, counted
+			// in the expired bucket — it must count as a sub-request or
+			// SegSubmits stops reconciling the books (the wire client
+			// asserts surplus(served+expired+poisoned) == SegSubmits;
+			// backpressure-rejected attempts land in rejected, which is
+			// only lower-bounded, so they stay uncounted).
+			s.segSubmits.Add(1)
 			if expireErr == nil {
 				expireErr = err
 			}

@@ -14,9 +14,9 @@ import (
 func segIdentity(t *testing.T, s *Server) ServerStats {
 	t.Helper()
 	st := s.Stats()
-	if st.Submitted != st.Served+st.Rejected+st.Expired+st.Poisoned {
-		t.Errorf("identity violated: submitted %d != served %d + rejected %d + expired %d + poisoned %d",
-			st.Submitted, st.Served, st.Rejected, st.Expired, st.Poisoned)
+	if st.Submitted != st.Served+st.Rejected+st.Expired+st.Poisoned+st.Shed {
+		t.Errorf("identity violated: submitted %d != served %d + rejected %d + expired %d + poisoned %d + shed %d",
+			st.Submitted, st.Served, st.Rejected, st.Expired, st.Poisoned, st.Shed)
 	}
 	return st
 }
